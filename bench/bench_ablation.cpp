@@ -1,0 +1,173 @@
+// E11 — ablations of the library's own design choices (DESIGN.md §5):
+//
+//   A1: OUTORDER repair search with vs without the INORDER seed;
+//   A2: INORDER order search: canonical vs heuristic vs local search;
+//   A3: one-port latency: order search vs list-scheduling orders;
+//   A4: optimizer candidate portfolio: chain-only vs forest-only vs full.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/core/cost_model.hpp"
+#include "src/opt/chain.hpp"
+#include "src/opt/heuristics.hpp"
+#include "src/opt/optimizer.hpp"
+#include "src/sched/outorder.hpp"
+#include "src/workload/generator.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace {
+
+using namespace fsw;
+
+void ablationOutorderSeed() {
+  std::printf("A1: OUTORDER orchestration, value of the INORDER seed\n");
+  std::printf("%-6s %-12s %-14s %-14s\n", "trial", "lower bound",
+              "with seed", "repair only");
+  for (int trial = 0; trial < 5; ++trial) {
+    Prng rng(9500 + trial);
+    WorkloadSpec spec;
+    spec.n = 5;
+    const auto app = randomApplication(spec, rng);
+    const auto g = randomForest(app, rng);
+    const CostModel cm(app, g);
+    const double lb = cm.periodLowerBound(CommModel::OutOrder);
+    OutorderOptions opt;
+    opt.restarts = 8;
+    opt.bisectSteps = 6;
+    const auto seeded = outorderOrchestratePeriod(app, g, opt);
+    // Repair-only: probe lambdas by bisection between lb and 3*lb without
+    // the INORDER upper bound.
+    double repairOnly = 3.0 * lb;
+    if (auto ol = outorderRepairAtLambda(app, g, lb, opt)) {
+      repairOnly = lb;
+    } else {
+      double lo = lb;
+      double hi = 3.0 * lb;
+      for (int s = 0; s < 8; ++s) {
+        const double mid = 0.5 * (lo + hi);
+        if (outorderRepairAtLambda(app, g, mid, opt)) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      repairOnly = hi;
+    }
+    std::printf("%-6d %-12.4f %-14.4f %-14.4f\n", trial, lb, seeded.value,
+                repairOnly);
+  }
+  std::printf("\n");
+}
+
+void ablationOrderSearch() {
+  std::printf(
+      "A2: INORDER period by order policy (6 random fork-joins, contended)\n");
+  std::printf("%-6s %-12s %-12s %-12s %-12s\n", "trial", "canonical",
+              "heuristic", "local", "exact");
+  for (int trial = 0; trial < 6; ++trial) {
+    Prng rng(9600 + trial);
+    WorkloadSpec spec;
+    spec.n = 6;
+    spec.costLo = 0.2;
+    spec.costHi = 8.0;
+    const auto app = randomApplication(spec, rng);
+    const auto g = forkJoinGraph(app.size());
+    const auto canon =
+        inorderPeriodForOrders(app, g, PortOrders::canonical(g));
+    const auto heur =
+        inorderPeriodForOrders(app, g, PortOrders::heuristic(app, g));
+    OrchestrationOptions lsOpt;
+    lsOpt.exactCap = 1;
+    lsOpt.localSearchIters = 120;
+    const auto local = inorderOrchestratePeriod(app, g, lsOpt);
+    OrchestrationOptions exOpt;
+    exOpt.exactCap = 100000;
+    const auto exact = inorderOrchestratePeriod(app, g, exOpt);
+    std::printf("%-6d %-12.4f %-12.4f %-12.4f %-12.4f\n", trial,
+                canon ? canon->value : -1.0, heur ? heur->value : -1.0,
+                local.value, exact.value);
+  }
+  std::printf("\n");
+}
+
+void ablationLatencyOrders() {
+  std::printf("A3: one-port latency on B.2 by order policy\n");
+  const auto pi = counterexampleB2();
+  const auto canon =
+      oneportLatencyForOrders(pi.app, pi.graph, PortOrders::canonical(pi.graph));
+  const auto heur = oneportLatencyForOrders(
+      pi.app, pi.graph, PortOrders::heuristic(pi.app, pi.graph));
+  const auto list = oneportLatencyForOrders(
+      pi.app, pi.graph, PortOrders::listLatency(pi.app, pi.graph));
+  std::printf("canonical %.4f | heuristic %.4f | list-scheduling %.4f "
+              "(paper: optimum > 20)\n\n",
+              canon ? canon->value : -1.0, heur ? heur->value : -1.0,
+              list ? list->value : -1.0);
+}
+
+void ablationPortfolio() {
+  std::printf("A4: optimizer portfolio, OVERLAP MinPeriod surrogate\n");
+  std::printf("%-6s %-12s %-12s %-12s\n", "trial", "chain only",
+              "forest only", "full");
+  for (int trial = 0; trial < 6; ++trial) {
+    Prng rng(9700 + trial);
+    WorkloadSpec spec;
+    spec.n = 8;
+    spec.filterFraction = 0.3;  // expander-heavy: chains stop being optimal
+    spec.costHi = 10.0;
+    const auto app = randomApplication(spec, rng);
+    const double chain = chainPeriodValue(
+        app, chainOrderPeriod(app, CommModel::Overlap), CommModel::Overlap);
+    HeuristicOptions ho;
+    ho.seed = 9700 + trial;
+    const auto forest =
+        annealForest(app, CommModel::Overlap, Objective::Period, ho);
+    const double forestV =
+        surrogateScore(app, forest, CommModel::Overlap, Objective::Period);
+    OptimizerOptions oo;
+    oo.exactForestMaxN = 0;
+    oo.heuristics = ho;
+    const auto full =
+        optimizePlan(app, CommModel::Overlap, Objective::Period, oo);
+    std::printf("%-6d %-12.4f %-12.4f %-12.4f\n", trial, chain, forestV,
+                full.value);
+  }
+  std::printf("\n");
+}
+
+void BM_OutorderSeeded(benchmark::State& state) {
+  Prng rng(9800);
+  WorkloadSpec spec;
+  spec.n = 5;
+  const auto app = randomApplication(spec, rng);
+  const auto g = randomForest(app, rng);
+  OutorderOptions opt;
+  opt.restarts = 8;
+  for (auto _ : state) {
+    auto r = outorderOrchestratePeriod(app, g, opt);
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+BENCHMARK(BM_OutorderSeeded);
+
+void BM_ListLatencyOrders(benchmark::State& state) {
+  const auto pi = counterexampleB2();
+  for (auto _ : state) {
+    auto po = PortOrders::listLatency(pi.app, pi.graph);
+    benchmark::DoNotOptimize(po.in.size());
+  }
+}
+BENCHMARK(BM_ListLatencyOrders);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ablationOutorderSeed();
+  ablationOrderSearch();
+  ablationLatencyOrders();
+  ablationPortfolio();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

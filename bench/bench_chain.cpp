@@ -1,0 +1,130 @@
+// E6 — Props 8/16 chain greedies: optimality against brute force at small n
+// (printed), comm-aware vs the no-communication baseline of [1], and the
+// O(n log n) scaling of the greedy itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <limits>
+
+#include "src/common/util.hpp"
+#include "src/core/cost_model.hpp"
+#include "src/opt/chain.hpp"
+#include "src/workload/generator.hpp"
+
+namespace {
+
+using namespace fsw;
+
+void printOptimalityTable() {
+  std::printf("E6: chain greedies vs brute force (20 random instances each)\n");
+  std::printf("%-10s %-10s %-12s\n", "objective", "model", "greedy=opt");
+  for (const CommModel m : kAllModels) {
+    int hits = 0;
+    Prng rng(600 + static_cast<int>(m));
+    for (int trial = 0; trial < 20; ++trial) {
+      WorkloadSpec spec;
+      spec.n = 6;
+      spec.filterFraction = 0.5;
+      const auto app = randomApplication(spec, rng);
+      const double gv =
+          chainPeriodValue(app, chainOrderPeriod(app, m), m);
+      double bv = std::numeric_limits<double>::infinity();
+      forEachPermutation(app.size(), [&](const std::vector<std::size_t>& p) {
+        std::vector<NodeId> order(p.begin(), p.end());
+        bv = std::min(bv, chainPeriodValue(app, order, m));
+        return true;
+      });
+      if (almostEqual(gv, bv, 1e-9)) ++hits;
+    }
+    std::printf("%-10s %-10s %d/20\n", "period", name(m).data(), hits);
+  }
+  {
+    int hits = 0;
+    Prng rng(777);
+    for (int trial = 0; trial < 20; ++trial) {
+      WorkloadSpec spec;
+      spec.n = 6;
+      spec.filterFraction = 0.5;
+      const auto app = randomApplication(spec, rng);
+      const double gv = chainLatencyValue(app, chainOrderLatency(app));
+      double bv = std::numeric_limits<double>::infinity();
+      forEachPermutation(app.size(), [&](const std::vector<std::size_t>& p) {
+        std::vector<NodeId> order(p.begin(), p.end());
+        bv = std::min(bv, chainLatencyValue(app, order));
+        return true;
+      });
+      if (almostEqual(gv, bv, 1e-9)) ++hits;
+    }
+    std::printf("%-10s %-10s %d/20\n", "latency", "(all)", hits);
+  }
+  std::printf("\n");
+
+  std::printf("comm-aware chain vs no-comm baseline plan, OVERLAP period:\n");
+  std::printf("%-6s %-14s %-14s %-14s\n", "n", "baseline plan", "chain greedy",
+              "ratio");
+  for (const std::size_t n : {8u, 16u, 32u, 64u}) {
+    Prng rng(640 + n);
+    WorkloadSpec spec;
+    spec.n = n;
+    spec.filterFraction = 0.8;
+    const auto app = randomApplication(spec, rng);
+    const auto base = noCommBaselineGraph(app);
+    const double basePeriod =
+        CostModel(app, base).periodLowerBound(CommModel::Overlap);
+    const double chain = chainPeriodValue(
+        app, chainOrderPeriod(app, CommModel::Overlap), CommModel::Overlap);
+    std::printf("%-6zu %-14.4f %-14.4f %-14.3f\n", n, basePeriod, chain,
+                basePeriod / chain);
+  }
+  std::printf("\n");
+}
+
+void BM_ChainGreedyPeriod(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Prng rng(6001);
+  WorkloadSpec spec;
+  spec.n = n;
+  const auto app = randomApplication(spec, rng);
+  for (auto _ : state) {
+    auto order = chainOrderPeriod(app, CommModel::InOrder);
+    benchmark::DoNotOptimize(order.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ChainGreedyPeriod)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+void BM_ChainGreedyLatency(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Prng rng(6002);
+  WorkloadSpec spec;
+  spec.n = n;
+  const auto app = randomApplication(spec, rng);
+  for (auto _ : state) {
+    auto order = chainOrderLatency(app);
+    benchmark::DoNotOptimize(order.data());
+  }
+}
+BENCHMARK(BM_ChainGreedyLatency)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_ChainValueEvaluation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Prng rng(6003);
+  WorkloadSpec spec;
+  spec.n = n;
+  const auto app = randomApplication(spec, rng);
+  const auto order = chainOrderPeriod(app, CommModel::Overlap);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        chainPeriodValue(app, order, CommModel::Overlap));
+  }
+}
+BENCHMARK(BM_ChainValueEvaluation)->RangeMultiplier(4)->Range(16, 1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printOptimalityTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// E2/E3/E4 — the three counter-examples of Appendix B as measurable rows.
+//
+//   E2 (B.1, Fig 4): comm-blind optimal plan vs comm-aware plan, OVERLAP.
+//   E3 (B.2, Fig 5): multi-port vs one-port latency.
+//   E4 (B.3, Fig 6): multi-port vs one-port-overlap period.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/core/cost_model.hpp"
+#include "src/opt/chain.hpp"
+#include "src/sched/inorder.hpp"
+#include "src/sched/outorder.hpp"
+#include "src/sched/overlap.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace {
+
+using namespace fsw;
+
+void printB1() {
+  const auto pi = counterexampleB1();
+  const auto chain = counterexampleB1ChainGraph();
+  std::printf("E2: counter-example B.1 (202 services)\n");
+  std::printf("%-28s %-14s %-14s\n", "plan", "no-comm period", "OVERLAP period");
+  std::printf("%-28s %-14.4f %-14.4f   (paper: 100 / ~200)\n",
+              "chain (no-comm optimal)", noCommPeriodValue(pi.app, chain),
+              overlapPeriodSchedule(pi.app, chain).period());
+  std::printf("%-28s %-14.4f %-14.4f   (paper: >100 / 100)\n",
+              "two stars (Fig 4)", noCommPeriodValue(pi.app, pi.graph),
+              overlapPeriodSchedule(pi.app, pi.graph).period());
+  std::printf("\n");
+}
+
+void printB2() {
+  const auto pi = counterexampleB2();
+  OrchestrationOptions opt;
+  opt.exactCap = 2000;
+  opt.localSearchIters = 200;
+  const auto onePort = oneportOrchestrateLatency(pi.app, pi.graph, opt);
+  const auto fluid = overlapLatencyFluid(pi.app, pi.graph);
+  std::printf("E3: counter-example B.2 (12 services, latency)\n");
+  std::printf("%-28s %-12s\n", "schedule class", "latency");
+  std::printf("%-28s %-12.4f   (paper: 20)\n", "multi-port (fluid)",
+              fluid.latency());
+  std::printf("%-28s %-12.4f   (paper: > 20)\n", "one-port (best found)",
+              onePort.value);
+  std::printf("\n");
+}
+
+void printB3() {
+  const auto pi = counterexampleB3();
+  const auto multi = overlapPeriodSchedule(pi.app, pi.graph);
+  OutorderOptions opt;
+  opt.restarts = 48;
+  opt.repairIters = 600;
+  opt.seed = 3;
+  const bool at12 =
+      onePortOverlapRepairAtLambda(pi.app, pi.graph, 12.0, opt).has_value();
+  const auto best = onePortOverlapOrchestratePeriod(pi.app, pi.graph, opt);
+  std::printf("E4: counter-example B.3 (8 services, period)\n");
+  std::printf("%-28s %-12s\n", "schedule class", "period");
+  std::printf("%-28s %-12.4f   (paper: 12)\n", "multi-port", multi.period());
+  std::printf("%-28s %-12s   (paper: infeasible)\n", "one-port at 12",
+              at12 ? "FEASIBLE?!" : "infeasible");
+  std::printf("%-28s %-12.4f   (paper: > 12)\n", "one-port (best found)",
+              best.value);
+  std::printf("\n");
+}
+
+void BM_B1OverlapSchedule(benchmark::State& state) {
+  const auto pi = counterexampleB1();
+  for (auto _ : state) {
+    auto ol = overlapPeriodSchedule(pi.app, pi.graph);
+    benchmark::DoNotOptimize(ol.period());
+  }
+}
+BENCHMARK(BM_B1OverlapSchedule);
+
+void BM_B2FluidLatency(benchmark::State& state) {
+  const auto pi = counterexampleB2();
+  for (auto _ : state) {
+    auto ol = overlapLatencyFluid(pi.app, pi.graph);
+    benchmark::DoNotOptimize(ol.latency());
+  }
+}
+BENCHMARK(BM_B2FluidLatency);
+
+void BM_B3OnePortRepairAt13(benchmark::State& state) {
+  const auto pi = counterexampleB3();
+  OutorderOptions opt;
+  opt.restarts = 16;
+  opt.seed = 11;
+  for (auto _ : state) {
+    auto ol = onePortOverlapRepairAtLambda(pi.app, pi.graph, 13.0, opt);
+    benchmark::DoNotOptimize(ol.has_value());
+  }
+}
+BENCHMARK(BM_B3OnePortRepairAt13);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printB1();
+  printB2();
+  printB3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

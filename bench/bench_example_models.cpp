@@ -1,0 +1,88 @@
+// E1 — Section 2.3 / Fig 1: the worked example. Regenerates the paper's
+// per-model period and latency table and times the orchestrators that
+// produce it.
+//
+// Paper values: latency 21 (all models); period 4 (OVERLAP), 7 (OUTORDER),
+// 23/3 ~ 7.667 (INORDER).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/core/cost_model.hpp"
+#include "src/sched/orchestrator.hpp"
+#include "src/sim/replay.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace {
+
+using namespace fsw;
+
+void printTable() {
+  const auto pi = sec23Example();
+  std::printf("E1: Section 2.3 example (5 services, cost 4, sigma 1)\n");
+  std::printf("%-10s %-12s %-12s %-12s %-12s\n", "model", "period", "paper",
+              "latency", "paper");
+  const double paperPeriod[3] = {4.0, 7.0, 23.0 / 3.0};
+  int row = 0;
+  for (const CommModel m : kAllModels) {
+    const auto period = orchestrate(pi.app, pi.graph, m, Objective::Period);
+    const auto latency = orchestrate(pi.app, pi.graph, m, Objective::Latency);
+    const auto sim =
+        replayOperationList(pi.app, pi.graph, period.result.ol, m, 64);
+    std::printf("%-10s %-12.4f %-12.4f %-12.4f %-12.4f   (sim %.4f %s)\n",
+                name(m).data(), period.result.value, paperPeriod[row],
+                latency.result.value, 21.0, sim.measuredPeriod,
+                sim.ok ? "ok" : "VIOLATION");
+    ++row;
+  }
+  std::printf("\n");
+}
+
+void BM_OverlapPeriodSec23(benchmark::State& state) {
+  const auto pi = sec23Example();
+  for (auto _ : state) {
+    auto r = orchestrate(pi.app, pi.graph, CommModel::Overlap,
+                         Objective::Period);
+    benchmark::DoNotOptimize(r.result.value);
+  }
+}
+BENCHMARK(BM_OverlapPeriodSec23);
+
+void BM_InorderPeriodSec23(benchmark::State& state) {
+  const auto pi = sec23Example();
+  for (auto _ : state) {
+    auto r = orchestrate(pi.app, pi.graph, CommModel::InOrder,
+                         Objective::Period);
+    benchmark::DoNotOptimize(r.result.value);
+  }
+}
+BENCHMARK(BM_InorderPeriodSec23);
+
+void BM_OutorderPeriodSec23(benchmark::State& state) {
+  const auto pi = sec23Example();
+  for (auto _ : state) {
+    auto r = orchestrate(pi.app, pi.graph, CommModel::OutOrder,
+                         Objective::Period);
+    benchmark::DoNotOptimize(r.result.value);
+  }
+}
+BENCHMARK(BM_OutorderPeriodSec23);
+
+void BM_LatencySec23(benchmark::State& state) {
+  const auto pi = sec23Example();
+  for (auto _ : state) {
+    auto r = orchestrate(pi.app, pi.graph, CommModel::InOrder,
+                         Objective::Latency);
+    benchmark::DoNotOptimize(r.result.value);
+  }
+}
+BENCHMARK(BM_LatencySec23);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,148 @@
+// E8 — the cost of each communication model: orchestrated period ratios
+// INORDER : OUTORDER : OVERLAP on the same execution graphs, across
+// workload mixes (filter-heavy vs expander-heavy, cheap vs expensive
+// services), plus the greedy runtime baselines from the simulator.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/core/cost_model.hpp"
+#include "src/opt/bicriteria.hpp"
+#include "src/sched/orchestrator.hpp"
+#include "src/sim/greedy.hpp"
+#include "src/workload/generator.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace {
+
+using namespace fsw;
+
+OrchestratorOptions sweepOpts() {
+  OrchestratorOptions opt;
+  opt.order.exactCap = 200;
+  opt.order.localSearchIters = 80;
+  opt.outorder.restarts = 8;
+  opt.outorder.bisectSteps = 6;
+  return opt;
+}
+
+void printModelSweep() {
+  std::printf("E8: mean period by model (10 random forests per mix, n = 6)\n");
+  std::printf("%-18s %-10s %-10s %-10s %-12s %-12s\n", "mix", "OVERLAP",
+              "OUTORDER", "INORDER", "greedy-IN", "greedy-OUT");
+  struct Mix {
+    const char* tag;
+    double filterFraction;
+    double costHi;
+  };
+  for (const Mix mix : {Mix{"filter-heavy", 0.9, 4.0},
+                        Mix{"balanced", 0.5, 4.0},
+                        Mix{"expander-heavy", 0.1, 4.0},
+                        Mix{"expensive", 0.5, 16.0}}) {
+    double sums[5] = {0, 0, 0, 0, 0};
+    for (int trial = 0; trial < 10; ++trial) {
+      Prng rng(8000 + trial);
+      WorkloadSpec spec;
+      spec.n = 6;
+      spec.filterFraction = mix.filterFraction;
+      spec.costHi = mix.costHi;
+      const auto app = randomApplication(spec, rng);
+      const auto g = randomForest(app, rng);
+      const auto opts = sweepOpts();
+      sums[0] += orchestrate(app, g, CommModel::Overlap, Objective::Period,
+                             opts)
+                     .result.value;
+      const auto out = orchestrate(app, g, CommModel::OutOrder,
+                                   Objective::Period, opts);
+      sums[1] += out.result.value;
+      const auto in = orchestrate(app, g, CommModel::InOrder,
+                                  Objective::Period, opts);
+      sums[2] += in.result.value;
+      sums[3] += simulateGreedyInOrder(app, g, in.result.orders, 64)
+                     .measuredPeriod;
+      sums[4] += simulateGreedyOutOrder(app, g, 64).measuredPeriod;
+    }
+    std::printf("%-18s %-10.4f %-10.4f %-10.4f %-12.4f %-12.4f\n", mix.tag,
+                sums[0] / 10, sums[1] / 10, sums[2] / 10, sums[3] / 10,
+                sums[4] / 10);
+  }
+  std::printf("(expect OVERLAP <= OUTORDER <= INORDER <= greedy baselines)\n\n");
+
+  std::printf("E8b: mean latency by model (10 random DAGs per mix, n = 7)\n");
+  std::printf("%-18s %-10s %-10s\n", "mix", "one-port", "multi-port");
+  for (const double ff : {0.9, 0.5, 0.1}) {
+    double onePort = 0.0;
+    double multi = 0.0;
+    for (int trial = 0; trial < 10; ++trial) {
+      Prng rng(8100 + trial);
+      WorkloadSpec spec;
+      spec.n = 7;
+      spec.filterFraction = ff;
+      const auto app = randomApplication(spec, rng);
+      const auto g = randomLayeredDag(app, 3, 3, rng);
+      const auto opts = sweepOpts();
+      onePort += orchestrate(app, g, CommModel::InOrder, Objective::Latency,
+                             opts)
+                     .result.value;
+      multi += orchestrate(app, g, CommModel::Overlap, Objective::Latency,
+                           opts)
+                   .result.value;
+    }
+    std::printf("filter=%-11.1f %-10.4f %-10.4f\n", ff, onePort / 10,
+                multi / 10);
+  }
+  std::printf("\n");
+
+  // The bi-criteria extension (the paper's stated future work): the
+  // period/latency trade-off on the Section 2.3 graph under INORDER.
+  std::printf(
+      "E8c: period/latency Pareto front, Section 2.3 graph, INORDER\n");
+  std::printf("%-12s %-12s %-20s\n", "period", "latency", "strategy");
+  const auto pi = sec23Example();
+  for (const auto& p :
+       periodLatencyFrontForGraph(pi.app, pi.graph, CommModel::InOrder)) {
+    std::printf("%-12.4f %-12.4f %-20s\n", p.period, p.latency,
+                p.strategy.c_str());
+  }
+  std::printf("(the ASAP schedule at 23/3 already attains the optimal "
+              "latency 21: no trade-off on this graph)\n\n");
+}
+
+void BM_PeriodOrchestration(benchmark::State& state) {
+  const auto m = static_cast<CommModel>(state.range(0));
+  Prng rng(8200);
+  WorkloadSpec spec;
+  spec.n = 6;
+  const auto app = randomApplication(spec, rng);
+  const auto g = randomForest(app, rng);
+  const auto opts = sweepOpts();
+  for (auto _ : state) {
+    auto r = orchestrate(app, g, m, Objective::Period, opts);
+    benchmark::DoNotOptimize(r.result.value);
+  }
+}
+BENCHMARK(BM_PeriodOrchestration)->DenseRange(0, 2)->ArgNames({"model"});
+
+void BM_LatencyOrchestration(benchmark::State& state) {
+  const auto m = static_cast<CommModel>(state.range(0));
+  Prng rng(8201);
+  WorkloadSpec spec;
+  spec.n = 7;
+  const auto app = randomApplication(spec, rng);
+  const auto g = randomLayeredDag(app, 3, 2, rng);
+  const auto opts = sweepOpts();
+  for (auto _ : state) {
+    auto r = orchestrate(app, g, m, Objective::Latency, opts);
+    benchmark::DoNotOptimize(r.result.value);
+  }
+}
+BENCHMARK(BM_LatencyOrchestration)->DenseRange(0, 2)->ArgNames({"model"});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printModelSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,133 @@
+// E7 — MinPeriod / MinLatency (Theorems 2 and 4): exact forest search vs
+// the heuristic portfolio on random instances — solution quality at small n
+// (where exactness is affordable, per Prop 4's forest structure) and wall
+// time as n grows.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/core/cost_model.hpp"
+#include "src/opt/forest_search.hpp"
+#include "src/opt/heuristics.hpp"
+#include "src/opt/optimizer.hpp"
+#include "src/workload/generator.hpp"
+
+namespace {
+
+using namespace fsw;
+
+void printQualityTable() {
+  std::printf("E7: heuristic vs exact forest search, OVERLAP MinPeriod\n");
+  std::printf("%-6s %-10s %-10s %-10s %-10s\n", "trial", "exact", "greedy",
+              "hillclimb", "anneal");
+  for (int trial = 0; trial < 6; ++trial) {
+    Prng rng(7100 + trial);
+    WorkloadSpec spec;
+    spec.n = 6;
+    const auto app = randomApplication(spec, rng);
+    const auto exact = exactForestMinPeriod(app, CommModel::Overlap);
+    const auto g1 = greedyForest(app, CommModel::Overlap, Objective::Period);
+    const auto g2 =
+        hillClimbForest(app, CommModel::Overlap, Objective::Period, g1);
+    HeuristicOptions ho;
+    ho.seed = 7100 + trial;
+    const auto g3 =
+        annealForest(app, CommModel::Overlap, Objective::Period, ho);
+    const auto score = [&](const ExecutionGraph& g) {
+      return surrogateScore(app, g, CommModel::Overlap, Objective::Period);
+    };
+    std::printf("%-6d %-10.4f %-10.4f %-10.4f %-10.4f\n", trial, exact.value,
+                score(g1), score(g2), score(g3));
+  }
+  std::printf("\n");
+  std::printf("E7b: MinLatency (Algorithm 1 scoring on forests)\n");
+  std::printf("%-6s %-10s %-10s %-10s\n", "trial", "exact", "greedy",
+              "anneal");
+  for (int trial = 0; trial < 6; ++trial) {
+    Prng rng(7200 + trial);
+    WorkloadSpec spec;
+    spec.n = 6;
+    const auto app = randomApplication(spec, rng);
+    const auto exact = exactForestMinLatency(app);
+    const auto g1 = greedyForest(app, CommModel::InOrder, Objective::Latency);
+    HeuristicOptions ho;
+    ho.seed = 7200 + trial;
+    const auto g3 =
+        annealForest(app, CommModel::InOrder, Objective::Latency, ho);
+    const auto score = [&](const ExecutionGraph& g) {
+      return surrogateScore(app, g, CommModel::InOrder, Objective::Latency);
+    };
+    std::printf("%-6d %-10.4f %-10.4f %-10.4f\n", trial, exact.value,
+                score(g1), score(g3));
+  }
+  std::printf("\n");
+}
+
+void BM_ExactForestSearch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Prng rng(7300);
+  WorkloadSpec spec;
+  spec.n = n;
+  const auto app = randomApplication(spec, rng);
+  for (auto _ : state) {
+    auto r = exactForestMinPeriod(app, CommModel::Overlap);
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+BENCHMARK(BM_ExactForestSearch)->DenseRange(3, 7);
+
+void BM_GreedyForest(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Prng rng(7301);
+  WorkloadSpec spec;
+  spec.n = n;
+  const auto app = randomApplication(spec, rng);
+  for (auto _ : state) {
+    auto g = greedyForest(app, CommModel::Overlap, Objective::Period);
+    benchmark::DoNotOptimize(g.size());
+  }
+}
+BENCHMARK(BM_GreedyForest)->RangeMultiplier(2)->Range(4, 32);
+
+void BM_AnnealForest(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Prng rng(7302);
+  WorkloadSpec spec;
+  spec.n = n;
+  const auto app = randomApplication(spec, rng);
+  HeuristicOptions ho;
+  ho.iterations = 1000;
+  ho.restarts = 1;
+  for (auto _ : state) {
+    auto g = annealForest(app, CommModel::Overlap, Objective::Period, ho);
+    benchmark::DoNotOptimize(g.size());
+  }
+}
+BENCHMARK(BM_AnnealForest)->RangeMultiplier(2)->Range(4, 32);
+
+void BM_FullOptimizer(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Prng rng(7303);
+  WorkloadSpec spec;
+  spec.n = n;
+  const auto app = randomApplication(spec, rng);
+  OptimizerOptions opt;
+  opt.exactForestMaxN = 5;
+  opt.heuristics.iterations = 800;
+  opt.orchestrator.order.exactCap = 100;
+  opt.orchestrator.outorder.restarts = 4;
+  for (auto _ : state) {
+    auto r = optimizePlan(app, CommModel::Overlap, Objective::Period, opt);
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+BENCHMARK(BM_FullOptimizer)->DenseRange(4, 8, 2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printQualityTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

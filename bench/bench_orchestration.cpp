@@ -1,0 +1,101 @@
+// E5 — Theorem 1 as a scaling experiment: given an execution graph, the
+// OVERLAP operation list is polynomial while exact one-port orchestration
+// (order enumeration) is exponential in the port degrees; the heuristic's
+// gap to the busy-time lower bound quantifies what the NP-hardness costs in
+// practice.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/core/cost_model.hpp"
+#include "src/sched/inorder.hpp"
+#include "src/sched/overlap.hpp"
+#include "src/workload/generator.hpp"
+
+namespace {
+
+using namespace fsw;
+
+Application makeApp(std::size_t n, std::uint64_t seed) {
+  Prng rng(seed);
+  WorkloadSpec spec;
+  spec.n = n;
+  return randomApplication(spec, rng);
+}
+
+void printGapTable() {
+  std::printf(
+      "E5: one-port orchestration, exact vs heuristic gap to the busy bound\n");
+  std::printf("%-4s %-10s %-10s %-10s %-10s\n", "n", "bound", "exact",
+              "heuristic", "combos");
+  for (const std::size_t n : {3u, 4u, 5u, 6u}) {
+    Prng rng(7000 + n);
+    WorkloadSpec spec;
+    spec.n = n;
+    const auto app = randomApplication(spec, rng);
+    const auto g = randomLayeredDag(app, 2, 3, rng);
+    const CostModel cm(app, g);
+    OrchestrationOptions exact;
+    exact.exactCap = 2000000;
+    OrchestrationOptions heur;
+    heur.exactCap = 1;  // force the heuristic path
+    heur.localSearchIters = 100;
+    const auto re = inorderOrchestratePeriod(app, g, exact);
+    const auto rh = inorderOrchestratePeriod(app, g, heur);
+    std::printf("%-4zu %-10.4f %-10.4f %-10.4f %-10zu\n", n,
+                cm.periodLowerBound(CommModel::InOrder), re.value, rh.value,
+                countPortOrders(g, 2000000));
+  }
+  std::printf("\n");
+}
+
+void BM_OverlapOrchestration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Prng rng(1234);
+  const auto app = makeApp(n, 99);
+  const auto g = randomLayeredDag(app, 3, 3, rng);
+  for (auto _ : state) {
+    auto ol = overlapPeriodSchedule(app, g);
+    benchmark::DoNotOptimize(ol.period());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_OverlapOrchestration)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_InorderExactOrchestration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Prng rng(77);
+  const auto app = makeApp(n, 42);
+  const auto g = randomLayeredDag(app, 2, 2, rng);
+  OrchestrationOptions opt;
+  opt.exactCap = 200000;
+  for (auto _ : state) {
+    auto r = inorderOrchestratePeriod(app, g, opt);
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+BENCHMARK(BM_InorderExactOrchestration)->DenseRange(3, 6);
+
+void BM_InorderHeuristicOrchestration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Prng rng(78);
+  const auto app = makeApp(n, 43);
+  const auto g = randomLayeredDag(app, 3, 3, rng);
+  OrchestrationOptions opt;
+  opt.exactCap = 1;
+  opt.localSearchIters = 50;
+  for (auto _ : state) {
+    auto r = inorderOrchestratePeriod(app, g, opt);
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+BENCHMARK(BM_InorderHeuristicOrchestration)->RangeMultiplier(2)->Range(8, 32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printGapTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// E9 — the reductions as executable artifacts: forward-direction agreement
+// (witness meets K) on random solvable RN3DM instances for every gadget,
+// plus construction/solve timings.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <numeric>
+
+#include "src/npc/reductions.hpp"
+#include "src/npc/two_partition.hpp"
+#include "src/sched/inorder.hpp"
+#include "src/sched/overlap.hpp"
+
+namespace {
+
+using namespace fsw;
+
+void printAgreement() {
+  std::printf("E9: forward-direction agreement, 10 random solvable RN3DM\n");
+  std::printf("%-28s %-10s\n", "gadget", "witness meets K");
+  int hits2 = 0, hits5 = 0, hits9 = 0, hits13 = 0;
+  Prng rng(900);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto inst = randomSolvableRn3dm(3 + trial % 3, rng);
+    const auto w = solveRn3dm(inst);
+    if (!w) continue;
+    {
+      const auto red = prop2PeriodGadget(inst);
+      const auto r = inorderPeriodForOrders(red.app, red.graph,
+                                            prop2WitnessOrders(red, *w));
+      if (r && r->value <= red.threshold + 1e-6) ++hits2;
+    }
+    {
+      const auto red = prop5MinPeriodGadget(inst);
+      const auto g = prop5WitnessGraph(red, *w);
+      if (overlapPeriodSchedule(red.app, g).period() <= red.threshold + 1e-9) {
+        ++hits5;
+      }
+    }
+    {
+      const auto red = prop9LatencyGadget(inst);
+      const auto r = oneportLatencyForOrders(red.app, red.graph,
+                                             prop9WitnessOrders(red, *w));
+      if (r && r->value <= red.threshold + 1e-6) ++hits9;
+    }
+    {
+      const auto red = prop13MinLatencyGadget(inst);
+      const auto g = prop13WitnessGraph(red);
+      const auto r = oneportLatencyForOrders(red.app, g,
+                                             prop13WitnessOrders(red, *w));
+      if (r && r->value <= red.threshold + 1e-9) ++hits13;
+    }
+  }
+  std::printf("%-28s %d/10\n", "Prop 2 (period, given EG)", hits2);
+  std::printf("%-28s %d/10\n", "Prop 5 (MinPeriod OVERLAP)", hits5);
+  std::printf("%-28s %d/10\n", "Prop 9 (latency, fork-join)", hits9);
+  std::printf("%-28s %d/10\n", "Prop 13 (MinLatency)", hits13);
+  std::printf("\n");
+}
+
+void BM_SolveRn3dm(benchmark::State& state) {
+  Prng rng(901);
+  const auto inst =
+      randomSolvableRn3dm(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto w = solveRn3dm(inst);
+    benchmark::DoNotOptimize(w.has_value());
+  }
+}
+BENCHMARK(BM_SolveRn3dm)->DenseRange(4, 12, 2);
+
+void BM_Prop2GadgetBuildAndSolve(benchmark::State& state) {
+  Prng rng(902);
+  const auto inst =
+      randomSolvableRn3dm(static_cast<std::size_t>(state.range(0)), rng);
+  const auto w = solveRn3dm(inst);
+  for (auto _ : state) {
+    const auto red = prop2PeriodGadget(inst);
+    auto r = inorderPeriodForOrders(red.app, red.graph,
+                                    prop2WitnessOrders(red, *w));
+    benchmark::DoNotOptimize(r->value);
+  }
+}
+BENCHMARK(BM_Prop2GadgetBuildAndSolve)->DenseRange(3, 7);
+
+void BM_Prop9GadgetBuildAndSolve(benchmark::State& state) {
+  Prng rng(903);
+  const auto inst =
+      randomSolvableRn3dm(static_cast<std::size_t>(state.range(0)), rng);
+  const auto w = solveRn3dm(inst);
+  for (auto _ : state) {
+    const auto red = prop9LatencyGadget(inst);
+    auto r = oneportLatencyForOrders(red.app, red.graph,
+                                     prop9WitnessOrders(red, *w));
+    benchmark::DoNotOptimize(r->value);
+  }
+}
+BENCHMARK(BM_Prop9GadgetBuildAndSolve)->DenseRange(3, 9, 3);
+
+void BM_TwoPartitionDp(benchmark::State& state) {
+  Prng rng(904);
+  std::vector<std::int64_t> xs;
+  for (int i = 0; i < state.range(0); ++i) xs.push_back(rng.uniformInt(1, 50));
+  if ((std::accumulate(xs.begin(), xs.end(), std::int64_t{0}) % 2) != 0) {
+    xs.back() += 1;
+  }
+  for (auto _ : state) {
+    auto w = solveTwoPartition(xs);
+    benchmark::DoNotOptimize(w.has_value());
+  }
+}
+BENCHMARK(BM_TwoPartitionDp)->RangeMultiplier(2)->Range(8, 64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printAgreement();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// E10 — the simulation substrate itself: replayer and greedy-simulator
+// throughput, and the "measured = analytic" identity on valid operation
+// lists (printed as a check table).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/sched/orchestrator.hpp"
+#include "src/sim/greedy.hpp"
+#include "src/sim/replay.hpp"
+#include "src/workload/generator.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace {
+
+using namespace fsw;
+
+void printMeasuredVsAnalytic() {
+  std::printf("E10: replayed (measured) period vs analytic lambda\n");
+  std::printf("%-8s %-10s %-12s %-12s %-8s\n", "n", "model", "analytic",
+              "measured", "ok");
+  for (const std::size_t n : {6u, 10u, 14u}) {
+    Prng rng(1000 + n);
+    WorkloadSpec spec;
+    spec.n = n;
+    const auto app = randomApplication(spec, rng);
+    const auto g = randomForest(app, rng);
+    for (const CommModel m : kAllModels) {
+      OrchestratorOptions opt;
+      opt.order.exactCap = 100;
+      opt.order.localSearchIters = 40;
+      opt.outorder.restarts = 4;
+      const auto orch = orchestrate(app, g, m, Objective::Period, opt);
+      const auto sim = replayOperationList(app, g, orch.result.ol, m, 48);
+      std::printf("%-8zu %-10s %-12.5f %-12.5f %-8s\n", n, name(m).data(),
+                  orch.result.value, sim.measuredPeriod,
+                  sim.ok ? "yes" : "NO");
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_ReplayOperationList(benchmark::State& state) {
+  const auto pi = sec23Example();
+  const auto orch = orchestrate(pi.app, pi.graph, CommModel::Overlap,
+                                Objective::Period);
+  const auto datasets = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto sim = replayOperationList(pi.app, pi.graph, orch.result.ol,
+                                   CommModel::Overlap, datasets);
+    benchmark::DoNotOptimize(sim.measuredPeriod);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(datasets));
+}
+BENCHMARK(BM_ReplayOperationList)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_GreedyInOrderSim(benchmark::State& state) {
+  Prng rng(1001);
+  WorkloadSpec spec;
+  spec.n = static_cast<std::size_t>(state.range(0));
+  const auto app = randomApplication(spec, rng);
+  const auto g = randomForest(app, rng);
+  const auto po = PortOrders::canonical(g);
+  for (auto _ : state) {
+    auto sim = simulateGreedyInOrder(app, g, po, 64);
+    benchmark::DoNotOptimize(sim.measuredPeriod);
+  }
+}
+BENCHMARK(BM_GreedyInOrderSim)->RangeMultiplier(2)->Range(4, 32);
+
+void BM_GreedyOutOrderSim(benchmark::State& state) {
+  Prng rng(1002);
+  WorkloadSpec spec;
+  spec.n = static_cast<std::size_t>(state.range(0));
+  const auto app = randomApplication(spec, rng);
+  const auto g = randomForest(app, rng);
+  for (auto _ : state) {
+    auto sim = simulateGreedyOutOrder(app, g, 64);
+    benchmark::DoNotOptimize(sim.measuredPeriod);
+  }
+}
+BENCHMARK(BM_GreedyOutOrderSim)->RangeMultiplier(2)->Range(4, 16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printMeasuredVsAnalytic();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

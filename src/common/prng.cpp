@@ -1,0 +1,66 @@
+#include "src/common/prng.hpp"
+
+#include <numeric>
+
+namespace fsw {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Prng::Prng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Prng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Prng::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Prng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Prng::uniformInt(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~0ULL) - (~0ULL) % range;
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+bool Prng::bernoulli(double p) noexcept { return uniform() < p; }
+
+std::vector<std::size_t> Prng::permutation(std::size_t n) noexcept {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  shuffle(p);
+  return p;
+}
+
+}  // namespace fsw

@@ -1,0 +1,53 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Benchmarks and property tests must be reproducible run-to-run, so the
+// library carries its own xoshiro256** generator (public-domain algorithm by
+// Blackman & Vigna) instead of relying on implementation-defined std::
+// distributions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fsw {
+
+/// xoshiro256** seeded via splitmix64. Satisfies UniformRandomBitGenerator.
+class Prng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Prng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept;
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniformInt(0, i - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A random permutation of {0, ..., n-1}.
+  std::vector<std::size_t> permutation(std::size_t n) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace fsw

@@ -1,0 +1,138 @@
+#include "src/common/rational.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <numeric>
+#include <ostream>
+
+namespace fsw {
+namespace {
+
+using I128 = __int128;
+
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+
+std::int64_t narrow(I128 v, const char* op) {
+  if (v > static_cast<I128>(kMax) || v < static_cast<I128>(kMin)) {
+    throw RationalOverflow(std::string("Rational overflow in ") + op);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+I128 gcd128(I128 a, I128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const I128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t num, std::int64_t den) {
+  if (den == 0) {
+    throw std::invalid_argument("Rational: zero denominator");
+  }
+  if (den < 0) {
+    if (num == kMin || den == kMin) {
+      throw RationalOverflow("Rational: negation of INT64_MIN");
+    }
+    num = -num;
+    den = -den;
+  }
+  const std::int64_t g = std::gcd(num, den);
+  num_ = (g == 0) ? 0 : num / g;
+  den_ = (g == 0) ? 1 : den / g;
+}
+
+Rational operator+(const Rational& a, const Rational& b) {
+  const I128 n =
+      static_cast<I128>(a.num_) * b.den_ + static_cast<I128>(b.num_) * a.den_;
+  const I128 d = static_cast<I128>(a.den_) * b.den_;
+  const I128 g = gcd128(n, d);
+  if (g == 0) return Rational(0);
+  return Rational(narrow(n / g, "+"), narrow(d / g, "+"));
+}
+
+Rational operator-(const Rational& a, const Rational& b) { return a + (-b); }
+
+Rational operator-(const Rational& a) {
+  if (a.num_ == std::numeric_limits<std::int64_t>::min()) {
+    throw RationalOverflow("Rational: negation overflow");
+  }
+  Rational r;
+  r.num_ = -a.num_;
+  r.den_ = a.den_;
+  return r;
+}
+
+Rational operator*(const Rational& a, const Rational& b) {
+  const I128 n = static_cast<I128>(a.num_) * b.num_;
+  const I128 d = static_cast<I128>(a.den_) * b.den_;
+  const I128 g = gcd128(n, d);
+  if (g == 0) return Rational(0);
+  return Rational(narrow(n / g, "*"), narrow(d / g, "*"));
+}
+
+Rational operator/(const Rational& a, const Rational& b) {
+  if (b.num_ == 0) throw std::domain_error("Rational: division by zero");
+  const I128 n = static_cast<I128>(a.num_) * b.den_;
+  const I128 d = static_cast<I128>(a.den_) * b.num_;
+  I128 nn = n;
+  I128 dd = d;
+  if (dd < 0) {
+    nn = -nn;
+    dd = -dd;
+  }
+  const I128 g = gcd128(nn, dd);
+  if (g == 0) return Rational(0);
+  return Rational(narrow(nn / g, "/"), narrow(dd / g, "/"));
+}
+
+bool operator<(const Rational& a, const Rational& b) {
+  return static_cast<I128>(a.num_) * b.den_ <
+         static_cast<I128>(b.num_) * a.den_;
+}
+
+std::string Rational::str() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash != std::string::npos) {
+    return Rational(std::stoll(text.substr(0, slash)),
+                    std::stoll(text.substr(slash + 1)));
+  }
+  const auto dot = text.find('.');
+  if (dot == std::string::npos) {
+    return Rational(std::stoll(text));
+  }
+  const std::string whole = text.substr(0, dot);
+  const std::string frac = text.substr(dot + 1);
+  if (frac.size() > 18) {
+    throw std::invalid_argument("Rational::parse: too many decimals");
+  }
+  std::int64_t den = 1;
+  for (std::size_t i = 0; i < frac.size(); ++i) den *= 10;
+  const bool neg = !whole.empty() && whole[0] == '-';
+  const std::int64_t w = whole.empty() || whole == "-" ? 0 : std::stoll(whole);
+  const std::int64_t f = frac.empty() ? 0 : std::stoll(frac);
+  const I128 num = static_cast<I128>(std::llabs(w)) * den + f;
+  return Rational(narrow(neg ? -num : num, "parse"), den);
+}
+
+Rational abs(const Rational& r) { return r.isNegative() ? -r : r; }
+Rational min(const Rational& a, const Rational& b) { return a < b ? a : b; }
+Rational max(const Rational& a, const Rational& b) { return a < b ? b : a; }
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.str();
+}
+
+}  // namespace fsw

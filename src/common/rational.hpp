@@ -1,0 +1,85 @@
+// Exact rational arithmetic on 64-bit integers with overflow checking.
+//
+// The paper's worked example (Section 2.3) has an optimal INORDER period of
+// 23/3: floating point would force every test of that value through an
+// epsilon. Rational lets small instances be evaluated exactly. Products of
+// hundreds of selectivities overflow any fixed-width rational, so the general
+// evaluation path of the library uses double; Rational is reserved for small
+// exact computations and cross-checks.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+namespace fsw {
+
+/// Thrown when a Rational operation would overflow int64 after reduction.
+class RationalOverflow : public std::overflow_error {
+ public:
+  explicit RationalOverflow(const std::string& what)
+      : std::overflow_error(what) {}
+};
+
+/// An exact rational number num/den with den > 0, always in lowest terms.
+class Rational {
+ public:
+  constexpr Rational() noexcept : num_(0), den_(1) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): integers embed exactly.
+  constexpr Rational(std::int64_t n) noexcept : num_(n), den_(1) {}
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] std::int64_t num() const noexcept { return num_; }
+  [[nodiscard]] std::int64_t den() const noexcept { return den_; }
+
+  [[nodiscard]] double toDouble() const noexcept {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] bool isInteger() const noexcept { return den_ == 1; }
+  [[nodiscard]] bool isZero() const noexcept { return num_ == 0; }
+  [[nodiscard]] bool isNegative() const noexcept { return num_ < 0; }
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  friend Rational operator+(const Rational& a, const Rational& b);
+  friend Rational operator-(const Rational& a, const Rational& b);
+  friend Rational operator*(const Rational& a, const Rational& b);
+  friend Rational operator/(const Rational& a, const Rational& b);
+  friend Rational operator-(const Rational& a);
+
+  friend bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) noexcept {
+    return !(a == b);
+  }
+  friend bool operator<(const Rational& a, const Rational& b);
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return a == b || a < b;
+  }
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return b <= a;
+  }
+
+  /// Parses "n", "n/d" or a decimal like "0.9999" into an exact Rational.
+  static Rational parse(const std::string& text);
+
+ private:
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+[[nodiscard]] Rational abs(const Rational& r);
+[[nodiscard]] Rational min(const Rational& a, const Rational& b);
+[[nodiscard]] Rational max(const Rational& a, const Rational& b);
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace fsw

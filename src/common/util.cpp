@@ -1,0 +1,46 @@
+#include "src/common/util.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fsw {
+
+bool almostEqual(double a, double b, double eps) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= eps * scale;
+}
+
+bool almostLeq(double a, double b, double eps) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return a <= b + eps * scale;
+}
+
+bool forEachPermutation(
+    std::size_t n,
+    const std::function<bool(const std::vector<std::size_t>&)>& fn) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  do {
+    if (!fn(perm)) return false;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return true;
+}
+
+double factorial(std::size_t n) {
+  double r = 1.0;
+  for (std::size_t i = 2; i <= n; ++i) r *= static_cast<double>(i);
+  return r;
+}
+
+std::string join(const std::vector<std::string>& items,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+}  // namespace fsw

@@ -1,0 +1,36 @@
+// Small shared helpers: approximate comparison, permutation enumeration,
+// string joining. Kept deliberately tiny; anything domain-specific lives in
+// the domain modules.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fsw {
+
+/// Absolute/relative tolerance used when comparing schedule times computed in
+/// double precision. Times in this library are O(n * max-cost), so a mixed
+/// tolerance is appropriate.
+constexpr double kTimeEps = 1e-9;
+
+/// True iff |a - b| <= eps * max(1, |a|, |b|).
+[[nodiscard]] bool almostEqual(double a, double b, double eps = kTimeEps);
+
+/// True iff a <= b + eps * max(1, |a|, |b|): tolerant "less or equal".
+[[nodiscard]] bool almostLeq(double a, double b, double eps = kTimeEps);
+
+/// Invokes fn for every permutation of {0,...,n-1}; stops early if fn returns
+/// false. Returns false iff stopped early.
+bool forEachPermutation(std::size_t n,
+                        const std::function<bool(const std::vector<std::size_t>&)>& fn);
+
+/// n! as double (exact for n <= 20 range we care about).
+[[nodiscard]] double factorial(std::size_t n);
+
+/// Joins items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               const std::string& sep);
+
+}  // namespace fsw

@@ -1,0 +1,101 @@
+#include "src/core/cost_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fsw {
+
+double NodeCosts::cexec(CommModel m) const noexcept {
+  switch (m) {
+    case CommModel::Overlap:
+      return std::max({cin, ccomp, cout});
+    case CommModel::OutOrder:
+    case CommModel::InOrder:
+      return cin + ccomp + cout;
+  }
+  return 0.0;
+}
+
+CostModel::CostModel(const Application& app, const ExecutionGraph& graph) {
+  if (app.size() != graph.size()) {
+    throw std::invalid_argument("CostModel: application/graph size mismatch");
+  }
+  const std::size_t n = app.size();
+  nodes_.resize(n);
+  const auto topo = graph.topologicalOrder();
+
+  // sigmaIn via a forward sweep: the product of a node's ancestors'
+  // selectivities equals the product over *direct* predecessors is wrong in a
+  // DAG (shared ancestors would be double-counted), so we propagate ancestor
+  // bitsets instead. Independent selectivities (Section 2.1) make the product
+  // over the ancestor *set* the right quantity.
+  const auto anc = graph.ancestorClosure();
+  for (const NodeId k : topo) {
+    double prod = 1.0;
+    for (NodeId a = 0; a < n; ++a) {
+      if (anc[k][a]) prod *= app.service(a).selectivity;
+    }
+    auto& nc = nodes_[k];
+    nc.sigmaIn = prod;
+    nc.sigmaOut = prod * app.service(k).selectivity;
+    nc.ccomp = prod * app.service(k).cost;
+  }
+
+  for (NodeId k = 0; k < n; ++k) {
+    auto& nc = nodes_[k];
+    if (graph.isEntry(k)) {
+      nc.cin = 1.0;  // delta0
+    } else {
+      nc.cin = 0.0;
+      for (const NodeId p : graph.predecessors(k)) {
+        nc.cin += nodes_[p].sigmaOut;
+      }
+    }
+    const std::size_t fanout = std::max<std::size_t>(
+        1, graph.successors(k).size());  // exit nodes emit one virtual output
+    nc.cout = static_cast<double>(fanout) * nc.sigmaOut;
+  }
+
+  // Longest path for the latency lower bound.
+  std::vector<double> finish(n, 0.0);
+  for (const NodeId k : topo) {
+    double ready = 1.0;  // virtual input communication of size delta0
+    if (!graph.isEntry(k)) {
+      ready = 0.0;
+      for (const NodeId p : graph.predecessors(k)) {
+        ready = std::max(ready, finish[p] + nodes_[p].sigmaOut);
+      }
+    }
+    finish[k] = ready + nodes_[k].ccomp;
+  }
+  latencyLb_ = 0.0;
+  for (NodeId k = 0; k < n; ++k) {
+    if (graph.isExit(k)) {
+      latencyLb_ = std::max(latencyLb_, finish[k] + nodes_[k].sigmaOut);
+    }
+  }
+
+  totalComm_ = 0.0;
+  for (NodeId k = 0; k < n; ++k) {
+    if (graph.isEntry(k)) totalComm_ += 1.0;
+    totalComm_ += nodes_[k].cout;
+  }
+}
+
+double CostModel::periodLowerBound(CommModel m) const noexcept {
+  double lb = 0.0;
+  for (const auto& nc : nodes_) lb = std::max(lb, nc.cexec(m));
+  return lb;
+}
+
+double CostModel::latencyLowerBound() const noexcept { return latencyLb_; }
+
+double CostModel::totalComputation() const noexcept {
+  double s = 0.0;
+  for (const auto& nc : nodes_) s += nc.ccomp;
+  return s;
+}
+
+double CostModel::totalCommunication() const noexcept { return totalComm_; }
+
+}  // namespace fsw

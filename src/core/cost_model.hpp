@@ -1,0 +1,71 @@
+// Per-node cost quantities of an execution graph (Section 2.1):
+//
+//   sigmaIn(k)  = prod_{a in Ancest(k)} sigma_a        (input size factor)
+//   sigmaOut(k) = sigmaIn(k) * sigma_k                 (output size factor)
+//   Ccomp(k)    = sigmaIn(k) * c_k
+//   Cin(k)      = delta0 (=1) for entry nodes, else sum of predecessors'
+//                 sigmaOut
+//   Cout(k)     = max(1, |Sout(k)|) * sigmaOut(k)      (exit nodes emit one
+//                 virtual output)
+//
+// Edge communication volume: vol(i -> j) = sigmaOut(i), i.e. the size of
+// C_i's output. See DESIGN.md Section 2 for why this (and not the Appendix A
+// literal formula) is the convention every worked example of the paper uses.
+#pragma once
+
+#include <vector>
+
+#include "src/core/application.hpp"
+#include "src/core/execution_graph.hpp"
+#include "src/core/model.hpp"
+
+namespace fsw {
+
+/// Cost bundle of one node of the execution graph.
+struct NodeCosts {
+  double sigmaIn = 1.0;
+  double sigmaOut = 1.0;
+  double cin = 0.0;
+  double ccomp = 0.0;
+  double cout = 0.0;
+
+  /// Cexec(k): per-model busy time of the server per data set, the quantity
+  /// whose max over k lower-bounds the period (Section 2.2).
+  [[nodiscard]] double cexec(CommModel m) const noexcept;
+};
+
+class CostModel {
+ public:
+  /// Requires graph.size() == app.size(); graph must be acyclic (invariant of
+  /// ExecutionGraph).
+  CostModel(const Application& app, const ExecutionGraph& graph);
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const NodeCosts& at(NodeId k) const { return nodes_.at(k); }
+
+  /// Communication volume on edge i -> j (equals sigmaOut(i)); the volume of
+  /// the virtual input edge to an entry node is delta0 = 1, and of the
+  /// virtual output edge of an exit node is sigmaOut(exit).
+  [[nodiscard]] double volume(NodeId from) const { return at(from).sigmaOut; }
+
+  /// max_k Cexec(k): lower bound on the period of any valid operation list
+  /// for this execution graph under model m (Section 2.2). Tight for
+  /// Overlap (Theorem 1), not always for the one-port models (Section 2.3).
+  [[nodiscard]] double periodLowerBound(CommModel m) const noexcept;
+
+  /// Longest in->...->out path (computation + communication volumes): lower
+  /// bound on the latency of any operation list, any model.
+  [[nodiscard]] double latencyLowerBound() const noexcept;
+
+  /// Sum over nodes of Ccomp: total computation per data set.
+  [[nodiscard]] double totalComputation() const noexcept;
+  /// Sum over all (real and virtual) edges of their volume.
+  [[nodiscard]] double totalCommunication() const noexcept;
+
+ private:
+  std::vector<NodeCosts> nodes_;
+  double latencyLb_ = 0.0;
+  double totalComm_ = 0.0;
+};
+
+}  // namespace fsw

@@ -1,0 +1,169 @@
+#include "src/core/execution_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace fsw {
+
+ExecutionGraph::ExecutionGraph(std::size_t n) : succ_(n), pred_(n) {}
+
+ExecutionGraph ExecutionGraph::fromParents(const std::vector<NodeId>& parent) {
+  ExecutionGraph g(parent.size());
+  for (NodeId i = 0; i < parent.size(); ++i) {
+    if (parent[i] != kNoNode) g.addEdge(parent[i], i);
+  }
+  return g;
+}
+
+ExecutionGraph ExecutionGraph::chain(const std::vector<NodeId>& order) {
+  ExecutionGraph g(order.size());
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    g.addEdge(order[i], order[i + 1]);
+  }
+  return g;
+}
+
+void ExecutionGraph::addEdge(NodeId from, NodeId to) {
+  if (from >= size() || to >= size()) {
+    throw std::invalid_argument("addEdge: node id out of range");
+  }
+  if (from == to) throw std::invalid_argument("addEdge: self-loop");
+  if (hasEdge(from, to)) throw std::invalid_argument("addEdge: duplicate");
+  if (reachable(to, from)) {
+    throw std::invalid_argument("addEdge: edge would create a cycle");
+  }
+  succ_[from].push_back(to);
+  pred_[to].push_back(from);
+  ++edgeCount_;
+}
+
+bool ExecutionGraph::hasEdge(NodeId from, NodeId to) const noexcept {
+  if (from >= size() || to >= size()) return false;
+  const auto& s = succ_[from];
+  return std::find(s.begin(), s.end(), to) != s.end();
+}
+
+std::vector<Edge> ExecutionGraph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(edgeCount_);
+  for (NodeId i = 0; i < size(); ++i) {
+    for (const NodeId j : succ_[i]) out.push_back({i, j});
+  }
+  return out;
+}
+
+std::vector<NodeId> ExecutionGraph::entries() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < size(); ++i) {
+    if (isEntry(i)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<NodeId> ExecutionGraph::exits() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < size(); ++i) {
+    if (isExit(i)) out.push_back(i);
+  }
+  return out;
+}
+
+bool ExecutionGraph::reachable(NodeId from, NodeId to) const {
+  if (from == to) return true;
+  std::vector<bool> seen(size(), false);
+  std::queue<NodeId> q;
+  q.push(from);
+  seen[from] = true;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const NodeId v : succ_[u]) {
+      if (v == to) return true;
+      if (!seen[v]) {
+        seen[v] = true;
+        q.push(v);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<NodeId> ExecutionGraph::topologicalOrder() const {
+  std::vector<std::size_t> indeg(size(), 0);
+  for (NodeId i = 0; i < size(); ++i) indeg[i] = pred_[i].size();
+  // Priority by index for determinism.
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> q;
+  for (NodeId i = 0; i < size(); ++i) {
+    if (indeg[i] == 0) q.push(i);
+  }
+  std::vector<NodeId> order;
+  order.reserve(size());
+  while (!q.empty()) {
+    const NodeId u = q.top();
+    q.pop();
+    order.push_back(u);
+    for (const NodeId v : succ_[u]) {
+      if (--indeg[v] == 0) q.push(v);
+    }
+  }
+  if (order.size() != size()) {
+    throw std::logic_error("ExecutionGraph: cycle detected");
+  }
+  return order;
+}
+
+std::vector<std::vector<bool>> ExecutionGraph::ancestorClosure() const {
+  std::vector<std::vector<bool>> anc(size(), std::vector<bool>(size(), false));
+  for (const NodeId u : topologicalOrder()) {
+    for (const NodeId p : pred_[u]) {
+      anc[u][p] = true;
+      for (NodeId k = 0; k < size(); ++k) {
+        if (anc[p][k]) anc[u][k] = true;
+      }
+    }
+  }
+  return anc;
+}
+
+bool ExecutionGraph::respects(const Application& app) const {
+  if (app.size() != size()) return false;
+  if (!app.hasPrecedences()) return true;
+  const auto anc = ancestorClosure();
+  for (const auto& e : app.precedences()) {
+    if (!anc[e.to][e.from]) return false;
+  }
+  return true;
+}
+
+bool ExecutionGraph::isForest() const noexcept {
+  for (NodeId i = 0; i < size(); ++i) {
+    if (pred_[i].size() > 1) return false;
+  }
+  return true;
+}
+
+bool ExecutionGraph::isChain() const noexcept {
+  if (size() == 0) return true;
+  std::size_t entries = 0;
+  for (NodeId i = 0; i < size(); ++i) {
+    if (pred_[i].size() > 1 || succ_[i].size() > 1) return false;
+    if (pred_[i].empty()) ++entries;
+  }
+  // Acyclicity is an invariant, so one entry + max degree 1 implies a chain.
+  return entries == 1;
+}
+
+bool operator==(const ExecutionGraph& a, const ExecutionGraph& b) {
+  if (a.size() != b.size() || a.edgeCount_ != b.edgeCount_) return false;
+  for (NodeId i = 0; i < a.size(); ++i) {
+    auto sa = a.succ_[i];
+    auto sb = b.succ_[i];
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    if (sa != sb) return false;
+  }
+  return true;
+}
+
+}  // namespace fsw

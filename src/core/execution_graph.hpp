@@ -1,0 +1,86 @@
+// The execution graph EG = (C, E) of a plan: a DAG over the services whose
+// transitive closure contains all precedence constraints of the application
+// (Section 2.1). Edges beyond G are "filtering" edges added to shrink the
+// data seen by downstream services.
+//
+// Virtual input/output nodes are *not* materialized: entry services
+// (no predecessor) implicitly receive a size-delta0 input, and exit services
+// (no successor) implicitly emit one output (Section 2.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/application.hpp"
+#include "src/core/service.hpp"
+
+namespace fsw {
+
+/// A directed edge of the execution graph.
+struct Edge {
+  NodeId from;
+  NodeId to;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class ExecutionGraph {
+ public:
+  /// An edgeless graph over n services.
+  explicit ExecutionGraph(std::size_t n = 0);
+
+  /// Builds a forest from a parent function: parent[i] == kNoNode makes C_i a
+  /// root. Throws on cycles.
+  static ExecutionGraph fromParents(const std::vector<NodeId>& parent);
+
+  /// Builds a linear chain following `order` (order[0] is the entry service).
+  static ExecutionGraph chain(const std::vector<NodeId>& order);
+
+  [[nodiscard]] std::size_t size() const noexcept { return succ_.size(); }
+
+  /// Adds edge from -> to. Throws std::invalid_argument on out-of-range ids,
+  /// self-loops, duplicate edges, or if the edge would create a cycle.
+  void addEdge(NodeId from, NodeId to);
+  [[nodiscard]] bool hasEdge(NodeId from, NodeId to) const noexcept;
+
+  [[nodiscard]] const std::vector<NodeId>& successors(NodeId i) const {
+    return succ_.at(i);
+  }
+  [[nodiscard]] const std::vector<NodeId>& predecessors(NodeId i) const {
+    return pred_.at(i);
+  }
+  [[nodiscard]] std::vector<Edge> edges() const;
+  [[nodiscard]] std::size_t edgeCount() const noexcept { return edgeCount_; }
+
+  [[nodiscard]] bool isEntry(NodeId i) const { return pred_.at(i).empty(); }
+  [[nodiscard]] bool isExit(NodeId i) const { return succ_.at(i).empty(); }
+  [[nodiscard]] std::vector<NodeId> entries() const;
+  [[nodiscard]] std::vector<NodeId> exits() const;
+
+  /// Topological order; stable (ready nodes released in index order).
+  [[nodiscard]] std::vector<NodeId> topologicalOrder() const;
+
+  /// ancestors(i)[j] == true iff C_j is a (strict) ancestor of C_i.
+  [[nodiscard]] std::vector<std::vector<bool>> ancestorClosure() const;
+
+  /// True iff the transitive closure of E contains every precedence edge of
+  /// `app` (the validity condition of Section 2.1).
+  [[nodiscard]] bool respects(const Application& app) const;
+
+  /// True iff every node has at most one predecessor (Prop 4's optimal
+  /// structure for MinPeriod).
+  [[nodiscard]] bool isForest() const noexcept;
+
+  /// True iff the graph is one linear chain covering all nodes.
+  [[nodiscard]] bool isChain() const noexcept;
+
+  friend bool operator==(const ExecutionGraph&, const ExecutionGraph&);
+
+ private:
+  [[nodiscard]] bool reachable(NodeId from, NodeId to) const;
+
+  std::vector<std::vector<NodeId>> succ_;
+  std::vector<std::vector<NodeId>> pred_;
+  std::size_t edgeCount_ = 0;
+};
+
+}  // namespace fsw

@@ -1,0 +1,27 @@
+#include "src/core/model.hpp"
+
+namespace fsw {
+
+std::string_view name(CommModel m) noexcept {
+  switch (m) {
+    case CommModel::Overlap:
+      return "OVERLAP";
+    case CommModel::OutOrder:
+      return "OUTORDER";
+    case CommModel::InOrder:
+      return "INORDER";
+  }
+  return "?";
+}
+
+std::string_view name(Objective o) noexcept {
+  switch (o) {
+    case Objective::Period:
+      return "period";
+    case Objective::Latency:
+      return "latency";
+  }
+  return "?";
+}
+
+}  // namespace fsw

@@ -1,0 +1,36 @@
+// Communication models and optimization objectives studied by the paper
+// (Section 2.2): one bounded multi-port model with communication/computation
+// overlap, and two one-port models without overlap.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace fsw {
+
+enum class CommModel {
+  /// Multi-port, full comm/comp overlap, bandwidth shared between concurrent
+  /// transfers; servers pipeline different data sets (Section 2.2 "With
+  /// overlap").
+  Overlap,
+  /// One-port, serialized comm/comp, but operations belonging to different
+  /// data sets may interleave (Section 2.2 "OUTORDER").
+  OutOrder,
+  /// One-port, serialized comm/comp, each data set fully processed
+  /// (receive* -> compute -> send*) before the next begins (Section 2.2
+  /// "INORDER").
+  InOrder,
+};
+
+enum class Objective {
+  Period,   ///< interval between completions of consecutive data sets
+  Latency,  ///< end-to-end time for one data set (response time)
+};
+
+inline constexpr std::array<CommModel, 3> kAllModels = {
+    CommModel::Overlap, CommModel::OutOrder, CommModel::InOrder};
+
+[[nodiscard]] std::string_view name(CommModel m) noexcept;
+[[nodiscard]] std::string_view name(Objective o) noexcept;
+
+}  // namespace fsw

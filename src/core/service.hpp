@@ -1,0 +1,30 @@
+// A service (filter/query) of the target application: Section 2.1.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace fsw {
+
+/// Index of a service within its Application / ExecutionGraph.
+using NodeId = std::size_t;
+
+/// Sentinel for "no node" (e.g. a root's parent in a forest encoding).
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// A service C_i with elementary cost c_i and selectivity sigma_i.
+///
+/// If fed an input of size delta, it computes for c_i * delta time units and
+/// emits an output of size sigma_i * delta. Costs are pre-normalized as
+/// c <- (b / delta0) * (c / s), so delta0 = b = s = 1 throughout (Section
+/// 2.1, "Because everything is homogeneous...").
+struct Service {
+  double cost = 1.0;
+  double selectivity = 1.0;
+  std::string name;
+
+  [[nodiscard]] bool isFilter() const noexcept { return selectivity < 1.0; }
+  [[nodiscard]] bool isExpander() const noexcept { return selectivity > 1.0; }
+};
+
+}  // namespace fsw

@@ -1,0 +1,49 @@
+#include "src/io/dot.hpp"
+
+#include <sstream>
+
+namespace fsw {
+namespace {
+
+std::string label(const Application& app, NodeId i) {
+  std::ostringstream os;
+  const auto& s = app.service(i);
+  os << (s.name.empty() ? "C" + std::to_string(i + 1) : s.name) << "\\nc="
+     << s.cost << " s=" << s.selectivity;
+  return os.str();
+}
+
+}  // namespace
+
+std::string toDot(const Application& app, const ExecutionGraph& graph) {
+  std::ostringstream os;
+  os << "digraph EG {\n  rankdir=LR;\n  node [shape=box];\n";
+  os << "  in [shape=plaintext];\n  out [shape=plaintext];\n";
+  for (NodeId i = 0; i < graph.size(); ++i) {
+    os << "  n" << i << " [label=\"" << label(app, i) << "\"];\n";
+  }
+  for (NodeId i = 0; i < graph.size(); ++i) {
+    if (graph.isEntry(i)) os << "  in -> n" << i << ";\n";
+    for (const NodeId s : graph.successors(i)) {
+      os << "  n" << i << " -> n" << s << ";\n";
+    }
+    if (graph.isExit(i)) os << "  n" << i << " -> out;\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string precedenceDot(const Application& app) {
+  std::ostringstream os;
+  os << "digraph G {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (NodeId i = 0; i < app.size(); ++i) {
+    os << "  n" << i << " [label=\"" << label(app, i) << "\"];\n";
+  }
+  for (const auto& e : app.precedences()) {
+    os << "  n" << e.from << " -> n" << e.to << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace fsw

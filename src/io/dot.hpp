@@ -1,0 +1,20 @@
+// Graphviz DOT export of applications and execution graphs (the format the
+// paper's figures use conceptually: services as boxes, filtering edges,
+// virtual in/out nodes).
+#pragma once
+
+#include <string>
+
+#include "src/core/application.hpp"
+#include "src/core/execution_graph.hpp"
+
+namespace fsw {
+
+/// Execution graph with cost/selectivity labels and virtual in/out nodes.
+[[nodiscard]] std::string toDot(const Application& app,
+                                const ExecutionGraph& graph);
+
+/// Precedence constraints only.
+[[nodiscard]] std::string precedenceDot(const Application& app);
+
+}  // namespace fsw

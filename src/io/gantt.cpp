@@ -1,0 +1,62 @@
+#include "src/io/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace fsw {
+
+std::string renderGantt(const Application& app, const OperationList& ol,
+                        const GanttOptions& opt) {
+  const std::size_t n = ol.size();
+  const double horizon = std::max(ol.latency(), ol.lambda());
+  const std::size_t cols = std::min(
+      opt.maxColumns,
+      static_cast<std::size_t>(std::ceil(horizon / opt.quantum)) + 1);
+
+  std::vector<std::string> rows(n, std::string(cols, '.'));
+  auto paint = [&](NodeId node, double begin, double end, char ch) {
+    if (node >= n) return;
+    const auto first = static_cast<std::size_t>(
+        std::max(0.0, std::floor(begin / opt.quantum)));
+    const auto last = static_cast<std::size_t>(
+        std::max(0.0, std::ceil(end / opt.quantum)));
+    for (std::size_t c = first; c < last && c < cols; ++c) {
+      // Computation wins over communication glyphs for readability.
+      if (rows[node][c] == '.' || ch == '#') rows[node][c] = ch;
+    }
+  };
+
+  for (NodeId i = 0; i < n; ++i) {
+    paint(i, ol.beginCalc(i), ol.endCalc(i), '#');
+  }
+  for (const auto& c : ol.comms()) {
+    if (!c.isInput()) paint(c.from, c.begin, c.end, '>');
+    if (!c.isOutput()) paint(c.to, c.begin, c.end, '<');
+  }
+  if (opt.showCycle && ol.lambda() > 0.0) {
+    for (double t = ol.lambda(); t < horizon; t += ol.lambda()) {
+      const auto col = static_cast<std::size_t>(std::round(t / opt.quantum));
+      for (auto& row : rows) {
+        if (col < cols && row[col] == '.') row[col] = '|';
+      }
+    }
+  }
+
+  std::size_t nameWidth = 2;
+  for (NodeId i = 0; i < n; ++i) {
+    nameWidth = std::max(nameWidth, app.service(i).name.size());
+  }
+  std::ostringstream os;
+  os << "t = 0 .. " << horizon << " (one column = " << opt.quantum
+     << " time units; # calc, > send, < recv)\n";
+  for (NodeId i = 0; i < n; ++i) {
+    std::string label = app.service(i).name;
+    label.resize(nameWidth, ' ');
+    os << label << " |" << rows[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fsw

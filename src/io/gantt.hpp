@@ -1,0 +1,25 @@
+// ASCII Gantt rendering of an operation list: one row per server, one
+// column per time quantum; computations print as '#', sends as '>',
+// receives as '<', idle as '.'. Wide enough schedules are clipped.
+#pragma once
+
+#include <string>
+
+#include "src/core/application.hpp"
+#include "src/oplist/operation_list.hpp"
+
+namespace fsw {
+
+struct GanttOptions {
+  double quantum = 0.5;       ///< time units per character cell
+  std::size_t maxColumns = 120;
+  bool showCycle = true;      ///< mark each lambda boundary with '|'
+};
+
+/// Renders [0, horizon) of the data-set-0 schedule (horizon defaults to the
+/// schedule's latency).
+[[nodiscard]] std::string renderGantt(const Application& app,
+                                      const OperationList& ol,
+                                      const GanttOptions& opt = {});
+
+}  // namespace fsw

@@ -1,0 +1,171 @@
+#include "src/io/serialize.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace fsw {
+
+void writeApplication(std::ostream& os, const Application& app) {
+  os << "application " << app.size() << "\n";
+  os << std::setprecision(17);
+  for (NodeId i = 0; i < app.size(); ++i) {
+    const auto& s = app.service(i);
+    os << "service " << (s.name.empty() ? "C" + std::to_string(i + 1) : s.name)
+       << " " << s.cost << " " << s.selectivity << "\n";
+  }
+  for (const auto& e : app.precedences()) {
+    os << "precedence " << e.from << " " << e.to << "\n";
+  }
+}
+
+Application readApplication(std::istream& is) {
+  std::string tag;
+  std::size_t n = 0;
+  if (!(is >> tag >> n) || tag != "application") {
+    throw std::runtime_error("readApplication: bad header");
+  }
+  Application app;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string name;
+    double cost = 0.0;
+    double sel = 0.0;
+    if (!(is >> tag >> name >> cost >> sel) || tag != "service") {
+      throw std::runtime_error("readApplication: bad service line");
+    }
+    app.addService(cost, sel, name);
+  }
+  while (is >> tag) {
+    if (tag != "precedence") {
+      for (auto it = tag.rbegin(); it != tag.rend(); ++it) is.putback(*it);
+      break;
+    }
+    NodeId from = 0;
+    NodeId to = 0;
+    if (!(is >> from >> to)) {
+      throw std::runtime_error("readApplication: bad precedence line");
+    }
+    app.addPrecedence(from, to);
+  }
+  return app;
+}
+
+void writeGraph(std::ostream& os, const ExecutionGraph& graph) {
+  os << "graph " << graph.size() << " " << graph.edgeCount() << "\n";
+  for (const auto& e : graph.edges()) {
+    os << "edge " << e.from << " " << e.to << "\n";
+  }
+}
+
+ExecutionGraph readGraph(std::istream& is) {
+  std::string tag;
+  std::size_t n = 0;
+  std::size_t m = 0;
+  if (!(is >> tag >> n >> m) || tag != "graph") {
+    throw std::runtime_error("readGraph: bad header");
+  }
+  ExecutionGraph g(n);
+  for (std::size_t k = 0; k < m; ++k) {
+    NodeId from = 0;
+    NodeId to = 0;
+    if (!(is >> tag >> from >> to) || tag != "edge") {
+      throw std::runtime_error("readGraph: bad edge line");
+    }
+    g.addEdge(from, to);
+  }
+  return g;
+}
+
+void writeOperationList(std::ostream& os, const OperationList& ol) {
+  os << std::setprecision(17);
+  os << "oplist " << ol.size() << " " << ol.lambda() << " "
+     << ol.comms().size() << "\n";
+  for (NodeId i = 0; i < ol.size(); ++i) {
+    os << "calc " << i << " " << ol.beginCalc(i) << " " << ol.endCalc(i)
+       << "\n";
+  }
+  for (const auto& c : ol.comms()) {
+    const auto enc = [](NodeId v) {
+      return v == kWorld ? std::int64_t{-1} : static_cast<std::int64_t>(v);
+    };
+    os << "comm " << enc(c.from) << " " << enc(c.to) << " " << c.begin << " "
+       << c.end << "\n";
+  }
+}
+
+OperationList readOperationList(std::istream& is) {
+  std::string tag;
+  std::size_t n = 0;
+  double lambda = 0.0;
+  std::size_t comms = 0;
+  if (!(is >> tag >> n >> lambda >> comms) || tag != "oplist") {
+    throw std::runtime_error("readOperationList: bad header");
+  }
+  OperationList ol(n, lambda);
+  for (std::size_t k = 0; k < n; ++k) {
+    NodeId i = 0;
+    double b = 0.0;
+    double e = 0.0;
+    if (!(is >> tag >> i >> b >> e) || tag != "calc") {
+      throw std::runtime_error("readOperationList: bad calc line");
+    }
+    ol.setCalc(i, b, e);
+  }
+  for (std::size_t k = 0; k < comms; ++k) {
+    std::int64_t from = 0;
+    std::int64_t to = 0;
+    double b = 0.0;
+    double e = 0.0;
+    if (!(is >> tag >> from >> to >> b >> e) || tag != "comm") {
+      throw std::runtime_error("readOperationList: bad comm line");
+    }
+    const auto dec = [](std::int64_t v) {
+      return v < 0 ? kWorld : static_cast<NodeId>(v);
+    };
+    ol.setComm(dec(from), dec(to), b, e);
+  }
+  return ol;
+}
+
+std::string toString(const Application& app) {
+  std::ostringstream os;
+  writeApplication(os, app);
+  return os.str();
+}
+
+Application applicationFromString(const std::string& text) {
+  std::istringstream is(text);
+  return readApplication(is);
+}
+
+std::string toString(const ExecutionGraph& graph) {
+  std::ostringstream os;
+  writeGraph(os, graph);
+  return os.str();
+}
+
+ExecutionGraph graphFromString(const std::string& text) {
+  std::istringstream is(text);
+  return readGraph(is);
+}
+
+std::string toString(const OperationList& ol) {
+  std::ostringstream os;
+  writeOperationList(os, ol);
+  return os.str();
+}
+
+OperationList operationListFromString(const std::string& text) {
+  std::istringstream is(text);
+  return readOperationList(is);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) os_ << ",";
+    os_ << cells[i];
+  }
+  os_ << "\n";
+}
+
+}  // namespace fsw

@@ -1,0 +1,54 @@
+// Plain-text (de)serialization of applications, execution graphs and
+// operation lists — a stable on-disk format for reproducing bench inputs —
+// plus a minimal CSV writer for the harness outputs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/core/application.hpp"
+#include "src/core/execution_graph.hpp"
+#include "src/oplist/operation_list.hpp"
+
+namespace fsw {
+
+/// Format:
+///   application <n>
+///   service <name> <cost> <selectivity>      (n lines)
+///   precedence <from> <to>                   (0+ lines)
+void writeApplication(std::ostream& os, const Application& app);
+[[nodiscard]] Application readApplication(std::istream& is);
+
+/// Format:
+///   graph <n> <edges>
+///   edge <from> <to>
+void writeGraph(std::ostream& os, const ExecutionGraph& graph);
+[[nodiscard]] ExecutionGraph readGraph(std::istream& is);
+
+/// Format:
+///   oplist <n> <lambda> <comms>
+///   calc <i> <begin> <end>                    (n lines)
+///   comm <from> <to> <begin> <end>            (comms lines; -1 = world)
+void writeOperationList(std::ostream& os, const OperationList& ol);
+[[nodiscard]] OperationList readOperationList(std::istream& is);
+
+/// Round-trip helpers via strings.
+[[nodiscard]] std::string toString(const Application& app);
+[[nodiscard]] Application applicationFromString(const std::string& text);
+[[nodiscard]] std::string toString(const ExecutionGraph& graph);
+[[nodiscard]] ExecutionGraph graphFromString(const std::string& text);
+[[nodiscard]] std::string toString(const OperationList& ol);
+[[nodiscard]] OperationList operationListFromString(const std::string& text);
+
+/// Minimal CSV row writer (quotes nothing; callers pass clean cells).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace fsw

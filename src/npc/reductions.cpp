@@ -1,0 +1,357 @@
+#include "src/npc/reductions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fsw {
+namespace {
+
+void requireWitnessSize(const Rn3dmWitness& w, std::size_t n) {
+  if (w.lambda1.size() != n || w.lambda2.size() != n) {
+    throw std::invalid_argument("witness size mismatch");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Prop 2 --
+//
+// Index map (0-based) for the 2n+5 services of Fig 9:
+//   0        C1        cost n      hub: n+2 sends (evens, C2n+2, C2n+4)
+//   2i-1     C_{2i}    cost 2n+1   "even" chain heads, i = 1..n
+//   2i       C_{2i+1}  cost 2n+1-A[i], chain tails feeding C2n+5
+//   2n+1     C_{2n+2}  cost 2n+1   two-hop branch head
+//   2n+2     C_{2n+3}  cost 2n+1   its tail, feeds C2n+5
+//   2n+3     C_{2n+4}  cost 2n+1   one-hop branch, feeds C2n+5
+//   2n+4     C_{2n+5}  cost n      join: n+2 receives (odds, C2n+3, C2n+4)
+//
+// Every service on the C1 -> ... -> C2n+5 branches has one-port busy time
+// exactly 2n+3 = K except the odd tails, whose slack A[i] is what the
+// witness permutations consume.
+ReductionInstance prop2PeriodGadget(const Rn3dmInstance& inst) {
+  const std::size_t n = inst.size();
+  const double dn = static_cast<double>(n);
+  ReductionInstance red;
+  red.model = CommModel::OutOrder;
+  red.objective = Objective::Period;
+  red.threshold = 2.0 * dn + 3.0;
+
+  auto& app = red.app;
+  app.addService(dn, 1.0, "C1");
+  for (std::size_t i = 1; i <= n; ++i) {
+    app.addService(2.0 * dn + 1.0, 1.0, "C" + std::to_string(2 * i));
+    app.addService(2.0 * dn + 1.0 - static_cast<double>(inst.a[i - 1]), 1.0,
+                   "C" + std::to_string(2 * i + 1));
+  }
+  app.addService(2.0 * dn + 1.0, 1.0, "C" + std::to_string(2 * n + 2));
+  app.addService(2.0 * dn + 1.0, 1.0, "C" + std::to_string(2 * n + 3));
+  app.addService(2.0 * dn + 1.0, 1.0, "C" + std::to_string(2 * n + 4));
+  app.addService(dn, 1.0, "C" + std::to_string(2 * n + 5));
+
+  const NodeId c1 = 0;
+  const NodeId c2n2 = 2 * n + 1;
+  const NodeId c2n3 = 2 * n + 2;
+  const NodeId c2n4 = 2 * n + 3;
+  const NodeId c2n5 = 2 * n + 4;
+
+  ExecutionGraph g(app.size());
+  for (std::size_t i = 1; i <= n; ++i) {
+    const NodeId even = 2 * i - 1;
+    const NodeId odd = 2 * i;
+    g.addEdge(c1, even);
+    g.addEdge(even, odd);
+    g.addEdge(odd, c2n5);
+  }
+  g.addEdge(c1, c2n2);
+  g.addEdge(c2n2, c2n3);
+  g.addEdge(c2n3, c2n5);
+  g.addEdge(c1, c2n4);
+  g.addEdge(c2n4, c2n5);
+  red.graph = std::move(g);
+  return red;
+}
+
+PortOrders prop2WitnessOrders(const ReductionInstance& red,
+                              const Rn3dmWitness& w) {
+  const std::size_t n = (red.app.size() - 5) / 2;
+  requireWitnessSize(w, n);
+  PortOrders po = PortOrders::canonical(red.graph);
+  const NodeId c1 = 0;
+  const NodeId c2n2 = 2 * n + 1;
+  const NodeId c2n3 = 2 * n + 2;
+  const NodeId c2n4 = 2 * n + 3;
+  const NodeId c2n5 = 2 * n + 4;
+
+  // C1 sends: C2n+2 (the two-hop branch) first, then the even heads at
+  // positions lambda1, then C2n+4 (the one-hop branch) last.
+  std::vector<NodeId> sends(n + 2, kNoNode);
+  sends[0] = c2n2;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const NodeId even = 2 * i - 1;
+    sends[static_cast<std::size_t>(w.lambda1[i - 1])] = even;
+  }
+  sends[n + 1] = c2n4;
+  po.out[c1] = sends;
+
+  // C2n+5 receives: C2n+4 first, then the odd tails at positions
+  // n+2-lambda2, then C2n+3 last.
+  std::vector<NodeId> recvs(n + 2, kNoNode);
+  recvs[0] = c2n4;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const NodeId odd = 2 * i;
+    recvs[n + 1 - static_cast<std::size_t>(w.lambda2[i - 1])] = odd;
+  }
+  recvs[n + 1] = c2n3;
+  po.in[c2n5] = recvs;
+  return po;
+}
+
+// ---------------------------------------------------------------- Prop 5 --
+//
+// Index map for the 3n services: C1,i -> i-1; C2,i -> n+i-1; C3,i -> 2n+i-1.
+ReductionInstance prop5MinPeriodGadget(const Rn3dmInstance& inst) {
+  const std::size_t n = inst.size();
+  const double dn = static_cast<double>(n);
+  const double K = 1.5;
+  // a, b in ((3/4)^(1/2n), (3.2/4)^(1/2n)); 1 < gamma < (b/a)^(1/n).
+  const double lo = std::pow(0.75, 1.0 / (2.0 * dn));
+  const double hi = std::pow(0.80, 1.0 / (2.0 * dn));
+  const double a = lo + (hi - lo) / 3.0;
+  const double b = lo + 2.0 * (hi - lo) / 3.0;
+  const double gamma = std::pow(b / a, 1.0 / (2.0 * dn));
+
+  ReductionInstance red;
+  red.model = CommModel::Overlap;
+  red.objective = Objective::Period;
+  red.threshold = K;
+  auto& app = red.app;
+  for (std::size_t i = 1; i <= n; ++i) {
+    app.addService(K, a * std::pow(gamma, static_cast<double>(i)),
+                   "C1," + std::to_string(i));
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    app.addService(K * 2.0 / (b + 1.0),
+                   a * std::pow(gamma, static_cast<double>(i)),
+                   "C2," + std::to_string(i));
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    app.addService(
+        (K / (a * a)) * std::pow(gamma, -static_cast<double>(inst.a[i - 1])),
+        K / (b * b), "C3," + std::to_string(i));
+  }
+  red.graph = ExecutionGraph(app.size());  // MinPeriod: no EG prescribed
+  return red;
+}
+
+ExecutionGraph prop5WitnessGraph(const ReductionInstance& red,
+                                 const Rn3dmWitness& w) {
+  const std::size_t n = red.app.size() / 3;
+  requireWitnessSize(w, n);
+  ExecutionGraph g(red.app.size());
+  for (std::size_t i = 1; i <= n; ++i) {
+    const NodeId first = static_cast<std::size_t>(w.lambda1[i - 1]) - 1;
+    const NodeId second = n + static_cast<std::size_t>(w.lambda2[i - 1]) - 1;
+    const NodeId third = 2 * n + i - 1;
+    g.addEdge(first, second);
+    g.addEdge(second, third);
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------- Prop 6 --
+//
+// Index map for the 3n+1 services: C0 -> 0; Cx_i -> i; Cy_i -> n+i;
+// Cz_i -> 2n+i (i = 1..n). x_i = y_i = n - i, z_i = A[i].
+ReductionInstance prop6MinPeriodGadget(const Rn3dmInstance& inst) {
+  const std::size_t n = inst.size();
+  const double dn = static_cast<double>(n);
+  const double eps = 1.0 / (2.0 * dn);
+  // The proof's alpha = 1 + 2^-n needs n >= 7 for alpha^(n-1) <= 1 + eps;
+  // 1 + eps/(2n) preserves every identity and works at all n (see
+  // reductions.hpp fidelity notes).
+  const double alpha = 1.0 + eps / (2.0 * dn);
+  const double alpha2n = std::pow(alpha, 2.0 * dn);
+  const double K = 2.0 * dn + 4.0;  // any K large enough for positive costs
+  const double sigma0 = 1.0 / (alpha2n * (1.0 + eps));
+
+  ReductionInstance red;
+  red.model = CommModel::OutOrder;
+  red.objective = Objective::Period;
+  red.threshold = K;
+  auto& app = red.app;
+  app.addService(K - 1.0 - dn * sigma0, sigma0, "C0");
+  for (std::size_t i = 1; i <= n; ++i) {  // Cx_i: sigma = alpha^(n-i)
+    const double s = std::pow(alpha, dn - static_cast<double>(i));
+    app.addService(K / sigma0 - s - 1.0, s, "Cx" + std::to_string(i));
+  }
+  for (std::size_t i = 1; i <= n; ++i) {  // Cy_i: sigma = (1+eps) alpha^(n-i)
+    const double s =
+        (1.0 + eps) * std::pow(alpha, dn - static_cast<double>(i));
+    app.addService(K / (sigma0 * (1.0 + eps)) - 1.0 - s, s,
+                   "Cy" + std::to_string(i));
+  }
+  for (std::size_t i = 1; i <= n; ++i) {  // Cz_i: 1 + sigma + c = alpha^z K
+    const double s = 1.0 + 2.0 * eps;
+    const double c =
+        std::pow(alpha, static_cast<double>(inst.a[i - 1])) * K - 1.0 - s;
+    app.addService(c, s, "Cz" + std::to_string(i));
+  }
+  red.graph = ExecutionGraph(app.size());
+  return red;
+}
+
+ExecutionGraph prop6WitnessGraph(const ReductionInstance& red,
+                                 const Rn3dmWitness& w) {
+  const std::size_t n = (red.app.size() - 1) / 3;
+  requireWitnessSize(w, n);
+  // Chain j is Cx_{lambda1(j)} -> Cy_{lambda2(j)} -> Cz_j: the exponent sum
+  // (n - lambda1(j)) + (n - lambda2(j)) + A[j] is exactly 2n on a witness.
+  ExecutionGraph g(red.app.size());
+  for (std::size_t j = 1; j <= n; ++j) {
+    const NodeId x = static_cast<std::size_t>(w.lambda1[j - 1]);
+    const NodeId y = n + static_cast<std::size_t>(w.lambda2[j - 1]);
+    const NodeId z = 2 * n + j;
+    g.addEdge(0, x);
+    g.addEdge(x, y);
+    g.addEdge(y, z);
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------- Prop 9 --
+//
+// Fork-join of Fig 12: C0 -> 0, C_i -> i (i = 1..n), C_{n+1} -> n+1.
+ReductionInstance prop9LatencyGadget(const Rn3dmInstance& inst) {
+  const std::size_t n = inst.size();
+  const double dn = static_cast<double>(n);
+  ReductionInstance red;
+  red.model = CommModel::OutOrder;
+  red.objective = Objective::Latency;
+  red.threshold = dn + 4.0 + dn * dn;
+
+  auto& app = red.app;
+  app.addService(1.0, 1.0, "C0");
+  for (std::size_t i = 1; i <= n; ++i) {
+    app.addService(dn - static_cast<double>(inst.a[i - 1]) + dn * dn, 1.0,
+                   "C" + std::to_string(i));
+  }
+  app.addService(1.0, 1.0, "C" + std::to_string(n + 1));
+
+  ExecutionGraph g(app.size());
+  for (std::size_t i = 1; i <= n; ++i) {
+    g.addEdge(0, i);
+    g.addEdge(i, n + 1);
+  }
+  red.graph = std::move(g);
+  return red;
+}
+
+PortOrders prop9WitnessOrders(const ReductionInstance& red,
+                              const Rn3dmWitness& w) {
+  const std::size_t n = red.app.size() - 2;
+  requireWitnessSize(w, n);
+  PortOrders po = PortOrders::canonical(red.graph);
+  std::vector<NodeId> sends(n, kNoNode);
+  std::vector<NodeId> recvs(n, kNoNode);
+  for (std::size_t i = 1; i <= n; ++i) {
+    sends[static_cast<std::size_t>(w.lambda1[i - 1]) - 1] = i;
+    recvs[n - static_cast<std::size_t>(w.lambda2[i - 1])] = i;
+  }
+  po.out[0] = sends;
+  po.in[n + 1] = recvs;
+  return po;
+}
+
+// --------------------------------------------------------------- Prop 13 --
+//
+// Index map: F -> 0; C_i -> i (i = 1..n); J -> n+1.
+ReductionInstance prop13MinLatencyGadget(const Rn3dmInstance& inst) {
+  const std::size_t n = inst.size();
+  const double dn = static_cast<double>(n);
+  const double cf = 1.0 / (20.0 * dn);
+  const double sigma = 1.0 - 1.0 / (2.0 * dn);
+
+  ReductionInstance red;
+  red.model = CommModel::OutOrder;
+  red.objective = Objective::Latency;
+  // Proof's K plus the size-delta0 input transfer our latency counts.
+  red.threshold =
+      1.0 + 0.5 + 10.0 * dn * std::pow(sigma, dn) + 1.0 / (20.0 * dn);
+
+  auto& app = red.app;
+  app.addService(cf, cf, "F");
+  for (std::size_t i = 1; i <= n; ++i) {
+    app.addService(10.0 * dn - static_cast<double>(inst.a[i - 1]), sigma,
+                   "C" + std::to_string(i));
+  }
+  app.addService(1.0, 200.0 * dn * dn - 1.0, "J");
+  red.graph = ExecutionGraph(app.size());
+  return red;
+}
+
+ExecutionGraph prop13WitnessGraph(const ReductionInstance& red) {
+  const std::size_t n = red.app.size() - 2;
+  ExecutionGraph g(red.app.size());
+  for (std::size_t i = 1; i <= n; ++i) {
+    g.addEdge(0, i);
+    g.addEdge(i, n + 1);
+  }
+  return g;
+}
+
+PortOrders prop13WitnessOrders(const ReductionInstance& red,
+                               const Rn3dmWitness& w) {
+  ReductionInstance tmp;  // reuse Prop 9's order layout on the same shape
+  tmp.app = red.app;
+  tmp.graph = prop13WitnessGraph(red);
+  return prop9WitnessOrders(tmp, w);
+}
+
+// --------------------------------------------------------------- Prop 17 --
+Prop17Gadget prop17ForestGadget(const std::vector<std::int64_t>& x) {
+  Prop17Gadget g;
+  const std::size_t n = x.size();
+  double xm = 0.0;
+  double s = 0.0;
+  for (const auto v : x) {
+    xm = std::max(xm, static_cast<double>(v));
+    s += static_cast<double>(v);
+  }
+  const double dn = static_cast<double>(n);
+  // A > (4/3) n 3^n beta^n xM^3 with beta < 1/2: A = 4 n 3^n xM^3 suffices
+  // (and keeps beta = (A-S)/(2A+S) well-defined).
+  const double A = std::max(4.0 * dn * std::pow(3.0, dn) * xm * xm * xm,
+                            8.0 * s + 8.0);
+  const double beta = (A - s) / (2.0 * A + s);
+  g.bigA = A;
+  g.xs = x;
+  g.sum = s;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = static_cast<double>(x[i]);
+    g.app.addService(xi / A, 1.0 - xi / A + beta * xi * xi / (A * A),
+                     "X" + std::to_string(i + 1));
+  }
+  const double cLast = (2.0 * A + s) / (2.0 * A - 2.0 * s);
+  g.app.addService(cLast, 1.0, "C_last");
+  g.threshold = cLast - 3.0 * s * s / (8.0 * A * (A - s)) +
+                dn * std::pow(3.0, dn) * std::pow(beta, dn) * xm * xm * xm /
+                    (A * A * A);
+  return g;
+}
+
+double prop17ChainObjective(const Prop17Gadget& g,
+                            const std::vector<std::size_t>& subset) {
+  // The proof's expanded chain latency (see the header's fidelity note):
+  // cLast + (3/(2A(A-S))) ((S/2 - w)^2 - S^2/4) with w the subset sum.
+  double w = 0.0;
+  for (const std::size_t idx : subset) {
+    w += static_cast<double>(g.xs.at(idx));
+  }
+  const double cLast = g.app.service(g.app.size() - 1).cost;
+  const double coeff = 3.0 / (2.0 * g.bigA * (g.bigA - g.sum));
+  const double half = g.sum / 2.0;
+  return cLast + coeff * ((half - w) * (half - w) - half * half);
+}
+
+}  // namespace fsw

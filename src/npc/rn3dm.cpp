@@ -1,0 +1,126 @@
+#include "src/npc/rn3dm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fsw {
+
+bool Rn3dmInstance::plausible() const noexcept {
+  const auto n = static_cast<std::int64_t>(a.size());
+  std::int64_t sum = 0;
+  for (const auto v : a) {
+    if (v < 2 || v > 2 * n) return false;
+    sum += v;
+  }
+  return sum == n * (n + 1);
+}
+
+namespace {
+
+struct Dfs {
+  const std::vector<std::int64_t>& a;
+  std::int64_t n;
+  std::vector<bool> used1, used2;
+  std::vector<std::int64_t> l1, l2;
+  std::vector<std::size_t> order;  // indices sorted by ascending slack
+
+  explicit Dfs(const std::vector<std::int64_t>& av)
+      : a(av),
+        n(static_cast<std::int64_t>(av.size())),
+        used1(av.size() + 1, false),
+        used2(av.size() + 1, false),
+        l1(av.size(), 0),
+        l2(av.size(), 0),
+        order(av.size()) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    // Most-constrained first: extreme sums admit the fewest splits.
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+      const auto slack = [&](std::size_t i) {
+        const std::int64_t lo = std::max<std::int64_t>(1, a[i] - n);
+        const std::int64_t hi = std::min<std::int64_t>(n, a[i] - 1);
+        return hi - lo;
+      };
+      return slack(x) < slack(y);
+    });
+  }
+
+  bool solve(std::size_t k) {
+    if (k == order.size()) return true;
+    const std::size_t i = order[k];
+    const std::int64_t lo = std::max<std::int64_t>(1, a[i] - n);
+    const std::int64_t hi = std::min<std::int64_t>(n, a[i] - 1);
+    for (std::int64_t v = lo; v <= hi; ++v) {
+      const std::int64_t w = a[i] - v;
+      if (used1[static_cast<std::size_t>(v)] ||
+          used2[static_cast<std::size_t>(w)]) {
+        continue;
+      }
+      used1[static_cast<std::size_t>(v)] = true;
+      used2[static_cast<std::size_t>(w)] = true;
+      l1[i] = v;
+      l2[i] = w;
+      if (solve(k + 1)) return true;
+      used1[static_cast<std::size_t>(v)] = false;
+      used2[static_cast<std::size_t>(w)] = false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<Rn3dmWitness> solveRn3dm(const Rn3dmInstance& inst) {
+  if (!inst.plausible()) return std::nullopt;
+  Dfs dfs(inst.a);
+  if (!dfs.solve(0)) return std::nullopt;
+  return Rn3dmWitness{dfs.l1, dfs.l2};
+}
+
+bool checkWitness(const Rn3dmInstance& inst, const Rn3dmWitness& w) {
+  const auto n = inst.size();
+  if (w.lambda1.size() != n || w.lambda2.size() != n) return false;
+  std::vector<bool> seen1(n + 1, false);
+  std::vector<bool> seen2(n + 1, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v1 = w.lambda1[i];
+    const auto v2 = w.lambda2[i];
+    if (v1 < 1 || v1 > static_cast<std::int64_t>(n)) return false;
+    if (v2 < 1 || v2 > static_cast<std::int64_t>(n)) return false;
+    if (seen1[static_cast<std::size_t>(v1)]) return false;
+    if (seen2[static_cast<std::size_t>(v2)]) return false;
+    seen1[static_cast<std::size_t>(v1)] = true;
+    seen2[static_cast<std::size_t>(v2)] = true;
+    if (v1 + v2 != inst.a[i]) return false;
+  }
+  return true;
+}
+
+Rn3dmInstance randomSolvableRn3dm(std::size_t n, Prng& rng) {
+  const auto p1 = rng.permutation(n);
+  const auto p2 = rng.permutation(n);
+  Rn3dmInstance inst;
+  inst.a.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inst.a[i] = static_cast<std::int64_t>(p1[i] + 1 + p2[i] + 1);
+  }
+  return inst;
+}
+
+Rn3dmInstance randomPlausibleRn3dm(std::size_t n, Prng& rng) {
+  // Start from a solvable instance and apply sum-preserving perturbations
+  // (+1 / -1 on a pair), keeping values in range.
+  Rn3dmInstance inst = randomSolvableRn3dm(n, rng);
+  const auto limit = static_cast<std::int64_t>(2 * n);
+  for (std::size_t k = 0; k < 4 * n; ++k) {
+    const auto i = static_cast<std::size_t>(rng.uniformInt(0, n - 1));
+    const auto j = static_cast<std::size_t>(rng.uniformInt(0, n - 1));
+    if (i == j) continue;
+    if (inst.a[i] < limit && inst.a[j] > 2) {
+      ++inst.a[i];
+      --inst.a[j];
+    }
+  }
+  return inst;
+}
+
+}  // namespace fsw

@@ -1,0 +1,48 @@
+// RN3DM — the "permutation sums" restriction of Numerical 3-Dimensional
+// Matching (Yu, Hoogeveen & Lenstra [22]) that every NP-hardness proof of
+// the paper reduces from:
+//
+//   given A[1..n], do two permutations lambda1, lambda2 of {1..n} exist with
+//   lambda1(i) + lambda2(i) = A[i] for all i?
+//
+// Necessary condition: sum A[i] = n(n+1) and 2 <= A[i] <= 2n.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/prng.hpp"
+
+namespace fsw {
+
+struct Rn3dmInstance {
+  std::vector<std::int64_t> a;  ///< A[0..n-1] (paper indexes from 1)
+
+  [[nodiscard]] std::size_t size() const noexcept { return a.size(); }
+  /// The necessary feasibility conditions (sum and range).
+  [[nodiscard]] bool plausible() const noexcept;
+};
+
+/// Witness: lambda1[i] + lambda2[i] == a[i], both permutations of {1..n}.
+struct Rn3dmWitness {
+  std::vector<std::int64_t> lambda1;
+  std::vector<std::int64_t> lambda2;
+};
+
+/// Exact solver (DFS with feasibility pruning); exponential worst case but
+/// instantaneous for the test-scale n <= 12 this library uses.
+[[nodiscard]] std::optional<Rn3dmWitness> solveRn3dm(const Rn3dmInstance& inst);
+
+/// True iff `w` is a valid witness for `inst`.
+[[nodiscard]] bool checkWitness(const Rn3dmInstance& inst,
+                                const Rn3dmWitness& w);
+
+/// A solvable instance: A = lambda1 + lambda2 for random permutations.
+[[nodiscard]] Rn3dmInstance randomSolvableRn3dm(std::size_t n, Prng& rng);
+
+/// A random instance satisfying the necessary sum condition but otherwise
+/// arbitrary (may or may not be solvable).
+[[nodiscard]] Rn3dmInstance randomPlausibleRn3dm(std::size_t n, Prng& rng);
+
+}  // namespace fsw

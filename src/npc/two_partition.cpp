@@ -1,0 +1,43 @@
+#include "src/npc/two_partition.hpp"
+
+#include <numeric>
+
+namespace fsw {
+
+std::optional<std::vector<std::size_t>> solveTwoPartition(
+    const std::vector<std::int64_t>& x) {
+  std::int64_t total = 0;
+  for (const auto v : x) {
+    if (v < 0) return std::nullopt;
+    total += v;
+  }
+  if (total % 2 != 0) return std::nullopt;
+  const auto target = static_cast<std::size_t>(total / 2);
+
+  // reach[s] = index of the last item used to first reach sum s (+1), 0 if
+  // unreachable; lets us backtrack a witness.
+  std::vector<std::size_t> reach(target + 1, 0);
+  std::vector<std::size_t> from(target + 1, 0);
+  reach[0] = x.size() + 1;  // sentinel: empty set
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto v = static_cast<std::size_t>(x[i]);
+    if (v > target) return std::nullopt;  // item exceeds half: no partition
+    for (std::size_t s = target; s + 1 > v; --s) {
+      if (reach[s - v] != 0 && reach[s] == 0) {
+        reach[s] = i + 1;
+        from[s] = s - v;
+      }
+    }
+  }
+  if (reach[target] == 0) return std::nullopt;
+  std::vector<std::size_t> witness;
+  std::size_t s = target;
+  while (s != 0) {
+    const std::size_t item = reach[s] - 1;
+    witness.push_back(item);
+    s = from[s];
+  }
+  return witness;
+}
+
+}  // namespace fsw

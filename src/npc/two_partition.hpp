@@ -1,0 +1,16 @@
+// 2-Partition (Garey & Johnson [18]), used by Prop 17's reduction: does a
+// subset I of X sum to (sum X) / 2?
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fsw {
+
+/// Exact pseudo-polynomial DP. Returns the indices of a witness subset, or
+/// nullopt when none exists (including odd total sums).
+[[nodiscard]] std::optional<std::vector<std::size_t>> solveTwoPartition(
+    const std::vector<std::int64_t>& x);
+
+}  // namespace fsw

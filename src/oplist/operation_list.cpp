@@ -1,0 +1,102 @@
+#include "src/oplist/operation_list.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace fsw {
+namespace {
+
+std::string nodeName(NodeId i) {
+  if (i == kWorld) return "world";
+  return "C" + std::to_string(i + 1);
+}
+
+}  // namespace
+
+OperationList::OperationList(std::size_t n, double lambda)
+    : lambda_(lambda), beginCalc_(n, 0.0), endCalc_(n, 0.0) {}
+
+void OperationList::setCalc(NodeId i, double begin, double end) {
+  if (i >= size()) throw std::out_of_range("setCalc: node out of range");
+  if (end < begin) throw std::invalid_argument("setCalc: end < begin");
+  beginCalc_[i] = begin;
+  endCalc_[i] = end;
+}
+
+void OperationList::setComm(NodeId from, NodeId to, double begin, double end) {
+  if (end < begin) throw std::invalid_argument("setComm: end < begin");
+  for (auto& c : comms_) {
+    if (c.from == from && c.to == to) {
+      c.begin = begin;
+      c.end = end;
+      return;
+    }
+  }
+  comms_.push_back({from, to, begin, end});
+}
+
+std::optional<CommRecord> OperationList::comm(NodeId from, NodeId to) const {
+  for (const auto& c : comms_) {
+    if (c.from == from && c.to == to) return c;
+  }
+  return std::nullopt;
+}
+
+std::vector<CommRecord> OperationList::incoming(NodeId i) const {
+  std::vector<CommRecord> out;
+  for (const auto& c : comms_) {
+    if (c.to == i) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<CommRecord> OperationList::outgoing(NodeId i) const {
+  std::vector<CommRecord> out;
+  for (const auto& c : comms_) {
+    if (c.from == i) out.push_back(c);
+  }
+  return out;
+}
+
+double OperationList::latency() const noexcept {
+  double l = 0.0;
+  for (const auto& c : comms_) l = std::max(l, c.end);
+  return l;
+}
+
+void OperationList::shiftAll(double delta) noexcept {
+  for (auto& b : beginCalc_) b += delta;
+  for (auto& e : endCalc_) e += delta;
+  for (auto& c : comms_) {
+    c.begin += delta;
+    c.end += delta;
+  }
+}
+
+std::string OperationList::dump() const {
+  struct Row {
+    double begin;
+    double end;
+    std::string what;
+  };
+  std::vector<Row> rows;
+  for (NodeId i = 0; i < size(); ++i) {
+    rows.push_back({beginCalc_[i], endCalc_[i], "calc " + nodeName(i)});
+  }
+  for (const auto& c : comms_) {
+    rows.push_back(
+        {c.begin, c.end, "comm " + nodeName(c.from) + "->" + nodeName(c.to)});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.begin < b.begin || (a.begin == b.begin && a.end < b.end);
+  });
+  std::ostringstream os;
+  os << "lambda = " << lambda_ << "\n";
+  for (const auto& r : rows) {
+    os << "  [" << r.begin << ", " << r.end << ")  " << r.what << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fsw

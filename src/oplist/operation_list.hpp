@@ -1,0 +1,84 @@
+// The operation list OL of a plan (Section 2.1, "Characterizing solutions"):
+// for data set number 0, the begin/end time of every computation and every
+// communication; the whole schedule repeats cyclically with period lambda
+// (data set n is shifted by n * lambda).
+//
+// Virtual communications with the outside world are first-class entries:
+// every entry service has an input communication from kWorld and every exit
+// service an output communication to kWorld, because the paper's period and
+// latency arithmetic counts them (e.g. C1's OUTORDER bound of 7 in Section
+// 2.3 includes its input communication).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/service.hpp"
+
+namespace fsw {
+
+/// Pseudo-node representing the outside world (input/output nodes of EG).
+inline constexpr NodeId kWorld = static_cast<NodeId>(-2);
+
+/// One cyclic communication record (data set 0 occurrence).
+struct CommRecord {
+  NodeId from = kWorld;
+  NodeId to = kWorld;
+  double begin = 0.0;
+  double end = 0.0;
+
+  [[nodiscard]] double duration() const noexcept { return end - begin; }
+  [[nodiscard]] bool isInput() const noexcept { return from == kWorld; }
+  [[nodiscard]] bool isOutput() const noexcept { return to == kWorld; }
+};
+
+class OperationList {
+ public:
+  OperationList() = default;
+  /// An empty OL over n services with period lambda.
+  OperationList(std::size_t n, double lambda);
+
+  [[nodiscard]] std::size_t size() const noexcept { return beginCalc_.size(); }
+
+  [[nodiscard]] double lambda() const noexcept { return lambda_; }
+  void setLambda(double lambda) noexcept { lambda_ = lambda; }
+
+  void setCalc(NodeId i, double begin, double end);
+  [[nodiscard]] double beginCalc(NodeId i) const { return beginCalc_.at(i); }
+  [[nodiscard]] double endCalc(NodeId i) const { return endCalc_.at(i); }
+
+  /// Adds (or overwrites) the communication from -> to. Use kWorld for the
+  /// virtual input/output endpoints.
+  void setComm(NodeId from, NodeId to, double begin, double end);
+  [[nodiscard]] const std::vector<CommRecord>& comms() const noexcept {
+    return comms_;
+  }
+  [[nodiscard]] std::optional<CommRecord> comm(NodeId from, NodeId to) const;
+
+  /// Incoming (resp. outgoing) communications of node i, including virtual
+  /// ones, in insertion order.
+  [[nodiscard]] std::vector<CommRecord> incoming(NodeId i) const;
+  [[nodiscard]] std::vector<CommRecord> outgoing(NodeId i) const;
+
+  /// Period of the plan: P = lambda (Section 2.1).
+  [[nodiscard]] double period() const noexcept { return lambda_; }
+
+  /// Latency of the plan: max over communications of EndComm for data set 0
+  /// (Section 2.1; output communications terminate every in->out path).
+  [[nodiscard]] double latency() const noexcept;
+
+  /// Shifts every time in the list by delta (used to re-anchor at t = 0).
+  void shiftAll(double delta) noexcept;
+
+  /// Human-readable dump (one line per operation, sorted by begin time).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  double lambda_ = 0.0;
+  std::vector<double> beginCalc_;
+  std::vector<double> endCalc_;
+  std::vector<CommRecord> comms_;
+};
+
+}  // namespace fsw

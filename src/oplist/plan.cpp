@@ -1,0 +1,13 @@
+#include "src/oplist/plan.hpp"
+
+namespace fsw {
+
+PlanMetrics evaluate(const Application& app, const Plan& plan, CommModel m) {
+  PlanMetrics out;
+  out.valid = validate(app, plan.graph, plan.ol, m).valid;
+  out.period = plan.ol.period();
+  out.latency = plan.ol.latency();
+  return out;
+}
+
+}  // namespace fsw

@@ -1,0 +1,29 @@
+// A plan PL = (EG, OL) (Section 2.1) and its evaluated metrics.
+#pragma once
+
+#include "src/core/application.hpp"
+#include "src/core/execution_graph.hpp"
+#include "src/core/model.hpp"
+#include "src/oplist/operation_list.hpp"
+#include "src/oplist/validate.hpp"
+
+namespace fsw {
+
+struct Plan {
+  ExecutionGraph graph;
+  OperationList ol;
+};
+
+/// Evaluated plan quality; `valid` is the validator's verdict under the
+/// model the plan was built for.
+struct PlanMetrics {
+  bool valid = false;
+  double period = 0.0;
+  double latency = 0.0;
+};
+
+/// Validates and measures a plan under model m.
+[[nodiscard]] PlanMetrics evaluate(const Application& app, const Plan& plan,
+                                   CommModel m);
+
+}  // namespace fsw

@@ -1,0 +1,337 @@
+#include "src/oplist/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/util.hpp"
+
+namespace fsw {
+namespace {
+
+std::string nodeName(NodeId i) {
+  if (i == kWorld) return "world";
+  return "C" + std::to_string(i + 1);
+}
+
+std::string commName(const CommRecord& c) {
+  return nodeName(c.from) + "->" + nodeName(c.to);
+}
+
+/// One server-hosted operation (computation or incident communication).
+struct Op {
+  double begin;
+  double duration;
+  std::string what;
+};
+
+/// Reduces x into [0, lambda).
+double wrap(double x, double lambda) {
+  double r = std::fmod(x, lambda);
+  if (r < 0) r += lambda;
+  return r;
+}
+
+/// Shared structural / duration / precedence validation. `onePortComms`
+/// selects exact-volume communication durations (one-port) vs ratio <= 1
+/// (multi-port).
+struct Checker {
+  const Application& app;
+  const ExecutionGraph& graph;
+  const OperationList& ol;
+  double eps;
+  CostModel costs;
+  ValidationReport rep;
+
+  Checker(const Application& a, const ExecutionGraph& g,
+          const OperationList& o, double e)
+      : app(a), graph(g), ol(o), eps(e), costs(a, g) {}
+
+  [[nodiscard]] double volumeOf(const CommRecord& c) const {
+    return c.isInput() ? 1.0 : costs.at(c.from).sigmaOut;
+  }
+
+  bool structure() {
+    const std::size_t n = app.size();
+    if (ol.size() != n || graph.size() != n) {
+      rep.fail("size mismatch between application, graph and operation list");
+      return false;
+    }
+    if (ol.lambda() <= 0.0) {
+      rep.fail("lambda must be positive");
+      return false;
+    }
+    std::size_t expected = graph.edgeCount();
+    for (NodeId i = 0; i < n; ++i) {
+      if (graph.isEntry(i)) ++expected;
+      if (graph.isExit(i)) ++expected;
+    }
+    if (ol.comms().size() != expected) {
+      rep.fail("operation list has " + std::to_string(ol.comms().size()) +
+               " communications, expected " + std::to_string(expected));
+    }
+    for (const auto& c : ol.comms()) {
+      if (c.from == kWorld) {
+        if (c.to >= n || !graph.isEntry(c.to)) {
+          rep.fail("input communication to non-entry node " + nodeName(c.to));
+        }
+      } else if (c.to == kWorld) {
+        if (c.from >= n || !graph.isExit(c.from)) {
+          rep.fail("output communication from non-exit node " +
+                   nodeName(c.from));
+        }
+      } else if (!graph.hasEdge(c.from, c.to)) {
+        rep.fail("communication " + commName(c) + " has no EG edge");
+      }
+    }
+    for (const auto& e : graph.edges()) {
+      if (!ol.comm(e.from, e.to)) {
+        rep.fail("missing communication for edge " + nodeName(e.from) + "->" +
+                 nodeName(e.to));
+      }
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      if (graph.isEntry(i) && !ol.comm(kWorld, i)) {
+        rep.fail("missing virtual input communication for " + nodeName(i));
+      }
+      if (graph.isExit(i) && !ol.comm(i, kWorld)) {
+        rep.fail("missing virtual output communication for " + nodeName(i));
+      }
+    }
+    return rep.valid;
+  }
+
+  void durations(bool onePortComms) {
+    for (NodeId i = 0; i < app.size(); ++i) {
+      const double want = costs.at(i).ccomp;
+      const double got = ol.endCalc(i) - ol.beginCalc(i);
+      if (!almostEqual(got, want, eps)) {
+        rep.fail("calc " + nodeName(i) + " lasts " + std::to_string(got) +
+                 ", Ccomp is " + std::to_string(want));
+      }
+    }
+    for (const auto& c : ol.comms()) {
+      const double vol = volumeOf(c);
+      const double d = c.duration();
+      if (onePortComms) {
+        if (!almostEqual(d, vol, eps)) {
+          rep.fail("comm " + commName(c) + " lasts " + std::to_string(d) +
+                   ", volume is " + std::to_string(vol));
+        }
+      } else if (d + eps < vol) {  // fixed bandwidth ratio vol/d <= 1
+        rep.fail("comm " + commName(c) + " lasts " + std::to_string(d) +
+                 " < volume " + std::to_string(vol));
+      }
+    }
+  }
+
+  void precedence() {
+    for (const auto& c : ol.comms()) {
+      if (!c.isInput() && !almostLeq(ol.endCalc(c.from), c.begin, eps)) {
+        rep.fail("comm " + commName(c) + " begins before calc of " +
+                 nodeName(c.from) + " ends");
+      }
+      if (!c.isOutput() && !almostLeq(c.end, ol.beginCalc(c.to), eps)) {
+        rep.fail("comm " + commName(c) + " ends after calc of " +
+                 nodeName(c.to) + " begins");
+      }
+    }
+  }
+
+  /// Pairwise mod-lambda disjointness of a set of operations.
+  void noOverlapModLambda(const std::vector<Op>& ops, const std::string& where) {
+    const double lambda = ol.lambda();
+    for (const auto& op : ops) {
+      if (op.duration > lambda + eps) {
+        rep.fail(op.what + " lasts " + std::to_string(op.duration) +
+                 " > lambda at " + where);
+      }
+    }
+    for (std::size_t a = 0; a < ops.size(); ++a) {
+      for (std::size_t b = a + 1; b < ops.size(); ++b) {
+        if (wrappedOverlap(ops[a].begin, ops[a].duration, ops[b].begin,
+                           ops[b].duration, lambda, eps)) {
+          rep.fail("no-overlap: " + ops[a].what + " and " + ops[b].what +
+                   " collide modulo lambda at " + where);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<Op> commOps(const std::vector<CommRecord>& comms) const {
+    std::vector<Op> ops;
+    ops.reserve(comms.size());
+    for (const auto& c : comms) {
+      ops.push_back({c.begin, c.duration(), "comm " + commName(c)});
+    }
+    return ops;
+  }
+
+  void inorderRules() {
+    const double lambda = ol.lambda();
+    for (NodeId i = 0; i < app.size(); ++i) {
+      const auto ins = ol.incoming(i);
+      const auto outs = ol.outgoing(i);
+      auto disjoint = [&](const CommRecord& a, const CommRecord& b) {
+        return almostLeq(a.end, b.begin, eps) || almostLeq(b.end, a.begin, eps);
+      };
+      for (std::size_t a = 0; a < ins.size(); ++a) {
+        for (std::size_t b = a + 1; b < ins.size(); ++b) {
+          if (!disjoint(ins[a], ins[b])) {
+            rep.fail("one-port: incoming " + commName(ins[a]) + " and " +
+                     commName(ins[b]) + " overlap at " + nodeName(i));
+          }
+        }
+      }
+      for (std::size_t a = 0; a < outs.size(); ++a) {
+        for (std::size_t b = a + 1; b < outs.size(); ++b) {
+          if (!disjoint(outs[a], outs[b])) {
+            rep.fail("one-port: outgoing " + commName(outs[a]) + " and " +
+                     commName(outs[b]) + " overlap at " + nodeName(i));
+          }
+        }
+      }
+      // Appendix A constraint (1): sends of data set n precede receives of
+      // data set n+1.
+      for (const auto& out : outs) {
+        for (const auto& in : ins) {
+          if (!almostLeq(out.end, in.begin + lambda, eps)) {
+            rep.fail("in-order: " + commName(out) + " (set n) ends after " +
+                     commName(in) + " (set n+1) begins at " + nodeName(i));
+          }
+        }
+      }
+    }
+  }
+
+  void outorderRules() {
+    for (NodeId i = 0; i < app.size(); ++i) {
+      std::vector<Op> ops = commOps(ol.incoming(i));
+      const auto outs = commOps(ol.outgoing(i));
+      ops.insert(ops.end(), outs.begin(), outs.end());
+      ops.push_back({ol.beginCalc(i), costs.at(i).ccomp, "calc " + nodeName(i)});
+      noOverlapModLambda(ops, nodeName(i));
+    }
+  }
+
+  void overlapRules() {
+    const double lambda = ol.lambda();
+    for (NodeId i = 0; i < app.size(); ++i) {
+      if (costs.at(i).ccomp > lambda + eps) {
+        rep.fail("calc " + nodeName(i) + " exceeds lambda");
+      }
+    }
+    // Bandwidth capacity, per server and direction, at interval midpoints
+    // between all communication endpoints (load is piecewise constant).
+    for (NodeId i = 0; i < app.size(); ++i) {
+      for (const bool inDir : {true, false}) {
+        const auto dir = inDir ? ol.incoming(i) : ol.outgoing(i);
+        std::vector<double> points;
+        for (const auto& c : dir) {
+          points.push_back(wrap(c.begin, lambda));
+          points.push_back(wrap(c.end, lambda));
+        }
+        std::sort(points.begin(), points.end());
+        points.push_back(lambda);
+        double prev = 0.0;
+        for (const double p : points) {
+          if (p - prev < 10 * eps) {
+            prev = p;
+            continue;
+          }
+          const double t = 0.5 * (prev + p);
+          prev = p;
+          double load = 0.0;
+          for (const auto& c : dir) {
+            const double d = c.duration();
+            const double vol = volumeOf(c);
+            if (d <= eps || vol <= 0.0) continue;
+            load += (vol / d) * activeInstances(c.begin, d, t, lambda);
+          }
+          if (load > 1.0 + 100 * eps) {
+            rep.fail(std::string(inDir ? "incoming" : "outgoing") +
+                     " bandwidth exceeded at " + nodeName(i) +
+                     " (t=" + std::to_string(t) +
+                     ", load=" + std::to_string(load) + ")");
+          }
+        }
+      }
+    }
+  }
+
+  void onePortOverlapRules() {
+    const double lambda = ol.lambda();
+    for (NodeId i = 0; i < app.size(); ++i) {
+      if (costs.at(i).ccomp > lambda + eps) {
+        rep.fail("calc " + nodeName(i) + " exceeds lambda");
+      }
+      noOverlapModLambda(commOps(ol.incoming(i)), nodeName(i) + " (in port)");
+      noOverlapModLambda(commOps(ol.outgoing(i)), nodeName(i) + " (out port)");
+    }
+  }
+};
+
+}  // namespace
+
+std::string ValidationReport::summary() const {
+  if (valid) return "valid";
+  std::ostringstream os;
+  os << violations.size() << " violation(s):";
+  for (const auto& v : violations) os << "\n  - " << v;
+  return os.str();
+}
+
+bool wrappedOverlap(double b1, double d1, double b2, double d2, double lambda,
+                    double eps) {
+  if (d1 <= eps || d2 <= eps) return false;
+  const double r1 = wrap(b1, lambda);
+  const double r2 = wrap(b2, lambda);
+  for (int k = -1; k <= 1; ++k) {
+    const double lo = std::max(r1, r2 + k * lambda);
+    const double hi = std::min(r1 + d1, r2 + k * lambda + d2);
+    if (hi - lo > eps) return true;
+  }
+  return false;
+}
+
+int activeInstances(double b, double d, double t, double lambda, double eps) {
+  if (d <= eps) return 0;
+  // Count integers k with b + k*lambda <= t < b + k*lambda + d, i.e.
+  // k in ((t - b - d)/lambda, (t - b)/lambda].
+  const double hi = (t - b) / lambda;
+  const double lo = (t - b - d) / lambda;
+  return static_cast<int>(std::floor(hi + eps) - std::floor(lo + eps));
+}
+
+ValidationReport validate(const Application& app, const ExecutionGraph& graph,
+                          const OperationList& ol, CommModel m, double eps) {
+  Checker chk(app, graph, ol, eps);
+  if (!chk.structure()) return chk.rep;
+  chk.durations(/*onePortComms=*/m != CommModel::Overlap);
+  chk.precedence();
+  switch (m) {
+    case CommModel::InOrder:
+      chk.inorderRules();
+      break;
+    case CommModel::OutOrder:
+      chk.outorderRules();
+      break;
+    case CommModel::Overlap:
+      chk.overlapRules();
+      break;
+  }
+  return chk.rep;
+}
+
+ValidationReport validateOnePortOverlap(const Application& app,
+                                        const ExecutionGraph& graph,
+                                        const OperationList& ol, double eps) {
+  Checker chk(app, graph, ol, eps);
+  if (!chk.structure()) return chk.rep;
+  chk.durations(/*onePortComms=*/true);
+  chk.precedence();
+  chk.onePortOverlapRules();
+  return chk.rep;
+}
+
+}  // namespace fsw

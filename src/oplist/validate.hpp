@@ -1,0 +1,79 @@
+// Validity of an operation list with respect to a communication model:
+// the rule sets of Appendix A, implemented literally.
+//
+// Common rules (all models):
+//   * structure: one communication per EG edge, one virtual input per entry
+//     service, one virtual output per exit service, nothing else;
+//   * durations: EndCalc - BeginCalc = Ccomp; one-port communications last
+//     exactly their volume; OVERLAP communications last >= volume (a fixed
+//     bandwidth ratio <= 1 for their whole execution — communications are
+//     non-preemptive and their bandwidth share is constant);
+//   * same-data-set precedence: incoming communications complete before the
+//     computation, which completes before outgoing communications begin.
+//
+// INORDER adds: per node, incoming (resp. outgoing) communications pairwise
+// disjoint in absolute time, and every outgoing communication of data set n
+// ends before any incoming communication of data set n+1 begins
+// (Appendix A constraint (1)).
+//
+// OUTORDER instead requires: every pair of operations hosted by the same
+// server (its computation and all its incident communications) occupy
+// disjoint windows *modulo lambda* (the case-1/case-2 analyses of Appendix
+// A are exactly wrapped-interval disjointness).
+//
+// OVERLAP instead requires: the computation fits in one period, and at every
+// instant the bandwidth ratios of the incoming (resp. outgoing)
+// communications concurrently active on a server — counting multiple
+// in-flight data sets — sum to at most b = 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/application.hpp"
+#include "src/core/cost_model.hpp"
+#include "src/core/execution_graph.hpp"
+#include "src/core/model.hpp"
+#include "src/oplist/operation_list.hpp"
+
+namespace fsw {
+
+struct ValidationReport {
+  bool valid = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string msg) {
+    valid = false;
+    violations.push_back(std::move(msg));
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Checks ol against the rules of model m for the plan (app, graph).
+[[nodiscard]] ValidationReport validate(const Application& app,
+                                        const ExecutionGraph& graph,
+                                        const OperationList& ol, CommModel m,
+                                        double eps = 1e-7);
+
+/// The hybrid used by counter-examples B.2/B.3 to separate one-port from
+/// multi-port: communication/computation overlap as in OVERLAP, but each
+/// server's incoming (resp. outgoing) communications are serialized on a
+/// one-port basis (pairwise disjoint modulo lambda). Computations remain
+/// serialized with themselves (Ccomp <= lambda).
+[[nodiscard]] ValidationReport validateOnePortOverlap(
+    const Application& app, const ExecutionGraph& graph,
+    const OperationList& ol, double eps = 1e-7);
+
+/// True iff the two cyclic occupancy windows (begin b, duration d) overlap
+/// modulo lambda. Zero-duration windows never overlap; windows touching at
+/// endpoints do not overlap. Exposed for tests.
+[[nodiscard]] bool wrappedOverlap(double b1, double d1, double b2, double d2,
+                                  double lambda, double eps = 1e-9);
+
+/// Number of instances of the cyclic window (begin b, duration d, period
+/// lambda) active at time t, i.e. |{k in Z : b + k*lambda <= t < b + k*lambda
+/// + d}|. Exposed for tests.
+[[nodiscard]] int activeInstances(double b, double d, double t, double lambda,
+                                  double eps = 1e-9);
+
+}  // namespace fsw

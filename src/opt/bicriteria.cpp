@@ -1,0 +1,153 @@
+#include "src/opt/bicriteria.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/prng.hpp"
+#include "src/oplist/validate.hpp"
+#include "src/opt/chain.hpp"
+#include "src/opt/heuristics.hpp"
+#include "src/sched/latency.hpp"
+#include "src/sched/overlap.hpp"
+#include "src/workload/generator.hpp"
+
+namespace fsw {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void addPoint(std::vector<ParetoPoint>& points, const Application& app,
+              CommModel m, const ExecutionGraph& graph, OperationList ol,
+              std::string strategy) {
+  if (!validate(app, graph, ol, m).valid) return;
+  ParetoPoint p;
+  p.period = ol.period();
+  p.latency = ol.latency();
+  p.plan = {graph, std::move(ol)};
+  p.strategy = std::move(strategy);
+  points.push_back(std::move(p));
+}
+
+}  // namespace
+
+std::vector<ParetoPoint> paretoFilter(std::vector<ParetoPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return a.period < b.period ||
+                     (a.period == b.period && a.latency < b.latency);
+            });
+  std::vector<ParetoPoint> front;
+  double bestLatency = kInf;
+  for (auto& p : points) {
+    if (p.latency < bestLatency - 1e-9) {
+      bestLatency = p.latency;
+      front.push_back(std::move(p));
+    }
+  }
+  return front;
+}
+
+std::vector<ParetoPoint> periodLatencyFrontForGraph(
+    const Application& app, const ExecutionGraph& graph, CommModel m,
+    const BicriteriaOptions& opt) {
+  std::vector<ParetoPoint> points;
+
+  // One-port schedules are valid under every model: sweep lambda for each
+  // candidate port-order set.
+  const std::vector<PortOrders> orderCandidates = {
+      PortOrders::heuristic(app, graph),
+      PortOrders::canonical(graph),
+      PortOrders::listLatency(app, graph),
+  };
+  for (const auto& orders : orderCandidates) {
+    const auto minPeriod = inorderPeriodForOrders(app, graph, orders);
+    const auto minLatency = oneportLatencyForOrders(app, graph, orders);
+    if (!minPeriod || !minLatency) continue;
+    const double lo = minPeriod->value;
+    const double hi = std::max(lo, minLatency->value);
+    addPoint(points, app, m, graph, minPeriod->ol, "orders/min-period");
+    addPoint(points, app, m, graph, minLatency->ol, "orders/min-latency");
+    const std::size_t samples = std::max<std::size_t>(2, opt.lambdaSamples);
+    for (std::size_t s = 1; s + 1 < samples; ++s) {
+      const double lambda =
+          lo + (hi - lo) * static_cast<double>(s) / (samples - 1);
+      if (auto ol = inorderScheduleAtLambda(app, graph, orders, lambda)) {
+        addPoint(points, app, m, graph, std::move(*ol), "orders/sweep");
+      }
+    }
+  }
+
+  // Model-specific endpoints.
+  if (m == CommModel::Overlap) {
+    addPoint(points, app, m, graph, overlapPeriodSchedule(app, graph),
+             "overlap/min-period");
+    addPoint(points, app, m, graph, overlapLatencyFluid(app, graph),
+             "overlap/fluid-latency");
+  }
+  if (m == CommModel::OutOrder) {
+    OutorderOptions oo = opt.orchestrator.outorder;
+    oo.inorder = opt.orchestrator.order;
+    const auto r = outorderOrchestratePeriod(app, graph, oo);
+    addPoint(points, app, m, graph, r.ol, "outorder/min-period");
+  }
+  if (graph.isForest()) {
+    addPoint(points, app, m, graph, treeLatencySchedule(app, graph).ol,
+             "tree/min-latency");
+  }
+  return paretoFilter(std::move(points));
+}
+
+std::vector<ParetoPoint> periodLatencyFront(const Application& app,
+                                            CommModel m,
+                                            const BicriteriaOptions& opt) {
+  std::vector<ExecutionGraph> graphs;
+  if (!app.hasPrecedences()) {
+    graphs.push_back(ExecutionGraph::chain(chainOrderPeriod(app, m)));
+    graphs.push_back(ExecutionGraph::chain(chainOrderLatency(app)));
+    graphs.push_back(noCommBaselineGraph(app));
+  }
+  graphs.push_back(greedyForest(app, m, Objective::Period));
+  graphs.push_back(greedyForest(app, m, Objective::Latency));
+  Prng rng(opt.seed);
+  while (graphs.size() < opt.graphCandidates + 2) {
+    graphs.push_back(randomForest(app, rng));
+  }
+
+  std::vector<ParetoPoint> points;
+  for (const auto& g : graphs) {
+    if (!g.respects(app)) continue;
+    auto sub = periodLatencyFrontForGraph(app, g, m, opt);
+    for (auto& p : sub) points.push_back(std::move(p));
+  }
+  return paretoFilter(std::move(points));
+}
+
+ParetoPoint minLatencyGivenPeriod(const Application& app, CommModel m,
+                                  double periodBound,
+                                  const BicriteriaOptions& opt) {
+  ParetoPoint best;
+  best.period = kInf;
+  best.latency = kInf;
+  for (auto& p : periodLatencyFront(app, m, opt)) {
+    if (p.period <= periodBound + 1e-9 && p.latency < best.latency) {
+      best = std::move(p);
+    }
+  }
+  return best;
+}
+
+ParetoPoint minPeriodGivenLatency(const Application& app, CommModel m,
+                                  double latencyBound,
+                                  const BicriteriaOptions& opt) {
+  ParetoPoint best;
+  best.period = kInf;
+  best.latency = kInf;
+  for (auto& p : periodLatencyFront(app, m, opt)) {
+    if (p.latency <= latencyBound + 1e-9 && p.period < best.period) {
+      best = std::move(p);
+    }
+  }
+  return best;
+}
+
+}  // namespace fsw

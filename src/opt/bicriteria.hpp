@@ -1,0 +1,68 @@
+// Bi-criteria period/latency optimization — the extension the paper's
+// conclusion names as future work ("given a threshold period, what is the
+// optimal latency? and conversely").
+//
+// Key observation: for fixed port orders the INORDER rule set is a
+// difference-constraint system whose *minimal* solution (the one the solver
+// returns) minimizes every begin time simultaneously — so for each feasible
+// lambda the extracted operation list has the minimal latency among
+// schedules with those orders and that period. Sweeping lambda from the
+// optimal period up to the optimal latency traces a period/latency front for
+// one execution graph; taking the non-dominated union over candidate graphs
+// (and over the other models' specialized schedules, every one-port OL being
+// OVERLAP/OUTORDER-valid) gives the plan-level front.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/application.hpp"
+#include "src/core/model.hpp"
+#include "src/oplist/plan.hpp"
+#include "src/sched/orchestrator.hpp"
+
+namespace fsw {
+
+struct ParetoPoint {
+  double period = 0.0;
+  double latency = 0.0;
+  Plan plan;
+  std::string strategy;
+};
+
+struct BicriteriaOptions {
+  std::size_t lambdaSamples = 12;   ///< sweep points per (graph, orders)
+  std::size_t graphCandidates = 6;  ///< candidate execution graphs explored
+  OrchestratorOptions orchestrator{};
+  std::uint64_t seed = 1;
+};
+
+/// Non-dominated (period, latency) points achievable on one execution graph
+/// under model m. Sorted by increasing period; every plan validates.
+[[nodiscard]] std::vector<ParetoPoint> periodLatencyFrontForGraph(
+    const Application& app, const ExecutionGraph& graph, CommModel m,
+    const BicriteriaOptions& opt = {});
+
+/// Plan-level front: non-dominated union over candidate execution graphs
+/// (chain greedies, heuristic forests, random forests).
+[[nodiscard]] std::vector<ParetoPoint> periodLatencyFront(
+    const Application& app, CommModel m, const BicriteriaOptions& opt = {});
+
+/// Minimal latency subject to period <= periodBound (infinity latency in the
+/// returned point when the bound is unachievable).
+[[nodiscard]] ParetoPoint minLatencyGivenPeriod(const Application& app,
+                                                CommModel m,
+                                                double periodBound,
+                                                const BicriteriaOptions& opt = {});
+
+/// Minimal period subject to latency <= latencyBound.
+[[nodiscard]] ParetoPoint minPeriodGivenLatency(const Application& app,
+                                                CommModel m,
+                                                double latencyBound,
+                                                const BicriteriaOptions& opt = {});
+
+/// Removes dominated points and sorts by period (exposed for tests).
+[[nodiscard]] std::vector<ParetoPoint> paretoFilter(
+    std::vector<ParetoPoint> points);
+
+}  // namespace fsw

@@ -1,0 +1,103 @@
+#include "src/opt/chain.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/core/cost_model.hpp"
+
+namespace fsw {
+namespace {
+
+void requireNoPrecedences(const Application& app, const char* who) {
+  if (app.hasPrecedences()) {
+    throw std::invalid_argument(std::string(who) +
+                                ": requires an application without "
+                                "precedence constraints");
+  }
+}
+
+}  // namespace
+
+std::vector<NodeId> chainOrderPeriod(const Application& app, CommModel m) {
+  requireNoPrecedences(app, "chainOrderPeriod");
+  auto cPrime = [&](NodeId k) {
+    const auto& s = app.service(k);
+    return m == CommModel::Overlap ? std::max(1.0, s.cost)
+                                   : 1.0 + s.cost + s.selectivity;
+  };
+  std::vector<NodeId> filters;
+  std::vector<NodeId> expanders;
+  for (NodeId i = 0; i < app.size(); ++i) {
+    (app.service(i).selectivity < 1.0 ? filters : expanders).push_back(i);
+  }
+  std::sort(filters.begin(), filters.end(),
+            [&](NodeId a, NodeId b) { return cPrime(a) < cPrime(b); });
+  std::sort(expanders.begin(), expanders.end(), [&](NodeId a, NodeId b) {
+    return app.service(a).selectivity / cPrime(a) <
+           app.service(b).selectivity / cPrime(b);
+  });
+  filters.insert(filters.end(), expanders.begin(), expanders.end());
+  return filters;
+}
+
+std::vector<NodeId> chainOrderLatency(const Application& app) {
+  requireNoPrecedences(app, "chainOrderLatency");
+  std::vector<NodeId> order(app.size());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    const auto& sa = app.service(a);
+    const auto& sb = app.service(b);
+    return (1.0 - sa.selectivity) / (1.0 + sa.cost) >
+           (1.0 - sb.selectivity) / (1.0 + sb.cost);
+  });
+  return order;
+}
+
+double chainPeriodValue(const Application& app,
+                        const std::vector<NodeId>& order, CommModel m) {
+  const CostModel costs(app, ExecutionGraph::chain(order));
+  return costs.periodLowerBound(m);
+}
+
+double chainLatencyValue(const Application& app,
+                         const std::vector<NodeId>& order) {
+  const CostModel costs(app, ExecutionGraph::chain(order));
+  return costs.latencyLowerBound();
+}
+
+ExecutionGraph noCommBaselineGraph(const Application& app) {
+  requireNoPrecedences(app, "noCommBaselineGraph");
+  std::vector<NodeId> filters;
+  std::vector<NodeId> expanders;
+  for (NodeId i = 0; i < app.size(); ++i) {
+    (app.service(i).selectivity < 1.0 ? filters : expanders).push_back(i);
+  }
+  // Srivastava et al.: filters chained by increasing c / (1 - sigma).
+  std::sort(filters.begin(), filters.end(), [&](NodeId a, NodeId b) {
+    const auto& sa = app.service(a);
+    const auto& sb = app.service(b);
+    return sa.cost / (1.0 - sa.selectivity) < sb.cost / (1.0 - sb.selectivity);
+  });
+  ExecutionGraph g(app.size());
+  for (std::size_t i = 0; i + 1 < filters.size(); ++i) {
+    g.addEdge(filters[i], filters[i + 1]);
+  }
+  // Expanders benefit from the full filtering but never help anyone:
+  // parallel leaves of the last filter (or isolated roots if no filter).
+  if (!filters.empty()) {
+    for (const NodeId e : expanders) g.addEdge(filters.back(), e);
+  }
+  return g;
+}
+
+double noCommPeriodValue(const Application& app, const ExecutionGraph& graph) {
+  const CostModel costs(app, graph);
+  double p = 0.0;
+  for (NodeId i = 0; i < app.size(); ++i) {
+    p = std::max(p, costs.at(i).ccomp);
+  }
+  return p;
+}
+
+}  // namespace fsw

@@ -1,0 +1,47 @@
+// Polynomial chain plans.
+//
+//  * MinPeriod restricted to linear chains (Prop 8): filters (sigma < 1)
+//    first by increasing c'_k, then expanders by increasing sigma_k / c'_k,
+//    with c'_k = 1 + c_k + sigma_k for the one-port models and
+//    c'_k = max(1, c_k) for OVERLAP.
+//  * MinLatency restricted to linear chains (Prop 16): decreasing
+//    (1 - sigma_i) / (1 + c_i), identical for all models.
+//  * The no-communication baseline of Srivastava et al. [1]: filters chained
+//    by increasing c_i / (1 - sigma_i), expanders attached as parallel
+//    leaves of the full filter chain — optimal when communications are free,
+//    and the plan that counter-example B.1 shows breaks down under OVERLAP.
+#pragma once
+
+#include <vector>
+
+#include "src/core/application.hpp"
+#include "src/core/execution_graph.hpp"
+#include "src/core/model.hpp"
+
+namespace fsw {
+
+/// Prop 8 service order. Only valid without precedence constraints.
+[[nodiscard]] std::vector<NodeId> chainOrderPeriod(const Application& app,
+                                                   CommModel m);
+
+/// Prop 16 service order. Only valid without precedence constraints.
+[[nodiscard]] std::vector<NodeId> chainOrderLatency(const Application& app);
+
+/// Period of the chain execution graph following `order` (the max-Cexec
+/// bound, achievable on chains for all three models).
+[[nodiscard]] double chainPeriodValue(const Application& app,
+                                      const std::vector<NodeId>& order,
+                                      CommModel m);
+
+/// Latency of the chain execution graph following `order` (the serial path).
+[[nodiscard]] double chainLatencyValue(const Application& app,
+                                       const std::vector<NodeId>& order);
+
+/// The [1]-optimal execution graph when communications are free.
+[[nodiscard]] ExecutionGraph noCommBaselineGraph(const Application& app);
+
+/// Period of a graph when communication is free: max_k Ccomp(k).
+[[nodiscard]] double noCommPeriodValue(const Application& app,
+                                       const ExecutionGraph& graph);
+
+}  // namespace fsw

@@ -1,0 +1,110 @@
+#include "src/opt/forest_search.hpp"
+
+#include <stdexcept>
+
+#include "src/core/cost_model.hpp"
+#include "src/core/service.hpp"
+#include "src/sched/latency.hpp"
+#include "src/sched/orchestrator.hpp"
+
+namespace fsw {
+namespace {
+
+/// True iff the parent function is acyclic (every chain reaches a root).
+bool acyclic(const std::vector<NodeId>& parent) {
+  const std::size_t n = parent.size();
+  std::vector<int> state(n, 0);  // 0 unvisited, 1 on path, 2 done
+  for (NodeId i = 0; i < n; ++i) {
+    NodeId v = i;
+    std::vector<NodeId> path;
+    while (v != kNoNode && state[v] == 0) {
+      state[v] = 1;
+      path.push_back(v);
+      v = parent[v];
+    }
+    if (v != kNoNode && state[v] == 1) return false;  // hit the open path
+    for (const NodeId u : path) state[u] = 2;
+  }
+  return true;
+}
+
+}  // namespace
+
+ForestSearchResult exactForestSearch(
+    const Application& app,
+    const std::function<double(const ExecutionGraph&)>& objective,
+    std::size_t maxN) {
+  const std::size_t n = app.size();
+  if (n > maxN) {
+    throw std::invalid_argument("exactForestSearch: instance too large");
+  }
+  ForestSearchResult best;
+  std::vector<NodeId> parent(n, kNoNode);
+
+  // Odometer over parent choices; each node has n choices: digits 0..n-2
+  // name the n-1 other services (self skipped), digit n-1 means "root".
+  std::vector<std::size_t> digit(n, 0);
+  const auto toParent = [&](NodeId i, std::size_t d) -> NodeId {
+    if (d == n - 1) return kNoNode;
+    const NodeId p = static_cast<NodeId>(d);
+    return p >= i ? p + 1 : p;
+  };
+  const auto digitLimit = [&](NodeId i) -> std::size_t {
+    (void)i;
+    return n - 1;
+  };
+
+  bool carry = false;
+  while (!carry) {
+    for (NodeId i = 0; i < n; ++i) parent[i] = toParent(i, digit[i]);
+    if (acyclic(parent)) {
+      ExecutionGraph g = ExecutionGraph::fromParents(parent);
+      if (g.respects(app)) {
+        ++best.explored;
+        const double v = objective(g);
+        if (v < best.value) {
+          best.value = v;
+          best.graph = std::move(g);
+        }
+      }
+    }
+    // Increment odometer.
+    carry = true;
+    for (NodeId i = 0; i < n && carry; ++i) {
+      if (digit[i] < digitLimit(i)) {
+        ++digit[i];
+        carry = false;
+      } else {
+        digit[i] = 0;
+      }
+    }
+  }
+  return best;
+}
+
+ForestSearchResult exactForestMinPeriod(const Application& app, CommModel m,
+                                        bool orchestrated, std::size_t maxN) {
+  if (!orchestrated) {
+    return exactForestSearch(
+        app,
+        [&](const ExecutionGraph& g) {
+          return CostModel(app, g).periodLowerBound(m);
+        },
+        maxN);
+  }
+  return exactForestSearch(
+      app,
+      [&](const ExecutionGraph& g) {
+        return orchestrate(app, g, m, Objective::Period).result.value;
+      },
+      maxN);
+}
+
+ForestSearchResult exactForestMinLatency(const Application& app,
+                                         std::size_t maxN) {
+  return exactForestSearch(
+      app, [&](const ExecutionGraph& g) { return treeLatencyValue(app, g); },
+      maxN);
+}
+
+}  // namespace fsw

@@ -1,0 +1,72 @@
+#include "src/opt/optimizer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "src/opt/chain.hpp"
+#include "src/opt/forest_search.hpp"
+
+namespace fsw {
+namespace {
+
+struct Candidate {
+  ExecutionGraph graph{0};
+  double surrogate = std::numeric_limits<double>::infinity();
+  std::string strategy;
+};
+
+}  // namespace
+
+OptimizedPlan optimizePlan(const Application& app, CommModel m, Objective obj,
+                           const OptimizerOptions& opt) {
+  std::vector<Candidate> candidates;
+  auto add = [&](ExecutionGraph g, std::string strategy) {
+    if (!g.respects(app)) return;
+    Candidate c{std::move(g), 0.0, std::move(strategy)};
+    c.surrogate = surrogateScore(app, c.graph, m, obj);
+    candidates.push_back(std::move(c));
+  };
+
+  if (!app.hasPrecedences()) {
+    if (obj == Objective::Period) {
+      add(ExecutionGraph::chain(chainOrderPeriod(app, m)), "chain-greedy");
+    } else {
+      add(ExecutionGraph::chain(chainOrderLatency(app)), "chain-greedy");
+    }
+    add(noCommBaselineGraph(app), "no-comm-baseline");
+  }
+  add(greedyForest(app, m, obj), "greedy-forest");
+  add(hillClimbForest(app, m, obj, greedyForest(app, m, obj)), "hill-climb");
+  add(annealForest(app, m, obj, opt.heuristics), "anneal");
+  if (app.size() <= opt.exactForestMaxN) {
+    if (obj == Objective::Period) {
+      add(exactForestMinPeriod(app, m).graph, "exact-forest");
+    } else {
+      add(exactForestMinLatency(app).graph, "exact-forest");
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.surrogate < b.surrogate;
+            });
+
+  OptimizedPlan best;
+  best.value = std::numeric_limits<double>::infinity();
+  const std::size_t top = std::min(opt.orchestrateTop, candidates.size());
+  for (std::size_t k = 0; k < top; ++k) {
+    auto& cand = candidates[k];
+    const Orchestration orch =
+        orchestrate(app, cand.graph, m, obj, opt.orchestrator);
+    if (orch.result.value < best.value) {
+      best.value = orch.result.value;
+      best.plan = {std::move(cand.graph), orch.result.ol};
+      best.surrogate = cand.surrogate;
+      best.strategy = cand.strategy;
+    }
+  }
+  return best;
+}
+
+}  // namespace fsw

@@ -1,0 +1,38 @@
+// Facade for the full MinPeriod / MinLatency problems: generate candidate
+// execution graphs (chain greedies, no-comm baseline, greedy forest, hill
+// climbing, annealing, exact forest search when n is small), orchestrate
+// the best candidates under the target model, and return the best *valid*
+// plan found together with its achieved objective.
+#pragma once
+
+#include <string>
+
+#include "src/core/application.hpp"
+#include "src/core/model.hpp"
+#include "src/opt/heuristics.hpp"
+#include "src/oplist/plan.hpp"
+#include "src/sched/orchestrator.hpp"
+
+namespace fsw {
+
+struct OptimizerOptions {
+  std::size_t exactForestMaxN = 6;  ///< exhaustive forest search cutoff
+  std::size_t orchestrateTop = 3;   ///< candidates handed to the orchestrator
+  HeuristicOptions heuristics{};
+  OrchestratorOptions orchestrator{};
+};
+
+struct OptimizedPlan {
+  Plan plan;
+  double value = 0.0;          ///< achieved period or latency
+  double surrogate = 0.0;      ///< the candidate's surrogate score
+  std::string strategy;        ///< which candidate generator won
+};
+
+/// Solves MinPeriod or MinLatency for (app, m) heuristically (exactly for
+/// small n via forest enumeration, per Prop 4 for the period).
+[[nodiscard]] OptimizedPlan optimizePlan(const Application& app, CommModel m,
+                                         Objective obj,
+                                         const OptimizerOptions& opt = {});
+
+}  // namespace fsw

@@ -1,0 +1,237 @@
+#include "src/sched/inorder.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "src/common/prng.hpp"
+#include "src/core/cost_model.hpp"
+#include "src/sched/periodic_cg.hpp"
+
+namespace fsw {
+namespace {
+
+using Var = PeriodicConstraintGraph::Var;
+using CommKey = std::pair<NodeId, NodeId>;
+
+/// The INORDER rule set with fixed port orders as a difference-constraint
+/// system. With `cyclic` false the wrap-around constraints are dropped,
+/// which models the single-data-set (latency) regime.
+struct System {
+  PeriodicConstraintGraph pcg;
+  std::map<CommKey, Var> commVar;
+  std::map<CommKey, double> commDur;
+  std::vector<Var> calcVar;
+  std::vector<double> calcDur;
+
+  System(const Application& app, const ExecutionGraph& graph,
+         const PortOrders& orders, bool cyclic) {
+    const CostModel costs(app, graph);
+    const std::size_t n = graph.size();
+
+    calcVar.resize(n);
+    calcDur.resize(n);
+    for (NodeId i = 0; i < n; ++i) {
+      calcVar[i] = pcg.addVariable();
+      calcDur[i] = costs.at(i).ccomp;
+    }
+    auto commOf = [&](NodeId from, NodeId to) -> Var {
+      const CommKey key{from, to};
+      const auto it = commVar.find(key);
+      if (it != commVar.end()) return it->second;
+      const Var v = pcg.addVariable();
+      commVar.emplace(key, v);
+      commDur.emplace(key, from == kWorld ? 1.0 : costs.at(from).sigmaOut);
+      return v;
+    };
+
+    for (NodeId i = 0; i < n; ++i) {
+      const auto& ins = orders.in[i];
+      const auto& outs = orders.out[i];
+      // Receive chain.
+      for (std::size_t t = 0; t + 1 < ins.size(); ++t) {
+        const Var a = commOf(ins[t], i);
+        const Var b = commOf(ins[t + 1], i);
+        pcg.addConstraint(a, b, commDur.at({ins[t], i}));
+      }
+      // Computation after the last receive.
+      if (!ins.empty()) {
+        const NodeId last = ins.back();
+        const Var v = commOf(last, i);
+        pcg.addConstraint(v, calcVar[i], commDur.at({last, i}));
+      }
+      // Send chain after the computation.
+      if (!outs.empty()) {
+        const Var first = commOf(i, outs.front());
+        pcg.addConstraint(calcVar[i], first, calcDur[i]);
+      }
+      for (std::size_t t = 0; t + 1 < outs.size(); ++t) {
+        const Var a = commOf(i, outs[t]);
+        const Var b = commOf(i, outs[t + 1]);
+        pcg.addConstraint(a, b, commDur.at({i, outs[t]}));
+      }
+      // Wrap-around (Appendix A constraint (1)): the last send of data set n
+      // ends before the first receive of data set n+1 begins.
+      if (cyclic && !ins.empty() && !outs.empty()) {
+        const NodeId lastOut = outs.back();
+        const Var out = commOf(i, lastOut);
+        const Var in = commOf(ins.front(), i);
+        pcg.addConstraint(out, in, commDur.at({i, lastOut}), /*k=*/1);
+      }
+    }
+  }
+
+  /// Per-node busy time: a lower bound on any feasible lambda.
+  [[nodiscard]] double busyLowerBound(const ExecutionGraph& graph) const {
+    double lb = 0.0;
+    for (NodeId i = 0; i < graph.size(); ++i) {
+      double busy = calcDur[i];
+      for (const auto& [key, d] : commDur) {
+        if (key.first == i || key.second == i) busy += d;
+      }
+      lb = std::max(lb, busy);
+    }
+    return lb;
+  }
+
+  [[nodiscard]] double totalDuration() const {
+    double s = 0.0;
+    for (const double d : calcDur) s += d;
+    for (const auto& [key, d] : commDur) s += d;
+    return s;
+  }
+
+  [[nodiscard]] OperationList extract(const std::vector<double>& x,
+                                      double lambda) const {
+    OperationList ol(calcVar.size(), lambda);
+    for (NodeId i = 0; i < calcVar.size(); ++i) {
+      ol.setCalc(i, x[calcVar[i]], x[calcVar[i]] + calcDur[i]);
+    }
+    for (const auto& [key, v] : commVar) {
+      ol.setComm(key.first, key.second, x[v], x[v] + commDur.at(key));
+    }
+    return ol;
+  }
+};
+
+OrchestrationResult betterOf(OrchestrationResult a, OrchestrationResult b) {
+  return (b.value < a.value) ? std::move(b) : std::move(a);
+}
+
+using ForOrdersFn = std::optional<OrchestrationResult> (*)(
+    const Application&, const ExecutionGraph&, const PortOrders&);
+
+/// Shared order-search driver for period and latency objectives.
+OrchestrationResult searchOrders(const Application& app,
+                                 const ExecutionGraph& graph,
+                                 const OrchestrationOptions& opt,
+                                 ForOrdersFn evalOrders) {
+  OrchestrationResult best;
+  best.value = std::numeric_limits<double>::infinity();
+
+  const std::size_t combos = countPortOrders(graph, opt.exactCap);
+  if (combos < opt.exactCap) {
+    forEachPortOrders(graph, opt.exactCap, [&](const PortOrders& po) {
+      if (auto r = evalOrders(app, graph, po)) {
+        best = betterOf(std::move(best), std::move(*r));
+      }
+      return true;
+    });
+    return best;
+  }
+
+  for (const PortOrders& start :
+       {PortOrders::heuristic(app, graph), PortOrders::canonical(graph)}) {
+    if (auto r = evalOrders(app, graph, start)) {
+      best = betterOf(std::move(best), std::move(*r));
+    }
+  }
+
+  // Local search: random adjacent swaps in one node's receive or send order.
+  Prng rng(opt.seed);
+  PortOrders current = best.orders;
+  double currentValue = best.value;
+  for (std::size_t it = 0; it < opt.localSearchIters; ++it) {
+    const NodeId i =
+        static_cast<NodeId>(rng.uniformInt(0, static_cast<std::int64_t>(graph.size()) - 1));
+    const bool inSide = rng.bernoulli(0.5);
+    auto& seq = inSide ? current.in[i] : current.out[i];
+    if (seq.size() < 2) continue;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(seq.size()) - 2));
+    std::swap(seq[pos], seq[pos + 1]);
+    const auto r = evalOrders(app, graph, current);
+    if (r && r->value < currentValue - 1e-12) {
+      currentValue = r->value;
+      best = betterOf(std::move(best), OrchestrationResult(*r));
+    } else {
+      std::swap(seq[pos], seq[pos + 1]);  // revert
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<OrchestrationResult> inorderPeriodForOrders(
+    const Application& app, const ExecutionGraph& graph,
+    const PortOrders& orders) {
+  const System sys(app, graph, orders, /*cyclic=*/true);
+  const double lo = sys.busyLowerBound(graph);
+  const double hi = 2.0 * sys.totalDuration() + 1.0;
+  const auto r = sys.pcg.minLambda(lo, hi);
+  if (!r) return std::nullopt;
+  OrchestrationResult out;
+  out.value = r->lambda;
+  out.ol = sys.extract(r->potentials, r->lambda);
+  out.orders = orders;
+  return out;
+}
+
+std::optional<OperationList> inorderScheduleAtLambda(const Application& app,
+                                                     const ExecutionGraph& graph,
+                                                     const PortOrders& orders,
+                                                     double lambda) {
+  const System sys(app, graph, orders, /*cyclic=*/true);
+  const auto x = sys.pcg.solve(lambda);
+  if (!x) return std::nullopt;
+  return sys.extract(*x, lambda);
+}
+
+std::optional<OrchestrationResult> oneportLatencyForOrders(
+    const Application& app, const ExecutionGraph& graph,
+    const PortOrders& orders) {
+  const System sys(app, graph, orders, /*cyclic=*/false);
+  const auto x = sys.pcg.solve(/*lambda=*/0.0);  // lambda unused when acyclic
+  if (!x) return std::nullopt;
+  OrchestrationResult out;
+  out.ol = sys.extract(*x, /*lambda=*/1.0);
+  out.value = out.ol.latency();
+  // Serialize consecutive data sets: P = L (Section 2.2, "Latency").
+  out.ol.setLambda(out.value);
+  out.orders = orders;
+  return out;
+}
+
+OrchestrationResult inorderOrchestratePeriod(const Application& app,
+                                             const ExecutionGraph& graph,
+                                             const OrchestrationOptions& opt) {
+  return searchOrders(app, graph, opt, &inorderPeriodForOrders);
+}
+
+OrchestrationResult oneportOrchestrateLatency(
+    const Application& app, const ExecutionGraph& graph,
+    const OrchestrationOptions& opt) {
+  OrchestrationResult best =
+      searchOrders(app, graph, opt, &oneportLatencyForOrders);
+  // The list-scheduling packing is often much stronger than order search on
+  // communication-bound graphs (e.g. counter-example B.2).
+  if (auto r = oneportLatencyForOrders(app, graph,
+                                       PortOrders::listLatency(app, graph))) {
+    best = betterOf(std::move(best), std::move(*r));
+  }
+  return best;
+}
+
+}  // namespace fsw

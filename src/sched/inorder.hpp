@@ -1,0 +1,69 @@
+// INORDER orchestration: given an execution graph, find the operation list
+// minimizing the period (NP-hard, Theorem 1/Prop 3) or the latency.
+//
+// For *fixed* port orders the problem is polynomial: the INORDER rules become
+// a periodic difference-constraint system (see periodic_cg.hpp) whose minimal
+// feasible lambda is the optimal period for those orders. The hardness lives
+// in choosing the orders, so this module offers exhaustive order enumeration
+// (exact, small graphs) and heuristic orders + local search (large graphs).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/core/application.hpp"
+#include "src/core/execution_graph.hpp"
+#include "src/oplist/operation_list.hpp"
+#include "src/sched/port_orders.hpp"
+
+namespace fsw {
+
+struct OrchestrationResult {
+  double value = 0.0;  ///< achieved period (or latency, per the call)
+  OperationList ol;
+  PortOrders orders;
+};
+
+struct OrchestrationOptions {
+  /// Enumerate all port orders exactly when their count is at most this.
+  std::size_t exactCap = 20000;
+  /// Local-search random adjacent swaps tried when not exact.
+  std::size_t localSearchIters = 300;
+  std::uint64_t seed = 1;
+};
+
+/// Minimal INORDER period achievable with the given port orders, or nullopt
+/// if the orders are inconsistent (cyclic sequencing requirements).
+[[nodiscard]] std::optional<OrchestrationResult> inorderPeriodForOrders(
+    const Application& app, const ExecutionGraph& graph,
+    const PortOrders& orders);
+
+/// The minimal-begin-times INORDER schedule with the given orders at a
+/// *fixed* period lambda, or nullopt if infeasible. Because the solution is
+/// componentwise minimal, its latency is the smallest achievable for these
+/// orders at this lambda — the primitive behind the bi-criteria front.
+[[nodiscard]] std::optional<OperationList> inorderScheduleAtLambda(
+    const Application& app, const ExecutionGraph& graph,
+    const PortOrders& orders, double lambda);
+
+/// Minimal one-port latency (single data set, valid for both INORDER and
+/// OUTORDER) with the given port orders, or nullopt if inconsistent. The
+/// returned OL serializes data sets: lambda = latency (Section 2.2,
+/// "Latency").
+[[nodiscard]] std::optional<OrchestrationResult> oneportLatencyForOrders(
+    const Application& app, const ExecutionGraph& graph,
+    const PortOrders& orders);
+
+/// Best INORDER period over port orders (exact below exactCap, otherwise
+/// heuristic + local search).
+[[nodiscard]] OrchestrationResult inorderOrchestratePeriod(
+    const Application& app, const ExecutionGraph& graph,
+    const OrchestrationOptions& opt = {});
+
+/// Best one-port latency over port orders (exact below exactCap, otherwise
+/// heuristic + local search).
+[[nodiscard]] OrchestrationResult oneportOrchestrateLatency(
+    const Application& app, const ExecutionGraph& graph,
+    const OrchestrationOptions& opt = {});
+
+}  // namespace fsw

@@ -1,0 +1,128 @@
+#include "src/sched/latency.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/cost_model.hpp"
+#include "src/oplist/validate.hpp"
+#include "src/sched/overlap.hpp"
+
+namespace fsw {
+namespace {
+
+/// R(v): time from the start of the communication feeding v until v's whole
+/// subtree (including virtual outputs) completes, children fed by
+/// non-increasing R (the exchange-optimal order of Algorithm 1).
+struct TreeLatency {
+  const ExecutionGraph& graph;
+  const CostModel& costs;
+  std::vector<double> r;
+  std::vector<std::vector<NodeId>> childOrder;
+
+  TreeLatency(const ExecutionGraph& g, const CostModel& c)
+      : graph(g), costs(c), r(g.size(), 0.0), childOrder(g.size()) {
+    const auto topo = graph.topologicalOrder();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) compute(*it);
+  }
+
+  void compute(NodeId v) {
+    const double volIn = graph.isEntry(v)
+                             ? 1.0
+                             : costs.at(graph.predecessors(v).front()).sigmaOut;
+    const double sigmaOut = costs.at(v).sigmaOut;
+    double tail = 0.0;
+    if (graph.isExit(v)) {
+      tail = sigmaOut;
+    } else {
+      auto kids = graph.successors(v);
+      std::sort(kids.begin(), kids.end(),
+                [&](NodeId a, NodeId b) { return r[a] > r[b]; });
+      childOrder[v] = kids;
+      for (std::size_t j = 0; j < kids.size(); ++j) {
+        tail = std::max(tail, static_cast<double>(j) * sigmaOut + r[kids[j]]);
+      }
+    }
+    r[v] = volIn + costs.at(v).ccomp + tail;
+  }
+};
+
+}  // namespace
+
+double treeLatencyValue(const Application& app, const ExecutionGraph& graph) {
+  if (!graph.isForest()) {
+    throw std::invalid_argument("treeLatencyValue: graph is not a forest");
+  }
+  const CostModel costs(app, graph);
+  const TreeLatency tl(graph, costs);
+  double latency = 0.0;
+  for (const NodeId root : graph.entries()) {
+    latency = std::max(latency, tl.r[root]);
+  }
+  return latency;
+}
+
+OrchestrationResult treeLatencySchedule(const Application& app,
+                                        const ExecutionGraph& graph) {
+  if (!graph.isForest()) {
+    throw std::invalid_argument("treeLatencySchedule: graph is not a forest");
+  }
+  const CostModel costs(app, graph);
+  const TreeLatency tl(graph, costs);
+
+  OperationList ol(graph.size(), 1.0);
+  PortOrders orders = PortOrders::canonical(graph);
+
+  // Iterative DFS laying out each subtree; (node, begin of its in-comm).
+  std::vector<std::pair<NodeId, double>> stack;
+  for (const NodeId root : graph.entries()) stack.emplace_back(root, 0.0);
+  while (!stack.empty()) {
+    const auto [v, t0] = stack.back();
+    stack.pop_back();
+    const double volIn =
+        graph.isEntry(v) ? 1.0 : costs.at(graph.predecessors(v).front()).sigmaOut;
+    const NodeId src = graph.isEntry(v) ? kWorld : graph.predecessors(v).front();
+    ol.setComm(src, v, t0, t0 + volIn);
+    const double calcEnd = t0 + volIn + costs.at(v).ccomp;
+    ol.setCalc(v, t0 + volIn, calcEnd);
+    const double sigmaOut = costs.at(v).sigmaOut;
+    if (graph.isExit(v)) {
+      ol.setComm(v, kWorld, calcEnd, calcEnd + sigmaOut);
+    } else {
+      orders.out[v] = tl.childOrder[v];
+      for (std::size_t j = 0; j < tl.childOrder[v].size(); ++j) {
+        stack.emplace_back(tl.childOrder[v][j],
+                           calcEnd + static_cast<double>(j) * sigmaOut);
+      }
+    }
+  }
+  OrchestrationResult out;
+  out.value = ol.latency();
+  ol.setLambda(out.value);
+  out.ol = std::move(ol);
+  out.orders = std::move(orders);
+  return out;
+}
+
+OrchestrationResult latencyOrchestrate(const Application& app,
+                                       const ExecutionGraph& graph,
+                                       CommModel m,
+                                       const OrchestrationOptions& opt) {
+  if (graph.isForest()) {
+    // Optimal for every model (Prop 12: one-port feeding is dominant on
+    // trees, and the schedule is OVERLAP/OUTORDER/INORDER-valid as-is).
+    return treeLatencySchedule(app, graph);
+  }
+  OrchestrationResult best = oneportOrchestrateLatency(app, graph, opt);
+  if (m == CommModel::Overlap) {
+    OperationList fluid = overlapLatencyFluid(app, graph);
+    if (fluid.latency() < best.value &&
+        validate(app, graph, fluid, CommModel::Overlap).valid) {
+      best.value = fluid.latency();
+      best.ol = std::move(fluid);
+    }
+  }
+  return best;
+}
+
+}  // namespace fsw

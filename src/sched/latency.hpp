@@ -1,0 +1,38 @@
+// Latency orchestration.
+//
+// For a single data set the overlap / no-overlap distinction vanishes
+// (Section 2.2, "Latency"): processing is fully serialized and the period
+// equals the latency. What remains is the one-port vs multi-port choice:
+//
+//   * tree execution graphs: Algorithm 1 (feed subtrees by non-increasing
+//     remaining time) is optimal for all three models (Prop 12);
+//   * general DAGs, one-port: NP-hard (Theorem 3); port-order search via the
+//     difference-constraint system (exact for small graphs);
+//   * general DAGs, multi-port: NP-hard (Prop 11); the fluid
+//     bandwidth-sharing heuristic can beat every one-port schedule
+//     (counter-example B.2), so OVERLAP takes the better of the two.
+#pragma once
+
+#include "src/core/application.hpp"
+#include "src/core/execution_graph.hpp"
+#include "src/core/model.hpp"
+#include "src/sched/inorder.hpp"
+
+namespace fsw {
+
+/// Algorithm 1 value: optimal latency of a forest execution graph (all
+/// models). Only the number is computed; O(n log n).
+[[nodiscard]] double treeLatencyValue(const Application& app,
+                                      const ExecutionGraph& graph);
+
+/// Algorithm 1 with schedule construction. Requires graph.isForest().
+[[nodiscard]] OrchestrationResult treeLatencySchedule(
+    const Application& app, const ExecutionGraph& graph);
+
+/// Best latency OL for the given model (dispatches to the tree algorithm,
+/// the one-port order search, and the OVERLAP fluid heuristic).
+[[nodiscard]] OrchestrationResult latencyOrchestrate(
+    const Application& app, const ExecutionGraph& graph, CommModel m,
+    const OrchestrationOptions& opt = {});
+
+}  // namespace fsw

@@ -1,0 +1,40 @@
+#include "src/sched/orchestrator.hpp"
+
+#include "src/core/cost_model.hpp"
+#include "src/sched/latency.hpp"
+#include "src/sched/overlap.hpp"
+
+namespace fsw {
+
+Orchestration orchestrate(const Application& app, const ExecutionGraph& graph,
+                          CommModel m, Objective obj,
+                          const OrchestratorOptions& opt) {
+  const CostModel costs(app, graph);
+  Orchestration out;
+  if (obj == Objective::Period) {
+    out.lowerBound = costs.periodLowerBound(m);
+    switch (m) {
+      case CommModel::Overlap: {
+        out.result.ol = overlapPeriodSchedule(app, graph);
+        out.result.value = out.result.ol.period();
+        out.result.orders = PortOrders::canonical(graph);
+        break;
+      }
+      case CommModel::InOrder:
+        out.result = inorderOrchestratePeriod(app, graph, opt.order);
+        break;
+      case CommModel::OutOrder: {
+        OutorderOptions oo = opt.outorder;
+        oo.inorder = opt.order;
+        out.result = outorderOrchestratePeriod(app, graph, oo);
+        break;
+      }
+    }
+  } else {
+    out.lowerBound = costs.latencyLowerBound();
+    out.result = latencyOrchestrate(app, graph, m, opt.order);
+  }
+  return out;
+}
+
+}  // namespace fsw

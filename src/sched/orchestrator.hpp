@@ -1,0 +1,37 @@
+// Facade: given an execution graph, produce the best operation list for a
+// (model, objective) pair, together with the problem's analytic lower bound
+// so callers can certify optimality when the two meet.
+#pragma once
+
+#include "src/core/application.hpp"
+#include "src/core/execution_graph.hpp"
+#include "src/core/model.hpp"
+#include "src/sched/inorder.hpp"
+#include "src/sched/outorder.hpp"
+
+namespace fsw {
+
+struct Orchestration {
+  OrchestrationResult result;
+  double lowerBound = 0.0;
+  [[nodiscard]] bool provablyOptimal(double eps = 1e-6) const {
+    return result.value <= lowerBound * (1.0 + eps) + eps;
+  }
+};
+
+struct OrchestratorOptions {
+  OrchestrationOptions order{};   ///< order-search knobs (INORDER, latency)
+  OutorderOptions outorder{};     ///< OUTORDER repair knobs
+};
+
+/// Dispatches to the model/objective-specific orchestrator:
+///   (Overlap, Period)  -> polynomial Prop 1 schedule (always optimal);
+///   (InOrder, Period)  -> order search over the constraint system;
+///   (OutOrder, Period) -> conflict-repair search seeded by INORDER;
+///   (*, Latency)       -> tree algorithm / one-port order search / fluid.
+[[nodiscard]] Orchestration orchestrate(const Application& app,
+                                        const ExecutionGraph& graph,
+                                        CommModel m, Objective obj,
+                                        const OrchestratorOptions& opt = {});
+
+}  // namespace fsw

@@ -1,0 +1,274 @@
+#include "src/sched/outorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/prng.hpp"
+#include "src/core/cost_model.hpp"
+#include "src/core/model.hpp"
+#include "src/oplist/validate.hpp"
+
+namespace fsw {
+namespace {
+
+/// Which operations must be mutually exclusive on a server.
+enum class Exclusion {
+  FullSerial,  ///< OUTORDER: calc + every incident comm serialized
+  PortOnly,    ///< one-port-overlap hybrid: in-port and out-port serialized
+};
+
+/// One pipelined operation of the cyclic schedule (data set 0 occurrence).
+struct POp {
+  bool isCalc = false;
+  NodeId a = kWorld;  // calc: the node; comm: sender (kWorld for input)
+  NodeId b = kWorld;  // comm: receiver (kWorld for output)
+  double dur = 0.0;
+  double release = 0.0;  // repair-imposed earliest begin
+  double begin = 0.0;
+  std::vector<std::size_t> preds;  // same-data-set precedence
+};
+
+struct Pipeline {
+  std::vector<POp> ops;
+  std::vector<std::vector<std::size_t>> groups;  // mutual-exclusion sets
+  std::vector<std::size_t> topo;                 // op evaluation order
+
+  Pipeline(const Application& app, const ExecutionGraph& graph,
+           Exclusion mode) {
+    const CostModel costs(app, graph);
+    const std::size_t n = graph.size();
+
+    std::vector<std::size_t> calcOf(n);
+    std::vector<std::vector<std::size_t>> ins(n), outs(n);
+    for (NodeId i = 0; i < n; ++i) {
+      POp op;
+      op.isCalc = true;
+      op.a = i;
+      op.dur = costs.at(i).ccomp;
+      calcOf[i] = ops.size();
+      ops.push_back(op);
+    }
+    auto addComm = [&](NodeId from, NodeId to, double dur) {
+      POp op;
+      op.a = from;
+      op.b = to;
+      op.dur = dur;
+      if (from != kWorld) {
+        op.preds.push_back(calcOf[from]);
+        outs[from].push_back(ops.size());
+      }
+      if (to != kWorld) {
+        ops[calcOf[to]].preds.push_back(ops.size());
+        ins[to].push_back(ops.size());
+      }
+      ops.push_back(op);
+    };
+    for (NodeId i = 0; i < n; ++i) {
+      if (graph.isEntry(i)) addComm(kWorld, i, 1.0);
+    }
+    for (const auto& e : graph.edges()) {
+      addComm(e.from, e.to, costs.at(e.from).sigmaOut);
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      if (graph.isExit(i)) addComm(i, kWorld, costs.at(i).sigmaOut);
+    }
+
+    for (NodeId i = 0; i < n; ++i) {
+      if (mode == Exclusion::FullSerial) {
+        std::vector<std::size_t> g = ins[i];
+        g.insert(g.end(), outs[i].begin(), outs[i].end());
+        g.push_back(calcOf[i]);
+        groups.push_back(std::move(g));
+      } else {
+        groups.push_back(ins[i]);
+        groups.push_back(outs[i]);
+      }
+    }
+
+    // Kahn order over the op precedence DAG.
+    std::vector<std::size_t> indeg(ops.size(), 0);
+    std::vector<std::vector<std::size_t>> succ(ops.size());
+    for (std::size_t o = 0; o < ops.size(); ++o) {
+      for (const std::size_t p : ops[o].preds) {
+        succ[p].push_back(o);
+        ++indeg[o];
+      }
+    }
+    std::vector<std::size_t> stack;
+    for (std::size_t o = 0; o < ops.size(); ++o) {
+      if (indeg[o] == 0) stack.push_back(o);
+    }
+    while (!stack.empty()) {
+      const std::size_t o = stack.back();
+      stack.pop_back();
+      topo.push_back(o);
+      for (const std::size_t s : succ[o]) {
+        if (--indeg[s] == 0) stack.push_back(s);
+      }
+    }
+  }
+
+  void resetReleases() {
+    for (auto& op : ops) op.release = 0.0;
+  }
+
+  void asap() {
+    for (const std::size_t o : topo) {
+      double t = ops[o].release;
+      for (const std::size_t p : ops[o].preds) {
+        t = std::max(t, ops[p].begin + ops[p].dur);
+      }
+      ops[o].begin = t;
+    }
+  }
+
+  /// All exclusion-group pairs violating the mod-lambda no-overlap rule.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> conflicts(
+      double lambda) const {
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    for (const auto& g : groups) {
+      for (std::size_t x = 0; x < g.size(); ++x) {
+        for (std::size_t y = x + 1; y < g.size(); ++y) {
+          const auto& u = ops[g[x]];
+          const auto& v = ops[g[y]];
+          if (wrappedOverlap(u.begin, u.dur, v.begin, v.dur, lambda)) {
+            out.emplace_back(g[x], g[y]);
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] OperationList extract(std::size_t n, double lambda) const {
+    OperationList ol(n, lambda);
+    for (const auto& op : ops) {
+      if (op.isCalc) {
+        ol.setCalc(op.a, op.begin, op.begin + op.dur);
+      } else {
+        ol.setComm(op.a, op.b, op.begin, op.begin + op.dur);
+      }
+    }
+    return ol;
+  }
+};
+
+double wrapTo(double x, double lambda) {
+  double r = std::fmod(x, lambda);
+  if (r < 0) r += lambda;
+  return r;
+}
+
+std::optional<OperationList> repairAtLambda(const Application& app,
+                                            const ExecutionGraph& graph,
+                                            double lambda, Exclusion mode,
+                                            const OutorderOptions& opt) {
+  const CostModel costs(app, graph);
+  const CommModel boundModel = (mode == Exclusion::FullSerial)
+                                   ? CommModel::OutOrder
+                                   : CommModel::Overlap;
+  if (costs.periodLowerBound(boundModel) > lambda + 1e-9) return std::nullopt;
+
+  Pipeline pipe(app, graph, mode);
+  Prng rng(opt.seed * 0x9E3779B97F4A7C15ULL + 17);
+
+  auto accepted = [&](const OperationList& ol) {
+    return mode == Exclusion::FullSerial
+               ? validate(app, graph, ol, CommModel::OutOrder).valid
+               : validateOnePortOverlap(app, graph, ol).valid;
+  };
+
+  for (std::size_t restart = 0; restart < opt.restarts; ++restart) {
+    pipe.resetReleases();
+    for (std::size_t iter = 0; iter < opt.repairIters; ++iter) {
+      pipe.asap();
+      const auto bad = pipe.conflicts(lambda);
+      if (bad.empty()) {
+        OperationList ol = pipe.extract(graph.size(), lambda);
+        if (accepted(ol)) return ol;
+        break;  // numerical disagreement with the validator: restart
+      }
+      const auto& [x, y] =
+          bad[static_cast<std::size_t>(rng.uniformInt(0, bad.size() - 1))];
+      // Delay one of the two ops to just past the other, modulo lambda.
+      std::size_t victim = x;
+      std::size_t other = y;
+      const bool delayLater = rng.bernoulli(0.7);
+      const bool xLater = pipe.ops[x].begin > pipe.ops[y].begin;
+      if (delayLater != xLater) std::swap(victim, other);
+      const double otherEndRel =
+          wrapTo(pipe.ops[other].begin + pipe.ops[other].dur, lambda);
+      const double victimRel = wrapTo(pipe.ops[victim].begin, lambda);
+      double delta = otherEndRel - victimRel;
+      if (delta <= 1e-12) delta += lambda;
+      // Occasionally jump a full extra period to escape tight packings.
+      if (rng.bernoulli(0.15)) delta += lambda;
+      pipe.ops[victim].release = pipe.ops[victim].begin + delta;
+    }
+  }
+  return std::nullopt;
+}
+
+OrchestrationResult orchestratePeriod(const Application& app,
+                                      const ExecutionGraph& graph,
+                                      Exclusion mode,
+                                      const OutorderOptions& opt) {
+  const CostModel costs(app, graph);
+  const CommModel boundModel = (mode == Exclusion::FullSerial)
+                                   ? CommModel::OutOrder
+                                   : CommModel::Overlap;
+  const double lb = costs.periodLowerBound(boundModel);
+
+  // Seed with the INORDER optimum: INORDER-valid implies valid for both
+  // relaxations searched here.
+  OrchestrationResult best = inorderOrchestratePeriod(app, graph, opt.inorder);
+  if (best.value <= lb + 1e-9) return best;
+
+  if (auto ol = repairAtLambda(app, graph, lb, mode, opt)) {
+    best.value = lb;
+    best.ol = std::move(*ol);
+    return best;
+  }
+  double lo = lb;
+  double hi = best.value;
+  for (std::size_t step = 0; step < opt.bisectSteps && hi - lo > 1e-6; ++step) {
+    const double mid = 0.5 * (lo + hi);
+    if (auto ol = repairAtLambda(app, graph, mid, mode, opt)) {
+      best.value = mid;
+      best.ol = std::move(*ol);
+      hi = mid;
+    } else {
+      lo = mid;  // heuristic failure treated as infeasible
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<OperationList> outorderRepairAtLambda(
+    const Application& app, const ExecutionGraph& graph, double lambda,
+    const OutorderOptions& opt) {
+  return repairAtLambda(app, graph, lambda, Exclusion::FullSerial, opt);
+}
+
+std::optional<OperationList> onePortOverlapRepairAtLambda(
+    const Application& app, const ExecutionGraph& graph, double lambda,
+    const OutorderOptions& opt) {
+  return repairAtLambda(app, graph, lambda, Exclusion::PortOnly, opt);
+}
+
+OrchestrationResult outorderOrchestratePeriod(const Application& app,
+                                              const ExecutionGraph& graph,
+                                              const OutorderOptions& opt) {
+  return orchestratePeriod(app, graph, Exclusion::FullSerial, opt);
+}
+
+OrchestrationResult onePortOverlapOrchestratePeriod(
+    const Application& app, const ExecutionGraph& graph,
+    const OutorderOptions& opt) {
+  return orchestratePeriod(app, graph, Exclusion::PortOnly, opt);
+}
+
+}  // namespace fsw

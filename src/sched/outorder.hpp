@@ -1,0 +1,58 @@
+// OUTORDER orchestration: NP-hard even for a fixed execution graph (Theorem
+// 1 / Prop 2), so this module is a search procedure with certificates:
+//
+//   * lower bound: max_k (Cin + Ccomp + Cout) (Section 2.2);
+//   * upper bound seed: the INORDER optimum — the INORDER rule set is a
+//     strict superset of OUTORDER's, so its OL is OUTORDER-valid as-is;
+//   * improvement: for a candidate lambda, a conflict-repair search delays
+//     operations past each other modulo lambda (out-of-order interleaving of
+//     consecutive data sets) until the per-server no-overlap rules hold;
+//     candidates are probed by bisection between the bounds.
+//
+// Every returned OL is certified by the Appendix A validator, so the result
+// is always a *valid* OUTORDER schedule; optimality is certified only when
+// the lower bound is reached (as on the Section 2.3 example, where the seed
+// at 23/3 is repaired down to the bound of 7).
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/application.hpp"
+#include "src/core/execution_graph.hpp"
+#include "src/sched/inorder.hpp"
+
+namespace fsw {
+
+struct OutorderOptions {
+  std::size_t repairIters = 400;   ///< repair steps per attempt
+  std::size_t restarts = 24;       ///< randomized restarts per lambda
+  std::size_t bisectSteps = 12;    ///< lambda probes between the bounds
+  std::uint64_t seed = 1;
+  OrchestrationOptions inorder{};  ///< options for the INORDER seed
+};
+
+/// Attempts to build a valid OUTORDER OL with period exactly `lambda` by
+/// conflict repair. Returns an OL only if the validator accepts it.
+[[nodiscard]] std::optional<OperationList> outorderRepairAtLambda(
+    const Application& app, const ExecutionGraph& graph, double lambda,
+    const OutorderOptions& opt = {});
+
+/// Best OUTORDER period found (lower-bounded search seeded by INORDER).
+[[nodiscard]] OrchestrationResult outorderOrchestratePeriod(
+    const Application& app, const ExecutionGraph& graph,
+    const OutorderOptions& opt = {});
+
+/// One-port-overlap hybrid (communication/computation overlap, but each
+/// server's in and out ports serialized): the model pair counter-example
+/// B.3 separates from the multi-port OVERLAP model. Same repair machinery,
+/// with calc/comm collisions allowed.
+[[nodiscard]] std::optional<OperationList> onePortOverlapRepairAtLambda(
+    const Application& app, const ExecutionGraph& graph, double lambda,
+    const OutorderOptions& opt = {});
+
+/// Best one-port-overlap period found.
+[[nodiscard]] OrchestrationResult onePortOverlapOrchestratePeriod(
+    const Application& app, const ExecutionGraph& graph,
+    const OutorderOptions& opt = {});
+
+}  // namespace fsw

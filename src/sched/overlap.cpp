@@ -1,0 +1,159 @@
+#include "src/sched/overlap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/core/cost_model.hpp"
+#include "src/core/model.hpp"
+
+namespace fsw {
+
+OperationList overlapPeriodSchedule(const Application& app,
+                                    const ExecutionGraph& graph) {
+  const CostModel costs(app, graph);
+  const double T = costs.periodLowerBound(CommModel::Overlap);
+  const std::size_t n = graph.size();
+  OperationList ol(n, T);
+
+  // Every communication is stretched to exactly T (ratio volume / T); data
+  // set 0 traverses the graph greedily.
+  std::vector<double> endCalc(n, 0.0);
+  for (const NodeId i : graph.topologicalOrder()) {
+    double ready = 0.0;
+    if (graph.isEntry(i)) {
+      ol.setComm(kWorld, i, 0.0, T);
+      ready = T;
+    } else {
+      for (const NodeId p : graph.predecessors(i)) {
+        ready = std::max(ready, endCalc[p] + T);
+      }
+    }
+    ol.setCalc(i, ready, ready + costs.at(i).ccomp);
+    endCalc[i] = ready + costs.at(i).ccomp;
+    if (graph.isExit(i)) {
+      ol.setComm(i, kWorld, endCalc[i], endCalc[i] + T);
+    } else {
+      for (const NodeId s : graph.successors(i)) {
+        ol.setComm(i, s, endCalc[i], endCalc[i] + T);
+      }
+    }
+  }
+  return ol;
+}
+
+OperationList overlapLatencyFluid(const Application& app,
+                                  const ExecutionGraph& graph) {
+  const CostModel costs(app, graph);
+  const std::size_t n = graph.size();
+  const auto topo = graph.topologicalOrder();
+
+  // beginCalc[j] closes j's receive phase; endCalc[j] opens its send phase.
+  // All communications i -> j span [endCalc[i], beginCalc[j]).
+  std::vector<double> beginCalc(n, 0.0);
+  std::vector<double> endCalc(n, 0.0);
+
+  // Earliest receive-phase end at j given sender finish times: the smallest
+  // t with sum_i vol_i / (t - e_i) <= 1 and t >= e_i + vol_i for all i.
+  auto receiveEnd = [&](NodeId j) {
+    double lo = 0.0;
+    double volSum = 0.0;
+    for (const NodeId p : graph.predecessors(j)) {
+      const double vol = costs.at(p).sigmaOut;
+      lo = std::max(lo, endCalc[p] + vol);
+      volSum += vol;
+    }
+    if (volSum <= 0.0) return lo;
+    double hi = lo;
+    for (const NodeId p : graph.predecessors(j)) {
+      hi = std::max(hi, endCalc[p]);
+    }
+    hi += volSum;  // serialized receives always fit
+    auto load = [&](double t) {
+      double s = 0.0;
+      for (const NodeId p : graph.predecessors(j)) {
+        const double vol = costs.at(p).sigmaOut;
+        if (vol > 0.0) s += vol / (t - endCalc[p]);
+      }
+      return s;
+    };
+    if (load(std::max(lo, 1e-300)) <= 1.0 + 1e-12) return lo;
+    for (int it = 0; it < 100; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (load(mid) > 1.0) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return hi;
+  };
+
+  // Monotone fixed point: receiver phases honour sender-side capacity too.
+  for (int round = 0; round < 100; ++round) {
+    bool changed = false;
+    for (const NodeId j : topo) {
+      double t = graph.isEntry(j) ? 1.0 : receiveEnd(j);
+      t = std::max(t, beginCalc[j]);
+      if (t > beginCalc[j] + 1e-12) changed = true;
+      beginCalc[j] = t;
+      endCalc[j] = t + costs.at(j).ccomp;
+    }
+    // Sender-side capacity: just after endCalc[i] every outgoing transfer is
+    // active; require sum_j vol / (b_j - e_i) <= 1 by lifting the smallest
+    // receiver begins to a common floor t*.
+    for (const NodeId i : topo) {
+      const auto& succs = graph.successors(i);
+      if (succs.size() < 2) continue;
+      const double vol = costs.at(i).sigmaOut;
+      if (vol <= 0.0) continue;
+      auto load = [&](double floorT) {
+        double s = 0.0;
+        for (const NodeId j : succs) {
+          s += vol / (std::max(beginCalc[j], floorT) - endCalc[i]);
+        }
+        return s;
+      };
+      double lo = endCalc[i] + vol;
+      if (load(lo) <= 1.0 + 1e-12) continue;
+      double hi = endCalc[i] + vol * static_cast<double>(succs.size());
+      for (int it = 0; it < 100; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (load(mid) > 1.0) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      for (const NodeId j : succs) {
+        if (beginCalc[j] < hi) {
+          beginCalc[j] = hi;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  OperationList ol(n, 1.0);
+  double latency = 0.0;
+  for (const NodeId j : topo) {
+    ol.setCalc(j, beginCalc[j], endCalc[j]);
+    if (graph.isEntry(j)) {
+      // The input transfer may be stretched across the whole receive phase.
+      ol.setComm(kWorld, j, 0.0, beginCalc[j]);
+    }
+    for (const NodeId p : graph.predecessors(j)) {
+      ol.setComm(p, j, endCalc[p], beginCalc[j]);
+    }
+    if (graph.isExit(j)) {
+      const double end = endCalc[j] + costs.at(j).sigmaOut;
+      ol.setComm(j, kWorld, endCalc[j], end);
+      latency = std::max(latency, end);
+    }
+  }
+  ol.setLambda(std::max(latency, 1.0));
+  return ol;
+}
+
+}  // namespace fsw

@@ -1,0 +1,31 @@
+// OVERLAP (bounded multi-port) orchestration.
+//
+// Period: polynomial (Theorem 1 / Prop 1). With T = max_k Cexec(k), assign
+// every communication of volume v the fixed bandwidth ratio v / T, so all
+// communications last exactly T; computations run as soon as their inputs
+// have arrived. Per-server incoming (outgoing) ratios sum to Cin/T (Cout/T)
+// <= 1, so the multi-port capacity holds and the lower bound T is achieved.
+//
+// Latency: NP-hard (Theorem 3 / Prop 11). We provide a fluid heuristic that
+// synchronizes each node's receive phase (all incoming transfers share
+// bandwidth, as in the counter-example of Appendix B.2) and falls back to
+// the best one-port schedule when that is better (every one-port OL is
+// OVERLAP-valid).
+#pragma once
+
+#include "src/core/application.hpp"
+#include "src/core/execution_graph.hpp"
+#include "src/oplist/operation_list.hpp"
+
+namespace fsw {
+
+/// The Prop 1 optimal-period OVERLAP operation list: period = max_k Cexec(k).
+[[nodiscard]] OperationList overlapPeriodSchedule(const Application& app,
+                                                  const ExecutionGraph& graph);
+
+/// Fluid (bandwidth-sharing) latency heuristic for the OVERLAP model.
+/// Returns an OVERLAP-valid OL with lambda = latency.
+[[nodiscard]] OperationList overlapLatencyFluid(const Application& app,
+                                                const ExecutionGraph& graph);
+
+}  // namespace fsw

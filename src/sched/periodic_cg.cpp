@@ -1,0 +1,70 @@
+#include "src/sched/periodic_cg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fsw {
+
+PeriodicConstraintGraph::Var PeriodicConstraintGraph::addVariable() {
+  return nVars_++;
+}
+
+void PeriodicConstraintGraph::addConstraint(Var u, Var v, double w, int k) {
+  if (u >= nVars_ || v >= nVars_) {
+    throw std::out_of_range("PeriodicConstraintGraph: variable out of range");
+  }
+  if (k < 0) {
+    throw std::invalid_argument(
+        "PeriodicConstraintGraph: k must be >= 0 (monotone feasibility)");
+  }
+  constraints_.push_back({u, v, w, k});
+}
+
+std::optional<std::vector<double>> PeriodicConstraintGraph::solve(
+    double lambda) const {
+  // Longest-path relaxation (Bellman-Ford) from an implicit source giving
+  // every variable a floor of 0. The minimal solution is the vector of
+  // longest-path distances; a positive cycle means infeasibility.
+  std::vector<double> x(nVars_, 0.0);
+  const std::size_t maxRounds = nVars_ + 2;
+  bool changed = true;
+  for (std::size_t round = 0; round < maxRounds && changed; ++round) {
+    changed = false;
+    for (const auto& c : constraints_) {
+      const double bound = x[c.u] + c.w - c.k * lambda;
+      if (bound > x[c.v] + 1e-12) {
+        x[c.v] = bound;
+        changed = true;
+      }
+    }
+  }
+  if (changed) return std::nullopt;  // still relaxing: positive cycle
+  return x;
+}
+
+std::optional<PeriodicConstraintGraph::MinLambdaResult>
+PeriodicConstraintGraph::minLambda(double lo, double hi, double tol) const {
+  if (!feasible(hi)) return std::nullopt;
+  if (feasible(lo)) {
+    MinLambdaResult r;
+    r.lambda = lo;
+    r.potentials = *solve(lo);
+    return r;
+  }
+  // Invariant: lo infeasible, hi feasible.
+  while (hi - lo > tol * std::max(1.0, hi)) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  MinLambdaResult r;
+  r.lambda = hi;
+  r.potentials = *solve(hi);
+  return r;
+}
+
+}  // namespace fsw

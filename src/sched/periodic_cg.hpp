@@ -1,0 +1,56 @@
+// Periodic difference-constraint systems.
+//
+// All orchestration problems with fixed port orders reduce to systems of
+// constraints  x_v - x_u >= w - k*lambda  with k in {0, 1}: intra-cycle
+// sequencing (k = 0) and the cyclic wrap-around of Appendix A constraint (1)
+// (k = 1). For fixed lambda this is a classical difference-constraint system,
+// feasible iff the constraint graph has no positive-weight cycle (longest
+// path well-defined); since k >= 0, feasibility is monotone in lambda, so the
+// minimal feasible lambda is found by binary search.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+namespace fsw {
+
+class PeriodicConstraintGraph {
+ public:
+  using Var = std::size_t;
+
+  /// Adds a variable; its value will be >= 0 in any produced solution.
+  Var addVariable();
+  [[nodiscard]] std::size_t variableCount() const noexcept { return nVars_; }
+
+  /// Adds x_v - x_u >= w - k * lambda (k >= 0).
+  void addConstraint(Var u, Var v, double w, int k = 0);
+
+  /// Minimal solution (componentwise) for fixed lambda, or nullopt if the
+  /// system is infeasible.
+  [[nodiscard]] std::optional<std::vector<double>> solve(double lambda) const;
+
+  [[nodiscard]] bool feasible(double lambda) const { return solve(lambda).has_value(); }
+
+  struct MinLambdaResult {
+    double lambda = std::numeric_limits<double>::infinity();
+    std::vector<double> potentials;  ///< a solution at `lambda`
+  };
+
+  /// Smallest lambda in [lo, hi] (within `tol`) for which the system is
+  /// feasible, or nullopt if even `hi` is infeasible (inconsistent orders).
+  [[nodiscard]] std::optional<MinLambdaResult> minLambda(
+      double lo, double hi, double tol = 1e-9) const;
+
+ private:
+  struct C {
+    Var u;
+    Var v;
+    double w;
+    int k;
+  };
+  std::size_t nVars_ = 0;
+  std::vector<C> constraints_;
+};
+
+}  // namespace fsw

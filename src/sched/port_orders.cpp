@@ -1,0 +1,222 @@
+#include "src/sched/port_orders.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/core/cost_model.hpp"
+
+namespace fsw {
+namespace {
+
+std::vector<std::vector<NodeId>> baseIns(const ExecutionGraph& g) {
+  std::vector<std::vector<NodeId>> in(g.size());
+  for (NodeId i = 0; i < g.size(); ++i) {
+    if (g.isEntry(i)) in[i].push_back(kWorld);
+    for (const NodeId p : g.predecessors(i)) in[i].push_back(p);
+    std::sort(in[i].begin(), in[i].end(), [](NodeId a, NodeId b) {
+      if (a == kWorld) return true;   // virtual input first
+      if (b == kWorld) return false;
+      return a < b;
+    });
+  }
+  return in;
+}
+
+std::vector<std::vector<NodeId>> baseOuts(const ExecutionGraph& g) {
+  std::vector<std::vector<NodeId>> out(g.size());
+  for (NodeId i = 0; i < g.size(); ++i) {
+    for (const NodeId s : g.successors(i)) out[i].push_back(s);
+    std::sort(out[i].begin(), out[i].end());
+    if (g.isExit(i)) out[i].push_back(kWorld);  // virtual output last
+  }
+  return out;
+}
+
+}  // namespace
+
+PortOrders PortOrders::canonical(const ExecutionGraph& graph) {
+  return {baseIns(graph), baseOuts(graph)};
+}
+
+PortOrders PortOrders::heuristic(const Application& app,
+                                 const ExecutionGraph& graph) {
+  const CostModel costs(app, graph);
+  const std::size_t n = graph.size();
+
+  // Downstream remaining time: longest computation+communication path from a
+  // node's computation to the end of the workflow.
+  std::vector<double> remaining(n, 0.0);
+  const auto topo = graph.topologicalOrder();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId i = *it;
+    double tail = costs.at(i).sigmaOut;  // virtual output if exit
+    for (const NodeId s : graph.successors(i)) {
+      tail = std::max(tail, costs.at(i).sigmaOut + remaining[s]);
+    }
+    remaining[i] = costs.at(i).ccomp + tail;
+  }
+  // Earliest resource-free finish time, for receive ordering.
+  std::vector<double> depth(n, 0.0);
+  for (const NodeId i : topo) {
+    double ready = 1.0;
+    for (const NodeId p : graph.predecessors(i)) {
+      ready = std::max(ready, depth[p] + costs.at(p).sigmaOut);
+    }
+    depth[i] = ready + costs.at(i).ccomp;
+  }
+
+  PortOrders po = canonical(graph);
+  for (NodeId i = 0; i < n; ++i) {
+    std::stable_sort(po.out[i].begin(), po.out[i].end(),
+                     [&](NodeId a, NodeId b) {
+                       const double ra = (a == kWorld) ? 0.0 : remaining[a];
+                       const double rb = (b == kWorld) ? 0.0 : remaining[b];
+                       return ra > rb;  // longest branch first
+                     });
+    std::stable_sort(po.in[i].begin(), po.in[i].end(),
+                     [&](NodeId a, NodeId b) {
+                       const double da = (a == kWorld) ? 0.0 : depth[a];
+                       const double db = (b == kWorld) ? 0.0 : depth[b];
+                       return da < db;  // earliest-available sender first
+                     });
+  }
+  return po;
+}
+
+PortOrders PortOrders::listLatency(const Application& app,
+                                   const ExecutionGraph& graph) {
+  const CostModel costs(app, graph);
+  const std::size_t n = graph.size();
+
+  // Downstream remaining time for tie-breaking (as in `heuristic`).
+  std::vector<double> remaining(n, 0.0);
+  const auto topo = graph.topologicalOrder();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId i = *it;
+    double tail = costs.at(i).sigmaOut;
+    for (const NodeId s : graph.successors(i)) {
+      tail = std::max(tail, costs.at(i).sigmaOut + remaining[s]);
+    }
+    remaining[i] = costs.at(i).ccomp + tail;
+  }
+
+  // Single-data-set greedy packing: one unary resource per server (the
+  // receive / compute / send phases of one data set cannot interleave).
+  struct Comm {
+    NodeId from, to;
+    double vol;
+    bool scheduled = false;
+  };
+  std::vector<Comm> comms;
+  std::vector<std::size_t> insLeft(n, 0);
+  for (NodeId i = 0; i < n; ++i) {
+    if (graph.isEntry(i)) comms.push_back({kWorld, i, 1.0, false});
+  }
+  for (const auto& e : graph.edges()) {
+    comms.push_back({e.from, e.to, costs.at(e.from).sigmaOut, false});
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    if (graph.isExit(i)) {
+      comms.push_back({i, kWorld, costs.at(i).sigmaOut, false});
+    }
+    insLeft[i] = graph.predecessors(i).size() + (graph.isEntry(i) ? 1 : 0);
+  }
+
+  std::vector<double> busy(n, 0.0);
+  std::vector<double> calcEnd(n, -1.0);  // -1: inputs not yet all received
+  PortOrders po;
+  po.in.resize(n);
+  po.out.resize(n);
+
+  for (std::size_t done = 0; done < comms.size(); ++done) {
+    double bestT = std::numeric_limits<double>::infinity();
+    double bestTie = -1.0;
+    std::size_t pick = comms.size();
+    for (std::size_t c = 0; c < comms.size(); ++c) {
+      const auto& cm = comms[c];
+      if (cm.scheduled) continue;
+      if (cm.from != kWorld && calcEnd[cm.from] < 0.0) continue;  // not ready
+      double t = cm.from == kWorld ? 0.0 : std::max(calcEnd[cm.from], busy[cm.from]);
+      if (cm.to != kWorld) t = std::max(t, busy[cm.to]);
+      const double tie = cm.to == kWorld ? 0.0 : remaining[cm.to];
+      if (t < bestT - 1e-12 || (t < bestT + 1e-12 && tie > bestTie)) {
+        bestT = t;
+        bestTie = tie;
+        pick = c;
+      }
+    }
+    auto& cm = comms[pick];
+    cm.scheduled = true;
+    const double end = bestT + cm.vol;
+    if (cm.from != kWorld) {
+      busy[cm.from] = end;
+      po.out[cm.from].push_back(cm.to);
+    }
+    if (cm.to != kWorld) {
+      busy[cm.to] = end;
+      po.in[cm.to].push_back(cm.from);
+      if (--insLeft[cm.to] == 0) {
+        calcEnd[cm.to] = end + costs.at(cm.to).ccomp;
+        busy[cm.to] = calcEnd[cm.to];
+      }
+    }
+  }
+  return po;
+}
+
+namespace {
+
+struct Enumerator {
+  std::vector<std::vector<NodeId>*> seqs;  // all per-node sequences
+  const std::function<bool(const PortOrders&)>* fn = nullptr;
+  const PortOrders* po = nullptr;
+  std::size_t budget = 0;
+  bool stopped = false;     // fn asked to stop
+  bool truncated = false;   // budget exhausted
+
+  void run(std::size_t idx) {
+    if (stopped || truncated) return;
+    if (idx == seqs.size()) {
+      if (budget == 0) {
+        truncated = true;
+        return;
+      }
+      --budget;
+      if (!(*fn)(*po)) stopped = true;
+      return;
+    }
+    auto& seq = *seqs[idx];
+    std::sort(seq.begin(), seq.end());
+    do {
+      run(idx + 1);
+      if (stopped || truncated) return;
+    } while (std::next_permutation(seq.begin(), seq.end()));
+  }
+};
+
+}  // namespace
+
+bool forEachPortOrders(const ExecutionGraph& graph, std::size_t maxCombos,
+                       const std::function<bool(const PortOrders&)>& fn) {
+  PortOrders po = PortOrders::canonical(graph);
+  Enumerator e;
+  for (NodeId i = 0; i < graph.size(); ++i) e.seqs.push_back(&po.in[i]);
+  for (NodeId i = 0; i < graph.size(); ++i) e.seqs.push_back(&po.out[i]);
+  e.fn = &fn;
+  e.po = &po;
+  e.budget = maxCombos;
+  e.run(0);
+  return !e.truncated;
+}
+
+std::size_t countPortOrders(const ExecutionGraph& graph,
+                            std::size_t maxCombos) {
+  std::size_t count = 0;
+  forEachPortOrders(graph, maxCombos, [&](const PortOrders&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+}  // namespace fsw

@@ -1,0 +1,57 @@
+// Per-server orderings of incoming and outgoing communications.
+//
+// Once an execution graph is fixed, a one-port schedule is characterized by
+// the order in which every server performs its receives and its sends (plus
+// start times, which the difference-constraint solver then optimizes). The
+// NP-hardness of one-port orchestration (Theorem 1) lives exactly in the
+// choice of these orders.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/core/application.hpp"
+#include "src/core/execution_graph.hpp"
+#include "src/oplist/operation_list.hpp"
+
+namespace fsw {
+
+struct PortOrders {
+  /// in[i] = sources of C_i's incoming communications (kWorld for the virtual
+  /// input), in receive order. out[i] = targets in send order (kWorld for
+  /// the virtual output).
+  std::vector<std::vector<NodeId>> in;
+  std::vector<std::vector<NodeId>> out;
+
+  /// Ascending-index orders (virtual input first, virtual output last).
+  static PortOrders canonical(const ExecutionGraph& graph);
+
+  /// Weight-guided orders: sends sorted by non-increasing downstream
+  /// remaining time (feed the longest branch first, the exchange argument
+  /// behind Algorithm 1); receives sorted by non-decreasing sender depth.
+  static PortOrders heuristic(const Application& app,
+                              const ExecutionGraph& graph);
+
+  /// List-scheduling orders for the latency (single data set) regime: an
+  /// event-driven greedy packs communications one-port-feasibly as early as
+  /// possible (ties broken by downstream remaining time) and the realized
+  /// sequence at every port becomes the order. Much stronger than
+  /// `heuristic` on communication-bound graphs like counter-example B.2.
+  static PortOrders listLatency(const Application& app,
+                                const ExecutionGraph& graph);
+};
+
+/// Invokes fn for every combination of per-node in/out permutations, up to
+/// `maxCombos` combinations. Returns true iff the enumeration was exhaustive
+/// (i.e. the total count did not exceed the cap). fn may return false to stop
+/// early (the function then returns true: enumeration was not truncated by
+/// the cap).
+bool forEachPortOrders(const ExecutionGraph& graph, std::size_t maxCombos,
+                       const std::function<bool(const PortOrders&)>& fn);
+
+/// Number of in/out order combinations (capped at maxCombos + 1).
+[[nodiscard]] std::size_t countPortOrders(const ExecutionGraph& graph,
+                                          std::size_t maxCombos);
+
+}  // namespace fsw

@@ -1,0 +1,260 @@
+#include "src/sim/greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "src/core/cost_model.hpp"
+
+namespace fsw {
+namespace {
+
+SimResult finish(const std::vector<double>& completion) {
+  SimResult res;
+  res.ok = true;
+  res.firstLatency = completion.front();
+  res.makespan = completion.back();
+  const std::size_t n = completion.size();
+  if (n >= 4) {
+    // Steady-state slope between the warm-up and drain transients.
+    const std::size_t lo = n / 4;
+    const std::size_t hi = 3 * n / 4;
+    res.measuredPeriod =
+        (completion[hi] - completion[lo]) / static_cast<double>(hi - lo);
+  } else if (n >= 2) {
+    res.measuredPeriod = (completion.back() - completion.front()) /
+                         static_cast<double>(n - 1);
+  }
+  return res;
+}
+
+}  // namespace
+
+SimResult simulateGreedyInOrder(const Application& app,
+                                const ExecutionGraph& graph,
+                                const PortOrders& orders,
+                                std::size_t numDataSets) {
+  const CostModel costs(app, graph);
+  const std::size_t n = graph.size();
+  const std::size_t N = numDataSets;
+
+  // Per server, the op sequence of one cycle: receives (in order), calc,
+  // sends (in order). A communication appears in two sequences and starts
+  // when both sides reach it (rendez-vous): its begin is the max of the two
+  // sequence frontiers. We iterate the unrolled marked graph to a fixed
+  // point with a worklist-free sweep: positions only depend on earlier
+  // positions of each server and the peer's frontier, so cycling over data
+  // sets and servers until stable converges in one pass per data set.
+  struct SeqItem {
+    bool isCalc;
+    NodeId peer;      // comm peer (kWorld for virtual)
+    bool incoming;    // receive vs send
+    double dur;
+  };
+  std::vector<std::vector<SeqItem>> seq(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (const NodeId s : orders.in[i]) {
+      seq[i].push_back({false, s, true, s == kWorld ? 1.0 : costs.at(s).sigmaOut});
+    }
+    seq[i].push_back({true, kWorld, false, costs.at(i).ccomp});
+    for (const NodeId t : orders.out[i]) {
+      seq[i].push_back({false, t, false, costs.at(i).sigmaOut});
+    }
+  }
+
+  // begin[(i, pos, ds)] computed lazily: comm ops are shared, so we store a
+  // begin per (edge, ds) and per (calc, ds), then advance server frontiers.
+  std::map<std::pair<std::pair<NodeId, NodeId>, std::size_t>, double> commBegin;
+  std::vector<double> completion(N, 0.0);
+  std::vector<double> frontier(n, 0.0);  // server-ready time
+  std::vector<std::size_t> pos(n, 0);    // index into seq x dataset stream
+  const std::size_t total = [&] {
+    std::size_t t = 0;
+    for (const auto& s : seq) t += s.size() * N;
+    return t;
+  }();
+
+  // Event-driven: repeatedly advance the server whose next op can start
+  // earliest. A receive can start only once the sender has *offered* it
+  // (sender frontier at that op); we model the rendez-vous by allowing a
+  // server's op to start only when the peer's matching op is the peer's
+  // current op too. Deadlock cannot occur for consistent orders; we guard
+  // with a progress check regardless.
+  std::vector<std::size_t> done(n, 0);  // ops completed per server
+  auto opDataSet = [&](NodeId i) { return done[i] / seq[i].size(); };
+  auto opIndex = [&](NodeId i) { return done[i] % seq[i].size(); };
+
+  std::size_t completed = 0;
+  while (completed < total) {
+    // Find the startable op with the smallest start time.
+    double bestT = std::numeric_limits<double>::infinity();
+    NodeId bestI = kNoNode;
+    for (NodeId i = 0; i < n; ++i) {
+      if (done[i] >= seq[i].size() * N) continue;
+      const auto& item = seq[i][opIndex(i)];
+      const std::size_t ds = opDataSet(i);
+      double t = frontier[i];
+      if (!item.isCalc && item.peer != kWorld) {
+        // Rendez-vous: peer must be at the matching op of the same data set.
+        const NodeId p = item.peer;
+        if (done[p] >= seq[p].size() * N) continue;
+        const auto& peerItem = seq[p][opIndex(p)];
+        const bool match = !peerItem.isCalc && peerItem.peer == i &&
+                           peerItem.incoming != item.incoming &&
+                           opDataSet(p) == ds;
+        if (!match) continue;
+        t = std::max(t, frontier[p]);
+      }
+      if (t < bestT) {
+        bestT = t;
+        bestI = i;
+      }
+    }
+    if (bestI == kNoNode) {
+      // Deadlock (inconsistent orders): report failure.
+      SimResult res;
+      res.ok = false;
+      res.violations = 1;
+      return res;
+    }
+    const NodeId i = bestI;
+    const auto& item = seq[i][opIndex(i)];
+    const std::size_t ds = opDataSet(i);
+    const double end = bestT + item.dur;
+    frontier[i] = end;
+    ++done[i];
+    ++completed;
+    if (!item.isCalc && item.peer != kWorld) {
+      frontier[item.peer] = end;
+      ++done[item.peer];
+      ++completed;
+    }
+    if (!item.isCalc && !item.incoming && item.peer == kWorld) {
+      completion[ds] = std::max(completion[ds], end);
+    }
+  }
+  return finish(completion);
+}
+
+SimResult simulateGreedyOutOrder(const Application& app,
+                                 const ExecutionGraph& graph,
+                                 std::size_t numDataSets) {
+  const CostModel costs(app, graph);
+  const std::size_t n = graph.size();
+  const std::size_t N = numDataSets;
+
+  // Op instances: (kind, endpoints, data set). Precedences: receives of set
+  // ds precede calc(ds); calc(ds) precedes sends of set ds; FIFO per edge
+  // and per service keeps channels ordered.
+  struct OpInst {
+    bool isCalc;
+    NodeId a, b;   // calc: a; comm: a -> b
+    double dur;
+    std::vector<std::size_t> preds;
+    double ready = 0.0;
+    bool started = false;
+    std::size_t remaining = 0;
+  };
+  std::vector<OpInst> ops;
+  std::vector<std::vector<std::size_t>> succ;
+  auto link = [&](std::size_t p, std::size_t o) {
+    ops[o].preds.push_back(p);
+    succ[p].push_back(o);
+  };
+
+  std::vector<std::vector<std::size_t>> calcOf(N, std::vector<std::size_t>(n));
+  auto newOp = [&](bool isCalc, NodeId a, NodeId b, double dur) {
+    ops.push_back({isCalc, a, b, dur, {}, 0.0, false, 0});
+    succ.emplace_back();
+    return ops.size() - 1;
+  };
+  for (std::size_t ds = 0; ds < N; ++ds) {
+    for (NodeId i = 0; i < n; ++i) {
+      calcOf[ds][i] = newOp(true, i, kWorld, costs.at(i).ccomp);
+      if (ds > 0) link(calcOf[ds - 1][i], calcOf[ds][i]);
+    }
+  }
+  std::vector<std::vector<std::size_t>> outputsOf(N);
+  std::map<std::pair<NodeId, NodeId>, std::size_t> lastOnEdge;
+  for (std::size_t ds = 0; ds < N; ++ds) {
+    auto addComm = [&](NodeId from, NodeId to, double dur) {
+      const std::size_t o = newOp(false, from, to, dur);
+      if (from != kWorld) link(calcOf[ds][from], o);
+      if (to != kWorld) link(o, calcOf[ds][to]);
+      if (to == kWorld) outputsOf[ds].push_back(o);
+      // Synchronous channels are FIFO: instance ds follows instance ds-1.
+      const auto key = std::make_pair(from, to);
+      const auto it = lastOnEdge.find(key);
+      if (it != lastOnEdge.end()) link(it->second, o);
+      lastOnEdge[key] = o;
+      return o;
+    };
+    for (NodeId i = 0; i < n; ++i) {
+      if (graph.isEntry(i)) addComm(kWorld, i, 1.0);
+    }
+    for (const auto& e : graph.edges()) {
+      addComm(e.from, e.to, costs.at(e.from).sigmaOut);
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      if (graph.isExit(i)) addComm(i, kWorld, costs.at(i).sigmaOut);
+    }
+  }
+  for (auto& op : ops) op.remaining = op.preds.size();
+
+  // Greedy dispatch: repeatedly start the released op with the earliest
+  // feasible start (server busy times + readiness), earliest-released first.
+  std::vector<double> busy(n, 0.0);
+  std::vector<std::size_t> released;
+  for (std::size_t o = 0; o < ops.size(); ++o) {
+    if (ops[o].remaining == 0) released.push_back(o);
+  }
+  std::vector<double> opEnd(ops.size(), 0.0);
+  std::size_t startedCount = 0;
+  while (startedCount < ops.size()) {
+    double bestT = std::numeric_limits<double>::infinity();
+    std::size_t bestO = ops.size();
+    for (const std::size_t o : released) {
+      if (ops[o].started) continue;
+      double t = ops[o].ready;
+      if (ops[o].isCalc) {
+        t = std::max(t, busy[ops[o].a]);
+      } else {
+        if (ops[o].a != kWorld) t = std::max(t, busy[ops[o].a]);
+        if (ops[o].b != kWorld) t = std::max(t, busy[ops[o].b]);
+      }
+      if (t < bestT) {
+        bestT = t;
+        bestO = o;
+      }
+    }
+    auto& op = ops[bestO];
+    op.started = true;
+    ++startedCount;
+    const double end = bestT + op.dur;
+    opEnd[bestO] = end;
+    if (op.isCalc) {
+      busy[op.a] = end;
+    } else {
+      if (op.a != kWorld) busy[op.a] = end;
+      if (op.b != kWorld) busy[op.b] = end;
+    }
+    for (const std::size_t s : succ[bestO]) {
+      ops[s].ready = std::max(ops[s].ready, end);
+      if (--ops[s].remaining == 0) released.push_back(s);
+    }
+    released.erase(std::remove_if(released.begin(), released.end(),
+                                  [&](std::size_t o) { return ops[o].started; }),
+                   released.end());
+  }
+
+  std::vector<double> completion(N, 0.0);
+  for (std::size_t ds = 0; ds < N; ++ds) {
+    for (const std::size_t o : outputsOf[ds]) {
+      completion[ds] = std::max(completion[ds], opEnd[o]);
+    }
+  }
+  return finish(completion);
+}
+
+}  // namespace fsw

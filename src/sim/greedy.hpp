@@ -1,0 +1,35 @@
+// Greedy dynamic simulators: reconstructed runtime baselines.
+//
+// The paper compares against *optimized* operation lists; a real deployment
+// without an orchestrator would run greedily (start every operation as soon
+// as its server and its peer are free). These simulators execute that policy
+// over a stream of data sets and report the steady-state period it achieves,
+// which upper-bounds the optimum and quantifies the value of orchestration.
+//
+//  * simulateGreedyInOrder: servers follow the strict INORDER cycle
+//    (receive in order, compute, send in order) with rendez-vous
+//    synchronization; the given port orders are the only degree of freedom.
+//  * simulateGreedyOutOrder: servers pick, at every instant, the earliest
+//    startable operation (comms need both endpoints idle), letting data sets
+//    overtake each other as OUTORDER allows.
+#pragma once
+
+#include <cstddef>
+
+#include "src/core/application.hpp"
+#include "src/core/execution_graph.hpp"
+#include "src/sched/port_orders.hpp"
+#include "src/sim/replay.hpp"
+
+namespace fsw {
+
+[[nodiscard]] SimResult simulateGreedyInOrder(const Application& app,
+                                              const ExecutionGraph& graph,
+                                              const PortOrders& orders,
+                                              std::size_t numDataSets = 64);
+
+[[nodiscard]] SimResult simulateGreedyOutOrder(const Application& app,
+                                               const ExecutionGraph& graph,
+                                               std::size_t numDataSets = 64);
+
+}  // namespace fsw

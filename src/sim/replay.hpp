@@ -1,0 +1,38 @@
+// Operation-list replayer: the simulation substrate standing in for the
+// paper's (absent) experimental platform.
+//
+// The replayer unrolls the cyclic operation list over N consecutive data
+// sets into absolute time intervals and *executes* it: every server is a
+// resource, every transfer occupies its endpoints, and the replayer checks
+// operationally — with no modulo-lambda reasoning — that the rules of the
+// communication model are never violated, while measuring the achieved
+// period (completion spacing in steady state) and per-data-set latency.
+// A valid OL must replay with measuredPeriod == lambda exactly; this is the
+// "measured = analytic" experiment of EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+
+#include "src/core/application.hpp"
+#include "src/core/execution_graph.hpp"
+#include "src/core/model.hpp"
+#include "src/oplist/operation_list.hpp"
+
+namespace fsw {
+
+struct SimResult {
+  bool ok = false;               ///< no resource violation observed
+  std::size_t violations = 0;    ///< number of violating interval pairs
+  double measuredPeriod = 0.0;   ///< steady-state completion spacing
+  double firstLatency = 0.0;     ///< data set 0 injection-to-completion
+  double makespan = 0.0;         ///< completion of the last data set
+};
+
+/// Replays `numDataSets` cyclic repetitions of ol under model m.
+[[nodiscard]] SimResult replayOperationList(const Application& app,
+                                            const ExecutionGraph& graph,
+                                            const OperationList& ol,
+                                            CommModel m,
+                                            std::size_t numDataSets = 32);
+
+}  // namespace fsw

@@ -1,0 +1,96 @@
+#include "src/workload/generator.hpp"
+
+#include <stdexcept>
+
+namespace fsw {
+
+Application randomApplication(const WorkloadSpec& spec, Prng& rng) {
+  Application app;
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    const double cost = rng.uniform(spec.costLo, spec.costHi);
+    const double sigma =
+        rng.bernoulli(spec.filterFraction)
+            ? rng.uniform(spec.filterSigmaLo, spec.filterSigmaHi)
+            : rng.uniform(spec.expandSigmaLo, spec.expandSigmaHi);
+    app.addService(cost, sigma);
+  }
+  if (spec.precedenceDensity > 0.0) {
+    for (NodeId i = 0; i < spec.n; ++i) {
+      for (NodeId j = i + 1; j < spec.n; ++j) {
+        if (rng.bernoulli(spec.precedenceDensity)) app.addPrecedence(i, j);
+      }
+    }
+  }
+  return app;
+}
+
+ExecutionGraph randomForest(const Application& app, Prng& rng) {
+  const std::size_t n = app.size();
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::vector<NodeId> parent(n, kNoNode);
+    // Random permutation as implicit topological order; each node picks a
+    // parent among earlier nodes or none. Constrained instances get a
+    // strong bias toward chaining (the shape most likely to contain the
+    // precedence closure).
+    const auto order = rng.permutation(n);
+    const double chainBias = app.hasPrecedences() ? 0.7 : 0.25;
+    for (std::size_t pos = 1; pos < n; ++pos) {
+      if (rng.bernoulli(0.75)) {
+        const auto pick =
+            rng.bernoulli(chainBias)
+                ? pos - 1
+                : static_cast<std::size_t>(
+                      rng.uniformInt(0, static_cast<std::int64_t>(pos) - 1));
+        parent[order[pos]] = order[pick];
+      }
+    }
+    ExecutionGraph g = ExecutionGraph::fromParents(parent);
+    if (g.respects(app)) return g;
+  }
+  // Guaranteed fallback: a random topological chain always contains the
+  // precedence constraints in its transitive closure.
+  auto order = app.topologicalOrder();
+  // Shuffle within the limits of the precedence order by random adjacent
+  // swaps of unconstrained pairs.
+  for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+    if (rng.bernoulli(0.5) && !app.mustPrecede(order[k], order[k + 1])) {
+      std::swap(order[k], order[k + 1]);
+    }
+  }
+  return ExecutionGraph::chain(order);
+}
+
+ExecutionGraph randomLayeredDag(const Application& app, std::size_t layers,
+                                std::size_t maxFanin, Prng& rng) {
+  const std::size_t n = app.size();
+  if (layers == 0) throw std::invalid_argument("randomLayeredDag: layers == 0");
+  ExecutionGraph g(n);
+  std::vector<std::vector<NodeId>> rank(layers);
+  for (NodeId i = 0; i < n; ++i) {
+    rank[i * layers / n].push_back(i);
+  }
+  for (std::size_t l = 1; l < layers; ++l) {
+    if (rank[l - 1].empty()) continue;
+    for (const NodeId v : rank[l]) {
+      const auto fanin = static_cast<std::size_t>(rng.uniformInt(
+          1, static_cast<std::int64_t>(
+                 std::min(maxFanin, rank[l - 1].size()))));
+      auto pool = rank[l - 1];
+      rng.shuffle(pool);
+      for (std::size_t k = 0; k < fanin; ++k) g.addEdge(pool[k], v);
+    }
+  }
+  return g;
+}
+
+ExecutionGraph forkJoinGraph(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("forkJoinGraph: need n >= 3");
+  ExecutionGraph g(n);
+  for (NodeId i = 1; i + 1 < n; ++i) {
+    g.addEdge(0, i);
+    g.addEdge(i, n - 1);
+  }
+  return g;
+}
+
+}  // namespace fsw

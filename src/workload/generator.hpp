@@ -1,0 +1,45 @@
+// Synthetic workload generation for benches and property tests: random
+// applications with controlled cost/selectivity mixes, and random execution
+// graph shapes (forest, layered DAG, chain, fork-join).
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/prng.hpp"
+#include "src/core/application.hpp"
+#include "src/core/execution_graph.hpp"
+
+namespace fsw {
+
+struct WorkloadSpec {
+  std::size_t n = 8;
+  double costLo = 0.5;
+  double costHi = 4.0;
+  /// Probability a service is a filter (sigma < 1); the rest are expanders.
+  double filterFraction = 0.7;
+  double filterSigmaLo = 0.1;
+  double filterSigmaHi = 0.95;
+  double expandSigmaLo = 1.05;
+  double expandSigmaHi = 2.0;
+  /// Probability of each forward precedence edge (0 = unconstrained).
+  double precedenceDensity = 0.0;
+};
+
+/// A random application matching the spec.
+[[nodiscard]] Application randomApplication(const WorkloadSpec& spec,
+                                            Prng& rng);
+
+/// A uniformly random forest over app's services that respects its
+/// precedence constraints (rejection sampling).
+[[nodiscard]] ExecutionGraph randomForest(const Application& app, Prng& rng);
+
+/// A random layered DAG: services split into `layers` ranks, every non-entry
+/// node receiving 1..maxFanin predecessors from the previous rank.
+[[nodiscard]] ExecutionGraph randomLayeredDag(const Application& app,
+                                              std::size_t layers,
+                                              std::size_t maxFanin, Prng& rng);
+
+/// A fork-join: node 0 feeds nodes 1..n-2, all feeding node n-1 (n >= 3).
+[[nodiscard]] ExecutionGraph forkJoinGraph(std::size_t n);
+
+}  // namespace fsw

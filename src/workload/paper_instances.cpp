@@ -1,0 +1,95 @@
+#include "src/workload/paper_instances.hpp"
+
+namespace fsw {
+
+PaperInstance sec23Example() {
+  PaperInstance pi;
+  for (int i = 0; i < 5; ++i) pi.app.addService(4.0, 1.0);
+  ExecutionGraph g(5);
+  g.addEdge(0, 1);  // C1 -> C2
+  g.addEdge(1, 2);  // C2 -> C3
+  g.addEdge(0, 3);  // C1 -> C4
+  g.addEdge(2, 4);  // C3 -> C5
+  g.addEdge(3, 4);  // C4 -> C5
+  pi.graph = std::move(g);
+  return pi;
+}
+
+PaperInstance counterexampleB1() {
+  PaperInstance pi;
+  pi.app.addService(100.0, 0.9999, "C1");
+  pi.app.addService(100.0, 0.9999, "C2");
+  for (int i = 3; i <= 202; ++i) {
+    pi.app.addService(100.0 / 0.9999, 100.0, "C" + std::to_string(i));
+  }
+  // Fig 4: C1 and C2 are independent entries, each feeding 100 expanders.
+  ExecutionGraph g(202);
+  for (NodeId i = 2; i < 102; ++i) g.addEdge(0, i);
+  for (NodeId i = 102; i < 202; ++i) g.addEdge(1, i);
+  pi.graph = std::move(g);
+  return pi;
+}
+
+ExecutionGraph counterexampleB1ChainGraph() {
+  ExecutionGraph g(202);
+  g.addEdge(0, 1);  // C1 -> C2 (the no-comm optimal chains the filters)
+  for (NodeId i = 2; i < 202; ++i) g.addEdge(1, i);
+  return g;
+}
+
+PaperInstance counterexampleB2() {
+  PaperInstance pi;
+  // Senders C1..C6 (unit cost; sigma 1,2,2,3,3,3), receivers C7..C12.
+  pi.app.addService(1.0, 1.0, "C1");
+  pi.app.addService(1.0, 2.0, "C2");
+  pi.app.addService(1.0, 2.0, "C3");
+  pi.app.addService(1.0, 3.0, "C4");
+  pi.app.addService(1.0, 3.0, "C5");
+  pi.app.addService(1.0, 3.0, "C6");
+  for (int i = 7; i <= 12; ++i) {
+    pi.app.addService(1.0, 1.0, "C" + std::to_string(i));
+  }
+  ExecutionGraph g(12);
+  // Every receiver gets inputs of sizes {1, 2, 3}: C1 feeds all six; C2
+  // covers C7..C9 and C3 covers C10..C12; C4/C5/C6 cover pairs.
+  for (NodeId r = 6; r < 12; ++r) g.addEdge(0, r);
+  for (NodeId r = 6; r < 9; ++r) g.addEdge(1, r);
+  for (NodeId r = 9; r < 12; ++r) g.addEdge(2, r);
+  g.addEdge(3, 6);
+  g.addEdge(3, 9);
+  g.addEdge(4, 7);
+  g.addEdge(4, 10);
+  g.addEdge(5, 8);
+  g.addEdge(5, 11);
+  pi.graph = std::move(g);
+  return pi;
+}
+
+PaperInstance counterexampleB3() {
+  PaperInstance pi;
+  // Senders: output volumes sigma = {3, 3, 4, 2}, unit cost.
+  pi.app.addService(1.0, 3.0, "C1");
+  pi.app.addService(1.0, 3.0, "C2");
+  pi.app.addService(1.0, 4.0, "C3");
+  pi.app.addService(1.0, 2.0, "C4");
+  // Receivers C5..C7: ancestors {C1..C4}, sigma-product 72; cost 1/6 makes
+  // Ccomp = 12 and sigma 1/72 makes the output volume 1, matching the
+  // proof's Cexec = Cin = 12 profile. C8: ancestors {C1, C2}, product 9.
+  for (int i = 5; i <= 7; ++i) {
+    pi.app.addService(1.0 / 6.0, 1.0 / 72.0, "C" + std::to_string(i));
+  }
+  pi.app.addService(1.0, 1.0 / 9.0, "C8");
+  ExecutionGraph g(8);
+  for (NodeId r = 4; r < 8; ++r) {
+    g.addEdge(0, r);  // C1 -> C5..C8
+    g.addEdge(1, r);  // C2 -> C5..C8
+  }
+  for (NodeId r = 4; r < 7; ++r) {
+    g.addEdge(2, r);  // C3 -> C5..C7
+    g.addEdge(3, r);  // C4 -> C5..C7
+  }
+  pi.graph = std::move(g);
+  return pi;
+}
+
+}  // namespace fsw

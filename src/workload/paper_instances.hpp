@@ -1,0 +1,44 @@
+// The paper's named instances, reconstructed exactly: the Section 2.3
+// worked example (Fig 1) and the three counter-examples of Appendix B
+// (Figs 4, 5, 6). These are the concrete artifacts every table/figure
+// experiment of EXPERIMENTS.md replays.
+#pragma once
+
+#include "src/core/application.hpp"
+#include "src/core/execution_graph.hpp"
+
+namespace fsw {
+
+struct PaperInstance {
+  Application app;
+  ExecutionGraph graph{0};
+};
+
+/// Section 2.3 / Fig 1: five services, cost 4, selectivity 1; the diamond
+/// C1 -> {C2 -> C3, C4} -> C5. Known optima: latency 21 (all models),
+/// period 4 (OVERLAP), 7 (OUTORDER), 23/3 (INORDER).
+[[nodiscard]] PaperInstance sec23Example();
+
+/// Appendix B.1 / Fig 4: 202 services (two cheap filters with sigma =
+/// 0.9999, cost 100; 200 expanders with sigma = 100, cost 100/0.9999).
+/// `graph` is the comm-aware optimum (two stars, period 100 under OVERLAP).
+[[nodiscard]] PaperInstance counterexampleB1();
+/// The no-communication optimum for the same application (C1 -> C2 chained,
+/// C2 feeding all expanders): period 100 without communications but ~200
+/// under OVERLAP.
+[[nodiscard]] ExecutionGraph counterexampleB1ChainGraph();
+
+/// Appendix B.2 / Fig 5: 12 unit-cost services; senders with sigma
+/// {1,2,2,3,3,3} feeding six receivers so that every receiver's input
+/// totals 6. Multi-port latency 20; every one-port schedule exceeds 20.
+[[nodiscard]] PaperInstance counterexampleB2();
+
+/// Appendix B.3 / Fig 6: the period analogue: senders C1..C4 with output
+/// volumes {3,3,4,2}; C1, C2 feed all four receivers, C3, C4 feed C5..C7.
+/// Multi-port period 12; every one-port-overlap schedule exceeds 12.
+/// Receiver costs/selectivities are chosen (c = 1/6, sigma = 1/72 resp.
+/// c = 1, sigma = 1/9) so the filtering cost model reproduces the proof's
+/// Cexec profile exactly (see DESIGN.md, substitution table).
+[[nodiscard]] PaperInstance counterexampleB3();
+
+}  // namespace fsw

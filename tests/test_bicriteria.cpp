@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/oplist/validate.hpp"
+#include "src/opt/bicriteria.hpp"
+#include "src/sched/orchestrator.hpp"
+#include "src/workload/generator.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace fsw {
+namespace {
+
+BicriteriaOptions fastOpts() {
+  BicriteriaOptions opt;
+  opt.lambdaSamples = 8;
+  opt.graphCandidates = 4;
+  opt.orchestrator.order.exactCap = 100;
+  opt.orchestrator.outorder.restarts = 6;
+  return opt;
+}
+
+TEST(ParetoFilter, RemovesDominatedAndSorts) {
+  std::vector<ParetoPoint> pts(4);
+  pts[0].period = 2.0;
+  pts[0].latency = 10.0;
+  pts[1].period = 3.0;
+  pts[1].latency = 12.0;  // dominated by [0]
+  pts[2].period = 1.0;
+  pts[2].latency = 20.0;
+  pts[3].period = 4.0;
+  pts[3].latency = 8.0;
+  const auto front = paretoFilter(pts);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_DOUBLE_EQ(front[0].period, 1.0);
+  EXPECT_DOUBLE_EQ(front[1].period, 2.0);
+  EXPECT_DOUBLE_EQ(front[2].period, 4.0);
+  // Latencies strictly decrease along the front.
+  EXPECT_GT(front[0].latency, front[1].latency);
+  EXPECT_GT(front[1].latency, front[2].latency);
+}
+
+TEST(Bicriteria, FrontForSec23GraphInorder) {
+  const auto pi = sec23Example();
+  const auto front = periodLatencyFrontForGraph(pi.app, pi.graph,
+                                                CommModel::InOrder, fastOpts());
+  ASSERT_FALSE(front.empty());
+  // Endpoints bracket the mono-criterion optima.
+  EXPECT_NEAR(front.front().period, 23.0 / 3.0, 1e-5);
+  EXPECT_NEAR(front.back().latency, 21.0, 1e-6);
+  // Every point validates under INORDER and is internally consistent.
+  for (const auto& p : front) {
+    const auto rep = validate(pi.app, p.plan.graph, p.plan.ol,
+                              CommModel::InOrder);
+    EXPECT_TRUE(rep.valid) << rep.summary();
+    EXPECT_DOUBLE_EQ(p.period, p.plan.ol.period());
+    EXPECT_DOUBLE_EQ(p.latency, p.plan.ol.latency());
+  }
+  // The front trades period for latency monotonically.
+  for (std::size_t k = 1; k < front.size(); ++k) {
+    EXPECT_GT(front[k].period, front[k - 1].period);
+    EXPECT_LT(front[k].latency, front[k - 1].latency);
+  }
+}
+
+TEST(Bicriteria, OverlapFrontContainsBothOptima) {
+  const auto pi = sec23Example();
+  const auto front = periodLatencyFrontForGraph(pi.app, pi.graph,
+                                                CommModel::Overlap, fastOpts());
+  ASSERT_FALSE(front.empty());
+  EXPECT_NEAR(front.front().period, 4.0, 1e-9);
+  EXPECT_NEAR(front.back().latency, 21.0, 1e-6);
+}
+
+TEST(Bicriteria, MinLatencyGivenPeriodInterpolates) {
+  // Plan-level: for the Section 2.3 application (unit selectivities) the
+  // all-parallel graph is unbeatable — every service alone has busy time
+  // 1 + 4 + 1 = 6, so latency 6 and INORDER period 6 simultaneously.
+  const auto pi = sec23Example();
+  const auto loose = minLatencyGivenPeriod(pi.app, CommModel::InOrder, 1e9,
+                                           fastOpts());
+  EXPECT_NEAR(loose.latency, 6.0, 1e-5);
+  // A period bound at that same 6 is still achievable (same plan)...
+  const auto tight = minLatencyGivenPeriod(pi.app, CommModel::InOrder,
+                                           6.0 + 1e-6, fastOpts());
+  EXPECT_NEAR(tight.latency, 6.0, 1e-5);
+  EXPECT_LE(tight.period, 6.0 + 1e-5);
+  // ... while any period below the per-service busy time is unachievable
+  // under INORDER (every server must fit 1 + 4 + sigma per cycle).
+  const auto none =
+      minLatencyGivenPeriod(pi.app, CommModel::InOrder, 5.5, fastOpts());
+  EXPECT_EQ(none.latency, std::numeric_limits<double>::infinity());
+}
+
+TEST(Bicriteria, MinPeriodGivenLatency) {
+  const auto pi = sec23Example();
+  const auto r = minPeriodGivenLatency(pi.app, CommModel::InOrder, 21.0 + 1e-6,
+                                       fastOpts());
+  EXPECT_LE(r.latency, 21.0 + 1e-5);
+  EXPECT_LT(r.period, 22.0);
+}
+
+TEST(Bicriteria, PlanLevelFrontDominatesSingleGraphFront) {
+  Prng rng(99);
+  WorkloadSpec spec;
+  spec.n = 5;
+  const auto app = randomApplication(spec, rng);
+  const auto planFront = periodLatencyFront(app, CommModel::InOrder,
+                                            fastOpts());
+  ASSERT_FALSE(planFront.empty());
+  const auto g = randomForest(app, rng);
+  const auto graphFront = periodLatencyFrontForGraph(app, g,
+                                                     CommModel::InOrder,
+                                                     fastOpts());
+  // Every single-graph point is weakly dominated by some plan-level point.
+  for (const auto& q : graphFront) {
+    bool dominated = false;
+    for (const auto& p : planFront) {
+      if (p.period <= q.period + 1e-6 && p.latency <= q.latency + 1e-6) {
+        dominated = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated) << "point (" << q.period << ", " << q.latency
+                           << ") not covered";
+  }
+}
+
+TEST(Bicriteria, FrontsValidAcrossModelsOnRandomInstances) {
+  Prng rng(123);
+  for (int trial = 0; trial < 3; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 5;
+    const auto app = randomApplication(spec, rng);
+    for (const CommModel m : kAllModels) {
+      const auto front = periodLatencyFront(app, m, fastOpts());
+      ASSERT_FALSE(front.empty()) << name(m);
+      for (const auto& p : front) {
+        EXPECT_TRUE(validate(app, p.plan.graph, p.plan.ol, m).valid)
+            << name(m) << " trial " << trial;
+      }
+      // The front's best period ties the mono-criterion optimizer's graph
+      // search at least up to heuristic noise: sanity bound only.
+      EXPECT_GT(front.front().period, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsw

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "src/common/prng.hpp"
+#include "src/common/util.hpp"
+#include "src/opt/chain.hpp"
+#include "src/workload/generator.hpp"
+
+namespace fsw {
+namespace {
+
+/// Brute-force best chain value over all n! orders.
+template <typename Eval>
+double bruteForceChain(const Application& app, Eval eval) {
+  double best = std::numeric_limits<double>::infinity();
+  forEachPermutation(app.size(), [&](const std::vector<std::size_t>& perm) {
+    std::vector<NodeId> order(perm.begin(), perm.end());
+    best = std::min(best, eval(order));
+    return true;
+  });
+  return best;
+}
+
+TEST(ChainPeriod, GreedyMatchesBruteForceOnePort) {
+  Prng rng(101);
+  for (int trial = 0; trial < 40; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 6;
+    spec.filterFraction = 0.5;
+    const auto app = randomApplication(spec, rng);
+    for (const CommModel m : {CommModel::InOrder, CommModel::OutOrder}) {
+      const auto greedy = chainOrderPeriod(app, m);
+      const double gv = chainPeriodValue(app, greedy, m);
+      const double bv = bruteForceChain(app, [&](const auto& order) {
+        return chainPeriodValue(app, order, m);
+      });
+      EXPECT_NEAR(gv, bv, 1e-9) << "trial " << trial << " " << name(m);
+    }
+  }
+}
+
+TEST(ChainPeriod, GreedyMatchesBruteForceOverlap) {
+  Prng rng(202);
+  for (int trial = 0; trial < 40; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 6;
+    spec.filterFraction = 0.5;
+    const auto app = randomApplication(spec, rng);
+    const auto greedy = chainOrderPeriod(app, CommModel::Overlap);
+    const double gv = chainPeriodValue(app, greedy, CommModel::Overlap);
+    const double bv = bruteForceChain(app, [&](const auto& order) {
+      return chainPeriodValue(app, order, CommModel::Overlap);
+    });
+    EXPECT_NEAR(gv, bv, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(ChainLatency, GreedyMatchesBruteForce) {
+  Prng rng(303);
+  for (int trial = 0; trial < 40; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 6;
+    spec.filterFraction = 0.5;
+    const auto app = randomApplication(spec, rng);
+    const auto greedy = chainOrderLatency(app);
+    const double gv = chainLatencyValue(app, greedy);
+    const double bv = bruteForceChain(app, [&](const auto& order) {
+      return chainLatencyValue(app, order);
+    });
+    EXPECT_NEAR(gv, bv, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(ChainPeriod, FiltersPrecedeExpanders) {
+  Application app;
+  app.addService(1.0, 2.0);  // expander
+  app.addService(1.0, 0.5);  // filter
+  app.addService(1.0, 0.9);  // filter
+  for (const CommModel m : kAllModels) {
+    const auto order = chainOrderPeriod(app, m);
+    const auto posOf = [&](NodeId v) {
+      return std::find(order.begin(), order.end(), v) - order.begin();
+    };
+    EXPECT_LT(posOf(1), posOf(0)) << name(m);
+    EXPECT_LT(posOf(2), posOf(0)) << name(m);
+  }
+}
+
+TEST(ChainOrder, RejectsPrecedenceConstraints) {
+  Application app;
+  app.addService(1.0, 1.0);
+  app.addService(1.0, 1.0);
+  app.addPrecedence(0, 1);
+  EXPECT_THROW(chainOrderPeriod(app, CommModel::Overlap),
+               std::invalid_argument);
+  EXPECT_THROW(chainOrderLatency(app), std::invalid_argument);
+  EXPECT_THROW(noCommBaselineGraph(app), std::invalid_argument);
+}
+
+TEST(NoCommBaseline, FiltersChainedByCostOverFiltering) {
+  Application app;
+  app.addService(4.0, 0.5);   // c/(1-s) = 8
+  app.addService(1.0, 0.5);   // c/(1-s) = 2
+  app.addService(10.0, 2.0);  // expander
+  const auto g = noCommBaselineGraph(app);
+  EXPECT_TRUE(g.hasEdge(1, 0));  // cheaper filter first
+  EXPECT_TRUE(g.hasEdge(0, 2));  // expander hangs off the last filter
+}
+
+TEST(NoCommBaseline, PeriodIsMaxFilteredComputation) {
+  Application app;
+  app.addService(4.0, 0.5);
+  app.addService(8.0, 0.5);
+  app.addService(40.0, 2.0);
+  const auto g = noCommBaselineGraph(app);
+  // Chain 0 -> 1 (c/(1-s): 8 < 16), expander after both: 0.25 * 40 = 10.
+  EXPECT_NEAR(noCommPeriodValue(app, g), 10.0, 1e-9);
+}
+
+TEST(NoCommBaseline, OptimalAmongForestsWithoutComm) {
+  // Brute-force: no forest beats the baseline when communication is free.
+  Prng rng(404);
+  for (int trial = 0; trial < 10; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 5;
+    spec.filterFraction = 0.6;
+    const auto app = randomApplication(spec, rng);
+    const auto base = noCommBaselineGraph(app);
+    const double baseV = noCommPeriodValue(app, base);
+    // Enumerate all parent functions.
+    const std::size_t n = app.size();
+    std::vector<NodeId> parent(n, kNoNode);
+    double best = baseV;
+    std::vector<std::size_t> digit(n, n);
+    bool carry = false;
+    while (!carry) {
+      bool ok = true;
+      for (NodeId i = 0; i < n && ok; ++i) {
+        parent[i] = digit[i] == n
+                        ? kNoNode
+                        : (static_cast<NodeId>(digit[i]) >= i ? digit[i] + 1
+                                                              : digit[i]);
+      }
+      // Cycle check by walking up.
+      for (NodeId i = 0; i < n && ok; ++i) {
+        NodeId v = parent[i];
+        std::size_t steps = 0;
+        while (v != kNoNode && ++steps <= n) v = parent[v];
+        ok = (v == kNoNode);
+      }
+      if (ok) {
+        best = std::min(
+            best, noCommPeriodValue(app, ExecutionGraph::fromParents(parent)));
+      }
+      carry = true;
+      for (NodeId i = 0; i < n && carry; ++i) {
+        if (digit[i] < n) {
+          ++digit[i];
+          carry = false;
+        } else {
+          digit[i] = 0;
+        }
+      }
+    }
+    EXPECT_NEAR(baseV, best, 1e-9) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace fsw

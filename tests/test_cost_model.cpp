@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "src/core/cost_model.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace fsw {
+namespace {
+
+TEST(CostModel, SingleService) {
+  Application app;
+  app.addService(3.0, 0.5);
+  ExecutionGraph g(1);
+  const CostModel cm(app, g);
+  EXPECT_DOUBLE_EQ(cm.at(0).sigmaIn, 1.0);
+  EXPECT_DOUBLE_EQ(cm.at(0).sigmaOut, 0.5);
+  EXPECT_DOUBLE_EQ(cm.at(0).cin, 1.0);   // delta0
+  EXPECT_DOUBLE_EQ(cm.at(0).ccomp, 3.0);
+  EXPECT_DOUBLE_EQ(cm.at(0).cout, 0.5);  // one virtual output
+  EXPECT_DOUBLE_EQ(cm.at(0).cexec(CommModel::Overlap), 3.0);
+  EXPECT_DOUBLE_EQ(cm.at(0).cexec(CommModel::InOrder), 4.5);
+}
+
+TEST(CostModel, ChainSelectivityPropagation) {
+  Application app;
+  app.addService(2.0, 0.5);
+  app.addService(2.0, 0.5);
+  app.addService(2.0, 2.0);
+  const auto g = ExecutionGraph::chain({0, 1, 2});
+  const CostModel cm(app, g);
+  EXPECT_DOUBLE_EQ(cm.at(1).sigmaIn, 0.5);
+  EXPECT_DOUBLE_EQ(cm.at(1).ccomp, 1.0);
+  EXPECT_DOUBLE_EQ(cm.at(2).sigmaIn, 0.25);
+  EXPECT_DOUBLE_EQ(cm.at(2).ccomp, 0.5);
+  EXPECT_DOUBLE_EQ(cm.at(2).sigmaOut, 0.5);
+  // C2's input communication is C1's output volume.
+  EXPECT_DOUBLE_EQ(cm.at(1).cin, 0.5);
+  EXPECT_DOUBLE_EQ(cm.at(2).cin, 0.25);
+}
+
+TEST(CostModel, DiamondDoesNotDoubleCountSharedAncestors) {
+  // 0 -> 1, 0 -> 2, {1,2} -> 3: ancestors of 3 are {0, 1, 2}, and sigma_0
+  // must be counted once even though two paths reach 3.
+  Application app;
+  app.addService(1.0, 0.5);
+  app.addService(1.0, 0.3);
+  app.addService(1.0, 0.7);
+  app.addService(1.0, 1.0);
+  ExecutionGraph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(0, 2);
+  g.addEdge(1, 3);
+  g.addEdge(2, 3);
+  const CostModel cm(app, g);
+  EXPECT_DOUBLE_EQ(cm.at(3).sigmaIn, 0.5 * 0.3 * 0.7);
+}
+
+TEST(CostModel, FanoutCountsInCout) {
+  Application app;
+  for (int i = 0; i < 4; ++i) app.addService(1.0, 1.0);
+  ExecutionGraph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(0, 2);
+  g.addEdge(0, 3);
+  const CostModel cm(app, g);
+  EXPECT_DOUBLE_EQ(cm.at(0).cout, 3.0);
+  EXPECT_DOUBLE_EQ(cm.at(1).cout, 1.0);  // virtual output
+  EXPECT_DOUBLE_EQ(cm.at(1).cin, 1.0);
+}
+
+TEST(CostModel, MultipleEntriesEachGetUnitInput) {
+  Application app;
+  app.addService(1.0, 1.0);
+  app.addService(1.0, 1.0);
+  ExecutionGraph g(2);
+  const CostModel cm(app, g);
+  EXPECT_DOUBLE_EQ(cm.at(0).cin, 1.0);
+  EXPECT_DOUBLE_EQ(cm.at(1).cin, 1.0);
+}
+
+TEST(CostModel, Sec23ExampleBounds) {
+  const auto pi = sec23Example();
+  const CostModel cm(pi.app, pi.graph);
+  // C1: in 1, comp 4, out 2 (two successors).
+  EXPECT_DOUBLE_EQ(cm.at(0).cin, 1.0);
+  EXPECT_DOUBLE_EQ(cm.at(0).ccomp, 4.0);
+  EXPECT_DOUBLE_EQ(cm.at(0).cout, 2.0);
+  EXPECT_DOUBLE_EQ(cm.at(0).cexec(CommModel::OutOrder), 7.0);
+  // C5: in 2, comp 4, out 1.
+  EXPECT_DOUBLE_EQ(cm.at(4).cin, 2.0);
+  EXPECT_DOUBLE_EQ(cm.at(4).cexec(CommModel::OutOrder), 7.0);
+  // Period lower bounds: 4 (overlap), 7 (one-port).
+  EXPECT_DOUBLE_EQ(cm.periodLowerBound(CommModel::Overlap), 4.0);
+  EXPECT_DOUBLE_EQ(cm.periodLowerBound(CommModel::OutOrder), 7.0);
+  EXPECT_DOUBLE_EQ(cm.periodLowerBound(CommModel::InOrder), 7.0);
+  // Latency lower bound = the critical path = 21 (Section 2.3).
+  EXPECT_DOUBLE_EQ(cm.latencyLowerBound(), 21.0);
+}
+
+TEST(CostModel, B1ProfilesMatchTheProof) {
+  const auto pi = counterexampleB1();
+  const CostModel cm(pi.app, pi.graph);
+  // Fig 4 plan: C1 computes 100 and sends 100 outputs of size 0.9999.
+  EXPECT_DOUBLE_EQ(cm.at(0).ccomp, 100.0);
+  EXPECT_NEAR(cm.at(0).cout, 99.99, 1e-9);
+  // Expander children: Ccomp = 0.9999 * 100/0.9999 = 100.
+  EXPECT_NEAR(cm.at(2).ccomp, 100.0, 1e-9);
+  EXPECT_NEAR(cm.periodLowerBound(CommModel::Overlap), 100.0, 1e-6);
+}
+
+TEST(CostModel, B2ReceiverInputsTotalSix) {
+  const auto pi = counterexampleB2();
+  const CostModel cm(pi.app, pi.graph);
+  for (NodeId r = 6; r < 12; ++r) {
+    EXPECT_DOUBLE_EQ(cm.at(r).cin, 6.0) << "receiver " << r;
+    EXPECT_DOUBLE_EQ(cm.at(r).ccomp, 6.0) << "receiver " << r;
+    EXPECT_DOUBLE_EQ(cm.at(r).cout, 6.0) << "receiver " << r;
+  }
+  for (NodeId s = 0; s < 6; ++s) {
+    EXPECT_DOUBLE_EQ(cm.at(s).cout, 6.0) << "sender " << s;
+  }
+}
+
+TEST(CostModel, B3MatchesTheProofProfile) {
+  const auto pi = counterexampleB3();
+  const CostModel cm(pi.app, pi.graph);
+  // Cout(1) = Cout(2) = Cout(3) = 12 and Cin(5) = Cin(6) = Cin(7) = 12.
+  EXPECT_DOUBLE_EQ(cm.at(0).cout, 12.0);
+  EXPECT_DOUBLE_EQ(cm.at(1).cout, 12.0);
+  EXPECT_DOUBLE_EQ(cm.at(2).cout, 12.0);
+  for (NodeId r = 4; r < 7; ++r) {
+    EXPECT_DOUBLE_EQ(cm.at(r).cin, 12.0) << "receiver " << r;
+    EXPECT_DOUBLE_EQ(cm.at(r).ccomp, 12.0) << "receiver " << r;
+  }
+  // Multi-port period lower bound is 12, dominated by communications.
+  EXPECT_DOUBLE_EQ(cm.periodLowerBound(CommModel::Overlap), 12.0);
+}
+
+TEST(CostModel, Totals) {
+  Application app;
+  app.addService(2.0, 0.5);
+  app.addService(4.0, 1.0);
+  const auto g = ExecutionGraph::chain({0, 1});
+  const CostModel cm(app, g);
+  EXPECT_DOUBLE_EQ(cm.totalComputation(), 2.0 + 0.5 * 4.0);
+  // input 1 + edge 0.5 + output 0.5.
+  EXPECT_DOUBLE_EQ(cm.totalCommunication(), 2.0);
+}
+
+TEST(CostModel, SizeMismatchThrows) {
+  Application app;
+  app.addService(1.0, 1.0);
+  ExecutionGraph g(2);
+  EXPECT_THROW(CostModel(app, g), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsw

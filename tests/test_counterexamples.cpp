@@ -1,0 +1,111 @@
+// Appendix B counter-examples as executable experiments (E2, E3, E4).
+#include <gtest/gtest.h>
+
+#include "src/core/cost_model.hpp"
+#include "src/opt/chain.hpp"
+#include "src/oplist/validate.hpp"
+#include "src/sched/inorder.hpp"
+#include "src/sched/outorder.hpp"
+#include "src/sched/overlap.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace fsw {
+namespace {
+
+// ---- B.1: communication costs change the optimal plan shape. ------------
+
+TEST(B1, NoCommOptimalChainHasPeriod100) {
+  const auto pi = counterexampleB1();
+  const auto chain = counterexampleB1ChainGraph();
+  EXPECT_NEAR(noCommPeriodValue(pi.app, chain), 100.0, 1e-6);
+}
+
+TEST(B1, ChainPlanDegradesTo200UnderOverlap) {
+  const auto pi = counterexampleB1();
+  const auto chain = counterexampleB1ChainGraph();
+  const CostModel cm(pi.app, chain);
+  // C2's outgoing communications: 200 outputs of size 0.9999^2.
+  EXPECT_NEAR(cm.periodLowerBound(CommModel::Overlap), 200.0 * 0.9999 * 0.9999,
+              1e-6);
+  const auto ol = overlapPeriodSchedule(pi.app, chain);
+  EXPECT_GT(ol.period(), 199.0);
+}
+
+TEST(B1, CommAwarePlanRestoresPeriod100) {
+  const auto pi = counterexampleB1();
+  const auto ol = overlapPeriodSchedule(pi.app, pi.graph);
+  EXPECT_NEAR(ol.period(), 100.0, 1e-6);
+  const auto rep = validate(pi.app, pi.graph, ol, CommModel::Overlap);
+  EXPECT_TRUE(rep.valid) << rep.summary();
+}
+
+TEST(B1, CommAwarePlanIsWorseWithoutCommunication) {
+  // The two-star plan filters less: its no-comm period exceeds the chain's.
+  const auto pi = counterexampleB1();
+  const auto chain = counterexampleB1ChainGraph();
+  EXPECT_GT(noCommPeriodValue(pi.app, pi.graph) + 1e-9,
+            noCommPeriodValue(pi.app, chain));
+}
+
+// ---- B.2: multi-port beats one-port for latency. --------------------------
+
+TEST(B2, MultiPortLatencyIs20) {
+  const auto pi = counterexampleB2();
+  const auto ol = overlapLatencyFluid(pi.app, pi.graph);
+  EXPECT_NEAR(ol.latency(), 20.0, 1e-6);
+  EXPECT_TRUE(validate(pi.app, pi.graph, ol, CommModel::Overlap).valid);
+}
+
+TEST(B2, EveryOnePortScheduleExceeds20) {
+  const auto pi = counterexampleB2();
+  // The one-port optimum: exhaustively enumerating all port orders is too
+  // large here (6 senders x 6 receivers), but the orchestrator's order
+  // search gives an upper bound and the paper proves the true optimum is
+  // > 20; check a sample of orders and the orchestrated best.
+  OrchestrationOptions opt;
+  opt.exactCap = 2000;  // falls back to heuristic + local search
+  opt.localSearchIters = 150;
+  const auto best = oneportOrchestrateLatency(pi.app, pi.graph, opt);
+  EXPECT_GT(best.value, 20.0 + 1e-9);
+  // The critical path is only 17: the multi-port value of 20 and the
+  // one-port optimum above 20 are both resource effects, not path effects.
+  const CostModel cm(pi.app, pi.graph);
+  EXPECT_NEAR(cm.latencyLowerBound(), 17.0, 1e-9);
+}
+
+// ---- B.3: multi-port beats one-port for period. ----------------------------
+
+TEST(B3, MultiPortPeriodIs12) {
+  const auto pi = counterexampleB3();
+  const auto ol = overlapPeriodSchedule(pi.app, pi.graph);
+  EXPECT_NEAR(ol.period(), 12.0, 1e-6);
+  const auto rep = validate(pi.app, pi.graph, ol, CommModel::Overlap);
+  EXPECT_TRUE(rep.valid) << rep.summary();
+}
+
+TEST(B3, OnePortOverlapCannotReach12) {
+  const auto pi = counterexampleB3();
+  OutorderOptions opt;
+  opt.restarts = 48;
+  opt.repairIters = 600;
+  opt.seed = 3;
+  // The paper proves no one-port schedule achieves 12; the repair search
+  // must therefore fail at 12 (and the searched optimum stays above it).
+  EXPECT_FALSE(onePortOverlapRepairAtLambda(pi.app, pi.graph, 12.0, opt));
+  const auto best = onePortOverlapOrchestratePeriod(pi.app, pi.graph, opt);
+  EXPECT_GT(best.value, 12.0 + 1e-6);
+}
+
+TEST(B3, OnePortOverlapFeasibleAt13) {
+  const auto pi = counterexampleB3();
+  OutorderOptions opt;
+  opt.restarts = 64;
+  opt.repairIters = 800;
+  opt.seed = 11;
+  const auto ol = onePortOverlapRepairAtLambda(pi.app, pi.graph, 13.0, opt);
+  ASSERT_TRUE(ol);
+  EXPECT_TRUE(validateOnePortOverlap(pi.app, pi.graph, *ol).valid);
+}
+
+}  // namespace
+}  // namespace fsw

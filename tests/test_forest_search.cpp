@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "src/core/cost_model.hpp"
+#include "src/opt/chain.hpp"
+#include "src/opt/forest_search.hpp"
+#include "src/sched/latency.hpp"
+#include "src/workload/generator.hpp"
+
+namespace fsw {
+namespace {
+
+TEST(ForestSearch, SingleServiceTrivial) {
+  Application app;
+  app.addService(2.0, 0.5);
+  const auto r = exactForestMinPeriod(app, CommModel::Overlap);
+  EXPECT_EQ(r.explored, 1u);
+  EXPECT_NEAR(r.value, 2.0, 1e-12);  // max(1, 2, 0.5)
+}
+
+TEST(ForestSearch, ExploredCountsAcyclicParentFunctions) {
+  // For n=2: parent vectors (none,none), (none,0), (1,none): 3 acyclic of
+  // the 4 combinations (0<-1 and 1<-0 simultaneously is cyclic).
+  Application app;
+  app.addService(1.0, 1.0);
+  app.addService(1.0, 1.0);
+  const auto r = exactForestMinPeriod(app, CommModel::Overlap);
+  EXPECT_EQ(r.explored, 3u);
+}
+
+TEST(ForestSearch, TwoFiltersChainBeatsParallel) {
+  // Expensive filter behind a cheap one: chaining reduces the max Cexec.
+  Application app;
+  app.addService(1.0, 0.1);
+  app.addService(10.0, 0.5);
+  const auto r = exactForestMinPeriod(app, CommModel::Overlap);
+  EXPECT_TRUE(r.graph.hasEdge(0, 1));
+  EXPECT_NEAR(r.value, 1.0, 1e-9);  // C2 filtered: 0.1*10 = 1 = C1's cexec
+}
+
+TEST(ForestSearch, RespectsPrecedences) {
+  Application app;
+  app.addService(1.0, 0.5);
+  app.addService(1.0, 0.5);
+  app.addPrecedence(1, 0);  // C2 must precede C1
+  const auto r = exactForestMinPeriod(app, CommModel::Overlap);
+  // Only graphs where 1 is an ancestor of 0 are admissible.
+  const auto anc = r.graph.ancestorClosure();
+  EXPECT_TRUE(anc[0][1]);
+}
+
+TEST(ForestSearch, ChainGreedyIsOptimalWhenChainsWin) {
+  // All filters: Prop 8's chain is a forest, so exact forest search can do
+  // no better than the optimal chain when a chain is optimal; and never
+  // worse than the chain in general.
+  Prng rng(71);
+  for (int trial = 0; trial < 10; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 5;
+    spec.filterFraction = 1.0;
+    const auto app = randomApplication(spec, rng);
+    const auto forest = exactForestMinPeriod(app, CommModel::Overlap);
+    const double chain = chainPeriodValue(
+        app, chainOrderPeriod(app, CommModel::Overlap), CommModel::Overlap);
+    EXPECT_LE(forest.value, chain + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(ForestSearch, MinLatencyUsesAlgorithmOne) {
+  Prng rng(72);
+  WorkloadSpec spec;
+  spec.n = 5;
+  const auto app = randomApplication(spec, rng);
+  const auto r = exactForestMinLatency(app);
+  EXPECT_NEAR(r.value, treeLatencyValue(app, r.graph), 1e-9);
+  // Sanity: no worse than the all-roots forest or the latency chain.
+  EXPECT_LE(r.value, treeLatencyValue(app, ExecutionGraph(app.size())) + 1e-9);
+  EXPECT_LE(r.value,
+            chainLatencyValue(app, chainOrderLatency(app)) + 1e-9);
+}
+
+TEST(ForestSearch, TooLargeThrows) {
+  Application app;
+  for (int i = 0; i < 12; ++i) app.addService(1.0, 1.0);
+  EXPECT_THROW(exactForestMinPeriod(app, CommModel::Overlap),
+               std::invalid_argument);
+}
+
+TEST(ForestSearch, OrchestratedEvaluationConsistent) {
+  // With orchestrated evaluation the (valid) value can only be >= the
+  // relaxation value.
+  Prng rng(73);
+  WorkloadSpec spec;
+  spec.n = 4;
+  const auto app = randomApplication(spec, rng);
+  const auto relaxed = exactForestMinPeriod(app, CommModel::InOrder, false);
+  const auto orched = exactForestMinPeriod(app, CommModel::InOrder, true);
+  EXPECT_GE(orched.value, relaxed.value - 1e-9);
+}
+
+}  // namespace
+}  // namespace fsw

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "src/opt/forest_search.hpp"
+#include "src/opt/heuristics.hpp"
+#include "src/workload/generator.hpp"
+
+namespace fsw {
+namespace {
+
+TEST(Heuristics, GreedyForestProducesValidForest) {
+  Prng rng(1);
+  WorkloadSpec spec;
+  spec.n = 10;
+  const auto app = randomApplication(spec, rng);
+  for (const Objective obj : {Objective::Period, Objective::Latency}) {
+    const auto g = greedyForest(app, CommModel::Overlap, obj);
+    EXPECT_EQ(g.size(), app.size());
+    EXPECT_TRUE(g.isForest());
+  }
+}
+
+TEST(Heuristics, GreedyForestChainsFiltersForPeriod) {
+  // Cheap strong filter + expensive service: greedy should filter the
+  // expensive one.
+  Application app;
+  app.addService(0.5, 0.1);
+  app.addService(20.0, 1.0);
+  const auto g = greedyForest(app, CommModel::Overlap, Objective::Period);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+}
+
+TEST(Heuristics, HillClimbNeverWorsens) {
+  Prng rng(2);
+  for (int trial = 0; trial < 8; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 7;
+    const auto app = randomApplication(spec, rng);
+    const auto start = greedyForest(app, CommModel::Overlap, Objective::Period);
+    const double before =
+        surrogateScore(app, start, CommModel::Overlap, Objective::Period);
+    const auto improved = hillClimbForest(app, CommModel::Overlap,
+                                          Objective::Period, start);
+    const double after =
+        surrogateScore(app, improved, CommModel::Overlap, Objective::Period);
+    EXPECT_LE(after, before + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Heuristics, AnnealRespectsPrecedences) {
+  Prng rng(3);
+  WorkloadSpec spec;
+  spec.n = 6;
+  spec.precedenceDensity = 0.25;
+  const auto app = randomApplication(spec, rng);
+  HeuristicOptions opt;
+  opt.iterations = 1500;
+  for (const Objective obj : {Objective::Period, Objective::Latency}) {
+    const auto g = annealForest(app, CommModel::InOrder, obj, opt);
+    EXPECT_TRUE(g.respects(app)) << name(obj);
+  }
+}
+
+TEST(Heuristics, AnnealNearOptimalOnSmallInstances) {
+  // Compare against the exact forest optimum on the surrogate.
+  Prng rng(4);
+  int optimalHits = 0;
+  constexpr int kTrials = 10;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 5;
+    const auto app = randomApplication(spec, rng);
+    const auto exact = exactForestMinPeriod(app, CommModel::Overlap);
+    HeuristicOptions opt;
+    opt.seed = 100 + trial;
+    const auto g =
+        annealForest(app, CommModel::Overlap, Objective::Period, opt);
+    const double v =
+        surrogateScore(app, g, CommModel::Overlap, Objective::Period);
+    EXPECT_GE(v, exact.value - 1e-9);
+    if (v <= exact.value * 1.001 + 1e-9) ++optimalHits;
+  }
+  EXPECT_GE(optimalHits, 7) << "annealing should find most small optima";
+}
+
+TEST(Heuristics, SurrogateMatchesTreeLatencyOnForests) {
+  Prng rng(5);
+  WorkloadSpec spec;
+  spec.n = 6;
+  const auto app = randomApplication(spec, rng);
+  const auto g = randomForest(app, rng);
+  const double s =
+      surrogateScore(app, g, CommModel::InOrder, Objective::Latency);
+  EXPECT_GT(s, 0.0);
+}
+
+}  // namespace
+}  // namespace fsw

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/io/dot.hpp"
+#include "src/io/gantt.hpp"
+#include "src/io/serialize.hpp"
+#include "src/workload/generator.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace fsw {
+namespace {
+
+TEST(Serialize, ApplicationRoundTrip) {
+  Application app;
+  app.addService(2.5, 0.125, "alpha");
+  app.addService(1.0, 3.5, "beta");
+  app.addPrecedence(0, 1);
+  const auto text = toString(app);
+  const auto back = applicationFromString(text);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.service(0).name, "alpha");
+  EXPECT_DOUBLE_EQ(back.service(0).cost, 2.5);
+  EXPECT_DOUBLE_EQ(back.service(0).selectivity, 0.125);
+  ASSERT_EQ(back.precedences().size(), 1u);
+  EXPECT_EQ(back.precedences()[0].from, 0u);
+}
+
+TEST(Serialize, ApplicationRoundTripPreservesDoubles) {
+  Application app;
+  app.addService(100.0 / 0.9999, 0.9999);
+  const auto back = applicationFromString(toString(app));
+  EXPECT_DOUBLE_EQ(back.service(0).cost, 100.0 / 0.9999);
+  EXPECT_DOUBLE_EQ(back.service(0).selectivity, 0.9999);
+}
+
+TEST(Serialize, GraphRoundTrip) {
+  const auto pi = sec23Example();
+  const auto back = graphFromString(toString(pi.graph));
+  EXPECT_EQ(back, pi.graph);
+}
+
+TEST(Serialize, RandomGraphRoundTrip) {
+  Prng rng(6);
+  WorkloadSpec spec;
+  spec.n = 15;
+  const auto app = randomApplication(spec, rng);
+  const auto g = randomLayeredDag(app, 4, 3, rng);
+  EXPECT_EQ(graphFromString(toString(g)), g);
+}
+
+TEST(Serialize, BadInputThrows) {
+  EXPECT_THROW(applicationFromString("garbage 3"), std::runtime_error);
+  EXPECT_THROW(graphFromString("nope"), std::runtime_error);
+}
+
+TEST(Dot, ContainsNodesAndEdges) {
+  const auto pi = sec23Example();
+  const auto dot = toDot(pi.app, pi.graph);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("in -> n0"), std::string::npos);
+  EXPECT_NE(dot.find("n4 -> out"), std::string::npos);
+}
+
+TEST(Dot, PrecedenceGraph) {
+  Application app;
+  app.addService(1.0, 1.0, "a");
+  app.addService(1.0, 1.0, "b");
+  app.addPrecedence(0, 1);
+  const auto dot = precedenceDot(app);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Serialize, OperationListRoundTrip) {
+  OperationList ol(2, 7.5);
+  ol.setCalc(0, 1.0, 3.0);
+  ol.setCalc(1, 4.25, 6.0);
+  ol.setComm(kWorld, 0, 0.0, 1.0);
+  ol.setComm(0, 1, 3.0, 4.25);
+  ol.setComm(1, kWorld, 6.0, 7.0);
+  const auto back = operationListFromString(toString(ol));
+  EXPECT_DOUBLE_EQ(back.lambda(), 7.5);
+  EXPECT_DOUBLE_EQ(back.beginCalc(1), 4.25);
+  ASSERT_EQ(back.comms().size(), 3u);
+  const auto c = back.comm(kWorld, 0);
+  ASSERT_TRUE(c);
+  EXPECT_DOUBLE_EQ(c->end, 1.0);
+  EXPECT_TRUE(back.comm(1, kWorld));
+}
+
+TEST(Serialize, OperationListBadInputThrows) {
+  EXPECT_THROW(operationListFromString("nope"), std::runtime_error);
+  EXPECT_THROW(operationListFromString("oplist 1 1.0 0\nbad 0 0 1"),
+               std::runtime_error);
+}
+
+TEST(Gantt, RendersAllRowsAndGlyphs) {
+  const auto pi = sec23Example();
+  OperationList ol(5, 21.0);
+  ol.setCalc(0, 1, 5);
+  ol.setCalc(1, 6, 10);
+  ol.setCalc(2, 11, 15);
+  ol.setCalc(3, 7, 11);
+  ol.setCalc(4, 16, 20);
+  ol.setComm(kWorld, 0, 0, 1);
+  ol.setComm(0, 1, 5, 6);
+  ol.setComm(0, 3, 6, 7);
+  ol.setComm(1, 2, 10, 11);
+  ol.setComm(2, 4, 15, 16);
+  ol.setComm(3, 4, 11, 12);
+  ol.setComm(4, kWorld, 20, 21);
+  const auto text = renderGantt(pi.app, ol);
+  // One row per service plus a header.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 6);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find('>'), std::string::npos);
+  EXPECT_NE(text.find('<'), std::string::npos);
+}
+
+TEST(Gantt, ClipsToMaxColumns) {
+  Application app;
+  app.addService(1000.0, 1.0, "slow");
+  ExecutionGraph g(1);
+  OperationList ol(1, 1002.0);
+  ol.setCalc(0, 1, 1001);
+  ol.setComm(kWorld, 0, 0, 1);
+  ol.setComm(0, kWorld, 1001, 1002);
+  GanttOptions opt;
+  opt.maxColumns = 40;
+  const auto text = renderGantt(app, ol, opt);
+  for (const auto& line : {text.substr(text.find('\n') + 1)}) {
+    EXPECT_LE(line.find('\n'), 60u);
+  }
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"a", "b", "c"});
+  csv.row({"1", "2", "3"});
+  EXPECT_EQ(os.str(), "a,b,c\n1,2,3\n");
+}
+
+}  // namespace
+}  // namespace fsw

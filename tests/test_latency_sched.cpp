@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "src/common/util.hpp"
+#include "src/core/cost_model.hpp"
+#include "src/oplist/validate.hpp"
+#include "src/sched/latency.hpp"
+#include "src/workload/generator.hpp"
+
+namespace fsw {
+namespace {
+
+TEST(TreeLatency, SingleService) {
+  Application app;
+  app.addService(3.0, 0.5);
+  ExecutionGraph g(1);
+  // in(1) + comp(3) + out(0.5).
+  EXPECT_NEAR(treeLatencyValue(app, g), 4.5, 1e-12);
+}
+
+TEST(TreeLatency, ChainMatchesCriticalPath) {
+  Application app;
+  app.addService(2.0, 0.5);
+  app.addService(1.0, 2.0);
+  app.addService(0.5, 1.0);
+  const auto g = ExecutionGraph::chain({0, 1, 2});
+  const CostModel cm(app, g);
+  EXPECT_NEAR(treeLatencyValue(app, g), cm.latencyLowerBound(), 1e-12);
+}
+
+TEST(TreeLatency, StarFeedsLongestBranchFirst) {
+  // Root (cost 1, sigma 1) with two children: slow (cost 10) and fast
+  // (cost 1). Feeding slow first: slow done at 2+1+10+1 = 14, fast at
+  // 2+2+1+1 = 6 -> 14. Feeding fast first: slow at 2+2+10+1 = 15.
+  Application app;
+  app.addService(1.0, 1.0);
+  app.addService(10.0, 1.0);
+  app.addService(1.0, 1.0);
+  ExecutionGraph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(0, 2);
+  EXPECT_NEAR(treeLatencyValue(app, g), 14.0, 1e-12);
+}
+
+TEST(TreeLatency, ScheduleAchievesValueAndValidates) {
+  Prng rng(321);
+  for (int trial = 0; trial < 25; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 8;
+    const auto app = randomApplication(spec, rng);
+    const auto g = randomForest(app, rng);
+    const auto r = treeLatencySchedule(app, g);
+    EXPECT_NEAR(r.value, treeLatencyValue(app, g), 1e-9);
+    for (const CommModel m : kAllModels) {
+      const auto rep = validate(app, g, r.ol, m);
+      EXPECT_TRUE(rep.valid)
+          << "trial " << trial << " " << name(m) << ": " << rep.summary();
+    }
+  }
+}
+
+TEST(TreeLatency, OptimalAmongAllFeedOrders) {
+  // Brute-force check of the Algorithm 1 exchange argument: no permutation
+  // of any node's send order beats the non-increasing-R order.
+  Prng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 6;
+    const auto app = randomApplication(spec, rng);
+    const auto g = randomForest(app, rng);
+    const double algo = treeLatencyValue(app, g);
+    // Exhaustive: permute the children order of every node via the one-port
+    // order solver (exact on trees because receives are single).
+    double bruteBest = std::numeric_limits<double>::infinity();
+    forEachPortOrders(g, 5000, [&](const PortOrders& po) {
+      if (const auto r = oneportLatencyForOrders(app, g, po)) {
+        bruteBest = std::min(bruteBest, r->value);
+      }
+      return true;
+    });
+    EXPECT_NEAR(algo, bruteBest, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(TreeLatency, RejectsNonForest) {
+  Application app;
+  for (int i = 0; i < 3; ++i) app.addService(1.0, 1.0);
+  ExecutionGraph g(3);
+  g.addEdge(0, 2);
+  g.addEdge(1, 2);
+  EXPECT_THROW(treeLatencyValue(app, g), std::invalid_argument);
+  EXPECT_THROW(treeLatencySchedule(app, g), std::invalid_argument);
+}
+
+TEST(TreeLatency, ForestTakesMaxOverRoots) {
+  Application app;
+  app.addService(5.0, 1.0);
+  app.addService(1.0, 1.0);
+  ExecutionGraph g(2);  // two isolated services
+  // max(1+5+1, 1+1+1) = 7.
+  EXPECT_NEAR(treeLatencyValue(app, g), 7.0, 1e-12);
+}
+
+TEST(LatencyOrchestrate, DispatchesTreeAlgorithmOnForests) {
+  Prng rng(55);
+  WorkloadSpec spec;
+  spec.n = 7;
+  const auto app = randomApplication(spec, rng);
+  const auto g = randomForest(app, rng);
+  for (const CommModel m : kAllModels) {
+    const auto r = latencyOrchestrate(app, g, m);
+    EXPECT_NEAR(r.value, treeLatencyValue(app, g), 1e-9) << name(m);
+  }
+}
+
+TEST(LatencyOrchestrate, OverlapNeverWorseThanOnePortOnDags) {
+  Prng rng(66);
+  for (int trial = 0; trial < 8; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 7;
+    const auto app = randomApplication(spec, rng);
+    const auto g = randomLayeredDag(app, 3, 3, rng);
+    OrchestrationOptions opt;
+    opt.exactCap = 300;
+    const auto onePort = latencyOrchestrate(app, g, CommModel::InOrder, opt);
+    const auto multi = latencyOrchestrate(app, g, CommModel::Overlap, opt);
+    EXPECT_LE(multi.value, onePort.value + 1e-6) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace fsw

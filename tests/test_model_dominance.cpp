@@ -1,0 +1,160 @@
+// Validator dominance and degenerate-instance coverage.
+//
+// The model hierarchy implies a validity chain: every INORDER-valid OL is
+// OUTORDER-valid (drop the in-order constraint), every OUTORDER-valid OL is
+// one-port-overlap-valid (drop calc/comm exclusion), and every one-port OL
+// is OVERLAP-valid (ratio-1 communications on disjoint windows respect the
+// capacity). These implications are structural facts of Appendix A and make
+// strong cross-validator tests.
+#include <gtest/gtest.h>
+
+#include "src/oplist/validate.hpp"
+#include "src/sched/inorder.hpp"
+#include "src/sched/orchestrator.hpp"
+#include "src/workload/generator.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace fsw {
+namespace {
+
+class DominanceChain : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DominanceChain, InorderValidImpliesEverythingElse) {
+  Prng rng(GetParam());
+  WorkloadSpec spec;
+  spec.n = 6;
+  const auto app = randomApplication(spec, rng);
+  const auto g = randomForest(app, rng);
+  OrchestrationOptions opt;
+  opt.exactCap = 150;
+  const auto r = inorderOrchestratePeriod(app, g, opt);
+  ASSERT_TRUE(validate(app, g, r.ol, CommModel::InOrder).valid);
+  EXPECT_TRUE(validate(app, g, r.ol, CommModel::OutOrder).valid);
+  EXPECT_TRUE(validateOnePortOverlap(app, g, r.ol).valid);
+  EXPECT_TRUE(validate(app, g, r.ol, CommModel::Overlap).valid);
+}
+
+TEST_P(DominanceChain, LatencyScheduleValidEverywhere) {
+  Prng rng(GetParam() + 17);
+  WorkloadSpec spec;
+  spec.n = 6;
+  const auto app = randomApplication(spec, rng);
+  const auto g = randomLayeredDag(app, 3, 2, rng);
+  OrchestrationOptions opt;
+  opt.exactCap = 150;
+  const auto r = oneportOrchestrateLatency(app, g, opt);
+  for (const CommModel m : kAllModels) {
+    const auto rep = validate(app, g, r.ol, m);
+    EXPECT_TRUE(rep.valid) << name(m) << ": " << rep.summary();
+  }
+  EXPECT_TRUE(validateOnePortOverlap(app, g, r.ol).valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DominanceChain,
+                         ::testing::Values(3001, 3002, 3003, 3004, 3005));
+
+TEST(Degenerate, ZeroSelectivityService) {
+  // sigma = 0: downstream services and communications are free.
+  Application app;
+  app.addService(2.0, 0.0, "killer");
+  app.addService(100.0, 1.0, "free");
+  const auto g = ExecutionGraph::chain({0, 1});
+  const CostModel cm(app, g);
+  EXPECT_DOUBLE_EQ(cm.at(1).ccomp, 0.0);
+  EXPECT_DOUBLE_EQ(cm.at(1).cin, 0.0);
+  for (const CommModel m : kAllModels) {
+    const auto orch = orchestrate(app, g, m, Objective::Period);
+    const auto rep = validate(app, g, orch.result.ol, m);
+    EXPECT_TRUE(rep.valid) << name(m) << ": " << rep.summary();
+  }
+}
+
+TEST(Degenerate, ZeroCostService) {
+  Application app;
+  app.addService(0.0, 0.5, "instant");
+  app.addService(1.0, 1.0, "normal");
+  const auto g = ExecutionGraph::chain({0, 1});
+  for (const CommModel m : kAllModels) {
+    const auto orch = orchestrate(app, g, m, Objective::Period);
+    EXPECT_TRUE(validate(app, g, orch.result.ol, m).valid) << name(m);
+    EXPECT_GT(orch.result.value, 0.0);
+  }
+}
+
+TEST(Degenerate, SingleServiceAllModels) {
+  Application app;
+  app.addService(3.0, 0.25);
+  ExecutionGraph g(1);
+  // Period: overlap max(1, 3, 0.25) = 3; one-port 1 + 3 + 0.25 = 4.25.
+  EXPECT_NEAR(orchestrate(app, g, CommModel::Overlap, Objective::Period)
+                  .result.value,
+              3.0, 1e-9);
+  EXPECT_NEAR(orchestrate(app, g, CommModel::InOrder, Objective::Period)
+                  .result.value,
+              4.25, 1e-6);
+  EXPECT_NEAR(orchestrate(app, g, CommModel::OutOrder, Objective::Period)
+                  .result.value,
+              4.25, 1e-6);
+  // Latency = 4.25 in every model.
+  for (const CommModel m : kAllModels) {
+    EXPECT_NEAR(orchestrate(app, g, m, Objective::Latency).result.value, 4.25,
+                1e-9)
+        << name(m);
+  }
+}
+
+TEST(Degenerate, WideFanout) {
+  // One root feeding 30 children: Cout dominates everything.
+  Application app;
+  app.addService(1.0, 1.0, "root");
+  for (int i = 0; i < 30; ++i) app.addService(0.1, 1.0);
+  ExecutionGraph g(31);
+  for (NodeId i = 1; i <= 30; ++i) g.addEdge(0, i);
+  const CostModel cm(app, g);
+  EXPECT_DOUBLE_EQ(cm.at(0).cout, 30.0);
+  const auto orch =
+      orchestrate(app, g, CommModel::Overlap, Objective::Period);
+  EXPECT_NEAR(orch.result.value, 30.0, 1e-9);
+  EXPECT_TRUE(orch.provablyOptimal());
+}
+
+TEST(ListLatencyOrders, CoversEveryPort) {
+  const auto pi = counterexampleB2();
+  const auto po = PortOrders::listLatency(pi.app, pi.graph);
+  for (NodeId i = 0; i < pi.graph.size(); ++i) {
+    EXPECT_EQ(po.in[i].size(), pi.graph.predecessors(i).size() +
+                                   (pi.graph.isEntry(i) ? 1 : 0));
+    EXPECT_EQ(po.out[i].size(), pi.graph.successors(i).size() +
+                                    (pi.graph.isExit(i) ? 1 : 0));
+  }
+}
+
+TEST(ListLatencyOrders, BeatsOrTiesHeuristicOnB2) {
+  const auto pi = counterexampleB2();
+  const auto list = oneportLatencyForOrders(
+      pi.app, pi.graph, PortOrders::listLatency(pi.app, pi.graph));
+  const auto heur = oneportLatencyForOrders(
+      pi.app, pi.graph, PortOrders::heuristic(pi.app, pi.graph));
+  ASSERT_TRUE(list);
+  ASSERT_TRUE(heur);
+  EXPECT_LE(list->value, heur->value + 1e-9);
+  EXPECT_LE(list->value, 22.0 + 1e-9);  // regression guard (found: 22)
+}
+
+TEST(ListLatencyOrders, ConsistentOnRandomDags) {
+  Prng rng(4242);
+  for (int trial = 0; trial < 10; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 8;
+    const auto app = randomApplication(spec, rng);
+    const auto g = randomLayeredDag(app, 3, 3, rng);
+    const auto r = oneportLatencyForOrders(app, g,
+                                           PortOrders::listLatency(app, g));
+    ASSERT_TRUE(r) << "trial " << trial;
+    const auto rep = validate(app, g, r->ol, CommModel::InOrder);
+    EXPECT_TRUE(rep.valid) << "trial " << trial << ": " << rep.summary();
+  }
+}
+
+}  // namespace
+}  // namespace fsw

@@ -1,0 +1,118 @@
+// Mutation testing of the validators: take a certified-valid operation list
+// and apply targeted corruptions; each must be caught by the model whose
+// rule it breaks. This guards the validators themselves — the component
+// every other result of the library leans on.
+#include <gtest/gtest.h>
+
+#include "src/oplist/validate.hpp"
+#include "src/sched/orchestrator.hpp"
+#include "src/workload/generator.hpp"
+
+namespace fsw {
+namespace {
+
+struct Case {
+  Application app;
+  ExecutionGraph graph{0};
+  OperationList ol;
+  CommModel model;
+};
+
+Case makeValid(std::uint64_t seed, CommModel m) {
+  Prng rng(seed);
+  WorkloadSpec spec;
+  spec.n = 6;
+  Case s;
+  s.app = randomApplication(spec, rng);
+  s.graph = randomForest(s.app, rng);
+  OrchestratorOptions opt;
+  opt.order.exactCap = 120;
+  opt.outorder.restarts = 6;
+  s.ol = orchestrate(s.app, s.graph, m, Objective::Period, opt).result.ol;
+  s.model = m;
+  return s;
+}
+
+class Mutation : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {
+ protected:
+  [[nodiscard]] Case testCase() const {
+    return makeValid(std::get<0>(GetParam()),
+                     static_cast<CommModel>(std::get<1>(GetParam())));
+  }
+};
+
+TEST_P(Mutation, BaselineIsValid) {
+  const auto s = testCase();
+  const auto rep = validate(s.app, s.graph, s.ol, s.model);
+  ASSERT_TRUE(rep.valid) << rep.summary();
+}
+
+TEST_P(Mutation, StretchingACalcIsCaught) {
+  auto s = testCase();
+  const NodeId v = s.graph.size() / 2;
+  s.ol.setCalc(v, s.ol.beginCalc(v), s.ol.endCalc(v) + 0.25);
+  EXPECT_FALSE(validate(s.app, s.graph, s.ol, s.model).valid);
+}
+
+TEST_P(Mutation, MovingACommBeforeItsProducerIsCaught) {
+  auto s = testCase();
+  // Pick a non-input communication and start it before the sender's calc
+  // ends (preserving its duration).
+  for (const auto& c : s.ol.comms()) {
+    if (c.isInput()) continue;
+    const double dur = c.duration();
+    const double newBegin = s.ol.endCalc(c.from) - 0.5 * (dur + 0.1);
+    s.ol.setComm(c.from, c.to, newBegin, newBegin + dur);
+    EXPECT_FALSE(validate(s.app, s.graph, s.ol, s.model).valid);
+    return;
+  }
+  GTEST_SKIP() << "no non-input communication";
+}
+
+TEST_P(Mutation, DroppingACommIsCaught) {
+  const auto s = testCase();
+  OperationList pruned(s.ol.size(), s.ol.lambda());
+  for (NodeId i = 0; i < s.ol.size(); ++i) {
+    pruned.setCalc(i, s.ol.beginCalc(i), s.ol.endCalc(i));
+  }
+  bool dropped = false;
+  for (const auto& c : s.ol.comms()) {
+    if (!dropped) {
+      dropped = true;  // omit the first communication
+      continue;
+    }
+    pruned.setComm(c.from, c.to, c.begin, c.end);
+  }
+  EXPECT_FALSE(validate(s.app, s.graph, pruned, s.model).valid);
+}
+
+TEST_P(Mutation, ShrinkingLambdaIsCaught) {
+  // Any strictly smaller lambda must violate some rule: otherwise the
+  // orchestrator's value was not tight against its own validator. We only
+  // require detection for an aggressive shrink (half), since mild shrinks
+  // can remain valid when the schedule has slack.
+  auto s = testCase();
+  s.ol.setLambda(s.ol.lambda() * 0.5);
+  const bool stillValid = validate(s.app, s.graph, s.ol, s.model).valid;
+  if (s.model == CommModel::Overlap) {
+    // Prop 1 schedules are tight: half the period must always break.
+    EXPECT_FALSE(stillValid);
+  } else if (stillValid) {
+    // One-port schedules can in rare cases survive; at minimum the busy
+    // bound must still hold — cross-check against it.
+    const CostModel cm(s.app, s.graph);
+    EXPECT_GE(s.ol.lambda(), cm.periodLowerBound(s.model) - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Mutation,
+    ::testing::Combine(::testing::Values(5001, 5002, 5003, 5004),
+                       ::testing::Values(0, 1, 2)),
+    [](const ::testing::TestParamInfo<std::tuple<std::uint64_t, int>>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) +
+             std::string(name(static_cast<CommModel>(std::get<1>(info.param))));
+    });
+
+}  // namespace
+}  // namespace fsw

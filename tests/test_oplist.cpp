@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "src/oplist/operation_list.hpp"
+#include "src/oplist/plan.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace fsw {
+namespace {
+
+TEST(OperationList, EmptyConstruction) {
+  const OperationList ol(3, 5.0);
+  EXPECT_EQ(ol.size(), 3u);
+  EXPECT_DOUBLE_EQ(ol.lambda(), 5.0);
+  EXPECT_DOUBLE_EQ(ol.period(), 5.0);
+  EXPECT_TRUE(ol.comms().empty());
+  EXPECT_DOUBLE_EQ(ol.latency(), 0.0);
+}
+
+TEST(OperationList, SetCalcValidation) {
+  OperationList ol(2, 1.0);
+  ol.setCalc(0, 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(ol.beginCalc(0), 1.0);
+  EXPECT_DOUBLE_EQ(ol.endCalc(0), 3.0);
+  EXPECT_THROW(ol.setCalc(5, 0, 1), std::out_of_range);
+  EXPECT_THROW(ol.setCalc(0, 2, 1), std::invalid_argument);
+}
+
+TEST(OperationList, SetCommOverwritesExisting) {
+  OperationList ol(2, 1.0);
+  ol.setComm(0, 1, 0.0, 1.0);
+  ol.setComm(0, 1, 2.0, 3.0);
+  EXPECT_EQ(ol.comms().size(), 1u);
+  const auto c = ol.comm(0, 1);
+  ASSERT_TRUE(c);
+  EXPECT_DOUBLE_EQ(c->begin, 2.0);
+  EXPECT_DOUBLE_EQ(c->duration(), 1.0);
+}
+
+TEST(OperationList, CommLookupMiss) {
+  OperationList ol(2, 1.0);
+  EXPECT_FALSE(ol.comm(0, 1));
+}
+
+TEST(OperationList, IncomingOutgoingFilters) {
+  OperationList ol(3, 1.0);
+  ol.setComm(kWorld, 0, 0, 1);
+  ol.setComm(0, 1, 1, 2);
+  ol.setComm(0, 2, 2, 3);
+  ol.setComm(1, 2, 3, 4);
+  EXPECT_EQ(ol.incoming(2).size(), 2u);
+  EXPECT_EQ(ol.outgoing(0).size(), 2u);
+  EXPECT_EQ(ol.incoming(0).size(), 1u);
+  EXPECT_TRUE(ol.incoming(0).front().isInput());
+}
+
+TEST(OperationList, LatencyIsMaxCommEnd) {
+  OperationList ol(2, 1.0);
+  ol.setComm(kWorld, 0, 0, 1);
+  ol.setComm(0, 1, 5, 6);
+  ol.setComm(1, kWorld, 8, 9.5);
+  EXPECT_DOUBLE_EQ(ol.latency(), 9.5);
+}
+
+TEST(OperationList, ShiftAllMovesEverything) {
+  OperationList ol(1, 1.0);
+  ol.setCalc(0, 1, 2);
+  ol.setComm(kWorld, 0, 0, 1);
+  ol.shiftAll(10.0);
+  EXPECT_DOUBLE_EQ(ol.beginCalc(0), 11.0);
+  EXPECT_DOUBLE_EQ(ol.comm(kWorld, 0)->end, 11.0);
+}
+
+TEST(OperationList, DumpMentionsOperations) {
+  OperationList ol(1, 4.0);
+  ol.setCalc(0, 1, 2);
+  ol.setComm(kWorld, 0, 0, 1);
+  const auto text = ol.dump();
+  EXPECT_NE(text.find("lambda = 4"), std::string::npos);
+  EXPECT_NE(text.find("calc C1"), std::string::npos);
+  EXPECT_NE(text.find("comm world->C1"), std::string::npos);
+}
+
+TEST(Plan, EvaluateReportsValidityAndMetrics) {
+  const auto pi = sec23Example();
+  Plan plan{pi.graph, OperationList(5, 7.0)};
+  // An empty OL is structurally invalid.
+  const auto bad = evaluate(pi.app, plan, CommModel::OutOrder);
+  EXPECT_FALSE(bad.valid);
+  EXPECT_DOUBLE_EQ(bad.period, 7.0);
+}
+
+}  // namespace
+}  // namespace fsw

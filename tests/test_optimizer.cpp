@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "src/core/cost_model.hpp"
+#include "src/oplist/validate.hpp"
+#include "src/opt/forest_search.hpp"
+#include "src/opt/optimizer.hpp"
+#include "src/workload/generator.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace fsw {
+namespace {
+
+OptimizerOptions fastOptions() {
+  OptimizerOptions opt;
+  opt.exactForestMaxN = 5;
+  opt.heuristics.iterations = 800;
+  opt.heuristics.restarts = 2;
+  opt.orchestrator.order.exactCap = 200;
+  opt.orchestrator.outorder.restarts = 8;
+  opt.orchestrator.outorder.bisectSteps = 6;
+  return opt;
+}
+
+TEST(Optimizer, ReturnsValidPlansForAllModelsAndObjectives) {
+  Prng rng(9);
+  WorkloadSpec spec;
+  spec.n = 5;
+  const auto app = randomApplication(spec, rng);
+  for (const CommModel m : kAllModels) {
+    for (const Objective obj : {Objective::Period, Objective::Latency}) {
+      const auto r = optimizePlan(app, m, obj, fastOptions());
+      ASSERT_EQ(r.plan.graph.size(), app.size()) << name(m) << name(obj);
+      const auto rep = validate(app, r.plan.graph, r.plan.ol, m);
+      EXPECT_TRUE(rep.valid) << name(m) << "/" << name(obj) << ": "
+                             << rep.summary();
+      EXPECT_GT(r.value, 0.0);
+      EXPECT_FALSE(r.strategy.empty());
+    }
+  }
+}
+
+TEST(Optimizer, B1FindsTheCommAwareShape) {
+  // On the B.1 application the optimizer must avoid the naive chain and get
+  // close to the optimal period of 100 (the chain plan costs ~200).
+  const auto pi = counterexampleB1();
+  OptimizerOptions opt;
+  opt.exactForestMaxN = 0;  // 202 services: heuristics only
+  opt.heuristics.iterations = 3000;
+  opt.heuristics.restarts = 1;
+  const auto r = optimizePlan(pi.app, CommModel::Overlap, Objective::Period,
+                              opt);
+  EXPECT_LT(r.value, 140.0);
+}
+
+TEST(Optimizer, PeriodValueAtLeastSurrogate) {
+  Prng rng(10);
+  WorkloadSpec spec;
+  spec.n = 6;
+  const auto app = randomApplication(spec, rng);
+  const auto r =
+      optimizePlan(app, CommModel::Overlap, Objective::Period, fastOptions());
+  // OVERLAP orchestration achieves the surrogate exactly on the same graph.
+  const CostModel cm(app, r.plan.graph);
+  EXPECT_NEAR(r.value, cm.periodLowerBound(CommModel::Overlap), 1e-9);
+}
+
+TEST(Optimizer, RespectsPrecedences) {
+  Prng rng(11);
+  WorkloadSpec spec;
+  spec.n = 5;
+  spec.precedenceDensity = 0.3;
+  const auto app = randomApplication(spec, rng);
+  const auto r =
+      optimizePlan(app, CommModel::Overlap, Objective::Period, fastOptions());
+  EXPECT_TRUE(r.plan.graph.respects(app));
+}
+
+TEST(Optimizer, SmallInstanceMatchesExactForest) {
+  Prng rng(12);
+  for (int trial = 0; trial < 5; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 4;
+    const auto app = randomApplication(spec, rng);
+    const auto r = optimizePlan(app, CommModel::Overlap, Objective::Period,
+                                fastOptions());
+    const auto exact = exactForestMinPeriod(app, CommModel::Overlap);
+    EXPECT_NEAR(r.value, exact.value, 1e-6) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace fsw

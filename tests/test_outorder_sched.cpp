@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "src/core/cost_model.hpp"
+#include "src/oplist/validate.hpp"
+#include "src/sched/outorder.hpp"
+#include "src/sim/replay.hpp"
+#include "src/workload/generator.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace fsw {
+namespace {
+
+TEST(OutorderRepair, TrivialSingleService) {
+  Application app;
+  app.addService(2.0, 1.0);
+  ExecutionGraph g(1);
+  const auto ol = outorderRepairAtLambda(app, g, 4.0);  // 1 + 2 + 1
+  ASSERT_TRUE(ol);
+  EXPECT_TRUE(validate(app, g, *ol, CommModel::OutOrder).valid);
+}
+
+TEST(OutorderRepair, RejectsBelowBusyBound) {
+  Application app;
+  app.addService(2.0, 1.0);
+  ExecutionGraph g(1);
+  EXPECT_FALSE(outorderRepairAtLambda(app, g, 3.9));
+}
+
+TEST(OutorderRepair, Sec23AtLambda7) {
+  const auto pi = sec23Example();
+  OutorderOptions opt;
+  opt.seed = 5;
+  const auto ol = outorderRepairAtLambda(pi.app, pi.graph, 7.0, opt);
+  ASSERT_TRUE(ol);
+  const auto rep = validate(pi.app, pi.graph, *ol, CommModel::OutOrder);
+  EXPECT_TRUE(rep.valid) << rep.summary();
+  EXPECT_DOUBLE_EQ(ol->period(), 7.0);
+}
+
+TEST(OutorderOrchestrate, NeverWorseThanInorder) {
+  Prng rng(12);
+  for (int trial = 0; trial < 6; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 5;
+    const auto app = randomApplication(spec, rng);
+    const auto g = randomForest(app, rng);
+    OutorderOptions opt;
+    opt.inorder.exactCap = 200;
+    opt.restarts = 8;
+    opt.bisectSteps = 6;
+    const auto out = outorderOrchestratePeriod(app, g, opt);
+    const auto in = inorderOrchestratePeriod(app, g, opt.inorder);
+    EXPECT_LE(out.value, in.value + 1e-6) << "trial " << trial;
+    const auto rep = validate(app, g, out.ol, CommModel::OutOrder);
+    EXPECT_TRUE(rep.valid) << "trial " << trial << ": " << rep.summary();
+    const CostModel cm(app, g);
+    EXPECT_GE(out.value, cm.periodLowerBound(CommModel::OutOrder) - 1e-6);
+  }
+}
+
+TEST(OutorderOrchestrate, ReplayerConfirms) {
+  const auto pi = sec23Example();
+  OutorderOptions opt;
+  opt.seed = 5;
+  const auto r = outorderOrchestratePeriod(pi.app, pi.graph, opt);
+  const auto sim =
+      replayOperationList(pi.app, pi.graph, r.ol, CommModel::OutOrder, 48);
+  EXPECT_TRUE(sim.ok);
+  EXPECT_NEAR(sim.measuredPeriod, r.value, 1e-6);
+}
+
+TEST(OnePortOverlapRepair, HybridRelaxesOutorder) {
+  // A node with in 1 + comp 2 + out 1 can't cycle faster than 4 serialized,
+  // but with comm/comp overlap lambda = 2 suffices (max(1, 2, 1)).
+  Application app;
+  app.addService(2.0, 1.0);
+  ExecutionGraph g(1);
+  EXPECT_FALSE(outorderRepairAtLambda(app, g, 2.0));
+  const auto ol = onePortOverlapRepairAtLambda(app, g, 2.0);
+  ASSERT_TRUE(ol);
+  EXPECT_TRUE(validateOnePortOverlap(app, g, *ol).valid);
+}
+
+TEST(OnePortOverlapOrchestrate, ValidOnSec23) {
+  const auto pi = sec23Example();
+  const auto r = onePortOverlapOrchestratePeriod(pi.app, pi.graph);
+  // The hybrid sits between full OVERLAP (4) and OUTORDER (7).
+  EXPECT_GE(r.value, 4.0 - 1e-9);
+  EXPECT_LE(r.value, 7.0 + 1e-6);
+}
+
+}  // namespace
+}  // namespace fsw

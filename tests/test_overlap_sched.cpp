@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "src/core/cost_model.hpp"
+#include "src/oplist/validate.hpp"
+#include "src/sched/overlap.hpp"
+#include "src/sim/replay.hpp"
+#include "src/workload/generator.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace fsw {
+namespace {
+
+TEST(OverlapPeriod, AchievesLowerBoundOnChain) {
+  Application app;
+  app.addService(2.0, 0.5);
+  app.addService(3.0, 1.5);
+  app.addService(1.0, 1.0);
+  const auto g = ExecutionGraph::chain({0, 1, 2});
+  const auto ol = overlapPeriodSchedule(app, g);
+  const CostModel cm(app, g);
+  EXPECT_DOUBLE_EQ(ol.period(), cm.periodLowerBound(CommModel::Overlap));
+  const auto rep = validate(app, g, ol, CommModel::Overlap);
+  EXPECT_TRUE(rep.valid) << rep.summary();
+}
+
+TEST(OverlapPeriod, AchievesLowerBoundOnRandomGraphs) {
+  Prng rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 7;
+    const auto app = randomApplication(spec, rng);
+    const auto g = randomForest(app, rng);
+    const auto ol = overlapPeriodSchedule(app, g);
+    const CostModel cm(app, g);
+    EXPECT_NEAR(ol.period(), cm.periodLowerBound(CommModel::Overlap), 1e-9);
+    const auto rep = validate(app, g, ol, CommModel::Overlap);
+    EXPECT_TRUE(rep.valid) << "trial " << trial << ": " << rep.summary();
+  }
+}
+
+TEST(OverlapPeriod, AchievesLowerBoundOnDags) {
+  Prng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 8;
+    const auto app = randomApplication(spec, rng);
+    const auto g = randomLayeredDag(app, 3, 3, rng);
+    const auto ol = overlapPeriodSchedule(app, g);
+    const CostModel cm(app, g);
+    EXPECT_NEAR(ol.period(), cm.periodLowerBound(CommModel::Overlap), 1e-9);
+    const auto rep = validate(app, g, ol, CommModel::Overlap);
+    EXPECT_TRUE(rep.valid) << "trial " << trial << ": " << rep.summary();
+  }
+}
+
+TEST(OverlapPeriod, ReplayMatchesAnalytic) {
+  const auto pi = counterexampleB1();
+  const auto ol = overlapPeriodSchedule(pi.app, pi.graph);
+  EXPECT_NEAR(ol.period(), 100.0, 1e-6);
+  const auto sim =
+      replayOperationList(pi.app, pi.graph, ol, CommModel::Overlap, 16);
+  EXPECT_TRUE(sim.ok);
+  EXPECT_NEAR(sim.measuredPeriod, ol.period(), 1e-6);
+}
+
+TEST(OverlapLatencyFluid, MatchesSerialOnAChain) {
+  Application app;
+  app.addService(2.0, 0.5);
+  app.addService(3.0, 1.0);
+  const auto g = ExecutionGraph::chain({0, 1});
+  const auto ol = overlapLatencyFluid(app, g);
+  // in(1) + c(2) + comm(0.5) + c(1.5) + out(0.5) = 5.5.
+  EXPECT_NEAR(ol.latency(), 5.5, 1e-9);
+  const auto rep = validate(app, g, ol, CommModel::Overlap);
+  EXPECT_TRUE(rep.valid) << rep.summary();
+}
+
+TEST(OverlapLatencyFluid, B2Achieves20) {
+  const auto pi = counterexampleB2();
+  const auto ol = overlapLatencyFluid(pi.app, pi.graph);
+  EXPECT_NEAR(ol.latency(), 20.0, 1e-6);
+  const auto rep = validate(pi.app, pi.graph, ol, CommModel::Overlap);
+  EXPECT_TRUE(rep.valid) << rep.summary();
+}
+
+TEST(OverlapLatencyFluid, ValidOnRandomDags) {
+  Prng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 9;
+    const auto app = randomApplication(spec, rng);
+    const auto g = randomLayeredDag(app, 3, 3, rng);
+    const auto ol = overlapLatencyFluid(app, g);
+    const auto rep = validate(app, g, ol, CommModel::Overlap);
+    EXPECT_TRUE(rep.valid) << "trial " << trial << ": " << rep.summary();
+    const CostModel cm(app, g);
+    EXPECT_GE(ol.latency(), cm.latencyLowerBound() - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fsw

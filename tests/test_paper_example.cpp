@@ -1,0 +1,196 @@
+// Section 2.3 end-to-end: the paper's hand-written operation lists for the
+// Fig 1 example are validated by our Appendix A validators, achieve exactly
+// the claimed values (latency 21; period 4 OVERLAP, 7 OUTORDER, 23/3
+// INORDER), and our orchestrators recover them from scratch.
+#include <gtest/gtest.h>
+
+#include "src/common/rational.hpp"
+#include "src/oplist/validate.hpp"
+#include "src/sched/inorder.hpp"
+#include "src/sched/latency.hpp"
+#include "src/sched/orchestrator.hpp"
+#include "src/sched/outorder.hpp"
+#include "src/sched/overlap.hpp"
+#include "src/sim/replay.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace fsw {
+namespace {
+
+constexpr NodeId C1 = 0, C2 = 1, C3 = 2, C4 = 3, C5 = 4;
+
+/// The paper's latency-21 operation list (Section 2.3).
+OperationList paperLatencyOl(double lambda) {
+  OperationList ol(5, lambda);
+  ol.setCalc(C1, 1, 5);
+  ol.setCalc(C2, 6, 10);
+  ol.setCalc(C3, 11, 15);
+  ol.setCalc(C4, 7, 11);
+  ol.setCalc(C5, 16, 20);
+  ol.setComm(kWorld, C1, 0, 1);
+  ol.setComm(C1, C2, 5, 6);
+  ol.setComm(C1, C4, 6, 7);
+  ol.setComm(C2, C3, 10, 11);
+  ol.setComm(C3, C5, 15, 16);
+  ol.setComm(C4, C5, 11, 12);
+  ol.setComm(C5, kWorld, 20, 21);
+  return ol;
+}
+
+TEST(Sec23, PaperLatencyListIsValidAndAchieves21) {
+  const auto pi = sec23Example();
+  const auto ol = paperLatencyOl(21.0);
+  for (const CommModel m : kAllModels) {
+    const auto rep = validate(pi.app, pi.graph, ol, m);
+    EXPECT_TRUE(rep.valid) << name(m) << ": " << rep.summary();
+  }
+  EXPECT_DOUBLE_EQ(ol.latency(), 21.0);
+}
+
+TEST(Sec23, SameListAtLambda5IsOverlapValid) {
+  // "if we keep the same list and only change lambda = 21 into lambda = 5,
+  // we have no resource conflict" (Section 2.3).
+  const auto pi = sec23Example();
+  const auto ol = paperLatencyOl(5.0);
+  const auto rep = validate(pi.app, pi.graph, ol, CommModel::Overlap);
+  EXPECT_TRUE(rep.valid) << rep.summary();
+}
+
+TEST(Sec23, PaperOverlapPeriod4ListIsValid) {
+  // lambda = 4 requires moving comm C4->C5 to [12, 13).
+  const auto pi = sec23Example();
+  auto ol = paperLatencyOl(4.0);
+  ol.setComm(C4, C5, 12, 13);
+  const auto rep = validate(pi.app, pi.graph, ol, CommModel::Overlap);
+  EXPECT_TRUE(rep.valid) << rep.summary();
+  // But the unmodified list at lambda = 4 is NOT overlap-valid.
+  const auto bad = validate(pi.app, pi.graph, paperLatencyOl(4.0),
+                            CommModel::Overlap);
+  EXPECT_FALSE(bad.valid);
+}
+
+TEST(Sec23, PaperOutorderPeriod7ListIsValid) {
+  // lambda = 7 with BeginComm(4,5) = 14 and BeginCalc(4) = 8 (Section 2.3).
+  const auto pi = sec23Example();
+  auto ol = paperLatencyOl(7.0);
+  ol.setCalc(C4, 8, 12);
+  ol.setComm(C4, C5, 14, 15);
+  const auto rep = validate(pi.app, pi.graph, ol, CommModel::OutOrder);
+  EXPECT_TRUE(rep.valid) << rep.summary();
+  // The INORDER rules reject it: C4 receives set n+1 before sending set n.
+  EXPECT_FALSE(validate(pi.app, pi.graph, ol, CommModel::InOrder).valid);
+}
+
+OperationList paperInorder233Ol() {
+  const double third = 1.0 / 3.0;
+  auto ol = paperLatencyOl(23.0 / 3.0);
+  ol.setComm(C1, C4, 6 + 2 * third, 7 + 2 * third);
+  ol.setCalc(C4, 7 + 2 * third, 11 + 2 * third);
+  ol.setComm(C4, C5, 13 + third, 14 + third);
+  return ol;
+}
+
+TEST(Sec23, PaperInorderPeriod233ListIsValid) {
+  const auto pi = sec23Example();
+  const auto ol = paperInorder233Ol();
+  const auto rep = validate(pi.app, pi.graph, ol, CommModel::InOrder);
+  EXPECT_TRUE(rep.valid) << rep.summary();
+  EXPECT_NEAR(ol.period(), Rational(23, 3).toDouble(), 1e-12);
+}
+
+TEST(Sec23, InorderListFailsBelow233) {
+  // The same times with any smaller lambda violate constraint (1).
+  const auto pi = sec23Example();
+  auto ol = paperInorder233Ol();
+  ol.setLambda(7.5);
+  EXPECT_FALSE(validate(pi.app, pi.graph, ol, CommModel::InOrder).valid);
+}
+
+TEST(Sec23, OverlapOrchestratorAchieves4) {
+  const auto pi = sec23Example();
+  const auto ol = overlapPeriodSchedule(pi.app, pi.graph);
+  EXPECT_DOUBLE_EQ(ol.period(), 4.0);
+  const auto rep = validate(pi.app, pi.graph, ol, CommModel::Overlap);
+  EXPECT_TRUE(rep.valid) << rep.summary();
+}
+
+TEST(Sec23, InorderOrchestratorFinds233) {
+  const auto pi = sec23Example();
+  const auto r = inorderOrchestratePeriod(pi.app, pi.graph);
+  EXPECT_NEAR(r.value, 23.0 / 3.0, 1e-6);
+  const auto rep = validate(pi.app, pi.graph, r.ol, CommModel::InOrder);
+  EXPECT_TRUE(rep.valid) << rep.summary();
+}
+
+TEST(Sec23, OutorderOrchestratorFinds7) {
+  const auto pi = sec23Example();
+  OutorderOptions opt;
+  opt.seed = 5;
+  const auto r = outorderOrchestratePeriod(pi.app, pi.graph, opt);
+  EXPECT_NEAR(r.value, 7.0, 1e-6);
+  const auto rep = validate(pi.app, pi.graph, r.ol, CommModel::OutOrder);
+  EXPECT_TRUE(rep.valid) << rep.summary();
+}
+
+TEST(Sec23, LatencyOrchestratorFinds21) {
+  const auto pi = sec23Example();
+  for (const CommModel m : kAllModels) {
+    const auto r = latencyOrchestrate(pi.app, pi.graph, m);
+    EXPECT_NEAR(r.value, 21.0, 1e-9) << name(m);
+  }
+}
+
+TEST(Sec23, OrchestratorFacadeReportsBounds) {
+  const auto pi = sec23Example();
+  const auto overlap =
+      orchestrate(pi.app, pi.graph, CommModel::Overlap, Objective::Period);
+  EXPECT_TRUE(overlap.provablyOptimal());
+  EXPECT_DOUBLE_EQ(overlap.lowerBound, 4.0);
+
+  const auto inorder =
+      orchestrate(pi.app, pi.graph, CommModel::InOrder, Objective::Period);
+  EXPECT_DOUBLE_EQ(inorder.lowerBound, 7.0);
+  EXPECT_NEAR(inorder.result.value, 23.0 / 3.0, 1e-6);
+  EXPECT_FALSE(inorder.provablyOptimal());  // 23/3 > 7: the gap is real
+
+  const auto outorder =
+      orchestrate(pi.app, pi.graph, CommModel::OutOrder, Objective::Period);
+  EXPECT_NEAR(outorder.result.value, 7.0, 1e-6);
+  EXPECT_TRUE(outorder.provablyOptimal());
+}
+
+TEST(Sec23, ReplayerConfirmsAnalyticPeriods) {
+  const auto pi = sec23Example();
+  // Overlap at 4.
+  auto ol = paperLatencyOl(4.0);
+  ol.setComm(C4, C5, 12, 13);
+  auto sim = replayOperationList(pi.app, pi.graph, ol, CommModel::Overlap, 64);
+  EXPECT_TRUE(sim.ok);
+  EXPECT_NEAR(sim.measuredPeriod, 4.0, 1e-9);
+  // Outorder at 7.
+  ol = paperLatencyOl(7.0);
+  ol.setCalc(C4, 8, 12);
+  ol.setComm(C4, C5, 14, 15);
+  sim = replayOperationList(pi.app, pi.graph, ol, CommModel::OutOrder, 64);
+  EXPECT_TRUE(sim.ok);
+  EXPECT_NEAR(sim.measuredPeriod, 7.0, 1e-9);
+  // Inorder at 23/3.
+  sim = replayOperationList(pi.app, pi.graph, paperInorder233Ol(),
+                            CommModel::InOrder, 64);
+  EXPECT_TRUE(sim.ok);
+  EXPECT_NEAR(sim.measuredPeriod, 23.0 / 3.0, 1e-9);
+}
+
+TEST(Sec23, ReplayerFlagsInvalidList) {
+  const auto pi = sec23Example();
+  // The latency list crammed to lambda = 4 overlaps C4's comm with C5's calc
+  // under a serialized model.
+  const auto ol = paperLatencyOl(4.0);
+  const auto sim =
+      replayOperationList(pi.app, pi.graph, ol, CommModel::OutOrder, 16);
+  EXPECT_FALSE(sim.ok);
+  EXPECT_GT(sim.violations, 0u);
+}
+
+}  // namespace
+}  // namespace fsw

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "src/sched/periodic_cg.hpp"
+
+namespace fsw {
+namespace {
+
+TEST(PeriodicCg, EmptySystemFeasible) {
+  PeriodicConstraintGraph pcg;
+  pcg.addVariable();
+  EXPECT_TRUE(pcg.feasible(1.0));
+  EXPECT_DOUBLE_EQ((*pcg.solve(1.0))[0], 0.0);
+}
+
+TEST(PeriodicCg, SimpleChain) {
+  PeriodicConstraintGraph pcg;
+  const auto a = pcg.addVariable();
+  const auto b = pcg.addVariable();
+  const auto c = pcg.addVariable();
+  pcg.addConstraint(a, b, 2.0);
+  pcg.addConstraint(b, c, 3.0);
+  const auto x = pcg.solve(1.0);
+  ASSERT_TRUE(x);
+  EXPECT_DOUBLE_EQ((*x)[a], 0.0);
+  EXPECT_DOUBLE_EQ((*x)[b], 2.0);
+  EXPECT_DOUBLE_EQ((*x)[c], 5.0);
+}
+
+TEST(PeriodicCg, PositiveCycleInfeasibleAtAnyLambdaWithoutK) {
+  PeriodicConstraintGraph pcg;
+  const auto a = pcg.addVariable();
+  const auto b = pcg.addVariable();
+  pcg.addConstraint(a, b, 1.0);
+  pcg.addConstraint(b, a, 1.0);
+  EXPECT_FALSE(pcg.feasible(100.0));
+  EXPECT_FALSE(pcg.minLambda(0.0, 100.0).has_value());
+}
+
+TEST(PeriodicCg, CycleWithKFeasibleAboveThreshold) {
+  // x_b >= x_a + 3 and x_a >= x_b + 4 - lambda: feasible iff lambda >= 7.
+  PeriodicConstraintGraph pcg;
+  const auto a = pcg.addVariable();
+  const auto b = pcg.addVariable();
+  pcg.addConstraint(a, b, 3.0);
+  pcg.addConstraint(b, a, 4.0, 1);
+  EXPECT_FALSE(pcg.feasible(6.9));
+  EXPECT_TRUE(pcg.feasible(7.0));
+  const auto r = pcg.minLambda(0.0, 100.0);
+  ASSERT_TRUE(r);
+  EXPECT_NEAR(r->lambda, 7.0, 1e-6);
+}
+
+TEST(PeriodicCg, MinLambdaTakesMaxOverCycles) {
+  // Two cycles with ratios 5 and 23/3: min lambda = 23/3.
+  PeriodicConstraintGraph pcg;
+  const auto a = pcg.addVariable();
+  const auto b = pcg.addVariable();
+  const auto c = pcg.addVariable();
+  pcg.addConstraint(a, b, 2.0);
+  pcg.addConstraint(b, a, 3.0, 1);
+  pcg.addConstraint(a, c, 20.0 / 3.0);
+  pcg.addConstraint(c, a, 1.0, 1);
+  const auto r = pcg.minLambda(0.0, 100.0);
+  ASSERT_TRUE(r);
+  EXPECT_NEAR(r->lambda, 23.0 / 3.0, 1e-6);
+}
+
+TEST(PeriodicCg, MultiPeriodCycle) {
+  // x_b >= x_a + 10 and x_a >= x_b + 10 - 2*lambda: lambda >= 10.
+  PeriodicConstraintGraph pcg;
+  const auto a = pcg.addVariable();
+  const auto b = pcg.addVariable();
+  pcg.addConstraint(a, b, 10.0);
+  pcg.addConstraint(b, a, 10.0, 2);
+  const auto r = pcg.minLambda(0.0, 100.0);
+  ASSERT_TRUE(r);
+  EXPECT_NEAR(r->lambda, 10.0, 1e-6);
+}
+
+TEST(PeriodicCg, SolutionSatisfiesAllConstraints) {
+  PeriodicConstraintGraph pcg;
+  std::vector<PeriodicConstraintGraph::Var> v;
+  for (int i = 0; i < 6; ++i) v.push_back(pcg.addVariable());
+  pcg.addConstraint(v[0], v[1], 1.5);
+  pcg.addConstraint(v[1], v[2], 2.5);
+  pcg.addConstraint(v[2], v[3], 0.5);
+  pcg.addConstraint(v[3], v[0], 1.0, 1);
+  pcg.addConstraint(v[4], v[5], 3.0);
+  pcg.addConstraint(v[5], v[4], 3.0, 1);
+  const auto r = pcg.minLambda(0.0, 50.0);
+  ASSERT_TRUE(r);
+  EXPECT_NEAR(r->lambda, 6.0, 1e-6);
+  const auto& x = r->potentials;
+  EXPECT_GE(x[v[1]] - x[v[0]], 1.5 - 1e-9);
+  EXPECT_GE(x[v[2]] - x[v[1]], 2.5 - 1e-9);
+  EXPECT_GE(x[v[0]] - x[v[3]], 1.0 - r->lambda - 1e-9);
+}
+
+TEST(PeriodicCg, NegativeKRejected) {
+  PeriodicConstraintGraph pcg;
+  const auto a = pcg.addVariable();
+  const auto b = pcg.addVariable();
+  EXPECT_THROW(pcg.addConstraint(a, b, 1.0, -1), std::invalid_argument);
+}
+
+TEST(PeriodicCg, OutOfRangeVariableRejected) {
+  PeriodicConstraintGraph pcg;
+  const auto a = pcg.addVariable();
+  EXPECT_THROW(pcg.addConstraint(a, 5, 1.0), std::out_of_range);
+}
+
+TEST(PeriodicCg, MinLambdaAtLowerBound) {
+  PeriodicConstraintGraph pcg;
+  const auto a = pcg.addVariable();
+  const auto b = pcg.addVariable();
+  pcg.addConstraint(a, b, 1.0);
+  const auto r = pcg.minLambda(5.0, 100.0);
+  ASSERT_TRUE(r);
+  EXPECT_DOUBLE_EQ(r->lambda, 5.0);  // already feasible at lo
+}
+
+}  // namespace
+}  // namespace fsw

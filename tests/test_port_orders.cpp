@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/sched/port_orders.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace fsw {
+namespace {
+
+TEST(PortOrders, CanonicalCoversAllPorts) {
+  const auto pi = sec23Example();
+  const auto po = PortOrders::canonical(pi.graph);
+  // C1: virtual input first; sends to C2 and C4 plus no virtual output.
+  ASSERT_EQ(po.in[0].size(), 1u);
+  EXPECT_EQ(po.in[0][0], kWorld);
+  EXPECT_EQ(po.out[0].size(), 2u);
+  // C5: two receives, one virtual output.
+  EXPECT_EQ(po.in[4].size(), 2u);
+  ASSERT_EQ(po.out[4].size(), 1u);
+  EXPECT_EQ(po.out[4][0], kWorld);
+}
+
+TEST(PortOrders, HeuristicIsAPermutationOfCanonical) {
+  const auto pi = sec23Example();
+  const auto canon = PortOrders::canonical(pi.graph);
+  const auto heur = PortOrders::heuristic(pi.app, pi.graph);
+  for (NodeId i = 0; i < pi.graph.size(); ++i) {
+    std::multiset<NodeId> a(canon.in[i].begin(), canon.in[i].end());
+    std::multiset<NodeId> b(heur.in[i].begin(), heur.in[i].end());
+    EXPECT_EQ(a, b) << "in orders of node " << i;
+    std::multiset<NodeId> c(canon.out[i].begin(), canon.out[i].end());
+    std::multiset<NodeId> d(heur.out[i].begin(), heur.out[i].end());
+    EXPECT_EQ(c, d) << "out orders of node " << i;
+  }
+}
+
+TEST(PortOrders, HeuristicFeedsLongBranchFirst) {
+  // In the Section 2.3 diamond, C2 leads to the longer branch
+  // (C2 -> C3 -> C5), so C1 should send to C2 before C4.
+  const auto pi = sec23Example();
+  const auto heur = PortOrders::heuristic(pi.app, pi.graph);
+  ASSERT_EQ(heur.out[0].size(), 2u);
+  EXPECT_EQ(heur.out[0][0], 1u);  // C2 first
+  EXPECT_EQ(heur.out[0][1], 3u);  // then C4
+}
+
+TEST(PortOrders, EnumerationCountsProductOfFactorials) {
+  // Section 2.3: C1 has 2 sends, C5 has 2 receives; everything else is
+  // fixed, so there are exactly 2 * 2 = 4 combinations.
+  const auto pi = sec23Example();
+  EXPECT_EQ(countPortOrders(pi.graph, 1000), 4u);
+}
+
+TEST(PortOrders, EnumerationTruncatesAtCap) {
+  const auto pi = sec23Example();
+  std::size_t seen = 0;
+  const bool exhaustive =
+      forEachPortOrders(pi.graph, 2, [&](const PortOrders&) {
+        ++seen;
+        return true;
+      });
+  EXPECT_FALSE(exhaustive);
+  EXPECT_EQ(seen, 2u);
+}
+
+TEST(PortOrders, EnumerationVisitsDistinctOrders) {
+  const auto pi = sec23Example();
+  std::set<std::vector<NodeId>> c1SendOrders;
+  forEachPortOrders(pi.graph, 1000, [&](const PortOrders& po) {
+    c1SendOrders.insert(po.out[0]);
+    return true;
+  });
+  EXPECT_EQ(c1SendOrders.size(), 2u);
+}
+
+TEST(PortOrders, EarlyStopPropagates) {
+  const auto pi = sec23Example();
+  std::size_t seen = 0;
+  const bool ok = forEachPortOrders(pi.graph, 1000, [&](const PortOrders&) {
+    ++seen;
+    return false;  // stop immediately
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST(PortOrders, ForkJoinCombinatorics) {
+  // Fork-join with 3 middle services: 3! send orders x 3! receive orders.
+  Application app;
+  for (int i = 0; i < 5; ++i) app.addService(1.0, 1.0);
+  ExecutionGraph g(5);
+  for (NodeId i = 1; i <= 3; ++i) {
+    g.addEdge(0, i);
+    g.addEdge(i, 4);
+  }
+  EXPECT_EQ(countPortOrders(g, 100000), 36u);
+}
+
+}  // namespace
+}  // namespace fsw

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/prng.hpp"
+#include "src/common/util.hpp"
+
+namespace fsw {
+namespace {
+
+TEST(Prng, DeterministicForSameSeed) {
+  Prng a(42);
+  Prng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  Prng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Prng, UniformRange) {
+  Prng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.5, 3.5);
+    EXPECT_GE(u, 2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Prng, UniformIntInclusiveBounds) {
+  Prng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit in 1000 draws
+}
+
+TEST(Prng, UniformIntSingleton) {
+  Prng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniformInt(5, 5), 5);
+}
+
+TEST(Prng, PermutationIsPermutation) {
+  Prng rng(11);
+  const auto p = rng.permutation(20);
+  std::set<std::size_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 20u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 19u);
+}
+
+TEST(Prng, ShufflePreservesMultiset) {
+  Prng rng(13);
+  std::vector<int> v = {1, 2, 2, 3, 5, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Prng, BernoulliExtremes) {
+  Prng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Util, AlmostEqual) {
+  EXPECT_TRUE(almostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(almostEqual(1.0, 1.001));
+  EXPECT_TRUE(almostEqual(1e9, 1e9 + 1.0, 1e-8));
+}
+
+TEST(Util, AlmostLeq) {
+  EXPECT_TRUE(almostLeq(1.0, 2.0));
+  EXPECT_TRUE(almostLeq(2.0, 2.0 - 1e-12));
+  EXPECT_FALSE(almostLeq(2.1, 2.0));
+}
+
+TEST(Util, ForEachPermutationCountsFactorial) {
+  std::size_t count = 0;
+  forEachPermutation(4, [&](const std::vector<std::size_t>&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 24u);
+}
+
+TEST(Util, ForEachPermutationEarlyStop) {
+  std::size_t count = 0;
+  const bool finished = forEachPermutation(5, [&](const std::vector<std::size_t>&) {
+    ++count;
+    return count < 10;
+  });
+  EXPECT_FALSE(finished);
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(Util, Factorial) {
+  EXPECT_DOUBLE_EQ(factorial(0), 1.0);
+  EXPECT_DOUBLE_EQ(factorial(5), 120.0);
+  EXPECT_DOUBLE_EQ(factorial(10), 3628800.0);
+}
+
+TEST(Util, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+}  // namespace
+}  // namespace fsw

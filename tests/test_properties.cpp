@@ -1,0 +1,152 @@
+// Parameterized property sweeps across random instances: the invariants the
+// paper's model definitions impose must hold on every instance, every model.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/core/cost_model.hpp"
+#include "src/oplist/validate.hpp"
+#include "src/sched/orchestrator.hpp"
+#include "src/sim/replay.hpp"
+#include "src/workload/generator.hpp"
+
+namespace fsw {
+namespace {
+
+struct Instance {
+  Application app;
+  ExecutionGraph graph{0};
+};
+
+Instance makeInstance(std::uint64_t seed, bool dagShape) {
+  Prng rng(seed);
+  WorkloadSpec spec;
+  spec.n = 6;
+  spec.filterFraction = 0.6;
+  Instance inst;
+  inst.app = randomApplication(spec, rng);
+  inst.graph = dagShape ? randomLayeredDag(inst.app, 3, 2, rng)
+                        : randomForest(inst.app, rng);
+  return inst;
+}
+
+OrchestratorOptions fastOpts() {
+  OrchestratorOptions opt;
+  opt.order.exactCap = 150;
+  opt.order.localSearchIters = 60;
+  opt.outorder.restarts = 6;
+  opt.outorder.bisectSteps = 5;
+  opt.outorder.repairIters = 250;
+  return opt;
+}
+
+using ParamT = std::tuple<std::uint64_t, int, bool>;  // seed, model, dag?
+
+class ModelProperty : public ::testing::TestWithParam<ParamT> {
+ protected:
+  [[nodiscard]] CommModel model() const {
+    return static_cast<CommModel>(std::get<1>(GetParam()));
+  }
+  [[nodiscard]] Instance instance() const {
+    return makeInstance(std::get<0>(GetParam()), std::get<2>(GetParam()));
+  }
+};
+
+TEST_P(ModelProperty, PeriodOrchestrationIsValidAndAboveBound) {
+  const auto inst = instance();
+  const CommModel m = model();
+  const auto orch =
+      orchestrate(inst.app, inst.graph, m, Objective::Period, fastOpts());
+  const CostModel cm(inst.app, inst.graph);
+  EXPECT_GE(orch.result.value, cm.periodLowerBound(m) - 1e-6);
+  const auto rep = validate(inst.app, inst.graph, orch.result.ol, m);
+  EXPECT_TRUE(rep.valid) << rep.summary();
+}
+
+TEST_P(ModelProperty, ReplayMeasuresExactlyLambda) {
+  const auto inst = instance();
+  const CommModel m = model();
+  const auto orch =
+      orchestrate(inst.app, inst.graph, m, Objective::Period, fastOpts());
+  const auto sim =
+      replayOperationList(inst.app, inst.graph, orch.result.ol, m, 24);
+  EXPECT_TRUE(sim.ok);
+  EXPECT_NEAR(sim.measuredPeriod, orch.result.value, 1e-6);
+}
+
+TEST_P(ModelProperty, LatencyOrchestrationAboveCriticalPath) {
+  const auto inst = instance();
+  const CommModel m = model();
+  const auto orch =
+      orchestrate(inst.app, inst.graph, m, Objective::Latency, fastOpts());
+  const CostModel cm(inst.app, inst.graph);
+  EXPECT_GE(orch.result.value, cm.latencyLowerBound() - 1e-6);
+  EXPECT_DOUBLE_EQ(orch.result.ol.latency(), orch.result.value);
+}
+
+TEST_P(ModelProperty, OverlapPeriodAlwaysMeetsItsBound) {
+  if (model() != CommModel::Overlap) GTEST_SKIP();
+  const auto inst = instance();
+  const auto orch = orchestrate(inst.app, inst.graph, CommModel::Overlap,
+                                Objective::Period, fastOpts());
+  EXPECT_TRUE(orch.provablyOptimal());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelProperty,
+    ::testing::Combine(::testing::Values(1001, 1002, 1003, 1004, 1005),
+                       ::testing::Values(0, 1, 2),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<ParamT>& info) {
+      const auto m = static_cast<CommModel>(std::get<1>(info.param));
+      return std::string("seed") + std::to_string(std::get<0>(info.param)) +
+             std::string(name(m)) +
+             (std::get<2>(info.param) ? "Dag" : "Forest");
+    });
+
+class DominanceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DominanceProperty, ModelsOrderedByFlexibility) {
+  // More flexible models never have larger optimal periods:
+  // OVERLAP <= OUTORDER <= INORDER on every execution graph.
+  const auto inst = makeInstance(GetParam(), false);
+  const auto opts = fastOpts();
+  const double overlap = orchestrate(inst.app, inst.graph, CommModel::Overlap,
+                                     Objective::Period, opts)
+                             .result.value;
+  const double outorder = orchestrate(inst.app, inst.graph,
+                                      CommModel::OutOrder, Objective::Period,
+                                      opts)
+                              .result.value;
+  const double inorder = orchestrate(inst.app, inst.graph, CommModel::InOrder,
+                                     Objective::Period, opts)
+                             .result.value;
+  EXPECT_LE(overlap, outorder + 1e-6);
+  EXPECT_LE(outorder, inorder + 1e-6);
+}
+
+TEST_P(DominanceProperty, LatencyEqualAcrossNoOverlapModels) {
+  // Latency is a single-data-set regime: INORDER and OUTORDER coincide, and
+  // OVERLAP can only help.
+  const auto inst = makeInstance(GetParam(), true);
+  const auto opts = fastOpts();
+  const double inorder = orchestrate(inst.app, inst.graph, CommModel::InOrder,
+                                     Objective::Latency, opts)
+                             .result.value;
+  const double outorder = orchestrate(inst.app, inst.graph,
+                                      CommModel::OutOrder, Objective::Latency,
+                                      opts)
+                              .result.value;
+  const double overlap = orchestrate(inst.app, inst.graph, CommModel::Overlap,
+                                     Objective::Latency, opts)
+                             .result.value;
+  EXPECT_NEAR(inorder, outorder, 1e-9);
+  EXPECT_LE(overlap, inorder + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DominanceProperty,
+                         ::testing::Values(2001, 2002, 2003, 2004, 2005, 2006,
+                                           2007, 2008));
+
+}  // namespace
+}  // namespace fsw

@@ -1,0 +1,133 @@
+#include "src/common/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+namespace fsw {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  const Rational r;
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_TRUE(r.isZero());
+  EXPECT_TRUE(r.isInteger());
+}
+
+TEST(Rational, NormalizesSignAndGcd) {
+  const Rational r(6, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 2);
+  EXPECT_TRUE(r.isNegative());
+}
+
+TEST(Rational, ZeroNumeratorNormalizes) {
+  const Rational r(0, -7);
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+}
+
+TEST(Rational, Addition) {
+  EXPECT_EQ(Rational(1, 3) + Rational(1, 6), Rational(1, 2));
+  EXPECT_EQ(Rational(-1, 2) + Rational(1, 2), Rational(0));
+}
+
+TEST(Rational, Subtraction) {
+  EXPECT_EQ(Rational(23, 3) - Rational(7), Rational(2, 3));
+}
+
+TEST(Rational, Multiplication) {
+  EXPECT_EQ(Rational(2, 3) * Rational(9, 4), Rational(3, 2));
+}
+
+TEST(Rational, Division) {
+  EXPECT_EQ(Rational(1, 2) / Rational(3, 4), Rational(2, 3));
+  EXPECT_THROW(Rational(1) / Rational(0), std::domain_error);
+}
+
+TEST(Rational, DivisionBySigned) {
+  EXPECT_EQ(Rational(1, 2) / Rational(-1, 4), Rational(-2));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(1, 2), Rational(1, 2));
+  EXPECT_GT(Rational(23, 3), Rational(7));
+  EXPECT_GE(Rational(7), Rational(7));
+  EXPECT_NE(Rational(1, 3), Rational(1, 4));
+}
+
+TEST(Rational, CompoundAssignment) {
+  Rational r(1, 2);
+  r += Rational(1, 3);
+  EXPECT_EQ(r, Rational(5, 6));
+  r -= Rational(1, 6);
+  EXPECT_EQ(r, Rational(2, 3));
+  r *= Rational(3);
+  EXPECT_EQ(r, Rational(2));
+  r /= Rational(4);
+  EXPECT_EQ(r, Rational(1, 2));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(23, 3).toDouble(), 23.0 / 3.0);
+}
+
+TEST(Rational, Str) {
+  EXPECT_EQ(Rational(23, 3).str(), "23/3");
+  EXPECT_EQ(Rational(7).str(), "7");
+  EXPECT_EQ(Rational(-1, 2).str(), "-1/2");
+}
+
+TEST(Rational, StreamOutput) {
+  std::ostringstream os;
+  os << Rational(5, 4);
+  EXPECT_EQ(os.str(), "5/4");
+}
+
+TEST(Rational, ParseInteger) { EXPECT_EQ(Rational::parse("42"), Rational(42)); }
+
+TEST(Rational, ParseFraction) {
+  EXPECT_EQ(Rational::parse("23/3"), Rational(23, 3));
+}
+
+TEST(Rational, ParseDecimal) {
+  EXPECT_EQ(Rational::parse("0.9999"), Rational(9999, 10000));
+  EXPECT_EQ(Rational::parse("-1.5"), Rational(-3, 2));
+}
+
+TEST(Rational, AbsMinMax) {
+  EXPECT_EQ(abs(Rational(-1, 2)), Rational(1, 2));
+  EXPECT_EQ(min(Rational(1, 3), Rational(1, 2)), Rational(1, 3));
+  EXPECT_EQ(max(Rational(1, 3), Rational(1, 2)), Rational(1, 2));
+}
+
+TEST(Rational, OverflowDetected) {
+  const Rational big(std::numeric_limits<std::int64_t>::max(), 1);
+  EXPECT_THROW(big * big, RationalOverflow);
+  EXPECT_THROW(big + big, RationalOverflow);
+}
+
+TEST(Rational, NoFalseOverflowAfterReduction) {
+  // (2^62 / 3) * (3 / 2^62) = 1 must not overflow despite large operands.
+  const std::int64_t big = std::int64_t{1} << 62;
+  EXPECT_EQ(Rational(big, 3) * Rational(3, big), Rational(1));
+}
+
+TEST(Rational, Sec23ExampleArithmetic) {
+  // The INORDER optimum of Section 2.3: busy times 7, 6, 7 on C1, C4, C5
+  // with total idle 2 spread over 3 servers gives period 23/3.
+  const Rational idle = Rational(2, 3);
+  const Rational period = Rational(7) + idle;
+  EXPECT_EQ(period, Rational(23, 3));
+  EXPECT_EQ(Rational(23, 3) - Rational(7), Rational(2, 3));
+}
+
+}  // namespace
+}  // namespace fsw

@@ -1,0 +1,196 @@
+// Executable reductions (E9): the forward direction of each NP-hardness
+// proof is checked end-to-end — a solvable RN3DM instance's witness, pushed
+// through the gadget builder and the library's solvers, meets the proof's
+// threshold K. For the fork-join latency gadget (Prop 9) the converse is
+// checked too, by exhausting all port orders.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/core/cost_model.hpp"
+#include "src/npc/reductions.hpp"
+#include "src/npc/two_partition.hpp"
+#include "src/oplist/validate.hpp"
+#include "src/sched/inorder.hpp"
+#include "src/sched/overlap.hpp"
+
+namespace fsw {
+namespace {
+
+Rn3dmInstance solvable3() { return Rn3dmInstance{{2, 4, 6}}; }
+
+TEST(Prop2, GadgetShape) {
+  const auto red = prop2PeriodGadget(solvable3());
+  EXPECT_EQ(red.app.size(), 2u * 3 + 5);
+  EXPECT_DOUBLE_EQ(red.threshold, 9.0);  // 2n+3
+  // Every service's one-port busy time is at most K, with equality on the
+  // critical servers (C1, C2n+5, the even chain, C2n+2..C2n+4).
+  const CostModel cm(red.app, red.graph);
+  EXPECT_NEAR(cm.periodLowerBound(CommModel::OutOrder), red.threshold, 1e-9);
+  EXPECT_NEAR(cm.at(0).cexec(CommModel::OutOrder), 9.0, 1e-9);
+  EXPECT_NEAR(cm.at(red.app.size() - 1).cexec(CommModel::OutOrder), 9.0,
+              1e-9);
+}
+
+TEST(Prop2, WitnessOrdersAchieveK) {
+  const auto inst = solvable3();
+  const auto w = solveRn3dm(inst);
+  ASSERT_TRUE(w);
+  const auto red = prop2PeriodGadget(inst);
+  const auto orders = prop2WitnessOrders(red, *w);
+  const auto r = inorderPeriodForOrders(red.app, red.graph, orders);
+  ASSERT_TRUE(r);
+  EXPECT_NEAR(r->value, red.threshold, 1e-6);
+  EXPECT_TRUE(validate(red.app, red.graph, r->ol, CommModel::InOrder).valid);
+  EXPECT_TRUE(validate(red.app, red.graph, r->ol, CommModel::OutOrder).valid);
+}
+
+TEST(Prop2, RandomSolvableInstancesAchieveK) {
+  Prng rng(21);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto inst = randomSolvableRn3dm(4, rng);
+    const auto w = solveRn3dm(inst);
+    ASSERT_TRUE(w);
+    const auto red = prop2PeriodGadget(inst);
+    const auto r =
+        inorderPeriodForOrders(red.app, red.graph, prop2WitnessOrders(red, *w));
+    ASSERT_TRUE(r) << "trial " << trial;
+    EXPECT_NEAR(r->value, red.threshold, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(Prop5, WitnessPlanAchievesK) {
+  const auto inst = solvable3();
+  const auto w = solveRn3dm(inst);
+  ASSERT_TRUE(w);
+  const auto red = prop5MinPeriodGadget(inst);
+  EXPECT_DOUBLE_EQ(red.threshold, 1.5);
+  const auto g = prop5WitnessGraph(red, *w);
+  const auto ol = overlapPeriodSchedule(red.app, g);
+  EXPECT_NEAR(ol.period(), red.threshold, 1e-9);
+  EXPECT_TRUE(validate(red.app, g, ol, CommModel::Overlap).valid);
+}
+
+TEST(Prop5, WrongMatchingExceedsK) {
+  // Pairing the chains against the witness (shifted by one) must blow the
+  // computation cost of some tail service past K.
+  const auto inst = solvable3();
+  const auto w = solveRn3dm(inst);
+  ASSERT_TRUE(w);
+  const auto red = prop5MinPeriodGadget(inst);
+  Rn3dmWitness bad = *w;
+  std::rotate(bad.lambda1.begin(), bad.lambda1.begin() + 1, bad.lambda1.end());
+  if (checkWitness(inst, bad)) GTEST_SKIP() << "rotation is also a witness";
+  const auto g = prop5WitnessGraph(red, bad);
+  const auto ol = overlapPeriodSchedule(red.app, g);
+  EXPECT_GT(ol.period(), red.threshold + 1e-9);
+}
+
+TEST(Prop6, WitnessPlanAchievesK) {
+  const auto inst = solvable3();
+  const auto w = solveRn3dm(inst);
+  ASSERT_TRUE(w);
+  const auto red = prop6MinPeriodGadget(inst);
+  const auto g = prop6WitnessGraph(red, *w);
+  // All costs must be positive for the gadget to be well-formed.
+  for (NodeId i = 0; i < red.app.size(); ++i) {
+    EXPECT_GT(red.app.service(i).cost, 0.0) << "service " << i;
+  }
+  const CostModel cm(red.app, g);
+  EXPECT_LE(cm.periodLowerBound(CommModel::OutOrder), red.threshold + 1e-9);
+  // The witness plan orchestrates to K for the one-port models.
+  OrchestrationOptions opt;
+  opt.exactCap = 50;  // C0 has 3 sends: 6 orders; rest single
+  const auto r = inorderOrchestratePeriod(red.app, g, opt);
+  EXPECT_NEAR(r.value, red.threshold, 1e-6);
+}
+
+TEST(Prop9, GadgetShapeAndBound) {
+  const auto red = prop9LatencyGadget(solvable3());
+  EXPECT_EQ(red.app.size(), 5u);
+  EXPECT_DOUBLE_EQ(red.threshold, 3 + 4 + 9);  // n + 4 + n^2
+  const CostModel cm(red.app, red.graph);
+  EXPECT_LE(cm.latencyLowerBound(), red.threshold + 1e-9);
+}
+
+TEST(Prop9, WitnessOrdersAchieveK) {
+  const auto inst = solvable3();
+  const auto w = solveRn3dm(inst);
+  ASSERT_TRUE(w);
+  const auto red = prop9LatencyGadget(inst);
+  const auto r = oneportLatencyForOrders(red.app, red.graph,
+                                         prop9WitnessOrders(red, *w));
+  ASSERT_TRUE(r);
+  EXPECT_NEAR(r->value, red.threshold, 1e-6);
+  EXPECT_TRUE(validate(red.app, red.graph, r->ol, CommModel::OutOrder).valid);
+}
+
+TEST(Prop9, FullEquivalenceBySearchingAllOrders) {
+  // Both directions on n = 4: the optimal fork-join latency over all port
+  // orders meets K exactly when RN3DM is solvable.
+  const std::vector<Rn3dmInstance> instances = {
+      Rn3dmInstance{{2, 4, 6, 8}},  // solvable
+      Rn3dmInstance{{5, 5, 5, 5}},  // solvable
+      Rn3dmInstance{{2, 2, 8, 8}},  // unsolvable
+  };
+  for (const auto& inst : instances) {
+    const bool solvable = solveRn3dm(inst).has_value();
+    const auto red = prop9LatencyGadget(inst);
+    double best = std::numeric_limits<double>::infinity();
+    forEachPortOrders(red.graph, 1000, [&](const PortOrders& po) {
+      if (const auto r = oneportLatencyForOrders(red.app, red.graph, po)) {
+        best = std::min(best, r->value);
+      }
+      return true;
+    });
+    if (solvable) {
+      EXPECT_NEAR(best, red.threshold, 1e-6);
+    } else {
+      EXPECT_GT(best, red.threshold + 1e-9);
+    }
+  }
+}
+
+TEST(Prop13, WitnessAchievesAdjustedK) {
+  const auto inst = solvable3();
+  const auto w = solveRn3dm(inst);
+  ASSERT_TRUE(w);
+  const auto red = prop13MinLatencyGadget(inst);
+  const auto g = prop13WitnessGraph(red);
+  const auto r =
+      oneportLatencyForOrders(red.app, g, prop13WitnessOrders(red, *w));
+  ASSERT_TRUE(r);
+  EXPECT_LE(r->value, red.threshold + 1e-9);
+  EXPECT_TRUE(validate(red.app, g, r->ol, CommModel::OutOrder).valid);
+}
+
+TEST(Prop17, ObjectiveSeparatesPartitions) {
+  // Equivalence on the proof's own chain objective: the best subset meets K
+  // iff a perfect partition exists (brute force over subsets, n small).
+  const std::vector<std::vector<std::int64_t>> sets = {
+      {3, 1, 1, 2, 2, 1},  // partitionable (sum 10)
+      {10, 1, 1},          // not partitionable
+      {2, 2, 2, 3},        // odd total: not partitionable
+  };
+  for (const auto& x : sets) {
+    const bool solvable = solveTwoPartition(x).has_value();
+    const auto g = prop17ForestGadget(x);
+    double best = std::numeric_limits<double>::infinity();
+    const std::size_t n = x.size();
+    for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+      std::vector<std::size_t> subset;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask & (std::size_t{1} << i)) subset.push_back(i);
+      }
+      best = std::min(best, prop17ChainObjective(g, subset));
+    }
+    if (solvable) {
+      EXPECT_LE(best, g.threshold + 1e-12) << "set size " << n;
+    } else {
+      EXPECT_GT(best, g.threshold) << "set size " << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsw

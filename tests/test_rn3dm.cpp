@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "src/npc/rn3dm.hpp"
+#include "src/npc/two_partition.hpp"
+
+namespace fsw {
+namespace {
+
+TEST(Rn3dm, PlausibilityConditions) {
+  EXPECT_TRUE((Rn3dmInstance{{2, 4, 6}}.plausible()));   // sum 12 = 3*4
+  EXPECT_FALSE((Rn3dmInstance{{2, 4, 5}}.plausible()));  // sum 11
+  EXPECT_FALSE((Rn3dmInstance{{1, 5, 6}}.plausible()));  // 1 < 2
+  EXPECT_FALSE((Rn3dmInstance{{2, 2, 8}}.plausible()));  // 8 > 6
+}
+
+TEST(Rn3dm, SolvesTrivialInstance) {
+  const Rn3dmInstance inst{{2, 4, 6}};
+  const auto w = solveRn3dm(inst);
+  ASSERT_TRUE(w);
+  EXPECT_TRUE(checkWitness(inst, *w));
+}
+
+TEST(Rn3dm, DetectsUnsolvableInstance) {
+  // n=4, sum 20, but two entries equal to 2 both need lambda1 = lambda2 = 1.
+  const Rn3dmInstance inst{{2, 2, 8, 8}};
+  EXPECT_TRUE(inst.plausible());
+  EXPECT_FALSE(solveRn3dm(inst));
+}
+
+TEST(Rn3dm, ImplausibleInstanceUnsolvable) {
+  EXPECT_FALSE(solveRn3dm(Rn3dmInstance{{2, 4, 5}}));
+}
+
+TEST(Rn3dm, RandomSolvableInstancesAlwaysSolve) {
+  Prng rng(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto inst = randomSolvableRn3dm(3 + trial % 8, rng);
+    EXPECT_TRUE(inst.plausible()) << "trial " << trial;
+    const auto w = solveRn3dm(inst);
+    ASSERT_TRUE(w) << "trial " << trial;
+    EXPECT_TRUE(checkWitness(inst, *w)) << "trial " << trial;
+  }
+}
+
+TEST(Rn3dm, RandomPlausibleInstancesKeepSumCondition) {
+  Prng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto inst = randomPlausibleRn3dm(5, rng);
+    EXPECT_TRUE(inst.plausible()) << "trial " << trial;
+  }
+}
+
+TEST(Rn3dm, CheckWitnessRejectsBadWitnesses) {
+  const Rn3dmInstance inst{{2, 4, 6}};
+  // Wrong sums.
+  EXPECT_FALSE(checkWitness(inst, {{1, 2, 3}, {2, 2, 2}}));
+  // Not a permutation.
+  EXPECT_FALSE(checkWitness(inst, {{1, 1, 3}, {1, 3, 3}}));
+  // Out of range.
+  EXPECT_FALSE(checkWitness(inst, {{0, 2, 3}, {2, 2, 3}}));
+  // Wrong size.
+  EXPECT_FALSE(checkWitness(inst, {{1, 2}, {1, 2}}));
+}
+
+TEST(TwoPartition, FindsEvenSplit) {
+  const auto w = solveTwoPartition({3, 1, 1, 2, 2, 1});  // total 10
+  ASSERT_TRUE(w);
+  std::int64_t sum = 0;
+  const std::vector<std::int64_t> x = {3, 1, 1, 2, 2, 1};
+  for (const auto i : *w) sum += x[i];
+  EXPECT_EQ(sum, 5);
+}
+
+TEST(TwoPartition, OddTotalImpossible) {
+  EXPECT_FALSE(solveTwoPartition({1, 1, 1}));
+}
+
+TEST(TwoPartition, DominantItemImpossible) {
+  EXPECT_FALSE(solveTwoPartition({10, 1, 1}));
+}
+
+TEST(TwoPartition, EmptySetSolvable) {
+  const auto w = solveTwoPartition({});
+  ASSERT_TRUE(w);
+  EXPECT_TRUE(w->empty());
+}
+
+TEST(TwoPartition, NegativeRejected) {
+  EXPECT_FALSE(solveTwoPartition({-1, 1}));
+}
+
+}  // namespace
+}  // namespace fsw

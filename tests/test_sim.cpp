@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "src/core/cost_model.hpp"
+#include "src/sched/inorder.hpp"
+#include "src/sched/overlap.hpp"
+#include "src/sim/greedy.hpp"
+#include "src/sim/replay.hpp"
+#include "src/workload/generator.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace fsw {
+namespace {
+
+TEST(Replay, MeasuredPeriodEqualsLambdaOnValidLists) {
+  Prng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 6;
+    const auto app = randomApplication(spec, rng);
+    const auto g = randomForest(app, rng);
+    const auto ol = overlapPeriodSchedule(app, g);
+    const auto sim = replayOperationList(app, g, ol, CommModel::Overlap, 32);
+    EXPECT_TRUE(sim.ok) << "trial " << trial;
+    EXPECT_NEAR(sim.measuredPeriod, ol.period(), 1e-9) << "trial " << trial;
+    EXPECT_GE(sim.firstLatency, ol.period() - 1e-9);
+    EXPECT_GT(sim.makespan, sim.firstLatency - 1e-9);
+  }
+}
+
+TEST(Replay, HandlesSingleDataSet) {
+  const auto pi = sec23Example();
+  const auto ol = overlapPeriodSchedule(pi.app, pi.graph);
+  const auto sim =
+      replayOperationList(pi.app, pi.graph, ol, CommModel::Overlap, 1);
+  EXPECT_TRUE(sim.ok);
+  EXPECT_DOUBLE_EQ(sim.measuredPeriod, ol.period());
+}
+
+TEST(Replay, ZeroDataSetsReturnsNotOk) {
+  const auto pi = sec23Example();
+  const auto ol = overlapPeriodSchedule(pi.app, pi.graph);
+  const auto sim =
+      replayOperationList(pi.app, pi.graph, ol, CommModel::Overlap, 0);
+  EXPECT_FALSE(sim.ok);
+}
+
+TEST(GreedyInOrder, MatchesBusyBoundOnSingleService) {
+  Application app;
+  app.addService(2.0, 0.5);
+  ExecutionGraph g(1);
+  const auto sim =
+      simulateGreedyInOrder(app, g, PortOrders::canonical(g), 64);
+  ASSERT_TRUE(sim.ok);
+  EXPECT_NEAR(sim.measuredPeriod, 3.5, 1e-9);  // 1 + 2 + 0.5 serialized
+  EXPECT_NEAR(sim.firstLatency, 3.5, 1e-9);
+}
+
+TEST(GreedyInOrder, PeriodAtLeastBusyBound) {
+  Prng rng(42);
+  for (int trial = 0; trial < 8; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 6;
+    const auto app = randomApplication(spec, rng);
+    const auto g = randomForest(app, rng);
+    const auto sim =
+        simulateGreedyInOrder(app, g, PortOrders::canonical(g), 96);
+    ASSERT_TRUE(sim.ok) << "trial " << trial;
+    const CostModel cm(app, g);
+    EXPECT_GE(sim.measuredPeriod,
+              cm.periodLowerBound(CommModel::InOrder) - 1e-6)
+        << "trial " << trial;
+  }
+}
+
+TEST(GreedyInOrder, OrchestratedOrdersHelpOnSec23) {
+  // Greedy with the orchestrator's orders performs at least as well as the
+  // worst order choice.
+  const auto pi = sec23Example();
+  auto po = PortOrders::canonical(pi.graph);
+  po.out[0] = {1, 3};
+  po.in[4] = {3, 2};
+  const auto good = simulateGreedyInOrder(pi.app, pi.graph, po, 96);
+  po.out[0] = {3, 1};
+  po.in[4] = {2, 3};
+  const auto bad = simulateGreedyInOrder(pi.app, pi.graph, po, 96);
+  ASSERT_TRUE(good.ok);
+  ASSERT_TRUE(bad.ok);
+  EXPECT_LE(good.measuredPeriod, bad.measuredPeriod + 1e-9);
+}
+
+TEST(GreedyOutOrder, SingleServiceMatchesBound) {
+  Application app;
+  app.addService(2.0, 0.5);
+  ExecutionGraph g(1);
+  const auto sim = simulateGreedyOutOrder(app, g, 64);
+  ASSERT_TRUE(sim.ok);
+  EXPECT_NEAR(sim.measuredPeriod, 3.5, 1e-9);
+}
+
+TEST(GreedyOutOrder, PeriodAtLeastBusyBound) {
+  Prng rng(43);
+  for (int trial = 0; trial < 8; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 6;
+    const auto app = randomApplication(spec, rng);
+    const auto g = randomForest(app, rng);
+    const auto sim = simulateGreedyOutOrder(app, g, 96);
+    ASSERT_TRUE(sim.ok) << "trial " << trial;
+    const CostModel cm(app, g);
+    EXPECT_GE(sim.measuredPeriod,
+              cm.periodLowerBound(CommModel::OutOrder) - 1e-6)
+        << "trial " << trial;
+  }
+}
+
+TEST(GreedyOutOrder, LatencyAtLeastCriticalPath) {
+  const auto pi = sec23Example();
+  const auto sim = simulateGreedyOutOrder(pi.app, pi.graph, 32);
+  ASSERT_TRUE(sim.ok);
+  const CostModel cm(pi.app, pi.graph);
+  EXPECT_GE(sim.firstLatency, cm.latencyLowerBound() - 1e-9);
+}
+
+}  // namespace
+}  // namespace fsw

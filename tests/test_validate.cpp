@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "src/oplist/validate.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace fsw {
+namespace {
+
+TEST(WrappedOverlap, DisjointWithinPeriod) {
+  EXPECT_FALSE(wrappedOverlap(0, 1, 1, 1, 4));
+  EXPECT_FALSE(wrappedOverlap(1, 1, 0, 1, 4));
+}
+
+TEST(WrappedOverlap, PlainOverlap) {
+  EXPECT_TRUE(wrappedOverlap(0, 2, 1, 2, 10));
+  EXPECT_TRUE(wrappedOverlap(1, 2, 0, 2, 10));
+}
+
+TEST(WrappedOverlap, OverlapAcrossPeriodBoundary) {
+  // [3, 5) mod 4 wraps to [3, 4) + [0, 1): collides with [0, 1)... shifted.
+  EXPECT_TRUE(wrappedOverlap(3, 2, 0.5, 1, 4));
+  EXPECT_TRUE(wrappedOverlap(0.5, 1, 3, 2, 4));
+}
+
+TEST(WrappedOverlap, DistantAbsoluteTimesStillCollideModLambda) {
+  // [0, 1) and [7, 8) mod 7 = [0, 1): collision.
+  EXPECT_TRUE(wrappedOverlap(0, 1, 7, 1, 7));
+  // [0, 1) and [8, 9) mod 7 = [1, 2): fine.
+  EXPECT_FALSE(wrappedOverlap(0, 1, 8, 1, 7));
+}
+
+TEST(WrappedOverlap, TouchingEndpointsDoNotOverlap) {
+  EXPECT_FALSE(wrappedOverlap(0, 3, 3, 4, 7));
+}
+
+TEST(WrappedOverlap, ZeroDurationNeverOverlaps) {
+  EXPECT_FALSE(wrappedOverlap(1, 0, 0, 7, 7));
+  EXPECT_FALSE(wrappedOverlap(0, 7, 1, 0, 7));
+}
+
+TEST(WrappedOverlap, FullPeriodWindowsCollide) {
+  EXPECT_TRUE(wrappedOverlap(0, 7, 3, 1, 7));
+}
+
+TEST(ActiveInstances, SingleInstanceWithinWindow) {
+  EXPECT_EQ(activeInstances(0, 1, 0.5, 4), 1);
+  EXPECT_EQ(activeInstances(0, 1, 1.5, 4), 0);
+}
+
+TEST(ActiveInstances, FullPeriodDurationAlwaysOne) {
+  for (double t : {0.1, 1.0, 2.9, 3.999}) {
+    EXPECT_EQ(activeInstances(1.0, 4.0, t, 4.0), 1) << t;
+  }
+}
+
+TEST(ActiveInstances, LongDurationDoubleCounts) {
+  // Duration 6 in a period of 4: two instances overlap for 2 time units.
+  EXPECT_EQ(activeInstances(0, 6, 1.0, 4), 2);
+  EXPECT_EQ(activeInstances(0, 6, 3.0, 4), 1);
+}
+
+TEST(ActiveInstances, ZeroDuration) {
+  EXPECT_EQ(activeInstances(0, 0, 0.0, 4), 0);
+}
+
+class ValidateFixture : public ::testing::Test {
+ protected:
+  ValidateFixture() : pi_(sec23Example()) {}
+
+  /// A correct OUTORDER-valid lambda-7 list to mutate.
+  OperationList goodOl() const {
+    OperationList ol(5, 7.0);
+    ol.setCalc(0, 1, 5);
+    ol.setCalc(1, 6, 10);
+    ol.setCalc(2, 11, 15);
+    ol.setCalc(3, 8, 12);
+    ol.setCalc(4, 16, 20);
+    ol.setComm(kWorld, 0, 0, 1);
+    ol.setComm(0, 1, 5, 6);
+    ol.setComm(0, 3, 6, 7);
+    ol.setComm(1, 2, 10, 11);
+    ol.setComm(2, 4, 15, 16);
+    ol.setComm(3, 4, 14, 15);
+    ol.setComm(4, kWorld, 20, 21);
+    return ol;
+  }
+
+  PaperInstance pi_;
+};
+
+TEST_F(ValidateFixture, GoodListPasses) {
+  const auto rep = validate(pi_.app, pi_.graph, goodOl(), CommModel::OutOrder);
+  EXPECT_TRUE(rep.valid) << rep.summary();
+}
+
+TEST_F(ValidateFixture, MissingCommunicationFails) {
+  OperationList ol(5, 7.0);
+  // Only computations, no communications at all.
+  for (NodeId i = 0; i < 5; ++i) ol.setCalc(i, 0, 4);
+  const auto rep = validate(pi_.app, pi_.graph, ol, CommModel::OutOrder);
+  EXPECT_FALSE(rep.valid);
+}
+
+TEST_F(ValidateFixture, WrongCalcDurationFails) {
+  auto ol = goodOl();
+  ol.setCalc(0, 1, 4.5);  // Ccomp is 4
+  EXPECT_FALSE(validate(pi_.app, pi_.graph, ol, CommModel::OutOrder).valid);
+}
+
+TEST_F(ValidateFixture, WrongCommDurationFailsOnePort) {
+  auto ol = goodOl();
+  ol.setComm(0, 1, 5, 6.5);  // volume is 1
+  EXPECT_FALSE(validate(pi_.app, pi_.graph, ol, CommModel::OutOrder).valid);
+}
+
+TEST_F(ValidateFixture, CommBeforeCalcEndsFails) {
+  auto ol = goodOl();
+  ol.setComm(0, 1, 4.5, 5.5);  // C1's calc ends at 5
+  EXPECT_FALSE(validate(pi_.app, pi_.graph, ol, CommModel::OutOrder).valid);
+}
+
+TEST_F(ValidateFixture, CalcBeforeCommArrivesFails) {
+  auto ol = goodOl();
+  ol.setCalc(1, 5.5, 9.5);  // C2's input arrives at 6
+  EXPECT_FALSE(validate(pi_.app, pi_.graph, ol, CommModel::OutOrder).valid);
+}
+
+TEST_F(ValidateFixture, NonPositiveLambdaFails) {
+  auto ol = goodOl();
+  ol.setLambda(0.0);
+  EXPECT_FALSE(validate(pi_.app, pi_.graph, ol, CommModel::OutOrder).valid);
+}
+
+TEST_F(ValidateFixture, StretchedCommValidOnlyForOverlap) {
+  auto ol = goodOl();
+  ol.setLambda(21.0);
+  ol.setComm(0, 3, 6, 8);  // duration 2 > volume 1: ratio 1/2
+  ol.setCalc(3, 8, 12);
+  EXPECT_TRUE(validate(pi_.app, pi_.graph, ol, CommModel::Overlap).valid);
+  EXPECT_FALSE(validate(pi_.app, pi_.graph, ol, CommModel::OutOrder).valid);
+  EXPECT_FALSE(validate(pi_.app, pi_.graph, ol, CommModel::InOrder).valid);
+}
+
+TEST_F(ValidateFixture, OverlapBandwidthViolationDetected) {
+  // Two incoming size-1 transfers squeezed into the same [15,16) window at
+  // C5 exceed the unit capacity.
+  auto ol = goodOl();
+  ol.setLambda(21.0);
+  ol.setComm(3, 4, 15, 16);
+  ol.setComm(2, 4, 15, 16);
+  const auto rep = validate(pi_.app, pi_.graph, ol, CommModel::Overlap);
+  EXPECT_FALSE(rep.valid);
+}
+
+TEST_F(ValidateFixture, OnePortOverlapHybridRules) {
+  // Calc/comm overlap allowed, comm/comm on one port not.
+  OperationList ol(5, 21.0);
+  ol.setCalc(0, 1, 5);
+  ol.setCalc(1, 6, 10);
+  ol.setCalc(2, 11, 15);
+  ol.setCalc(3, 7, 11);
+  ol.setCalc(4, 16, 20);
+  ol.setComm(kWorld, 0, 0, 1);
+  ol.setComm(0, 1, 5, 6);
+  ol.setComm(0, 3, 6, 7);
+  ol.setComm(1, 2, 10, 11);
+  ol.setComm(2, 4, 15, 16);
+  ol.setComm(3, 4, 11, 12);
+  ol.setComm(4, kWorld, 20, 21);
+  EXPECT_TRUE(validateOnePortOverlap(pi_.app, pi_.graph, ol).valid);
+  // Colliding sends on C1's out port fail.
+  ol.setComm(0, 3, 5.5, 6.5);
+  EXPECT_FALSE(validateOnePortOverlap(pi_.app, pi_.graph, ol).valid);
+}
+
+TEST_F(ValidateFixture, ReportSummariesAreInformative) {
+  auto ol = goodOl();
+  ol.setCalc(0, 1, 4.0);
+  const auto rep = validate(pi_.app, pi_.graph, ol, CommModel::OutOrder);
+  ASSERT_FALSE(rep.valid);
+  EXPECT_NE(rep.summary().find("calc C1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fsw

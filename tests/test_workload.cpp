@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "src/workload/generator.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace fsw {
+namespace {
+
+TEST(Generator, RandomApplicationMatchesSpec) {
+  Prng rng(1);
+  WorkloadSpec spec;
+  spec.n = 50;
+  spec.costLo = 1.0;
+  spec.costHi = 2.0;
+  spec.filterFraction = 1.0;
+  const auto app = randomApplication(spec, rng);
+  EXPECT_EQ(app.size(), 50u);
+  for (NodeId i = 0; i < app.size(); ++i) {
+    EXPECT_GE(app.service(i).cost, 1.0);
+    EXPECT_LT(app.service(i).cost, 2.0);
+    EXPECT_LT(app.service(i).selectivity, 1.0);
+  }
+}
+
+TEST(Generator, ExpanderOnlySpec) {
+  Prng rng(2);
+  WorkloadSpec spec;
+  spec.n = 30;
+  spec.filterFraction = 0.0;
+  const auto app = randomApplication(spec, rng);
+  for (NodeId i = 0; i < app.size(); ++i) {
+    EXPECT_GE(app.service(i).selectivity, 1.0);
+  }
+}
+
+TEST(Generator, PrecedenceDensityCreatesDag) {
+  Prng rng(3);
+  WorkloadSpec spec;
+  spec.n = 10;
+  spec.precedenceDensity = 0.5;
+  const auto app = randomApplication(spec, rng);
+  EXPECT_TRUE(app.hasPrecedences());
+  EXPECT_NO_THROW(app.topologicalOrder());
+}
+
+TEST(Generator, RandomForestIsForestAndRespects) {
+  Prng rng(4);
+  WorkloadSpec spec;
+  spec.n = 12;
+  spec.precedenceDensity = 0.1;
+  const auto app = randomApplication(spec, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = randomForest(app, rng);
+    EXPECT_TRUE(g.isForest());
+    EXPECT_TRUE(g.respects(app));
+  }
+}
+
+TEST(Generator, LayeredDagHasExpectedDepth) {
+  Prng rng(5);
+  WorkloadSpec spec;
+  spec.n = 12;
+  const auto app = randomApplication(spec, rng);
+  const auto g = randomLayeredDag(app, 4, 2, rng);
+  EXPECT_NO_THROW(g.topologicalOrder());
+  // First-layer nodes are entries; last-layer nodes have predecessors.
+  EXPECT_TRUE(g.isEntry(0));
+  EXPECT_FALSE(g.predecessors(11).empty());
+}
+
+TEST(Generator, ForkJoinShape) {
+  const auto g = forkJoinGraph(6);
+  EXPECT_EQ(g.successors(0).size(), 4u);
+  EXPECT_EQ(g.predecessors(5).size(), 4u);
+  EXPECT_THROW(forkJoinGraph(2), std::invalid_argument);
+}
+
+TEST(PaperInstances, Sec23Shape) {
+  const auto pi = sec23Example();
+  EXPECT_EQ(pi.app.size(), 5u);
+  EXPECT_EQ(pi.graph.edgeCount(), 5u);
+  EXPECT_TRUE(pi.graph.hasEdge(0, 1));
+  EXPECT_TRUE(pi.graph.hasEdge(3, 4));
+}
+
+TEST(PaperInstances, B1Shape) {
+  const auto pi = counterexampleB1();
+  EXPECT_EQ(pi.app.size(), 202u);
+  EXPECT_EQ(pi.graph.successors(0).size(), 100u);
+  EXPECT_EQ(pi.graph.successors(1).size(), 100u);
+  const auto chain = counterexampleB1ChainGraph();
+  EXPECT_EQ(chain.successors(1).size(), 200u);
+}
+
+TEST(PaperInstances, B2EveryReceiverHasSizes123) {
+  const auto pi = counterexampleB2();
+  for (NodeId r = 6; r < 12; ++r) {
+    double sum = 0.0;
+    for (const NodeId p : pi.graph.predecessors(r)) {
+      sum += pi.app.service(p).selectivity;
+    }
+    EXPECT_DOUBLE_EQ(sum, 6.0) << "receiver " << r;
+    EXPECT_EQ(pi.graph.predecessors(r).size(), 3u);
+  }
+  // Sender degrees: 6, 3, 3, 2, 2, 2.
+  EXPECT_EQ(pi.graph.successors(0).size(), 6u);
+  EXPECT_EQ(pi.graph.successors(1).size(), 3u);
+  EXPECT_EQ(pi.graph.successors(3).size(), 2u);
+}
+
+TEST(PaperInstances, B3SenderDegrees) {
+  const auto pi = counterexampleB3();
+  EXPECT_EQ(pi.graph.successors(0).size(), 4u);
+  EXPECT_EQ(pi.graph.successors(1).size(), 4u);
+  EXPECT_EQ(pi.graph.successors(2).size(), 3u);
+  EXPECT_EQ(pi.graph.successors(3).size(), 3u);
+}
+
+}  // namespace
+}  // namespace fsw
