@@ -2,10 +2,19 @@
 // the heuristic portfolio on random instances — solution quality at small n
 // (where exactness is affordable, per Prop 4's forest structure) and wall
 // time as n grows.
+//
+// E7c measures the parallel plan-search engine: the same optimizePlan call
+// with the shared thread pool vs fully serial (`--serial` forces every
+// registered benchmark into serial mode so two runs of this binary can be
+// compared externally; without the flag the table below times both modes
+// in-process and checks the winners are identical).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
+#include "bench/bench_util.hpp"
 #include "src/core/cost_model.hpp"
 #include "src/opt/forest_search.hpp"
 #include "src/opt/heuristics.hpp"
@@ -15,6 +24,19 @@
 namespace {
 
 using namespace fsw;
+
+bool g_serial = false;  ///< --serial: force every benchmark serial
+
+OptimizerOptions engineOptions(std::size_t n) {
+  OptimizerOptions opt;
+  opt.exactForestMaxN = n <= 5 ? 5 : 0;
+  opt.heuristics.iterations = 800;
+  opt.orchestrator.order.exactCap = 100;
+  opt.orchestrator.order.localSearchIters = 120;
+  opt.orchestrator.outorder.restarts = 8;
+  opt.threads = g_serial ? 1 : 0;
+  return opt;
+}
 
 void printQualityTable() {
   std::printf("E7: heuristic vs exact forest search, OVERLAP MinPeriod\n");
@@ -61,6 +83,48 @@ void printQualityTable() {
                 score(g1), score(g3));
   }
   std::printf("\n");
+}
+
+/// E7c: engine wall-clock, pooled vs serial, with a winner-identity check.
+/// Returns false when any pooled winner diverged from the serial one, so
+/// CI can gate on the exit code.
+[[nodiscard]] bool printEngineSpeedupTable() {
+  bool allIdentical = true;
+  std::printf("E7c: parallel engine speedup (%u hardware threads)\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-4s %-10s %-12s %-12s %-9s %-9s\n", "n", "model",
+              "serial[ms]", "pooled[ms]", "speedup", "identical");
+  for (const std::size_t n : {12u, 16u}) {
+    Prng rng(7400 + n);
+    WorkloadSpec spec;
+    spec.n = n;
+    const auto app = randomApplication(spec, rng);
+    for (const CommModel m : {CommModel::Overlap, CommModel::InOrder}) {
+      OptimizerOptions serial = engineOptions(n);
+      serial.threads = 1;
+      OptimizerOptions pooled = engineOptions(n);
+      pooled.threads = 0;
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto rs = optimizePlan(app, m, Objective::Period, serial);
+      const auto t1 = std::chrono::steady_clock::now();
+      const auto rp = optimizePlan(app, m, Objective::Period, pooled);
+      const auto t2 = std::chrono::steady_clock::now();
+
+      const double serialMs =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      const double pooledMs =
+          std::chrono::duration<double, std::milli>(t2 - t1).count();
+      const bool identical =
+          rs.value == rp.value && rs.strategy == rp.strategy;
+      allIdentical = allIdentical && identical;
+      std::printf("%-4zu %-10s %-12.1f %-12.1f %-9.2fx %-9s\n", n,
+                  name(m).data(), serialMs, pooledMs, serialMs / pooledMs,
+                  identical ? "yes" : "NO!");
+    }
+  }
+  std::printf("\n");
+  return allIdentical;
 }
 
 void BM_ExactForestSearch(benchmark::State& state) {
@@ -111,23 +175,28 @@ void BM_FullOptimizer(benchmark::State& state) {
   WorkloadSpec spec;
   spec.n = n;
   const auto app = randomApplication(spec, rng);
-  OptimizerOptions opt;
+  OptimizerOptions opt = engineOptions(n);
   opt.exactForestMaxN = 5;
-  opt.heuristics.iterations = 800;
-  opt.orchestrator.order.exactCap = 100;
   opt.orchestrator.outorder.restarts = 4;
   for (auto _ : state) {
     auto r = optimizePlan(app, CommModel::Overlap, Objective::Period, opt);
     benchmark::DoNotOptimize(r.value);
   }
 }
-BENCHMARK(BM_FullOptimizer)->DenseRange(4, 8, 2);
+BENCHMARK(BM_FullOptimizer)->DenseRange(4, 8, 2)->Arg(12)->Arg(16);
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_serial = fswbench::stripFlag(argc, argv, "--serial");
   printQualityTable();
+  bool identical = true;
+  if (g_serial) {
+    std::printf("(--serial: engine pool disabled for all benchmarks)\n\n");
+  } else {
+    identical = printEngineSpeedupTable();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return identical ? 0 : 1;
 }

@@ -3,10 +3,19 @@
 // (order enumeration) is exponential in the port degrees; the heuristic's
 // gap to the busy-time lower bound quantifies what the NP-hardness costs in
 // practice.
+//
+// E5b measures the pooled order search: the exact enumeration and the
+// seeded local-search restarts fan their constraint-system solves out over
+// the shared thread pool and must return the serial result bit-identically.
+// `--serial` forces every registered benchmark into serial mode.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
+#include "bench/bench_util.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/core/cost_model.hpp"
 #include "src/sched/inorder.hpp"
 #include "src/sched/overlap.hpp"
@@ -15,6 +24,12 @@
 namespace {
 
 using namespace fsw;
+
+bool g_serial = false;  ///< --serial: force every benchmark serial
+
+ThreadPool* benchPool() {
+  return g_serial ? nullptr : &ThreadPool::shared();
+}
 
 Application makeApp(std::size_t n, std::uint64_t seed) {
   Prng rng(seed);
@@ -37,9 +52,11 @@ void printGapTable() {
     const CostModel cm(app, g);
     OrchestrationOptions exact;
     exact.exactCap = 2000000;
+    exact.pool = benchPool();
     OrchestrationOptions heur;
     heur.exactCap = 1;  // force the heuristic path
     heur.localSearchIters = 100;
+    heur.pool = benchPool();
     const auto re = inorderOrchestratePeriod(app, g, exact);
     const auto rh = inorderOrchestratePeriod(app, g, heur);
     std::printf("%-4zu %-10.4f %-10.4f %-10.4f %-10zu\n", n,
@@ -47,6 +64,46 @@ void printGapTable() {
                 countPortOrders(g, 2000000));
   }
   std::printf("\n");
+}
+
+/// E5b: pooled vs serial order search on one fixed execution graph.
+/// Returns false when any pooled result diverged from the serial one.
+[[nodiscard]] bool printOrderSearchSpeedupTable() {
+  bool allIdentical = true;
+  std::printf("E5b: pooled order search speedup (%u hardware threads)\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-4s %-12s %-12s %-12s %-9s %-9s\n", "n", "path",
+              "serial[ms]", "pooled[ms]", "speedup", "identical");
+  for (const std::size_t n : {5u, 6u}) {
+    Prng rng(7500 + n);
+    const auto app = makeApp(n, 7500 + n);
+    const auto g = randomLayeredDag(app, 2, 3, rng);
+    for (const bool exactPath : {true, false}) {
+      OrchestrationOptions serial;
+      serial.exactCap = exactPath ? 2000000 : 1;
+      serial.localSearchIters = 300;
+      OrchestrationOptions pooled = serial;
+      pooled.pool = &ThreadPool::shared();
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto rs = inorderOrchestratePeriod(app, g, serial);
+      const auto t1 = std::chrono::steady_clock::now();
+      const auto rp = inorderOrchestratePeriod(app, g, pooled);
+      const auto t2 = std::chrono::steady_clock::now();
+
+      const double serialMs =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      const double pooledMs =
+          std::chrono::duration<double, std::milli>(t2 - t1).count();
+      allIdentical = allIdentical && rs.value == rp.value;
+      std::printf("%-4zu %-12s %-12.1f %-12.1f %-9.2fx %-9s\n", n,
+                  exactPath ? "exact" : "local-search", serialMs, pooledMs,
+                  serialMs / pooledMs,
+                  rs.value == rp.value ? "yes" : "NO!");
+    }
+  }
+  std::printf("\n");
+  return allIdentical;
 }
 
 void BM_OverlapOrchestration(benchmark::State& state) {
@@ -69,6 +126,7 @@ void BM_InorderExactOrchestration(benchmark::State& state) {
   const auto g = randomLayeredDag(app, 2, 2, rng);
   OrchestrationOptions opt;
   opt.exactCap = 200000;
+  opt.pool = benchPool();
   for (auto _ : state) {
     auto r = inorderOrchestratePeriod(app, g, opt);
     benchmark::DoNotOptimize(r.value);
@@ -84,6 +142,7 @@ void BM_InorderHeuristicOrchestration(benchmark::State& state) {
   OrchestrationOptions opt;
   opt.exactCap = 1;
   opt.localSearchIters = 50;
+  opt.pool = benchPool();
   for (auto _ : state) {
     auto r = inorderOrchestratePeriod(app, g, opt);
     benchmark::DoNotOptimize(r.value);
@@ -94,8 +153,15 @@ BENCHMARK(BM_InorderHeuristicOrchestration)->RangeMultiplier(2)->Range(8, 32);
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_serial = fswbench::stripFlag(argc, argv, "--serial");
   printGapTable();
+  bool identical = true;
+  if (g_serial) {
+    std::printf("(--serial: order-search pool disabled for all benchmarks)\n\n");
+  } else {
+    identical = printOrderSearchSpeedupTable();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return identical ? 0 : 1;
 }

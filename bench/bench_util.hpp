@@ -1,0 +1,21 @@
+// Shared scaffolding for the benchmark mains.
+#pragma once
+
+#include <cstring>
+
+namespace fswbench {
+
+/// Removes `flag` from argv (so benchmark::Initialize never sees it) and
+/// returns whether it was present.
+inline bool stripFlag(int& argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace fswbench

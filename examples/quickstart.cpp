@@ -25,16 +25,28 @@ int main() {
 
   std::printf("quickstart: %zu services\n\n", app.size());
 
+  // The plan-search engine fans candidate generation and orchestration out
+  // over the shared thread pool by default; threads = 1 forces a serial run
+  // with bit-identical results.
+  OptimizerOptions engine;
+  engine.threads = 0;
+
   for (const CommModel m : kAllModels) {
-    // optimizePlan picks the execution graph (which service filters whose
-    // input) and the cyclic operation list minimizing the period.
-    const OptimizedPlan best = optimizePlan(app, m, Objective::Period);
+    // optimizePlan asks every registered CandidateSource for execution
+    // graphs (which service filters whose input), dedups them, and
+    // orchestrates the best-scoring ones into a cyclic operation list.
+    const OptimizedPlan best = optimizePlan(app, m, Objective::Period, engine);
     const auto report = validate(app, best.plan.graph, best.plan.ol, m);
     const auto sim =
         replayOperationList(app, best.plan.graph, best.plan.ol, m, 48);
     std::printf("%s: period %.4f (strategy: %s, %s, simulated %.4f)\n",
                 name(m).data(), best.value, best.strategy.c_str(),
                 report.valid ? "valid" : "INVALID", sim.measuredPeriod);
+    std::printf("   engine: %zu sources -> %zu proposals, %zu unique "
+                "(%zu dedup hits), %zu orchestrated\n",
+                best.stats.sourcesRun, best.stats.generated,
+                best.stats.unique, best.stats.duplicates,
+                best.stats.orchestrated);
   }
 
   // Latency (response time) optimization usually picks a different plan.

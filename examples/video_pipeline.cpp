@@ -11,6 +11,7 @@
 #include "src/core/application.hpp"
 #include "src/core/cost_model.hpp"
 #include "src/oplist/validate.hpp"
+#include "src/opt/candidate.hpp"
 #include "src/opt/optimizer.hpp"
 #include "src/sched/orchestrator.hpp"
 #include "src/sim/replay.hpp"
@@ -56,15 +57,18 @@ int main() {
               "%.4f)\n",
               lat.result.value, cm.latencyLowerBound());
 
-  // Can extra filtering edges beat the precedence DAG? Let the optimizer
-  // search plans whose closure still contains the precedences.
+  // Can extra filtering edges beat the precedence DAG? Let the engine
+  // search plans whose closure still contains the precedences (candidate
+  // sources that need an unconstrained application, like the chain
+  // greedies, drop out of the portfolio automatically).
   const auto best = optimizePlan(app, CommModel::Overlap, Objective::Period);
   std::printf("\nbest OVERLAP plan found: period %.4f (DAG as-is: %.4f, "
-              "strategy %s)\n",
+              "strategy %s; %zu/%zu sources applicable)\n",
               best.value,
               orchestrate(app, g, CommModel::Overlap, Objective::Period)
                   .result.value,
-              best.strategy.c_str());
+              best.strategy.c_str(), best.stats.sourcesRun,
+              CandidateRegistry::builtin().size());
   const auto rep = validate(app, best.plan.graph, best.plan.ol,
                             CommModel::Overlap);
   std::printf("plan validity: %s\n", rep.valid ? "valid" : "INVALID");

@@ -45,6 +45,7 @@ int main() {
 
   OptimizerOptions opt;
   opt.exactForestMaxN = 7;
+  opt.threads = 0;  // plan search runs on the shared engine pool
   for (const CommModel m : kAllModels) {
     const auto best = optimizePlan(app, m, Objective::Period, opt);
     std::printf("%-9s comm-aware plan: period %.4f (throughput %.4f "

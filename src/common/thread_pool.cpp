@@ -1,0 +1,108 @@
+#include "src/common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace fsw {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::runOneTask() {
+  std::function<void()> task;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+void parallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || pool->threadCount() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex errorMu;
+  };
+  auto shared = std::make_shared<Shared>();
+
+  auto drain = [shared, n, &fn] {
+    for (;;) {
+      const std::size_t i = shared->next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        if (!shared->failed.load()) fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(shared->errorMu);
+        if (!shared->failed.exchange(true)) {
+          shared->error = std::current_exception();
+        }
+      }
+      shared->done.fetch_add(1);
+    }
+  };
+
+  const std::size_t helpers = std::min(pool->threadCount(), n - 1);
+  for (std::size_t t = 0; t < helpers; ++t) pool->submit(drain);
+  drain();  // the caller participates
+  // All indices are claimed; help with unrelated queued work (possibly the
+  // inner loops of our own still-running fn calls) until every fn returned.
+  while (shared->done.load() < n) {
+    if (!pool->runOneTask()) std::this_thread::yield();
+  }
+  if (shared->failed.load()) std::rethrow_exception(shared->error);
+}
+
+}  // namespace fsw

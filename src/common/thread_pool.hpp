@@ -1,0 +1,82 @@
+// A small fixed-size thread pool plus deterministic parallel-for/map
+// helpers — the execution substrate of the plan-search engine.
+//
+// Design constraints, in order:
+//   1. Determinism: parallelMap writes result i to slot i, so reductions
+//      over the output vector are independent of execution interleaving.
+//      Every search in this library reduces with explicit index-ordered
+//      tie-breaks, which makes pooled and serial runs bit-identical.
+//   2. Nesting safety: a task blocked in parallelFor *helps* by draining
+//      the shared queue instead of sleeping, so the optimizer facade can
+//      fan orchestrations out while each orchestration fans its own order
+//      enumeration out, without deadlocking a fixed-size pool.
+//   3. No work stealing, no per-thread deques: a single mutex-guarded
+//      queue is plenty for the coarse-grained tasks (candidate generation,
+//      constraint-system solves) this engine schedules.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fsw {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t threadCount() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a task for execution on some worker.
+  void submit(std::function<void()> task);
+
+  /// Runs one queued task on the calling thread if any is pending.
+  /// Returns false when the queue was empty. Used by blocked callers to
+  /// help instead of sleeping (nesting safety).
+  bool runOneTask();
+
+  /// Process-wide pool sized to the hardware, created on first use.
+  static ThreadPool& shared();
+
+ private:
+  void workerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// Invokes fn(i) for every i in [0, n), distributing the calls over the
+/// pool's workers plus the calling thread, and blocks until all complete.
+/// With a null pool (or a single-threaded one, or n <= 1) the loop runs
+/// serially on the caller — the canonical "--serial" escape hatch. The
+/// first exception thrown by any fn(i) is rethrown on the caller.
+void parallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+/// Deterministic map: out[i] = fn(i), computed over the pool. Result order
+/// depends only on the index, never on scheduling.
+template <typename T, typename Fn>
+[[nodiscard]] std::vector<T> parallelMap(ThreadPool* pool, std::size_t n,
+                                         Fn&& fn) {
+  std::vector<T> out(n);
+  parallelFor(pool, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace fsw

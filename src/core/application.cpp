@@ -28,6 +28,11 @@ void Application::addPrecedence(NodeId from, NodeId to) {
   if (from == to) {
     throw std::invalid_argument("addPrecedence: self-loop");
   }
+  for (const NodeId v : precSucc_[from]) {
+    if (v == to) {
+      throw std::invalid_argument("addPrecedence: duplicate edge");
+    }
+  }
   if (reachable(to, from)) {
     throw std::invalid_argument("addPrecedence: edge would create a cycle");
   }

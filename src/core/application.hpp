@@ -32,7 +32,8 @@ class Application {
   NodeId addService(double cost, double selectivity, std::string name = "");
 
   /// Adds a precedence constraint C_from -> C_to. Throws std::invalid_argument
-  /// on out-of-range ids, self-loops, or if the edge would create a cycle.
+  /// on out-of-range ids, self-loops, duplicate edges, or if the edge would
+  /// create a cycle.
   void addPrecedence(NodeId from, NodeId to);
 
   [[nodiscard]] std::size_t size() const noexcept { return services_.size(); }

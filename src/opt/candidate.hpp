@@ -1,0 +1,129 @@
+// The pluggable candidate layer of the plan-search engine.
+//
+// Every way of proposing execution graphs — the polynomial chain greedies
+// (Prop 8 / Prop 16), the no-communication baseline of [1], the forest
+// heuristics, the exact forest enumeration (Prop 4) — implements one
+// interface, CandidateSource, and registers in a CandidateRegistry. The
+// optimizer facade no longer hard-codes its portfolio: it asks the registry
+// for applicable sources, fans their generation out over a thread pool, and
+// dedups/score-memoizes the proposals through a CandidateCache keyed by a
+// canonical ExecutionGraph signature. New search strategies (future PRs:
+// beam search, cost-bounded pruning, learned proposers) plug in by
+// registering a source — no facade changes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/application.hpp"
+#include "src/core/execution_graph.hpp"
+#include "src/core/model.hpp"
+#include "src/opt/heuristics.hpp"
+
+namespace fsw {
+
+/// Everything a source may consult when proposing graphs.
+struct CandidateContext {
+  const Application& app;
+  CommModel model;
+  Objective objective;
+  std::size_t exactForestMaxN = 6;  ///< exhaustive forest search cutoff
+  HeuristicOptions heuristics{};
+};
+
+/// A named generator of candidate execution graphs. Implementations must be
+/// deterministic functions of the context (all randomness seeded from
+/// `heuristics.seed`) and safe to call concurrently with other sources.
+class CandidateSource {
+ public:
+  virtual ~CandidateSource() = default;
+
+  /// Stable identifier; doubles as the winning plan's `strategy` label and
+  /// as a deterministic tie-break key, so keep names unique and meaningful.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Whether this source can propose anything for the context (e.g. the
+  /// chain greedies require an application without precedences).
+  [[nodiscard]] virtual bool applicable(const CandidateContext& ctx) const;
+
+  /// Proposes zero or more candidate graphs. Graphs that do not respect the
+  /// application are discarded by the engine, so sources may be optimistic.
+  [[nodiscard]] virtual std::vector<ExecutionGraph> generate(
+      const CandidateContext& ctx) const = 0;
+};
+
+/// An ordered collection of sources. Registration order is part of the
+/// engine's deterministic tie-break (earlier sources win ties), so the
+/// built-in order is fixed and extensions append.
+class CandidateRegistry {
+ public:
+  CandidateRegistry() = default;
+  CandidateRegistry(CandidateRegistry&&) = default;
+  CandidateRegistry& operator=(CandidateRegistry&&) = default;
+
+  /// Appends a source. Throws std::invalid_argument on a duplicate name.
+  void add(std::unique_ptr<CandidateSource> source);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<CandidateSource>>& sources()
+      const noexcept {
+    return sources_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return sources_.size(); }
+
+  /// The source with the given name, or nullptr.
+  [[nodiscard]] const CandidateSource* find(std::string_view name) const;
+
+  /// The immutable built-in portfolio: chain-greedy, no-comm-baseline,
+  /// greedy-forest, hill-climb, anneal, exact-forest (in that order).
+  static const CandidateRegistry& builtin();
+
+  /// A fresh copy of the built-in portfolio that callers may extend.
+  static CandidateRegistry makeBuiltin();
+
+ private:
+  std::vector<std::unique_ptr<CandidateSource>> sources_;
+};
+
+/// Canonical signature of an execution graph: node count plus the sorted
+/// edge list. Two graphs have equal signatures iff they are equal, so the
+/// signature is a sound memoization key.
+[[nodiscard]] std::string graphSignature(const ExecutionGraph& g);
+
+/// Thread-safe dedup + surrogate-score memo for one optimizer run. All
+/// methods may be called concurrently from pool workers; counters are only
+/// exact once the parallel region has joined.
+class CandidateCache {
+ public:
+  struct Stats {
+    std::size_t unique = 0;      ///< distinct signatures admitted
+    std::size_t duplicates = 0;  ///< proposals rejected as already seen
+    std::size_t scoreHits = 0;   ///< surrogate evaluations served from memo
+    std::size_t scoreMisses = 0; ///< surrogate evaluations computed
+  };
+
+  /// True exactly once per distinct signature (the caller keeps the
+  /// candidate); false for every later duplicate.
+  [[nodiscard]] bool admit(const std::string& signature);
+
+  /// Memoized surrogateScore(app, g, model, objective) keyed by signature.
+  [[nodiscard]] double surrogate(const std::string& signature,
+                                 const Application& app,
+                                 const ExecutionGraph& g, CommModel m,
+                                 Objective obj);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, double> scores_;
+  std::unordered_set<std::string> seen_;
+  Stats stats_{};
+};
+
+}  // namespace fsw

@@ -150,13 +150,21 @@ ExecutionGraph hillClimbForest(const Application& app, CommModel m,
 ExecutionGraph annealForest(const Application& app, CommModel m, Objective obj,
                             const HeuristicOptions& opt) {
   const std::size_t n = app.size();
-  Prng rng(opt.seed);
-  std::vector<NodeId> bestParent = respectingSeed(app);
-  double bestScore = scoreParents(app, bestParent, m, obj);
+  const std::vector<NodeId> seedParent = respectingSeed(app);
+  const double seedScore = scoreParents(app, seedParent, m, obj);
 
-  for (std::size_t restart = 0; restart < opt.restarts; ++restart) {
-    std::vector<NodeId> parent = restart == 0 ? bestParent : respectingSeed(app);
-    double score = scoreParents(app, parent, m, obj);
+  struct Chain {
+    std::vector<NodeId> parent;
+    double score = 0.0;
+  };
+
+  // One annealing chain: a pure function of its restart index (PRNG derived
+  // from seed + restart), so chains fan out over the pool and reproduce.
+  auto runChain = [&](std::size_t restart) -> Chain {
+    Prng rng(opt.seed + restart);
+    std::vector<NodeId> parent = seedParent;
+    double score = seedScore;
+    Chain best{parent, score};
     double temp = opt.initialTemperature * std::max(score, 1.0);
     const double cooling =
         std::pow(1e-4, 1.0 / static_cast<double>(opt.iterations));
@@ -181,16 +189,25 @@ ExecutionGraph annealForest(const Application& app, CommModel m, Objective obj,
       if (delta <= 0.0 ||
           (temp > 1e-12 && rng.uniform() < std::exp(-delta / temp))) {
         score = s;
-        if (score < bestScore) {
-          bestScore = score;
-          bestParent = parent;
+        if (score < best.score) {
+          best.score = score;
+          best.parent = parent;
         }
       } else {
         parent[v] = old;
       }
     }
+    return best;
+  };
+
+  const std::size_t restarts = std::max<std::size_t>(1, opt.restarts);
+  const auto chains = parallelMap<Chain>(opt.pool, restarts, runChain);
+  // Deterministic reduce: lowest score, ties to the lowest restart index.
+  const Chain* best = &chains.front();
+  for (const Chain& c : chains) {
+    if (c.score < best->score) best = &c;
   }
-  return ExecutionGraph::fromParents(bestParent);
+  return ExecutionGraph::fromParents(best->parent);
 }
 
 }  // namespace fsw

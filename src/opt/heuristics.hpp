@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "src/common/thread_pool.hpp"
 #include "src/core/application.hpp"
 #include "src/core/execution_graph.hpp"
 #include "src/core/model.hpp"
@@ -20,7 +21,11 @@ struct HeuristicOptions {
   std::size_t restarts = 4;
   std::size_t iterations = 4000;    ///< annealing steps per restart
   double initialTemperature = 1.0;  ///< relative to the initial score
+  /// Restart r anneals with a PRNG derived from `seed` + r: restarts are
+  /// independent chains that fan out over `pool` (nullptr = serial) and
+  /// reduce deterministically (lowest score, then lowest restart index).
   std::uint64_t seed = 1;
+  ThreadPool* pool = nullptr;
 };
 
 /// Greedy insertion: services are added one by one (filters by ascending

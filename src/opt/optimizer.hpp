@@ -1,16 +1,26 @@
-// Facade for the full MinPeriod / MinLatency problems: generate candidate
-// execution graphs (chain greedies, no-comm baseline, greedy forest, hill
-// climbing, annealing, exact forest search when n is small), orchestrate
-// the best candidates under the target model, and return the best *valid*
-// plan found together with its achieved objective.
+// Facade for the full MinPeriod / MinLatency problems, built on the
+// parallel plan-search engine:
+//
+//   1. every applicable CandidateSource in the registry proposes execution
+//      graphs (fanned out over the thread pool);
+//   2. proposals are deduplicated and surrogate-scored once per canonical
+//      graph signature through a CandidateCache;
+//   3. the top-K survivors are orchestrated under the target model (again
+//      over the pool, with the order search itself pooled underneath);
+//   4. a deterministic reduce — lowest value, then strategy name, then
+//      proposal order — picks the winner, so pooled and serial runs return
+//      identical plans.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
+#include "src/common/thread_pool.hpp"
 #include "src/core/application.hpp"
 #include "src/core/model.hpp"
-#include "src/opt/heuristics.hpp"
 #include "src/oplist/plan.hpp"
+#include "src/opt/candidate.hpp"
+#include "src/opt/heuristics.hpp"
 #include "src/sched/orchestrator.hpp"
 
 namespace fsw {
@@ -18,15 +28,33 @@ namespace fsw {
 struct OptimizerOptions {
   std::size_t exactForestMaxN = 6;  ///< exhaustive forest search cutoff
   std::size_t orchestrateTop = 3;   ///< candidates handed to the orchestrator
+  /// Degree of parallelism: 1 forces a fully serial run (the benchmarks'
+  /// --serial mode); any other value uses `pool` when set and otherwise the
+  /// process-wide ThreadPool::shared(). Results are identical either way.
+  std::size_t threads = 0;
+  ThreadPool* pool = nullptr;  ///< explicit pool override (not owned)
+  /// Candidate portfolio; nullptr = CandidateRegistry::builtin().
+  const CandidateRegistry* registry = nullptr;
   HeuristicOptions heuristics{};
   OrchestratorOptions orchestrator{};
+};
+
+/// Observability counters for one engine run.
+struct EngineStats {
+  std::size_t sourcesRun = 0;     ///< applicable sources invoked
+  std::size_t generated = 0;      ///< graphs proposed (pre-filter)
+  std::size_t unique = 0;         ///< distinct signatures after dedup
+  std::size_t duplicates = 0;     ///< proposals dropped by the dedup cache
+  std::size_t scoreCacheHits = 0; ///< surrogate scores served from the memo
+  std::size_t orchestrated = 0;   ///< candidates fully orchestrated
 };
 
 struct OptimizedPlan {
   Plan plan;
   double value = 0.0;          ///< achieved period or latency
   double surrogate = 0.0;      ///< the candidate's surrogate score
-  std::string strategy;        ///< which candidate generator won
+  std::string strategy;        ///< which candidate source won
+  EngineStats stats{};
 };
 
 /// Solves MinPeriod or MinLatency for (app, m) heuristically (exactly for

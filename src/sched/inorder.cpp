@@ -1,9 +1,11 @@
 #include "src/sched/inorder.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <map>
 #include <utility>
+#include <vector>
 
 #include "src/common/prng.hpp"
 #include "src/core/cost_model.hpp"
@@ -122,39 +124,21 @@ OrchestrationResult betterOf(OrchestrationResult a, OrchestrationResult b) {
 using ForOrdersFn = std::optional<OrchestrationResult> (*)(
     const Application&, const ExecutionGraph&, const PortOrders&);
 
-/// Shared order-search driver for period and latency objectives.
-OrchestrationResult searchOrders(const Application& app,
-                                 const ExecutionGraph& graph,
-                                 const OrchestrationOptions& opt,
-                                 ForOrdersFn evalOrders) {
-  OrchestrationResult best;
-  best.value = std::numeric_limits<double>::infinity();
-
-  const std::size_t combos = countPortOrders(graph, opt.exactCap);
-  if (combos < opt.exactCap) {
-    forEachPortOrders(graph, opt.exactCap, [&](const PortOrders& po) {
-      if (auto r = evalOrders(app, graph, po)) {
-        best = betterOf(std::move(best), std::move(*r));
-      }
-      return true;
-    });
-    return best;
-  }
-
-  for (const PortOrders& start :
-       {PortOrders::heuristic(app, graph), PortOrders::canonical(graph)}) {
-    if (auto r = evalOrders(app, graph, start)) {
-      best = betterOf(std::move(best), std::move(*r));
-    }
-  }
-
-  // Local search: random adjacent swaps in one node's receive or send order.
-  Prng rng(opt.seed);
-  PortOrders current = best.orders;
-  double currentValue = best.value;
-  for (std::size_t it = 0; it < opt.localSearchIters; ++it) {
-    const NodeId i =
-        static_cast<NodeId>(rng.uniformInt(0, static_cast<std::int64_t>(graph.size()) - 1));
+/// One seeded hill-climbing chain of random adjacent swaps in one node's
+/// receive or send order. Pure function of (start, seed), so restarts can
+/// run on any thread and still reproduce.
+OrchestrationResult localSearchChain(const Application& app,
+                                     const ExecutionGraph& graph,
+                                     ForOrdersFn evalOrders,
+                                     const OrchestrationResult& start,
+                                     std::size_t iters, std::uint64_t seed) {
+  OrchestrationResult best = start;
+  Prng rng(seed);
+  PortOrders current = start.orders;
+  double currentValue = start.value;
+  for (std::size_t it = 0; it < iters; ++it) {
+    const NodeId i = static_cast<NodeId>(
+        rng.uniformInt(0, static_cast<std::int64_t>(graph.size()) - 1));
     const bool inSide = rng.bernoulli(0.5);
     auto& seq = inSide ? current.in[i] : current.out[i];
     if (seq.size() < 2) continue;
@@ -169,6 +153,61 @@ OrchestrationResult searchOrders(const Application& app,
       std::swap(seq[pos], seq[pos + 1]);  // revert
     }
   }
+  return best;
+}
+
+/// Shared order-search driver for period and latency objectives. All
+/// parallel reduces are index-ordered with strict-less acceptance, so the
+/// winner (value, then earliest enumeration index / restart) is identical
+/// with and without a pool.
+OrchestrationResult searchOrders(const Application& app,
+                                 const ExecutionGraph& graph,
+                                 const OrchestrationOptions& opt,
+                                 ForOrdersFn evalOrders) {
+  OrchestrationResult best;
+  best.value = std::numeric_limits<double>::infinity();
+
+  const std::size_t combos = countPortOrders(graph, opt.exactCap);
+  if (combos < opt.exactCap) {
+    // Materialize the enumeration in chunks and fan the constraint-system
+    // solves (the dominant cost) out over the pool.
+    std::vector<PortOrders> block;
+    block.reserve(std::min<std::size_t>(combos, 1024));
+    auto flush = [&] {
+      auto results = parallelMap<std::optional<OrchestrationResult>>(
+          opt.pool, block.size(),
+          [&](std::size_t i) { return evalOrders(app, graph, block[i]); });
+      for (auto& r : results) {
+        if (r) best = betterOf(std::move(best), std::move(*r));
+      }
+      block.clear();
+    };
+    forEachPortOrders(graph, opt.exactCap, [&](const PortOrders& po) {
+      block.push_back(po);
+      if (block.size() >= 1024) flush();
+      return true;
+    });
+    flush();
+    return best;
+  }
+
+  for (const PortOrders& start :
+       {PortOrders::heuristic(app, graph), PortOrders::canonical(graph)}) {
+    if (auto r = evalOrders(app, graph, start)) {
+      best = betterOf(std::move(best), std::move(*r));
+    }
+  }
+  if (!std::isfinite(best.value)) return best;
+
+  // Independent seeded restarts from the common start, fanned over the pool.
+  const OrchestrationResult start = best;
+  const std::size_t restarts = std::max<std::size_t>(1, opt.localSearchRestarts);
+  auto chains = parallelMap<OrchestrationResult>(
+      opt.pool, restarts, [&](std::size_t r) {
+        return localSearchChain(app, graph, evalOrders, start,
+                                opt.localSearchIters, opt.seed + r);
+      });
+  for (auto& r : chains) best = betterOf(std::move(best), std::move(r));
   return best;
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "src/common/thread_pool.hpp"
 #include "src/core/application.hpp"
 #include "src/core/execution_graph.hpp"
 #include "src/oplist/operation_list.hpp"
@@ -27,9 +28,16 @@ struct OrchestrationResult {
 struct OrchestrationOptions {
   /// Enumerate all port orders exactly when their count is at most this.
   std::size_t exactCap = 20000;
-  /// Local-search random adjacent swaps tried when not exact.
+  /// Local-search random adjacent swaps tried per restart when not exact.
   std::size_t localSearchIters = 300;
+  /// Independent local-search restarts; restart r derives its own PRNG from
+  /// `seed` + r, so pooled and serial runs visit identical search chains and
+  /// the deterministic reduce (lowest value, then lowest restart index)
+  /// returns bit-identical winners.
+  std::size_t localSearchRestarts = 4;
   std::uint64_t seed = 1;
+  /// Evaluations fan out over this pool; nullptr means fully serial.
+  ThreadPool* pool = nullptr;
 };
 
 /// Minimal INORDER period achievable with the given port orders, or nullopt

@@ -170,24 +170,24 @@ std::optional<OperationList> repairAtLambda(const Application& app,
                                    : CommModel::Overlap;
   if (costs.periodLowerBound(boundModel) > lambda + 1e-9) return std::nullopt;
 
-  Pipeline pipe(app, graph, mode);
-  Prng rng(opt.seed * 0x9E3779B97F4A7C15ULL + 17);
-
   auto accepted = [&](const OperationList& ol) {
     return mode == Exclusion::FullSerial
                ? validate(app, graph, ol, CommModel::OutOrder).valid
                : validateOnePortOverlap(app, graph, ol).valid;
   };
 
-  for (std::size_t restart = 0; restart < opt.restarts; ++restart) {
-    pipe.resetReleases();
+  // One independent repair chain: a pure function of its restart index, so
+  // restarts can fan out over the pool and reproduce bit-identically.
+  auto tryRestart = [&](std::size_t restart) -> std::optional<OperationList> {
+    Pipeline pipe(app, graph, mode);
+    Prng rng((opt.seed + restart) * 0x9E3779B97F4A7C15ULL + 17);
     for (std::size_t iter = 0; iter < opt.repairIters; ++iter) {
       pipe.asap();
       const auto bad = pipe.conflicts(lambda);
       if (bad.empty()) {
         OperationList ol = pipe.extract(graph.size(), lambda);
         if (accepted(ol)) return ol;
-        break;  // numerical disagreement with the validator: restart
+        return std::nullopt;  // numerical disagreement with the validator
       }
       const auto& [x, y] =
           bad[static_cast<std::size_t>(rng.uniformInt(0, bad.size() - 1))];
@@ -205,6 +205,22 @@ std::optional<OperationList> repairAtLambda(const Application& app,
       // Occasionally jump a full extra period to escape tight packings.
       if (rng.bernoulli(0.15)) delta += lambda;
       pipe.ops[victim].release = pipe.ops[victim].begin + delta;
+    }
+    return std::nullopt;
+  };
+
+  // Scan restarts in pool-width waves so the serial early-exit survives:
+  // within a wave every chain runs, then the lowest restart index wins —
+  // exactly the winner a serial scan of 0,1,2,... would return.
+  const std::size_t wave =
+      opt.pool == nullptr ? 1 : std::max<std::size_t>(1, opt.pool->threadCount());
+  for (std::size_t base = 0; base < opt.restarts; base += wave) {
+    const std::size_t count = std::min(wave, opt.restarts - base);
+    auto results = parallelMap<std::optional<OperationList>>(
+        opt.pool, count,
+        [&](std::size_t i) { return tryRestart(base + i); });
+    for (auto& r : results) {
+      if (r) return std::move(*r);
     }
   }
   return std::nullopt;

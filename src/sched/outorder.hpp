@@ -27,7 +27,11 @@ struct OutorderOptions {
   std::size_t repairIters = 400;   ///< repair steps per attempt
   std::size_t restarts = 24;       ///< randomized restarts per lambda
   std::size_t bisectSteps = 12;    ///< lambda probes between the bounds
+  /// Restart r repairs with a PRNG derived from `seed` + r, so restarts are
+  /// independent chains: they fan out over `pool` and the first success by
+  /// restart index is returned — the same winner a serial scan finds.
   std::uint64_t seed = 1;
+  ThreadPool* pool = nullptr;      ///< nullptr = serial restarts
   OrchestrationOptions inorder{};  ///< options for the INORDER seed
 };
 

@@ -1,0 +1,258 @@
+// The parallel plan-search engine: CandidateSource registration, signature
+// dedup / score memoization, and the determinism contract — pooled and
+// serial runs must return identical winners.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/thread_pool.hpp"
+#include "src/opt/candidate.hpp"
+#include "src/opt/optimizer.hpp"
+#include "src/workload/generator.hpp"
+#include "src/workload/paper_instances.hpp"
+
+namespace fsw {
+namespace {
+
+OptimizerOptions engineOptions() {
+  OptimizerOptions opt;
+  opt.exactForestMaxN = 5;
+  opt.heuristics.iterations = 600;
+  opt.heuristics.restarts = 2;
+  opt.orchestrator.order.exactCap = 200;
+  opt.orchestrator.outorder.restarts = 8;
+  opt.orchestrator.outorder.bisectSteps = 5;
+  return opt;
+}
+
+TEST(CandidateRegistry, BuiltinPortfolioIsCompleteAndOrdered) {
+  const CandidateRegistry& reg = CandidateRegistry::builtin();
+  ASSERT_EQ(reg.size(), 6u);
+  EXPECT_EQ(reg.sources()[0]->name(), "chain-greedy");
+  EXPECT_EQ(reg.sources()[1]->name(), "no-comm-baseline");
+  EXPECT_EQ(reg.sources()[2]->name(), "greedy-forest");
+  EXPECT_EQ(reg.sources()[3]->name(), "hill-climb");
+  EXPECT_EQ(reg.sources()[4]->name(), "anneal");
+  EXPECT_EQ(reg.sources()[5]->name(), "exact-forest");
+  EXPECT_NE(reg.find("anneal"), nullptr);
+  EXPECT_EQ(reg.find("nonexistent"), nullptr);
+}
+
+TEST(CandidateRegistry, RejectsDuplicateAndNullSources) {
+  CandidateRegistry reg = CandidateRegistry::makeBuiltin();
+  class Dup final : public CandidateSource {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "anneal"; }
+    [[nodiscard]] std::vector<ExecutionGraph> generate(
+        const CandidateContext&) const override {
+      return {};
+    }
+  };
+  EXPECT_THROW(reg.add(std::make_unique<Dup>()), std::invalid_argument);
+  EXPECT_THROW(reg.add(nullptr), std::invalid_argument);
+}
+
+TEST(CandidateRegistry, CustomSourceParticipatesAndCanWin) {
+  // A source that proposes the known-optimal B.1 two-star graph must win on
+  // the B.1 instance when the rest of the portfolio is heuristic-only.
+  const PaperInstance b1 = counterexampleB1();
+  class OracleSource final : public CandidateSource {
+   public:
+    explicit OracleSource(ExecutionGraph g) : graph_(std::move(g)) {}
+    [[nodiscard]] std::string_view name() const override { return "oracle"; }
+    [[nodiscard]] std::vector<ExecutionGraph> generate(
+        const CandidateContext&) const override {
+      return {graph_};
+    }
+
+   private:
+    ExecutionGraph graph_;
+  };
+  CandidateRegistry reg = CandidateRegistry::makeBuiltin();
+  reg.add(std::make_unique<OracleSource>(b1.graph));
+
+  OptimizerOptions opt;
+  opt.exactForestMaxN = 0;  // 202 services: no exact search
+  opt.heuristics.iterations = 200;
+  opt.heuristics.restarts = 1;
+  opt.registry = &reg;
+  opt.threads = 1;
+  const auto r =
+      optimizePlan(b1.app, CommModel::Overlap, Objective::Period, opt);
+  EXPECT_NEAR(r.value, 100.0, 1e-6);
+  EXPECT_EQ(r.strategy, "oracle");
+}
+
+TEST(GraphSignature, CanonicalAndCollisionFree) {
+  ExecutionGraph a(3);
+  a.addEdge(0, 1);
+  a.addEdge(1, 2);
+  ExecutionGraph b(3);
+  b.addEdge(1, 2);
+  b.addEdge(0, 1);  // same graph, different insertion order
+  EXPECT_EQ(graphSignature(a), graphSignature(b));
+
+  ExecutionGraph c(3);
+  c.addEdge(0, 2);
+  c.addEdge(1, 2);
+  EXPECT_NE(graphSignature(a), graphSignature(c));
+  // "n12 with edge 3->4" must not collide with "n1 2|3 -> 4"-style strings.
+  EXPECT_NE(graphSignature(ExecutionGraph(12)), graphSignature(ExecutionGraph(1)));
+}
+
+TEST(CandidateCache, DedupAndScoreMemoCountHits) {
+  Application app;
+  app.addService(1.0, 0.5);
+  app.addService(2.0, 0.8);
+  ExecutionGraph g(2);
+  g.addEdge(0, 1);
+  const std::string sig = graphSignature(g);
+
+  CandidateCache cache;
+  EXPECT_TRUE(cache.admit(sig));
+  EXPECT_FALSE(cache.admit(sig));
+  EXPECT_FALSE(cache.admit(sig));
+
+  const double s1 =
+      cache.surrogate(sig, app, g, CommModel::Overlap, Objective::Period);
+  const double s2 =
+      cache.surrogate(sig, app, g, CommModel::Overlap, Objective::Period);
+  EXPECT_EQ(s1, s2);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.unique, 1u);
+  EXPECT_EQ(stats.duplicates, 2u);
+  EXPECT_EQ(stats.scoreMisses, 1u);
+  EXPECT_EQ(stats.scoreHits, 1u);
+}
+
+TEST(Engine, DuplicateProposalsAreScoredAndOrchestratedOnce) {
+  // Two unit services, no precedences: the chain greedies, forest greedy and
+  // exact search all propose the same tiny graphs, so the run must observe
+  // duplicates and serve their scores from the memo.
+  Application app;
+  app.addService(1.0, 0.5);
+  app.addService(1.0, 0.5);
+  OptimizerOptions opt = engineOptions();
+  opt.threads = 1;
+  const auto r = optimizePlan(app, CommModel::Overlap, Objective::Period, opt);
+  EXPECT_EQ(r.stats.sourcesRun, 6u);
+  EXPECT_GT(r.stats.generated, r.stats.unique);
+  EXPECT_GE(r.stats.duplicates, 1u);
+  EXPECT_EQ(r.stats.scoreCacheHits, r.stats.duplicates);
+  EXPECT_EQ(r.stats.unique + r.stats.duplicates, r.stats.generated);
+  EXPECT_LE(r.stats.orchestrated, r.stats.unique);
+}
+
+TEST(Engine, PooledRunMatchesSerialRunOnPaperInstance) {
+  const PaperInstance pi = sec23Example();
+  ThreadPool pool(4);
+  for (const CommModel m : kAllModels) {
+    for (const Objective obj : {Objective::Period, Objective::Latency}) {
+      OptimizerOptions serial = engineOptions();
+      serial.threads = 1;
+      OptimizerOptions pooled = engineOptions();
+      pooled.pool = &pool;
+      const auto rs = optimizePlan(pi.app, m, obj, serial);
+      const auto rp = optimizePlan(pi.app, m, obj, pooled);
+      EXPECT_EQ(rs.value, rp.value) << name(m) << "/" << name(obj);
+      EXPECT_EQ(rs.strategy, rp.strategy) << name(m) << "/" << name(obj);
+      EXPECT_EQ(rs.surrogate, rp.surrogate) << name(m) << "/" << name(obj);
+      EXPECT_EQ(graphSignature(rs.plan.graph), graphSignature(rp.plan.graph))
+          << name(m) << "/" << name(obj);
+    }
+  }
+}
+
+TEST(Engine, PooledRunMatchesSerialRunOnCounterexamples) {
+  ThreadPool pool(4);
+  for (const auto& pi : {counterexampleB2(), counterexampleB3()}) {
+    OptimizerOptions serial = engineOptions();
+    serial.threads = 1;
+    OptimizerOptions pooled = engineOptions();
+    pooled.pool = &pool;
+    const auto rs =
+        optimizePlan(pi.app, CommModel::Overlap, Objective::Period, serial);
+    const auto rp =
+        optimizePlan(pi.app, CommModel::Overlap, Objective::Period, pooled);
+    EXPECT_EQ(rs.value, rp.value);
+    EXPECT_EQ(rs.strategy, rp.strategy);
+    EXPECT_EQ(graphSignature(rs.plan.graph), graphSignature(rp.plan.graph));
+  }
+}
+
+TEST(Engine, PooledRunMatchesSerialRunOnRandomInstances) {
+  Prng rng(2026);
+  ThreadPool pool(3);
+  for (int trial = 0; trial < 3; ++trial) {
+    WorkloadSpec spec;
+    spec.n = 6;
+    spec.precedenceDensity = trial == 2 ? 0.25 : 0.0;
+    const auto app = randomApplication(spec, rng);
+    OptimizerOptions serial = engineOptions();
+    serial.threads = 1;
+    OptimizerOptions pooled = engineOptions();
+    pooled.pool = &pool;
+    const auto rs =
+        optimizePlan(app, CommModel::InOrder, Objective::Period, serial);
+    const auto rp =
+        optimizePlan(app, CommModel::InOrder, Objective::Period, pooled);
+    EXPECT_EQ(rs.value, rp.value) << "trial " << trial;
+    EXPECT_EQ(rs.strategy, rp.strategy) << "trial " << trial;
+    EXPECT_EQ(graphSignature(rs.plan.graph), graphSignature(rp.plan.graph))
+        << "trial " << trial;
+  }
+}
+
+TEST(Engine, SchedulerSearchIsPoolInvariant) {
+  // The order search inside one orchestration must itself be deterministic
+  // under a pool: exact enumeration and seeded local-search restarts.
+  Prng rng(77);
+  WorkloadSpec spec;
+  spec.n = 5;
+  const auto app = randomApplication(spec, rng);
+  const auto g = randomLayeredDag(app, 2, 2, rng);
+  ThreadPool pool(4);
+
+  for (const std::size_t cap : {20000u, 1u}) {  // exact path, heuristic path
+    OrchestrationOptions serial;
+    serial.exactCap = cap;
+    serial.localSearchIters = 60;
+    OrchestrationOptions pooled = serial;
+    pooled.pool = &pool;
+    const auto rs = inorderOrchestratePeriod(app, g, serial);
+    const auto rp = inorderOrchestratePeriod(app, g, pooled);
+    EXPECT_EQ(rs.value, rp.value) << "cap " << cap;
+    EXPECT_EQ(rs.orders.in, rp.orders.in) << "cap " << cap;
+    EXPECT_EQ(rs.orders.out, rp.orders.out) << "cap " << cap;
+  }
+}
+
+TEST(ThreadPoolHelpers, ParallelMapIsDeterministicAndNestable) {
+  ThreadPool pool(4);
+  const auto outer = parallelMap<std::vector<int>>(&pool, 8, [&](std::size_t i) {
+    // Nested fan-out on the same pool must not deadlock.
+    return parallelMap<int>(&pool, 16, [&](std::size_t j) {
+      return static_cast<int>(i * 100 + j);
+    });
+  });
+  for (std::size_t i = 0; i < outer.size(); ++i) {
+    ASSERT_EQ(outer[i].size(), 16u);
+    for (std::size_t j = 0; j < outer[i].size(); ++j) {
+      EXPECT_EQ(outer[i][j], static_cast<int>(i * 100 + j));
+    }
+  }
+}
+
+TEST(ThreadPoolHelpers, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallelFor(&pool, 8,
+                  [](std::size_t i) {
+                    if (i == 5) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fsw

@@ -45,6 +45,22 @@ TEST(Application, PrecedenceValidation) {
   EXPECT_THROW(app.addPrecedence(0, 9), std::invalid_argument);  // range
 }
 
+TEST(Application, RejectsDuplicatePrecedences) {
+  // Regression: duplicates used to be inserted twice, inflating precSucc_
+  // and every precedences() consumer.
+  Application app;
+  app.addService(1.0, 1.0);
+  app.addService(1.0, 1.0);
+  app.addPrecedence(0, 1);
+  EXPECT_THROW(app.addPrecedence(0, 1), std::invalid_argument);
+  EXPECT_EQ(app.precedences().size(), 1u);
+  // The transitive relation (1 reaches via another edge) is not a duplicate.
+  app.addService(1.0, 1.0);
+  app.addPrecedence(1, 2);
+  app.addPrecedence(0, 2);  // parallel to the 0->1->2 path: allowed
+  EXPECT_EQ(app.precedences().size(), 3u);
+}
+
 TEST(Application, MustPrecedeIsTransitive) {
   Application app;
   for (int i = 0; i < 4; ++i) app.addService(1.0, 1.0);
