@@ -1,0 +1,178 @@
+// E8 — batched serving: one long-lived PlanEngine vs a naive per-request
+// loop on a mixed (app, model, objective) workload with duplicate traffic.
+//
+// The table times three ways of serving the same >= 32-request workload:
+//
+//   loop[ms]   — the naive baseline: a fresh engine per request (PR 1's
+//                per-call wiring), requests solved one after another;
+//   batch[ms]  — PlanEngine::optimizeBatch on one long-lived engine:
+//                cross-request dedup, shared score cache, incumbent-bounded
+//                orchestration, requests fanned out over the pool;
+//   and a winner-identity check against per-request *serial* optimizePlan —
+//   the determinism contract across serial / pooled / batched execution.
+//
+// Exits nonzero when any batch winner diverges from the serial reference,
+// so CI gates on it (`--serial` forces the engine fully serial; the
+// identity check still runs).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/opt/optimizer.hpp"
+#include "src/serve/plan_engine.hpp"
+#include "src/workload/generator.hpp"
+
+namespace {
+
+using namespace fsw;
+
+bool g_serial = false;  ///< --serial: force the engine serial
+
+OptimizerOptions servingOptions() {
+  OptimizerOptions opt;
+  opt.exactForestMaxN = 5;
+  opt.heuristics.iterations = 400;
+  opt.heuristics.restarts = 2;
+  opt.orchestrator.order.exactCap = 120;
+  opt.orchestrator.order.localSearchIters = 80;
+  opt.orchestrator.outorder.restarts = 6;
+  opt.orchestrator.outorder.bisectSteps = 5;
+  return opt;
+}
+
+/// A mixed serving workload: `apps` distinct applications x three models x
+/// two objectives, cycled until `total` requests — so with total >
+/// 6 * apps the tail repeats earlier traffic (the serving-cache case).
+std::vector<PlanRequest> mixedWorkload(std::size_t apps, std::size_t total) {
+  std::vector<PlanRequest> base;
+  Prng rng(8100);
+  for (std::size_t a = 0; a < apps; ++a) {
+    WorkloadSpec spec;
+    spec.n = 5 + a % 3;
+    spec.precedenceDensity = a % 2 == 0 ? 0.0 : 0.2;
+    const auto app = randomApplication(spec, rng);
+    for (const CommModel m : kAllModels) {
+      for (const Objective obj : {Objective::Period, Objective::Latency}) {
+        base.push_back({app, m, obj, servingOptions()});
+      }
+    }
+  }
+  std::vector<PlanRequest> reqs;
+  reqs.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    reqs.push_back(base[i % base.size()]);
+  }
+  return reqs;
+}
+
+/// E8: batch-vs-loop wall clock plus the winner-identity gate. Returns
+/// false when any batch winner diverges from the serial reference.
+[[nodiscard]] bool printServingTable() {
+  std::printf("E8: batched serving, %s engine (%u hardware threads)\n",
+              g_serial ? "serial" : "pooled",
+              std::thread::hardware_concurrency());
+  std::printf("%-9s %-7s %-10s %-10s %-9s %-9s %-8s %-7s %-9s\n", "requests",
+              "unique", "loop[ms]", "batch[ms]", "speedup", "xreqhits",
+              "shared", "aborts", "identical");
+
+  bool allIdentical = true;
+  const EngineConfig cfg{.threads = g_serial ? std::size_t{1} : 0};
+  for (const std::size_t total : {36u, 72u}) {
+    const auto reqs = mixedWorkload(/*apps=*/3, total);
+
+    // Naive loop: per-request engine, nothing amortized (PR 1 behavior).
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<OptimizedPlan> loop;
+    loop.reserve(reqs.size());
+    for (const auto& r : reqs) {
+      PlanEngine fresh{cfg};
+      loop.push_back(fresh.optimize(r));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // Batched: one engine, one optimizeBatch call.
+    PlanEngine engine{cfg};
+    const auto batch = engine.optimizeBatch(reqs);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    std::size_t unique = 0;
+    std::size_t crossHits = 0;
+    std::size_t shared = 0;
+    std::size_t aborts = 0;
+    bool identical = true;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      unique += batch[i].stats.crossRequestHits == 0 ? 1 : 0;
+      crossHits += batch[i].stats.crossRequestHits;
+      shared += batch[i].stats.sharedHits;
+      aborts += batch[i].stats.boundAborts;
+      identical = identical && batch[i].value == loop[i].value &&
+                  batch[i].strategy == loop[i].strategy;
+    }
+    // The loop reference above is pooled-per-request; the contract is
+    // against *serial* per-request optimizePlan, so spot-check that too.
+    for (std::size_t i = 0; i < reqs.size(); i += 7) {
+      OptimizerOptions serial = reqs[i].options;
+      serial.threads = 1;
+      const auto r = optimizePlan(reqs[i].app, reqs[i].model,
+                                  reqs[i].objective, serial);
+      identical = identical && batch[i].value == r.value &&
+                  batch[i].strategy == r.strategy;
+    }
+    allIdentical = allIdentical && identical;
+
+    const double loopMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double batchMs =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", loopMs / batchMs);
+    std::printf("%-9zu %-7zu %-10.1f %-10.1f %-9s %-9zu %-8zu %-7zu %-9s\n",
+                reqs.size(), unique, loopMs, batchMs, speedup, crossHits,
+                shared, aborts, identical ? "yes" : "NO!");
+  }
+  std::printf("\n");
+  return allIdentical;
+}
+
+void BM_OptimizeBatch(benchmark::State& state) {
+  const auto total = static_cast<std::size_t>(state.range(0));
+  const auto reqs = mixedWorkload(/*apps=*/2, total);
+  const EngineConfig cfg{.threads = g_serial ? std::size_t{1} : 0};
+  for (auto _ : state) {
+    PlanEngine engine{cfg};
+    auto out = engine.optimizeBatch(reqs);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_OptimizeBatch)->Arg(12)->Arg(36)->Unit(benchmark::kMillisecond);
+
+void BM_WarmCacheOptimize(benchmark::State& state) {
+  // Steady-state serving: the same request against a warm long-lived
+  // engine (every surrogate score a shared-cache hit).
+  const auto reqs = mixedWorkload(/*apps=*/1, 6);
+  const EngineConfig cfg{.threads = g_serial ? std::size_t{1} : 0};
+  PlanEngine engine{cfg};
+  (void)engine.optimizeBatch(reqs);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto r = engine.optimize(reqs[i++ % reqs.size()]);
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+BENCHMARK(BM_WarmCacheOptimize)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_serial = fswbench::stripFlag(argc, argv, "--serial");
+  const bool identical = printServingTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return identical ? 0 : 1;
+}

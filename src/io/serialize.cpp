@@ -127,6 +127,31 @@ OperationList readOperationList(std::istream& is) {
   return ol;
 }
 
+void writeCandidateCache(std::ostream& os, const CandidateCache& cache) {
+  const auto entries = cache.snapshot();
+  os << "candidatecache " << entries.size() << "\n";
+  os << std::setprecision(17);
+  for (const auto& [key, score] : entries) {
+    os << "entry " << key << " " << score << "\n";
+  }
+}
+
+void readCandidateCache(std::istream& is, CandidateCache& cache) {
+  std::string tag;
+  std::size_t n = 0;
+  if (!(is >> tag >> n) || tag != "candidatecache") {
+    throw std::runtime_error("readCandidateCache: bad header");
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    std::string key;
+    double score = 0.0;
+    if (!(is >> tag >> key >> score) || tag != "entry") {
+      throw std::runtime_error("readCandidateCache: bad entry line");
+    }
+    (void)cache.insert(key, score);
+  }
+}
+
 std::string toString(const Application& app) {
   std::ostringstream os;
   writeApplication(os, app);

@@ -10,6 +10,7 @@
 #include "src/core/application.hpp"
 #include "src/core/execution_graph.hpp"
 #include "src/oplist/operation_list.hpp"
+#include "src/opt/candidate.hpp"
 
 namespace fsw {
 
@@ -32,6 +33,18 @@ void writeGraph(std::ostream& os, const ExecutionGraph& graph);
 ///   comm <from> <to> <begin> <end>            (comms lines; -1 = world)
 void writeOperationList(std::ostream& os, const OperationList& ol);
 [[nodiscard]] OperationList readOperationList(std::istream& is);
+
+/// Format:
+///   candidatecache <entries>
+///   entry <key> <score>                       (entries lines, LRU first)
+/// Keys are the engine's whitespace-free signature strings, scores are
+/// written at full precision, and the least-recently-used entry comes
+/// first so a round trip preserves the eviction order. The cross-run
+/// memoization seam: PlanEngine::saveCache / loadCache wrap these.
+void writeCandidateCache(std::ostream& os, const CandidateCache& cache);
+/// Inserts the dump's entries into `cache` (on top of current contents,
+/// subject to its capacity bound). Throws std::runtime_error on bad input.
+void readCandidateCache(std::istream& is, CandidateCache& cache);
 
 /// Round-trip helpers via strings.
 [[nodiscard]] std::string toString(const Application& app);

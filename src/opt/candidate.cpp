@@ -1,6 +1,8 @@
 #include "src/opt/candidate.hpp"
 
 #include <algorithm>
+#include <iomanip>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -167,40 +169,73 @@ std::string graphSignature(const ExecutionGraph& g) {
   return sig;
 }
 
-bool CandidateCache::admit(const std::string& signature) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  const bool inserted = seen_.insert(signature).second;
-  if (inserted) {
-    ++stats_.unique;
-  } else {
-    ++stats_.duplicates;
+std::string applicationSignature(const Application& app) {
+  std::ostringstream os;
+  os << std::setprecision(17) << 'a' << app.size();
+  for (NodeId i = 0; i < app.size(); ++i) {
+    const Service& s = app.service(i);
+    os << ';' << s.cost << ':' << s.selectivity;
   }
-  return inserted;
+  std::vector<Precedence> precs = app.precedences();
+  std::sort(precs.begin(), precs.end(),
+            [](const Precedence& a, const Precedence& b) {
+              return a.from != b.from ? a.from < b.from : a.to < b.to;
+            });
+  for (const Precedence& p : precs) {
+    os << ";p" << p.from << '>' << p.to;
+  }
+  return os.str();
 }
 
-double CandidateCache::surrogate(const std::string& signature,
-                                 const Application& app,
-                                 const ExecutionGraph& g, CommModel m,
-                                 Objective obj) {
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    const auto it = scores_.find(signature);
-    if (it != scores_.end()) {
-      ++stats_.scoreHits;
-      return it->second;
-    }
+void CandidateCache::touchLocked(LruList::iterator it) {
+  lru_.splice(lru_.end(), lru_, it);  // move to most-recently-used
+}
+
+std::size_t CandidateCache::insertLocked(const std::string& key,
+                                         double value) {
+  const auto it = scores_.find(key);
+  if (it != scores_.end()) {
+    it->second->second = value;
+    touchLocked(it->second);
+    return 0;
   }
-  // Score outside the lock: surrogateScore can be expensive and two threads
-  // racing on the same signature compute the same value (idempotent).
-  const double value = surrogateScore(app, g, m, obj);
+  lru_.emplace_back(key, value);
+  scores_.emplace(key, std::prev(lru_.end()));
+  std::size_t evicted = 0;
+  while (capacity_ != 0 && scores_.size() > capacity_) {
+    scores_.erase(lru_.front().first);
+    lru_.pop_front();
+    ++stats_.evictions;
+    ++evicted;
+  }
+  return evicted;
+}
+
+std::optional<double> CandidateCache::lookup(const std::string& key) {
   const std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = scores_.emplace(signature, value);
-  if (inserted) {
+  const auto it = scores_.find(key);
+  if (it == scores_.end()) {
     ++stats_.scoreMisses;
-  } else {
-    ++stats_.scoreHits;
+    return std::nullopt;
   }
-  return it->second;
+  ++stats_.scoreHits;
+  touchLocked(it->second);
+  return it->second->second;
+}
+
+std::size_t CandidateCache::insert(const std::string& key, double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return insertLocked(key, value);
+}
+
+std::vector<std::pair<std::string, double>> CandidateCache::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {lru_.begin(), lru_.end()};
+}
+
+std::size_t CandidateCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return scores_.size();
 }
 
 CandidateCache::Stats CandidateCache::stats() const {

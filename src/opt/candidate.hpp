@@ -4,21 +4,24 @@
 // (Prop 8 / Prop 16), the no-communication baseline of [1], the forest
 // heuristics, the exact forest enumeration (Prop 4) — implements one
 // interface, CandidateSource, and registers in a CandidateRegistry. The
-// optimizer facade no longer hard-codes its portfolio: it asks the registry
-// for applicable sources, fans their generation out over a thread pool, and
-// dedups/score-memoizes the proposals through a CandidateCache keyed by a
-// canonical ExecutionGraph signature. New search strategies (future PRs:
-// beam search, cost-bounded pruning, learned proposers) plug in by
-// registering a source — no facade changes.
+// optimizer facade no longer hard-codes its portfolio: the PlanEngine asks
+// the registry for applicable sources, fans their generation out over a
+// thread pool, dedups proposals within the request, and memoizes surrogate
+// scores through a shared CandidateCache keyed by canonical application /
+// ExecutionGraph signatures. New search strategies (future PRs: beam
+// search, learned proposers) plug in by registering a source — no facade
+// changes.
 #pragma once
 
 #include <cstddef>
+#include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/core/application.hpp"
@@ -95,34 +98,64 @@ class CandidateRegistry {
 /// signature is a sound memoization key.
 [[nodiscard]] std::string graphSignature(const ExecutionGraph& g);
 
-/// Thread-safe dedup + surrogate-score memo for one optimizer run. All
-/// methods may be called concurrently from pool workers; counters are only
-/// exact once the parallel region has joined.
+/// Canonical signature of an application: service count, then each
+/// service's (cost, selectivity) at full precision, then the sorted
+/// precedence edges. Whitespace-free, so it can prefix cache keys that
+/// survive the plain-text (de)serializer. Service names are excluded —
+/// they never affect plan values.
+[[nodiscard]] std::string applicationSignature(const Application& app);
+
+/// Thread-safe surrogate-score memo. PR 1 instantiated one per optimizer
+/// run; the PlanEngine now keeps a single long-lived instance shared
+/// across requests, so the memo is LRU-bounded: `capacity` caps the
+/// number of retained scores (0 = unbounded) and the least recently used
+/// entry is evicted first. Eviction is a deterministic function of the
+/// operation sequence (strict LRU, no sampling or timing dependence): the
+/// engine probes and fills the cache in serial index-ordered passes
+/// around its parallel scoring region, so a serial request sequence
+/// always evicts identically. Concurrent requests interleave their passes
+/// scheduler-dependently — that can reorder evictions and per-request hit
+/// counters, never the memoized values (they are pure functions of the
+/// key), so winners are unaffected. Counters are only exact once
+/// concurrent callers have joined.
 class CandidateCache {
  public:
   struct Stats {
-    std::size_t unique = 0;      ///< distinct signatures admitted
-    std::size_t duplicates = 0;  ///< proposals rejected as already seen
-    std::size_t scoreHits = 0;   ///< surrogate evaluations served from memo
-    std::size_t scoreMisses = 0; ///< surrogate evaluations computed
+    std::size_t scoreHits = 0;   ///< probes served from the memo
+    std::size_t scoreMisses = 0; ///< probes that missed (caller computes)
+    std::size_t evictions = 0;   ///< LRU entries dropped at the capacity bound
   };
 
-  /// True exactly once per distinct signature (the caller keeps the
-  /// candidate); false for every later duplicate.
-  [[nodiscard]] bool admit(const std::string& signature);
+  explicit CandidateCache(std::size_t capacity = 0) : capacity_(capacity) {}
 
-  /// Memoized surrogateScore(app, g, model, objective) keyed by signature.
-  [[nodiscard]] double surrogate(const std::string& signature,
-                                 const Application& app,
-                                 const ExecutionGraph& g, CommModel m,
-                                 Objective obj);
+  /// The memoized score for `key`, touching its LRU slot. Counts a hit or
+  /// a miss; on a miss the caller computes the score and insert()s it.
+  [[nodiscard]] std::optional<double> lookup(const std::string& key);
 
+  /// Memoizes `value` under `key` (touching the slot if already present)
+  /// and returns how many entries the capacity bound evicted (0 or 1).
+  /// Counts nothing — misses are counted by the failed lookup, so bulk
+  /// restores (readCandidateCache) do not skew the hit/miss ratio.
+  std::size_t insert(const std::string& key, double value);
+
+  /// Memoized entries, least recently used first (the save/load order).
+  [[nodiscard]] std::vector<std::pair<std::string, double>> snapshot() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] Stats stats() const;
 
  private:
+  using LruList = std::list<std::pair<std::string, double>>;
+
+  /// Both require mu_ held.
+  std::size_t insertLocked(const std::string& key, double value);
+  void touchLocked(LruList::iterator it);
+
   mutable std::mutex mu_;
-  std::unordered_map<std::string, double> scores_;
-  std::unordered_set<std::string> seen_;
+  std::size_t capacity_ = 0;
+  LruList lru_;  ///< front = least recently used
+  std::unordered_map<std::string, LruList::iterator> scores_;
   Stats stats_{};
 };
 

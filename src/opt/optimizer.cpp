@@ -1,118 +1,16 @@
 #include "src/opt/optimizer.hpp"
 
-#include <algorithm>
-#include <limits>
-#include <utility>
-#include <vector>
+#include "src/serve/plan_engine.hpp"
 
 namespace fsw {
-namespace {
-
-struct Candidate {
-  ExecutionGraph graph{0};
-  std::string signature;
-  std::string strategy;
-  double surrogate = std::numeric_limits<double>::infinity();
-};
-
-ThreadPool* resolvePool(const OptimizerOptions& opt) {
-  if (opt.threads == 1) return nullptr;  // the --serial escape hatch
-  if (opt.pool != nullptr) return opt.pool;
-  ThreadPool& shared = ThreadPool::shared();
-  return shared.threadCount() > 1 ? &shared : nullptr;
-}
-
-}  // namespace
 
 OptimizedPlan optimizePlan(const Application& app, CommModel m, Objective obj,
                            const OptimizerOptions& opt) {
-  ThreadPool* pool = resolvePool(opt);
-  const CandidateRegistry& registry =
-      opt.registry != nullptr ? *opt.registry : CandidateRegistry::builtin();
-  HeuristicOptions heuristics = opt.heuristics;
-  heuristics.pool = pool;  // anneal restarts share the engine pool
-  const CandidateContext ctx{app, m, obj, opt.exactForestMaxN, heuristics};
-
-  OptimizedPlan best;
-  best.value = std::numeric_limits<double>::infinity();
-
-  // 1. Fan candidate generation out across the applicable sources.
-  std::vector<const CandidateSource*> active;
-  for (const auto& source : registry.sources()) {
-    if (source->applicable(ctx)) active.push_back(source.get());
-  }
-  best.stats.sourcesRun = active.size();
-  auto proposals = parallelMap<std::vector<ExecutionGraph>>(
-      pool, active.size(),
-      [&](std::size_t i) { return active[i]->generate(ctx); });
-
-  // 2. Flatten in registry order (the deterministic tie-break), drop graphs
-  //    that do not respect the application, and compute signatures.
-  std::vector<Candidate> flat;
-  for (std::size_t i = 0; i < proposals.size(); ++i) {
-    for (ExecutionGraph& g : proposals[i]) {
-      ++best.stats.generated;
-      if (!g.respects(app)) continue;
-      Candidate c;
-      c.signature = graphSignature(g);
-      c.graph = std::move(g);
-      c.strategy = std::string(active[i]->name());
-      flat.push_back(std::move(c));
-    }
-  }
-
-  // 3. Surrogate-score every proposal through the memo (duplicates hit the
-  //    cache), then dedup so each distinct graph is orchestrated once.
-  CandidateCache cache;
-  const auto scores = parallelMap<double>(pool, flat.size(), [&](std::size_t k) {
-    return cache.surrogate(flat[k].signature, app, flat[k].graph, m, obj);
-  });
-  std::vector<Candidate> candidates;
-  for (std::size_t k = 0; k < flat.size(); ++k) {
-    flat[k].surrogate = scores[k];
-    if (cache.admit(flat[k].signature)) {
-      candidates.push_back(std::move(flat[k]));
-    }
-  }
-  const CandidateCache::Stats cs = cache.stats();
-  best.stats.unique = cs.unique;
-  best.stats.duplicates = cs.duplicates;
-  best.stats.scoreCacheHits = cs.scoreHits;
-
-  // 4. Deterministic ranking: surrogate, then strategy name, then proposal
-  //    order (stable sort preserves it).
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [](const Candidate& a, const Candidate& b) {
-                     if (a.surrogate != b.surrogate) {
-                       return a.surrogate < b.surrogate;
-                     }
-                     return a.strategy < b.strategy;
-                   });
-
-  // 5. Orchestrate the top-K in parallel; the order search inside each
-  //    orchestration reuses the same pool (nested fan-out is safe).
-  OrchestratorOptions orch = opt.orchestrator;
-  orch.order.pool = pool;
-  orch.outorder.pool = pool;
-  orch.outorder.inorder.pool = pool;  // the OUTORDER path's INORDER seed
-  const std::size_t top = std::min(opt.orchestrateTop, candidates.size());
-  best.stats.orchestrated = top;
-  auto results = parallelMap<Orchestration>(pool, top, [&](std::size_t k) {
-    return orchestrate(app, candidates[k].graph, m, obj, orch);
-  });
-
-  // 6. Deterministic winner: strictly lower value wins; ties keep the
-  //    earliest candidate in the ranking of step 4.
-  for (std::size_t k = 0; k < top; ++k) {
-    if (results[k].result.value < best.value) {
-      best.value = results[k].result.value;
-      best.plan = {std::move(candidates[k].graph),
-                   std::move(results[k].result.ol)};
-      best.surrogate = candidates[k].surrogate;
-      best.strategy = candidates[k].strategy;
-    }
-  }
-  return best;
+  // The engine core lives in src/serve/plan_engine.cpp; this facade serves
+  // the call as a one-request batch against the process-wide engine, whose
+  // shared cache can only memoize pure functions — winners are bit-identical
+  // to a fresh-cache run.
+  return PlanEngine::shared().optimize(app, m, obj, opt);
 }
 
 }  // namespace fsw

@@ -39,14 +39,26 @@ struct OptimizerOptions {
   OrchestratorOptions orchestrator{};
 };
 
-/// Observability counters for one engine run.
+/// Observability counters for one engine request.
 struct EngineStats {
   std::size_t sourcesRun = 0;     ///< applicable sources invoked
   std::size_t generated = 0;      ///< graphs proposed (pre-filter)
   std::size_t unique = 0;         ///< distinct signatures after dedup
   std::size_t duplicates = 0;     ///< proposals dropped by the dedup cache
-  std::size_t scoreCacheHits = 0; ///< surrogate scores served from the memo
+  std::size_t scoreCacheHits = 0; ///< surrogate evaluations avoided
+                                  ///< (= duplicates + sharedHits)
   std::size_t orchestrated = 0;   ///< candidates fully orchestrated
+  /// Scores served from the PlanEngine's long-lived cross-request cache —
+  /// work amortized against earlier requests (or a loaded cache dump).
+  std::size_t sharedHits = 0;
+  /// LRU entries this request's insertions evicted at the capacity bound.
+  std::size_t evictions = 0;
+  /// Dominated difference-constraint solves aborted by the incumbent bound
+  /// threaded from the request's best-ranked candidate.
+  std::size_t boundAborts = 0;
+  /// 1 when this batch member was served wholesale from an identical
+  /// earlier member of the same optimizePlanBatch call.
+  std::size_t crossRequestHits = 0;
 };
 
 struct OptimizedPlan {
@@ -59,6 +71,13 @@ struct OptimizedPlan {
 
 /// Solves MinPeriod or MinLatency for (app, m) heuristically (exactly for
 /// small n via forest enumeration, per Prop 4 for the period).
+///
+/// Since PR 2 this is a thin adapter over the process-wide PlanEngine
+/// (src/serve/plan_engine.hpp): the call is served as a one-request batch
+/// against the engine's shared pool and cross-request score cache. Results
+/// are bit-identical to a fresh-cache run — the cache memoizes pure
+/// functions only — and `threads = 1` still forces a fully serial solve.
+/// Batched traffic should call PlanEngine::optimizeBatch directly.
 [[nodiscard]] OptimizedPlan optimizePlan(const Application& app, CommModel m,
                                          Objective obj,
                                          const OptimizerOptions& opt = {});

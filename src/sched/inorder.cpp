@@ -121,8 +121,11 @@ OrchestrationResult betterOf(OrchestrationResult a, OrchestrationResult b) {
   return (b.value < a.value) ? std::move(b) : std::move(a);
 }
 
+constexpr double kUnbounded = std::numeric_limits<double>::infinity();
+
 using ForOrdersFn = std::optional<OrchestrationResult> (*)(
-    const Application&, const ExecutionGraph&, const PortOrders&);
+    const Application&, const ExecutionGraph&, const PortOrders&, double,
+    std::atomic<std::size_t>*);
 
 /// One seeded hill-climbing chain of random adjacent swaps in one node's
 /// receive or send order. Pure function of (start, seed), so restarts can
@@ -145,7 +148,7 @@ OrchestrationResult localSearchChain(const Application& app,
     const auto pos = static_cast<std::size_t>(
         rng.uniformInt(0, static_cast<std::int64_t>(seq.size()) - 2));
     std::swap(seq[pos], seq[pos + 1]);
-    const auto r = evalOrders(app, graph, current);
+    const auto r = evalOrders(app, graph, current, kUnbounded, nullptr);
     if (r && r->value < currentValue - 1e-12) {
       currentValue = r->value;
       best = betterOf(std::move(best), OrchestrationResult(*r));
@@ -175,8 +178,10 @@ OrchestrationResult searchOrders(const Application& app,
     block.reserve(std::min<std::size_t>(combos, 1024));
     auto flush = [&] {
       auto results = parallelMap<std::optional<OrchestrationResult>>(
-          opt.pool, block.size(),
-          [&](std::size_t i) { return evalOrders(app, graph, block[i]); });
+          opt.pool, block.size(), [&](std::size_t i) {
+            return evalOrders(app, graph, block[i], opt.upperBound,
+                              opt.boundAborts);
+          });
       for (auto& r : results) {
         if (r) best = betterOf(std::move(best), std::move(*r));
       }
@@ -191,9 +196,15 @@ OrchestrationResult searchOrders(const Application& app,
     return best;
   }
 
+  // The heuristic path runs unbounded on purpose: local search can descend
+  // *through* values above the incumbent to a winner below it, so pruning
+  // its starts or steps could degrade the returned plan. The incumbent
+  // bound only prunes the exhaustive path above, where every order is
+  // evaluated independently and a pruned (dominated) order can never be
+  // the returned winner.
   for (const PortOrders& start :
        {PortOrders::heuristic(app, graph), PortOrders::canonical(graph)}) {
-    if (auto r = evalOrders(app, graph, start)) {
+    if (auto r = evalOrders(app, graph, start, kUnbounded, nullptr)) {
       best = betterOf(std::move(best), std::move(*r));
     }
   }
@@ -215,10 +226,24 @@ OrchestrationResult searchOrders(const Application& app,
 
 std::optional<OrchestrationResult> inorderPeriodForOrders(
     const Application& app, const ExecutionGraph& graph,
-    const PortOrders& orders) {
+    const PortOrders& orders, double upperBound,
+    std::atomic<std::size_t>* boundAborts) {
   const System sys(app, graph, orders, /*cyclic=*/true);
   const double lo = sys.busyLowerBound(graph);
   const double hi = 2.0 * sys.totalDuration() + 1.0;
+  if (upperBound < hi) {
+    // Incumbent pruning: the minimal period is >= the busy lower bound, and
+    // by monotone feasibility it is > upperBound whenever the system is
+    // infeasible at upperBound. Either way this solve cannot strictly beat
+    // the incumbent, so skip the binary search entirely. Survivors run the
+    // untouched [lo, hi] search and return bit-identical values.
+    if (lo > upperBound || !sys.pcg.feasible(upperBound)) {
+      if (boundAborts != nullptr) {
+        boundAborts->fetch_add(1, std::memory_order_relaxed);
+      }
+      return std::nullopt;
+    }
+  }
   const auto r = sys.pcg.minLambda(lo, hi);
   if (!r) return std::nullopt;
   OrchestrationResult out;
@@ -240,8 +265,19 @@ std::optional<OperationList> inorderScheduleAtLambda(const Application& app,
 
 std::optional<OrchestrationResult> oneportLatencyForOrders(
     const Application& app, const ExecutionGraph& graph,
-    const PortOrders& orders) {
+    const PortOrders& orders, double upperBound,
+    std::atomic<std::size_t>* boundAborts) {
   const System sys(app, graph, orders, /*cyclic=*/false);
+  // Incumbent pruning: every operation of a node is serialized on its one
+  // port within the single data set's span, so the per-node busy time lower
+  // bounds the latency for any orders. The finiteness guard keeps the
+  // busy-time scan off the hot path of unbounded searches.
+  if (std::isfinite(upperBound) && sys.busyLowerBound(graph) > upperBound) {
+    if (boundAborts != nullptr) {
+      boundAborts->fetch_add(1, std::memory_order_relaxed);
+    }
+    return std::nullopt;
+  }
   const auto x = sys.pcg.solve(/*lambda=*/0.0);  // lambda unused when acyclic
   if (!x) return std::nullopt;
   OrchestrationResult out;
@@ -266,8 +302,9 @@ OrchestrationResult oneportOrchestrateLatency(
       searchOrders(app, graph, opt, &oneportLatencyForOrders);
   // The list-scheduling packing is often much stronger than order search on
   // communication-bound graphs (e.g. counter-example B.2).
-  if (auto r = oneportLatencyForOrders(app, graph,
-                                       PortOrders::listLatency(app, graph))) {
+  if (auto r =
+          oneportLatencyForOrders(app, graph, PortOrders::listLatency(app, graph),
+                                  opt.upperBound, opt.boundAborts)) {
     best = betterOf(std::move(best), std::move(*r));
   }
   return best;

@@ -8,7 +8,9 @@
 // (exact, small graphs) and heuristic orders + local search (large graphs).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <limits>
 #include <optional>
 
 #include "src/common/thread_pool.hpp"
@@ -38,13 +40,33 @@ struct OrchestrationOptions {
   std::uint64_t seed = 1;
   /// Evaluations fan out over this pool; nullptr means fully serial.
   ThreadPool* pool = nullptr;
+  /// Incumbent upper bound (Bounded-Dijkstra-style pruning): an evaluation
+  /// whose value provably cannot be strictly below this aborts without
+  /// running the full solve. The PlanEngine threads the value achieved by a
+  /// request's best-ranked candidate into the remaining orchestrations.
+  /// Infinity disables pruning. Only *independently reduced* evaluations
+  /// are pruned — the exhaustive order enumeration and the standalone
+  /// list-scheduling probe — where a dominated order can never be the
+  /// returned winner; the heuristic local search always runs unbounded
+  /// because it may descend through dominated intermediate orders to a
+  /// winner below the incumbent.
+  double upperBound = std::numeric_limits<double>::infinity();
+  /// When non-null, every aborted solve increments this counter (shared
+  /// across pool workers; the engine surfaces it as EngineStats.boundAborts).
+  std::atomic<std::size_t>* boundAborts = nullptr;
 };
 
 /// Minimal INORDER period achievable with the given port orders, or nullopt
-/// if the orders are inconsistent (cyclic sequencing requirements).
+/// if the orders are inconsistent (cyclic sequencing requirements) — or if
+/// `upperBound` is finite and the minimal period provably cannot be strictly
+/// below it (per-node busy time exceeds the bound, or the system is already
+/// infeasible at the bound), in which case the solve aborts early and
+/// `boundAborts` (when non-null) is incremented.
 [[nodiscard]] std::optional<OrchestrationResult> inorderPeriodForOrders(
     const Application& app, const ExecutionGraph& graph,
-    const PortOrders& orders);
+    const PortOrders& orders,
+    double upperBound = std::numeric_limits<double>::infinity(),
+    std::atomic<std::size_t>* boundAborts = nullptr);
 
 /// The minimal-begin-times INORDER schedule with the given orders at a
 /// *fixed* period lambda, or nullopt if infeasible. Because the solution is
@@ -57,10 +79,13 @@ struct OrchestrationOptions {
 /// Minimal one-port latency (single data set, valid for both INORDER and
 /// OUTORDER) with the given port orders, or nullopt if inconsistent. The
 /// returned OL serializes data sets: lambda = latency (Section 2.2,
-/// "Latency").
+/// "Latency"). A finite `upperBound` aborts (and counts) solves whose
+/// per-node busy time already exceeds the bound.
 [[nodiscard]] std::optional<OrchestrationResult> oneportLatencyForOrders(
     const Application& app, const ExecutionGraph& graph,
-    const PortOrders& orders);
+    const PortOrders& orders,
+    double upperBound = std::numeric_limits<double>::infinity(),
+    std::atomic<std::size_t>* boundAborts = nullptr);
 
 /// Best INORDER period over port orders (exact below exactCap, otherwise
 /// heuristic + local search).

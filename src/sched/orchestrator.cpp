@@ -1,5 +1,7 @@
 #include "src/sched/orchestrator.hpp"
 
+#include <limits>
+
 #include "src/core/cost_model.hpp"
 #include "src/sched/latency.hpp"
 #include "src/sched/overlap.hpp"
@@ -26,6 +28,11 @@ Orchestration orchestrate(const Application& app, const ExecutionGraph& graph,
       case CommModel::OutOrder: {
         OutorderOptions oo = opt.outorder;
         oo.inorder = opt.order;
+        // The conflict repair improves *below* its INORDER seed, so an
+        // incumbent that dominates the seed does not dominate the final
+        // OUTORDER value — pruning the seed search would be unsound here.
+        oo.inorder.upperBound = std::numeric_limits<double>::infinity();
+        oo.inorder.boundAborts = nullptr;
         out.result = outorderOrchestratePeriod(app, graph, oo);
         break;
       }

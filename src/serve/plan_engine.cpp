@@ -1,0 +1,284 @@
+#include "src/serve/plan_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/io/serialize.hpp"
+#include "src/sched/orchestrator.hpp"
+
+namespace fsw {
+namespace {
+
+struct Candidate {
+  ExecutionGraph graph{0};
+  std::string signature;
+  std::string strategy;
+  double surrogate = std::numeric_limits<double>::infinity();
+};
+
+/// Value-affecting optimizer knobs, serialized into the request key. The
+/// threads/pool fields are excluded: they change wall time, never winners.
+std::string optionsFingerprint(const OptimizerOptions& o) {
+  std::ostringstream os;
+  os << std::setprecision(17) << 'o' << o.exactForestMaxN << ':'
+     << o.orchestrateTop << ";h" << o.heuristics.restarts << ':'
+     << o.heuristics.iterations << ':' << o.heuristics.initialTemperature
+     << ':' << o.heuristics.seed << ";r" << o.orchestrator.order.exactCap
+     << ':' << o.orchestrator.order.localSearchIters << ':'
+     << o.orchestrator.order.localSearchRestarts << ':'
+     << o.orchestrator.order.seed << ':' << o.orchestrator.order.upperBound
+     << ";x" << o.orchestrator.outorder.repairIters << ':'
+     << o.orchestrator.outorder.restarts << ':'
+     << o.orchestrator.outorder.bisectSteps << ':'
+     << o.orchestrator.outorder.seed;
+  if (o.registry != nullptr) {
+    // A custom portfolio changes winners; its identity is part of the key.
+    os << ";reg" << static_cast<const void*>(o.registry);
+  }
+  return os.str();
+}
+
+}  // namespace
+
+PlanEngine::PlanEngine(EngineConfig config)
+    : config_(config), cache_(config.cacheCapacity) {
+  if (config_.pool != nullptr) {
+    pool_ = config_.pool;
+  } else if (config_.threads == 1) {
+    pool_ = nullptr;  // fully serial engine
+  } else if (config_.threads == 0) {
+    ThreadPool& sharedPool = ThreadPool::shared();
+    pool_ = sharedPool.threadCount() > 1 ? &sharedPool : nullptr;
+  } else {
+    ownedPool_ = std::make_unique<ThreadPool>(config_.threads);
+    pool_ = ownedPool_.get();
+  }
+}
+
+ThreadPool* PlanEngine::poolFor(const OptimizerOptions& opt) const {
+  if (opt.threads == 1) return nullptr;  // the --serial escape hatch
+  if (opt.pool != nullptr) return opt.pool;
+  return pool_;
+}
+
+OptimizedPlan PlanEngine::solveOne(const Application& app, CommModel m,
+                                   Objective obj,
+                                   const OptimizerOptions& opt) {
+  ThreadPool* pool = poolFor(opt);
+  const CandidateRegistry& registry =
+      opt.registry != nullptr
+          ? *opt.registry
+          : (config_.registry != nullptr ? *config_.registry
+                                         : CandidateRegistry::builtin());
+  HeuristicOptions heuristics = opt.heuristics;
+  heuristics.pool = pool;  // anneal restarts share the engine pool
+  const CandidateContext ctx{app, m, obj, opt.exactForestMaxN, heuristics};
+
+  OptimizedPlan best;
+  best.value = std::numeric_limits<double>::infinity();
+
+  // 1. Fan candidate generation out across the applicable sources.
+  std::vector<const CandidateSource*> active;
+  for (const auto& source : registry.sources()) {
+    if (source->applicable(ctx)) active.push_back(source.get());
+  }
+  best.stats.sourcesRun = active.size();
+  auto proposals = parallelMap<std::vector<ExecutionGraph>>(
+      pool, active.size(),
+      [&](std::size_t i) { return active[i]->generate(ctx); });
+
+  // 2. Flatten in registry order (the deterministic tie-break), drop graphs
+  //    that do not respect the application, and dedup within the request.
+  //    Dedup is request-local on purpose: the shared cache amortizes
+  //    *scores* across requests, never a request's own candidate set.
+  std::unordered_set<std::string> seen;
+  std::vector<Candidate> candidates;
+  for (std::size_t i = 0; i < proposals.size(); ++i) {
+    for (ExecutionGraph& g : proposals[i]) {
+      ++best.stats.generated;
+      if (!g.respects(app)) continue;
+      std::string sig = graphSignature(g);
+      if (!seen.insert(sig).second) {
+        ++best.stats.duplicates;
+        continue;
+      }
+      Candidate c;
+      c.signature = std::move(sig);
+      c.graph = std::move(g);
+      c.strategy = std::string(active[i]->name());
+      candidates.push_back(std::move(c));
+    }
+  }
+  best.stats.unique = candidates.size();
+
+  // 3. Surrogate-score through the shared cross-request cache. The probe
+  //    and fill passes are serial and index-ordered, so LRU touch/eviction
+  //    order is deterministic for a serial request sequence (concurrent
+  //    requests interleave passes, which can reorder evictions but never
+  //    change the memoized values); only the missing scores are computed,
+  //    fanned out over the pool.
+  const std::string keyPrefix = applicationSignature(app) + '#' +
+                                std::string(name(m)) + '#' +
+                                std::string(name(obj)) + '#';
+  std::vector<std::string> keys(candidates.size());
+  std::vector<std::size_t> misses;
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    keys[k] = keyPrefix + candidates[k].signature;
+    if (const auto hit = cache_.lookup(keys[k])) {
+      candidates[k].surrogate = *hit;
+      ++best.stats.sharedHits;
+    } else {
+      misses.push_back(k);
+    }
+  }
+  const auto scores =
+      parallelMap<double>(pool, misses.size(), [&](std::size_t i) {
+        return surrogateScore(app, candidates[misses[i]].graph, m, obj);
+      });
+  for (std::size_t i = 0; i < misses.size(); ++i) {
+    candidates[misses[i]].surrogate = scores[i];
+    best.stats.evictions += cache_.insert(keys[misses[i]], scores[i]);
+  }
+  best.stats.scoreCacheHits = best.stats.duplicates + best.stats.sharedHits;
+
+  // 4. Deterministic ranking: surrogate, then strategy name, then proposal
+  //    order (stable sort preserves it).
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.surrogate != b.surrogate) {
+                       return a.surrogate < b.surrogate;
+                     }
+                     return a.strategy < b.strategy;
+                   });
+
+  // 5. Orchestrate the top-K. The best-ranked candidate runs first and
+  //    unbounded; its achieved value is threaded into the remaining
+  //    orchestrations as an incumbent upper bound, so order-search solves
+  //    that provably cannot beat it abort early. The bound is fixed before
+  //    the parallel region, which keeps pooled and serial runs identical.
+  OrchestratorOptions orch = opt.orchestrator;
+  orch.order.pool = pool;
+  orch.outorder.pool = pool;
+  orch.outorder.inorder.pool = pool;  // the OUTORDER path's INORDER seed
+  std::atomic<std::size_t> aborts{0};
+  orch.order.boundAborts = &aborts;
+  const std::size_t top = std::min(opt.orchestrateTop, candidates.size());
+  best.stats.orchestrated = top;
+  std::vector<Orchestration> results(top);
+  if (top > 0) {
+    results[0] = orchestrate(app, candidates[0].graph, m, obj, orch);
+  }
+  if (top > 1) {
+    OrchestratorOptions bounded = orch;
+    bounded.order.upperBound =
+        std::min(orch.order.upperBound, results[0].result.value);
+    auto rest = parallelMap<Orchestration>(pool, top - 1, [&](std::size_t k) {
+      return orchestrate(app, candidates[k + 1].graph, m, obj, bounded);
+    });
+    for (std::size_t k = 0; k + 1 < top; ++k) {
+      results[k + 1] = std::move(rest[k]);
+    }
+  }
+  best.stats.boundAborts = aborts.load(std::memory_order_relaxed);
+
+  // 6. Deterministic winner: strictly lower value wins; ties keep the
+  //    earliest candidate in the ranking of step 4.
+  for (std::size_t k = 0; k < top; ++k) {
+    if (results[k].result.value < best.value) {
+      best.value = results[k].result.value;
+      best.plan = {std::move(candidates[k].graph),
+                   std::move(results[k].result.ol)};
+      best.surrogate = candidates[k].surrogate;
+      best.strategy = candidates[k].strategy;
+    }
+  }
+  return best;
+}
+
+OptimizedPlan PlanEngine::optimize(const PlanRequest& request) {
+  return solveOne(request.app, request.model, request.objective,
+                  request.options);
+}
+
+OptimizedPlan PlanEngine::optimize(const Application& app, CommModel m,
+                                   Objective obj,
+                                   const OptimizerOptions& opt) {
+  return solveOne(app, m, obj, opt);
+}
+
+std::vector<OptimizedPlan> PlanEngine::optimizeBatch(
+    std::span<const PlanRequest> requests) {
+  const std::size_t n = requests.size();
+  std::vector<OptimizedPlan> out(n);
+
+  // Cross-request dedup: members with identical canonical keys collapse
+  // onto the first occurrence's solve.
+  std::unordered_map<std::string, std::size_t> firstOf;
+  std::vector<std::size_t> representative(n);
+  std::vector<std::size_t> distinct;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [it, inserted] = firstOf.emplace(requestKey(requests[i]), i);
+    representative[i] = it->second;
+    if (inserted) distinct.push_back(i);
+  }
+
+  // Fan the distinct solves out over the engine pool. Each solve nests its
+  // own fan-out on the same workers; the pool's helping discipline makes
+  // nested regions deadlock-free.
+  auto solved =
+      parallelMap<OptimizedPlan>(pool_, distinct.size(), [&](std::size_t i) {
+        const PlanRequest& r = requests[distinct[i]];
+        return solveOne(r.app, r.model, r.objective, r.options);
+      });
+  for (std::size_t i = 0; i < distinct.size(); ++i) {
+    out[distinct[i]] = std::move(solved[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (representative[i] != i) {
+      out[i] = out[representative[i]];
+      // The work is accounted once, at the representative: a duplicate
+      // carries only its cross-request marker so that summing stats over
+      // the batch never double-counts hits, aborts or evictions.
+      out[i].stats = EngineStats{};
+      out[i].stats.crossRequestHits = 1;
+    }
+  }
+  return out;
+}
+
+CandidateCache::Stats PlanEngine::cacheStats() const { return cache_.stats(); }
+
+std::size_t PlanEngine::cacheSize() const { return cache_.size(); }
+
+void PlanEngine::saveCache(std::ostream& os) const {
+  writeCandidateCache(os, cache_);
+}
+
+void PlanEngine::loadCache(std::istream& is) {
+  readCandidateCache(is, cache_);
+}
+
+std::string PlanEngine::requestKey(const PlanRequest& request) {
+  return applicationSignature(request.app) + '#' +
+         std::string(name(request.model)) + '#' +
+         std::string(name(request.objective)) + '#' +
+         optionsFingerprint(request.options);
+}
+
+PlanEngine& PlanEngine::shared() {
+  static PlanEngine engine;
+  return engine;
+}
+
+std::vector<OptimizedPlan> optimizePlanBatch(
+    std::span<const PlanRequest> requests) {
+  return PlanEngine::shared().optimizeBatch(requests);
+}
+
+}  // namespace fsw

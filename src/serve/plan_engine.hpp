@@ -1,0 +1,133 @@
+// PlanEngine: the long-lived batched serving core of the plan search.
+//
+// PR 1 built a parallel, pluggable engine but re-wired it per call: every
+// optimizePlan constructed its own registry view, dedup/score cache and
+// pool hookup, so repeated traffic on similar applications redid dedup and
+// surrogate scoring from scratch. The PlanEngine owns that wiring for the
+// lifetime of a serving process:
+//
+//   * one ThreadPool (owned, or an injected external pool) shared by every
+//     request — candidate generation, scoring and orchestration of
+//     concurrent requests interleave on the same workers;
+//   * one CandidateRegistry (per-request override supported);
+//   * one thread-safe, LRU-bounded CandidateCache keyed by
+//     (application, model, objective, graph) signatures, shared across
+//     requests and batches, and persistable across runs via
+//     saveCache/loadCache (src/io/serialize.*);
+//   * optimizeBatch: fans a batch of PlanRequests out over the pool,
+//     serving members with identical canonical signatures from the first
+//     occurrence's solve (cross-request dedup), and threads the incumbent
+//     value of each request's best-ranked candidate into the remaining
+//     orchestrations as an upper bound so dominated difference-constraint
+//     solves abort early (Bounded-Dijkstra-style pruning).
+//
+// Determinism contract, unchanged from PR 1 and extended to batches: the
+// winner of every request is bit-identical across serial, pooled and
+// batched execution, and independent of the shared cache's state (the
+// cache memoizes pure functions of its keys).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.hpp"
+#include "src/core/application.hpp"
+#include "src/core/model.hpp"
+#include "src/opt/candidate.hpp"
+#include "src/opt/optimizer.hpp"
+
+namespace fsw {
+
+/// One unit of serving traffic: solve (app, model, objective) under the
+/// given per-request knobs. Requests are values — a serving front end can
+/// queue, shard and replay them freely.
+struct PlanRequest {
+  Application app;
+  CommModel model = CommModel::Overlap;
+  Objective objective = Objective::Period;
+  OptimizerOptions options{};
+};
+
+/// Engine-wide configuration (per-request knobs live in PlanRequest).
+struct EngineConfig {
+  /// Workers in the engine-owned pool; 0 defers to ThreadPool::shared()
+  /// (no extra threads), 1 makes the engine fully serial by default.
+  /// Ignored when `pool` is set.
+  std::size_t threads = 0;
+  ThreadPool* pool = nullptr;  ///< external pool override (not owned)
+  /// Candidate portfolio; nullptr = CandidateRegistry::builtin().
+  const CandidateRegistry* registry = nullptr;
+  /// Capacity of the shared cross-request score cache (0 = unbounded).
+  std::size_t cacheCapacity = 1 << 16;
+};
+
+/// The long-lived serving core. Thread-safe: any number of threads may call
+/// optimize/optimizeBatch on one engine concurrently.
+class PlanEngine {
+ public:
+  explicit PlanEngine(EngineConfig config = {});
+
+  PlanEngine(const PlanEngine&) = delete;
+  PlanEngine& operator=(const PlanEngine&) = delete;
+
+  /// Solves one request (equivalent to a one-element batch).
+  [[nodiscard]] OptimizedPlan optimize(const PlanRequest& request);
+  [[nodiscard]] OptimizedPlan optimize(const Application& app, CommModel m,
+                                       Objective obj,
+                                       const OptimizerOptions& opt = {});
+
+  /// Solves a batch: requests with identical canonical signatures (same
+  /// application, model, objective and value-affecting options) are solved
+  /// once; the copies report EngineStats::crossRequestHits = 1 and
+  /// otherwise empty stats (the work is accounted at the representative,
+  /// so summing stats over the batch counts it once). Distinct requests
+  /// fan out over the pool and share the score cache. The result
+  /// vector is index-aligned with `requests`, and every winner is
+  /// bit-identical to a per-request serial optimizePlan.
+  [[nodiscard]] std::vector<OptimizedPlan> optimizeBatch(
+      std::span<const PlanRequest> requests);
+
+  /// Cumulative shared-cache counters since construction (or loadCache).
+  [[nodiscard]] CandidateCache::Stats cacheStats() const;
+  [[nodiscard]] std::size_t cacheSize() const;
+
+  /// Persist / restore the shared score cache (cross-run memoization).
+  /// loadCache inserts on top of the current contents, oldest entries
+  /// first, so the LRU order survives a round trip.
+  void saveCache(std::ostream& os) const;
+  void loadCache(std::istream& is);
+
+  /// The canonical batch dedup key of a request: application, model and
+  /// objective signatures plus a fingerprint of the value-affecting
+  /// options. Process-local: a custom options.registry is fingerprinted by
+  /// pointer identity, which distinguishes registries within one process
+  /// but is meaningless across processes — a cross-process sharding layer
+  /// must restrict itself to default-registry requests (or add its own
+  /// portfolio naming) before using these keys as a shared cache key
+  /// space.
+  [[nodiscard]] static std::string requestKey(const PlanRequest& request);
+
+  /// The process-wide default engine behind the optimizePlan facade.
+  static PlanEngine& shared();
+
+ private:
+  [[nodiscard]] OptimizedPlan solveOne(const Application& app, CommModel m,
+                                       Objective obj,
+                                       const OptimizerOptions& opt);
+  [[nodiscard]] ThreadPool* poolFor(const OptimizerOptions& opt) const;
+
+  EngineConfig config_;
+  std::unique_ptr<ThreadPool> ownedPool_;
+  ThreadPool* pool_ = nullptr;  ///< resolved engine pool (may be null: serial)
+  CandidateCache cache_;        ///< shared cross-request score cache
+};
+
+/// Batch adapter on the process-wide engine, mirroring optimizePlan.
+[[nodiscard]] std::vector<OptimizedPlan> optimizePlanBatch(
+    std::span<const PlanRequest> requests);
+
+}  // namespace fsw

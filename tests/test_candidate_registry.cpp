@@ -8,6 +8,7 @@
 #include "src/common/thread_pool.hpp"
 #include "src/opt/candidate.hpp"
 #include "src/opt/optimizer.hpp"
+#include "src/serve/plan_engine.hpp"
 #include "src/workload/generator.hpp"
 #include "src/workload/paper_instances.hpp"
 
@@ -100,7 +101,7 @@ TEST(GraphSignature, CanonicalAndCollisionFree) {
   EXPECT_NE(graphSignature(ExecutionGraph(12)), graphSignature(ExecutionGraph(1)));
 }
 
-TEST(CandidateCache, DedupAndScoreMemoCountHits) {
+TEST(CandidateCache, ScoreMemoCountsHitsAndMisses) {
   Application app;
   app.addService(1.0, 0.5);
   app.addService(2.0, 0.8);
@@ -109,21 +110,18 @@ TEST(CandidateCache, DedupAndScoreMemoCountHits) {
   const std::string sig = graphSignature(g);
 
   CandidateCache cache;
-  EXPECT_TRUE(cache.admit(sig));
-  EXPECT_FALSE(cache.admit(sig));
-  EXPECT_FALSE(cache.admit(sig));
-
-  const double s1 =
-      cache.surrogate(sig, app, g, CommModel::Overlap, Objective::Period);
-  const double s2 =
-      cache.surrogate(sig, app, g, CommModel::Overlap, Objective::Period);
-  EXPECT_EQ(s1, s2);
+  // The engine's miss-fill protocol: probe, compute on miss, insert.
+  EXPECT_EQ(cache.lookup(sig), std::nullopt);
+  const double s =
+      surrogateScore(app, g, CommModel::Overlap, Objective::Period);
+  EXPECT_EQ(cache.insert(sig, s), 0u);
+  EXPECT_EQ(cache.lookup(sig), s);
+  EXPECT_EQ(cache.lookup("no-such-key"), std::nullopt);
 
   const auto stats = cache.stats();
-  EXPECT_EQ(stats.unique, 1u);
-  EXPECT_EQ(stats.duplicates, 2u);
-  EXPECT_EQ(stats.scoreMisses, 1u);
+  EXPECT_EQ(stats.scoreMisses, 2u);  // the cold probe and the bad key
   EXPECT_EQ(stats.scoreHits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 TEST(Engine, DuplicateProposalsAreScoredAndOrchestratedOnce) {
@@ -135,13 +133,26 @@ TEST(Engine, DuplicateProposalsAreScoredAndOrchestratedOnce) {
   app.addService(1.0, 0.5);
   OptimizerOptions opt = engineOptions();
   opt.threads = 1;
-  const auto r = optimizePlan(app, CommModel::Overlap, Objective::Period, opt);
+  PlanEngine engine{EngineConfig{.threads = 1}};  // fresh: a cold cache
+  const auto r = engine.optimize(app, CommModel::Overlap, Objective::Period,
+                                 opt);
   EXPECT_EQ(r.stats.sourcesRun, 6u);
   EXPECT_GT(r.stats.generated, r.stats.unique);
   EXPECT_GE(r.stats.duplicates, 1u);
-  EXPECT_EQ(r.stats.scoreCacheHits, r.stats.duplicates);
   EXPECT_EQ(r.stats.unique + r.stats.duplicates, r.stats.generated);
   EXPECT_LE(r.stats.orchestrated, r.stats.unique);
+  // Cold cache: nothing shared, every unique signature computed once.
+  EXPECT_EQ(r.stats.sharedHits, 0u);
+  EXPECT_EQ(engine.cacheStats().scoreMisses, r.stats.unique);
+  EXPECT_EQ(engine.cacheStats().scoreHits, 0u);
+  // Warm rerun: every unique signature is a shared hit, none recomputed.
+  const auto r2 = engine.optimize(app, CommModel::Overlap, Objective::Period,
+                                  opt);
+  EXPECT_EQ(r2.stats.sharedHits, r2.stats.unique);
+  EXPECT_EQ(r2.stats.scoreCacheHits, r2.stats.duplicates + r2.stats.sharedHits);
+  EXPECT_EQ(engine.cacheStats().scoreMisses, r.stats.unique);
+  EXPECT_EQ(r2.value, r.value);
+  EXPECT_EQ(r2.strategy, r.strategy);
 }
 
 TEST(Engine, PooledRunMatchesSerialRunOnPaperInstance) {
