@@ -11,19 +11,28 @@
 //   and a winner-identity check against per-request *serial* optimizePlan —
 //   the determinism contract across serial / pooled / batched execution.
 //
-// Exits nonzero when any batch winner diverges from the serial reference,
-// so CI gates on it (`--serial` forces the engine fully serial; the
-// identity check still runs).
+// E9 adds the async front end: the same 72-request mixed workload pushed
+// through PlanServer::submit one request at a time, reporting throughput
+// and the p50/p95 submit-to-result latency per drain configuration next
+// to the one-shot optimizeBatch reference — plus the same winner-identity
+// gate across the sync and async paths.
+//
+// Exits nonzero when any batched *or async* winner diverges from the
+// serial reference, so CI gates on it (`--serial` forces the engine fully
+// serial; the identity checks still run).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <future>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "src/common/util.hpp"
 #include "src/opt/optimizer.hpp"
 #include "src/serve/plan_engine.hpp"
+#include "src/serve/plan_server.hpp"
 #include "src/workload/generator.hpp"
 
 namespace {
@@ -138,6 +147,117 @@ std::vector<PlanRequest> mixedWorkload(std::size_t apps, std::size_t total) {
   return allIdentical;
 }
 
+/// E9: the async front end vs the one-shot batch on the 72-request mixed
+/// workload — throughput plus p50/p95 submit-to-result latency — with the
+/// winner-identity gate across sync and async. Returns false on any
+/// divergence from the serial reference.
+[[nodiscard]] bool printAsyncServingTable() {
+  const auto reqs = mixedWorkload(/*apps=*/3, /*total=*/72);
+  std::printf("E9: async serving (PlanServer), %s engine\n",
+              g_serial ? "serial" : "pooled");
+  std::printf("%-14s %-9s %-10s %-12s %-9s %-9s %-10s %-9s\n", "mode",
+              "requests", "total[ms]", "thruput[r/s]", "p50[ms]", "p95[ms]",
+              "coalesced", "identical");
+
+  // Serial per-request reference for the identity gate (spot-checked, as
+  // in E8 — the full check would dominate the bench's runtime).
+  std::vector<std::size_t> spots;
+  std::vector<OptimizedPlan> refs;
+  for (std::size_t i = 0; i < reqs.size(); i += 7) {
+    OptimizerOptions serial = reqs[i].options;
+    serial.threads = 1;
+    spots.push_back(i);
+    refs.push_back(
+        optimizePlan(reqs[i].app, reqs[i].model, reqs[i].objective, serial));
+  }
+  const auto checkIdentity = [&](const auto& valueAt, const auto& strategyAt) {
+    bool identical = true;
+    for (std::size_t s = 0; s < spots.size(); ++s) {
+      identical = identical && valueAt(spots[s]) == refs[s].value &&
+                  strategyAt(spots[s]) == refs[s].strategy;
+    }
+    return identical;
+  };
+
+  bool allIdentical = true;
+  const EngineConfig cfg{.threads = g_serial ? std::size_t{1} : 0};
+
+  // Reference row: one blocking optimizeBatch — every request's
+  // submit-to-result latency is the batch's total wall clock.
+  {
+    PlanEngine engine{cfg};
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto batch = engine.optimizeBatch(reqs);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double totalMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const bool identical =
+        checkIdentity([&](std::size_t i) { return batch[i].value; },
+                      [&](std::size_t i) { return batch[i].strategy; });
+    allIdentical = allIdentical && identical;
+    std::printf("%-14s %-9zu %-10.1f %-12.1f %-9.1f %-9.1f %-10s %-9s\n",
+                "batch", reqs.size(), totalMs,
+                1000.0 * static_cast<double>(reqs.size()) / totalMs, totalMs,
+                totalMs, "-", identical ? "yes" : "NO!");
+  }
+
+  // Async rows: submit one request at a time; waiter threads stamp each
+  // future the moment it becomes ready, so the latency columns measure
+  // submit-to-result per request, coalescing included.
+  for (const std::size_t maxBatch : {std::size_t{8}, std::size_t{1}}) {
+    PlanEngine engine{cfg};
+    ServerConfig sc;
+    sc.engine = &engine;
+    sc.maxBatch = maxBatch;
+    sc.drainThreads = g_serial ? 1 : 2;
+    PlanServer server{sc};
+
+    const std::size_t n = reqs.size();
+    std::vector<std::future<OptimizedPlan>> futures(n);
+    std::vector<std::chrono::steady_clock::time_point> submitted(n), done(n);
+    std::vector<std::thread> waiters;
+    waiters.reserve(n);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      submitted[i] = std::chrono::steady_clock::now();
+      futures[i] = server.submit(reqs[i]);
+      waiters.emplace_back([&, i] {
+        futures[i].wait();
+        done[i] = std::chrono::steady_clock::now();
+      });
+    }
+    server.drain();
+    for (auto& w : waiters) w.join();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    std::vector<OptimizedPlan> results;
+    results.reserve(n);
+    for (auto& f : futures) results.push_back(f.get());
+    std::vector<double> latencies(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      latencies[i] =
+          std::chrono::duration<double, std::milli>(done[i] - submitted[i])
+              .count();
+    }
+    const double totalMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const bool identical =
+        checkIdentity([&](std::size_t i) { return results[i].value; },
+                      [&](std::size_t i) { return results[i].strategy; });
+    allIdentical = allIdentical && identical;
+
+    char mode[32];
+    std::snprintf(mode, sizeof(mode), "async b=%zu", maxBatch);
+    std::printf("%-14s %-9zu %-10.1f %-12.1f %-9.1f %-9.1f %-10zu %-9s\n",
+                mode, n, totalMs,
+                1000.0 * static_cast<double>(n) / totalMs,
+                percentile(latencies, 0.50), percentile(latencies, 0.95),
+                server.stats().coalesced, identical ? "yes" : "NO!");
+  }
+  std::printf("\n");
+  return allIdentical;
+}
+
 void BM_OptimizeBatch(benchmark::State& state) {
   const auto total = static_cast<std::size_t>(state.range(0));
   const auto reqs = mixedWorkload(/*apps=*/2, total);
@@ -154,7 +274,7 @@ BENCHMARK(BM_OptimizeBatch)->Arg(12)->Arg(36)->Unit(benchmark::kMillisecond);
 
 void BM_WarmCacheOptimize(benchmark::State& state) {
   // Steady-state serving: the same request against a warm long-lived
-  // engine (every surrogate score a shared-cache hit).
+  // engine — since PR 3 that is a wholesale full-result-cache hit.
   const auto reqs = mixedWorkload(/*apps=*/1, 6);
   const EngineConfig cfg{.threads = g_serial ? std::size_t{1} : 0};
   PlanEngine engine{cfg};
@@ -171,8 +291,9 @@ BENCHMARK(BM_WarmCacheOptimize)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   g_serial = fswbench::stripFlag(argc, argv, "--serial");
-  const bool identical = printServingTable();
+  const bool batchIdentical = printServingTable();
+  const bool asyncIdentical = printAsyncServingTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return identical ? 0 : 1;
+  return batchIdentical && asyncIdentical ? 0 : 1;
 }

@@ -1,0 +1,114 @@
+// Async serving: a PlanServer over a named portfolio, with the full-result
+// cache persisted across runs. Requests are submitted one at a time (with
+// priorities and duplicate traffic), results stream through onResult as
+// their batches complete, and the winners land in std::futures.
+//
+//   $ ./async_serving            # cold start
+//   $ ./async_serving            # warm start: repeats served from
+//                                # fsw_results.txt with zero orchestrations
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "src/core/application.hpp"
+#include "src/serve/plan_server.hpp"
+
+int main() {
+  using namespace fsw;
+
+  // Two tenants of a serving process.
+  Application ingest;
+  ingest.addService(2.0, 0.5, "dedupe");
+  ingest.addService(6.0, 0.3, "classify");
+  ingest.addService(1.5, 1.0, "annotate");
+  ingest.addService(3.0, 1.8, "enrich");
+
+  Application search;
+  search.addService(1.0, 0.6, "tokenize");
+  search.addService(5.0, 0.4, "retrieve");
+  search.addService(2.5, 0.9, "rerank");
+  search.addService(4.0, 1.2, "expand");
+  search.addService(0.5, 1.0, "render");
+  search.addPrecedence(0, 1);  // tokenize before retrieve
+
+  // One engine for the process lifetime; a previous run's result dump
+  // warms its full-result store.
+  PlanEngine engine;
+  const char* resultsFile = "fsw_results.txt";
+  if (std::ifstream in(resultsFile); in.good()) {
+    try {
+      engine.loadResults(in);
+      std::printf("warm start: loaded %zu full results from %s\n\n",
+                  engine.resultCacheSize(), resultsFile);
+    } catch (const std::exception& e) {
+      // A dump from an older format version is rejected cleanly — serve
+      // cold and overwrite it on exit rather than crash-looping.
+      std::printf("cold start: ignoring stale %s (%s)\n\n", resultsFile,
+                  e.what());
+    }
+  } else {
+    std::printf("cold start (no %s yet)\n\n", resultsFile);
+  }
+
+  // The async front end: bounded admission, batched draining, streaming.
+  std::mutex printMu;
+  ServerConfig sc;
+  sc.engine = &engine;
+  sc.maxQueueDepth = 64;
+  sc.maxBatch = 4;
+  sc.onResult = [&](const PlanRequest& r, const OptimizedPlan& plan) {
+    const std::lock_guard<std::mutex> lock(printMu);
+    std::printf("  stream: %-8s %-8s value=%-9.4f %-16s%s\n",
+                name(r.model).data(), name(r.objective).data(), plan.value,
+                plan.strategy.c_str(),
+                plan.stats.resultCacheHits != 0 ? "  [result-cache]" : "");
+  };
+  PlanServer server{sc};
+
+  // Mixed traffic: every (app, model, objective) pair, the period requests
+  // marked urgent, plus duplicate traffic that coalesces or hits the
+  // result cache instead of re-solving.
+  std::vector<PlanRequest> requests;
+  for (const auto* app : {&ingest, &search}) {
+    for (const CommModel m : kAllModels) {
+      for (const Objective obj : {Objective::Period, Objective::Latency}) {
+        requests.push_back({*app, m, obj});
+      }
+    }
+  }
+  const std::size_t unique = requests.size();
+  for (std::size_t i = 0; i < unique; i += 2) requests.push_back(requests[i]);
+
+  std::printf("streaming %zu submits (%zu unique keys):\n", requests.size(),
+              unique);
+  std::vector<std::future<OptimizedPlan>> futures;
+  futures.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const int priority =
+        requests[i].objective == Objective::Period ? 1 : 0;  // urgent tier
+    futures.push_back(server.submit(requests[i], priority));
+  }
+  server.drain();  // every admitted solve has completed and streamed
+
+  double total = 0.0;
+  for (auto& f : futures) total += f.get().value;
+  const auto st = server.stats();
+  std::printf("\nserver: %zu submitted = %zu admitted + %zu coalesced; "
+              "%zu batches, %zu solves, checksum %.4f\n",
+              st.submitted, st.admitted, st.coalesced, st.batches,
+              st.completed, total);
+  const auto rc = engine.resultCacheStats();
+  std::printf("result cache: %zu entries, %zu hits / %zu misses\n",
+              engine.resultCacheSize(), rc.hits, rc.misses);
+
+  // Persist the full-result store (budgeted) for the next run's warm start.
+  if (std::ofstream out(resultsFile); out.good()) {
+    engine.saveResults(out, /*budget=*/64);
+    std::printf("saved full results to %s — rerun for a warm start\n",
+                resultsFile);
+  }
+  return 0;
+}

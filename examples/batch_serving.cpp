@@ -5,6 +5,7 @@
 //   $ ./batch_serving            # cold start
 //   $ ./batch_serving            # warm start (loads fsw_cache.txt)
 #include <cstdio>
+#include <exception>
 #include <fstream>
 
 #include "src/core/application.hpp"
@@ -47,9 +48,16 @@ int main() {
   PlanEngine engine;
   const char* cacheFile = "fsw_cache.txt";
   if (std::ifstream in(cacheFile); in.good()) {
-    engine.loadCache(in);
-    std::printf("warm start: loaded %zu cached scores from %s\n\n",
-                engine.cacheSize(), cacheFile);
+    try {
+      engine.loadCache(in);
+      std::printf("warm start: loaded %zu cached scores from %s\n\n",
+                  engine.cacheSize(), cacheFile);
+    } catch (const std::exception& e) {
+      // A dump from an older format version is rejected cleanly — serve
+      // cold and overwrite it on exit rather than crash-looping.
+      std::printf("cold start: ignoring stale %s (%s)\n\n", cacheFile,
+                  e.what());
+    }
   } else {
     std::printf("cold start (no %s yet)\n\n", cacheFile);
   }

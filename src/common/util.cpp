@@ -43,4 +43,16 @@ std::string join(const std::vector<std::string>& items,
   return out;
 }
 
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (q <= 0.0) return values.front();
+  if (q >= 1.0) return values.back();
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= values.size()) return values.back();
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[lo + 1] - values[lo]);
+}
+
 }  // namespace fsw

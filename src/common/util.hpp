@@ -33,4 +33,9 @@ bool forEachPermutation(std::size_t n,
 [[nodiscard]] std::string join(const std::vector<std::string>& items,
                                const std::string& sep);
 
+/// The q-quantile of `values` (q in [0, 1]) by linear interpolation over
+/// the sorted copy; 0 for an empty input. q = 0.5 is the median — the
+/// serving benchmarks report p50/p95 latency through this.
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
 }  // namespace fsw

@@ -1,8 +1,12 @@
 #include "src/io/serialize.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
+
+#include "src/serve/result_cache.hpp"
 
 namespace fsw {
 
@@ -127,8 +131,32 @@ OperationList readOperationList(std::istream& is) {
   return ol;
 }
 
+namespace {
+
+/// Checks the `<magic> <version>` line every cache file opens with.
+void readCacheHeader(std::istream& is, const char* magic, int version,
+                     const char* where) {
+  std::string word;
+  int got = 0;
+  if (!(is >> word) || word != magic) {
+    throw std::runtime_error(std::string(where) + ": bad magic '" + word +
+                             "' (expected '" + magic + "')");
+  }
+  if (!(is >> got)) {
+    throw std::runtime_error(std::string(where) + ": missing format version");
+  }
+  if (got != version) {
+    throw std::runtime_error(std::string(where) + ": unsupported version " +
+                             std::to_string(got) + " (expected " +
+                             std::to_string(version) + ")");
+  }
+}
+
+}  // namespace
+
 void writeCandidateCache(std::ostream& os, const CandidateCache& cache) {
   const auto entries = cache.snapshot();
+  os << kScoreCacheMagic << " " << kScoreCacheVersion << "\n";
   os << "candidatecache " << entries.size() << "\n";
   os << std::setprecision(17);
   for (const auto& [key, score] : entries) {
@@ -137,6 +165,8 @@ void writeCandidateCache(std::ostream& os, const CandidateCache& cache) {
 }
 
 void readCandidateCache(std::istream& is, CandidateCache& cache) {
+  readCacheHeader(is, kScoreCacheMagic, kScoreCacheVersion,
+                  "readCandidateCache");
   std::string tag;
   std::size_t n = 0;
   if (!(is >> tag >> n) || tag != "candidatecache") {
@@ -149,6 +179,56 @@ void readCandidateCache(std::istream& is, CandidateCache& cache) {
       throw std::runtime_error("readCandidateCache: bad entry line");
     }
     (void)cache.insert(key, score);
+  }
+}
+
+void writeResultCache(std::ostream& os, const ResultCache& cache,
+                      std::size_t budget) {
+  const auto entries = cache.snapshot();  // LRU first
+  std::vector<const std::pair<std::string, ResultCache::Entry>*> writable;
+  writable.reserve(entries.size());
+  for (const auto& entry : entries) {
+    if (std::isfinite(entry.second->value) &&
+        !entry.second->strategy.empty()) {
+      writable.push_back(&entry);
+    }
+  }
+  // The on-disk budget keeps the most recently used winners (the tail of
+  // the LRU-first snapshot), still written LRU-first.
+  const std::size_t keep =
+      budget == 0 ? writable.size() : std::min(budget, writable.size());
+  const std::size_t start = writable.size() - keep;
+
+  os << kResultCacheMagic << " " << kResultCacheVersion << "\n";
+  os << "results " << keep << "\n";
+  os << std::setprecision(17);
+  for (std::size_t i = start; i < writable.size(); ++i) {
+    const auto& [key, plan] = *writable[i];
+    os << "result " << key << " " << plan->value << " " << plan->surrogate
+       << " " << plan->strategy << "\n";
+    writeGraph(os, plan->plan.graph);
+    writeOperationList(os, plan->plan.ol);
+  }
+}
+
+void readResultCache(std::istream& is, ResultCache& cache) {
+  readCacheHeader(is, kResultCacheMagic, kResultCacheVersion,
+                  "readResultCache");
+  std::string tag;
+  std::size_t n = 0;
+  if (!(is >> tag >> n) || tag != "results") {
+    throw std::runtime_error("readResultCache: bad header");
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    OptimizedPlan plan;
+    std::string key;
+    if (!(is >> tag >> key >> plan.value >> plan.surrogate >> plan.strategy) ||
+        tag != "result") {
+      throw std::runtime_error("readResultCache: bad result line");
+    }
+    plan.plan.graph = readGraph(is);
+    plan.plan.ol = readOperationList(is);
+    (void)cache.insert(key, plan);
   }
 }
 

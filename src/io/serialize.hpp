@@ -34,7 +34,18 @@ void writeGraph(std::ostream& os, const ExecutionGraph& graph);
 void writeOperationList(std::ostream& os, const OperationList& ol);
 [[nodiscard]] OperationList readOperationList(std::istream& is);
 
+/// On-disk cache versioning. Every cache file opens with a magic word and
+/// a format version; readers reject a wrong magic or version with a clean
+/// std::runtime_error instead of silently misparsing (the headerless PR 2
+/// score-cache dumps fail the magic check). Bump a version whenever its
+/// format or the meaning of its keys changes.
+inline constexpr const char* kScoreCacheMagic = "fswscorecache";
+inline constexpr int kScoreCacheVersion = 2;  ///< 1 = headerless PR 2 format
+inline constexpr const char* kResultCacheMagic = "fswresultcache";
+inline constexpr int kResultCacheVersion = 1;
+
 /// Format:
+///   fswscorecache 2
 ///   candidatecache <entries>
 ///   entry <key> <score>                       (entries lines, LRU first)
 /// Keys are the engine's whitespace-free signature strings, scores are
@@ -43,8 +54,30 @@ void writeOperationList(std::ostream& os, const OperationList& ol);
 /// memoization seam: PlanEngine::saveCache / loadCache wrap these.
 void writeCandidateCache(std::ostream& os, const CandidateCache& cache);
 /// Inserts the dump's entries into `cache` (on top of current contents,
-/// subject to its capacity bound). Throws std::runtime_error on bad input.
+/// subject to its capacity bound). Throws std::runtime_error on a bad
+/// magic, a version mismatch, or malformed entries.
 void readCandidateCache(std::istream& is, CandidateCache& cache);
+
+class ResultCache;
+
+/// Format:
+///   fswresultcache 1
+///   results <entries>
+///   result <key> <value> <surrogate> <strategy>   (then the winner's
+///   graph/oplist blocks via writeGraph / writeOperationList; LRU first)
+/// `budget` is the on-disk entry budget (0 = unbounded): only the most
+/// recently used `budget` winners are written, still LRU-first, so the
+/// artifact stays sequential and size-bounded while a round trip
+/// preserves the eviction order of what it keeps. Degenerate entries — a
+/// non-finite value or empty strategy, i.e. a solve that found no
+/// candidate — are skipped: they are cheap to recompute and their fields
+/// would not tokenize.
+void writeResultCache(std::ostream& os, const ResultCache& cache,
+                      std::size_t budget = 0);
+/// Inserts the dump's winners into `cache` (on top of current contents,
+/// subject to its capacity bound). Throws std::runtime_error on a bad
+/// magic, a version mismatch, or malformed entries.
+void readResultCache(std::istream& is, ResultCache& cache);
 
 /// Round-trip helpers via strings.
 [[nodiscard]] std::string toString(const Application& app);

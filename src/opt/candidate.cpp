@@ -119,10 +119,42 @@ class ExactForestSource final : public CandidateSource {
 
 }  // namespace
 
+namespace {
+
+/// Portfolio and source names end up as tokens of the plain-text cache
+/// formats and as fields of the portfolio fingerprint, so they must be
+/// non-empty, whitespace-free and free of the fingerprint delimiters —
+/// otherwise a source named "a,b" would fingerprint identically to two
+/// sources "a" and "b" and the portfolios could share cache keys.
+void validateToken(std::string_view name, const char* what) {
+  if (name.empty()) {
+    throw std::invalid_argument(std::string("CandidateRegistry: empty ") +
+                                what + " name");
+  }
+  if (name.find_first_of(" \t\n\r\f\v[],") != std::string_view::npos) {
+    throw std::invalid_argument(
+        std::string("CandidateRegistry: ") + what + " name '" +
+        std::string(name) +
+        "' contains whitespace or a fingerprint delimiter ('[', ']', ',')");
+  }
+}
+
+}  // namespace
+
+CandidateRegistry::CandidateRegistry(std::string name) {
+  setName(std::move(name));
+}
+
+void CandidateRegistry::setName(std::string name) {
+  validateToken(name, "portfolio");
+  name_ = std::move(name);
+}
+
 void CandidateRegistry::add(std::unique_ptr<CandidateSource> source) {
   if (source == nullptr) {
     throw std::invalid_argument("CandidateRegistry: null source");
   }
+  validateToken(source->name(), "source");
   if (find(source->name()) != nullptr) {
     throw std::invalid_argument("CandidateRegistry: duplicate source name '" +
                                 std::string(source->name()) + "'");
@@ -138,7 +170,7 @@ const CandidateSource* CandidateRegistry::find(std::string_view name) const {
 }
 
 CandidateRegistry CandidateRegistry::makeBuiltin() {
-  CandidateRegistry r;
+  CandidateRegistry r("builtin");
   r.add(std::make_unique<ChainGreedySource>());
   r.add(std::make_unique<NoCommBaselineSource>());
   r.add(std::make_unique<GreedyForestSource>());
@@ -151,6 +183,17 @@ CandidateRegistry CandidateRegistry::makeBuiltin() {
 const CandidateRegistry& CandidateRegistry::builtin() {
   static const CandidateRegistry registry = makeBuiltin();
   return registry;
+}
+
+std::string portfolioFingerprint(const CandidateRegistry& registry) {
+  std::string fp = registry.name();
+  fp += '[';
+  for (std::size_t i = 0; i < registry.sources().size(); ++i) {
+    if (i != 0) fp += ',';
+    fp += registry.sources()[i]->name();
+  }
+  fp += ']';
+  return fp;
 }
 
 std::string graphSignature(const ExecutionGraph& g) {

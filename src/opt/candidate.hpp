@@ -64,14 +64,35 @@ class CandidateSource {
 /// An ordered collection of sources. Registration order is part of the
 /// engine's deterministic tie-break (earlier sources win ties), so the
 /// built-in order is fixed and extensions append.
+///
+/// Naming a portfolio is the explicit opt-in to *portable* request keys:
+/// a named portfolio's identity is its name plus the ordered source-name
+/// list (portfolioFingerprint), so two processes that register
+/// behaviorally identical sources under the same names produce identical
+/// keys — the precondition for a shared cross-process cache. The name is
+/// a contract: it must identify the sources' behavior, so rename extended
+/// or modified copies of the built-in. An *unnamed* registry stays
+/// process-local — the serving layer falls back to pointer identity for
+/// it, which keeps two anonymous registries distinct even when their
+/// source names collide.
 class CandidateRegistry {
  public:
-  CandidateRegistry() = default;
+  CandidateRegistry() = default;  ///< unnamed: process-local key identity
+  /// A portfolio with a stable name (non-empty, no whitespace; throws
+  /// std::invalid_argument otherwise).
+  explicit CandidateRegistry(std::string name);
   CandidateRegistry(CandidateRegistry&&) = default;
   CandidateRegistry& operator=(CandidateRegistry&&) = default;
 
-  /// Appends a source. Throws std::invalid_argument on a duplicate name.
+  /// Appends a source. Throws std::invalid_argument on a duplicate, empty
+  /// or whitespace-containing name (names are file-format tokens).
   void add(std::unique_ptr<CandidateSource> source);
+
+  /// The portfolio name; empty for an unnamed (process-local) registry.
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// Names the portfolio (opting in to portable keys); same validity
+  /// rules as the constructor.
+  void setName(std::string name);
 
   [[nodiscard]] const std::vector<std::unique_ptr<CandidateSource>>& sources()
       const noexcept {
@@ -82,16 +103,28 @@ class CandidateRegistry {
   /// The source with the given name, or nullptr.
   [[nodiscard]] const CandidateSource* find(std::string_view name) const;
 
-  /// The immutable built-in portfolio: chain-greedy, no-comm-baseline,
-  /// greedy-forest, hill-climb, anneal, exact-forest (in that order).
+  /// The immutable built-in portfolio, named "builtin": chain-greedy,
+  /// no-comm-baseline, greedy-forest, hill-climb, anneal, exact-forest
+  /// (in that order).
   static const CandidateRegistry& builtin();
 
   /// A fresh copy of the built-in portfolio that callers may extend.
+  /// Extended copies should be renamed — the fingerprint also covers the
+  /// source list, but a distinct name keeps keys self-describing.
   static CandidateRegistry makeBuiltin();
 
  private:
+  std::string name_;  ///< empty = unnamed (process-local)
   std::vector<std::unique_ptr<CandidateSource>> sources_;
 };
+
+/// The portable identity of a named portfolio: `name[src1,src2,...]` —
+/// its name plus the ordered source-name list. A pure function of
+/// registration (never of object identity), so it is stable across
+/// processes and safe inside persisted cache keys. Whitespace-free by the
+/// registry's naming rules. Only meaningful for named registries: the
+/// serving layer keys unnamed ones by pointer instead.
+[[nodiscard]] std::string portfolioFingerprint(const CandidateRegistry& registry);
 
 /// Canonical signature of an execution graph: node count plus the sorted
 /// edge list. Two graphs have equal signatures iff they are equal, so the

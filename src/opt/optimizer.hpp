@@ -59,6 +59,11 @@ struct EngineStats {
   /// 1 when this batch member was served wholesale from an identical
   /// earlier member of the same optimizePlanBatch call.
   std::size_t crossRequestHits = 0;
+  /// 1 when this request was served wholesale from the engine's full-result
+  /// cache (an earlier identical request, possibly loaded from disk): the
+  /// stored winner is returned with zero new orchestrations, so every other
+  /// counter in this struct is 0.
+  std::size_t resultCacheHits = 0;
 };
 
 struct OptimizedPlan {

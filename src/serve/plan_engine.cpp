@@ -38,8 +38,22 @@ std::string optionsFingerprint(const OptimizerOptions& o) {
      << o.orchestrator.outorder.bisectSteps << ':'
      << o.orchestrator.outorder.seed;
   if (o.registry != nullptr) {
-    // A custom portfolio changes winners; its identity is part of the key.
-    os << ";reg" << static_cast<const void*>(o.registry);
+    if (o.registry->name().empty()) {
+      // An unnamed portfolio is process-local: pointer identity keeps two
+      // anonymous registries distinct even when their source names
+      // collide (naming is the explicit opt-in to portable keys).
+      os << ";reg" << static_cast<const void*>(o.registry);
+    } else {
+      // A named portfolio's *portable* identity — name plus ordered
+      // source-name list, never the pointer — is part of the key. A
+      // portfolio indistinguishable from the built-in is canonicalized
+      // away, so explicitly passing (a copy of) the built-in keys
+      // identically to the default.
+      static const std::string builtinFp =
+          portfolioFingerprint(CandidateRegistry::builtin());
+      const std::string fp = portfolioFingerprint(*o.registry);
+      if (fp != builtinFp) os << ";reg:" << fp;
+    }
   }
   return os.str();
 }
@@ -47,7 +61,9 @@ std::string optionsFingerprint(const OptimizerOptions& o) {
 }  // namespace
 
 PlanEngine::PlanEngine(EngineConfig config)
-    : config_(config), cache_(config.cacheCapacity) {
+    : config_(config),
+      cache_(config.cacheCapacity),
+      results_(config.resultCacheCapacity) {
   if (config_.pool != nullptr) {
     pool_ = config_.pool;
   } else if (config_.threads == 1) {
@@ -59,6 +75,22 @@ PlanEngine::PlanEngine(EngineConfig config)
     ownedPool_ = std::make_unique<ThreadPool>(config_.threads);
     pool_ = ownedPool_.get();
   }
+}
+
+bool PlanEngine::resultCacheable(const PlanRequest& request) const {
+  // The full-result store is only sound when the request's key describes
+  // the portfolio that actually solves it, beyond this call:
+  //   * an *unnamed* request-level portfolio is keyed by pointer, which is
+  //     only guaranteed live (and unique) while the caller's registry
+  //     exists — sound for in-batch dedup, unsound for a store that
+  //     outlives the call or is persisted;
+  //   * an engine-level EngineConfig::registry override changes the
+  //     effective portfolio of default requests while their key still
+  //     reads "builtin" — caching (or serving) under that key would hand
+  //     one portfolio's winner to another's request.
+  const CandidateRegistry* reg = request.options.registry;
+  if (reg == nullptr) return config_.registry == nullptr;
+  return !reg->name().empty();
 }
 
 ThreadPool* PlanEngine::poolFor(const OptimizerOptions& opt) const {
@@ -202,14 +234,18 @@ OptimizedPlan PlanEngine::solveOne(const Application& app, CommModel m,
 }
 
 OptimizedPlan PlanEngine::optimize(const PlanRequest& request) {
-  return solveOne(request.app, request.model, request.objective,
-                  request.options);
+  // One code path: a single request is a one-element batch, so dedup,
+  // result-cache, incumbent and stats accounting cannot drift between the
+  // two entry points.
+  return std::move(
+      optimizeBatch(std::span<const PlanRequest>(&request, 1)).front());
 }
 
 OptimizedPlan PlanEngine::optimize(const Application& app, CommModel m,
                                    Objective obj,
                                    const OptimizerOptions& opt) {
-  return solveOne(app, m, obj, opt);
+  const PlanRequest request{app, m, obj, opt};
+  return optimize(request);
 }
 
 std::vector<OptimizedPlan> PlanEngine::optimizeBatch(
@@ -220,24 +256,49 @@ std::vector<OptimizedPlan> PlanEngine::optimizeBatch(
   // Cross-request dedup: members with identical canonical keys collapse
   // onto the first occurrence's solve.
   std::unordered_map<std::string, std::size_t> firstOf;
+  std::vector<std::string> keys(n);
   std::vector<std::size_t> representative(n);
   std::vector<std::size_t> distinct;
   for (std::size_t i = 0; i < n; ++i) {
-    const auto [it, inserted] = firstOf.emplace(requestKey(requests[i]), i);
+    keys[i] = dedupKey(requests[i]);
+    const auto [it, inserted] = firstOf.emplace(keys[i], i);
     representative[i] = it->second;
     if (inserted) distinct.push_back(i);
   }
 
-  // Fan the distinct solves out over the engine pool. Each solve nests its
-  // own fan-out on the same workers; the pool's helping discipline makes
-  // nested regions deadlock-free.
+  // Serve whole solves from the full-result store where possible. The
+  // probe pass is serial and index-ordered (like the score cache's), so
+  // LRU order stays deterministic for serial request sequences; a hit is
+  // sound because a solve is a pure function of its key.
+  std::vector<std::size_t> misses;
+  misses.reserve(distinct.size());
+  for (const std::size_t i : distinct) {
+    if (config_.cacheFullResults && resultCacheable(requests[i])) {
+      if (const auto hit = results_.lookup(keys[i])) {
+        out[i] = *hit;  // the plan copy happens outside the cache lock
+        out[i].stats.resultCacheHits = 1;
+        continue;
+      }
+    }
+    misses.push_back(i);
+  }
+
+  // Fan the remaining solves out over the engine pool. Each solve nests
+  // its own fan-out on the same workers; the pool's helping discipline
+  // makes nested regions deadlock-free.
   auto solved =
-      parallelMap<OptimizedPlan>(pool_, distinct.size(), [&](std::size_t i) {
-        const PlanRequest& r = requests[distinct[i]];
+      parallelMap<OptimizedPlan>(pool_, misses.size(), [&](std::size_t k) {
+        const PlanRequest& r = requests[misses[k]];
         return solveOne(r.app, r.model, r.objective, r.options);
       });
-  for (std::size_t i = 0; i < distinct.size(); ++i) {
-    out[distinct[i]] = std::move(solved[i]);
+  for (std::size_t k = 0; k < misses.size(); ++k) {
+    const std::size_t i = misses[k];
+    out[i] = std::move(solved[k]);
+    // Result-store evictions are engine-level state, reported through
+    // resultCacheStats() — EngineStats::evictions stays score-cache-only.
+    if (config_.cacheFullResults && resultCacheable(requests[i])) {
+      (void)results_.insert(keys[i], out[i]);
+    }
   }
   for (std::size_t i = 0; i < n; ++i) {
     if (representative[i] != i) {
@@ -264,11 +325,35 @@ void PlanEngine::loadCache(std::istream& is) {
   readCandidateCache(is, cache_);
 }
 
+ResultCache::Stats PlanEngine::resultCacheStats() const {
+  return results_.stats();
+}
+
+std::size_t PlanEngine::resultCacheSize() const { return results_.size(); }
+
+void PlanEngine::saveResults(std::ostream& os, std::size_t budget) const {
+  writeResultCache(os, results_, budget);
+}
+
+void PlanEngine::loadResults(std::istream& is) {
+  readResultCache(is, results_);
+}
+
 std::string PlanEngine::requestKey(const PlanRequest& request) {
   return applicationSignature(request.app) + '#' +
          std::string(name(request.model)) + '#' +
          std::string(name(request.objective)) + '#' +
          optionsFingerprint(request.options);
+}
+
+std::string PlanEngine::dedupKey(const PlanRequest& request) const {
+  std::string key = requestKey(request);
+  if (config_.registry != nullptr && request.options.registry == nullptr) {
+    // Solved by the engine-level override, not the "builtin" the static
+    // key describes: keep it apart from true builtin-portfolio requests.
+    key += ";engreg";
+  }
+  return key;
 }
 
 PlanEngine& PlanEngine::shared() {

@@ -14,12 +14,20 @@
 //     (application, model, objective, graph) signatures, shared across
 //     requests and batches, and persistable across runs via
 //     saveCache/loadCache (src/io/serialize.*);
+//   * one ResultCache (requestKey -> winning OptimizedPlan): identical
+//     repeated requests are served wholesale with zero new orchestrations,
+//     in-process or across runs (saveResults/loadResults persist it as a
+//     versioned, size-budgeted artifact);
 //   * optimizeBatch: fans a batch of PlanRequests out over the pool,
 //     serving members with identical canonical signatures from the first
 //     occurrence's solve (cross-request dedup), and threads the incumbent
 //     value of each request's best-ranked candidate into the remaining
 //     orchestrations as an upper bound so dominated difference-constraint
 //     solves abort early (Bounded-Dijkstra-style pruning).
+//
+// The asynchronous request lifecycle (queueing, admission control,
+// coalescing, streaming results) lives one layer up in PlanServer
+// (src/serve/plan_server.hpp); this engine stays a blocking batch core.
 //
 // Determinism contract, unchanged from PR 1 and extended to batches: the
 // winner of every request is bit-identical across serial, pooled and
@@ -39,6 +47,7 @@
 #include "src/core/model.hpp"
 #include "src/opt/candidate.hpp"
 #include "src/opt/optimizer.hpp"
+#include "src/serve/result_cache.hpp"
 
 namespace fsw {
 
@@ -59,10 +68,27 @@ struct EngineConfig {
   /// Ignored when `pool` is set.
   std::size_t threads = 0;
   ThreadPool* pool = nullptr;  ///< external pool override (not owned)
-  /// Candidate portfolio; nullptr = CandidateRegistry::builtin().
+  /// Candidate portfolio; nullptr = CandidateRegistry::builtin(). An
+  /// engine-level override is NOT part of requestKey (keys only cover
+  /// per-request state), so requests that rely on it bypass the
+  /// full-result cache — its key would misattribute their winner to the
+  /// built-in portfolio. To serve a custom portfolio with full-result
+  /// caching, pass it per request via OptimizerOptions::registry with a
+  /// stable name.
   const CandidateRegistry* registry = nullptr;
   /// Capacity of the shared cross-request score cache (0 = unbounded).
   std::size_t cacheCapacity = 1 << 16;
+  /// Full-result memoization: when enabled the engine keeps a
+  /// (requestKey -> winning OptimizedPlan) store and serves an identical
+  /// repeated request wholesale — zero new orchestrations,
+  /// EngineStats::resultCacheHits = 1. Sound because a solve is a pure
+  /// function of its request key. Requests carrying an *unnamed* custom
+  /// portfolio bypass this store: their pointer-identity key is only
+  /// stable for the duration of the call, so caching it could serve a
+  /// dead registry's winner to whatever next reuses the address.
+  bool cacheFullResults = true;
+  /// Retained winners in the full-result store (0 = unbounded).
+  std::size_t resultCacheCapacity = 1024;
 };
 
 /// The long-lived serving core. Thread-safe: any number of threads may call
@@ -74,7 +100,10 @@ class PlanEngine {
   PlanEngine(const PlanEngine&) = delete;
   PlanEngine& operator=(const PlanEngine&) = delete;
 
-  /// Solves one request (equivalent to a one-element batch).
+  /// Solves one request by routing it through optimizeBatch on a
+  /// one-element span — single-request and batch serving share one code
+  /// path, so dedup, result-cache, incumbent and stats accounting can
+  /// never drift between the two entry points.
   [[nodiscard]] OptimizedPlan optimize(const PlanRequest& request);
   [[nodiscard]] OptimizedPlan optimize(const Application& app, CommModel m,
                                        Objective obj,
@@ -97,19 +126,46 @@ class PlanEngine {
 
   /// Persist / restore the shared score cache (cross-run memoization).
   /// loadCache inserts on top of the current contents, oldest entries
-  /// first, so the LRU order survives a round trip.
+  /// first, so the LRU order survives a round trip. The file carries a
+  /// magic/version header; loadCache throws std::runtime_error on a
+  /// mismatch.
   void saveCache(std::ostream& os) const;
   void loadCache(std::istream& is);
 
-  /// The canonical batch dedup key of a request: application, model and
+  /// Counters and size of the full-result store.
+  [[nodiscard]] ResultCache::Stats resultCacheStats() const;
+  [[nodiscard]] std::size_t resultCacheSize() const;
+
+  /// Persist / restore the full-result store (signature -> OptimizedPlan)
+  /// as a versioned on-disk artifact: magic/version header (loadResults
+  /// throws std::runtime_error on a mismatch) and an on-disk entry budget
+  /// (`budget` = max winners written, most recently used kept; 0 = all).
+  /// A warm-started engine serves a repeated request from the dump with
+  /// zero new orchestrations.
+  void saveResults(std::ostream& os, std::size_t budget = 0) const;
+  void loadResults(std::istream& is);
+
+  /// The canonical dedup/cache key of a request: application, model and
   /// objective signatures plus a fingerprint of the value-affecting
-  /// options. Process-local: a custom options.registry is fingerprinted by
-  /// pointer identity, which distinguishes registries within one process
-  /// but is meaningless across processes — a cross-process sharding layer
-  /// must restrict itself to default-registry requests (or add its own
-  /// portfolio naming) before using these keys as a shared cache key
-  /// space.
+  /// options. Portable across processes for *named* portfolios: a named
+  /// options.registry is fingerprinted by its portfolio name and ordered
+  /// source-name list (portfolioFingerprint), never by pointer, so two
+  /// processes that register the same portfolio compute identical keys —
+  /// the key space of ROADMAP's distributed fan-out. A portfolio whose
+  /// fingerprint matches the built-in's keys identically to a
+  /// default-registry request; an *unnamed* registry falls back to
+  /// pointer identity (process-local), so anonymous portfolios can never
+  /// collide in a shared cache.
   [[nodiscard]] static std::string requestKey(const PlanRequest& request);
+
+  /// The engine-aware dedup/coalescing key: requestKey, plus a marker on
+  /// requests solved by this engine's EngineConfig::registry override —
+  /// their static key reads "builtin" while a different portfolio solves
+  /// them, so they must never collapse onto (or coalesce with) a true
+  /// builtin-portfolio request. optimizeBatch and PlanServer key by this;
+  /// persisted result-cache keys never carry the marker (such requests
+  /// are not result-cacheable).
+  [[nodiscard]] std::string dedupKey(const PlanRequest& request) const;
 
   /// The process-wide default engine behind the optimizePlan facade.
   static PlanEngine& shared();
@@ -119,11 +175,15 @@ class PlanEngine {
                                        Objective obj,
                                        const OptimizerOptions& opt);
   [[nodiscard]] ThreadPool* poolFor(const OptimizerOptions& opt) const;
+  /// Whether the request's key soundly identifies its winner beyond this
+  /// call (see the definition for the two unsound shapes it excludes).
+  [[nodiscard]] bool resultCacheable(const PlanRequest& request) const;
 
   EngineConfig config_;
   std::unique_ptr<ThreadPool> ownedPool_;
   ThreadPool* pool_ = nullptr;  ///< resolved engine pool (may be null: serial)
   CandidateCache cache_;        ///< shared cross-request score cache
+  ResultCache results_;         ///< full-result store (requestKey -> winner)
 };
 
 /// Batch adapter on the process-wide engine, mirroring optimizePlan.

@@ -1,0 +1,76 @@
+// The full-result store of the serving layer: requestKey -> OptimizedPlan.
+//
+// The score cache (CandidateCache) amortizes *surrogate evaluations*; this
+// cache amortizes entire solves. Because a solve is a pure function of its
+// request key — the key fingerprints every value-affecting knob, including
+// the portfolio — a stored winner can be served wholesale to a repeated
+// request with zero new orchestrations, in-process or across runs
+// (writeResultCache / readResultCache in src/io/serialize treat it as a
+// versioned, size-budgeted on-disk artifact).
+//
+// Thread-safe, strict-LRU bounded like CandidateCache: eviction is a
+// deterministic function of the operation sequence, so a serial request
+// sequence always evicts identically. Entries are immutable shared
+// snapshots (shared_ptr<const OptimizedPlan>), so the cache-wide mutex
+// only ever guards pointer and list operations — never an O(plan-size)
+// copy — and concurrent warm-path lookups do not serialize on plan
+// copying.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/opt/optimizer.hpp"
+
+namespace fsw {
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;       ///< lookups that served a stored winner
+    std::size_t misses = 0;     ///< lookups that found nothing
+    std::size_t evictions = 0;  ///< LRU entries dropped at the capacity bound
+  };
+
+  using Entry = std::shared_ptr<const OptimizedPlan>;
+
+  /// `capacity` caps the retained winners (0 = unbounded).
+  explicit ResultCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// The stored winner for `key` (nullptr on a miss), touching its LRU
+  /// slot. The stored plan's stats are empty — a cached hit did no work;
+  /// the engine copies the snapshot outside the lock and stamps
+  /// EngineStats::resultCacheHits on its copy.
+  [[nodiscard]] Entry lookup(const std::string& key);
+
+  /// Stores a snapshot of `plan` under `key` with its stats cleared
+  /// (touching the slot if already present) and returns how many entries
+  /// the capacity bound evicted (0 or 1). Counts nothing — misses are
+  /// counted by the failed lookup, so bulk restores do not skew the hit
+  /// ratio.
+  std::size_t insert(const std::string& key, const OptimizedPlan& plan);
+
+  /// Stored entries, least recently used first (the save/load order).
+  [[nodiscard]] std::vector<std::pair<std::string, Entry>> snapshot() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  using LruList = std::list<std::pair<std::string, Entry>>;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_ = 0;
+  LruList lru_;  ///< front = least recently used
+  std::unordered_map<std::string, LruList::iterator> entries_;
+  Stats stats_{};
+};
+
+}  // namespace fsw

@@ -133,7 +133,10 @@ TEST(Engine, DuplicateProposalsAreScoredAndOrchestratedOnce) {
   app.addService(1.0, 0.5);
   OptimizerOptions opt = engineOptions();
   opt.threads = 1;
-  PlanEngine engine{EngineConfig{.threads = 1}};  // fresh: a cold cache
+  // Fresh serial engine, cold score cache; full-result caching off so the
+  // warm rerun below exercises the score-cache path rather than being
+  // served wholesale.
+  PlanEngine engine{EngineConfig{.threads = 1, .cacheFullResults = false}};
   const auto r = engine.optimize(app, CommModel::Overlap, Objective::Period,
                                  opt);
   EXPECT_EQ(r.stats.sourcesRun, 6u);
@@ -158,14 +161,19 @@ TEST(Engine, DuplicateProposalsAreScoredAndOrchestratedOnce) {
 TEST(Engine, PooledRunMatchesSerialRunOnPaperInstance) {
   const PaperInstance pi = sec23Example();
   ThreadPool pool(4);
+  // Dedicated engines with full-result caching off: on the shared engine
+  // the pooled call would be a result-cache hit of the serial one —
+  // comparing a winner against a copy of itself.
+  PlanEngine serialEngine{EngineConfig{.threads = 1, .cacheFullResults = false}};
+  PlanEngine pooledEngine{EngineConfig{.cacheFullResults = false}};
   for (const CommModel m : kAllModels) {
     for (const Objective obj : {Objective::Period, Objective::Latency}) {
       OptimizerOptions serial = engineOptions();
       serial.threads = 1;
       OptimizerOptions pooled = engineOptions();
       pooled.pool = &pool;
-      const auto rs = optimizePlan(pi.app, m, obj, serial);
-      const auto rp = optimizePlan(pi.app, m, obj, pooled);
+      const auto rs = serialEngine.optimize(pi.app, m, obj, serial);
+      const auto rp = pooledEngine.optimize(pi.app, m, obj, pooled);
       EXPECT_EQ(rs.value, rp.value) << name(m) << "/" << name(obj);
       EXPECT_EQ(rs.strategy, rp.strategy) << name(m) << "/" << name(obj);
       EXPECT_EQ(rs.surrogate, rp.surrogate) << name(m) << "/" << name(obj);
@@ -177,15 +185,17 @@ TEST(Engine, PooledRunMatchesSerialRunOnPaperInstance) {
 
 TEST(Engine, PooledRunMatchesSerialRunOnCounterexamples) {
   ThreadPool pool(4);
+  PlanEngine serialEngine{EngineConfig{.threads = 1, .cacheFullResults = false}};
+  PlanEngine pooledEngine{EngineConfig{.cacheFullResults = false}};
   for (const auto& pi : {counterexampleB2(), counterexampleB3()}) {
     OptimizerOptions serial = engineOptions();
     serial.threads = 1;
     OptimizerOptions pooled = engineOptions();
     pooled.pool = &pool;
-    const auto rs =
-        optimizePlan(pi.app, CommModel::Overlap, Objective::Period, serial);
-    const auto rp =
-        optimizePlan(pi.app, CommModel::Overlap, Objective::Period, pooled);
+    const auto rs = serialEngine.optimize(pi.app, CommModel::Overlap,
+                                          Objective::Period, serial);
+    const auto rp = pooledEngine.optimize(pi.app, CommModel::Overlap,
+                                          Objective::Period, pooled);
     EXPECT_EQ(rs.value, rp.value);
     EXPECT_EQ(rs.strategy, rp.strategy);
     EXPECT_EQ(graphSignature(rs.plan.graph), graphSignature(rp.plan.graph));
@@ -195,6 +205,8 @@ TEST(Engine, PooledRunMatchesSerialRunOnCounterexamples) {
 TEST(Engine, PooledRunMatchesSerialRunOnRandomInstances) {
   Prng rng(2026);
   ThreadPool pool(3);
+  PlanEngine serialEngine{EngineConfig{.threads = 1, .cacheFullResults = false}};
+  PlanEngine pooledEngine{EngineConfig{.cacheFullResults = false}};
   for (int trial = 0; trial < 3; ++trial) {
     WorkloadSpec spec;
     spec.n = 6;
@@ -204,10 +216,10 @@ TEST(Engine, PooledRunMatchesSerialRunOnRandomInstances) {
     serial.threads = 1;
     OptimizerOptions pooled = engineOptions();
     pooled.pool = &pool;
-    const auto rs =
-        optimizePlan(app, CommModel::InOrder, Objective::Period, serial);
-    const auto rp =
-        optimizePlan(app, CommModel::InOrder, Objective::Period, pooled);
+    const auto rs = serialEngine.optimize(app, CommModel::InOrder,
+                                          Objective::Period, serial);
+    const auto rp = pooledEngine.optimize(app, CommModel::InOrder,
+                                          Objective::Period, pooled);
     EXPECT_EQ(rs.value, rp.value) << "trial " << trial;
     EXPECT_EQ(rs.strategy, rp.strategy) << "trial " << trial;
     EXPECT_EQ(graphSignature(rs.plan.graph), graphSignature(rp.plan.graph))

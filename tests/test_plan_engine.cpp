@@ -6,7 +6,10 @@
 
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -53,6 +56,20 @@ std::vector<PlanRequest> mixedWorkload(bool duplicated) {
     for (std::size_t i = 0; i < unique; ++i) reqs.push_back(reqs[i]);
   }
   return reqs;
+}
+
+/// A tiny application whose key differs per `seed`.
+Application tinyKeyedApp(double seed) {
+  Application app;
+  app.addService(1.0 + seed, 0.5);
+  app.addService(2.0, 0.7);
+  app.addService(0.5, 1.1);
+  return app;
+}
+
+PlanRequest tinyKeyedRequest(double seed) {
+  return {tinyKeyedApp(seed), CommModel::Overlap, Objective::Period,
+          fastOptions()};
 }
 
 TEST(PlanEngine, BatchWinnersAreBitIdenticalToSerialOptimizePlan) {
@@ -102,7 +119,9 @@ TEST(PlanEngine, RepeatedTrafficHitsTheSharedScoreCache) {
   WorkloadSpec spec;
   spec.n = 6;
   const auto app = randomApplication(spec, rng);
-  PlanEngine engine;
+  // Full-result caching off: this test exercises the score-cache path,
+  // which a wholesale result-cache hit would short-circuit.
+  PlanEngine engine{EngineConfig{.cacheFullResults = false}};
   const PlanRequest req{app, CommModel::Overlap, Objective::Period,
                         fastOptions()};
 
@@ -191,6 +210,346 @@ TEST(PlanEngine, CacheSaveLoadRoundTripWarmsAFreshEngine) {
     EXPECT_EQ(r.value, batch[i].value) << "request " << i;
     EXPECT_EQ(r.strategy, batch[i].strategy) << "request " << i;
   }
+}
+
+/// Sums the per-request work counters that must be batch-invariant.
+EngineStats sumStats(const std::vector<OptimizedPlan>& batch) {
+  EngineStats sum;
+  for (const auto& r : batch) {
+    sum.sourcesRun += r.stats.sourcesRun;
+    sum.generated += r.stats.generated;
+    sum.unique += r.stats.unique;
+    sum.duplicates += r.stats.duplicates;
+    sum.scoreCacheHits += r.stats.scoreCacheHits;
+    sum.orchestrated += r.stats.orchestrated;
+    sum.sharedHits += r.stats.sharedHits;
+    sum.evictions += r.stats.evictions;
+    sum.boundAborts += r.stats.boundAborts;
+    sum.crossRequestHits += r.stats.crossRequestHits;
+    sum.resultCacheHits += r.stats.resultCacheHits;
+  }
+  return sum;
+}
+
+TEST(PlanEngine, BatchStatsCountEachRepresentativeSolveExactlyOnce) {
+  // Two fresh serial engines (serial: per-request stats are exactly
+  // deterministic): a batch where every request has an identical twin must
+  // report, summed, exactly the work of the duplicate-free batch — the
+  // crossRequestHits copies carry empty work stats.
+  const auto dup = mixedWorkload(/*duplicated=*/true);
+  const auto uni = mixedWorkload(/*duplicated=*/false);
+  PlanEngine engineDup{EngineConfig{.threads = 1}};
+  PlanEngine engineUni{EngineConfig{.threads = 1}};
+  const auto batchDup = engineDup.optimizeBatch(dup);
+  const auto batchUni = engineUni.optimizeBatch(uni);
+
+  for (std::size_t i = uni.size(); i < dup.size(); ++i) {
+    const EngineStats& s = batchDup[i].stats;
+    EXPECT_EQ(s.crossRequestHits, 1u) << "duplicate " << i;
+    EXPECT_EQ(s.sourcesRun + s.generated + s.unique + s.duplicates +
+                  s.scoreCacheHits + s.orchestrated + s.sharedHits +
+                  s.evictions + s.boundAborts + s.resultCacheHits,
+              0u)
+        << "duplicate " << i << " carries work stats";
+  }
+
+  const EngineStats sumDup = sumStats(batchDup);
+  const EngineStats sumUni = sumStats(batchUni);
+  EXPECT_EQ(sumDup.sourcesRun, sumUni.sourcesRun);
+  EXPECT_EQ(sumDup.generated, sumUni.generated);
+  EXPECT_EQ(sumDup.unique, sumUni.unique);
+  EXPECT_EQ(sumDup.duplicates, sumUni.duplicates);
+  EXPECT_EQ(sumDup.scoreCacheHits, sumUni.scoreCacheHits);
+  EXPECT_EQ(sumDup.orchestrated, sumUni.orchestrated);
+  EXPECT_EQ(sumDup.sharedHits, sumUni.sharedHits);
+  EXPECT_EQ(sumDup.evictions, sumUni.evictions);
+  EXPECT_EQ(sumDup.boundAborts, sumUni.boundAborts);
+  EXPECT_EQ(sumDup.resultCacheHits, sumUni.resultCacheHits);
+  // The only difference: one cross-request marker per duplicate member.
+  EXPECT_EQ(sumDup.crossRequestHits, dup.size() - uni.size());
+  EXPECT_EQ(sumUni.crossRequestHits, 0u);
+}
+
+TEST(PlanEngine, FullResultCacheServesRepeatsWithZeroNewOrchestrations) {
+  const auto reqs = mixedWorkload(/*duplicated=*/false);
+  PlanEngine engine;
+  const auto first = engine.optimizeBatch(reqs);
+  EXPECT_EQ(engine.resultCacheSize(), reqs.size());
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto r = engine.optimize(reqs[i]);
+    EXPECT_EQ(r.stats.resultCacheHits, 1u) << "request " << i;
+    EXPECT_EQ(r.stats.orchestrated, 0u) << "request " << i;
+    EXPECT_EQ(r.stats.generated, 0u) << "request " << i;
+    EXPECT_EQ(r.value, first[i].value) << "request " << i;
+    EXPECT_EQ(r.strategy, first[i].strategy) << "request " << i;
+    EXPECT_EQ(graphSignature(r.plan.graph),
+              graphSignature(first[i].plan.graph))
+        << "request " << i;
+  }
+}
+
+TEST(PlanEngine, ResultDumpRoundTripWarmStartsWithZeroOrchestrations) {
+  const auto reqs = mixedWorkload(/*duplicated=*/false);
+  PlanEngine engine;
+  const auto batch = engine.optimizeBatch(reqs);
+  ASSERT_GT(engine.resultCacheSize(), 0u);
+
+  std::stringstream dump;
+  engine.saveResults(dump);
+
+  PlanEngine fresh;
+  fresh.loadResults(dump);
+  EXPECT_EQ(fresh.resultCacheSize(), engine.resultCacheSize());
+
+  // The warm-started engine serves every repeated request wholesale: no
+  // orchestrations, no candidate generation, not even surrogate scoring.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto r = fresh.optimize(reqs[i]);
+    EXPECT_EQ(r.stats.resultCacheHits, 1u) << "request " << i;
+    EXPECT_EQ(r.stats.orchestrated, 0u) << "request " << i;
+    EXPECT_EQ(r.stats.generated, 0u) << "request " << i;
+    EXPECT_EQ(r.stats.sharedHits, 0u) << "request " << i;
+    EXPECT_EQ(r.value, batch[i].value) << "request " << i;
+    EXPECT_EQ(r.strategy, batch[i].strategy) << "request " << i;
+    EXPECT_EQ(graphSignature(r.plan.graph),
+              graphSignature(batch[i].plan.graph))
+        << "request " << i;
+  }
+}
+
+TEST(PlanEngine, ResultDumpBudgetKeepsTheMostRecentWinners) {
+  const auto reqs = mixedWorkload(/*duplicated=*/false);
+  PlanEngine engine{EngineConfig{.threads = 1}};
+  (void)engine.optimizeBatch(reqs);
+  ASSERT_EQ(engine.resultCacheSize(), reqs.size());
+
+  std::stringstream dump;
+  const std::size_t budget = 5;
+  engine.saveResults(dump, budget);
+
+  PlanEngine fresh;
+  fresh.loadResults(dump);
+  EXPECT_EQ(fresh.resultCacheSize(), budget);
+  // The batch inserted winners in request order, so the budget keeps the
+  // tail: the last request hits, the first must be re-solved.
+  EXPECT_EQ(fresh.optimize(reqs.back()).stats.resultCacheHits, 1u);
+  EXPECT_EQ(fresh.optimize(reqs.front()).stats.resultCacheHits, 0u);
+}
+
+TEST(Serialization, CacheHeadersRejectWrongMagicAndVersion) {
+  PlanEngine engine;
+  (void)engine.optimize(tinyKeyedApp(1.0), CommModel::Overlap,
+                        Objective::Period, fastOptions());
+
+  // Score cache: the dump opens with the magic and the current version.
+  std::stringstream score;
+  engine.saveCache(score);
+  std::string magic;
+  int version = 0;
+  score >> magic >> version;
+  EXPECT_EQ(magic, kScoreCacheMagic);
+  EXPECT_EQ(version, kScoreCacheVersion);
+
+  PlanEngine sink;
+  std::stringstream wrongVersion("fswscorecache 999\ncandidatecache 0\n");
+  EXPECT_THROW(sink.loadCache(wrongVersion), std::runtime_error);
+  // A headerless PR 2 dump fails the magic check instead of misparsing.
+  std::stringstream legacy("candidatecache 1\nentry k 1.5\n");
+  EXPECT_THROW(sink.loadCache(legacy), std::runtime_error);
+
+  // Result cache: same contract.
+  std::stringstream results;
+  engine.saveResults(results);
+  results >> magic >> version;
+  EXPECT_EQ(magic, kResultCacheMagic);
+  EXPECT_EQ(version, kResultCacheVersion);
+
+  std::stringstream badResults("fswresultcache 999\nresults 0\n");
+  EXPECT_THROW(sink.loadResults(badResults), std::runtime_error);
+  std::stringstream badMagic("bogus 1\nresults 0\n");
+  EXPECT_THROW(sink.loadResults(badMagic), std::runtime_error);
+}
+
+namespace portablekeys {
+
+/// A user-defined source, "registered in two processes" by building two
+/// independent registry objects.
+class EchoSource final : public CandidateSource {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "echo"; }
+  [[nodiscard]] std::vector<ExecutionGraph> generate(
+      const CandidateContext& ctx) const override {
+    std::vector<ExecutionGraph> out;
+    out.push_back(ExecutionGraph(ctx.app.size()));
+    return out;
+  }
+};
+
+/// A second source, to extend a portfolio's source list.
+class EchoSource2 final : public CandidateSource {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "echo2"; }
+  [[nodiscard]] std::vector<ExecutionGraph> generate(
+      const CandidateContext& ctx) const override {
+    std::vector<ExecutionGraph> out;
+    out.push_back(ExecutionGraph(ctx.app.size()));
+    return out;
+  }
+};
+
+}  // namespace portablekeys
+
+TEST(PlanEngine, RequestKeyIsPortableAcrossNamedPortfolios) {
+  const auto makePortfolio = [] {
+    // Simulates one process's registration sequence.
+    CandidateRegistry reg = CandidateRegistry::makeBuiltin();
+    reg.setName("prod-portfolio");
+    reg.add(std::make_unique<portablekeys::EchoSource>());
+    return reg;
+  };
+  const CandidateRegistry procA = makePortfolio();
+  const CandidateRegistry procB = makePortfolio();
+  ASSERT_NE(&procA, &procB);
+
+  PlanRequest reqA = tinyKeyedRequest(1.0);
+  reqA.options.registry = &procA;
+  PlanRequest reqB = tinyKeyedRequest(1.0);
+  reqB.options.registry = &procB;
+  // Identical across "processes": the key covers the portfolio's name and
+  // source list, never its address.
+  EXPECT_EQ(PlanEngine::requestKey(reqA), PlanEngine::requestKey(reqB));
+
+  // A different name, or a different source list, is a different key.
+  CandidateRegistry renamed = makePortfolio();
+  renamed.setName("canary-portfolio");
+  PlanRequest reqRenamed = tinyKeyedRequest(1.0);
+  reqRenamed.options.registry = &renamed;
+  EXPECT_NE(PlanEngine::requestKey(reqA), PlanEngine::requestKey(reqRenamed));
+
+  CandidateRegistry extended = makePortfolio();
+  extended.add(std::make_unique<portablekeys::EchoSource2>());
+  PlanRequest reqExtended = tinyKeyedRequest(1.0);
+  reqExtended.options.registry = &extended;
+  EXPECT_NE(PlanEngine::requestKey(reqA),
+            PlanEngine::requestKey(reqExtended));
+
+  // Explicitly passing the built-in (or an indistinguishable copy of it)
+  // canonicalizes to the default-registry key.
+  PlanRequest reqDefault = tinyKeyedRequest(1.0);
+  PlanRequest reqBuiltin = tinyKeyedRequest(1.0);
+  reqBuiltin.options.registry = &CandidateRegistry::builtin();
+  const CandidateRegistry builtinCopy = CandidateRegistry::makeBuiltin();
+  PlanRequest reqCopy = tinyKeyedRequest(1.0);
+  reqCopy.options.registry = &builtinCopy;
+  EXPECT_EQ(PlanEngine::requestKey(reqDefault),
+            PlanEngine::requestKey(reqBuiltin));
+  EXPECT_EQ(PlanEngine::requestKey(reqDefault),
+            PlanEngine::requestKey(reqCopy));
+
+  // Unnamed registries stay process-local: pointer identity keeps two
+  // anonymous portfolios distinct even with identical source lists, so
+  // naming is the explicit opt-in to a shared cross-process key space.
+  EXPECT_TRUE(CandidateRegistry().name().empty());
+  CandidateRegistry anonA;
+  anonA.add(std::make_unique<portablekeys::EchoSource>());
+  CandidateRegistry anonB;
+  anonB.add(std::make_unique<portablekeys::EchoSource>());
+  PlanRequest reqAnonA = tinyKeyedRequest(1.0);
+  reqAnonA.options.registry = &anonA;
+  PlanRequest reqAnonB = tinyKeyedRequest(1.0);
+  reqAnonB.options.registry = &anonB;
+  EXPECT_NE(PlanEngine::requestKey(reqAnonA),
+            PlanEngine::requestKey(reqAnonB));
+  EXPECT_EQ(PlanEngine::requestKey(reqAnonA),
+            PlanEngine::requestKey(reqAnonA));
+
+  // The fingerprint itself is the documented name[sources] shape.
+  EXPECT_EQ(portfolioFingerprint(CandidateRegistry::builtin()),
+            "builtin[chain-greedy,no-comm-baseline,greedy-forest,"
+            "hill-climb,anneal,exact-forest]");
+
+  // Portfolio and source names are file-format tokens and fingerprint
+  // fields: no whitespace, no delimiters ("a,b" must not fingerprint like
+  // the two sources "a" and "b").
+  CandidateRegistry bad;
+  EXPECT_THROW(bad.setName("has space"), std::invalid_argument);
+  EXPECT_THROW(bad.setName(""), std::invalid_argument);
+  EXPECT_THROW(bad.setName("a,b"), std::invalid_argument);
+  EXPECT_THROW(bad.setName("a[b]"), std::invalid_argument);
+}
+
+TEST(PlanEngine, UnnamedPortfoliosBypassTheFullResultCache) {
+  // An unnamed registry's key is its pointer, which is only stable for
+  // the duration of the call — caching the result could serve a dead
+  // registry's winner to whatever next reuses the address. Such requests
+  // must re-solve; naming the portfolio opts back in.
+  PlanEngine engine{EngineConfig{.threads = 1}};
+  CandidateRegistry anon;
+  anon.add(std::make_unique<portablekeys::EchoSource>());
+  PlanRequest req = tinyKeyedRequest(1.0);
+  req.options.registry = &anon;
+
+  const auto first = engine.optimize(req);
+  EXPECT_EQ(engine.resultCacheSize(), 0u);
+  const auto second = engine.optimize(req);
+  EXPECT_EQ(second.stats.resultCacheHits, 0u);
+  EXPECT_GT(second.stats.orchestrated, 0u);
+  EXPECT_EQ(second.value, first.value);
+
+  anon.setName("now-named");
+  const auto third = engine.optimize(req);
+  EXPECT_EQ(third.stats.resultCacheHits, 0u);  // first solve under the name
+  EXPECT_EQ(engine.resultCacheSize(), 1u);
+  const auto fourth = engine.optimize(req);
+  EXPECT_EQ(fourth.stats.resultCacheHits, 1u);
+  EXPECT_EQ(fourth.value, first.value);
+}
+
+TEST(PlanEngine, EngineLevelRegistryOverrideBypassesTheFullResultCache) {
+  // An EngineConfig::registry override changes the effective portfolio of
+  // default requests, but requestKey only covers per-request state — so
+  // caching under that key would misattribute the winner to the built-in
+  // portfolio. Such requests must re-solve; a request-level *named*
+  // portfolio on the same engine caches normally.
+  CandidateRegistry portfolio("override-portfolio");
+  portfolio.add(std::make_unique<portablekeys::EchoSource>());
+  PlanEngine engine{EngineConfig{.threads = 1, .registry = &portfolio}};
+
+  const PlanRequest req = tinyKeyedRequest(1.0);  // default-registry key
+  const auto first = engine.optimize(req);
+  EXPECT_EQ(first.stats.sourcesRun, 1u);  // the override portfolio solved it
+  EXPECT_EQ(engine.resultCacheSize(), 0u);
+  const auto second = engine.optimize(req);
+  EXPECT_EQ(second.stats.resultCacheHits, 0u);
+  EXPECT_EQ(second.value, first.value);
+
+  PlanRequest explicitReq = tinyKeyedRequest(2.0);
+  explicitReq.options.registry = &portfolio;
+  (void)engine.optimize(explicitReq);
+  EXPECT_EQ(engine.resultCacheSize(), 1u);
+  EXPECT_EQ(engine.optimize(explicitReq).stats.resultCacheHits, 1u);
+}
+
+TEST(PlanEngine, EngineOverrideRequestsDoNotDedupWithExplicitBuiltin) {
+  // Same app, same static requestKey shape — but one request is solved by
+  // the engine-level override portfolio and the other explicitly asks for
+  // the built-in. The engine-aware dedup key must keep them apart, or the
+  // builtin request would be served the override portfolio's winner.
+  CandidateRegistry portfolio("override-portfolio");
+  portfolio.add(std::make_unique<portablekeys::EchoSource>());
+  PlanEngine engine{EngineConfig{.threads = 1, .registry = &portfolio}};
+
+  PlanRequest viaOverride = tinyKeyedRequest(3.0);
+  PlanRequest viaBuiltin = tinyKeyedRequest(3.0);
+  viaBuiltin.options.registry = &CandidateRegistry::builtin();
+  EXPECT_NE(engine.dedupKey(viaOverride), engine.dedupKey(viaBuiltin));
+
+  const std::vector<PlanRequest> batch = {viaOverride, viaBuiltin};
+  const auto out = engine.optimizeBatch(batch);
+  EXPECT_EQ(out[1].stats.crossRequestHits, 0u);  // two distinct solves
+  EXPECT_EQ(out[0].stats.sourcesRun, 1u);  // the echo-only override
+  EXPECT_EQ(out[1].stats.sourcesRun, CandidateRegistry::builtin().size());
 }
 
 TEST(PlanEngine, RequestKeySeparatesEveryDimension) {

@@ -127,5 +127,15 @@ TEST(Util, Join) {
   EXPECT_EQ(join({"x"}, ","), "x");
 }
 
+TEST(Util, PercentileInterpolatesSortedValues) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.95), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({4.0, 1.0, 3.0, 2.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({4.0, 1.0, 3.0, 2.0}, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0, 5.0}, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 0.75), 1.75);
+}
+
 }  // namespace
 }  // namespace fsw
