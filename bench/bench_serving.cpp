@@ -17,9 +17,19 @@
 // to the one-shot optimizeBatch reference — plus the same winner-identity
 // gate across the sync and async paths.
 //
-// Exits nonzero when any batched *or async* winner diverges from the
-// serial reference, so CI gates on it (`--serial` forces the engine fully
-// serial; the identity checks still run).
+// E10 adds sharding: four waves of the 18-unique-request workload through
+// a PlanServer whose backend is one PlanEngine vs a ShardedPlanEngine (2
+// and 4 shards), with full-result caching off so repeated waves re-solve.
+// Re-solves consult the cross-shard incumbent board; xaborts totals every
+// incumbent-driven abort, so equal counts across rows certify that
+// sharding added no duplicated work (the board's *extra* pruning is
+// workload-dependent — it bites when the surrogate misranks rank 0, or
+// when rank 0's order enumeration contains dominated orders) while the
+// winners stay bit-identical to the serial reference.
+//
+// Exits nonzero when any batched, async *or sharded* winner diverges from
+// the serial reference, so CI gates on it (`--serial` forces the engine
+// fully serial; the identity checks still run).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -33,6 +43,7 @@
 #include "src/opt/optimizer.hpp"
 #include "src/serve/plan_engine.hpp"
 #include "src/serve/plan_server.hpp"
+#include "src/serve/sharded_engine.hpp"
 #include "src/workload/generator.hpp"
 
 namespace {
@@ -258,6 +269,94 @@ std::vector<PlanRequest> mixedWorkload(std::size_t apps, std::size_t total) {
   return allIdentical;
 }
 
+/// E10: sharded serving — four waves of the 18-unique-request workload
+/// through a PlanServer backed by one engine vs a ShardedPlanEngine, with
+/// full-result caching off so waves 2..4 re-solve under the cross-shard
+/// incumbent board (xaborts totals incumbent-driven aborts; equal counts
+/// across rows = no duplicated work from sharding). Returns false on any
+/// divergence from the serial reference.
+[[nodiscard]] bool printShardedServingTable() {
+  const auto unique = mixedWorkload(/*apps=*/3, /*total=*/18);
+  constexpr std::size_t kWaves = 4;
+  std::printf("E10: sharded serving (ShardedPlanEngine), %s engine\n",
+              g_serial ? "serial" : "pooled");
+  std::printf("%-10s %-9s %-10s %-12s %-9s %-9s %-9s %-9s\n", "mode",
+              "requests", "total[ms]", "thruput[r/s]", "p50[ms]", "p95[ms]",
+              "xaborts", "identical");
+
+  // Full serial reference (18 solves): the identity gate checks every
+  // request of every wave against it.
+  std::vector<OptimizedPlan> refs;
+  refs.reserve(unique.size());
+  for (const auto& r : unique) {
+    OptimizerOptions serial = r.options;
+    serial.threads = 1;
+    refs.push_back(optimizePlan(r.app, r.model, r.objective, serial));
+  }
+
+  bool allIdentical = true;
+  EngineConfig shardCfg{.threads = g_serial ? std::size_t{1} : 0};
+  shardCfg.cacheFullResults = false;
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    // shards == 1 is the unsharded baseline: one PlanEngine, no board.
+    PlanEngine single{shardCfg};
+    ShardedPlanEngine sharded{
+        ShardedEngineConfig{.shards = shards, .shard = shardCfg}};
+    ServerConfig sc;
+    sc.solver = shards == 1 ? static_cast<PlanSolver*>(&single)
+                            : static_cast<PlanSolver*>(&sharded);
+    sc.maxBatch = 8;
+    sc.drainThreads = g_serial ? 1 : 2;
+    PlanServer server{sc};
+
+    const std::size_t n = unique.size() * kWaves;
+    std::vector<double> latencies;
+    latencies.reserve(n);
+    std::size_t aborts = 0;
+    bool identical = true;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t wave = 0; wave < kWaves; ++wave) {
+      std::vector<std::future<OptimizedPlan>> futures;
+      std::vector<std::chrono::steady_clock::time_point> submitted;
+      futures.reserve(unique.size());
+      submitted.reserve(unique.size());
+      for (const auto& r : unique) {
+        submitted.push_back(std::chrono::steady_clock::now());
+        futures.push_back(server.submit(r));
+      }
+      // Waves are drained one at a time, so identical traffic re-solves
+      // in the next wave (no coalescing across waves) — the board case.
+      server.drain();
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        const auto plan = futures[i].get();
+        latencies.push_back(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() -
+                                submitted[i])
+                                .count());
+        aborts += plan.stats.boundAborts;
+        identical = identical && plan.value == refs[i].value &&
+                    plan.strategy == refs[i].strategy;
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    allIdentical = allIdentical && identical;
+
+    const double totalMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    char mode[32];
+    std::snprintf(mode, sizeof(mode), "shards=%zu", shards);
+    std::printf("%-10s %-9zu %-10.1f %-12.1f %-9.1f %-9.1f %-9zu %-9s\n",
+                mode, n, totalMs,
+                1000.0 * static_cast<double>(n) / totalMs,
+                percentile(latencies, 0.50), percentile(latencies, 0.95),
+                aborts, identical ? "yes" : "NO!");
+  }
+  std::printf("\n");
+  return allIdentical;
+}
+
 void BM_OptimizeBatch(benchmark::State& state) {
   const auto total = static_cast<std::size_t>(state.range(0));
   const auto reqs = mixedWorkload(/*apps=*/2, total);
@@ -293,7 +392,8 @@ int main(int argc, char** argv) {
   g_serial = fswbench::stripFlag(argc, argv, "--serial");
   const bool batchIdentical = printServingTable();
   const bool asyncIdentical = printAsyncServingTable();
+  const bool shardedIdentical = printShardedServingTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return batchIdentical && asyncIdentical ? 0 : 1;
+  return batchIdentical && asyncIdentical && shardedIdentical ? 0 : 1;
 }

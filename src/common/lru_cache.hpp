@@ -1,0 +1,111 @@
+// The one strict-LRU implementation behind every serving-layer cache.
+//
+// PR 2's CandidateCache (surrogate scores) and PR 3's ResultCache (whole
+// winning plans) each grew their own mutex+list+map LRU with identical
+// eviction and stats discipline — a discipline the engine's determinism
+// contract relies on (eviction must be a pure function of the operation
+// sequence, so a serial request sequence always evicts identically). Two
+// copies of that machinery is two places for the contract to rot; this
+// template is the single implementation both wrap.
+//
+// Semantics, shared by every instantiation:
+//   * lookup(key) touches the entry's LRU slot and counts a hit or a miss;
+//   * insert(key, value) stores (touching the slot if the key is already
+//     present), evicts least-recently-used entries past `capacity`
+//     (0 = unbounded) and returns how many entries it evicted — it counts
+//     *nothing* else, so bulk restores (cache loads) never skew hit ratios;
+//   * snapshot() lists entries least recently used first, the save/load
+//     order that makes persistence round trips preserve eviction order;
+//   * all operations are thread-safe behind one mutex. Values are expected
+//     to be cheap to copy under the lock (a double, a shared_ptr) — callers
+//     holding large payloads wrap them in shared_ptr snapshots, as
+//     ResultCache does.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace fsw {
+
+template <typename Value>
+class LruCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;       ///< lookups that found an entry
+    std::size_t misses = 0;     ///< lookups that found nothing
+    std::size_t evictions = 0;  ///< LRU entries dropped at the capacity bound
+  };
+
+  /// `capacity` caps the retained entries (0 = unbounded).
+  explicit LruCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// The stored value for `key` (nullopt on a miss), touching its LRU slot.
+  [[nodiscard]] std::optional<Value> lookup(const std::string& key) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.end(), lru_, it->second);  // move to most-recently-used
+    return it->second->second;
+  }
+
+  /// Stores `value` under `key` (touching the slot if already present) and
+  /// returns how many entries the capacity bound evicted (0 or 1).
+  std::size_t insert(const std::string& key, Value value) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second->second = std::move(value);
+      lru_.splice(lru_.end(), lru_, it->second);
+      return 0;
+    }
+    lru_.emplace_back(key, std::move(value));
+    entries_.emplace(key, std::prev(lru_.end()));
+    std::size_t evicted = 0;
+    while (capacity_ != 0 && entries_.size() > capacity_) {
+      entries_.erase(lru_.front().first);
+      lru_.pop_front();
+      ++stats_.evictions;
+      ++evicted;
+    }
+    return evicted;
+  }
+
+  /// Stored entries, least recently used first (the save/load order).
+  [[nodiscard]] std::vector<std::pair<std::string, Value>> snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return {lru_.begin(), lru_.end()};
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] Stats stats() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  using LruList = std::list<std::pair<std::string, Value>>;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_ = 0;
+  LruList lru_;  ///< front = least recently used
+  std::unordered_map<std::string, typename LruList::iterator> entries_;
+  Stats stats_{};
+};
+
+}  // namespace fsw

@@ -24,4 +24,18 @@ std::string_view name(Objective o) noexcept {
   return "?";
 }
 
+std::optional<CommModel> commModelFromName(std::string_view token) noexcept {
+  for (const CommModel m : kAllModels) {
+    if (name(m) == token) return m;
+  }
+  return std::nullopt;
+}
+
+std::optional<Objective> objectiveFromName(std::string_view token) noexcept {
+  for (const Objective o : {Objective::Period, Objective::Latency}) {
+    if (name(o) == token) return o;
+  }
+  return std::nullopt;
+}
+
 }  // namespace fsw

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <array>
+#include <optional>
 #include <string_view>
 
 namespace fsw {
@@ -32,5 +33,13 @@ inline constexpr std::array<CommModel, 3> kAllModels = {
 
 [[nodiscard]] std::string_view name(CommModel m) noexcept;
 [[nodiscard]] std::string_view name(Objective o) noexcept;
+
+/// Inverse of name(): the model/objective whose name is `token`, or
+/// nullopt for an unknown token — the parse side of the wire codec and
+/// any other format that stores models by name.
+[[nodiscard]] std::optional<CommModel> commModelFromName(
+    std::string_view token) noexcept;
+[[nodiscard]] std::optional<Objective> objectiveFromName(
+    std::string_view token) noexcept;
 
 }  // namespace fsw

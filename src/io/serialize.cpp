@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -133,9 +134,9 @@ OperationList readOperationList(std::istream& is) {
 
 namespace {
 
-/// Checks the `<magic> <version>` line every cache file opens with.
-void readCacheHeader(std::istream& is, const char* magic, int version,
-                     const char* where) {
+/// Checks the `<magic> <version>` line every versioned format opens with.
+void readVersionedHeader(std::istream& is, const char* magic, int version,
+                         const char* where) {
   std::string word;
   int got = 0;
   if (!(is >> word) || word != magic) {
@@ -152,6 +153,59 @@ void readCacheHeader(std::istream& is, const char* magic, int version,
   }
 }
 
+/// Writes a double as a parseable token: full precision for finite values,
+/// explicit inf/-inf/nan words for the rest (plain stream extraction
+/// rejects the non-finite spellings operator<< produces). The caller's
+/// stream precision must already be 17 for byte-exact round trips.
+void writeDoubleToken(std::ostream& os, double v) {
+  if (std::isnan(v)) {
+    os << "nan";
+  } else if (std::isinf(v)) {
+    os << (v > 0 ? "inf" : "-inf");
+  } else {
+    os << v;
+  }
+}
+
+/// The inverse of writeDoubleToken; throws on a malformed token.
+double readDoubleToken(std::istream& is, const char* where) {
+  std::string tok;
+  if (!(is >> tok)) {
+    throw std::runtime_error(std::string(where) + ": missing number");
+  }
+  if (tok == "inf") return std::numeric_limits<double>::infinity();
+  if (tok == "-inf") return -std::numeric_limits<double>::infinity();
+  if (tok == "nan") return std::numeric_limits<double>::quiet_NaN();
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(tok, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != tok.size() || tok.empty()) {
+    throw std::runtime_error(std::string(where) + ": bad number '" + tok +
+                             "'");
+  }
+  return v;
+}
+
+/// A whitespace-free token field, with "-" decoding to the empty string.
+/// A value literally equal to the reserved token is rejected — encoding it
+/// would silently decode back as empty, breaking byte-exact round trips.
+std::string fieldToken(const std::string& value, const char* where) {
+  if (value.empty()) return "-";
+  if (value == "-") {
+    throw std::invalid_argument(std::string(where) +
+                                ": '-' is reserved for the empty field");
+  }
+  if (value.find_first_of(" \t\n\r\f\v") != std::string::npos) {
+    throw std::invalid_argument(std::string(where) + ": token '" + value +
+                                "' contains whitespace");
+  }
+  return value;
+}
+
 }  // namespace
 
 void writeCandidateCache(std::ostream& os, const CandidateCache& cache) {
@@ -165,7 +219,7 @@ void writeCandidateCache(std::ostream& os, const CandidateCache& cache) {
 }
 
 void readCandidateCache(std::istream& is, CandidateCache& cache) {
-  readCacheHeader(is, kScoreCacheMagic, kScoreCacheVersion,
+  readVersionedHeader(is, kScoreCacheMagic, kScoreCacheVersion,
                   "readCandidateCache");
   std::string tag;
   std::size_t n = 0;
@@ -212,7 +266,7 @@ void writeResultCache(std::ostream& os, const ResultCache& cache,
 }
 
 void readResultCache(std::istream& is, ResultCache& cache) {
-  readCacheHeader(is, kResultCacheMagic, kResultCacheVersion,
+  readVersionedHeader(is, kResultCacheMagic, kResultCacheVersion,
                   "readResultCache");
   std::string tag;
   std::size_t n = 0;
@@ -230,6 +284,182 @@ void readResultCache(std::istream& is, ResultCache& cache) {
     plan.plan.ol = readOperationList(is);
     (void)cache.insert(key, plan);
   }
+}
+
+void writeShardSetHeader(std::ostream& os, std::size_t shards,
+                         const std::string& kind) {
+  os << kShardSetMagic << " " << kShardSetVersion << "\n";
+  os << "shards " << shards << " " << kind << "\n";
+}
+
+std::pair<std::size_t, std::string> readShardSetHeader(std::istream& is) {
+  readVersionedHeader(is, kShardSetMagic, kShardSetVersion,
+                      "readShardSetHeader");
+  std::string tag;
+  std::size_t count = 0;
+  std::string kind;
+  if (!(is >> tag >> count >> kind) || tag != "shards") {
+    throw std::runtime_error("readShardSetHeader: bad shards line");
+  }
+  return {count, kind};
+}
+
+namespace {
+
+/// The wire token naming a request's portfolio: "-" for the default, the
+/// portfolio's registered name otherwise. Unnamed portfolios are
+/// process-local by contract (their key is a pointer), so they cannot
+/// travel.
+std::string portfolioToken(const OptimizerOptions& options) {
+  if (options.registry == nullptr) return "-";
+  if (options.registry->name().empty()) {
+    throw std::invalid_argument(
+        "writePlanRequest: an unnamed portfolio is process-local and cannot "
+        "cross the wire; name it (CandidateRegistry::setName) to opt in to "
+        "portable keys");
+  }
+  return options.registry->name();
+}
+
+}  // namespace
+
+void writePlanRequest(std::ostream& os, const PlanRequest& request,
+                      int priority) {
+  const OptimizerOptions& o = request.options;
+  const OrchestrationOptions& ord = o.orchestrator.order;
+  const OutorderOptions& oo = o.orchestrator.outorder;
+  const OrchestrationOptions& seed = oo.inorder;
+
+  os << kPlanRequestMagic << " " << kPlanRequestVersion << "\n";
+  os << std::setprecision(17);
+  os << "request " << priority << " " << name(request.model) << " "
+     << name(request.objective) << " " << portfolioToken(o) << "\n";
+  os << "options " << o.exactForestMaxN << " " << o.orchestrateTop << "\n";
+  os << "heuristics " << o.heuristics.restarts << " "
+     << o.heuristics.iterations << " ";
+  writeDoubleToken(os, o.heuristics.initialTemperature);
+  os << " " << o.heuristics.seed << "\n";
+  os << "order " << ord.exactCap << " " << ord.localSearchIters << " "
+     << ord.localSearchRestarts << " " << ord.seed << " ";
+  writeDoubleToken(os, ord.upperBound);
+  os << "\n";
+  os << "outorder " << oo.repairIters << " " << oo.restarts << " "
+     << oo.bisectSteps << " " << oo.seed << "\n";
+  os << "seedorder " << seed.exactCap << " " << seed.localSearchIters << " "
+     << seed.localSearchRestarts << " " << seed.seed << " ";
+  writeDoubleToken(os, seed.upperBound);
+  os << "\n";
+  writeApplication(os, request.app);
+}
+
+WirePlanRequest readPlanRequest(std::istream& is) {
+  readVersionedHeader(is, kPlanRequestMagic, kPlanRequestVersion,
+                      "readPlanRequest");
+  WirePlanRequest wire;
+  OptimizerOptions& o = wire.request.options;
+
+  std::string tag;
+  std::string model;
+  std::string objective;
+  if (!(is >> tag >> wire.priority >> model >> objective >> wire.portfolio) ||
+      tag != "request") {
+    throw std::runtime_error("readPlanRequest: bad request line");
+  }
+  const auto m = commModelFromName(model);
+  if (!m) {
+    throw std::runtime_error("readPlanRequest: unknown model '" + model +
+                             "'");
+  }
+  wire.request.model = *m;
+  const auto obj = objectiveFromName(objective);
+  if (!obj) {
+    throw std::runtime_error("readPlanRequest: unknown objective '" +
+                             objective + "'");
+  }
+  wire.request.objective = *obj;
+  if (wire.portfolio.empty()) {
+    throw std::runtime_error("readPlanRequest: empty portfolio token");
+  }
+
+  if (!(is >> tag >> o.exactForestMaxN >> o.orchestrateTop) ||
+      tag != "options") {
+    throw std::runtime_error("readPlanRequest: bad options line");
+  }
+  if (!(is >> tag >> o.heuristics.restarts >> o.heuristics.iterations) ||
+      tag != "heuristics") {
+    throw std::runtime_error("readPlanRequest: bad heuristics line");
+  }
+  o.heuristics.initialTemperature = readDoubleToken(is, "readPlanRequest");
+  if (!(is >> o.heuristics.seed)) {
+    throw std::runtime_error("readPlanRequest: bad heuristics seed");
+  }
+  OrchestrationOptions& ord = o.orchestrator.order;
+  if (!(is >> tag >> ord.exactCap >> ord.localSearchIters >>
+        ord.localSearchRestarts >> ord.seed) ||
+      tag != "order") {
+    throw std::runtime_error("readPlanRequest: bad order line");
+  }
+  ord.upperBound = readDoubleToken(is, "readPlanRequest");
+  OutorderOptions& oo = o.orchestrator.outorder;
+  if (!(is >> tag >> oo.repairIters >> oo.restarts >> oo.bisectSteps >>
+        oo.seed) ||
+      tag != "outorder") {
+    throw std::runtime_error("readPlanRequest: bad outorder line");
+  }
+  OrchestrationOptions& seed = oo.inorder;
+  if (!(is >> tag >> seed.exactCap >> seed.localSearchIters >>
+        seed.localSearchRestarts >> seed.seed) ||
+      tag != "seedorder") {
+    throw std::runtime_error("readPlanRequest: bad seedorder line");
+  }
+  seed.upperBound = readDoubleToken(is, "readPlanRequest");
+  wire.request.app = readApplication(is);
+  return wire;
+}
+
+void writeOptimizedPlan(std::ostream& os, const OptimizedPlan& plan) {
+  const EngineStats& s = plan.stats;
+  os << kPlanResponseMagic << " " << kPlanResponseVersion << "\n";
+  os << std::setprecision(17);
+  os << "plan ";
+  writeDoubleToken(os, plan.value);
+  os << " ";
+  writeDoubleToken(os, plan.surrogate);
+  os << " " << fieldToken(plan.strategy, "writeOptimizedPlan") << "\n";
+  os << "stats " << s.sourcesRun << " " << s.generated << " " << s.unique
+     << " " << s.duplicates << " " << s.scoreCacheHits << " "
+     << s.orchestrated << " " << s.sharedHits << " " << s.evictions << " "
+     << s.boundAborts << " " << s.crossRequestHits << " "
+     << s.resultCacheHits << "\n";
+  writeGraph(os, plan.plan.graph);
+  writeOperationList(os, plan.plan.ol);
+}
+
+OptimizedPlan readOptimizedPlan(std::istream& is) {
+  readVersionedHeader(is, kPlanResponseMagic, kPlanResponseVersion,
+                      "readOptimizedPlan");
+  OptimizedPlan plan;
+  std::string tag;
+  if (!(is >> tag) || tag != "plan") {
+    throw std::runtime_error("readOptimizedPlan: bad plan line");
+  }
+  plan.value = readDoubleToken(is, "readOptimizedPlan");
+  plan.surrogate = readDoubleToken(is, "readOptimizedPlan");
+  if (!(is >> plan.strategy)) {
+    throw std::runtime_error("readOptimizedPlan: missing strategy");
+  }
+  if (plan.strategy == "-") plan.strategy.clear();
+  EngineStats& s = plan.stats;
+  if (!(is >> tag >> s.sourcesRun >> s.generated >> s.unique >>
+        s.duplicates >> s.scoreCacheHits >> s.orchestrated >> s.sharedHits >>
+        s.evictions >> s.boundAborts >> s.crossRequestHits >>
+        s.resultCacheHits) ||
+      tag != "stats") {
+    throw std::runtime_error("readOptimizedPlan: bad stats line");
+  }
+  plan.plan.graph = readGraph(is);
+  plan.plan.ol = readOperationList(is);
+  return plan;
 }
 
 std::string toString(const Application& app) {

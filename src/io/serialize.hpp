@@ -5,12 +5,14 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/application.hpp"
 #include "src/core/execution_graph.hpp"
 #include "src/oplist/operation_list.hpp"
 #include "src/opt/candidate.hpp"
+#include "src/opt/optimizer.hpp"
 
 namespace fsw {
 
@@ -78,6 +80,83 @@ void writeResultCache(std::ostream& os, const ResultCache& cache,
 /// subject to its capacity bound). Throws std::runtime_error on a bad
 /// magic, a version mismatch, or malformed entries.
 void readResultCache(std::istream& is, ResultCache& cache);
+
+/// ---- sharded cache container ----------------------------------------------
+///
+/// The on-disk shape of a ShardedPlanEngine's per-shard persistence: a
+/// versioned container header naming the shard count and payload kind,
+/// followed by that many ordinary per-shard dumps (writeCandidateCache /
+/// writeResultCache blocks). Keeping the payloads in the existing formats
+/// means a shard set saved by an N-shard engine can be merged into any
+/// other shard count — the loader re-routes entries, not bytes.
+inline constexpr const char* kShardSetMagic = "fswshardset";
+inline constexpr int kShardSetVersion = 1;
+
+/// Format: `fswshardset 1` then `shards <count> <kind>`; `kind` is a
+/// whitespace-free payload tag ("score" or "result" today).
+void writeShardSetHeader(std::ostream& os, std::size_t shards,
+                         const std::string& kind);
+/// Reads and validates the container header, returning (count, kind).
+/// Throws std::runtime_error on a bad magic, version or header line.
+[[nodiscard]] std::pair<std::size_t, std::string> readShardSetHeader(
+    std::istream& is);
+
+/// ---- wire codec (cross-process serving) -----------------------------------
+///
+/// The byte-exact encoding of the two values that cross process boundaries
+/// in ROADMAP's distributed fan-out: a PlanRequest travelling to a remote
+/// PlanServer, and the OptimizedPlan travelling back. Same magic/version
+/// discipline as the cache formats — a malformed, truncated or
+/// version-mismatched payload is a clean std::runtime_error, never a
+/// misparse. Byte-exact means encode(decode(encode(x))) == encode(x):
+/// doubles are written at full precision (with explicit inf/-inf/nan
+/// tokens, which plain stream extraction would reject), so a decoded
+/// request computes the *identical* PlanEngine::requestKey on the far
+/// side — the property the shared cross-process cache key space rests on.
+///
+/// Pointer-valued knobs never cross the wire: threads/pool are execution
+/// placement (they change wall time, never winners — the host solves with
+/// its own engine placement), and the portfolio travels as its *name*
+/// ("-" reserved for the default/built-in portfolio; readers get the name
+/// back and resolve it against their own process's registrations). An
+/// unnamed request-level portfolio is process-local by contract, so
+/// writePlanRequest rejects it with std::invalid_argument.
+inline constexpr const char* kPlanRequestMagic = "fswplanreq";
+inline constexpr int kPlanRequestVersion = 1;
+inline constexpr const char* kPlanResponseMagic = "fswplanresp";
+inline constexpr int kPlanResponseVersion = 1;
+
+/// A PlanRequest decoded from the wire. `request.options.registry` is left
+/// null — `portfolio` carries the portfolio name ("-" = default) and the
+/// transport layer resolves it against locally registered portfolios.
+struct WirePlanRequest {
+  PlanRequest request;
+  std::string portfolio = "-";
+  int priority = 0;
+};
+
+/// Format:
+///   fswplanreq 1
+///   request <priority> <model> <objective> <portfolio>
+///   options <exactForestMaxN> <orchestrateTop>
+///   heuristics <restarts> <iterations> <initialTemperature> <seed>
+///   order <exactCap> <lsIters> <lsRestarts> <seed> <upperBound>
+///   outorder <repairIters> <restarts> <bisectSteps> <seed>
+///   seedorder <exactCap> <lsIters> <lsRestarts> <seed> <upperBound>
+///   (application block via writeApplication)
+void writePlanRequest(std::ostream& os, const PlanRequest& request,
+                      int priority = 0);
+[[nodiscard]] WirePlanRequest readPlanRequest(std::istream& is);
+
+/// Format:
+///   fswplanresp 1
+///   plan <value> <surrogate> <strategy>      ("-" = empty strategy)
+///   stats <11 EngineStats counters, declaration order>
+///   (graph + oplist blocks via writeGraph / writeOperationList)
+/// Stats cross the wire so a remote client observes the same counters a
+/// local caller would (e.g. resultCacheHits = 1 on a warm repeat).
+void writeOptimizedPlan(std::ostream& os, const OptimizedPlan& plan);
+[[nodiscard]] OptimizedPlan readOptimizedPlan(std::istream& is);
 
 /// Round-trip helpers via strings.
 [[nodiscard]] std::string toString(const Application& app);

@@ -230,60 +230,4 @@ std::string applicationSignature(const Application& app) {
   return os.str();
 }
 
-void CandidateCache::touchLocked(LruList::iterator it) {
-  lru_.splice(lru_.end(), lru_, it);  // move to most-recently-used
-}
-
-std::size_t CandidateCache::insertLocked(const std::string& key,
-                                         double value) {
-  const auto it = scores_.find(key);
-  if (it != scores_.end()) {
-    it->second->second = value;
-    touchLocked(it->second);
-    return 0;
-  }
-  lru_.emplace_back(key, value);
-  scores_.emplace(key, std::prev(lru_.end()));
-  std::size_t evicted = 0;
-  while (capacity_ != 0 && scores_.size() > capacity_) {
-    scores_.erase(lru_.front().first);
-    lru_.pop_front();
-    ++stats_.evictions;
-    ++evicted;
-  }
-  return evicted;
-}
-
-std::optional<double> CandidateCache::lookup(const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  const auto it = scores_.find(key);
-  if (it == scores_.end()) {
-    ++stats_.scoreMisses;
-    return std::nullopt;
-  }
-  ++stats_.scoreHits;
-  touchLocked(it->second);
-  return it->second->second;
-}
-
-std::size_t CandidateCache::insert(const std::string& key, double value) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return insertLocked(key, value);
-}
-
-std::vector<std::pair<std::string, double>> CandidateCache::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return {lru_.begin(), lru_.end()};
-}
-
-std::size_t CandidateCache::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return scores_.size();
-}
-
-CandidateCache::Stats CandidateCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
-}
-
 }  // namespace fsw

@@ -14,16 +14,14 @@
 #pragma once
 
 #include <cstddef>
-#include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/common/lru_cache.hpp"
 #include "src/core/application.hpp"
 #include "src/core/execution_graph.hpp"
 #include "src/core/model.hpp"
@@ -151,6 +149,11 @@ class CandidateRegistry {
 /// counters, never the memoized values (they are pure functions of the
 /// key), so winners are unaffected. Counters are only exact once
 /// concurrent callers have joined.
+///
+/// A thin domain wrapper over the shared LruCache machinery
+/// (src/common/lru_cache.hpp) — the eviction/stats discipline the
+/// determinism contract relies on has a single implementation, shared
+/// with ResultCache.
 class CandidateCache {
  public:
   struct Stats {
@@ -159,37 +162,38 @@ class CandidateCache {
     std::size_t evictions = 0;   ///< LRU entries dropped at the capacity bound
   };
 
-  explicit CandidateCache(std::size_t capacity = 0) : capacity_(capacity) {}
+  explicit CandidateCache(std::size_t capacity = 0) : lru_(capacity) {}
 
   /// The memoized score for `key`, touching its LRU slot. Counts a hit or
   /// a miss; on a miss the caller computes the score and insert()s it.
-  [[nodiscard]] std::optional<double> lookup(const std::string& key);
+  [[nodiscard]] std::optional<double> lookup(const std::string& key) {
+    return lru_.lookup(key);
+  }
 
   /// Memoizes `value` under `key` (touching the slot if already present)
   /// and returns how many entries the capacity bound evicted (0 or 1).
   /// Counts nothing — misses are counted by the failed lookup, so bulk
   /// restores (readCandidateCache) do not skew the hit/miss ratio.
-  std::size_t insert(const std::string& key, double value);
+  std::size_t insert(const std::string& key, double value) {
+    return lru_.insert(key, value);
+  }
 
   /// Memoized entries, least recently used first (the save/load order).
-  [[nodiscard]] std::vector<std::pair<std::string, double>> snapshot() const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> snapshot() const {
+    return lru_.snapshot();
+  }
 
-  [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const { return lru_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return lru_.capacity();
+  }
+  [[nodiscard]] Stats stats() const {
+    const auto s = lru_.stats();
+    return Stats{s.hits, s.misses, s.evictions};
+  }
 
  private:
-  using LruList = std::list<std::pair<std::string, double>>;
-
-  /// Both require mu_ held.
-  std::size_t insertLocked(const std::string& key, double value);
-  void touchLocked(LruList::iterator it);
-
-  mutable std::mutex mu_;
-  std::size_t capacity_ = 0;
-  LruList lru_;  ///< front = least recently used
-  std::unordered_map<std::string, LruList::iterator> scores_;
-  Stats stats_{};
+  LruCache<double> lru_;
 };
 
 }  // namespace fsw

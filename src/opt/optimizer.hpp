@@ -74,6 +74,19 @@ struct OptimizedPlan {
   EngineStats stats{};
 };
 
+/// One unit of serving traffic: solve (app, model, objective) under the
+/// given per-request knobs. Requests are values — a serving front end can
+/// queue, shard, serialize (src/io/serialize.hpp) and replay them freely.
+/// This is the canonical request form shared by every serving path:
+/// single-shot optimizePlan, PlanEngine batches, PlanServer queues,
+/// ShardedPlanEngine routing and the wire protocol.
+struct PlanRequest {
+  Application app;
+  CommModel model = CommModel::Overlap;
+  Objective objective = Objective::Period;
+  OptimizerOptions options{};
+};
+
 /// Solves MinPeriod or MinLatency for (app, m) heuristically (exactly for
 /// small n via forest enumeration, per Prop 4 for the period).
 ///

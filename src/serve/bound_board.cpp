@@ -1,0 +1,39 @@
+#include "src/serve/bound_board.hpp"
+
+#include <cmath>
+
+namespace fsw {
+
+void BoundBoard::publish(const std::string& key, double value) {
+  if (!std::isfinite(value)) return;
+  // The inner cache's own hit/miss counters are ignored — the board keeps
+  // its domain counters (published/tightened/consulted/hits) itself.
+  // lookup-then-insert is not atomic across publishers, which is safe
+  // precisely because of the board's key discipline: every publisher of a
+  // key posts that key's one deterministic winner value, so any
+  // interleaving stores the same number (the min below is belt-and-braces,
+  // never a semantic branch).
+  const auto posted = bounds_.lookup(key);
+  const bool tightens = !posted.has_value() || value < *posted;
+  if (tightens) (void)bounds_.insert(key, value);
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.published;
+  if (tightens) ++stats_.tightened;
+}
+
+std::optional<double> BoundBoard::lookup(const std::string& key) {
+  const auto posted = bounds_.lookup(key);
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.consulted;
+  if (posted.has_value()) ++stats_.hits;
+  return posted;
+}
+
+std::size_t BoundBoard::size() const { return bounds_.size(); }
+
+BoundBoard::Stats BoundBoard::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace fsw

@@ -1,0 +1,78 @@
+// BoundBoard: the cross-shard incumbent store of the sharded serving layer.
+//
+// Each shard's PlanEngine already threads an incumbent upper bound *within*
+// a request — the best-ranked candidate's achieved value aborts dominated
+// order solves (Bounded-Dijkstra-style pruning, PR 2). The board extends
+// that across engines: when any shard completes a solve, it publishes
+// (requestKey -> winner value); a later solve of the *same key* — on any
+// shard, e.g. after an eviction, with full-result caching disabled, or
+// warm-started from a published bounds set — consults the board and
+// tightens its ranks-1+ incumbent before orchestration starts. Scale-out
+// becomes a search-space reduction, not just more cores.
+//
+// Soundness (the bit-identity contract): a board entry is only ever the
+// *deterministic winner value* w of its request key — every serving path
+// returns bit-identical winners for a key, so w is THE value of that
+// request, not an estimate. That is a strictly stronger guarantee than the
+// within-request incumbent's (rank 0's achieved value), which is why the
+// board bound may be applied to EVERY orchestration of the re-solve, rank
+// 0 included: no candidate of the same key can achieve a value below w,
+// every candidate achieving exactly w is kept bit-exact (the feasibility
+// probe at the incumbent), and a candidate whose optimum exceeds w aborts
+// without ever having been able to win — even if that candidate is rank 0
+// (its orchestration then reports infinity and loses the reduce, exactly
+// as it would have lost on value). The winner — value, strategy,
+// surrogate, graph and operation list — is unchanged; only
+// EngineStats::boundAborts grows. Publishing anything other than the
+// key's own winner value would break this; the board therefore only
+// accepts publishes keyed by the canonical requestKey of the solved
+// request.
+//
+// Thread-safe and LRU-bounded (the keys — full request fingerprints,
+// application signature included — dominate an entry's footprint, so a
+// long-lived server streaming ever-new requests must not accumulate them
+// forever). Eviction only ever forgets a *hint*: a re-solve of an evicted
+// key runs exactly like a first solve, so the bound has no correctness
+// face.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/common/lru_cache.hpp"
+
+namespace fsw {
+
+class BoundBoard {
+ public:
+  struct Stats {
+    std::size_t published = 0;  ///< publish calls with a finite value
+    std::size_t tightened = 0;  ///< publishes that created/lowered an entry
+    std::size_t consulted = 0;  ///< lookups observed
+    std::size_t hits = 0;       ///< lookups that found a bound
+  };
+
+  /// `capacity` caps the retained bounds, strict-LRU (0 = unbounded).
+  explicit BoundBoard(std::size_t capacity = 1 << 16) : bounds_(capacity) {}
+
+  /// Records `value` as the winner of `key`, keeping the minimum if the
+  /// key is already posted (identical winners make this a no-op re-post;
+  /// the min is belt-and-braces, never a semantic branch). Non-finite
+  /// values (a solve that found no candidate) are ignored.
+  void publish(const std::string& key, double value);
+
+  /// The posted bound for `key`, if any.
+  [[nodiscard]] std::optional<double> lookup(const std::string& key);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;        ///< guards stats_ (bounds_ locks itself)
+  LruCache<double> bounds_;      ///< the one strict-LRU implementation
+  Stats stats_{};
+};
+
+}  // namespace fsw

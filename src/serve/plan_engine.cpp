@@ -11,6 +11,7 @@
 
 #include "src/io/serialize.hpp"
 #include "src/sched/orchestrator.hpp"
+#include "src/serve/bound_board.hpp"
 
 namespace fsw {
 namespace {
@@ -100,8 +101,8 @@ ThreadPool* PlanEngine::poolFor(const OptimizerOptions& opt) const {
 }
 
 OptimizedPlan PlanEngine::solveOne(const Application& app, CommModel m,
-                                   Objective obj,
-                                   const OptimizerOptions& opt) {
+                                   Objective obj, const OptimizerOptions& opt,
+                                   double externalBound) {
   ThreadPool* pool = poolFor(opt);
   const CandidateRegistry& registry =
       opt.registry != nullptr
@@ -204,12 +205,23 @@ OptimizedPlan PlanEngine::solveOne(const Application& app, CommModel m,
   best.stats.orchestrated = top;
   std::vector<Orchestration> results(top);
   if (top > 0) {
-    results[0] = orchestrate(app, candidates[0].graph, m, obj, orch);
+    // A cross-engine incumbent for this exact key (the shared BoundBoard)
+    // bounds even rank 0, which the within-request incumbent never can.
+    // Sound because the board value is this key's own deterministic winner
+    // value w: no candidate achieves less, every candidate achieving
+    // exactly w is kept bit-exact by the feasibility probe, and dominated
+    // solves (rank 0's included — it may return infinity and lose) abort
+    // without ever having been able to win. Winners cannot change; only
+    // boundAborts grows.
+    OrchestratorOptions first = orch;
+    first.order.upperBound = std::min(orch.order.upperBound, externalBound);
+    results[0] = orchestrate(app, candidates[0].graph, m, obj, first);
   }
   if (top > 1) {
     OrchestratorOptions bounded = orch;
     bounded.order.upperBound =
-        std::min(orch.order.upperBound, results[0].result.value);
+        std::min({orch.order.upperBound, results[0].result.value,
+                  externalBound});
     auto rest = parallelMap<Orchestration>(pool, top - 1, [&](std::size_t k) {
       return orchestrate(app, candidates[k + 1].graph, m, obj, bounded);
     });
@@ -285,11 +297,18 @@ std::vector<OptimizedPlan> PlanEngine::optimizeBatch(
 
   // Fan the remaining solves out over the engine pool. Each solve nests
   // its own fan-out on the same workers; the pool's helping discipline
-  // makes nested regions deadlock-free.
+  // makes nested regions deadlock-free. A shared BoundBoard (cross-engine
+  // incumbents) is consulted per solve: for result-cacheable requests the
+  // dedup key IS the canonical requestKey, the board's key discipline.
   auto solved =
       parallelMap<OptimizedPlan>(pool_, misses.size(), [&](std::size_t k) {
         const PlanRequest& r = requests[misses[k]];
-        return solveOne(r.app, r.model, r.objective, r.options);
+        double external = std::numeric_limits<double>::infinity();
+        if (config_.boundBoard != nullptr && resultCacheable(r)) {
+          external = config_.boundBoard->lookup(keys[misses[k]])
+                         .value_or(external);
+        }
+        return solveOne(r.app, r.model, r.objective, r.options, external);
       });
   for (std::size_t k = 0; k < misses.size(); ++k) {
     const std::size_t i = misses[k];
@@ -298,6 +317,9 @@ std::vector<OptimizedPlan> PlanEngine::optimizeBatch(
     // resultCacheStats() — EngineStats::evictions stays score-cache-only.
     if (config_.cacheFullResults && resultCacheable(requests[i])) {
       (void)results_.insert(keys[i], out[i]);
+    }
+    if (config_.boundBoard != nullptr && resultCacheable(requests[i])) {
+      config_.boundBoard->publish(keys[i], out[i].value);
     }
   }
   for (std::size_t i = 0; i < n; ++i) {

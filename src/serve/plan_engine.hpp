@@ -47,21 +47,16 @@
 #include "src/core/model.hpp"
 #include "src/opt/candidate.hpp"
 #include "src/opt/optimizer.hpp"
+#include "src/serve/plan_solver.hpp"
 #include "src/serve/result_cache.hpp"
 
 namespace fsw {
 
-/// One unit of serving traffic: solve (app, model, objective) under the
-/// given per-request knobs. Requests are values — a serving front end can
-/// queue, shard and replay them freely.
-struct PlanRequest {
-  Application app;
-  CommModel model = CommModel::Overlap;
-  Objective objective = Objective::Period;
-  OptimizerOptions options{};
-};
+class BoundBoard;
 
-/// Engine-wide configuration (per-request knobs live in PlanRequest).
+/// Engine-wide configuration (per-request knobs live in PlanRequest —
+/// since PR 4 the request struct itself lives with the optimizer facade in
+/// src/opt/optimizer.hpp, the canonical form every serving path shares).
 struct EngineConfig {
   /// Workers in the engine-owned pool; 0 defers to ThreadPool::shared()
   /// (no extra threads), 1 makes the engine fully serial by default.
@@ -89,11 +84,23 @@ struct EngineConfig {
   bool cacheFullResults = true;
   /// Retained winners in the full-result store (0 = unbounded).
   std::size_t resultCacheCapacity = 1024;
+  /// Cross-engine incumbent sharing (not owned; nullptr = off). When set —
+  /// the ShardedPlanEngine wires one board through every shard — a
+  /// completed solve publishes (requestKey -> winner value) and a later
+  /// solve of the same key, on any engine sharing the board, tightens
+  /// every orchestration's abort threshold (rank 0 included) with the
+  /// posted value. Winner-preserving by construction (see
+  /// src/serve/bound_board.hpp): only EngineStats::boundAborts can grow.
+  /// Only result-cacheable requests participate — the board's key
+  /// discipline is the result cache's.
+  BoundBoard* boundBoard = nullptr;
 };
 
 /// The long-lived serving core. Thread-safe: any number of threads may call
-/// optimize/optimizeBatch on one engine concurrently.
-class PlanEngine {
+/// optimize/optimizeBatch on one engine concurrently. Implements
+/// PlanSolver, so a PlanServer can serve one engine or a sharded set of
+/// them through the same lifecycle.
+class PlanEngine : public PlanSolver {
  public:
   explicit PlanEngine(EngineConfig config = {});
 
@@ -118,7 +125,7 @@ class PlanEngine {
   /// vector is index-aligned with `requests`, and every winner is
   /// bit-identical to a per-request serial optimizePlan.
   [[nodiscard]] std::vector<OptimizedPlan> optimizeBatch(
-      std::span<const PlanRequest> requests);
+      std::span<const PlanRequest> requests) override;
 
   /// Cumulative shared-cache counters since construction (or loadCache).
   [[nodiscard]] CandidateCache::Stats cacheStats() const;
@@ -165,15 +172,21 @@ class PlanEngine {
   /// builtin-portfolio request. optimizeBatch and PlanServer key by this;
   /// persisted result-cache keys never carry the marker (such requests
   /// are not result-cacheable).
-  [[nodiscard]] std::string dedupKey(const PlanRequest& request) const;
+  [[nodiscard]] std::string dedupKey(
+      const PlanRequest& request) const override;
 
   /// The process-wide default engine behind the optimizePlan facade.
   static PlanEngine& shared();
 
  private:
+  /// `externalBound` is a cross-engine incumbent for this exact request
+  /// key (from the shared BoundBoard): it bounds every orchestration,
+  /// rank 0 included — winner-preserving because it is this key's own
+  /// winner value, see bound_board.hpp. Infinity = none.
   [[nodiscard]] OptimizedPlan solveOne(const Application& app, CommModel m,
                                        Objective obj,
-                                       const OptimizerOptions& opt);
+                                       const OptimizerOptions& opt,
+                                       double externalBound);
   [[nodiscard]] ThreadPool* poolFor(const OptimizerOptions& opt) const;
   /// Whether the request's key soundly identifies its winner beyond this
   /// call (see the definition for the two unsound shapes it excludes).

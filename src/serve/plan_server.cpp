@@ -9,11 +9,17 @@ namespace fsw {
 PlanServer::PlanServer(ServerConfig config) : config_(std::move(config)) {
   if (config_.maxBatch == 0) config_.maxBatch = 1;
   if (config_.drainThreads == 0) config_.drainThreads = 1;
-  if (config_.engine != nullptr) {
+  if (config_.solver != nullptr) {
+    solver_ = config_.solver;
+    // The backend may still be an engine — surface it when it is.
+    engine_ = dynamic_cast<PlanEngine*>(config_.solver);
+  } else if (config_.engine != nullptr) {
     engine_ = config_.engine;
+    solver_ = engine_;
   } else {
     ownedEngine_ = std::make_unique<PlanEngine>(config_.engineConfig);
     engine_ = ownedEngine_.get();
+    solver_ = engine_;
   }
   drainers_.reserve(config_.drainThreads);
   for (std::size_t i = 0; i < config_.drainThreads; ++i) {
@@ -32,9 +38,9 @@ std::future<OptimizedPlan> PlanServer::submit(PlanRequest request,
                                               int priority) {
   std::promise<OptimizedPlan> promise;
   std::future<OptimizedPlan> future = promise.get_future();
-  // The engine-aware key: requests relying on an engine-level portfolio
+  // The backend-aware key: requests relying on an engine-level portfolio
   // override must not coalesce with explicit-builtin ones.
-  const std::string key = engine_->dedupKey(request);
+  const std::string key = solver_->dedupKey(request);
 
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.submitted;
@@ -135,7 +141,7 @@ void PlanServer::drainLoop() {
     std::vector<OptimizedPlan> results;
     std::exception_ptr failure;
     try {
-      results = engine_->optimizeBatch(
+      results = solver_->optimizeBatch(
           std::span<const PlanRequest>(batch.data(), batch.size()));
     } catch (...) {
       failure = std::current_exception();

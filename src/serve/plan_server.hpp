@@ -68,8 +68,11 @@ enum class AdmissionPolicy {
 };
 
 struct ServerConfig {
-  /// Serving engine (not owned). nullptr = the server owns a private
-  /// engine built from `engineConfig`.
+  /// Serving backend (not owned): any PlanSolver — a PlanEngine, a
+  /// ShardedPlanEngine, or a custom spine. Takes precedence over `engine`.
+  PlanSolver* solver = nullptr;
+  /// Serving engine (not owned); consulted when `solver` is null. If both
+  /// are null the server owns a private engine built from `engineConfig`.
   PlanEngine* engine = nullptr;
   EngineConfig engineConfig{};
   AdmissionPolicy admission = AdmissionPolicy::Block;
@@ -132,7 +135,12 @@ class PlanServer {
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t queueDepth() const;
   [[nodiscard]] std::size_t inFlight() const;
-  [[nodiscard]] PlanEngine& engine() noexcept { return *engine_; }
+  /// The serving backend (one solve spine across single, batched, sharded
+  /// and remote paths).
+  [[nodiscard]] PlanSolver& solver() noexcept { return *solver_; }
+  /// The backing PlanEngine, or nullptr when a non-engine solver serves
+  /// this server (e.g. a ShardedPlanEngine — reach its shards directly).
+  [[nodiscard]] PlanEngine* engine() noexcept { return engine_; }
 
  private:
   /// One admitted unit of work; every coalesced submit parks a promise in
@@ -149,7 +157,8 @@ class PlanServer {
 
   ServerConfig config_;
   std::unique_ptr<PlanEngine> ownedEngine_;
-  PlanEngine* engine_ = nullptr;
+  PlanEngine* engine_ = nullptr;  ///< backing engine when the solver is one
+  PlanSolver* solver_ = nullptr;  ///< the resolved serving backend
 
   mutable std::mutex mu_;
   std::condition_variable cvWork_;   ///< drainers: work available / stopping

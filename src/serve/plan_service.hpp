@@ -1,0 +1,200 @@
+// The socket transport of the serving stack: PlanServiceHost exposes a
+// PlanServer behind a loopback TCP listener, RemotePlanClient speaks the
+// wire codec to it with the same submit -> future surface — the last layer
+// of ROADMAP's distributed fan-out (requests cross process boundaries; the
+// portable requestKey discipline from PR 3 keeps caches coherent on the
+// far side).
+//
+// Frame protocol (length-prefixed, fixed 10-byte header):
+//
+//   offset 0  4 bytes  magic "FSWF"
+//   offset 4  1 byte   frame version (kFrameVersion)
+//   offset 5  1 byte   type: 'Q' request, 'R' result, 'E' error
+//   offset 6  4 bytes  payload length, big-endian
+//   offset 10 payload  wire-codec text (src/io/serialize.hpp) or, for 'E',
+//                      a human-readable message
+//
+// Failure discipline: a malformed *payload* (bad codec magic/version,
+// truncated block, unknown portfolio) is answered with an 'E' frame and
+// the connection stays up — the length prefix kept the stream in sync. A
+// malformed *frame* (bad magic, oversized length, truncated header or
+// body) means the stream itself cannot be trusted: the host drops the
+// connection; a version-mismatched frame is answered with 'E' first, then
+// dropped. The client surfaces 'E' frames and lost connections as
+// RemotePlanError through the returned future — never a misparse, never a
+// hang.
+//
+// Scope: one request at a time per connection (synchronous RPC);
+// concurrency comes from multiple connections/clients, which the
+// PlanServer behind the host coalesces and batches as usual. POSIX
+// sockets, loopback-oriented (IPv4 literals).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "src/serve/plan_server.hpp"
+
+namespace fsw {
+
+inline constexpr char kFrameMagic[4] = {'F', 'S', 'W', 'F'};
+inline constexpr std::uint8_t kFrameVersion = 1;
+/// Frames above this payload size are protocol violations (the codec's
+/// plans are far smaller; the cap keeps a corrupt length prefix from
+/// looking like a multi-gigabyte allocation).
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+enum class FrameType : char {
+  Request = 'Q',
+  Result = 'R',
+  Error = 'E',
+};
+
+/// Serializes one frame (header + payload) to bytes — exposed so tests can
+/// craft byte-exact, truncated or version-tweaked frames.
+[[nodiscard]] std::string encodeFrame(FrameType type,
+                                      std::string_view payload);
+
+/// A solve that failed on the far side (an 'E' frame) or a transport
+/// failure (lost/garbled connection), delivered through the future.
+class RemotePlanError : public std::runtime_error {
+ public:
+  explicit RemotePlanError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct ServiceHostConfig {
+  /// The served front end (not owned). nullptr = the host owns a private
+  /// PlanServer built from `serverConfig`.
+  PlanServer* server = nullptr;
+  ServerConfig serverConfig{};
+  /// Listening port on 127.0.0.1; 0 picks an ephemeral port (read it back
+  /// via port() — the loopback-pair pattern the tests and example use).
+  std::uint16_t port = 0;
+  /// Resolves a wire portfolio name to a locally registered portfolio.
+  /// The reserved token "-" (default portfolio) never reaches this hook.
+  /// "builtin" always resolves to CandidateRegistry::builtin() when the
+  /// resolver is unset or returns nullptr for it — a resolver extends the
+  /// name space (and may shadow "builtin"), it never revokes the default.
+  /// A name that resolves nowhere is answered with an error frame.
+  std::function<const CandidateRegistry*(const std::string&)>
+      resolvePortfolio;
+};
+
+/// The listening side. Every accepted connection gets a serving thread:
+/// read request frame -> decode -> resolve portfolio -> PlanServer::submit
+/// -> await -> encode -> result frame. Stats are locked; stop() (and the
+/// destructor) closes the listener and every live connection, then joins.
+class PlanServiceHost {
+ public:
+  struct Stats {
+    std::size_t connections = 0;  ///< connections accepted
+    std::size_t requests = 0;     ///< request frames served with a result
+    std::size_t errors = 0;       ///< error frames sent + dropped streams
+  };
+
+  explicit PlanServiceHost(ServiceHostConfig config);
+  ~PlanServiceHost();
+
+  PlanServiceHost(const PlanServiceHost&) = delete;
+  PlanServiceHost& operator=(const PlanServiceHost&) = delete;
+
+  /// The bound listening port (resolves config port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] PlanServer& server() noexcept { return *server_; }
+
+  /// Stops accepting, drops live connections, joins every thread.
+  /// Idempotent. The wrapped PlanServer is left running (its owner — or
+  /// the host destructor, for an owned server — shuts it down).
+  void stop();
+
+ private:
+  void acceptLoop();
+  void serveConnection(int fd);
+
+  ServiceHostConfig config_;
+  std::unique_ptr<PlanServer> ownedServer_;
+  PlanServer* server_ = nullptr;
+  int listenFd_ = -1;
+  std::uint16_t port_ = 0;
+
+  mutable std::mutex mu_;
+  bool stopping_ = false;
+  std::unordered_set<int> connections_;  ///< live connection fds
+  std::vector<std::thread> threads_;     ///< connection threads (joined once)
+  Stats stats_{};
+
+  std::mutex stopMu_;  ///< serializes the join phase of stop()
+  std::thread acceptor_;
+};
+
+/// The connecting side: the same submit -> future surface as PlanServer,
+/// spoken over one socket. submit() encodes eagerly (throwing
+/// std::invalid_argument for a non-portable unnamed portfolio, like the
+/// codec) and queues the frame; a sender thread performs the RPCs in
+/// submit order, fulfilling each future with the decoded plan or a
+/// RemotePlanError. One in-flight request per client — run several clients
+/// for concurrency (the host serves each connection on its own thread).
+class RemotePlanClient {
+ public:
+  struct Stats {
+    std::size_t submitted = 0;  ///< submit() calls accepted
+    std::size_t served = 0;     ///< futures fulfilled with a plan
+    std::size_t failed = 0;     ///< futures failed (error frame/transport)
+  };
+
+  /// Connects to host:port (an IPv4 literal, e.g. "127.0.0.1"). Throws
+  /// std::runtime_error when the connection cannot be established.
+  RemotePlanClient(const std::string& host, std::uint16_t port);
+  ~RemotePlanClient();
+
+  RemotePlanClient(const RemotePlanClient&) = delete;
+  RemotePlanClient& operator=(const RemotePlanClient&) = delete;
+
+  /// Queues one request; the future delivers the remote winner (with the
+  /// far side's EngineStats — e.g. resultCacheHits = 1 on a warm repeat)
+  /// or throws RemotePlanError.
+  [[nodiscard]] std::future<OptimizedPlan> submit(const PlanRequest& request,
+                                                  int priority = 0);
+
+  /// Blocking convenience: submit(request, priority).get().
+  [[nodiscard]] OptimizedPlan optimize(const PlanRequest& request,
+                                       int priority = 0);
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Fails queued work, closes the socket and joins the sender.
+  /// Idempotent; the destructor calls it.
+  void close();
+
+ private:
+  struct Pending {
+    std::string payload;
+    std::promise<OptimizedPlan> promise;
+  };
+
+  void senderLoop();
+
+  int fd_ = -1;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Pending> queue_;
+  bool stopping_ = false;
+  Stats stats_{};
+  std::thread sender_;
+};
+
+}  // namespace fsw

@@ -3,56 +3,28 @@
 namespace fsw {
 
 ResultCache::Entry ResultCache::lookup(const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++stats_.misses;
-    return nullptr;
-  }
-  ++stats_.hits;
-  lru_.splice(lru_.end(), lru_, it->second);  // move to most-recently-used
-  return it->second->second;
+  return lru_.lookup(key).value_or(nullptr);
 }
 
 std::size_t ResultCache::insert(const std::string& key,
                                 const OptimizedPlan& plan) {
-  // The snapshot (an O(plan-size) copy) is built before taking the lock.
+  // The snapshot (an O(plan-size) copy) is built before the cache lock is
+  // taken inside insert().
   auto stored = std::make_shared<OptimizedPlan>(plan);
   stored->stats = EngineStats{};  // a cached winner carries no work counters
-  Entry entry = std::move(stored);
-  const std::lock_guard<std::mutex> lock(mu_);
-  const auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    it->second->second = std::move(entry);
-    lru_.splice(lru_.end(), lru_, it->second);
-    return 0;
-  }
-  lru_.emplace_back(key, std::move(entry));
-  entries_.emplace(key, std::prev(lru_.end()));
-  std::size_t evicted = 0;
-  while (capacity_ != 0 && entries_.size() > capacity_) {
-    entries_.erase(lru_.front().first);
-    lru_.pop_front();
-    ++stats_.evictions;
-    ++evicted;
-  }
-  return evicted;
+  return lru_.insert(key, Entry{std::move(stored)});
 }
 
 std::vector<std::pair<std::string, ResultCache::Entry>> ResultCache::snapshot()
     const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return {lru_.begin(), lru_.end()};
+  return lru_.snapshot();
 }
 
-std::size_t ResultCache::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
-}
+std::size_t ResultCache::size() const { return lru_.size(); }
 
 ResultCache::Stats ResultCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  const auto s = lru_.stats();
+  return Stats{s.hits, s.misses, s.evictions};
 }
 
 }  // namespace fsw

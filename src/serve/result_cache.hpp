@@ -8,24 +8,23 @@
 // (writeResultCache / readResultCache in src/io/serialize treat it as a
 // versioned, size-budgeted on-disk artifact).
 //
-// Thread-safe, strict-LRU bounded like CandidateCache: eviction is a
-// deterministic function of the operation sequence, so a serial request
-// sequence always evicts identically. Entries are immutable shared
-// snapshots (shared_ptr<const OptimizedPlan>), so the cache-wide mutex
-// only ever guards pointer and list operations — never an O(plan-size)
-// copy — and concurrent warm-path lookups do not serialize on plan
-// copying.
+// Thread-safe, strict-LRU bounded like CandidateCache — both are thin
+// domain wrappers over the one LruCache implementation in
+// src/common/lru_cache.hpp, so eviction stays a deterministic function of
+// the operation sequence and a serial request sequence always evicts
+// identically. Entries are immutable shared snapshots
+// (shared_ptr<const OptimizedPlan>), so the cache-wide mutex only ever
+// guards pointer and list operations — never an O(plan-size) copy — and
+// concurrent warm-path lookups do not serialize on plan copying.
 #pragma once
 
 #include <cstddef>
-#include <list>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/common/lru_cache.hpp"
 #include "src/opt/optimizer.hpp"
 
 namespace fsw {
@@ -41,7 +40,7 @@ class ResultCache {
   using Entry = std::shared_ptr<const OptimizedPlan>;
 
   /// `capacity` caps the retained winners (0 = unbounded).
-  explicit ResultCache(std::size_t capacity = 0) : capacity_(capacity) {}
+  explicit ResultCache(std::size_t capacity = 0) : lru_(capacity) {}
 
   /// The stored winner for `key` (nullptr on a miss), touching its LRU
   /// slot. The stored plan's stats are empty — a cached hit did no work;
@@ -60,17 +59,13 @@ class ResultCache {
   [[nodiscard]] std::vector<std::pair<std::string, Entry>> snapshot() const;
 
   [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return lru_.capacity();
+  }
   [[nodiscard]] Stats stats() const;
 
  private:
-  using LruList = std::list<std::pair<std::string, Entry>>;
-
-  mutable std::mutex mu_;
-  std::size_t capacity_ = 0;
-  LruList lru_;  ///< front = least recently used
-  std::unordered_map<std::string, LruList::iterator> entries_;
-  Stats stats_{};
+  LruCache<Entry> lru_;
 };
 
 }  // namespace fsw

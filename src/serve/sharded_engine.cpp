@@ -1,0 +1,249 @@
+#include "src/serve/sharded_engine.hpp"
+
+#include <cstdint>
+#include <exception>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "src/io/serialize.hpp"
+
+namespace fsw {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(const std::string& key) {
+  std::uint64_t h = kFnvOffset;
+  for (const unsigned char c : key) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// SplitMix64 finalizer: decorrelates the per-shard rendezvous scores
+/// derived from one key hash.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Sums the counters of `s` into `into` (the batch-invariant accounting:
+/// representatives carry the work, duplicates carry only their marker, so
+/// summing over returned plans counts every solve exactly once).
+void accumulate(EngineStats& into, const EngineStats& s) {
+  into.sourcesRun += s.sourcesRun;
+  into.generated += s.generated;
+  into.unique += s.unique;
+  into.duplicates += s.duplicates;
+  into.scoreCacheHits += s.scoreCacheHits;
+  into.orchestrated += s.orchestrated;
+  into.sharedHits += s.sharedHits;
+  into.evictions += s.evictions;
+  into.boundAborts += s.boundAborts;
+  into.crossRequestHits += s.crossRequestHits;
+  into.resultCacheHits += s.resultCacheHits;
+}
+
+}  // namespace
+
+ShardedPlanEngine::ShardedPlanEngine(ShardedEngineConfig config)
+    : config_(std::move(config)) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.shareIncumbents) config_.shard.boundBoard = &board_;
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<PlanEngine>(config_.shard));
+  }
+  perShard_.assign(config_.shards, 0);
+}
+
+std::size_t ShardedPlanEngine::shardOfKey(const std::string& key,
+                                          std::size_t shards) {
+  if (shards <= 1) return 0;
+  const std::uint64_t h = fnv1a(key);
+  std::size_t best = 0;
+  std::uint64_t bestScore = mix(h ^ 0);
+  for (std::size_t s = 1; s < shards; ++s) {
+    const std::uint64_t score = mix(h ^ static_cast<std::uint64_t>(s));
+    if (score > bestScore) {
+      bestScore = score;
+      best = s;
+    }
+  }
+  return best;
+}
+
+std::size_t ShardedPlanEngine::shardOf(const PlanRequest& request) const {
+  return shardOfKey(dedupKey(request), shards_.size());
+}
+
+std::string ShardedPlanEngine::dedupKey(const PlanRequest& request) const {
+  // Every shard shares one EngineConfig, so shard 0 speaks for all.
+  return shards_[0]->dedupKey(request);
+}
+
+OptimizedPlan ShardedPlanEngine::optimize(const PlanRequest& request) {
+  return std::move(
+      optimizeBatch(std::span<const PlanRequest>(&request, 1)).front());
+}
+
+std::vector<OptimizedPlan> ShardedPlanEngine::optimizeBatch(
+    std::span<const PlanRequest> requests) {
+  const std::size_t n = requests.size();
+  const std::size_t nShards = shards_.size();
+  std::vector<OptimizedPlan> out(n);
+  if (n == 0) return out;
+
+  // Partition by consistent hash of the dedup key — computed once per
+  // request here (the key serializes the whole application signature, so
+  // it is not free) — so identical requests land together and each
+  // shard's own dedup/result-cache does the collapsing.
+  std::vector<std::vector<std::size_t>> byShard(nShards);
+  for (std::size_t i = 0; i < n; ++i) {
+    byShard[shardOfKey(dedupKey(requests[i]), nShards)].push_back(i);
+  }
+
+  // One plain thread per non-empty shard (the last runs inline). Shards
+  // are independent engines, so the partitions solve concurrently and
+  // results scatter to disjoint slots of `out`, no lock needed. Plain
+  // threads (not the ThreadPool) are deliberate: the fan-out is tiny
+  // (≤ shards-1 spawns per batch, ~µs) against ms-scale plan solves, it
+  // stays truly concurrent even when ThreadPool::shared() has width 1,
+  // and it never competes with the shards' own pools for workers.
+  std::vector<std::size_t> active;
+  for (std::size_t s = 0; s < nShards; ++s) {
+    if (!byShard[s].empty()) active.push_back(s);
+  }
+  std::vector<std::exception_ptr> failures(active.size());
+  const auto solveShard = [&](std::size_t a) {
+    const std::size_t s = active[a];
+    try {
+      std::vector<PlanRequest> sub;
+      sub.reserve(byShard[s].size());
+      for (const std::size_t i : byShard[s]) sub.push_back(requests[i]);
+      auto solved = shards_[s]->optimizeBatch(sub);
+      for (std::size_t k = 0; k < byShard[s].size(); ++k) {
+        out[byShard[s][k]] = std::move(solved[k]);
+      }
+    } catch (...) {
+      failures[a] = std::current_exception();
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(active.size() > 0 ? active.size() - 1 : 0);
+  for (std::size_t a = 1; a < active.size(); ++a) {
+    workers.emplace_back(solveShard, a);
+  }
+  if (!active.empty()) solveShard(0);
+  for (auto& w : workers) w.join();
+  for (const auto& failure : failures) {
+    if (failure != nullptr) std::rethrow_exception(failure);
+  }
+
+  // Aggregate under one lock — sums, never racing increments.
+  {
+    const std::lock_guard<std::mutex> lock(statsMu_);
+    requests_ += n;
+    ++batches_;
+    for (std::size_t s = 0; s < nShards; ++s) {
+      perShard_[s] += byShard[s].size();
+    }
+    for (const OptimizedPlan& plan : out) accumulate(work_, plan.stats);
+  }
+  return out;
+}
+
+ShardedPlanEngine::Stats ShardedPlanEngine::stats() const {
+  Stats snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(statsMu_);
+    snapshot.requests = requests_;
+    snapshot.batches = batches_;
+    snapshot.work = work_;
+    snapshot.perShard = perShard_;
+  }
+  for (const auto& shard : shards_) {
+    const auto scores = shard->cacheStats();
+    snapshot.scores.scoreHits += scores.scoreHits;
+    snapshot.scores.scoreMisses += scores.scoreMisses;
+    snapshot.scores.evictions += scores.evictions;
+    const auto results = shard->resultCacheStats();
+    snapshot.results.hits += results.hits;
+    snapshot.results.misses += results.misses;
+    snapshot.results.evictions += results.evictions;
+  }
+  snapshot.bounds = board_.stats();
+  return snapshot;
+}
+
+void ShardedPlanEngine::saveCache(std::ostream& os) const {
+  writeShardSetHeader(os, shards_.size(), "score");
+  for (const auto& shard : shards_) shard->saveCache(os);
+}
+
+void ShardedPlanEngine::loadCache(std::istream& is) {
+  const auto [count, kind] = readShardSetHeader(is);
+  if (kind != "score") {
+    throw std::runtime_error(
+        "ShardedPlanEngine::loadCache: shard set holds '" + kind +
+        "' payloads (expected 'score')");
+  }
+  for (std::size_t k = 0; k < count; ++k) {
+    // Each stored shard's dump is read once, then broadcast to every
+    // current shard: scores are pure functions of their keys, so the
+    // duplication is sound and keeps each shard warm under any routing.
+    CandidateCache merged(0);
+    readCandidateCache(is, merged);
+    std::ostringstream dump;
+    writeCandidateCache(dump, merged);
+    for (const auto& shard : shards_) {
+      std::istringstream copy(dump.str());
+      shard->loadCache(copy);
+    }
+  }
+}
+
+void ShardedPlanEngine::saveResults(std::ostream& os,
+                                    std::size_t budgetPerShard) const {
+  writeShardSetHeader(os, shards_.size(), "result");
+  for (const auto& shard : shards_) shard->saveResults(os, budgetPerShard);
+}
+
+void ShardedPlanEngine::loadResults(std::istream& is) {
+  const auto [count, kind] = readShardSetHeader(is);
+  if (kind != "result") {
+    throw std::runtime_error(
+        "ShardedPlanEngine::loadResults: shard set holds '" + kind +
+        "' payloads (expected 'result')");
+  }
+  // Entries re-route by the consistent hash of their request key — the
+  // same function that routes live requests — so a dump saved under any
+  // shard count lands its winners where lookups will occur. LRU order is
+  // preserved per destination shard (dumps are LRU-first and re-inserted
+  // in order).
+  std::vector<std::unique_ptr<ResultCache>> rerouted;
+  rerouted.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    rerouted.push_back(std::make_unique<ResultCache>(0));
+  }
+  for (std::size_t k = 0; k < count; ++k) {
+    ResultCache dump(0);
+    readResultCache(is, dump);
+    for (const auto& [key, entry] : dump.snapshot()) {
+      (void)rerouted[shardOfKey(key, shards_.size())]->insert(key, *entry);
+    }
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::ostringstream dump;
+    writeResultCache(dump, *rerouted[s]);
+    std::istringstream copy(dump.str());
+    shards_[s]->loadResults(copy);
+  }
+}
+
+}  // namespace fsw

@@ -1,0 +1,142 @@
+// ShardedPlanEngine: N independent PlanEngine shards behind one PlanSolver
+// surface — the routing layer of ROADMAP's distributed fan-out.
+//
+// Every request is routed by rendezvous (highest-random-weight) consistent
+// hashing of its canonical key: shardOfKey hashes (key, shard index) with
+// a fixed FNV-1a seed per shard and picks the argmax, so
+//   * routing is a pure function of the key and the shard count —
+//     identical across processes, the precondition for running shards in
+//     separate hosts behind the same router;
+//   * identical requests always land on the same shard, so each shard's
+//     own dedup, score cache and full-result cache keep working unchanged;
+//   * changing the shard count moves only ~1/N of the key space (the
+//     rendezvous property) — resharding mostly preserves cache locality.
+//
+// Each shard is a complete PlanEngine — its own pool (per EngineConfig),
+// score cache, full-result cache and stats — so shards never contend on a
+// shared lock. What *is* shared is the incumbent BoundBoard
+// (src/serve/bound_board.hpp): any shard's completed solve publishes its
+// winner value, and a later solve of the same key on any shard tightens
+// its abort thresholds with it — the best winner seen anywhere can only
+// shrink a shard's search space (how much is workload-dependent), never
+// change a winner (the bit-identity contract holds across 1-shard,
+// N-shard and remote paths).
+//
+// Persistence is shard-aware: saveCache/saveResults write one versioned
+// shard-set artifact holding every shard's dump; loadCache/loadResults
+// merge a shard set of ANY count into the current one — result-cache
+// entries re-route by their key (so warm lookups land where requests
+// will), score-cache entries broadcast to every shard (scores are pure
+// and shard-agnostic; broadcasting keeps each shard warm under any
+// routing).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/serve/bound_board.hpp"
+#include "src/serve/plan_engine.hpp"
+#include "src/serve/plan_solver.hpp"
+
+namespace fsw {
+
+struct ShardedEngineConfig {
+  /// Independent PlanEngine shards (floored to 1).
+  std::size_t shards = 2;
+  /// Configuration applied to every shard. `boundBoard` is overwritten by
+  /// the engine-owned cross-shard board when `shareIncumbents` is set.
+  EngineConfig shard{};
+  /// Wire one BoundBoard through every shard, so any shard's completed
+  /// winner tightens the others' abort thresholds (winner-preserving).
+  bool shareIncumbents = true;
+};
+
+/// The sharded serving core. Thread-safe: any number of threads may call
+/// optimize/optimizeBatch concurrently — aggregation is locked, shards are
+/// independent.
+class ShardedPlanEngine : public PlanSolver {
+ public:
+  /// An aggregated snapshot across shards. Work counters are summed from
+  /// completed requests under one mutex (never racing increments); cache
+  /// counters are summed from the shards' own locked snapshots.
+  struct Stats {
+    std::size_t requests = 0;      ///< requests routed through this engine
+    std::size_t batches = 0;       ///< optimizeBatch calls observed
+    EngineStats work{};            ///< per-request counters, summed
+    CandidateCache::Stats scores{};  ///< score caches, summed across shards
+    ResultCache::Stats results{};    ///< result caches, summed across shards
+    BoundBoard::Stats bounds{};      ///< cross-shard incumbent board
+    std::vector<std::size_t> perShard;  ///< requests routed per shard
+  };
+
+  explicit ShardedPlanEngine(ShardedEngineConfig config = {});
+
+  ShardedPlanEngine(const ShardedPlanEngine&) = delete;
+  ShardedPlanEngine& operator=(const ShardedPlanEngine&) = delete;
+
+  /// Routes one request to its shard (via a one-element batch, like
+  /// PlanEngine::optimize — one code path for stats and routing).
+  [[nodiscard]] OptimizedPlan optimize(const PlanRequest& request);
+
+  /// Partitions the batch by shard, solves the partitions concurrently
+  /// (each on its shard's engine, with per-shard dedup and caching), and
+  /// returns results index-aligned with `requests`. Winners are
+  /// bit-identical to per-request serial optimizePlan.
+  [[nodiscard]] std::vector<OptimizedPlan> optimizeBatch(
+      std::span<const PlanRequest> requests) override;
+
+  /// The engine-aware dedup key (identical across shards by construction:
+  /// every shard shares one EngineConfig).
+  [[nodiscard]] std::string dedupKey(
+      const PlanRequest& request) const override;
+
+  [[nodiscard]] std::size_t shardCount() const noexcept {
+    return shards_.size();
+  }
+  /// The shard this request routes to.
+  [[nodiscard]] std::size_t shardOf(const PlanRequest& request) const;
+  /// Rendezvous-hash routing: the shard (argmax over per-shard FNV-1a
+  /// hashes of `key`) among `shards` shards. A pure function of its
+  /// arguments — stable across processes and runs.
+  [[nodiscard]] static std::size_t shardOfKey(const std::string& key,
+                                              std::size_t shards);
+  /// Direct access to one shard's engine (tests, persistence tooling).
+  [[nodiscard]] PlanEngine& shard(std::size_t i) { return *shards_[i]; }
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Persist / restore every shard's score cache as one shard-set
+  /// artifact. Loading merges a dump of ANY shard count: each stored
+  /// shard's entries are broadcast to every current shard (scores are pure
+  /// functions of their keys, so duplication is safe and keeps every shard
+  /// warm under any routing). Throws std::runtime_error on a bad magic,
+  /// version, kind, or malformed payload.
+  void saveCache(std::ostream& os) const;
+  void loadCache(std::istream& is);
+
+  /// Persist / restore every shard's full-result store. `budgetPerShard`
+  /// caps the winners written per shard (0 = all). Loading merges a dump
+  /// of ANY shard count: entries re-route by consistent hash of their
+  /// request key, so a warm lookup lands on the shard that will serve the
+  /// request. Throws std::runtime_error on mismatched headers.
+  void saveResults(std::ostream& os, std::size_t budgetPerShard = 0) const;
+  void loadResults(std::istream& is);
+
+ private:
+  ShardedEngineConfig config_;
+  BoundBoard board_;  ///< shared across shards when shareIncumbents
+  std::vector<std::unique_ptr<PlanEngine>> shards_;
+
+  mutable std::mutex statsMu_;
+  std::size_t requests_ = 0;
+  std::size_t batches_ = 0;
+  EngineStats work_{};
+  std::vector<std::size_t> perShard_;
+};
+
+}  // namespace fsw

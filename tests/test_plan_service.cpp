@@ -1,0 +1,354 @@
+// The socket transport: client/host round trips over loopback TCP,
+// bit-identity with serial solves, warm-cache repeats served with zero new
+// orchestrations, concurrent clients, sharded backends behind the same
+// socket, and the frame-level rejection discipline (garbage, truncation,
+// wrong versions) — the host never misparses and never wedges.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/io/serialize.hpp"
+#include "src/opt/optimizer.hpp"
+#include "src/serve/plan_service.hpp"
+#include "src/serve/sharded_engine.hpp"
+#include "src/workload/generator.hpp"
+
+namespace fsw {
+namespace {
+
+OptimizerOptions fastOptions() {
+  OptimizerOptions opt;
+  opt.exactForestMaxN = 5;
+  opt.heuristics.iterations = 200;
+  opt.heuristics.restarts = 2;
+  opt.orchestrator.order.exactCap = 120;
+  opt.orchestrator.outorder.restarts = 4;
+  opt.orchestrator.outorder.bisectSteps = 4;
+  return opt;
+}
+
+std::vector<PlanRequest> smallWorkload() {
+  std::vector<PlanRequest> reqs;
+  Prng rng(4242);
+  for (const std::size_t n : {4u, 5u}) {
+    WorkloadSpec spec;
+    spec.n = n;
+    const auto app = randomApplication(spec, rng);
+    for (const CommModel m : kAllModels) {
+      for (const Objective obj : {Objective::Period, Objective::Latency}) {
+        reqs.push_back({app, m, obj, fastOptions()});
+      }
+    }
+  }
+  return reqs;
+}
+
+/// A raw loopback connection for protocol-violation tests.
+class RawConnection {
+ public:
+  explicit RawConnection(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+  }
+  ~RawConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send(const std::string& bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  /// Half-close: the host sees EOF after our last frame, replies to what
+  /// it already has, then closes — so drain() terminates.
+  void shutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+  /// Reads until EOF (or `max` bytes), whatever the host sends back.
+  std::string drain(std::size_t max = 1 << 20) {
+    std::string out;
+    char buf[4096];
+    while (out.size() < max) {
+      const ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+      if (got <= 0) break;
+      out.append(buf, static_cast<std::size_t>(got));
+    }
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(PlanService, RemoteWinnersMatchSerialAndWarmRepeatsSkipAllWork) {
+  const auto reqs = smallWorkload();
+  ServiceHostConfig hc;
+  hc.serverConfig.maxBatch = 4;
+  PlanServiceHost host{hc};
+  ASSERT_GT(host.port(), 0);
+
+  RemotePlanClient client("127.0.0.1", host.port());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const OptimizedPlan remote = client.optimize(reqs[i]);
+    OptimizerOptions serial = reqs[i].options;
+    serial.threads = 1;
+    const OptimizedPlan local =
+        optimizePlan(reqs[i].app, reqs[i].model, reqs[i].objective, serial);
+    EXPECT_EQ(remote.value, local.value) << "request " << i;
+    EXPECT_EQ(remote.strategy, local.strategy) << "request " << i;
+    EXPECT_EQ(remote.surrogate, local.surrogate) << "request " << i;
+    EXPECT_EQ(graphSignature(remote.plan.graph),
+              graphSignature(local.plan.graph))
+        << "request " << i;
+    EXPECT_EQ(remote.stats.resultCacheHits, 0u) << "request " << i;
+  }
+
+  // The acceptance bar of the serving stack: a warm-cache repeat over the
+  // wire does zero new orchestrations — the far side serves it wholesale
+  // from the full-result store, and the stats that cross back prove it.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const OptimizedPlan warm = client.optimize(reqs[i]);
+    EXPECT_EQ(warm.stats.resultCacheHits, 1u) << "request " << i;
+    EXPECT_EQ(warm.stats.orchestrated, 0u) << "request " << i;
+    EXPECT_EQ(warm.stats.generated, 0u) << "request " << i;
+  }
+
+  const auto cs = client.stats();
+  EXPECT_EQ(cs.submitted, 2 * reqs.size());
+  EXPECT_EQ(cs.served, 2 * reqs.size());
+  EXPECT_EQ(cs.failed, 0u);
+  const auto hs = host.stats();
+  EXPECT_EQ(hs.requests, 2 * reqs.size());
+  EXPECT_EQ(hs.errors, 0u);
+}
+
+TEST(PlanService, ConcurrentClientsOverShardedBackendStayBitIdentical) {
+  const auto reqs = smallWorkload();
+
+  std::vector<OptimizedPlan> expected;
+  for (const auto& r : reqs) {
+    OptimizerOptions serial = r.options;
+    serial.threads = 1;
+    expected.push_back(optimizePlan(r.app, r.model, r.objective, serial));
+  }
+
+  ShardedPlanEngine sharded{ShardedEngineConfig{.shards = 2}};
+  ServiceHostConfig hc;
+  hc.serverConfig.solver = &sharded;
+  hc.serverConfig.maxBatch = 4;
+  hc.serverConfig.drainThreads = 2;
+  PlanServiceHost host{hc};
+
+  const std::size_t kClients = 3;
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        RemotePlanClient client("127.0.0.1", host.port());
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+          const std::size_t j = (i + c * 5) % reqs.size();
+          const OptimizedPlan remote = client.optimize(reqs[j]);
+          if (remote.value != expected[j].value ||
+              remote.strategy != expected[j].strategy) {
+            failures[c] = "client " + std::to_string(c) + " diverged on " +
+                          std::to_string(j);
+            return;
+          }
+        }
+      } catch (const std::exception& e) {
+        failures[c] = e.what();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& failure : failures) EXPECT_EQ(failure, "");
+
+  const auto stats = sharded.stats();
+  EXPECT_GT(stats.requests, 0u);
+  EXPECT_EQ(stats.perShard.size(), 2u);
+}
+
+TEST(PlanService, PriorityAndPortfolioTravel) {
+  ServiceHostConfig hc;
+  PlanServiceHost host{hc};
+  RemotePlanClient client("127.0.0.1", host.port());
+
+  PlanRequest req;
+  req.app.addService(2.0, 0.5);
+  req.app.addService(1.0, 0.8);
+  req.options = fastOptions();
+
+  // An urgent submit and an explicit built-in portfolio both round-trip.
+  const OptimizedPlan urgent = client.optimize(req, /*priority=*/5);
+  EXPECT_TRUE(urgent.value > 0.0);
+  req.options.registry = &CandidateRegistry::builtin();
+  const OptimizedPlan viaName = client.optimize(req);
+  EXPECT_EQ(viaName.value, urgent.value);
+  EXPECT_EQ(viaName.strategy, urgent.strategy);
+  // The builtin name canonicalizes to the same requestKey, so the second
+  // call is a remote result-cache hit.
+  EXPECT_EQ(viaName.stats.resultCacheHits, 1u);
+
+  // A portfolio the host cannot resolve is a remote error, not a hang.
+  CandidateRegistry unknown = CandidateRegistry::makeBuiltin();
+  unknown.setName("nobody-registered-this");
+  req.options.registry = &unknown;
+  EXPECT_THROW((void)client.optimize(req), RemotePlanError);
+  EXPECT_GT(host.stats().errors, 0u);
+
+  // A custom resolver serves named portfolios of its choosing.
+  CandidateRegistry custom = CandidateRegistry::makeBuiltin();
+  custom.setName("prod-portfolio");
+  ServiceHostConfig rc;
+  rc.resolvePortfolio = [&](const std::string& name) {
+    return name == "prod-portfolio" ? &custom : nullptr;
+  };
+  PlanServiceHost resolvingHost{rc};
+  RemotePlanClient resolvingClient("127.0.0.1", resolvingHost.port());
+  req.options.registry = &custom;
+  const OptimizedPlan viaResolver = resolvingClient.optimize(req);
+  EXPECT_EQ(viaResolver.value, urgent.value);
+
+  // Installing a resolver must not revoke the built-in fallback: a
+  // request naming "builtin" still resolves even though the resolver
+  // returns nullptr for it.
+  req.options.registry = &CandidateRegistry::builtin();
+  const OptimizedPlan builtinFallback = resolvingClient.optimize(req);
+  EXPECT_EQ(builtinFallback.value, urgent.value);
+}
+
+TEST(PlanService, GarbageBytesDropTheConnectionAndTheHostSurvives) {
+  ServiceHostConfig hc;
+  PlanServiceHost host{hc};
+
+  {
+    RawConnection raw(host.port());
+    raw.send("this is definitely not a frame header at all............");
+    EXPECT_EQ(raw.drain(), "");  // dropped without a reply
+  }
+
+  // A truncated frame (the header promises more payload than arrives)
+  // is dropped too once the writer half-closes.
+  {
+    RawConnection raw(host.port());
+    std::string frame = encodeFrame(FrameType::Request, "only-a-fragment");
+    frame.resize(frame.size() - 4);
+    raw.send(frame);
+    raw.shutdownWrite();  // the host's recv sees EOF mid-payload
+    EXPECT_EQ(raw.drain(), "");
+  }
+
+  // The host still serves real clients afterwards.
+  RemotePlanClient client("127.0.0.1", host.port());
+  PlanRequest req;
+  req.app.addService(2.0, 0.5);
+  req.app.addService(1.0, 0.8);
+  req.options = fastOptions();
+  const OptimizedPlan plan = client.optimize(req);
+  EXPECT_TRUE(plan.value > 0.0);
+  EXPECT_GE(host.stats().errors, 1u);
+}
+
+TEST(PlanService, WrongFrameVersionGetsAnErrorFrameThenTheBoot) {
+  ServiceHostConfig hc;
+  PlanServiceHost host{hc};
+  RawConnection raw(host.port());
+
+  std::ostringstream payload;
+  PlanRequest req;
+  req.app.addService(1.0, 0.5);
+  writePlanRequest(payload, req);
+  std::string frame = encodeFrame(FrameType::Request, payload.str());
+  frame[4] = static_cast<char>(kFrameVersion + 1);  // the version byte
+  raw.send(frame);
+
+  const std::string reply = raw.drain();
+  ASSERT_GE(reply.size(), 10u);  // one error frame, then EOF
+  EXPECT_EQ(reply.compare(0, 4, kFrameMagic, 4), 0);
+  EXPECT_EQ(reply[5], static_cast<char>(FrameType::Error));
+  EXPECT_NE(reply.find("unsupported frame version"), std::string::npos);
+}
+
+TEST(PlanService, MalformedPayloadGetsAnErrorFrameAndTheConnectionLives) {
+  ServiceHostConfig hc;
+  PlanServiceHost host{hc};
+  RawConnection raw(host.port());
+
+  // A well-framed request whose payload fails the codec's magic check:
+  // answered with an error frame, and the stream stays in sync...
+  raw.send(encodeFrame(FrameType::Request, "not a codec payload"));
+  // ...so a valid request on the SAME connection still gets a result.
+  std::ostringstream payload;
+  PlanRequest req;
+  req.app.addService(2.0, 0.5);
+  req.app.addService(1.0, 0.8);
+  req.options = fastOptions();
+  writePlanRequest(payload, req);
+  raw.send(encodeFrame(FrameType::Request, payload.str()));
+  raw.shutdownWrite();
+
+  const std::string replies = raw.drain(1 << 16);
+  ASSERT_GE(replies.size(), 20u);
+  EXPECT_EQ(replies[5], static_cast<char>(FrameType::Error));
+  // Locate the second frame behind the first frame's payload length.
+  std::uint32_t len = 0;
+  for (std::size_t i = 6; i < 10; ++i) {
+    len = (len << 8) | static_cast<std::uint8_t>(replies[i]);
+  }
+  const std::size_t second = 10 + len;
+  ASSERT_GE(replies.size(), second + 10);
+  EXPECT_EQ(replies[second + 5], static_cast<char>(FrameType::Result));
+  std::istringstream decoded(replies.substr(second + 10));
+  const OptimizedPlan plan = readOptimizedPlan(decoded);
+  EXPECT_TRUE(plan.value > 0.0);
+}
+
+TEST(PlanService, ClientCloseFailsPendingAndRejectsNewSubmits) {
+  ServiceHostConfig hc;
+  PlanServiceHost host{hc};
+  auto client =
+      std::make_unique<RemotePlanClient>("127.0.0.1", host.port());
+  client->close();
+
+  PlanRequest req;
+  req.app.addService(1.0, 0.5);
+  auto future = client->submit(req);
+  EXPECT_THROW((void)future.get(), RemotePlanError);
+}
+
+TEST(PlanService, HostStopUnblocksClients) {
+  auto host = std::make_unique<PlanServiceHost>(ServiceHostConfig{});
+  RemotePlanClient client("127.0.0.1", host->port());
+  host->stop();
+
+  PlanRequest req;
+  req.app.addService(1.0, 0.5);
+  req.options = fastOptions();
+  // The connection is gone: the future fails with a transport error
+  // instead of hanging.
+  auto future = client.submit(req);
+  EXPECT_THROW((void)future.get(), RemotePlanError);
+}
+
+}  // namespace
+}  // namespace fsw

@@ -1,0 +1,316 @@
+// The sharded serving core: consistent-hash routing, N-shard vs 1-engine
+// bit-identity (including under concurrent submitters), aggregated stats,
+// cross-shard incumbent sharing, and shard-aware persistence — a dump
+// saved under one shard count merges into any other.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/io/serialize.hpp"
+#include "src/opt/optimizer.hpp"
+#include "src/serve/sharded_engine.hpp"
+#include "src/workload/generator.hpp"
+
+namespace fsw {
+namespace {
+
+OptimizerOptions fastOptions() {
+  OptimizerOptions opt;
+  opt.exactForestMaxN = 5;
+  opt.heuristics.iterations = 400;
+  opt.heuristics.restarts = 2;
+  opt.orchestrator.order.exactCap = 150;
+  opt.orchestrator.outorder.restarts = 6;
+  opt.orchestrator.outorder.bisectSteps = 5;
+  return opt;
+}
+
+/// Mixed traffic across apps, models and objectives (optionally with an
+/// identical twin for every request, appended after the unique block).
+std::vector<PlanRequest> mixedWorkload(bool duplicated) {
+  std::vector<PlanRequest> reqs;
+  Prng rng(515);
+  for (const std::size_t n : {4u, 5u, 6u}) {
+    WorkloadSpec spec;
+    spec.n = n;
+    spec.precedenceDensity = n == 6 ? 0.25 : 0.0;
+    const auto app = randomApplication(spec, rng);
+    for (const CommModel m : kAllModels) {
+      for (const Objective obj : {Objective::Period, Objective::Latency}) {
+        reqs.push_back({app, m, obj, fastOptions()});
+      }
+    }
+  }
+  if (duplicated) {
+    const std::size_t unique = reqs.size();
+    for (std::size_t i = 0; i < unique; ++i) reqs.push_back(reqs[i]);
+  }
+  return reqs;
+}
+
+TEST(ShardedEngine, RoutingIsDeterministicSpreadAndRemapsMinimally) {
+  const auto reqs = mixedWorkload(/*duplicated=*/false);
+  ShardedPlanEngine sharded{ShardedEngineConfig{.shards = 4}};
+  ASSERT_EQ(sharded.shardCount(), 4u);
+
+  std::set<std::size_t> used;
+  std::size_t moved = 0;
+  for (const auto& r : reqs) {
+    const std::string key = sharded.dedupKey(r);
+    const std::size_t s4 = ShardedPlanEngine::shardOfKey(key, 4);
+    EXPECT_EQ(sharded.shardOf(r), s4);                       // one function
+    EXPECT_EQ(ShardedPlanEngine::shardOfKey(key, 4), s4);    // deterministic
+    EXPECT_LT(s4, 4u);
+    used.insert(s4);
+    // Rendezvous property: going 4 -> 5 shards either keeps a key in
+    // place or moves it to the NEW shard — never reshuffles between
+    // surviving shards.
+    const std::size_t s5 = ShardedPlanEngine::shardOfKey(key, 5);
+    if (s5 != s4) {
+      EXPECT_EQ(s5, 4u) << "key moved between surviving shards";
+      ++moved;
+    }
+  }
+  EXPECT_GT(used.size(), 1u);          // the workload actually spreads
+  EXPECT_LT(moved, reqs.size());       // and most keys stay put
+  EXPECT_EQ(ShardedPlanEngine::shardOfKey("anything", 1), 0u);
+}
+
+TEST(ShardedEngine, BatchWinnersAreBitIdenticalToSerialAcrossShardCounts) {
+  const auto reqs = mixedWorkload(/*duplicated=*/false);
+
+  std::vector<OptimizedPlan> expected;
+  for (const auto& r : reqs) {
+    OptimizerOptions serial = r.options;
+    serial.threads = 1;
+    expected.push_back(optimizePlan(r.app, r.model, r.objective, serial));
+  }
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3}}) {
+    ShardedPlanEngine sharded{ShardedEngineConfig{.shards = shards}};
+    const auto batch = sharded.optimizeBatch(reqs);
+    ASSERT_EQ(batch.size(), reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      EXPECT_EQ(batch[i].value, expected[i].value)
+          << shards << " shards, request " << i;
+      EXPECT_EQ(batch[i].strategy, expected[i].strategy)
+          << shards << " shards, request " << i;
+      EXPECT_EQ(batch[i].surrogate, expected[i].surrogate)
+          << shards << " shards, request " << i;
+      EXPECT_EQ(graphSignature(batch[i].plan.graph),
+                graphSignature(expected[i].plan.graph))
+          << shards << " shards, request " << i;
+    }
+  }
+}
+
+TEST(ShardedEngine, ConcurrentSubmittersMatchSerialResults) {
+  const auto reqs = mixedWorkload(/*duplicated=*/false);
+
+  std::vector<OptimizedPlan> expected;
+  for (const auto& r : reqs) {
+    OptimizerOptions serial = r.options;
+    serial.threads = 1;
+    expected.push_back(optimizePlan(r.app, r.model, r.objective, serial));
+  }
+
+  ShardedPlanEngine sharded{ShardedEngineConfig{.shards = 3}};
+  const std::size_t kThreads = 4;
+  std::vector<std::vector<OptimizedPlan>> got(kThreads);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+          const auto& r = reqs[(i + t * 7) % reqs.size()];
+          got[t].push_back(sharded.optimize(r));
+        }
+      } catch (...) {
+        failed = true;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_FALSE(failed);
+
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const std::size_t j = (i + t * 7) % reqs.size();
+      EXPECT_EQ(got[t][i].value, expected[j].value)
+          << "thread " << t << " request " << j;
+      EXPECT_EQ(got[t][i].strategy, expected[j].strategy)
+          << "thread " << t << " request " << j;
+    }
+  }
+
+  const auto stats = sharded.stats();
+  EXPECT_EQ(stats.requests, kThreads * reqs.size());
+  std::size_t routed = 0;
+  for (const std::size_t n : stats.perShard) routed += n;
+  EXPECT_EQ(routed, stats.requests);
+}
+
+TEST(ShardedEngine, StatsAggregateSumsAcrossShardsWithoutDoubleCounting) {
+  const auto dup = mixedWorkload(/*duplicated=*/true);
+  const std::size_t unique = dup.size() / 2;
+  ShardedPlanEngine sharded{
+      ShardedEngineConfig{.shards = 3, .shard = {.threads = 1}}};
+  const auto batch = sharded.optimizeBatch(dup);
+
+  // Identical twins routed to the same shard collapse onto one solve.
+  std::size_t crossHits = 0;
+  for (const auto& plan : batch) crossHits += plan.stats.crossRequestHits;
+  EXPECT_EQ(crossHits, unique);
+
+  const auto stats = sharded.stats();
+  EXPECT_EQ(stats.requests, dup.size());
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.work.crossRequestHits, unique);
+  EXPECT_GT(stats.work.orchestrated, 0u);
+  EXPECT_EQ(stats.perShard.size(), 3u);
+  std::size_t routed = 0;
+  for (const std::size_t n : stats.perShard) routed += n;
+  EXPECT_EQ(routed, dup.size());
+
+  // The per-request counters summed over the returned batch must equal
+  // the aggregate snapshot — same numbers, no racing increments.
+  EngineStats summed;
+  for (const auto& plan : batch) {
+    summed.orchestrated += plan.stats.orchestrated;
+    summed.boundAborts += plan.stats.boundAborts;
+    summed.resultCacheHits += plan.stats.resultCacheHits;
+    summed.evictions += plan.stats.evictions;
+    summed.sharedHits += plan.stats.sharedHits;
+  }
+  EXPECT_EQ(stats.work.orchestrated, summed.orchestrated);
+  EXPECT_EQ(stats.work.boundAborts, summed.boundAborts);
+  EXPECT_EQ(stats.work.resultCacheHits, summed.resultCacheHits);
+  EXPECT_EQ(stats.work.evictions, summed.evictions);
+  EXPECT_EQ(stats.work.sharedHits, summed.sharedHits);
+}
+
+TEST(ShardedEngine, CrossShardBoundBoardPreservesWinnersAndPublishes) {
+  // Full-result caching off: repeats re-solve, so the second pass consults
+  // the incumbent board that the first pass populated. Winners must stay
+  // bit-identical — the board only ever tightens ranks 1+ with the key's
+  // own winner value.
+  const auto reqs = mixedWorkload(/*duplicated=*/false);
+  ShardedEngineConfig cfg;
+  cfg.shards = 3;
+  cfg.shard.cacheFullResults = false;
+  ShardedPlanEngine sharded{cfg};
+
+  const auto first = sharded.optimizeBatch(reqs);
+  const auto boardAfterFirst = sharded.stats().bounds;
+  EXPECT_GT(boardAfterFirst.published, 0u);
+  EXPECT_GT(boardAfterFirst.tightened, 0u);
+
+  const auto second = sharded.optimizeBatch(reqs);
+  const auto boardAfterSecond = sharded.stats().bounds;
+  EXPECT_GT(boardAfterSecond.hits, 0u);  // the repeats consulted the board
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(second[i].value, first[i].value) << "request " << i;
+    EXPECT_EQ(second[i].strategy, first[i].strategy) << "request " << i;
+    EXPECT_EQ(second[i].surrogate, first[i].surrogate) << "request " << i;
+    EXPECT_EQ(graphSignature(second[i].plan.graph),
+              graphSignature(first[i].plan.graph))
+        << "request " << i;
+    // Down to the operation list's bytes: a board-bounded re-solve must
+    // keep the winning schedule bit-exact, not just its value.
+    EXPECT_EQ(toString(second[i].plan.ol), toString(first[i].plan.ol))
+        << "request " << i;
+  }
+}
+
+TEST(ShardedEngine, ResultsSavedAs4ShardsLoadAs2AndServeWholesale) {
+  const auto reqs = mixedWorkload(/*duplicated=*/false);
+  ShardedPlanEngine four{ShardedEngineConfig{.shards = 4}};
+  const auto batch = four.optimizeBatch(reqs);
+
+  std::stringstream dump;
+  four.saveResults(dump);
+
+  ShardedPlanEngine two{ShardedEngineConfig{.shards = 2}};
+  two.loadResults(dump);
+
+  // Every request is served wholesale from the merged dump — the entries
+  // re-routed to exactly the shard the 2-shard routing consults.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto r = two.optimize(reqs[i]);
+    EXPECT_EQ(r.stats.resultCacheHits, 1u) << "request " << i;
+    EXPECT_EQ(r.stats.orchestrated, 0u) << "request " << i;
+    EXPECT_EQ(r.stats.generated, 0u) << "request " << i;
+    EXPECT_EQ(r.value, batch[i].value) << "request " << i;
+    EXPECT_EQ(r.strategy, batch[i].strategy) << "request " << i;
+  }
+  EXPECT_EQ(two.stats().results.hits, reqs.size());
+}
+
+TEST(ShardedEngine, ScoreCacheSavedAs4ShardsLoadAs2WarmsEveryShard) {
+  const auto reqs = mixedWorkload(/*duplicated=*/false);
+  ShardedEngineConfig cold;
+  cold.shards = 4;
+  cold.shard.cacheFullResults = false;
+  ShardedPlanEngine four{cold};
+  (void)four.optimizeBatch(reqs);
+
+  std::stringstream dump;
+  four.saveCache(dump);
+
+  ShardedEngineConfig fresh;
+  fresh.shards = 2;
+  fresh.shard.cacheFullResults = false;
+  ShardedPlanEngine two{fresh};
+  two.loadCache(dump);
+
+  // Scores broadcast to every shard, so wherever the 2-shard routing
+  // sends a request, its surrogate evaluations are already memoized.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto r = two.optimize(reqs[i]);
+    EXPECT_EQ(r.stats.sharedHits, r.stats.unique) << "request " << i;
+  }
+}
+
+TEST(ShardedEngine, ShardSetLoadersRejectWrongKindAndHeaders) {
+  ShardedPlanEngine sharded{ShardedEngineConfig{.shards = 2}};
+
+  std::stringstream results;
+  sharded.saveResults(results);
+  EXPECT_THROW(sharded.loadCache(results), std::runtime_error);
+
+  std::stringstream scores;
+  sharded.saveCache(scores);
+  EXPECT_THROW(sharded.loadResults(scores), std::runtime_error);
+
+  std::stringstream garbage("not a shard set at all");
+  EXPECT_THROW(sharded.loadResults(garbage), std::runtime_error);
+}
+
+TEST(ShardedEngine, SingleShardDegeneratesToOnePlanEngine) {
+  ShardedPlanEngine one{ShardedEngineConfig{.shards = 0}};  // floored to 1
+  EXPECT_EQ(one.shardCount(), 1u);
+  PlanRequest req;
+  Prng rng(7);
+  WorkloadSpec spec;
+  spec.n = 4;
+  req.app = randomApplication(spec, rng);
+  req.options = fastOptions();
+  const auto direct = one.shard(0).dedupKey(req);
+  EXPECT_EQ(one.dedupKey(req), direct);
+  EXPECT_EQ(one.shardOf(req), 0u);
+  const auto plan = one.optimize(req);
+  EXPECT_TRUE(std::isfinite(plan.value));
+  EXPECT_EQ(one.stats().requests, 1u);
+}
+
+}  // namespace
+}  // namespace fsw

@@ -1,0 +1,272 @@
+// The wire codec: byte-exact round trips for PlanRequest and
+// OptimizedPlan, portfolio-name portability rules, non-finite double
+// tokens, and the rejection discipline — wrong magic, wrong version,
+// truncated or malformed payloads are clean errors, never misparses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "src/io/serialize.hpp"
+#include "src/serve/plan_engine.hpp"
+#include "src/workload/generator.hpp"
+
+namespace fsw {
+namespace {
+
+Application sampleApp() {
+  Application app;
+  app.addService(2.0, 0.5, "decode");
+  app.addService(1.0 / 3.0, 1.25, "detect");  // a non-terminating decimal
+  app.addService(1.5, 1.0, "caption");
+  app.addPrecedence(0, 1);
+  return app;
+}
+
+/// A request with every value-affecting knob off its default.
+PlanRequest sampleRequest() {
+  PlanRequest req;
+  req.app = sampleApp();
+  req.model = CommModel::InOrder;
+  req.objective = Objective::Latency;
+  req.options.exactForestMaxN = 4;
+  req.options.orchestrateTop = 2;
+  req.options.heuristics.restarts = 3;
+  req.options.heuristics.iterations = 123;
+  req.options.heuristics.initialTemperature = 0.75;
+  req.options.heuristics.seed = 99;
+  req.options.orchestrator.order.exactCap = 64;
+  req.options.orchestrator.order.localSearchIters = 17;
+  req.options.orchestrator.order.localSearchRestarts = 2;
+  req.options.orchestrator.order.seed = 5;
+  req.options.orchestrator.order.upperBound = 12.5;
+  req.options.orchestrator.outorder.repairIters = 33;
+  req.options.orchestrator.outorder.restarts = 7;
+  req.options.orchestrator.outorder.bisectSteps = 4;
+  req.options.orchestrator.outorder.seed = 11;
+  req.options.orchestrator.outorder.inorder.exactCap = 128;
+  req.options.orchestrator.outorder.inorder.seed = 21;
+  return req;
+}
+
+std::string encodeRequest(const PlanRequest& req, int priority = 0) {
+  std::ostringstream os;
+  writePlanRequest(os, req, priority);
+  return os.str();
+}
+
+TEST(WireCodec, RequestRoundTripPreservesEveryField) {
+  const PlanRequest req = sampleRequest();
+  std::istringstream is(encodeRequest(req, /*priority=*/7));
+  const WirePlanRequest wire = readPlanRequest(is);
+
+  EXPECT_EQ(wire.priority, 7);
+  EXPECT_EQ(wire.portfolio, "-");
+  EXPECT_EQ(wire.request.model, CommModel::InOrder);
+  EXPECT_EQ(wire.request.objective, Objective::Latency);
+  const OptimizerOptions& o = wire.request.options;
+  EXPECT_EQ(o.exactForestMaxN, 4u);
+  EXPECT_EQ(o.orchestrateTop, 2u);
+  EXPECT_EQ(o.heuristics.restarts, 3u);
+  EXPECT_EQ(o.heuristics.iterations, 123u);
+  EXPECT_EQ(o.heuristics.initialTemperature, 0.75);
+  EXPECT_EQ(o.heuristics.seed, 99u);
+  EXPECT_EQ(o.orchestrator.order.exactCap, 64u);
+  EXPECT_EQ(o.orchestrator.order.localSearchIters, 17u);
+  EXPECT_EQ(o.orchestrator.order.localSearchRestarts, 2u);
+  EXPECT_EQ(o.orchestrator.order.seed, 5u);
+  EXPECT_EQ(o.orchestrator.order.upperBound, 12.5);
+  EXPECT_EQ(o.orchestrator.outorder.repairIters, 33u);
+  EXPECT_EQ(o.orchestrator.outorder.restarts, 7u);
+  EXPECT_EQ(o.orchestrator.outorder.bisectSteps, 4u);
+  EXPECT_EQ(o.orchestrator.outorder.seed, 11u);
+  EXPECT_EQ(o.orchestrator.outorder.inorder.exactCap, 128u);
+  EXPECT_EQ(o.orchestrator.outorder.inorder.seed, 21u);
+  EXPECT_EQ(o.registry, nullptr);  // portfolio travels by name, not pointer
+
+  // The application itself (including the non-terminating decimal cost)
+  // reproduces its exact signature, so both sides compute one requestKey.
+  EXPECT_EQ(PlanEngine::requestKey(wire.request), PlanEngine::requestKey(req));
+}
+
+TEST(WireCodec, RequestEncodingIsByteExact) {
+  const PlanRequest req = sampleRequest();
+  const std::string first = encodeRequest(req, 3);
+  std::istringstream is(first);
+  const WirePlanRequest wire = readPlanRequest(is);
+  const std::string second = encodeRequest(wire.request, wire.priority);
+  EXPECT_EQ(first, second);
+}
+
+TEST(WireCodec, DefaultOptionsCarryInfinityUpperBoundCleanly) {
+  // The default OrchestrationOptions::upperBound is infinity — stream
+  // extraction would reject the "inf" operator<< produces, so the codec
+  // writes explicit tokens. The default-constructed request must round
+  // trip losslessly.
+  PlanRequest req;
+  req.app = sampleApp();
+  std::istringstream is(encodeRequest(req));
+  const WirePlanRequest wire = readPlanRequest(is);
+  EXPECT_TRUE(std::isinf(wire.request.options.orchestrator.order.upperBound));
+  EXPECT_GT(wire.request.options.orchestrator.order.upperBound, 0.0);
+}
+
+TEST(WireCodec, NamedPortfolioTravelsByNameUnnamedIsRejected) {
+  CandidateRegistry named = CandidateRegistry::makeBuiltin();
+  named.setName("prod-portfolio");
+  PlanRequest req;
+  req.app = sampleApp();
+  req.options.registry = &named;
+
+  std::istringstream is(encodeRequest(req, 1));
+  const WirePlanRequest wire = readPlanRequest(is);
+  EXPECT_EQ(wire.portfolio, "prod-portfolio");
+  EXPECT_EQ(wire.request.options.registry, nullptr);
+
+  // Unnamed portfolios are process-local (pointer identity): they must
+  // not cross the wire.
+  const CandidateRegistry anon;
+  req.options.registry = &anon;
+  std::ostringstream os;
+  EXPECT_THROW(writePlanRequest(os, req), std::invalid_argument);
+}
+
+TEST(WireCodec, RequestRejectionsAreCleanErrors) {
+  const std::string good = encodeRequest(sampleRequest());
+
+  // Wrong magic.
+  {
+    std::istringstream is("bogusmagic 1\n" + good.substr(good.find('\n') + 1));
+    EXPECT_THROW((void)readPlanRequest(is), std::runtime_error);
+  }
+  // Wrong version.
+  {
+    std::istringstream is(std::string(kPlanRequestMagic) + " 999\n" +
+                          good.substr(good.find('\n') + 1));
+    EXPECT_THROW((void)readPlanRequest(is), std::runtime_error);
+  }
+  // Truncation at every line boundary (and mid-token).
+  for (const std::size_t cut :
+       {good.size() / 8, good.size() / 3, good.size() - 3}) {
+    std::istringstream is(good.substr(0, cut));
+    EXPECT_THROW((void)readPlanRequest(is), std::runtime_error)
+        << "cut at " << cut;
+  }
+  // Unknown model / objective tokens.
+  {
+    std::string bad = good;
+    const std::size_t pos = bad.find("INORDER");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, 7, "SIDEWAYS");
+    std::istringstream is(bad);
+    EXPECT_THROW((void)readPlanRequest(is), std::runtime_error);
+  }
+  // A non-numeric field where a number belongs.
+  {
+    std::string bad = good;
+    const std::size_t pos = bad.find("options ");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos + 8, 1, "x");
+    std::istringstream is(bad);
+    EXPECT_THROW((void)readPlanRequest(is), std::runtime_error);
+  }
+}
+
+TEST(WireCodec, PlanRoundTripPreservesWinnerAndStats) {
+  // A real solve, so the graph/oplist/stats blocks are non-trivial.
+  PlanEngine engine{EngineConfig{.threads = 1}};
+  PlanRequest req;
+  req.app = sampleApp();
+  const OptimizedPlan plan = engine.optimize(req);
+  ASSERT_TRUE(std::isfinite(plan.value));
+
+  std::ostringstream os;
+  writeOptimizedPlan(os, plan);
+  std::istringstream is(os.str());
+  const OptimizedPlan back = readOptimizedPlan(is);
+
+  EXPECT_EQ(back.value, plan.value);
+  EXPECT_EQ(back.surrogate, plan.surrogate);
+  EXPECT_EQ(back.strategy, plan.strategy);
+  EXPECT_EQ(graphSignature(back.plan.graph), graphSignature(plan.plan.graph));
+  EXPECT_EQ(toString(back.plan.ol), toString(plan.plan.ol));
+  EXPECT_EQ(back.stats.sourcesRun, plan.stats.sourcesRun);
+  EXPECT_EQ(back.stats.generated, plan.stats.generated);
+  EXPECT_EQ(back.stats.unique, plan.stats.unique);
+  EXPECT_EQ(back.stats.orchestrated, plan.stats.orchestrated);
+  EXPECT_EQ(back.stats.boundAborts, plan.stats.boundAborts);
+  EXPECT_EQ(back.stats.resultCacheHits, plan.stats.resultCacheHits);
+
+  // Byte-exact re-encode.
+  std::ostringstream second;
+  writeOptimizedPlan(second, back);
+  EXPECT_EQ(os.str(), second.str());
+}
+
+TEST(WireCodec, DegeneratePlanRoundTripsWithInfValueAndEmptyStrategy) {
+  // A solve that found no candidate: infinite value, empty strategy —
+  // both need reserved tokens on the wire.
+  OptimizedPlan plan;
+  plan.value = std::numeric_limits<double>::infinity();
+  plan.surrogate = std::numeric_limits<double>::infinity();
+
+  std::ostringstream os;
+  writeOptimizedPlan(os, plan);
+  std::istringstream is(os.str());
+  const OptimizedPlan back = readOptimizedPlan(is);
+  EXPECT_TRUE(std::isinf(back.value));
+  EXPECT_TRUE(back.strategy.empty());
+
+  // The reserved empty-field token itself cannot be a strategy name: it
+  // would decode back as empty and silently break byte-exact round trips.
+  OptimizedPlan reserved;
+  reserved.strategy = "-";
+  std::ostringstream bad;
+  EXPECT_THROW(writeOptimizedPlan(bad, reserved), std::invalid_argument);
+}
+
+TEST(WireCodec, PlanRejectionsAreCleanErrors) {
+  OptimizedPlan plan;
+  plan.strategy = "greedy-forest";
+  std::ostringstream os;
+  writeOptimizedPlan(os, plan);
+  const std::string good = os.str();
+
+  {
+    std::istringstream is("nonsense");
+    EXPECT_THROW((void)readOptimizedPlan(is), std::runtime_error);
+  }
+  {
+    std::istringstream is(std::string(kPlanResponseMagic) + " 42\n");
+    EXPECT_THROW((void)readOptimizedPlan(is), std::runtime_error);
+  }
+  for (const std::size_t cut : {good.size() / 4, good.size() - 2}) {
+    std::istringstream is(good.substr(0, cut));
+    EXPECT_THROW((void)readOptimizedPlan(is), std::runtime_error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(WireCodec, ShardSetHeaderRoundTripsAndRejects) {
+  std::ostringstream os;
+  writeShardSetHeader(os, 4, "result");
+  std::istringstream is(os.str());
+  const auto [count, kind] = readShardSetHeader(is);
+  EXPECT_EQ(count, 4u);
+  EXPECT_EQ(kind, "result");
+
+  std::istringstream badMagic("bogus 1\nshards 4 result\n");
+  EXPECT_THROW((void)readShardSetHeader(badMagic), std::runtime_error);
+  std::istringstream badVersion(std::string(kShardSetMagic) +
+                                " 99\nshards 4 result\n");
+  EXPECT_THROW((void)readShardSetHeader(badVersion), std::runtime_error);
+  std::istringstream badLine(std::string(kShardSetMagic) + " 1\nwhat 4\n");
+  EXPECT_THROW((void)readShardSetHeader(badLine), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fsw
