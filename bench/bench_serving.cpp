@@ -27,14 +27,24 @@
 // when rank 0's order enumeration contains dominated orders) while the
 // winners stay bit-identical to the serial reference.
 //
-// Exits nonzero when any batched, async *or sharded* winner diverges from
-// the serial reference, so CI gates on it (`--serial` forces the engine
-// fully serial; the identity checks still run).
+// E11 adds multi-host routing: the same 18-unique-request workload (two
+// waves — cold, then warm repeats) pushed through a PlanRouter over 1 vs 3
+// PlanServiceHosts on loopback TCP, reporting throughput and p50/p95
+// submit-to-result latency per fleet size. Wave 2 is served from the far
+// side's full-result caches (warmhits counts the resultCacheHits that
+// crossed back), and the identity gate checks every request of every wave
+// against the serial reference — the bit-identity contract through the
+// whole wire path.
+//
+// Exits nonzero when any batched, async, sharded *or multi-host* winner
+// diverges from the serial reference, so CI gates on it (`--serial`
+// forces the engines fully serial; the identity checks still run).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -42,7 +52,9 @@
 #include "src/common/util.hpp"
 #include "src/opt/optimizer.hpp"
 #include "src/serve/plan_engine.hpp"
+#include "src/serve/plan_router.hpp"
 #include "src/serve/plan_server.hpp"
+#include "src/serve/plan_service.hpp"
 #include "src/serve/sharded_engine.hpp"
 #include "src/workload/generator.hpp"
 
@@ -275,24 +287,15 @@ std::vector<PlanRequest> mixedWorkload(std::size_t apps, std::size_t total) {
 /// incumbent board (xaborts totals incumbent-driven aborts; equal counts
 /// across rows = no duplicated work from sharding). Returns false on any
 /// divergence from the serial reference.
-[[nodiscard]] bool printShardedServingTable() {
-  const auto unique = mixedWorkload(/*apps=*/3, /*total=*/18);
+[[nodiscard]] bool printShardedServingTable(
+    const std::vector<PlanRequest>& unique,
+    const std::vector<OptimizedPlan>& refs) {
   constexpr std::size_t kWaves = 4;
   std::printf("E10: sharded serving (ShardedPlanEngine), %s engine\n",
               g_serial ? "serial" : "pooled");
   std::printf("%-10s %-9s %-10s %-12s %-9s %-9s %-9s %-9s\n", "mode",
               "requests", "total[ms]", "thruput[r/s]", "p50[ms]", "p95[ms]",
               "xaborts", "identical");
-
-  // Full serial reference (18 solves): the identity gate checks every
-  // request of every wave against it.
-  std::vector<OptimizedPlan> refs;
-  refs.reserve(unique.size());
-  for (const auto& r : unique) {
-    OptimizerOptions serial = r.options;
-    serial.threads = 1;
-    refs.push_back(optimizePlan(r.app, r.model, r.objective, serial));
-  }
 
   bool allIdentical = true;
   EngineConfig shardCfg{.threads = g_serial ? std::size_t{1} : 0};
@@ -357,6 +360,81 @@ std::vector<PlanRequest> mixedWorkload(std::size_t apps, std::size_t total) {
   return allIdentical;
 }
 
+/// E11: multi-host routing — two waves (cold, then warm repeats) of the
+/// 18-unique-request workload through a PlanRouter over 1 vs 3
+/// PlanServiceHosts, each a full socket host over its own engine. The
+/// warmhits column counts wave-2 requests served wholesale by the far
+/// side's full-result caches (resultCacheHits crossing the wire back).
+/// Returns false on any divergence from the serial reference.
+[[nodiscard]] bool printMultiHostTable(
+    const std::vector<PlanRequest>& unique,
+    const std::vector<OptimizedPlan>& refs) {
+  constexpr std::size_t kWaves = 2;
+  std::printf("E11: multi-host routing (PlanRouter), %s engines\n",
+              g_serial ? "serial" : "pooled");
+  std::printf("%-10s %-9s %-10s %-12s %-9s %-9s %-9s %-10s %-9s\n", "mode",
+              "requests", "total[ms]", "thruput[r/s]", "p50[ms]", "p95[ms]",
+              "warmhits", "failovers", "identical");
+
+  bool allIdentical = true;
+  for (const std::size_t hostCount : {std::size_t{1}, std::size_t{3}}) {
+    std::vector<std::unique_ptr<PlanServiceHost>> hosts;
+    RouterConfig rc;
+    for (std::size_t h = 0; h < hostCount; ++h) {
+      ServiceHostConfig hc;
+      hc.serverConfig.engineConfig.threads = g_serial ? std::size_t{1} : 0;
+      hc.serverConfig.maxBatch = 8;
+      hc.serverConfig.drainThreads = g_serial ? 1 : 2;
+      hosts.push_back(std::make_unique<PlanServiceHost>(hc));
+      rc.hosts.push_back(RouterHost{"127.0.0.1", hosts.back()->port()});
+    }
+    PlanRouter router{rc};
+
+    const std::size_t n = unique.size() * kWaves;
+    std::vector<double> latencies;
+    latencies.reserve(n);
+    std::size_t warmHits = 0;
+    bool identical = true;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t wave = 0; wave < kWaves; ++wave) {
+      std::vector<std::future<OptimizedPlan>> futures;
+      std::vector<std::chrono::steady_clock::time_point> submitted;
+      futures.reserve(unique.size());
+      submitted.reserve(unique.size());
+      for (const auto& r : unique) {
+        submitted.push_back(std::chrono::steady_clock::now());
+        futures.push_back(router.submit(r));
+      }
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        const auto plan = futures[i].get();
+        latencies.push_back(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() -
+                                submitted[i])
+                                .count());
+        warmHits += plan.stats.resultCacheHits;
+        identical = identical && plan.value == refs[i].value &&
+                    plan.strategy == refs[i].strategy;
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    allIdentical = allIdentical && identical;
+
+    const double totalMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    char mode[32];
+    std::snprintf(mode, sizeof(mode), "hosts=%zu", hostCount);
+    std::printf("%-10s %-9zu %-10.1f %-12.1f %-9.1f %-9.1f %-9zu %-10zu "
+                "%-9s\n",
+                mode, n, totalMs,
+                1000.0 * static_cast<double>(n) / totalMs,
+                percentile(latencies, 0.50), percentile(latencies, 0.95),
+                warmHits, router.stats().failovers,
+                identical ? "yes" : "NO!");
+  }
+  std::printf("\n");
+  return allIdentical;
+}
+
 void BM_OptimizeBatch(benchmark::State& state) {
   const auto total = static_cast<std::size_t>(state.range(0));
   const auto reqs = mixedWorkload(/*apps=*/2, total);
@@ -392,8 +470,25 @@ int main(int argc, char** argv) {
   g_serial = fswbench::stripFlag(argc, argv, "--serial");
   const bool batchIdentical = printServingTable();
   const bool asyncIdentical = printAsyncServingTable();
-  const bool shardedIdentical = printShardedServingTable();
+
+  // E10 and E11 gate every wave against one full serial reference of the
+  // shared 18-unique-request workload (computed once — it dominates the
+  // reference cost).
+  const auto unique18 = mixedWorkload(/*apps=*/3, /*total=*/18);
+  std::vector<OptimizedPlan> refs18;
+  refs18.reserve(unique18.size());
+  for (const auto& r : unique18) {
+    OptimizerOptions serial = r.options;
+    serial.threads = 1;
+    refs18.push_back(optimizePlan(r.app, r.model, r.objective, serial));
+  }
+  const bool shardedIdentical = printShardedServingTable(unique18, refs18);
+  const bool multiHostIdentical = printMultiHostTable(unique18, refs18);
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return batchIdentical && asyncIdentical && shardedIdentical ? 0 : 1;
+  return batchIdentical && asyncIdentical && shardedIdentical &&
+                 multiHostIdentical
+             ? 0
+             : 1;
 }

@@ -304,6 +304,90 @@ std::pair<std::size_t, std::string> readShardSetHeader(std::istream& is) {
   return {count, kind};
 }
 
+void writeStoreGet(std::ostream& os, const std::string& key, bool wantPlan) {
+  os << kStoreGetMagic << " " << kStoreGetVersion << "\n";
+  os << "get " << fieldToken(key, "writeStoreGet") << " " << (wantPlan ? 1 : 0)
+     << "\n";
+}
+
+StoreGet readStoreGet(std::istream& is) {
+  readVersionedHeader(is, kStoreGetMagic, kStoreGetVersion, "readStoreGet");
+  StoreGet get;
+  std::string tag;
+  int wantPlan = 0;
+  if (!(is >> tag >> get.key >> wantPlan) || tag != "get" ||
+      (wantPlan != 0 && wantPlan != 1)) {
+    throw std::runtime_error("readStoreGet: bad get line");
+  }
+  if (get.key == "-") get.key.clear();
+  get.wantPlan = wantPlan == 1;
+  return get;
+}
+
+void writeStorePut(std::ostream& os, const std::string& key,
+                   const OptimizedPlan& plan) {
+  os << kStorePutMagic << " " << kStorePutVersion << "\n";
+  os << "put " << fieldToken(key, "writeStorePut") << "\n";
+  writeOptimizedPlan(os, plan);
+}
+
+StorePut readStorePut(std::istream& is) {
+  readVersionedHeader(is, kStorePutMagic, kStorePutVersion, "readStorePut");
+  StorePut put;
+  std::string tag;
+  if (!(is >> tag >> put.key) || tag != "put") {
+    throw std::runtime_error("readStorePut: bad put line");
+  }
+  if (put.key == "-") put.key.clear();
+  put.plan = readOptimizedPlan(is);
+  return put;
+}
+
+void writeStoreReply(std::ostream& os, const OptimizedPlan* plan,
+                     double bound) {
+  os << kStoreReplyMagic << " " << kStoreReplyVersion << "\n";
+  os << std::setprecision(17);
+  os << "reply " << (plan != nullptr ? 1 : 0) << " ";
+  writeDoubleToken(os, bound);
+  os << "\n";
+  if (plan != nullptr) writeOptimizedPlan(os, *plan);
+}
+
+StoreReply readStoreReply(std::istream& is) {
+  readVersionedHeader(is, kStoreReplyMagic, kStoreReplyVersion,
+                      "readStoreReply");
+  StoreReply reply;
+  std::string tag;
+  int found = 0;
+  if (!(is >> tag >> found) || tag != "reply" || (found != 0 && found != 1)) {
+    throw std::runtime_error("readStoreReply: bad reply line");
+  }
+  reply.found = found == 1;
+  reply.bound = readDoubleToken(is, "readStoreReply");
+  if (reply.found) reply.plan = readOptimizedPlan(is);
+  return reply;
+}
+
+void writeStoreStats(std::ostream& os, const StoreStatsWire& stats) {
+  os << kStoreStatsMagic << " " << kStoreStatsVersion << "\n";
+  os << "storestats " << stats.entries << " " << stats.gets << " "
+     << stats.hits << " " << stats.boundHits << " " << stats.puts << " "
+     << stats.evictions << " " << stats.bounds << "\n";
+}
+
+StoreStatsWire readStoreStats(std::istream& is) {
+  readVersionedHeader(is, kStoreStatsMagic, kStoreStatsVersion,
+                      "readStoreStats");
+  StoreStatsWire stats;
+  std::string tag;
+  if (!(is >> tag >> stats.entries >> stats.gets >> stats.hits >>
+        stats.boundHits >> stats.puts >> stats.evictions >> stats.bounds) ||
+      tag != "storestats") {
+    throw std::runtime_error("readStoreStats: bad storestats line");
+  }
+  return stats;
+}
+
 namespace {
 
 /// The wire token naming a request's portfolio: "-" for the default, the

@@ -158,6 +158,76 @@ void writePlanRequest(std::ostream& os, const PlanRequest& request,
 void writeOptimizedPlan(std::ostream& os, const OptimizedPlan& plan);
 [[nodiscard]] OptimizedPlan readOptimizedPlan(std::istream& is);
 
+/// ---- result-store wire ops (cross-host shared result store) ---------------
+///
+/// The payloads of the result-store service (src/serve/result_store.*):
+/// GET/PUT/STATS verbs riding the same FSWF frame protocol as plan
+/// serving, with the same magic/version discipline per payload. Keys are
+/// the engine's whitespace-free canonical request keys
+/// (PlanEngine::requestKey) — the portable cross-process key space —  so a
+/// winner PUT by one host is the byte-exact winner every other host GETs.
+inline constexpr const char* kStoreGetMagic = "fswstoreget";
+inline constexpr int kStoreGetVersion = 1;
+inline constexpr const char* kStorePutMagic = "fswstoreput";
+inline constexpr int kStorePutVersion = 1;
+inline constexpr const char* kStoreReplyMagic = "fswstorereply";
+inline constexpr int kStoreReplyVersion = 1;
+inline constexpr const char* kStoreStatsMagic = "fswstorestats";
+inline constexpr int kStoreStatsVersion = 1;
+
+/// Format: `fswstoreget 1` then `get <key> <wantPlan 0|1>`. `wantPlan 0`
+/// asks for the incumbent bound only — the reply skips the stored winner
+/// even on a hit, so an engine that re-solves by policy (full-result
+/// caching off) does not download plans it would discard.
+struct StoreGet {
+  std::string key;
+  bool wantPlan = true;
+};
+void writeStoreGet(std::ostream& os, const std::string& key,
+                   bool wantPlan = true);
+[[nodiscard]] StoreGet readStoreGet(std::istream& is);
+
+/// Format: `fswstoreput 1`, `put <key>`, then the winner via
+/// writeOptimizedPlan. The plan's value doubles as the incumbent bound the
+/// store forwards to later same-key GETs.
+void writeStorePut(std::ostream& os, const std::string& key,
+                   const OptimizedPlan& plan);
+struct StorePut {
+  std::string key;
+  OptimizedPlan plan;
+};
+[[nodiscard]] StorePut readStorePut(std::istream& is);
+
+/// The reply to GET and PUT. `found` says whether a stored winner follows;
+/// `bound` is the store's incumbent bound for the key (+inf = none posted)
+/// — it travels even on a plan miss, so an evicted winner still tightens
+/// the asker's abort thresholds. A PUT's ack simply echoes the published
+/// value (frame sync for pipelined putters).
+/// Format: `fswstorereply 1`, `reply <found 0|1> <bound token>`, then the
+/// winner via writeOptimizedPlan when found.
+struct StoreReply {
+  bool found = false;
+  double bound = 0.0;  ///< +inf when the store has no bound for the key
+  OptimizedPlan plan;  ///< meaningful only when `found`
+};
+void writeStoreReply(std::ostream& os, const OptimizedPlan* plan,
+                     double bound);
+[[nodiscard]] StoreReply readStoreReply(std::istream& is);
+
+/// The store's counters snapshot (the STATS verb).
+/// Format: `fswstorestats 1` then `storestats <7 counters>`.
+struct StoreStatsWire {
+  std::size_t entries = 0;      ///< winners currently stored
+  std::size_t gets = 0;         ///< GET ops served
+  std::size_t hits = 0;         ///< GETs that returned a stored winner
+  std::size_t boundHits = 0;    ///< GETs that returned a finite bound
+  std::size_t puts = 0;         ///< PUT ops applied
+  std::size_t evictions = 0;    ///< winners dropped at the capacity bound
+  std::size_t bounds = 0;       ///< bounds currently posted
+};
+void writeStoreStats(std::ostream& os, const StoreStatsWire& stats);
+[[nodiscard]] StoreStatsWire readStoreStats(std::istream& is);
+
 /// Round-trip helpers via strings.
 [[nodiscard]] std::string toString(const Application& app);
 [[nodiscard]] Application applicationFromString(const std::string& text);

@@ -1,0 +1,302 @@
+#include "src/serve/frame_io.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace fsw {
+
+std::string encodeFrame(FrameType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw std::invalid_argument("encodeFrame: payload exceeds frame cap");
+  }
+  std::string frame;
+  frame.reserve(frameio::kFrameHeaderSize + payload.size());
+  frame.append(kFrameMagic, sizeof(kFrameMagic));
+  frame.push_back(static_cast<char>(kFrameVersion));
+  frame.push_back(static_cast<char>(type));
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    frame.push_back(static_cast<char>((len >> shift) & 0xff));
+  }
+  frame.append(payload);
+  return frame;
+}
+
+}  // namespace fsw
+
+namespace fsw::frameio {
+
+bool sendAll(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t sent = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += sent;
+    len -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+int recvExact(int fd, char* data, std::size_t len) {
+  bool any = false;
+  while (len > 0) {
+    const ssize_t got = ::recv(fd, data, len, 0);
+    if (got == 0) return any ? -1 : 0;
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return any ? -1 : 0;  // shutdown() surfaces as an error: treat as EOF
+    }
+    any = true;
+    data += got;
+    len -= static_cast<std::size_t>(got);
+  }
+  return 1;
+}
+
+ReadStatus readFrame(int fd, Frame& out) {
+  char header[kFrameHeaderSize];
+  const int got = recvExact(fd, header, sizeof(header));
+  if (got == 0) return ReadStatus::Eof;
+  if (got < 0) return ReadStatus::Bad;
+  if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return ReadStatus::Bad;
+  }
+  if (static_cast<std::uint8_t>(header[4]) != kFrameVersion) {
+    return ReadStatus::WrongVersion;
+  }
+  const char type = header[5];
+  if (type != static_cast<char>(FrameType::Request) &&
+      type != static_cast<char>(FrameType::Result) &&
+      type != static_cast<char>(FrameType::Error) &&
+      type != static_cast<char>(FrameType::StoreGet) &&
+      type != static_cast<char>(FrameType::StorePut) &&
+      type != static_cast<char>(FrameType::StoreStats)) {
+    return ReadStatus::Bad;
+  }
+  std::uint32_t len = 0;
+  for (std::size_t i = 6; i < kFrameHeaderSize; ++i) {
+    len = (len << 8) | static_cast<std::uint8_t>(header[i]);
+  }
+  if (len > kMaxFramePayload) return ReadStatus::Bad;
+  out.type = static_cast<FrameType>(type);
+  out.payload.resize(len);
+  if (len > 0 && recvExact(fd, out.payload.data(), len) != 1) {
+    return ReadStatus::Bad;
+  }
+  return ReadStatus::Ok;
+}
+
+bool sendFrame(int fd, FrameType type, std::string_view payload) {
+  const std::string frame = encodeFrame(type, payload);
+  return sendAll(fd, frame.data(), frame.size());
+}
+
+void closeFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+Listener listenLoopback(std::uint16_t port, const char* who) {
+  Listener listener;
+  listener.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener.fd < 0) {
+    throw std::runtime_error(std::string(who) + ": socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listener.fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listener.fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener.fd, 64) != 0) {
+    closeFd(listener.fd);
+    throw std::runtime_error(std::string(who) + ": bind/listen on 127.0.0.1:" +
+                             std::to_string(port) + " failed");
+  }
+  sockaddr_in bound{};
+  socklen_t boundLen = sizeof(bound);
+  if (::getsockname(listener.fd, reinterpret_cast<sockaddr*>(&bound),
+                    &boundLen) != 0) {
+    closeFd(listener.fd);
+    throw std::runtime_error(std::string(who) + ": getsockname failed");
+  }
+  listener.port = ntohs(bound.sin_port);
+  return listener;
+}
+
+int connectTcp(const std::string& host, std::uint16_t port, const char* who,
+               int timeoutMs) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string(who) + ": socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    closeFd(fd);
+    throw std::runtime_error(std::string(who) + ": bad IPv4 literal '" + host +
+                             "'");
+  }
+  const auto fail = [&](const char* what) {
+    closeFd(fd);
+    throw std::runtime_error(std::string(who) + ": " + what + " " + host +
+                             ":" + std::to_string(port) + " failed");
+  };
+  if (timeoutMs <= 0) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      fail("connect to");
+    }
+    return fd;
+  }
+  // Bounded connect: a black-holed peer (no RST) must fail in `timeoutMs`,
+  // not the kernel's multi-minute SYN retry schedule — a router fails over
+  // in seconds instead of stalling its slot.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    fail("configure socket for");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (errno != EINPROGRESS) fail("connect to");
+    pollfd pending{};
+    pending.fd = fd;
+    pending.events = POLLOUT;
+    int polled = 0;
+    do {
+      polled = ::poll(&pending, 1, timeoutMs);
+    } while (polled < 0 && errno == EINTR);
+    if (polled <= 0) fail("connect (timed out) to");
+    int soError = 0;
+    socklen_t len = sizeof(soError);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soError, &len) != 0 ||
+        soError != 0) {
+      fail("connect to");
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    fail("configure socket for");
+  }
+  return fd;
+}
+
+void setIoTimeout(int fd, int timeoutMs) {
+  if (timeoutMs <= 0) return;
+  timeval tv{};
+  tv.tv_sec = timeoutMs / 1000;
+  tv.tv_usec = (timeoutMs % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+// ---- SocketService ---------------------------------------------------------
+
+SocketService::~SocketService() {
+  // Backstop only: a derived class that started the service must already
+  // have called stopService() from its own destructor (see the class
+  // comment); this call is then an idempotent no-op.
+  stopService();
+}
+
+void SocketService::startService(std::uint16_t port, const char* who) {
+  const Listener listener = listenLoopback(port, who);
+  listenFd_ = listener.fd;
+  port_ = listener.port;
+  acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+void SocketService::acceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by stopService()
+    }
+    const std::lock_guard<std::mutex> lock(acceptMu_);
+    if (stopping_) {
+      closeFd(fd);
+      return;
+    }
+    ++accepted_;
+    connections_.insert(fd);
+    reapFinishedLocked();
+    threads_.emplace_back([this, fd] { runConnection(fd); });
+  }
+}
+
+void SocketService::runConnection(int fd) {
+  serveConnection(fd);
+  ::shutdown(fd, SHUT_RDWR);
+  const std::lock_guard<std::mutex> lock(acceptMu_);
+  if (connections_.erase(fd) > 0) closeFd(fd);
+  finished_.push_back(std::this_thread::get_id());
+}
+
+void SocketService::reapFinishedLocked() {
+  if (finished_.empty()) return;
+  for (auto it = threads_.begin(); it != threads_.end();) {
+    const auto f = std::find(finished_.begin(), finished_.end(),
+                             it->get_id());
+    if (f != finished_.end()) {
+      it->join();  // the thread already ran to completion: returns at once
+      finished_.erase(f);
+      it = threads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SocketService::stopService() {
+  const std::lock_guard<std::mutex> stopLock(stopMu_);
+  {
+    const std::lock_guard<std::mutex> lock(acceptMu_);
+    stopping_ = true;
+    // Wake every connection thread blocked in recv; fds are closed by
+    // their owning threads (or below, for threads past their erase).
+    for (const int fd : connections_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (listenFd_ >= 0) {
+    ::shutdown(listenFd_, SHUT_RDWR);  // unblocks accept()
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listenFd_ >= 0) {
+    closeFd(listenFd_);
+    listenFd_ = -1;
+  }
+  // No new threads can appear now (the acceptor is gone), so the vector
+  // is stable outside the lock for joining.
+  std::vector<std::thread> threads;
+  {
+    const std::lock_guard<std::mutex> lock(acceptMu_);
+    threads.swap(threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  const std::lock_guard<std::mutex> lock(acceptMu_);
+  for (const int fd : connections_) closeFd(fd);
+  connections_.clear();
+  finished_.clear();  // every thread was joined above
+}
+
+std::size_t SocketService::acceptedConnections() const {
+  const std::lock_guard<std::mutex> lock(acceptMu_);
+  return accepted_;
+}
+
+}  // namespace fsw::frameio

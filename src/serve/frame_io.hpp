@@ -1,0 +1,173 @@
+// The FSWF frame protocol and its shared plumbing — one implementation for
+// every socket service in src/serve (PlanServiceHost/RemotePlanClient in
+// plan_service.*, ResultStoreHost/RemoteResultStore in result_store.*).
+// One implementation means one failure discipline: a malformed frame is
+// ReadStatus::Bad everywhere, a version mismatch is answered before the
+// drop everywhere, and a new service cannot drift from the protocol by
+// re-implementing it.
+//
+// Frame layout (length-prefixed, fixed 10-byte header):
+//
+//   offset 0  4 bytes  magic "FSWF"
+//   offset 4  1 byte   frame version (kFrameVersion)
+//   offset 5  1 byte   type (FrameType)
+//   offset 6  4 bytes  payload length, big-endian
+//   offset 10 payload  codec text (src/io/serialize.hpp) or, for 'E', a
+//                      human-readable message
+//
+// The protocol surface (magic, version, FrameType, encodeFrame) lives in
+// namespace fsw; the plumbing (exact send/recv, frame reads, the shared
+// listener/connection-thread lifecycle) in fsw::frameio.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+namespace fsw {
+
+inline constexpr char kFrameMagic[4] = {'F', 'S', 'W', 'F'};
+inline constexpr std::uint8_t kFrameVersion = 1;
+/// Frames above this payload size are protocol violations (the codec's
+/// plans are far smaller; the cap keeps a corrupt length prefix from
+/// looking like a multi-gigabyte allocation).
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+enum class FrameType : char {
+  Request = 'Q',
+  Result = 'R',
+  Error = 'E',
+  // The result-store service (src/serve/result_store.*) shares the frame
+  // protocol: one header discipline, one failure contract, new verbs.
+  StoreGet = 'G',    ///< result-store lookup by request key
+  StorePut = 'P',    ///< result-store publish (winner + incumbent bound)
+  StoreStats = 'S',  ///< result-store counters snapshot
+};
+
+/// Serializes one frame (header + payload) to bytes — exposed so tests can
+/// craft byte-exact, truncated or version-tweaked frames.
+[[nodiscard]] std::string encodeFrame(FrameType type,
+                                      std::string_view payload);
+
+}  // namespace fsw
+
+namespace fsw::frameio {
+
+inline constexpr std::size_t kFrameHeaderSize = 10;
+
+/// Sends the whole buffer (MSG_NOSIGNAL: a peer that vanished mid-write is
+/// an error return here, never a SIGPIPE). False on any failure.
+bool sendAll(int fd, const char* data, std::size_t len);
+
+/// Reads exactly `len` bytes. 1 = ok, 0 = clean EOF before the first byte,
+/// -1 = error or EOF mid-buffer (a truncated frame).
+int recvExact(int fd, char* data, std::size_t len);
+
+enum class ReadStatus {
+  Ok,            ///< a well-formed frame
+  Eof,           ///< clean close at a frame boundary
+  Bad,           ///< garbage/truncated/oversized — drop the connection
+  WrongVersion,  ///< well-formed header, unsupported version
+};
+
+struct Frame {
+  FrameType type = FrameType::Error;
+  std::string payload;
+};
+
+ReadStatus readFrame(int fd, Frame& out);
+
+bool sendFrame(int fd, FrameType type, std::string_view payload);
+
+void closeFd(int fd);
+
+/// Binds and listens on 127.0.0.1:`port` (0 = ephemeral), returning the
+/// listening fd and the bound port. Throws std::runtime_error (prefixed
+/// with `who`) on failure.
+struct Listener {
+  int fd = -1;
+  std::uint16_t port = 0;
+};
+[[nodiscard]] Listener listenLoopback(std::uint16_t port, const char* who);
+
+/// Connects to host:port (an IPv4 literal), returning the fd. Throws
+/// std::runtime_error (prefixed with `who`) on failure. `timeoutMs`
+/// bounds the connect itself (non-blocking connect + poll) so a
+/// black-holed peer fails in seconds, not the kernel's multi-minute SYN
+/// retry schedule; <= 0 means a plain blocking connect.
+[[nodiscard]] int connectTcp(const std::string& host, std::uint16_t port,
+                             const char* who, int timeoutMs = 10000);
+
+/// Applies SO_RCVTIMEO/SO_SNDTIMEO so a peer that stops responding
+/// (SIGSTOP, partition without RST) surfaces as a recv/send error after
+/// `timeoutMs` instead of blocking forever. <= 0 leaves the socket
+/// blocking.
+void setIoTimeout(int fd, int timeoutMs);
+
+/// The shared listener/connection lifecycle of an FSWF socket service
+/// (PlanServiceHost, ResultStoreHost): bind + listen on loopback, an
+/// accept loop handing every connection to its own serving thread
+/// (finished threads are reaped on accept, so a long-lived service under
+/// connection churn never accumulates dead handles), and an idempotent
+/// stopService() that closes the listener and every live connection, then
+/// joins everything.
+///
+/// Subclasses implement serveConnection(fd) — run on the connection's own
+/// thread; the base owns the fd (it is shut down and closed after the
+/// override returns) — and MUST call stopService() from their destructor:
+/// the base destructor cannot do it alone, because by the time it runs the
+/// derived object (and with it the virtual serveConnection) is already
+/// gone while connection threads could still be inside it.
+class SocketService {
+ public:
+  SocketService(const SocketService&) = delete;
+  SocketService& operator=(const SocketService&) = delete;
+
+  /// The bound listening port (resolves an ephemeral request).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ protected:
+  SocketService() = default;
+  ~SocketService();  ///< backstop stopService(); derived must call it first
+
+  /// Binds, listens and starts the acceptor thread. Throws
+  /// std::runtime_error (prefixed with `who`) on failure.
+  void startService(std::uint16_t port, const char* who);
+
+  /// Stops accepting, shuts every live connection down, joins all
+  /// threads. Idempotent; safe to call from the derived destructor.
+  void stopService();
+
+  /// One connection's serving loop; called on its own thread.
+  virtual void serveConnection(int fd) = 0;
+
+  /// Connections accepted so far (for derived stats snapshots).
+  [[nodiscard]] std::size_t acceptedConnections() const;
+
+ private:
+  void acceptLoop();
+  void runConnection(int fd);
+  /// Joins and drops threads whose connections already finished (called
+  /// with acceptMu_ held on every accept).
+  void reapFinishedLocked();
+
+  int listenFd_ = -1;
+  std::uint16_t port_ = 0;
+
+  mutable std::mutex acceptMu_;
+  bool stopping_ = false;
+  std::size_t accepted_ = 0;
+  std::unordered_set<int> connections_;  ///< live connection fds
+  std::vector<std::thread> threads_;     ///< connection threads
+  std::vector<std::thread::id> finished_;  ///< threads ready to reap
+
+  std::mutex stopMu_;  ///< serializes the join phase of stopService()
+  std::thread acceptor_;
+};
+
+}  // namespace fsw::frameio

@@ -12,6 +12,7 @@
 #include "src/io/serialize.hpp"
 #include "src/sched/orchestrator.hpp"
 #include "src/serve/bound_board.hpp"
+#include "src/serve/result_store.hpp"
 
 namespace fsw {
 namespace {
@@ -282,8 +283,8 @@ std::vector<OptimizedPlan> PlanEngine::optimizeBatch(
   // probe pass is serial and index-ordered (like the score cache's), so
   // LRU order stays deterministic for serial request sequences; a hit is
   // sound because a solve is a pure function of its key.
-  std::vector<std::size_t> misses;
-  misses.reserve(distinct.size());
+  std::vector<std::size_t> pending;  // local misses, in distinct order
+  pending.reserve(distinct.size());
   for (const std::size_t i : distinct) {
     if (config_.cacheFullResults && resultCacheable(requests[i])) {
       if (const auto hit = results_.lookup(keys[i])) {
@@ -292,24 +293,77 @@ std::vector<OptimizedPlan> PlanEngine::optimizeBatch(
         continue;
       }
     }
+    pending.push_back(i);
+  }
+
+  // Local misses fall through to the fleet-shared remote store (second
+  // level) in ONE pipelined multi-GET: a winner another host already
+  // computed is served wholesale — and cached locally — and even a remote
+  // miss can carry the fleet's incumbent bound for the key, which prunes
+  // the solve below exactly like a BoundBoard entry (it IS this key's own
+  // winner value, posted by whichever host completed it). With full-result
+  // caching off the store is asked for bounds only — no winner payloads
+  // travel just to be discarded. Transport failures degrade to misses.
+  std::unordered_map<std::size_t, RemoteResultStore::Lookup> remote;
+  if (config_.resultStore != nullptr) {
+    std::vector<std::size_t> ask;
+    std::vector<std::string> askKeys;
+    for (const std::size_t i : pending) {
+      if (resultCacheable(requests[i])) {
+        ask.push_back(i);
+        askKeys.push_back(keys[i]);
+      }
+    }
+    if (!ask.empty()) {
+      auto lookups =
+          config_.resultStore->getMany(askKeys, config_.cacheFullResults);
+      for (std::size_t k = 0; k < ask.size(); ++k) {
+        remote.emplace(ask[k], std::move(lookups[k]));
+      }
+    }
+  }
+
+  std::vector<std::size_t> misses;
+  std::vector<double> remoteBounds;
+  misses.reserve(pending.size());
+  remoteBounds.reserve(pending.size());
+  for (const std::size_t i : pending) {
+    double remoteBound = std::numeric_limits<double>::infinity();
+    if (const auto it = remote.find(i); it != remote.end()) {
+      if (it->second.plan != nullptr && config_.cacheFullResults) {
+        out[i] = *it->second.plan;
+        out[i].stats = EngineStats{};
+        out[i].stats.resultCacheHits = 1;
+        (void)results_.insert(keys[i], out[i]);
+        continue;
+      }
+      remoteBound = it->second.bound;
+    }
     misses.push_back(i);
+    remoteBounds.push_back(remoteBound);
   }
 
   // Fan the remaining solves out over the engine pool. Each solve nests
   // its own fan-out on the same workers; the pool's helping discipline
   // makes nested regions deadlock-free. A shared BoundBoard (cross-engine
   // incumbents) is consulted per solve: for result-cacheable requests the
-  // dedup key IS the canonical requestKey, the board's key discipline.
+  // dedup key IS the canonical requestKey, the board's key discipline —
+  // and the remote store's bound (fixed in the serial probe pass above)
+  // joins it through the same min.
   auto solved =
       parallelMap<OptimizedPlan>(pool_, misses.size(), [&](std::size_t k) {
         const PlanRequest& r = requests[misses[k]];
-        double external = std::numeric_limits<double>::infinity();
+        double external = remoteBounds[k];
         if (config_.boundBoard != nullptr && resultCacheable(r)) {
-          external = config_.boundBoard->lookup(keys[misses[k]])
-                         .value_or(external);
+          external = std::min(
+              external,
+              config_.boundBoard->lookup(keys[misses[k]])
+                  .value_or(std::numeric_limits<double>::infinity()));
         }
         return solveOne(r.app, r.model, r.objective, r.options, external);
       });
+  std::vector<std::string> publishKeys;
+  std::vector<const OptimizedPlan*> publishPlans;
   for (std::size_t k = 0; k < misses.size(); ++k) {
     const std::size_t i = misses[k];
     out[i] = std::move(solved[k]);
@@ -321,6 +375,18 @@ std::vector<OptimizedPlan> PlanEngine::optimizeBatch(
     if (config_.boundBoard != nullptr && resultCacheable(requests[i])) {
       config_.boundBoard->publish(keys[i], out[i].value);
     }
+    if (config_.resultStore != nullptr && resultCacheable(requests[i])) {
+      publishKeys.push_back(keys[i]);
+      publishPlans.push_back(&out[i]);
+    }
+  }
+  // Publish to the fleet store last, in one pipelined putMany (mirroring
+  // the getMany probe): each PUT carries the winner AND its value (the
+  // store posts it to the fleet bound board), so any host's later
+  // same-key solve is served or tightened — and a cold batch's publishes
+  // pay ~1 round trip, not one per solve.
+  if (!publishKeys.empty()) {
+    config_.resultStore->putMany(publishKeys, publishPlans);
   }
   for (std::size_t i = 0; i < n; ++i) {
     if (representative[i] != i) {

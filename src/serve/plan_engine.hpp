@@ -53,6 +53,7 @@
 namespace fsw {
 
 class BoundBoard;
+class RemoteResultStore;
 
 /// Engine-wide configuration (per-request knobs live in PlanRequest —
 /// since PR 4 the request struct itself lives with the optimizer facade in
@@ -94,6 +95,21 @@ struct EngineConfig {
   /// Only result-cacheable requests participate — the board's key
   /// discipline is the result cache's.
   BoundBoard* boundBoard = nullptr;
+  /// Fleet-shared second-level result store (not owned; nullptr = off) —
+  /// a RemoteResultStore speaking to a ResultStoreHost, possibly on
+  /// another machine (src/serve/result_store.hpp). Local result-cache
+  /// misses are consulted in one pipelined multi-GET per batch: with
+  /// `cacheFullResults` set a stored winner is served wholesale — a cold
+  /// engine repeats another host's solve with zero new orchestrations —
+  /// while with it unset only the fleet's incumbent bound is fetched (no
+  /// winner payloads travel just to be discarded). Either way a consult
+  /// imports the store's bound for the key (its own winner value, posted
+  /// by whichever host solved it first), tightening abort thresholds
+  /// exactly like a shared BoundBoard — winner-preserving for the same
+  /// reason. Completed solves publish their winner back. Transport
+  /// failures degrade to misses/no-ops: the store is an accelerator,
+  /// never a dependency. Only result-cacheable requests participate.
+  RemoteResultStore* resultStore = nullptr;
 };
 
 /// The long-lived serving core. Thread-safe: any number of threads may call

@@ -1,0 +1,307 @@
+#include "src/serve/plan_router.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/serve/plan_engine.hpp"
+#include "src/serve/rendezvous.hpp"
+
+namespace fsw {
+
+PlanRouter::PlanRouter(RouterConfig config) {
+  if (config.hosts.empty()) {
+    throw std::invalid_argument("PlanRouter: empty host list");
+  }
+  slots_.reserve(config.hosts.size());
+  for (const RouterHost& endpoint : config.hosts) {
+    auto slot = std::make_unique<Slot>();
+    slot->endpoint = endpoint;
+    slots_.push_back(std::move(slot));
+  }
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    slots_[s]->worker = std::thread([this, s] { workerLoop(s); });
+  }
+}
+
+PlanRouter::~PlanRouter() { close(); }
+
+std::size_t PlanRouter::hostCount() const noexcept { return slots_.size(); }
+
+std::size_t PlanRouter::hostOf(const PlanRequest& request) const {
+  return rendezvousPick(PlanEngine::requestKey(request), slots_.size());
+}
+
+bool PlanRouter::hostUp(std::size_t slot) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return !slots_[slot]->down;
+}
+
+std::future<OptimizedPlan> PlanRouter::submit(const PlanRequest& request,
+                                              int priority) {
+  // Validate portability eagerly, like RemotePlanClient: a non-portable
+  // request (unnamed portfolio) throws std::invalid_argument here,
+  // synchronously, instead of surfacing later on a worker thread. This is
+  // the codec's portfolioToken condition checked directly — encoding the
+  // whole request just to probe it would double the submit path's work.
+  if (request.options.registry != nullptr &&
+      request.options.registry->name().empty()) {
+    throw std::invalid_argument(
+        "PlanRouter: an unnamed portfolio is process-local and cannot cross "
+        "the wire; name it (CandidateRegistry::setName) to opt in to "
+        "portable keys");
+  }
+  Job job;
+  job.request = request;
+  job.priority = priority;
+  job.rank = rendezvousRank(PlanEngine::requestKey(request), slots_.size());
+  std::future<OptimizedPlan> future = job.promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+  }
+  dispatch(std::move(job));
+  return future;
+}
+
+OptimizedPlan PlanRouter::optimize(const PlanRequest& request, int priority) {
+  return submit(request, priority).get();
+}
+
+void PlanRouter::dispatch(Job job) {
+  std::promise<OptimizedPlan> failing;
+  std::string reason;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ++stats_.failed;
+      failing = std::move(job.promise);
+      reason = "PlanRouter: closed";
+    } else {
+      // Prefer the first *live* slot from the job's current rank
+      // position; when every remaining ranked slot is down, probe the
+      // next ranked one anyway (its reconnect attempt is the re-admission
+      // path once the whole fleet has blinked).
+      std::size_t position = job.rank.size();
+      for (std::size_t p = job.attempt; p < job.rank.size(); ++p) {
+        if (!slots_[job.rank[p]]->down) {
+          position = p;
+          break;
+        }
+      }
+      if (position == job.rank.size() && job.attempt < job.rank.size()) {
+        position = job.attempt;
+      }
+      if (position == job.rank.size()) {
+        ++stats_.failed;
+        failing = std::move(job.promise);
+        reason = "PlanRouter: no hosts left for request (all " +
+                 std::to_string(job.rank.size()) + " ranked hosts failed)";
+      } else {
+        job.attempt = position;
+        slots_[job.rank[position]]->queue.push_back(std::move(job));
+      }
+    }
+  }
+  cv_.notify_all();
+  if (!reason.empty()) {
+    failing.set_exception(std::make_exception_ptr(
+        RemotePlanError(reason, /*transport=*/true)));
+  }
+}
+
+void PlanRouter::workerLoop(std::size_t slot) {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return stopping_ || !slots_[slot]->queue.empty();
+      });
+      if (stopping_) return;  // close() fails whatever is still queued
+      job = std::move(slots_[slot]->queue.front());
+      slots_[slot]->queue.pop_front();
+    }
+    process(slot, std::move(job));
+  }
+}
+
+void PlanRouter::process(std::size_t slot, Job job) {
+  Slot& s = *slots_[slot];
+
+  // Ensure a connection (only this slot's worker touches its client
+  // between close() calls, so the pointer is stable outside the lock; the
+  // connect itself happens unlocked — it is a blocking syscall).
+  RemotePlanClient* client = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ++stats_.failed;
+      job.promise.set_exception(std::make_exception_ptr(
+          RemotePlanError("PlanRouter: closed", /*transport=*/true)));
+      return;
+    }
+    client = s.client.get();
+  }
+  if (client == nullptr) {
+    std::unique_ptr<RemotePlanClient> fresh;
+    try {
+      fresh = std::make_unique<RemotePlanClient>(s.endpoint.host,
+                                                 s.endpoint.port);
+    } catch (const std::exception&) {
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        s.down = true;
+        s.stats.up = false;
+        ++s.stats.transportFailures;
+        ++job.attempt;
+        ++stats_.failovers;
+      }
+      dispatch(std::move(job));
+      return;
+    }
+    bool closed = false;
+    std::unique_ptr<RemotePlanClient> discard;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        // close() already swept the slots (this client did not exist yet,
+        // so it was never told to close): do not install it — a blocking
+        // RPC on it would have no cancellation path and close() would
+        // hang joining this worker.
+        closed = true;
+        ++stats_.failed;
+        discard = std::move(fresh);
+      } else if (s.client != nullptr) {
+        // reconnect() won the race and already re-admitted the slot with
+        // its own connection: use that one (overwriting would destroy a
+        // live client under mu_ and double-count the re-admission).
+        discard = std::move(fresh);
+        client = s.client.get();
+      } else {
+        if (s.down) {
+          s.down = false;
+          s.stats.up = true;
+          ++stats_.reconnects;
+        }
+        s.client = std::move(fresh);
+        client = s.client.get();
+      }
+    }
+    discard.reset();  // outside the lock: its close() joins a thread
+    if (closed) {
+      job.promise.set_exception(std::make_exception_ptr(
+          RemotePlanError("PlanRouter: closed", /*transport=*/true)));
+      return;
+    }
+  }
+
+  std::unique_ptr<RemotePlanClient> dropped;
+  try {
+    OptimizedPlan plan = client->optimize(job.request, job.priority);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++s.stats.served;
+      ++stats_.served;
+    }
+    job.promise.set_value(std::move(plan));
+    return;
+  } catch (const RemotePlanError& e) {
+    if (!e.transport()) {
+      // The host's deterministic answer for this payload (unknown
+      // portfolio, malformed request): it would recur on every host.
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.failed;
+      job.promise.set_exception(std::current_exception());
+      return;
+    }
+    // The connection broke: mark the host down and fail over. The dead
+    // client is destroyed outside the lock (its close() joins a thread).
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      s.down = true;
+      s.stats.up = false;
+      ++s.stats.transportFailures;
+      dropped = std::move(s.client);
+      ++job.attempt;
+      ++stats_.failovers;
+    }
+    dropped.reset();
+    dispatch(std::move(job));
+    return;
+  } catch (const std::exception&) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.failed;
+    job.promise.set_exception(std::current_exception());
+    return;
+  }
+}
+
+std::size_t PlanRouter::reconnect() {
+  std::size_t readmitted = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = *slots_[i];
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_ || !s.down) continue;
+    }
+    std::unique_ptr<RemotePlanClient> fresh;
+    try {
+      fresh = std::make_unique<RemotePlanClient>(s.endpoint.host,
+                                                 s.endpoint.port);
+    } catch (const std::exception&) {
+      continue;
+    }
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || !s.down) continue;  // raced with a worker's probe
+    s.client = std::move(fresh);
+    s.down = false;
+    s.stats.up = true;
+    ++stats_.reconnects;
+    ++readmitted;
+  }
+  return readmitted;
+}
+
+PlanRouter::Stats PlanRouter::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Stats snapshot = stats_;
+  snapshot.perHost.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    snapshot.perHost.push_back(slot->stats);
+  }
+  return snapshot;
+}
+
+void PlanRouter::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Fail every in-flight RPC: each client's close() makes its worker's
+    // blocking optimize() throw, and the worker then observes stopping_.
+    for (const auto& slot : slots_) {
+      if (slot->client != nullptr) slot->client->close();
+    }
+  }
+  cv_.notify_all();
+  for (const auto& slot : slots_) {
+    if (slot->worker.joinable()) slot->worker.join();
+  }
+  std::vector<Job> orphans;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& slot : slots_) {
+      for (Job& job : slot->queue) orphans.push_back(std::move(job));
+      slot->queue.clear();
+    }
+    stats_.failed += orphans.size();
+  }
+  for (Job& job : orphans) {
+    job.promise.set_exception(std::make_exception_ptr(
+        RemotePlanError("PlanRouter: closed before dispatch",
+                        /*transport=*/true)));
+  }
+  for (const auto& slot : slots_) slot->client.reset();
+}
+
+}  // namespace fsw

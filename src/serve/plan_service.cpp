@@ -1,124 +1,20 @@
 #include "src/serve/plan_service.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
-#include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
 #include <sstream>
 #include <utility>
 
 #include "src/io/serialize.hpp"
 
 namespace fsw {
-namespace {
 
-constexpr std::size_t kFrameHeaderSize = 10;
-
-/// Sends the whole buffer (MSG_NOSIGNAL: a peer that vanished mid-write is
-/// an error return here, never a SIGPIPE). False on any failure.
-bool sendAll(int fd, const char* data, std::size_t len) {
-  while (len > 0) {
-    const ssize_t sent = ::send(fd, data, len, MSG_NOSIGNAL);
-    if (sent <= 0) {
-      if (sent < 0 && errno == EINTR) continue;
-      return false;
-    }
-    data += sent;
-    len -= static_cast<std::size_t>(sent);
-  }
-  return true;
-}
-
-/// Reads exactly `len` bytes. 1 = ok, 0 = clean EOF before the first byte,
-/// -1 = error or EOF mid-buffer (a truncated frame).
-int recvExact(int fd, char* data, std::size_t len) {
-  bool any = false;
-  while (len > 0) {
-    const ssize_t got = ::recv(fd, data, len, 0);
-    if (got == 0) return any ? -1 : 0;
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      return any ? -1 : 0;  // shutdown() surfaces as an error: treat as EOF
-    }
-    any = true;
-    data += got;
-    len -= static_cast<std::size_t>(got);
-  }
-  return 1;
-}
-
-enum class ReadStatus {
-  Ok,            ///< a well-formed frame
-  Eof,           ///< clean close at a frame boundary
-  Bad,           ///< garbage/truncated/oversized — drop the connection
-  WrongVersion,  ///< well-formed header, unsupported version
-};
-
-struct Frame {
-  FrameType type = FrameType::Error;
-  std::string payload;
-};
-
-ReadStatus readFrame(int fd, Frame& out) {
-  char header[kFrameHeaderSize];
-  const int got = recvExact(fd, header, sizeof(header));
-  if (got == 0) return ReadStatus::Eof;
-  if (got < 0) return ReadStatus::Bad;
-  if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0) {
-    return ReadStatus::Bad;
-  }
-  if (static_cast<std::uint8_t>(header[4]) != kFrameVersion) {
-    return ReadStatus::WrongVersion;
-  }
-  const char type = header[5];
-  if (type != static_cast<char>(FrameType::Request) &&
-      type != static_cast<char>(FrameType::Result) &&
-      type != static_cast<char>(FrameType::Error)) {
-    return ReadStatus::Bad;
-  }
-  std::uint32_t len = 0;
-  for (std::size_t i = 6; i < kFrameHeaderSize; ++i) {
-    len = (len << 8) | static_cast<std::uint8_t>(header[i]);
-  }
-  if (len > kMaxFramePayload) return ReadStatus::Bad;
-  out.type = static_cast<FrameType>(type);
-  out.payload.resize(len);
-  if (len > 0 && recvExact(fd, out.payload.data(), len) != 1) {
-    return ReadStatus::Bad;
-  }
-  return ReadStatus::Ok;
-}
-
-bool sendFrame(int fd, FrameType type, std::string_view payload) {
-  const std::string frame = encodeFrame(type, payload);
-  return sendAll(fd, frame.data(), frame.size());
-}
-
-void closeFd(int fd) {
-  if (fd >= 0) ::close(fd);
-}
-
-}  // namespace
-
-std::string encodeFrame(FrameType type, std::string_view payload) {
-  if (payload.size() > kMaxFramePayload) {
-    throw std::invalid_argument("encodeFrame: payload exceeds frame cap");
-  }
-  std::string frame;
-  frame.reserve(kFrameHeaderSize + payload.size());
-  frame.append(kFrameMagic, sizeof(kFrameMagic));
-  frame.push_back(static_cast<char>(kFrameVersion));
-  frame.push_back(static_cast<char>(type));
-  const auto len = static_cast<std::uint32_t>(payload.size());
-  for (int shift = 24; shift >= 0; shift -= 8) {
-    frame.push_back(static_cast<char>((len >> shift) & 0xff));
-  }
-  frame.append(payload);
-  return frame;
-}
+using frameio::closeFd;
+using frameio::Frame;
+using frameio::readFrame;
+using frameio::ReadStatus;
+using frameio::sendAll;
+using frameio::sendFrame;
 
 // ---- PlanServiceHost -------------------------------------------------------
 
@@ -130,54 +26,10 @@ PlanServiceHost::PlanServiceHost(ServiceHostConfig config)
     ownedServer_ = std::make_unique<PlanServer>(config_.serverConfig);
     server_ = ownedServer_.get();
   }
-
-  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listenFd_ < 0) {
-    throw std::runtime_error("PlanServiceHost: socket() failed");
-  }
-  const int one = 1;
-  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(config_.port);
-  if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listenFd_, 64) != 0) {
-    closeFd(listenFd_);
-    throw std::runtime_error("PlanServiceHost: bind/listen on 127.0.0.1:" +
-                             std::to_string(config_.port) + " failed");
-  }
-  sockaddr_in bound{};
-  socklen_t boundLen = sizeof(bound);
-  if (::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound),
-                    &boundLen) != 0) {
-    closeFd(listenFd_);
-    throw std::runtime_error("PlanServiceHost: getsockname failed");
-  }
-  port_ = ntohs(bound.sin_port);
-  acceptor_ = std::thread([this] { acceptLoop(); });
+  startService(config_.port, "PlanServiceHost");
 }
 
 PlanServiceHost::~PlanServiceHost() { stop(); }
-
-void PlanServiceHost::acceptLoop() {
-  for (;;) {
-    const int fd = ::accept(listenFd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listener closed by stop()
-    }
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      closeFd(fd);
-      return;
-    }
-    ++stats_.connections;
-    connections_.insert(fd);
-    threads_.emplace_back([this, fd] { serveConnection(fd); });
-  }
-}
 
 void PlanServiceHost::serveConnection(int fd) {
   for (;;) {
@@ -254,70 +106,25 @@ void PlanServiceHost::serveConnection(int fd) {
     }
     if (!sendFrame(fd, FrameType::Error, error)) break;
   }
-  ::shutdown(fd, SHUT_RDWR);
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (connections_.erase(fd) > 0) closeFd(fd);
-}
-
-void PlanServiceHost::stop() {
-  const std::lock_guard<std::mutex> stopLock(stopMu_);
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-    // Wake every connection thread blocked in recv; fds are closed by
-    // their owning threads (or below, for threads past their erase).
-    for (const int fd : connections_) ::shutdown(fd, SHUT_RDWR);
-  }
-  if (listenFd_ >= 0) {
-    ::shutdown(listenFd_, SHUT_RDWR);  // unblocks accept()
-  }
-  if (acceptor_.joinable()) acceptor_.join();
-  if (listenFd_ >= 0) {
-    closeFd(listenFd_);
-    listenFd_ = -1;
-  }
-  // No new threads can appear now (the acceptor is gone), so the vector
-  // is stable outside the lock for joining.
-  std::vector<std::thread> threads;
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    threads.swap(threads_);
-  }
-  for (auto& t : threads) {
-    if (t.joinable()) t.join();
-  }
-  const std::lock_guard<std::mutex> lock(mu_);
-  for (const int fd : connections_) closeFd(fd);
-  connections_.clear();
+  // The shared SocketService owns the fd from here: it is shut down,
+  // erased and closed by the base's connection wrapper.
 }
 
 PlanServiceHost::Stats PlanServiceHost::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    snapshot = stats_;
+  }
+  snapshot.connections = acceptedConnections();
+  return snapshot;
 }
 
 // ---- RemotePlanClient ------------------------------------------------------
 
 RemotePlanClient::RemotePlanClient(const std::string& host,
                                    std::uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    throw std::runtime_error("RemotePlanClient: socket() failed");
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    closeFd(fd_);
-    throw std::runtime_error("RemotePlanClient: bad IPv4 literal '" + host +
-                             "'");
-  }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    closeFd(fd_);
-    throw std::runtime_error("RemotePlanClient: connect to " + host + ":" +
-                             std::to_string(port) + " failed");
-  }
+  fd_ = frameio::connectTcp(host, port, "RemotePlanClient");
   sender_ = std::thread([this] { senderLoop(); });
 }
 
@@ -337,7 +144,8 @@ std::future<OptimizedPlan> RemotePlanClient::submit(
     const std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       pending.promise.set_exception(std::make_exception_ptr(
-          RemotePlanError("RemotePlanClient: submit after close")));
+          RemotePlanError("RemotePlanClient: submit after close",
+                          /*transport=*/true)));
       return future;
     }
     ++stats_.submitted;
@@ -368,27 +176,52 @@ void RemotePlanClient::senderLoop() {
       const std::string encoded =
           encodeFrame(FrameType::Request, pending.payload);
       if (!sendAll(fd_, encoded.data(), encoded.size())) {
-        throw RemotePlanError("RemotePlanClient: connection lost (send)");
+        throw RemotePlanError("RemotePlanClient: connection lost (send)",
+                              /*transport=*/true);
       }
       Frame frame;
       const ReadStatus status = readFrame(fd_, frame);
       if (status != ReadStatus::Ok) {
-        throw RemotePlanError("RemotePlanClient: connection lost (recv)");
+        // Covers a clean drop AND a garbled/truncated result frame: a
+        // stream that breaks mid-frame cannot be resynchronized, so the
+        // future fails with a transport error — never a misparsed plan.
+        throw RemotePlanError("RemotePlanClient: connection lost (recv)",
+                              /*transport=*/true);
       }
       if (frame.type == FrameType::Error) {
         throw RemotePlanError("remote: " + frame.payload);
       }
       if (frame.type != FrameType::Result) {
-        throw RemotePlanError("RemotePlanClient: unexpected frame type");
+        throw RemotePlanError("RemotePlanClient: unexpected frame type",
+                              /*transport=*/true);
       }
       std::istringstream payload(frame.payload);
-      OptimizedPlan plan = readOptimizedPlan(payload);
+      OptimizedPlan plan;
+      try {
+        plan = readOptimizedPlan(payload);
+      } catch (const std::exception& e) {
+        // A well-framed but undecodable result: the host is not speaking
+        // our codec. Transport-class — a retry elsewhere is sound because
+        // solves are idempotent.
+        throw RemotePlanError(
+            std::string("RemotePlanClient: undecodable result (") + e.what() +
+                ")",
+            /*transport=*/true);
+      }
       {
         const std::lock_guard<std::mutex> lock(mu_);
         ++stats_.served;
       }
       pending.promise.set_value(std::move(plan));
       continue;
+    } catch (const RemotePlanError& e) {
+      if (e.transport()) {
+        // The stream cannot be resynchronized after a transport failure:
+        // kill the socket so every later queued request fails fast with
+        // the same error instead of blocking on a desynchronized fd.
+        ::shutdown(fd_, SHUT_RDWR);
+      }
+      failure = std::current_exception();
     } catch (...) {
       failure = std::current_exception();
     }
@@ -418,7 +251,8 @@ void RemotePlanClient::close() {
   }
   for (auto& orphan : orphans) {
     orphan.promise.set_exception(std::make_exception_ptr(
-        RemotePlanError("RemotePlanClient: closed before dispatch")));
+        RemotePlanError("RemotePlanClient: closed before dispatch",
+                        /*transport=*/true)));
   }
 }
 

@@ -40,39 +40,30 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
-#include <string_view>
 #include <thread>
-#include <unordered_set>
 #include <vector>
 
+#include "src/serve/frame_io.hpp"
 #include "src/serve/plan_server.hpp"
 
 namespace fsw {
 
-inline constexpr char kFrameMagic[4] = {'F', 'S', 'W', 'F'};
-inline constexpr std::uint8_t kFrameVersion = 1;
-/// Frames above this payload size are protocol violations (the codec's
-/// plans are far smaller; the cap keeps a corrupt length prefix from
-/// looking like a multi-gigabyte allocation).
-inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
-
-enum class FrameType : char {
-  Request = 'Q',
-  Result = 'R',
-  Error = 'E',
-};
-
-/// Serializes one frame (header + payload) to bytes — exposed so tests can
-/// craft byte-exact, truncated or version-tweaked frames.
-[[nodiscard]] std::string encodeFrame(FrameType type,
-                                      std::string_view payload);
-
 /// A solve that failed on the far side (an 'E' frame) or a transport
 /// failure (lost/garbled connection), delivered through the future.
+/// `transport()` separates the two: a transport failure means the
+/// *connection* broke (the request may never have been seen, and a pure
+/// solve is idempotent), so a router can retry it on another host; a
+/// remote error is the host's deterministic answer for this payload and
+/// would recur anywhere — it must not be retried.
 class RemotePlanError : public std::runtime_error {
  public:
-  explicit RemotePlanError(const std::string& what)
-      : std::runtime_error(what) {}
+  explicit RemotePlanError(const std::string& what, bool transport = false)
+      : std::runtime_error(what), transport_(transport) {}
+
+  [[nodiscard]] bool transport() const noexcept { return transport_; }
+
+ private:
+  bool transport_ = false;
 };
 
 struct ServiceHostConfig {
@@ -93,11 +84,13 @@ struct ServiceHostConfig {
       resolvePortfolio;
 };
 
-/// The listening side. Every accepted connection gets a serving thread:
-/// read request frame -> decode -> resolve portfolio -> PlanServer::submit
-/// -> await -> encode -> result frame. Stats are locked; stop() (and the
-/// destructor) closes the listener and every live connection, then joins.
-class PlanServiceHost {
+/// The listening side. Every accepted connection gets a serving thread
+/// (the listener/connection lifecycle is the shared
+/// frameio::SocketService): read request frame -> decode -> resolve
+/// portfolio -> PlanServer::submit -> await -> encode -> result frame.
+/// Stats are locked; stop() (and the destructor) closes the listener and
+/// every live connection, then joins.
+class PlanServiceHost : public frameio::SocketService {
  public:
   struct Stats {
     std::size_t connections = 0;  ///< connections accepted
@@ -108,37 +101,23 @@ class PlanServiceHost {
   explicit PlanServiceHost(ServiceHostConfig config);
   ~PlanServiceHost();
 
-  PlanServiceHost(const PlanServiceHost&) = delete;
-  PlanServiceHost& operator=(const PlanServiceHost&) = delete;
-
-  /// The bound listening port (resolves config port 0).
-  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] PlanServer& server() noexcept { return *server_; }
 
   /// Stops accepting, drops live connections, joins every thread.
   /// Idempotent. The wrapped PlanServer is left running (its owner — or
   /// the host destructor, for an owned server — shuts it down).
-  void stop();
+  void stop() { stopService(); }
 
  private:
-  void acceptLoop();
-  void serveConnection(int fd);
+  void serveConnection(int fd) override;
 
   ServiceHostConfig config_;
   std::unique_ptr<PlanServer> ownedServer_;
   PlanServer* server_ = nullptr;
-  int listenFd_ = -1;
-  std::uint16_t port_ = 0;
 
-  mutable std::mutex mu_;
-  bool stopping_ = false;
-  std::unordered_set<int> connections_;  ///< live connection fds
-  std::vector<std::thread> threads_;     ///< connection threads (joined once)
+  mutable std::mutex mu_;  ///< guards stats_
   Stats stats_{};
-
-  std::mutex stopMu_;  ///< serializes the join phase of stop()
-  std::thread acceptor_;
 };
 
 /// The connecting side: the same submit -> future surface as PlanServer,

@@ -1,0 +1,68 @@
+#include "src/serve/rendezvous.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fsw {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(const std::string& key) {
+  std::uint64_t h = kFnvOffset;
+  for (const unsigned char c : key) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// SplitMix64 finalizer: decorrelates the per-slot rendezvous scores
+/// derived from one key hash.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t rendezvousScore(const std::string& key, std::size_t slot) {
+  return mix(fnv1a(key) ^ static_cast<std::uint64_t>(slot));
+}
+
+std::size_t rendezvousPick(const std::string& key, std::size_t slots) {
+  if (slots <= 1) return 0;
+  const std::uint64_t h = fnv1a(key);
+  std::size_t best = 0;
+  std::uint64_t bestScore = mix(h ^ 0);
+  for (std::size_t s = 1; s < slots; ++s) {
+    const std::uint64_t score = mix(h ^ static_cast<std::uint64_t>(s));
+    if (score > bestScore) {
+      bestScore = score;
+      best = s;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> rendezvousRank(const std::string& key,
+                                        std::size_t slots) {
+  std::vector<std::size_t> rank(slots);
+  std::iota(rank.begin(), rank.end(), std::size_t{0});
+  if (slots <= 1) return rank;
+  const std::uint64_t h = fnv1a(key);
+  std::vector<std::uint64_t> scores(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    scores[s] = mix(h ^ static_cast<std::uint64_t>(s));
+  }
+  std::stable_sort(rank.begin(), rank.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return scores[a] > scores[b];
+                   });
+  return rank;
+}
+
+}  // namespace fsw

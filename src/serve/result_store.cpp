@@ -1,0 +1,375 @@
+#include "src/serve/result_store.hpp"
+
+#include <sys/socket.h>
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+namespace fsw {
+
+using frameio::closeFd;
+using frameio::Frame;
+using frameio::readFrame;
+using frameio::ReadStatus;
+using frameio::sendFrame;
+
+// ---- ResultStoreHost -------------------------------------------------------
+
+ResultStoreHost::ResultStoreHost(ResultStoreConfig config)
+    : config_(config),
+      results_(config.capacity),
+      bounds_(config.boundCapacity) {
+  startService(config_.port, "ResultStoreHost");
+}
+
+ResultStoreHost::~ResultStoreHost() { stop(); }
+
+void ResultStoreHost::serveConnection(int fd) {
+  for (;;) {
+    Frame frame;
+    const ReadStatus status = readFrame(fd, frame);
+    if (status == ReadStatus::Eof) break;
+    if (status == ReadStatus::Bad) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.errors;
+      break;
+    }
+    if (status == ReadStatus::WrongVersion) {
+      (void)sendFrame(fd, FrameType::Error,
+                      "unsupported frame version (expected " +
+                          std::to_string(kFrameVersion) + ")");
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.errors;
+      break;
+    }
+
+    // The length prefix kept the stream in sync: payload problems are
+    // answered with an error frame and the connection stays serviceable.
+    std::string error;
+    try {
+      std::istringstream payload(frame.payload);
+      std::ostringstream encoded;
+      switch (frame.type) {
+        case FrameType::StoreGet: {
+          const StoreGet get = readStoreGet(payload);
+          // wantPlan = false is a bound-only probe (the asker re-solves by
+          // policy): skip the result lookup so no plan is serialized just
+          // to be discarded on the far side.
+          const ResultCache::Entry entry =
+              get.wantPlan ? results_.lookup(get.key) : ResultCache::Entry{};
+          // The board's bound travels on every reply: a stored winner's
+          // value IS its bound, and an evicted winner's bound survives on
+          // the board — either way the asker learns the fleet incumbent.
+          const double bound =
+              bounds_.lookup(get.key).value_or(
+                  std::numeric_limits<double>::infinity());
+          writeStoreReply(encoded, entry.get(), bound);
+          {
+            const std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.gets;
+            if (entry != nullptr) ++stats_.hits;
+            if (std::isfinite(bound)) ++stats_.boundHits;
+          }
+          break;
+        }
+        case FrameType::StorePut: {
+          StorePut put = readStorePut(payload);
+          (void)results_.insert(put.key, put.plan);
+          bounds_.publish(put.key, put.plan.value);
+          // The ack echoes the published value — frame sync for the
+          // pipelined putter, no extra board lookup.
+          writeStoreReply(encoded, nullptr, put.plan.value);
+          const std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.puts;
+          break;
+        }
+        case FrameType::StoreStats: {
+          StoreStatsWire wire;
+          const ResultCache::Stats rs = results_.stats();
+          wire.entries = results_.size();
+          wire.evictions = rs.evictions;
+          wire.bounds = bounds_.size();
+          {
+            const std::lock_guard<std::mutex> lock(mu_);
+            wire.gets = stats_.gets;
+            wire.hits = stats_.hits;
+            wire.boundHits = stats_.boundHits;
+            wire.puts = stats_.puts;
+          }
+          writeStoreStats(encoded, wire);
+          break;
+        }
+        default:
+          throw std::runtime_error("expected a store frame (GET/PUT/STATS)");
+      }
+      if (!sendFrame(fd, FrameType::Result, encoded.str())) break;
+      continue;
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.errors;
+    }
+    if (!sendFrame(fd, FrameType::Error, error)) break;
+  }
+  // The shared SocketService owns the fd from here: it is shut down,
+  // erased and closed by the base's connection wrapper.
+}
+
+ResultStoreHost::Stats ResultStoreHost::stats() const {
+  Stats snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    snapshot = stats_;
+  }
+  snapshot.connections = acceptedConnections();
+  return snapshot;
+}
+
+// ---- RemoteResultStore -----------------------------------------------------
+
+namespace {
+
+/// Pipelined ops in flight per batch (getMany/putMany): enough to
+/// amortize the round trip, small enough that the unread frames of either
+/// direction can never fill both peers' socket buffers at once — the
+/// write-everything-first alternative deadlocks via TCP flow control once
+/// a large batch's frames exceed the buffers (client blocked in send,
+/// host blocked in send, nobody reading).
+constexpr std::size_t kPipelineWindow = 8;
+
+}  // namespace
+
+RemoteResultStore::RemoteResultStore(const std::string& host,
+                                     std::uint16_t port, int ioTimeoutMs)
+    : host_(host), port_(port), ioTimeoutMs_(ioTimeoutMs) {
+  fd_ = frameio::connectTcp(host_, port_, "RemoteResultStore", ioTimeoutMs_);
+  frameio::setIoTimeout(fd_, ioTimeoutMs_);
+}
+
+RemoteResultStore::~RemoteResultStore() { close(); }
+
+bool RemoteResultStore::roundTrip(FrameType type, const std::string& payload,
+                                  std::string& reply, std::string& error,
+                                  bool& errorFrame) {
+  // Caller holds mu_. Any transport failure closes the socket — the
+  // stream cannot be resynchronized — and the client runs degraded until
+  // reconnect().
+  errorFrame = false;
+  if (fd_ < 0) return false;
+  const std::string frame = encodeFrame(type, payload);
+  if (!frameio::sendAll(fd_, frame.data(), frame.size())) {
+    closeFd(fd_);
+    fd_ = -1;
+    return false;
+  }
+  Frame back;
+  if (readFrame(fd_, back) != ReadStatus::Ok) {
+    closeFd(fd_);
+    fd_ = -1;
+    return false;
+  }
+  if (back.type == FrameType::Error) {
+    errorFrame = true;
+    error = std::move(back.payload);
+    return true;
+  }
+  if (back.type != FrameType::Result) {
+    closeFd(fd_);
+    fd_ = -1;
+    return false;
+  }
+  reply = std::move(back.payload);
+  return true;
+}
+
+RemoteResultStore::Lookup RemoteResultStore::get(const std::string& key) {
+  return std::move(getMany({key}).front());
+}
+
+std::vector<RemoteResultStore::Lookup> RemoteResultStore::getMany(
+    const std::vector<std::string>& keys, bool wantPlans) {
+  std::vector<Lookup> lookups(keys.size());
+  if (keys.empty()) return lookups;
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  stats_.gets += keys.size();
+  if (fd_ < 0) {
+    ++stats_.failures;
+    return lookups;  // degraded: every key is a miss
+  }
+  // Pipelined with a bounded window: up to kPipelineWindow GET frames are
+  // in flight before their replies are drained (the host answers in
+  // order, so reply r belongs to key r). The window amortizes the round
+  // trip like a full pipeline would, without the flow-control deadlock of
+  // writing an unbounded batch before reading anything.
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  bool dead = false;
+  while (received < keys.size() && !dead) {
+    while (sent < keys.size() && sent - received < kPipelineWindow) {
+      std::ostringstream encoded;
+      writeStoreGet(encoded, keys[sent], wantPlans);
+      const std::string frame = encodeFrame(FrameType::StoreGet,
+                                            encoded.str());
+      if (!frameio::sendAll(fd_, frame.data(), frame.size())) {
+        dead = true;
+        break;
+      }
+      ++sent;
+    }
+    if (dead || received >= sent) break;
+    Frame back;
+    if (readFrame(fd_, back) != ReadStatus::Ok) {
+      dead = true;
+      break;
+    }
+    if (back.type == FrameType::Error) {
+      // A per-key payload error: the length prefix kept the stream in
+      // sync, so only this key degrades.
+      ++stats_.failures;
+      ++received;
+      continue;
+    }
+    if (back.type != FrameType::Result) {
+      dead = true;
+      break;
+    }
+    try {
+      std::istringstream is(back.payload);
+      StoreReply decoded = readStoreReply(is);
+      lookups[received].bound = decoded.bound;
+      if (decoded.found) {
+        lookups[received].plan =
+            std::make_shared<const OptimizedPlan>(std::move(decoded.plan));
+        ++stats_.hits;
+      }
+      ++received;
+    } catch (const std::exception&) {
+      // An undecodable reply from a well-framed stream: the peer is not
+      // speaking our codec — degrade.
+      lookups[received] = Lookup{};
+      dead = true;
+    }
+  }
+  if (dead) {
+    closeFd(fd_);
+    fd_ = -1;
+    ++stats_.failures;  // the unanswered tail degrades to misses
+  }
+  return lookups;
+}
+
+void RemoteResultStore::put(const std::string& key,
+                            const OptimizedPlan& plan) {
+  putMany({key}, {&plan});
+}
+
+void RemoteResultStore::putMany(
+    const std::vector<std::string>& keys,
+    const std::vector<const OptimizedPlan*>& plans) {
+  if (keys.empty() || keys.size() != plans.size()) return;
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) {
+    ++stats_.failures;
+    return;  // degraded: publishes are no-ops
+  }
+  // Same bounded pipeline as getMany (acks are tiny, but the outbound PUT
+  // frames are not — the window keeps the in-flight bytes under the
+  // socket buffers in both directions).
+  std::size_t sent = 0;
+  std::size_t acked = 0;
+  bool dead = false;
+  while (acked < keys.size() && !dead) {
+    while (sent < keys.size() && sent - acked < kPipelineWindow) {
+      std::ostringstream encoded;
+      writeStorePut(encoded, keys[sent], *plans[sent]);
+      const std::string frame = encodeFrame(FrameType::StorePut,
+                                            encoded.str());
+      if (!frameio::sendAll(fd_, frame.data(), frame.size())) {
+        dead = true;
+        break;
+      }
+      ++sent;
+    }
+    if (dead || acked >= sent) break;
+    Frame back;
+    if (readFrame(fd_, back) != ReadStatus::Ok) {
+      dead = true;
+      break;
+    }
+    if (back.type == FrameType::Error) {
+      ++stats_.failures;  // this key's publish was refused; stream lives
+      ++acked;
+      continue;
+    }
+    if (back.type != FrameType::Result) {
+      dead = true;
+      break;
+    }
+    ++stats_.puts;
+    ++acked;
+  }
+  if (dead) {
+    closeFd(fd_);
+    fd_ = -1;
+    ++stats_.failures;
+  }
+}
+
+StoreStatsWire RemoteResultStore::remoteStats() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string reply;
+  std::string error;
+  bool errorFrame = false;
+  // STATS is a bare verb: the frame type says it all, the payload is empty.
+  if (!roundTrip(FrameType::StoreStats, std::string(), reply, error,
+                 errorFrame)) {
+    ++stats_.failures;
+    throw RemotePlanError("RemoteResultStore: store unreachable",
+                          /*transport=*/true);
+  }
+  if (errorFrame) {
+    ++stats_.failures;
+    throw RemotePlanError("remote: " + error);
+  }
+  std::istringstream is(reply);
+  return readStoreStats(is);
+}
+
+bool RemoteResultStore::reconnect() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) return true;
+  try {
+    fd_ = frameio::connectTcp(host_, port_, "RemoteResultStore",
+                              ioTimeoutMs_);
+  } catch (const std::exception&) {
+    return false;
+  }
+  frameio::setIoTimeout(fd_, ioTimeoutMs_);
+  return true;
+}
+
+bool RemoteResultStore::connected() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return fd_ >= 0;
+}
+
+RemoteResultStore::Stats RemoteResultStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void RemoteResultStore::close() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    closeFd(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace fsw

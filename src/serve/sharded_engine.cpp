@@ -7,30 +7,10 @@
 #include <utility>
 
 #include "src/io/serialize.hpp"
+#include "src/serve/rendezvous.hpp"
 
 namespace fsw {
 namespace {
-
-constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-std::uint64_t fnv1a(const std::string& key) {
-  std::uint64_t h = kFnvOffset;
-  for (const unsigned char c : key) {
-    h ^= c;
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-/// SplitMix64 finalizer: decorrelates the per-shard rendezvous scores
-/// derived from one key hash.
-std::uint64_t mix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
 
 /// Sums the counters of `s` into `into` (the batch-invariant accounting:
 /// representatives carry the work, duplicates carry only their marker, so
@@ -64,18 +44,10 @@ ShardedPlanEngine::ShardedPlanEngine(ShardedEngineConfig config)
 
 std::size_t ShardedPlanEngine::shardOfKey(const std::string& key,
                                           std::size_t shards) {
-  if (shards <= 1) return 0;
-  const std::uint64_t h = fnv1a(key);
-  std::size_t best = 0;
-  std::uint64_t bestScore = mix(h ^ 0);
-  for (std::size_t s = 1; s < shards; ++s) {
-    const std::uint64_t score = mix(h ^ static_cast<std::uint64_t>(s));
-    if (score > bestScore) {
-      bestScore = score;
-      best = s;
-    }
-  }
-  return best;
+  // Delegates to the shared rendezvous implementation (also ranked by
+  // PlanRouter across hosts), so in-process shards, cross-host routing and
+  // persisted shard-set re-routing can never disagree on where a key lives.
+  return rendezvousPick(key, shards);
 }
 
 std::size_t ShardedPlanEngine::shardOf(const PlanRequest& request) const {

@@ -323,6 +323,106 @@ TEST(PlanService, MalformedPayloadGetsAnErrorFrameAndTheConnectionLives) {
   EXPECT_TRUE(plan.value > 0.0);
 }
 
+TEST(PlanService, TruncatedResultFrameFailsTheFutureCleanly) {
+  // A fake host that reads one request frame, answers with a *truncated*
+  // result frame (the header promises more payload than is sent), then
+  // closes. The client future must fail with a clean transport error —
+  // no hang, and never a misparsed plan.
+  const auto listener = frameio::listenLoopback(0, "fake host");
+  const int listenFd = listener.fd;
+  const std::uint16_t port = listener.port;
+
+  std::thread fakeHost([listenFd] {
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0) return;
+    // Consume the request frame: 10-byte header, then its payload length.
+    char header[10];
+    std::size_t got = 0;
+    while (got < sizeof(header)) {
+      const ssize_t r = ::recv(fd, header + got, sizeof(header) - got, 0);
+      if (r <= 0) break;
+      got += static_cast<std::size_t>(r);
+    }
+    std::uint32_t len = 0;
+    for (std::size_t i = 6; i < 10; ++i) {
+      len = (len << 8) | static_cast<std::uint8_t>(header[i]);
+    }
+    std::vector<char> payload(len);
+    std::size_t gotPayload = 0;
+    while (gotPayload < len) {
+      const ssize_t r =
+          ::recv(fd, payload.data() + gotPayload, len - gotPayload, 0);
+      if (r <= 0) break;
+      gotPayload += static_cast<std::size_t>(r);
+    }
+    // A result frame whose header promises far more payload than follows.
+    std::string frame =
+        encodeFrame(FrameType::Result, "fswplanresp 1\nplan 1 1 chain\n");
+    frame.resize(frame.size() / 2);
+    (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+    ::close(fd);
+  });
+
+  RemotePlanClient client("127.0.0.1", port);
+  PlanRequest req;
+  req.app.addService(2.0, 0.5);
+  req.app.addService(1.0, 0.8);
+  req.options = fastOptions();
+  auto future = client.submit(req);
+  bool threw = false;
+  try {
+    (void)future.get();
+  } catch (const RemotePlanError& e) {
+    threw = true;
+    EXPECT_TRUE(e.transport());  // a stream failure, retryable elsewhere
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(client.stats().failed, 1u);
+  EXPECT_EQ(client.stats().served, 0u);
+
+  fakeHost.join();
+  ::close(listenFd);
+}
+
+TEST(PlanService, DesynchronizedStreamFailsSubsequentSubmitsFast) {
+  // A host that answers with garbage (bad magic) but keeps the connection
+  // open: the first future fails with a transport error, and — because a
+  // broken stream can never be resynchronized — every LATER submit on the
+  // same client must fail fast too, not block on the dead fd.
+  const auto listener = frameio::listenLoopback(0, "fake host");
+  const int listenFd = listener.fd;
+
+  std::promise<void> replied;
+  std::thread fakeHost([listenFd, &replied] {
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0) return;
+    const char garbage[16] = "no frame here..";
+    (void)::send(fd, garbage, sizeof(garbage), MSG_NOSIGNAL);
+    replied.set_value();
+    // Stay open and silent: drain whatever else arrives until the client
+    // gives up and closes.
+    char buf[4096];
+    while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+    }
+    ::close(fd);
+  });
+
+  RemotePlanClient client("127.0.0.1", listener.port);
+  PlanRequest req;
+  req.app.addService(2.0, 0.5);
+  req.options = fastOptions();
+  replied.get_future().wait();
+  EXPECT_THROW((void)client.optimize(req), RemotePlanError);
+  // The poisoned stream fails the next submit promptly instead of
+  // hanging in recv on bytes that will never align.
+  EXPECT_THROW((void)client.optimize(req), RemotePlanError);
+  EXPECT_EQ(client.stats().failed, 2u);
+
+  client.close();
+  fakeHost.join();
+  ::close(listenFd);
+}
+
 TEST(PlanService, ClientCloseFailsPendingAndRejectsNewSubmits) {
   ServiceHostConfig hc;
   PlanServiceHost host{hc};

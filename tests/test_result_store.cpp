@@ -1,0 +1,332 @@
+// The shared remote result store: GET/PUT/STATS round trips over the
+// frame protocol, a cold engine behind a second host serving a repeat
+// with zero new orchestrations, incumbent bounds forwarded fleet-wide
+// (winner-preserving), graceful degradation when the store dies, and the
+// frame-level rejection discipline on the store port.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "src/io/serialize.hpp"
+#include "src/opt/optimizer.hpp"
+#include "src/serve/plan_engine.hpp"
+#include "src/serve/plan_service.hpp"
+#include "src/serve/result_store.hpp"
+
+namespace fsw {
+namespace {
+
+OptimizerOptions fastOptions() {
+  OptimizerOptions opt;
+  opt.exactForestMaxN = 5;
+  opt.heuristics.iterations = 200;
+  opt.heuristics.restarts = 2;
+  opt.orchestrator.order.exactCap = 120;
+  opt.orchestrator.outorder.restarts = 4;
+  opt.orchestrator.outorder.bisectSteps = 4;
+  return opt;
+}
+
+PlanRequest smallRequest(double seed = 2.0) {
+  PlanRequest req;
+  req.app.addService(seed, 0.5);
+  req.app.addService(1.0, 0.8);
+  req.app.addService(3.0, 0.4);
+  req.options = fastOptions();
+  return req;
+}
+
+TEST(ResultStore, WireOpsRoundTripByteExact) {
+  const PlanRequest req = smallRequest();
+  OptimizerOptions serial = req.options;
+  serial.threads = 1;
+  const OptimizedPlan plan =
+      optimizePlan(req.app, req.model, req.objective, serial);
+  const std::string key = PlanEngine::requestKey(req);
+
+  std::ostringstream get;
+  writeStoreGet(get, key);
+  std::istringstream getIn(get.str());
+  const StoreGet decodedGet = readStoreGet(getIn);
+  EXPECT_EQ(decodedGet.key, key);
+  EXPECT_TRUE(decodedGet.wantPlan);
+  std::ostringstream boundOnly;
+  writeStoreGet(boundOnly, key, /*wantPlan=*/false);
+  std::istringstream boundOnlyIn(boundOnly.str());
+  EXPECT_FALSE(readStoreGet(boundOnlyIn).wantPlan);
+
+  std::ostringstream put;
+  writeStorePut(put, key, plan);
+  std::istringstream putIn(put.str());
+  const StorePut decodedPut = readStorePut(putIn);
+  EXPECT_EQ(decodedPut.key, key);
+  EXPECT_EQ(decodedPut.plan.value, plan.value);
+  EXPECT_EQ(decodedPut.plan.strategy, plan.strategy);
+
+  // reply(found) re-encodes byte-exact; reply(miss) carries the bound.
+  std::ostringstream hit;
+  writeStoreReply(hit, &plan, plan.value);
+  std::istringstream hitIn(hit.str());
+  const StoreReply decodedHit = readStoreReply(hitIn);
+  ASSERT_TRUE(decodedHit.found);
+  EXPECT_EQ(decodedHit.bound, plan.value);
+  EXPECT_EQ(decodedHit.plan.surrogate, plan.surrogate);
+  std::ostringstream reHit;
+  writeStoreReply(reHit, &decodedHit.plan, decodedHit.bound);
+  EXPECT_EQ(reHit.str(), hit.str());
+
+  std::ostringstream miss;
+  writeStoreReply(miss, nullptr,
+                  std::numeric_limits<double>::infinity());
+  std::istringstream missIn(miss.str());
+  const StoreReply decodedMiss = readStoreReply(missIn);
+  EXPECT_FALSE(decodedMiss.found);
+  EXPECT_TRUE(std::isinf(decodedMiss.bound));
+
+  std::istringstream garbage("fswstoreget 999\nget k\n");
+  EXPECT_THROW((void)readStoreGet(garbage), std::runtime_error);
+}
+
+TEST(ResultStore, GetPutStatsOverTheSocket) {
+  ResultStoreHost host{ResultStoreConfig{}};
+  ASSERT_GT(host.port(), 0);
+  RemoteResultStore store("127.0.0.1", host.port());
+
+  const PlanRequest req = smallRequest();
+  const std::string key = PlanEngine::requestKey(req);
+
+  const auto cold = store.get(key);
+  EXPECT_EQ(cold.plan, nullptr);
+  EXPECT_TRUE(std::isinf(cold.bound));
+
+  OptimizerOptions serial = req.options;
+  serial.threads = 1;
+  const OptimizedPlan plan =
+      optimizePlan(req.app, req.model, req.objective, serial);
+  store.put(key, plan);
+
+  const auto warm = store.get(key);
+  ASSERT_NE(warm.plan, nullptr);
+  EXPECT_EQ(warm.plan->value, plan.value);
+  EXPECT_EQ(warm.plan->strategy, plan.strategy);
+  EXPECT_EQ(graphSignature(warm.plan->plan.graph),
+            graphSignature(plan.plan.graph));
+  // The bound IS the key's winner value — the store posted it on PUT.
+  EXPECT_EQ(warm.bound, plan.value);
+
+  const StoreStatsWire remote = store.remoteStats();
+  EXPECT_EQ(remote.entries, 1u);
+  EXPECT_EQ(remote.gets, 2u);
+  EXPECT_EQ(remote.hits, 1u);
+  EXPECT_EQ(remote.boundHits, 1u);
+  EXPECT_EQ(remote.puts, 1u);
+  EXPECT_EQ(remote.bounds, 1u);
+
+  const auto cs = store.stats();
+  EXPECT_EQ(cs.gets, 2u);
+  EXPECT_EQ(cs.hits, 1u);
+  EXPECT_EQ(cs.puts, 1u);
+  EXPECT_EQ(cs.failures, 0u);
+
+  // One pipelined batch: replies are index-aligned, misses degrade per
+  // key, and a bounds-only batch skips the winner payloads while the
+  // bound still travels.
+  const auto batch = store.getMany({key, "no-such-key"});
+  ASSERT_EQ(batch.size(), 2u);
+  ASSERT_NE(batch[0].plan, nullptr);
+  EXPECT_EQ(batch[0].plan->value, plan.value);
+  EXPECT_EQ(batch[1].plan, nullptr);
+  EXPECT_TRUE(std::isinf(batch[1].bound));
+  const auto boundsOnly = store.getMany({key}, /*wantPlans=*/false);
+  EXPECT_EQ(boundsOnly[0].plan, nullptr);
+  EXPECT_EQ(boundsOnly[0].bound, plan.value);
+}
+
+TEST(ResultStore, ColdEngineServesARepeatWithZeroOrchestrations) {
+  ResultStoreHost storeHost{ResultStoreConfig{}};
+  const PlanRequest req = smallRequest();
+
+  OptimizerOptions serial = req.options;
+  serial.threads = 1;
+  const OptimizedPlan ref =
+      optimizePlan(req.app, req.model, req.objective, serial);
+
+  // Engine A (behind "host A") solves and publishes to the fleet store.
+  RemoteResultStore storeA("127.0.0.1", storeHost.port());
+  EngineConfig cfgA;
+  cfgA.resultStore = &storeA;
+  PlanEngine engineA{cfgA};
+  const OptimizedPlan first = engineA.optimize(req);
+  EXPECT_GT(first.stats.orchestrated, 0u);
+  EXPECT_EQ(first.value, ref.value);
+  EXPECT_EQ(first.strategy, ref.strategy);
+
+  // Engine B is COLD — fresh process-equivalent, empty local caches —
+  // but shares the fleet store: the repeat is served wholesale, zero new
+  // orchestrations, bit-identical.
+  RemoteResultStore storeB("127.0.0.1", storeHost.port());
+  EngineConfig cfgB;
+  cfgB.resultStore = &storeB;
+  PlanEngine engineB{cfgB};
+  const OptimizedPlan repeat = engineB.optimize(req);
+  EXPECT_EQ(repeat.stats.resultCacheHits, 1u);
+  EXPECT_EQ(repeat.stats.orchestrated, 0u);
+  EXPECT_EQ(repeat.stats.generated, 0u);
+  EXPECT_EQ(repeat.value, ref.value);
+  EXPECT_EQ(repeat.strategy, ref.strategy);
+  EXPECT_EQ(repeat.surrogate, ref.surrogate);
+  EXPECT_EQ(graphSignature(repeat.plan.graph), graphSignature(ref.plan.graph));
+
+  // The remote hit warmed B's local store: a second repeat is local (the
+  // fleet store sees no new GET).
+  const std::size_t getsBefore = storeB.remoteStats().gets;
+  const OptimizedPlan local = engineB.optimize(req);
+  EXPECT_EQ(local.stats.resultCacheHits, 1u);
+  EXPECT_EQ(storeB.remoteStats().gets, getsBefore);
+}
+
+TEST(ResultStore, BoundsTravelEvenWithoutFullResultServing) {
+  ResultStoreHost storeHost{ResultStoreConfig{}};
+  const PlanRequest req = smallRequest(4.0);
+
+  OptimizerOptions serial = req.options;
+  serial.threads = 1;
+  const OptimizedPlan ref =
+      optimizePlan(req.app, req.model, req.objective, serial);
+
+  RemoteResultStore storeA("127.0.0.1", storeHost.port());
+  EngineConfig cfgA;
+  cfgA.resultStore = &storeA;
+  PlanEngine engineA{cfgA};
+  (void)engineA.optimize(req);
+
+  // Engine C keeps full-result caching off (it wants fresh solves) but
+  // still imports the fleet bound: the re-solve runs — orchestrations
+  // happen — under host A's winner value as an abort threshold, and the
+  // winner is preserved down to the byte.
+  RemoteResultStore storeC("127.0.0.1", storeHost.port());
+  EngineConfig cfgC;
+  cfgC.resultStore = &storeC;
+  cfgC.cacheFullResults = false;
+  PlanEngine engineC{cfgC};
+  const std::size_t boundHitsBefore = storeC.remoteStats().boundHits;
+  const OptimizedPlan resolved = engineC.optimize(req);
+  EXPECT_GT(resolved.stats.orchestrated, 0u);  // it really re-solved
+  EXPECT_EQ(resolved.stats.resultCacheHits, 0u);
+  EXPECT_EQ(resolved.value, ref.value);
+  EXPECT_EQ(resolved.strategy, ref.strategy);
+  EXPECT_EQ(graphSignature(resolved.plan.graph),
+            graphSignature(ref.plan.graph));
+  // Its GET carried a finite bound (host A's winner value).
+  EXPECT_GT(storeC.remoteStats().boundHits, boundHitsBefore);
+}
+
+TEST(ResultStore, StoreDeathDegradesToMissesAndReconnectHeals) {
+  auto storeHost = std::make_unique<ResultStoreHost>(ResultStoreConfig{});
+  const std::uint16_t port = storeHost->port();
+  RemoteResultStore store("127.0.0.1", port);
+  EngineConfig cfg;
+  cfg.resultStore = &store;
+  PlanEngine engine{cfg};
+
+  const PlanRequest first = smallRequest(5.0);
+  (void)engine.optimize(first);
+  EXPECT_TRUE(store.connected());
+
+  // Kill the store: the engine must keep solving — gets degrade to
+  // misses, puts to no-ops, nothing throws, nothing hangs.
+  storeHost.reset();
+  const PlanRequest second = smallRequest(6.0);
+  OptimizerOptions serial = second.options;
+  serial.threads = 1;
+  const OptimizedPlan ref =
+      optimizePlan(second.app, second.model, second.objective, serial);
+  const OptimizedPlan degraded = engine.optimize(second);
+  EXPECT_EQ(degraded.value, ref.value);
+  EXPECT_EQ(degraded.strategy, ref.strategy);
+  EXPECT_FALSE(store.connected());
+  EXPECT_GT(store.stats().failures, 0u);
+  EXPECT_THROW((void)store.remoteStats(), RemotePlanError);
+
+  // A fresh store on the same port: reconnect() heals the session and
+  // publishes flow again.
+  storeHost = std::make_unique<ResultStoreHost>(
+      ResultStoreConfig{.port = port});
+  EXPECT_TRUE(store.reconnect());
+  EXPECT_TRUE(store.connected());
+  const PlanRequest third = smallRequest(7.0);
+  (void)engine.optimize(third);
+  EXPECT_GE(storeHost->stats().puts, 1u);
+}
+
+TEST(ResultStore, PayloadErrorsKeepTheConnectionFrameErrorsDropIt) {
+  ResultStoreHost host{ResultStoreConfig{}};
+
+  // A plan-serving frame on the store port is a payload-level error: the
+  // host answers an error frame and the connection keeps serving.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(host.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string bad = encodeFrame(FrameType::Request, "not a store op");
+  ASSERT_EQ(::send(fd, bad.data(), bad.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bad.size()));
+  std::ostringstream get;
+  writeStoreGet(get, "no-such-key");
+  const std::string good = encodeFrame(FrameType::StoreGet, get.str());
+  ASSERT_EQ(::send(fd, good.data(), good.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(good.size()));
+  ::shutdown(fd, SHUT_WR);
+  std::string replies;
+  char buf[4096];
+  for (;;) {
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got <= 0) break;
+    replies.append(buf, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  ASSERT_GE(replies.size(), 20u);
+  EXPECT_EQ(replies[5], static_cast<char>(FrameType::Error));
+  // The second reply (behind the first frame's payload) answers the GET.
+  std::uint32_t len = 0;
+  for (std::size_t i = 6; i < 10; ++i) {
+    len = (len << 8) | static_cast<std::uint8_t>(replies[i]);
+  }
+  const std::size_t second = 10 + len;
+  ASSERT_GE(replies.size(), second + 10);
+  EXPECT_EQ(replies[second + 5], static_cast<char>(FrameType::Result));
+  std::istringstream decoded(replies.substr(second + 10));
+  const StoreReply reply = readStoreReply(decoded);
+  EXPECT_FALSE(reply.found);
+  EXPECT_GE(host.stats().errors, 1u);
+
+  // Raw garbage is a frame-level violation: dropped without a reply.
+  const int fd2 = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd2, 0);
+  ASSERT_EQ(::connect(fd2, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string garbage = "definitely not a frame header...........";
+  ASSERT_EQ(::send(fd2, garbage.data(), garbage.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(garbage.size()));
+  char drain[64];
+  EXPECT_LE(::recv(fd2, drain, sizeof(drain), 0), 0);
+  ::close(fd2);
+}
+
+}  // namespace
+}  // namespace fsw
