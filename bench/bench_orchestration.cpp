@@ -10,8 +10,11 @@
 // `--serial` forces every registered benchmark into serial mode.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <thread>
 
 #include "bench/bench_util.hpp"
@@ -20,6 +23,44 @@
 #include "src/sched/inorder.hpp"
 #include "src/sched/overlap.hpp"
 #include "src/workload/generator.hpp"
+
+/// Every global operator new, counted. This is ground truth for the
+/// memory-discipline tables: the engine's own scratchHeapAllocs counter
+/// tracks buffer-growth events it knows about, while this counts every
+/// heap allocation the process makes — temporaries, node-based containers,
+/// anything the arena work missed.
+std::atomic<std::size_t> g_heapNews{0};
+
+void* operator new(std::size_t sz) {
+  g_heapNews.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) { return ::operator new(sz); }
+void* operator new(std::size_t sz, std::align_val_t al) {
+  g_heapNews.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                   (sz + static_cast<std::size_t>(al) - 1) &
+                                       ~(static_cast<std::size_t>(al) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz, std::align_val_t al) {
+  return ::operator new(sz, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -106,6 +147,57 @@ void printGapTable() {
   return allIdentical;
 }
 
+/// E5c: the hot-path memory discipline, measured two ways per search —
+/// the engine's own growth-event counter (scratchHeapAllocs / evalProbes)
+/// and ground-truth operator-new calls per probe. A steady-state search
+/// should sit far below one allocation per probe on both columns.
+void printMemoryDisciplineTable() {
+  std::printf("E5c: order-search memory discipline (per-probe allocations)\n");
+  std::printf("%-4s %-12s %-9s %-12s %-12s %-12s %-12s\n", "n", "path",
+              "probes", "scratch", "scratch/p", "news/p", "arena[KiB]");
+  struct Case {
+    bool exactPath;
+    std::size_t n;
+  };
+  for (const auto& [exactPath, n] :
+       {Case{true, 5}, Case{true, 6}, Case{false, 8}, Case{false, 16}}) {
+    {
+      Prng rng(7500 + n);
+      const auto app = makeApp(n, 7500 + n);
+      const auto g = randomLayeredDag(app, 2, 3, rng);
+      std::atomic<std::size_t> probes{0};
+      std::atomic<std::size_t> scratch{0};
+      std::atomic<std::size_t> arenaHigh{0};
+      OrchestrationOptions opt;
+      opt.exactCap = exactPath ? 2000000 : 1;
+      opt.localSearchIters = 300;
+      opt.pool = benchPool();
+      opt.evalProbes = &probes;
+      opt.scratchHeapAllocs = &scratch;
+      opt.arenaBytesHighWater = &arenaHigh;
+      // One warm run charges the pool/workload setup, then the measured
+      // run starts from the allocator steady state a server would see.
+      (void)inorderOrchestratePeriod(app, g, opt);
+      probes.store(0);
+      scratch.store(0);
+      const std::size_t newsBefore =
+          g_heapNews.load(std::memory_order_relaxed);
+      const auto r = inorderOrchestratePeriod(app, g, opt);
+      const std::size_t news =
+          g_heapNews.load(std::memory_order_relaxed) - newsBefore;
+      benchmark::DoNotOptimize(r.value);
+      const double p = probes.load() > 0 ? static_cast<double>(probes.load())
+                                         : 1.0;
+      std::printf("%-4zu %-12s %-9zu %-12zu %-12.4f %-12.4f %-12.1f\n", n,
+                  exactPath ? "exact" : "local-search", probes.load(),
+                  scratch.load(), static_cast<double>(scratch.load()) / p,
+                  static_cast<double>(news) / p,
+                  static_cast<double>(arenaHigh.load()) / 1024.0);
+    }
+  }
+  std::printf("\n");
+}
+
 void BM_OverlapOrchestration(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Prng rng(1234);
@@ -124,13 +216,26 @@ void BM_InorderExactOrchestration(benchmark::State& state) {
   Prng rng(77);
   const auto app = makeApp(n, 42);
   const auto g = randomLayeredDag(app, 2, 2, rng);
+  std::atomic<std::size_t> probes{0};
+  std::atomic<std::size_t> scratch{0};
   OrchestrationOptions opt;
   opt.exactCap = 200000;
   opt.pool = benchPool();
+  opt.evalProbes = &probes;
+  opt.scratchHeapAllocs = &scratch;
+  const std::size_t newsBefore = g_heapNews.load(std::memory_order_relaxed);
   for (auto _ : state) {
     auto r = inorderOrchestratePeriod(app, g, opt);
     benchmark::DoNotOptimize(r.value);
   }
+  const auto news = static_cast<double>(
+      g_heapNews.load(std::memory_order_relaxed) - newsBefore);
+  const auto p =
+      probes.load() > 0 ? static_cast<double>(probes.load()) : 1.0;
+  state.counters["probes"] = static_cast<double>(probes.load());
+  state.counters["scratch_allocs_per_probe"] =
+      static_cast<double>(scratch.load()) / p;
+  state.counters["news_per_probe"] = news / p;
 }
 BENCHMARK(BM_InorderExactOrchestration)->DenseRange(3, 6);
 
@@ -139,14 +244,27 @@ void BM_InorderHeuristicOrchestration(benchmark::State& state) {
   Prng rng(78);
   const auto app = makeApp(n, 43);
   const auto g = randomLayeredDag(app, 3, 3, rng);
+  std::atomic<std::size_t> probes{0};
+  std::atomic<std::size_t> scratch{0};
   OrchestrationOptions opt;
   opt.exactCap = 1;
   opt.localSearchIters = 50;
   opt.pool = benchPool();
+  opt.evalProbes = &probes;
+  opt.scratchHeapAllocs = &scratch;
+  const std::size_t newsBefore = g_heapNews.load(std::memory_order_relaxed);
   for (auto _ : state) {
     auto r = inorderOrchestratePeriod(app, g, opt);
     benchmark::DoNotOptimize(r.value);
   }
+  const auto news = static_cast<double>(
+      g_heapNews.load(std::memory_order_relaxed) - newsBefore);
+  const auto p =
+      probes.load() > 0 ? static_cast<double>(probes.load()) : 1.0;
+  state.counters["probes"] = static_cast<double>(probes.load());
+  state.counters["scratch_allocs_per_probe"] =
+      static_cast<double>(scratch.load()) / p;
+  state.counters["news_per_probe"] = news / p;
 }
 BENCHMARK(BM_InorderHeuristicOrchestration)->RangeMultiplier(2)->Range(8, 32);
 
@@ -155,6 +273,7 @@ BENCHMARK(BM_InorderHeuristicOrchestration)->RangeMultiplier(2)->Range(8, 32);
 int main(int argc, char** argv) {
   g_serial = fswbench::stripFlag(argc, argv, "--serial");
   printGapTable();
+  printMemoryDisciplineTable();
   bool identical = true;
   if (g_serial) {
     std::printf("(--serial: order-search pool disabled for all benchmarks)\n\n");

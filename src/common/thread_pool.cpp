@@ -4,13 +4,25 @@
 
 namespace fsw {
 
+namespace {
+// Worker identity of the calling thread; set once at worker startup and
+// never changed, so a task can ask "which worker slot of which pool am I
+// on" without synchronization.
+thread_local ThreadPool* tlsPool = nullptr;
+thread_local std::size_t tlsSlot = ThreadPool::kNoSlot;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
-    workers_.emplace_back([this] { workerLoop(); });
+    workers_.emplace_back([this, t] {
+      tlsPool = this;
+      tlsSlot = t;
+      workerLoop(t);
+    });
   }
 }
 
@@ -43,7 +55,11 @@ bool ThreadPool::runOneTask() {
   return true;
 }
 
-void ThreadPool::workerLoop() {
+ThreadPool* ThreadPool::currentPool() noexcept { return tlsPool; }
+
+std::size_t ThreadPool::currentWorkerSlot() noexcept { return tlsSlot; }
+
+void ThreadPool::workerLoop(std::size_t /*slot*/) {
   for (;;) {
     std::function<void()> task;
     {

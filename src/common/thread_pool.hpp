@@ -51,8 +51,20 @@ class ThreadPool {
   /// Process-wide pool sized to the hardware, created on first use.
   static ThreadPool& shared();
 
+  /// Sentinel for "the calling thread is not a worker of any pool".
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  /// The pool the calling thread is a worker of, or nullptr. Lets per-worker
+  /// scratch caches distinguish "worker k of pool P" from a foreign thread
+  /// that is merely helping via runOneTask() during cross-pool nesting.
+  static ThreadPool* currentPool() noexcept;
+
+  /// 0-based worker index of the calling thread within currentPool(), or
+  /// kNoSlot for non-worker threads.
+  static std::size_t currentWorkerSlot() noexcept;
+
  private:
-  void workerLoop();
+  void workerLoop(std::size_t slot);
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -514,7 +514,8 @@ void writeOptimizedPlan(std::ostream& os, const OptimizedPlan& plan) {
      << " " << s.duplicates << " " << s.scoreCacheHits << " "
      << s.orchestrated << " " << s.sharedHits << " " << s.evictions << " "
      << s.boundAborts << " " << s.crossRequestHits << " "
-     << s.resultCacheHits << "\n";
+     << s.resultCacheHits << " " << s.evalProbes << " "
+     << s.scratchHeapAllocs << " " << s.arenaBytesHighWater << "\n";
   writeGraph(os, plan.plan.graph);
   writeOperationList(os, plan.plan.ol);
 }
@@ -537,7 +538,8 @@ OptimizedPlan readOptimizedPlan(std::istream& is) {
   if (!(is >> tag >> s.sourcesRun >> s.generated >> s.unique >>
         s.duplicates >> s.scoreCacheHits >> s.orchestrated >> s.sharedHits >>
         s.evictions >> s.boundAborts >> s.crossRequestHits >>
-        s.resultCacheHits) ||
+        s.resultCacheHits >> s.evalProbes >> s.scratchHeapAllocs >>
+        s.arenaBytesHighWater) ||
       tag != "stats") {
     throw std::runtime_error("readOptimizedPlan: bad stats line");
   }

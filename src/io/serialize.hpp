@@ -124,7 +124,9 @@ void writeShardSetHeader(std::ostream& os, std::size_t shards,
 inline constexpr const char* kPlanRequestMagic = "fswplanreq";
 inline constexpr int kPlanRequestVersion = 1;
 inline constexpr const char* kPlanResponseMagic = "fswplanresp";
-inline constexpr int kPlanResponseVersion = 1;
+/// v2: the stats line grew the memory-discipline counters (evalProbes,
+/// scratchHeapAllocs, arenaBytesHighWater) — 14 counters total.
+inline constexpr int kPlanResponseVersion = 2;
 
 /// A PlanRequest decoded from the wire. `request.options.registry` is left
 /// null — `portfolio` carries the portfolio name ("-" = default) and the
@@ -149,9 +151,9 @@ void writePlanRequest(std::ostream& os, const PlanRequest& request,
 [[nodiscard]] WirePlanRequest readPlanRequest(std::istream& is);
 
 /// Format:
-///   fswplanresp 1
+///   fswplanresp 2
 ///   plan <value> <surrogate> <strategy>      ("-" = empty strategy)
-///   stats <11 EngineStats counters, declaration order>
+///   stats <14 EngineStats counters, declaration order>
 ///   (graph + oplist blocks via writeGraph / writeOperationList)
 /// Stats cross the wire so a remote client observes the same counters a
 /// local caller would (e.g. resultCacheHits = 1 on a warm repeat).

@@ -92,7 +92,7 @@ PortOrders prop2WitnessOrders(const ReductionInstance& red,
     sends[static_cast<std::size_t>(w.lambda1[i - 1])] = even;
   }
   sends[n + 1] = c2n4;
-  po.out[c1] = sends;
+  po.setOut(c1, sends);
 
   // C2n+5 receives: C2n+4 first, then the odd tails at positions
   // n+2-lambda2, then C2n+3 last.
@@ -103,7 +103,7 @@ PortOrders prop2WitnessOrders(const ReductionInstance& red,
     recvs[n + 1 - static_cast<std::size_t>(w.lambda2[i - 1])] = odd;
   }
   recvs[n + 1] = c2n3;
-  po.in[c2n5] = recvs;
+  po.setIn(c2n5, recvs);
   return po;
 }
 
@@ -258,8 +258,8 @@ PortOrders prop9WitnessOrders(const ReductionInstance& red,
     sends[static_cast<std::size_t>(w.lambda1[i - 1]) - 1] = i;
     recvs[n - static_cast<std::size_t>(w.lambda2[i - 1])] = i;
   }
-  po.out[0] = sends;
-  po.in[n + 1] = recvs;
+  po.setOut(0, sends);
+  po.setIn(n + 1, recvs);
   return po;
 }
 

@@ -64,6 +64,23 @@ struct EngineStats {
   /// stored winner is returned with zero new orchestrations, so every other
   /// counter in this struct is 0.
   std::size_t resultCacheHits = 0;
+  /// Hot-loop candidate evaluations (order-search solves and OUTORDER
+  /// repair iterations) performed for this request.
+  std::size_t evalProbes = 0;
+  /// Buffer-growth events observed by the reusable per-worker evaluation
+  /// scratch (constraint storage, solve vectors, arena blocks). In steady
+  /// state this stays near the warm-up cost — allocsPerProbe() ~ 0.
+  std::size_t scratchHeapAllocs = 0;
+  /// Max bytes live at once in any evaluation arena of this request
+  /// (merged by max, not sum, when shards are combined).
+  std::size_t arenaBytesHighWater = 0;
+
+  /// Scratch allocation discipline: growth events per hot-loop probe.
+  [[nodiscard]] double allocsPerProbe() const {
+    return evalProbes == 0 ? 0.0
+                           : static_cast<double>(scratchHeapAllocs) /
+                                 static_cast<double>(evalProbes);
+  }
 };
 
 struct OptimizedPlan {

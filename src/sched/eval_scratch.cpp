@@ -1,0 +1,165 @@
+#include "src/sched/eval_scratch.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/core/cost_model.hpp"
+
+namespace fsw {
+
+EvalContext::EvalContext(const Application& app, const ExecutionGraph& graph,
+                         bool cyclic)
+    : n_(graph.size()), cyclic_(cyclic) {
+  const CostModel costs(app, graph);
+
+  calcDur_.resize(n_);
+  for (NodeId i = 0; i < n_; ++i) calcDur_[i] = costs.at(i).ccomp;
+
+  // The comm set is fixed by the graph: a virtual input per entry, one comm
+  // per edge, a virtual output per exit. Ids are assigned in (from, to)
+  // key-sorted order — the iteration order of the std::map the per-probe
+  // implementation used — so every summation / extraction below reproduces
+  // the legacy floating-point results bit-for-bit. (kWorld is a huge NodeId
+  // and sorts last, as it did as a map key.)
+  std::size_t entries = 0;
+  std::size_t exits = 0;
+  for (NodeId i = 0; i < n_; ++i) {
+    if (graph.isEntry(i)) ++entries;
+    if (graph.isExit(i)) ++exits;
+  }
+  comms_.reserve(entries + graph.edges().size() + exits);
+  for (NodeId i = 0; i < n_; ++i) {
+    if (graph.isEntry(i)) comms_.push_back({kWorld, i, 1.0});
+  }
+  for (const auto& e : graph.edges()) {
+    comms_.push_back({e.from, e.to, costs.at(e.from).sigmaOut});
+  }
+  for (NodeId i = 0; i < n_; ++i) {
+    if (graph.isExit(i)) comms_.push_back({i, kWorld, costs.at(i).sigmaOut});
+  }
+  std::sort(comms_.begin(), comms_.end(),
+            [](const CommRec& a, const CommRec& b) {
+              return a.from != b.from ? a.from < b.from : a.to < b.to;
+            });
+
+  // CSR port lookup per node.
+  std::vector<std::uint32_t> inCnt(n_ + 1, 0), outCnt(n_ + 1, 0);
+  for (const auto& c : comms_) {
+    if (c.to != kWorld) ++inCnt[c.to + 1];
+    if (c.from != kWorld) ++outCnt[c.from + 1];
+  }
+  inAdjOff_.resize(n_ + 1, 0);
+  outAdjOff_.resize(n_ + 1, 0);
+  for (NodeId i = 0; i < n_; ++i) {
+    inAdjOff_[i + 1] = inAdjOff_[i] + inCnt[i + 1];
+    outAdjOff_[i + 1] = outAdjOff_[i] + outCnt[i + 1];
+  }
+  inAdj_.resize(inAdjOff_[n_]);
+  outAdj_.resize(outAdjOff_[n_]);
+  std::vector<std::uint32_t> inFill(inAdjOff_.begin(), inAdjOff_.end());
+  std::vector<std::uint32_t> outFill(outAdjOff_.begin(), outAdjOff_.end());
+  for (std::uint32_t c = 0; c < comms_.size(); ++c) {
+    if (comms_[c].to != kWorld) {
+      inAdj_[inFill[comms_[c].to]++] = {comms_[c].from, c};
+    }
+    if (comms_[c].from != kWorld) {
+      outAdj_[outFill[comms_[c].from]++] = {comms_[c].to, c};
+    }
+  }
+
+  // Per node: receive chain (ins-1) + last-receive->calc + calc->first-send
+  // + send chain (outs-1) + wrap-around <= ins + outs + 1.
+  constraintBound_ = inAdj_.size() + outAdj_.size() + n_;
+
+  // Busy-time lower bound, per-node sums in comm-id (= legacy key) order.
+  busyLB_ = 0.0;
+  for (NodeId i = 0; i < n_; ++i) {
+    double busy = calcDur_[i];
+    for (const auto& c : comms_) {
+      if (c.from == i || c.to == i) busy += c.dur;
+    }
+    busyLB_ = std::max(busyLB_, busy);
+  }
+  totalDur_ = 0.0;
+  for (const double d : calcDur_) totalDur_ += d;
+  for (const auto& c : comms_) totalDur_ += c.dur;
+}
+
+std::uint32_t EvalContext::inCommId(NodeId node, NodeId src) const {
+  for (std::uint32_t k = inAdjOff_[node]; k < inAdjOff_[node + 1]; ++k) {
+    if (inAdj_[k].first == src) return inAdj_[k].second;
+  }
+  assert(false && "inCommId: no such port");
+  return 0;
+}
+
+std::uint32_t EvalContext::outCommId(NodeId node, NodeId dst) const {
+  for (std::uint32_t k = outAdjOff_[node]; k < outAdjOff_[node + 1]; ++k) {
+    if (outAdj_[k].first == dst) return outAdj_[k].second;
+  }
+  assert(false && "outCommId: no such port");
+  return 0;
+}
+
+void EvalContext::buildSystem(PortOrdersView orders, EvalScratch& s) const {
+  PeriodicConstraintGraph& pcg = s.pcg;
+  pcg.clear();
+  pcg.reserveConstraints(constraintBound_);
+  pcg.addVariables(varCount());
+
+  for (NodeId i = 0; i < n_; ++i) {
+    const auto ins = orders.in(i);
+    const auto outs = orders.out(i);
+    // Receive chain.
+    for (std::size_t t = 0; t + 1 < ins.size(); ++t) {
+      const std::uint32_t a = inCommId(i, ins[t]);
+      const std::uint32_t b = inCommId(i, ins[t + 1]);
+      pcg.addConstraint(commVar(a), commVar(b), comms_[a].dur);
+    }
+    // Computation after the last receive.
+    if (!ins.empty()) {
+      const std::uint32_t last = inCommId(i, ins.back());
+      pcg.addConstraint(commVar(last), calcVar(i), comms_[last].dur);
+    }
+    // Send chain after the computation.
+    if (!outs.empty()) {
+      const std::uint32_t first = outCommId(i, outs.front());
+      pcg.addConstraint(calcVar(i), commVar(first), calcDur_[i]);
+    }
+    for (std::size_t t = 0; t + 1 < outs.size(); ++t) {
+      const std::uint32_t a = outCommId(i, outs[t]);
+      const std::uint32_t b = outCommId(i, outs[t + 1]);
+      pcg.addConstraint(commVar(a), commVar(b), comms_[a].dur);
+    }
+    // Wrap-around (Appendix A constraint (1)): the last send of data set n
+    // ends before the first receive of data set n+1 begins.
+    if (cyclic_ && !ins.empty() && !outs.empty()) {
+      const std::uint32_t out = outCommId(i, outs.back());
+      const std::uint32_t in = inCommId(i, ins.front());
+      pcg.addConstraint(commVar(out), commVar(in), comms_[out].dur, /*k=*/1);
+    }
+  }
+}
+
+OperationList EvalContext::extract(const std::vector<double>& x,
+                                   double lambda) const {
+  OperationList ol(n_, lambda);
+  for (NodeId i = 0; i < n_; ++i) {
+    ol.setCalc(i, x[calcVar(i)], x[calcVar(i)] + calcDur_[i]);
+  }
+  for (std::uint32_t c = 0; c < comms_.size(); ++c) {
+    const double b = x[commVar(c)];
+    ol.setComm(comms_[c].from, comms_[c].to, b, b + comms_[c].dur);
+  }
+  return ol;
+}
+
+double EvalContext::latencyOf(const std::vector<double>& x) const {
+  double latest = 0.0;
+  for (std::uint32_t c = 0; c < comms_.size(); ++c) {
+    latest = std::max(latest, x[commVar(c)] + comms_[c].dur);
+  }
+  return latest;
+}
+
+}  // namespace fsw

@@ -3,155 +3,132 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
 #include <utility>
 #include <vector>
 
+#include "src/common/arena.hpp"
 #include "src/common/prng.hpp"
-#include "src/core/cost_model.hpp"
+#include "src/sched/eval_scratch.hpp"
 #include "src/sched/periodic_cg.hpp"
 
 namespace fsw {
 namespace {
 
-using Var = PeriodicConstraintGraph::Var;
-using CommKey = std::pair<NodeId, NodeId>;
+constexpr double kUnbounded = std::numeric_limits<double>::infinity();
 
-/// The INORDER rule set with fixed port orders as a difference-constraint
-/// system. With `cyclic` false the wrap-around constraints are dropped,
-/// which models the single-data-set (latency) regime.
-struct System {
-  PeriodicConstraintGraph pcg;
-  std::map<CommKey, Var> commVar;
-  std::map<CommKey, double> commDur;
-  std::vector<Var> calcVar;
-  std::vector<double> calcDur;
+/// Value-only evaluation of one candidate: build the constraint system into
+/// the worker's scratch, solve, and return only the objective. The winner
+/// is re-evaluated in full exactly once at the end of a search — solves are
+/// pure, so the deferred extraction is bit-identical and the hot loop never
+/// materializes an OperationList.
+using ValueFn = std::optional<double> (*)(const EvalContext&, EvalScratch&,
+                                          PortOrdersView, double,
+                                          std::atomic<std::size_t>*);
 
-  System(const Application& app, const ExecutionGraph& graph,
-         const PortOrders& orders, bool cyclic) {
-    const CostModel costs(app, graph);
-    const std::size_t n = graph.size();
+/// Full evaluation (value + operation list) of one candidate — the cold
+/// path behind the public *ForOrders entry points.
+using ForOrdersFn = std::optional<OrchestrationResult> (*)(
+    const Application&, const ExecutionGraph&, const PortOrders&, double,
+    std::atomic<std::size_t>*);
 
-    calcVar.resize(n);
-    calcDur.resize(n);
-    for (NodeId i = 0; i < n; ++i) {
-      calcVar[i] = pcg.addVariable();
-      calcDur[i] = costs.at(i).ccomp;
+std::optional<double> periodValue(const EvalContext& ctx, EvalScratch& s,
+                                  PortOrdersView orders, double upperBound,
+                                  std::atomic<std::size_t>* boundAborts) {
+  const std::size_t cCap = s.pcg.constraintCapacity();
+  const std::size_t xCap = s.x.capacity();
+  ++s.probes;
+  const double lo = ctx.busyLowerBound();
+  const double hi = 2.0 * ctx.totalDuration() + 1.0;
+  std::optional<double> value;
+  if (upperBound < hi && lo > upperBound) {
+    // Incumbent pruning: the minimal period is >= the busy lower bound, so
+    // this solve cannot strictly beat the incumbent.
+    if (boundAborts != nullptr) {
+      boundAborts->fetch_add(1, std::memory_order_relaxed);
     }
-    auto commOf = [&](NodeId from, NodeId to) -> Var {
-      const CommKey key{from, to};
-      const auto it = commVar.find(key);
-      if (it != commVar.end()) return it->second;
-      const Var v = pcg.addVariable();
-      commVar.emplace(key, v);
-      commDur.emplace(key, from == kWorld ? 1.0 : costs.at(from).sigmaOut);
-      return v;
-    };
-
-    for (NodeId i = 0; i < n; ++i) {
-      const auto& ins = orders.in[i];
-      const auto& outs = orders.out[i];
-      // Receive chain.
-      for (std::size_t t = 0; t + 1 < ins.size(); ++t) {
-        const Var a = commOf(ins[t], i);
-        const Var b = commOf(ins[t + 1], i);
-        pcg.addConstraint(a, b, commDur.at({ins[t], i}));
+  } else {
+    ctx.buildSystem(orders, s);
+    if (upperBound < hi && !s.pcg.feasibleInto(upperBound, s.x)) {
+      // By monotone feasibility the minimal period is > upperBound.
+      if (boundAborts != nullptr) {
+        boundAborts->fetch_add(1, std::memory_order_relaxed);
       }
-      // Computation after the last receive.
-      if (!ins.empty()) {
-        const NodeId last = ins.back();
-        const Var v = commOf(last, i);
-        pcg.addConstraint(v, calcVar[i], commDur.at({last, i}));
-      }
-      // Send chain after the computation.
-      if (!outs.empty()) {
-        const Var first = commOf(i, outs.front());
-        pcg.addConstraint(calcVar[i], first, calcDur[i]);
-      }
-      for (std::size_t t = 0; t + 1 < outs.size(); ++t) {
-        const Var a = commOf(i, outs[t]);
-        const Var b = commOf(i, outs[t + 1]);
-        pcg.addConstraint(a, b, commDur.at({i, outs[t]}));
-      }
-      // Wrap-around (Appendix A constraint (1)): the last send of data set n
-      // ends before the first receive of data set n+1 begins.
-      if (cyclic && !ins.empty() && !outs.empty()) {
-        const NodeId lastOut = outs.back();
-        const Var out = commOf(i, lastOut);
-        const Var in = commOf(ins.front(), i);
-        pcg.addConstraint(out, in, commDur.at({i, lastOut}), /*k=*/1);
-      }
+    } else {
+      value = s.pcg.minLambdaInto(lo, hi, s.x);
     }
   }
+  if (s.pcg.constraintCapacity() != cCap) ++s.heapAllocs;
+  if (s.x.capacity() != xCap) ++s.heapAllocs;
+  return value;
+}
 
-  /// Per-node busy time: a lower bound on any feasible lambda.
-  [[nodiscard]] double busyLowerBound(const ExecutionGraph& graph) const {
-    double lb = 0.0;
-    for (NodeId i = 0; i < graph.size(); ++i) {
-      double busy = calcDur[i];
-      for (const auto& [key, d] : commDur) {
-        if (key.first == i || key.second == i) busy += d;
-      }
-      lb = std::max(lb, busy);
+std::optional<double> latencyValue(const EvalContext& ctx, EvalScratch& s,
+                                   PortOrdersView orders, double upperBound,
+                                   std::atomic<std::size_t>* boundAborts) {
+  const std::size_t cCap = s.pcg.constraintCapacity();
+  const std::size_t xCap = s.x.capacity();
+  ++s.probes;
+  std::optional<double> value;
+  if (std::isfinite(upperBound) && ctx.busyLowerBound() > upperBound) {
+    // Every operation of a node is serialized on its one port within the
+    // single data set's span, so the busy time lower bounds the latency.
+    if (boundAborts != nullptr) {
+      boundAborts->fetch_add(1, std::memory_order_relaxed);
     }
-    return lb;
-  }
-
-  [[nodiscard]] double totalDuration() const {
-    double s = 0.0;
-    for (const double d : calcDur) s += d;
-    for (const auto& [key, d] : commDur) s += d;
-    return s;
-  }
-
-  [[nodiscard]] OperationList extract(const std::vector<double>& x,
-                                      double lambda) const {
-    OperationList ol(calcVar.size(), lambda);
-    for (NodeId i = 0; i < calcVar.size(); ++i) {
-      ol.setCalc(i, x[calcVar[i]], x[calcVar[i]] + calcDur[i]);
+  } else {
+    ctx.buildSystem(orders, s);
+    if (s.pcg.solveInto(/*lambda=*/0.0, s.x)) {  // lambda unused when acyclic
+      value = ctx.latencyOf(s.x);
     }
-    for (const auto& [key, v] : commVar) {
-      ol.setComm(key.first, key.second, x[v], x[v] + commDur.at(key));
-    }
-    return ol;
   }
-};
+  if (s.pcg.constraintCapacity() != cCap) ++s.heapAllocs;
+  if (s.x.capacity() != xCap) ++s.heapAllocs;
+  return value;
+}
 
 OrchestrationResult betterOf(OrchestrationResult a, OrchestrationResult b) {
   return (b.value < a.value) ? std::move(b) : std::move(a);
 }
 
-constexpr double kUnbounded = std::numeric_limits<double>::infinity();
+/// Winner of a value-only search: objective plus a snapshot of the orders
+/// that achieved it (three flat vectors — cheap to copy on improvement).
+struct ValueWinner {
+  double value = std::numeric_limits<double>::infinity();
+  PortOrders orders;
 
-using ForOrdersFn = std::optional<OrchestrationResult> (*)(
-    const Application&, const ExecutionGraph&, const PortOrders&, double,
-    std::atomic<std::size_t>*);
+  void offer(double v, PortOrdersView po) {
+    if (v < value) {
+      value = v;
+      orders = PortOrders(po);
+    }
+  }
+};
 
 /// One seeded hill-climbing chain of random adjacent swaps in one node's
 /// receive or send order. Pure function of (start, seed), so restarts can
-/// run on any thread and still reproduce.
-OrchestrationResult localSearchChain(const Application& app,
-                                     const ExecutionGraph& graph,
-                                     ForOrdersFn evalOrders,
-                                     const OrchestrationResult& start,
-                                     std::size_t iters, std::uint64_t seed) {
-  OrchestrationResult best = start;
+/// run on any thread and still reproduce. Runs entirely on the calling
+/// thread over one scratch.
+ValueWinner localSearchChain(const EvalContext& ctx, EvalScratch& s,
+                             ValueFn evalValue, const ValueWinner& start,
+                             std::size_t iters, std::uint64_t seed) {
+  ValueWinner best = start;
   Prng rng(seed);
   PortOrders current = start.orders;
   double currentValue = start.value;
+  const std::size_t n = ctx.nodeCount();
   for (std::size_t it = 0; it < iters; ++it) {
     const NodeId i = static_cast<NodeId>(
-        rng.uniformInt(0, static_cast<std::int64_t>(graph.size()) - 1));
+        rng.uniformInt(0, static_cast<std::int64_t>(n) - 1));
     const bool inSide = rng.bernoulli(0.5);
-    auto& seq = inSide ? current.in[i] : current.out[i];
+    auto seq = inSide ? current.in(i) : current.out(i);
     if (seq.size() < 2) continue;
     const auto pos = static_cast<std::size_t>(
         rng.uniformInt(0, static_cast<std::int64_t>(seq.size()) - 2));
     std::swap(seq[pos], seq[pos + 1]);
-    const auto r = evalOrders(app, graph, current, kUnbounded, nullptr);
-    if (r && r->value < currentValue - 1e-12) {
-      currentValue = r->value;
-      best = betterOf(std::move(best), OrchestrationResult(*r));
+    const auto v = evalValue(ctx, s, current, kUnbounded, nullptr);
+    if (v && *v < currentValue - 1e-12) {
+      currentValue = *v;
+      best.offer(*v, current);
     } else {
       std::swap(seq[pos], seq[pos + 1]);  // revert
     }
@@ -162,38 +139,90 @@ OrchestrationResult localSearchChain(const Application& app,
 /// Shared order-search driver for period and latency objectives. All
 /// parallel reduces are index-ordered with strict-less acceptance, so the
 /// winner (value, then earliest enumeration index / restart) is identical
-/// with and without a pool.
+/// with and without a pool. The inner loop is value-only over per-worker
+/// scratch; the winning orders are re-evaluated in full exactly once.
 OrchestrationResult searchOrders(const Application& app,
                                  const ExecutionGraph& graph,
-                                 const OrchestrationOptions& opt,
-                                 ForOrdersFn evalOrders) {
-  OrchestrationResult best;
-  best.value = std::numeric_limits<double>::infinity();
+                                 const OrchestrationOptions& opt, bool cyclic,
+                                 ValueFn evalValue, ForOrdersFn evalFull) {
+  const EvalContext ctx(app, graph, cyclic);
+  WorkerScratchPool<EvalScratch> scratch(opt.pool);
+  ValueWinner best;
+
+  // Aggregates the per-worker counters into the engine-facing atomics once,
+  // after all evaluations completed.
+  MonotonicArena blockArena;
+  auto publishStats = [&] {
+    std::size_t probes = 0;
+    std::size_t allocs = blockArena.heapAllocs();
+    scratch.forEach([&](EvalScratch& s) {
+      probes += s.probes;
+      allocs += s.heapAllocs + s.arena.heapAllocs();
+    });
+    if (opt.evalProbes != nullptr) {
+      opt.evalProbes->fetch_add(probes, std::memory_order_relaxed);
+    }
+    if (opt.scratchHeapAllocs != nullptr) {
+      opt.scratchHeapAllocs->fetch_add(allocs, std::memory_order_relaxed);
+    }
+    if (opt.arenaBytesHighWater != nullptr) {
+      atomicMaxRelaxed(*opt.arenaBytesHighWater, blockArena.highWater());
+    }
+  };
+  auto finish = [&]() -> OrchestrationResult {
+    publishStats();
+    if (!std::isfinite(best.value)) {
+      OrchestrationResult none;
+      none.value = std::numeric_limits<double>::infinity();
+      return none;
+    }
+    // Single full re-evaluation of the winner; solves are pure, so the
+    // value matches the probe bit-for-bit.
+    auto full = evalFull(app, graph, best.orders, kUnbounded, nullptr);
+    if (!full) {  // unreachable: the winner solved feasibly when probed
+      OrchestrationResult none;
+      none.value = std::numeric_limits<double>::infinity();
+      return none;
+    }
+    return std::move(*full);
+  };
 
   const std::size_t combos = countPortOrders(graph, opt.exactCap);
   if (combos < opt.exactCap) {
-    // Materialize the enumeration in chunks and fan the constraint-system
-    // solves (the dominant cost) out over the pool.
-    std::vector<PortOrders> block;
-    block.reserve(std::min<std::size_t>(combos, 1024));
+    // Materialize the enumeration in flat chunks (one shared offset table,
+    // one arena-backed data buffer recycled across flushes) and fan the
+    // constraint-system solves out over the pool.
+    const PortOrders proto = PortOrders::canonical(graph);
+    const std::size_t stride = proto.flatSize();
+    const std::size_t blockCap = std::min<std::size_t>(combos, 1024);
+    ArenaVector<NodeId> blockData(&blockArena);
+    blockData.reserve(blockCap * stride);
+    std::size_t count = 0;
+    auto viewOf = [&](std::size_t i) {
+      return PortOrdersView(proto.size(), proto.inOffsets(),
+                            proto.outOffsets(), blockData.data() + i * stride);
+    };
     auto flush = [&] {
-      auto results = parallelMap<std::optional<OrchestrationResult>>(
-          opt.pool, block.size(), [&](std::size_t i) {
-            return evalOrders(app, graph, block[i], opt.upperBound,
-                              opt.boundAborts);
+      auto results = parallelMap<std::optional<double>>(
+          opt.pool, count, [&](std::size_t i) {
+            auto s = scratch.lease();
+            return evalValue(ctx, *s, viewOf(i), opt.upperBound,
+                             opt.boundAborts);
           });
-      for (auto& r : results) {
-        if (r) best = betterOf(std::move(best), std::move(*r));
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i]) best.offer(*results[i], viewOf(i));
       }
-      block.clear();
+      blockData.clear();  // keeps the buffer
+      count = 0;
     };
     forEachPortOrders(graph, opt.exactCap, [&](const PortOrders& po) {
-      block.push_back(po);
-      if (block.size() >= 1024) flush();
+      blockData.append(po.flatData(), stride);
+      ++count;
+      if (count >= 1024) flush();
       return true;
     });
     flush();
-    return best;
+    return finish();
   }
 
   // The heuristic path runs unbounded on purpose: local search can descend
@@ -204,22 +233,24 @@ OrchestrationResult searchOrders(const Application& app,
   // the returned winner.
   for (const PortOrders& start :
        {PortOrders::heuristic(app, graph), PortOrders::canonical(graph)}) {
-    if (auto r = evalOrders(app, graph, start, kUnbounded, nullptr)) {
-      best = betterOf(std::move(best), std::move(*r));
+    auto s = scratch.lease();
+    if (auto v = evalValue(ctx, *s, start, kUnbounded, nullptr)) {
+      best.offer(*v, start);
     }
   }
-  if (!std::isfinite(best.value)) return best;
+  if (!std::isfinite(best.value)) return finish();
 
   // Independent seeded restarts from the common start, fanned over the pool.
-  const OrchestrationResult start = best;
+  const ValueWinner start = best;
   const std::size_t restarts = std::max<std::size_t>(1, opt.localSearchRestarts);
-  auto chains = parallelMap<OrchestrationResult>(
+  auto chains = parallelMap<ValueWinner>(
       opt.pool, restarts, [&](std::size_t r) {
-        return localSearchChain(app, graph, evalOrders, start,
+        auto s = scratch.lease();
+        return localSearchChain(ctx, *s, evalValue, start,
                                 opt.localSearchIters, opt.seed + r);
       });
-  for (auto& r : chains) best = betterOf(std::move(best), std::move(r));
-  return best;
+  for (auto& r : chains) best.offer(r.value, r.orders);
+  return finish();
 }
 
 }  // namespace
@@ -228,27 +259,33 @@ std::optional<OrchestrationResult> inorderPeriodForOrders(
     const Application& app, const ExecutionGraph& graph,
     const PortOrders& orders, double upperBound,
     std::atomic<std::size_t>* boundAborts) {
-  const System sys(app, graph, orders, /*cyclic=*/true);
-  const double lo = sys.busyLowerBound(graph);
-  const double hi = 2.0 * sys.totalDuration() + 1.0;
-  if (upperBound < hi) {
+  const EvalContext ctx(app, graph, /*cyclic=*/true);
+  EvalScratch s;
+  const double lo = ctx.busyLowerBound();
+  const double hi = 2.0 * ctx.totalDuration() + 1.0;
+  if (upperBound < hi && lo > upperBound) {
     // Incumbent pruning: the minimal period is >= the busy lower bound, and
     // by monotone feasibility it is > upperBound whenever the system is
     // infeasible at upperBound. Either way this solve cannot strictly beat
     // the incumbent, so skip the binary search entirely. Survivors run the
     // untouched [lo, hi] search and return bit-identical values.
-    if (lo > upperBound || !sys.pcg.feasible(upperBound)) {
-      if (boundAborts != nullptr) {
-        boundAborts->fetch_add(1, std::memory_order_relaxed);
-      }
-      return std::nullopt;
+    if (boundAborts != nullptr) {
+      boundAborts->fetch_add(1, std::memory_order_relaxed);
     }
+    return std::nullopt;
   }
-  const auto r = sys.pcg.minLambda(lo, hi);
-  if (!r) return std::nullopt;
+  ctx.buildSystem(orders, s);
+  if (upperBound < hi && !s.pcg.feasibleInto(upperBound, s.x)) {
+    if (boundAborts != nullptr) {
+      boundAborts->fetch_add(1, std::memory_order_relaxed);
+    }
+    return std::nullopt;
+  }
+  const auto lambda = s.pcg.minLambdaInto(lo, hi, s.x);
+  if (!lambda) return std::nullopt;
   OrchestrationResult out;
-  out.value = r->lambda;
-  out.ol = sys.extract(r->potentials, r->lambda);
+  out.value = *lambda;
+  out.ol = ctx.extract(s.x, *lambda);
   out.orders = orders;
   return out;
 }
@@ -257,31 +294,33 @@ std::optional<OperationList> inorderScheduleAtLambda(const Application& app,
                                                      const ExecutionGraph& graph,
                                                      const PortOrders& orders,
                                                      double lambda) {
-  const System sys(app, graph, orders, /*cyclic=*/true);
-  const auto x = sys.pcg.solve(lambda);
-  if (!x) return std::nullopt;
-  return sys.extract(*x, lambda);
+  const EvalContext ctx(app, graph, /*cyclic=*/true);
+  EvalScratch s;
+  ctx.buildSystem(orders, s);
+  if (!s.pcg.solveInto(lambda, s.x)) return std::nullopt;
+  return ctx.extract(s.x, lambda);
 }
 
 std::optional<OrchestrationResult> oneportLatencyForOrders(
     const Application& app, const ExecutionGraph& graph,
     const PortOrders& orders, double upperBound,
     std::atomic<std::size_t>* boundAborts) {
-  const System sys(app, graph, orders, /*cyclic=*/false);
+  const EvalContext ctx(app, graph, /*cyclic=*/false);
+  EvalScratch s;
   // Incumbent pruning: every operation of a node is serialized on its one
   // port within the single data set's span, so the per-node busy time lower
   // bounds the latency for any orders. The finiteness guard keeps the
-  // busy-time scan off the hot path of unbounded searches.
-  if (std::isfinite(upperBound) && sys.busyLowerBound(graph) > upperBound) {
+  // busy-time comparison off unbounded searches.
+  if (std::isfinite(upperBound) && ctx.busyLowerBound() > upperBound) {
     if (boundAborts != nullptr) {
       boundAborts->fetch_add(1, std::memory_order_relaxed);
     }
     return std::nullopt;
   }
-  const auto x = sys.pcg.solve(/*lambda=*/0.0);  // lambda unused when acyclic
-  if (!x) return std::nullopt;
+  ctx.buildSystem(orders, s);
+  if (!s.pcg.solveInto(/*lambda=*/0.0, s.x)) return std::nullopt;
   OrchestrationResult out;
-  out.ol = sys.extract(*x, /*lambda=*/1.0);
+  out.ol = ctx.extract(s.x, /*lambda=*/1.0);
   out.value = out.ol.latency();
   // Serialize consecutive data sets: P = L (Section 2.2, "Latency").
   out.ol.setLambda(out.value);
@@ -292,14 +331,16 @@ std::optional<OrchestrationResult> oneportLatencyForOrders(
 OrchestrationResult inorderOrchestratePeriod(const Application& app,
                                              const ExecutionGraph& graph,
                                              const OrchestrationOptions& opt) {
-  return searchOrders(app, graph, opt, &inorderPeriodForOrders);
+  return searchOrders(app, graph, opt, /*cyclic=*/true, &periodValue,
+                      &inorderPeriodForOrders);
 }
 
 OrchestrationResult oneportOrchestrateLatency(
     const Application& app, const ExecutionGraph& graph,
     const OrchestrationOptions& opt) {
-  OrchestrationResult best =
-      searchOrders(app, graph, opt, &oneportLatencyForOrders);
+  OrchestrationResult best = searchOrders(app, graph, opt, /*cyclic=*/false,
+                                          &latencyValue,
+                                          &oneportLatencyForOrders);
   // The list-scheduling packing is often much stronger than order search on
   // communication-bound graphs (e.g. counter-example B.2).
   if (auto r =

@@ -54,6 +54,17 @@ struct OrchestrationOptions {
   /// When non-null, every aborted solve increments this counter (shared
   /// across pool workers; the engine surfaces it as EngineStats.boundAborts).
   std::atomic<std::size_t>* boundAborts = nullptr;
+  /// Memory-discipline observability (EngineStats.evalProbes /
+  /// .scratchHeapAllocs / .arenaBytesHighWater). A search aggregates its
+  /// per-worker scratch counters into these once, after the parallel
+  /// sections complete: probes = hot-loop candidate evaluations,
+  /// scratchHeapAllocs = buffer-growth events observed by the reusable
+  /// scratch (constraint storage, solve vectors, arena blocks — ~0 in
+  /// steady state), arenaBytesHighWater = max bytes live in any search
+  /// arena (accumulated by max, not sum).
+  std::atomic<std::size_t>* evalProbes = nullptr;
+  std::atomic<std::size_t>* scratchHeapAllocs = nullptr;
+  std::atomic<std::size_t>* arenaBytesHighWater = nullptr;
 };
 
 /// Minimal INORDER period achievable with the given port orders, or nullopt

@@ -89,7 +89,7 @@ OrchestrationResult treeLatencySchedule(const Application& app,
     if (graph.isExit(v)) {
       ol.setComm(v, kWorld, calcEnd, calcEnd + sigmaOut);
     } else {
-      orders.out[v] = tl.childOrder[v];
+      orders.setOut(v, tl.childOrder[v]);
       for (std::size_t j = 0; j < tl.childOrder[v].size(); ++j) {
         stack.emplace_back(tl.childOrder[v][j],
                            calcEnd + static_cast<double>(j) * sigmaOut);

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "src/common/arena.hpp"
 #include "src/common/prng.hpp"
 #include "src/core/cost_model.hpp"
 #include "src/core/model.hpp"
 #include "src/oplist/validate.hpp"
+#include "src/sched/eval_scratch.hpp"
 
 namespace fsw {
 namespace {
@@ -18,48 +22,55 @@ enum class Exclusion {
   PortOnly,    ///< one-port-overlap hybrid: in-port and out-port serialized
 };
 
-/// One pipelined operation of the cyclic schedule (data set 0 occurrence).
-struct POp {
-  bool isCalc = false;
-  NodeId a = kWorld;  // calc: the node; comm: sender (kWorld for input)
-  NodeId b = kWorld;  // comm: receiver (kWorld for output)
-  double dur = 0.0;
-  double release = 0.0;  // repair-imposed earliest begin
-  double begin = 0.0;
-  std::vector<std::size_t> preds;  // same-data-set precedence
-};
+/// The lambda- and restart-independent half of the repair pipeline: one
+/// pipelined operation set with precedences, exclusion groups, and a fixed
+/// evaluation order. Built once per orchestration and shared read-only by
+/// every restart on every worker (and across all bisection probes); the
+/// per-restart mutable state (release / begin times) lives in RepairScratch.
+struct PipelineShape {
+  struct OpMeta {
+    bool isCalc = false;
+    NodeId a = kWorld;  // calc: the node; comm: sender (kWorld for input)
+    NodeId b = kWorld;  // comm: receiver (kWorld for output)
+    double dur = 0.0;
+  };
 
-struct Pipeline {
-  std::vector<POp> ops;
+  std::vector<OpMeta> ops;
+  // Same-data-set precedences, CSR over ops.
+  std::vector<std::uint32_t> predOff;
+  std::vector<std::uint32_t> preds;
   std::vector<std::vector<std::size_t>> groups;  // mutual-exclusion sets
   std::vector<std::size_t> topo;                 // op evaluation order
 
-  Pipeline(const Application& app, const ExecutionGraph& graph,
-           Exclusion mode) {
+  PipelineShape(const Application& app, const ExecutionGraph& graph,
+                Exclusion mode) {
     const CostModel costs(app, graph);
     const std::size_t n = graph.size();
 
     std::vector<std::size_t> calcOf(n);
+    std::vector<std::vector<std::uint32_t>> predsOf;
     std::vector<std::vector<std::size_t>> ins(n), outs(n);
     for (NodeId i = 0; i < n; ++i) {
-      POp op;
+      OpMeta op;
       op.isCalc = true;
       op.a = i;
       op.dur = costs.at(i).ccomp;
       calcOf[i] = ops.size();
       ops.push_back(op);
+      predsOf.emplace_back();
     }
     auto addComm = [&](NodeId from, NodeId to, double dur) {
-      POp op;
+      OpMeta op;
       op.a = from;
       op.b = to;
       op.dur = dur;
+      predsOf.emplace_back();
       if (from != kWorld) {
-        op.preds.push_back(calcOf[from]);
+        predsOf.back().push_back(static_cast<std::uint32_t>(calcOf[from]));
         outs[from].push_back(ops.size());
       }
       if (to != kWorld) {
-        ops[calcOf[to]].preds.push_back(ops.size());
+        predsOf[calcOf[to]].push_back(static_cast<std::uint32_t>(ops.size()));
         ins[to].push_back(ops.size());
       }
       ops.push_back(op);
@@ -74,6 +85,16 @@ struct Pipeline {
       if (graph.isExit(i)) addComm(i, kWorld, costs.at(i).sigmaOut);
     }
 
+    predOff.resize(ops.size() + 1, 0);
+    for (std::size_t o = 0; o < ops.size(); ++o) {
+      predOff[o + 1] =
+          predOff[o] + static_cast<std::uint32_t>(predsOf[o].size());
+    }
+    preds.reserve(predOff.back());
+    for (const auto& p : predsOf) {
+      preds.insert(preds.end(), p.begin(), p.end());
+    }
+
     for (NodeId i = 0; i < n; ++i) {
       if (mode == Exclusion::FullSerial) {
         std::vector<std::size_t> g = ins[i];
@@ -86,12 +107,13 @@ struct Pipeline {
       }
     }
 
-    // Kahn order over the op precedence DAG.
+    // Kahn order over the op precedence DAG (stack-based, matching the
+    // historical evaluation order).
     std::vector<std::size_t> indeg(ops.size(), 0);
     std::vector<std::vector<std::size_t>> succ(ops.size());
     for (std::size_t o = 0; o < ops.size(); ++o) {
-      for (const std::size_t p : ops[o].preds) {
-        succ[p].push_back(o);
+      for (std::uint32_t k = predOff[o]; k < predOff[o + 1]; ++k) {
+        succ[preds[k]].push_back(o);
         ++indeg[o];
       }
     }
@@ -109,50 +131,62 @@ struct Pipeline {
     }
   }
 
-  void resetReleases() {
-    for (auto& op : ops) op.release = 0.0;
-  }
-
-  void asap() {
-    for (const std::size_t o : topo) {
-      double t = ops[o].release;
-      for (const std::size_t p : ops[o].preds) {
-        t = std::max(t, ops[p].begin + ops[p].dur);
-      }
-      ops[o].begin = t;
-    }
-  }
-
-  /// All exclusion-group pairs violating the mod-lambda no-overlap rule.
-  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> conflicts(
-      double lambda) const {
-    std::vector<std::pair<std::size_t, std::size_t>> out;
-    for (const auto& g : groups) {
-      for (std::size_t x = 0; x < g.size(); ++x) {
-        for (std::size_t y = x + 1; y < g.size(); ++y) {
-          const auto& u = ops[g[x]];
-          const auto& v = ops[g[y]];
-          if (wrappedOverlap(u.begin, u.dur, v.begin, v.dur, lambda)) {
-            out.emplace_back(g[x], g[y]);
-          }
-        }
-      }
-    }
-    return out;
-  }
-
-  [[nodiscard]] OperationList extract(std::size_t n, double lambda) const {
+  [[nodiscard]] OperationList extract(std::size_t n, double lambda,
+                                      const std::vector<double>& begin) const {
     OperationList ol(n, lambda);
-    for (const auto& op : ops) {
-      if (op.isCalc) {
-        ol.setCalc(op.a, op.begin, op.begin + op.dur);
+    for (std::size_t o = 0; o < ops.size(); ++o) {
+      if (ops[o].isCalc) {
+        ol.setCalc(ops[o].a, begin[o], begin[o] + ops[o].dur);
       } else {
-        ol.setComm(op.a, op.b, op.begin, op.begin + op.dur);
+        ol.setComm(ops[o].a, ops[o].b, begin[o], begin[o] + ops[o].dur);
       }
     }
     return ol;
   }
 };
+
+/// Conflict record: an exclusion-group pair violating the mod-lambda
+/// no-overlap rule.
+struct Conflict {
+  std::size_t x;
+  std::size_t y;
+};
+
+/// Per-worker repair state, recycled across restarts and bisection probes.
+struct RepairScratch {
+  std::vector<double> release;
+  std::vector<double> begin;
+  MonotonicArena arena;  ///< backs the per-iteration conflict list
+  std::size_t probes = 0;      ///< repair iterations (asap + conflict scan)
+  std::size_t heapAllocs = 0;  ///< observed vector-growth events
+};
+
+void asap(const PipelineShape& shape, const std::vector<double>& release,
+          std::vector<double>& begin) {
+  for (const std::size_t o : shape.topo) {
+    double t = release[o];
+    for (std::uint32_t k = shape.predOff[o]; k < shape.predOff[o + 1]; ++k) {
+      const std::uint32_t p = shape.preds[k];
+      t = std::max(t, begin[p] + shape.ops[p].dur);
+    }
+    begin[o] = t;
+  }
+}
+
+void conflictsInto(const PipelineShape& shape, const std::vector<double>& begin,
+                   double lambda, ArenaVector<Conflict>& out) {
+  for (const auto& g : shape.groups) {
+    for (std::size_t x = 0; x < g.size(); ++x) {
+      for (std::size_t y = x + 1; y < g.size(); ++y) {
+        const auto& u = shape.ops[g[x]];
+        const auto& v = shape.ops[g[y]];
+        if (wrappedOverlap(begin[g[x]], u.dur, begin[g[y]], v.dur, lambda)) {
+          out.push_back({g[x], g[y]});
+        }
+      }
+    }
+  }
+}
 
 double wrapTo(double x, double lambda) {
   double r = std::fmod(x, lambda);
@@ -160,10 +194,10 @@ double wrapTo(double x, double lambda) {
   return r;
 }
 
-std::optional<OperationList> repairAtLambda(const Application& app,
-                                            const ExecutionGraph& graph,
-                                            double lambda, Exclusion mode,
-                                            const OutorderOptions& opt) {
+std::optional<OperationList> repairWithShape(
+    const Application& app, const ExecutionGraph& graph,
+    const PipelineShape& shape, WorkerScratchPool<RepairScratch>& scratch,
+    double lambda, Exclusion mode, const OutorderOptions& opt) {
   const CostModel costs(app, graph);
   const CommModel boundModel = (mode == Exclusion::FullSerial)
                                    ? CommModel::OutOrder
@@ -176,37 +210,52 @@ std::optional<OperationList> repairAtLambda(const Application& app,
                : validateOnePortOverlap(app, graph, ol).valid;
   };
 
-  // One independent repair chain: a pure function of its restart index, so
-  // restarts can fan out over the pool and reproduce bit-identically.
+  // One independent repair chain: a pure function of its restart index (the
+  // scratch only lends buffers), so restarts can fan out over the pool and
+  // reproduce bit-identically.
   auto tryRestart = [&](std::size_t restart) -> std::optional<OperationList> {
-    Pipeline pipe(app, graph, mode);
+    auto lease = scratch.lease();
+    RepairScratch& s = *lease;
+    const std::size_t rCap = s.release.capacity();
+    const std::size_t bCap = s.begin.capacity();
+    s.release.assign(shape.ops.size(), 0.0);
+    s.begin.assign(shape.ops.size(), 0.0);
     Prng rng((opt.seed + restart) * 0x9E3779B97F4A7C15ULL + 17);
+    std::optional<OperationList> result;
     for (std::size_t iter = 0; iter < opt.repairIters; ++iter) {
-      pipe.asap();
-      const auto bad = pipe.conflicts(lambda);
+      ++s.probes;
+      asap(shape, s.release, s.begin);
+      // The conflict list lives one iteration in the arena; reset() retires
+      // its block to the freelist, so steady-state iterations are
+      // allocation-free.
+      s.arena.reset();
+      ArenaVector<Conflict> bad(&s.arena);
+      conflictsInto(shape, s.begin, lambda, bad);
       if (bad.empty()) {
-        OperationList ol = pipe.extract(graph.size(), lambda);
-        if (accepted(ol)) return ol;
-        return std::nullopt;  // numerical disagreement with the validator
+        OperationList ol = shape.extract(graph.size(), lambda, s.begin);
+        if (accepted(ol)) result = std::move(ol);
+        break;  // numerical disagreement with the validator otherwise
       }
-      const auto& [x, y] =
+      const auto& c =
           bad[static_cast<std::size_t>(rng.uniformInt(0, bad.size() - 1))];
       // Delay one of the two ops to just past the other, modulo lambda.
-      std::size_t victim = x;
-      std::size_t other = y;
+      std::size_t victim = c.x;
+      std::size_t other = c.y;
       const bool delayLater = rng.bernoulli(0.7);
-      const bool xLater = pipe.ops[x].begin > pipe.ops[y].begin;
+      const bool xLater = s.begin[c.x] > s.begin[c.y];
       if (delayLater != xLater) std::swap(victim, other);
       const double otherEndRel =
-          wrapTo(pipe.ops[other].begin + pipe.ops[other].dur, lambda);
-      const double victimRel = wrapTo(pipe.ops[victim].begin, lambda);
+          wrapTo(s.begin[other] + shape.ops[other].dur, lambda);
+      const double victimRel = wrapTo(s.begin[victim], lambda);
       double delta = otherEndRel - victimRel;
       if (delta <= 1e-12) delta += lambda;
       // Occasionally jump a full extra period to escape tight packings.
       if (rng.bernoulli(0.15)) delta += lambda;
-      pipe.ops[victim].release = pipe.ops[victim].begin + delta;
+      s.release[victim] = s.begin[victim] + delta;
     }
-    return std::nullopt;
+    if (s.release.capacity() != rCap) ++s.heapAllocs;
+    if (s.begin.capacity() != bCap) ++s.heapAllocs;
+    return result;
   };
 
   // Scan restarts in pool-width waves so the serial early-exit survives:
@@ -226,6 +275,40 @@ std::optional<OperationList> repairAtLambda(const Application& app,
   return std::nullopt;
 }
 
+/// Folds the per-worker repair counters into the engine-facing atomics.
+/// Call once, after every parallel section that used `scratch` completed.
+void publishRepairStats(WorkerScratchPool<RepairScratch>& scratch,
+                        const OutorderOptions& opt) {
+  std::size_t probes = 0;
+  std::size_t allocs = 0;
+  std::size_t highWater = 0;
+  scratch.forEach([&](RepairScratch& s) {
+    probes += s.probes;
+    allocs += s.heapAllocs + s.arena.heapAllocs();
+    highWater = std::max(highWater, s.arena.highWater());
+  });
+  if (opt.evalProbes != nullptr) {
+    opt.evalProbes->fetch_add(probes, std::memory_order_relaxed);
+  }
+  if (opt.scratchHeapAllocs != nullptr) {
+    opt.scratchHeapAllocs->fetch_add(allocs, std::memory_order_relaxed);
+  }
+  if (opt.arenaBytesHighWater != nullptr) {
+    atomicMaxRelaxed(*opt.arenaBytesHighWater, highWater);
+  }
+}
+
+std::optional<OperationList> repairAtLambda(const Application& app,
+                                            const ExecutionGraph& graph,
+                                            double lambda, Exclusion mode,
+                                            const OutorderOptions& opt) {
+  const PipelineShape shape(app, graph, mode);
+  WorkerScratchPool<RepairScratch> scratch(opt.pool);
+  auto r = repairWithShape(app, graph, shape, scratch, lambda, mode, opt);
+  publishRepairStats(scratch, opt);
+  return r;
+}
+
 OrchestrationResult orchestratePeriod(const Application& app,
                                       const ExecutionGraph& graph,
                                       Exclusion mode,
@@ -241,16 +324,25 @@ OrchestrationResult orchestratePeriod(const Application& app,
   OrchestrationResult best = inorderOrchestratePeriod(app, graph, opt.inorder);
   if (best.value <= lb + 1e-9) return best;
 
-  if (auto ol = repairAtLambda(app, graph, lb, mode, opt)) {
+  // One shape and one scratch pool serve every bisection probe — the
+  // pipeline structure depends on neither lambda nor the restart.
+  const PipelineShape shape(app, graph, mode);
+  WorkerScratchPool<RepairScratch> scratch(opt.pool);
+  auto repair = [&](double lambda) {
+    return repairWithShape(app, graph, shape, scratch, lambda, mode, opt);
+  };
+
+  if (auto ol = repair(lb)) {
     best.value = lb;
     best.ol = std::move(*ol);
+    publishRepairStats(scratch, opt);
     return best;
   }
   double lo = lb;
   double hi = best.value;
   for (std::size_t step = 0; step < opt.bisectSteps && hi - lo > 1e-6; ++step) {
     const double mid = 0.5 * (lo + hi);
-    if (auto ol = repairAtLambda(app, graph, mid, mode, opt)) {
+    if (auto ol = repair(mid)) {
       best.value = mid;
       best.ol = std::move(*ol);
       hi = mid;
@@ -258,6 +350,7 @@ OrchestrationResult orchestratePeriod(const Application& app,
       lo = mid;  // heuristic failure treated as infeasible
     }
   }
+  publishRepairStats(scratch, opt);
   return best;
 }
 

@@ -33,6 +33,12 @@ struct OutorderOptions {
   std::uint64_t seed = 1;
   ThreadPool* pool = nullptr;      ///< nullptr = serial restarts
   OrchestrationOptions inorder{};  ///< options for the INORDER seed
+  /// Memory-discipline observability, mirroring OrchestrationOptions: repair
+  /// iterations count as probes; scratch growth events and the conflict-list
+  /// arena high water feed the same EngineStats counters.
+  std::atomic<std::size_t>* evalProbes = nullptr;
+  std::atomic<std::size_t>* scratchHeapAllocs = nullptr;
+  std::atomic<std::size_t>* arenaBytesHighWater = nullptr;
 };
 
 /// Attempts to build a valid OUTORDER OL with period exactly `lambda` by

@@ -21,12 +21,12 @@ void PeriodicConstraintGraph::addConstraint(Var u, Var v, double w, int k) {
   constraints_.push_back({u, v, w, k});
 }
 
-std::optional<std::vector<double>> PeriodicConstraintGraph::solve(
-    double lambda) const {
+bool PeriodicConstraintGraph::solveInto(double lambda,
+                                        std::vector<double>& x) const {
   // Longest-path relaxation (Bellman-Ford) from an implicit source giving
   // every variable a floor of 0. The minimal solution is the vector of
   // longest-path distances; a positive cycle means infeasibility.
-  std::vector<double> x(nVars_, 0.0);
+  x.assign(nVars_, 0.0);
   const std::size_t maxRounds = nVars_ + 2;
   bool changed = true;
   for (std::size_t round = 0; round < maxRounds && changed; ++round) {
@@ -39,31 +39,40 @@ std::optional<std::vector<double>> PeriodicConstraintGraph::solve(
       }
     }
   }
-  if (changed) return std::nullopt;  // still relaxing: positive cycle
+  return !changed;  // still relaxing after maxRounds: positive cycle
+}
+
+std::optional<std::vector<double>> PeriodicConstraintGraph::solve(
+    double lambda) const {
+  std::vector<double> x;
+  if (!solveInto(lambda, x)) return std::nullopt;
   return x;
 }
 
-std::optional<PeriodicConstraintGraph::MinLambdaResult>
-PeriodicConstraintGraph::minLambda(double lo, double hi, double tol) const {
-  if (!feasible(hi)) return std::nullopt;
-  if (feasible(lo)) {
-    MinLambdaResult r;
-    r.lambda = lo;
-    r.potentials = *solve(lo);
-    return r;
-  }
+std::optional<double> PeriodicConstraintGraph::minLambdaInto(
+    double lo, double hi, std::vector<double>& x, double tol) const {
+  if (!solveInto(hi, x)) return std::nullopt;
+  if (solveInto(lo, x)) return lo;
   // Invariant: lo infeasible, hi feasible.
   while (hi - lo > tol * std::max(1.0, hi)) {
     const double mid = 0.5 * (lo + hi);
-    if (feasible(mid)) {
+    if (solveInto(mid, x)) {
       hi = mid;
     } else {
       lo = mid;
     }
   }
+  const bool ok = solveInto(hi, x);
+  (void)ok;  // hi was feasible above and feasibility is monotone in lambda
+  return hi;
+}
+
+std::optional<PeriodicConstraintGraph::MinLambdaResult>
+PeriodicConstraintGraph::minLambda(double lo, double hi, double tol) const {
   MinLambdaResult r;
-  r.lambda = hi;
-  r.potentials = *solve(hi);
+  const auto lambda = minLambdaInto(lo, hi, r.potentials, tol);
+  if (!lambda) return std::nullopt;
+  r.lambda = *lambda;
   return r;
 }
 

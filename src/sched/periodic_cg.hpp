@@ -23,14 +23,48 @@ class PeriodicConstraintGraph {
   Var addVariable();
   [[nodiscard]] std::size_t variableCount() const noexcept { return nVars_; }
 
+  /// Adds `count` variables at once (bulk form for hot paths).
+  Var addVariables(std::size_t count) {
+    const Var first = nVars_;
+    nVars_ += count;
+    return first;
+  }
+
   /// Adds x_v - x_u >= w - k * lambda (k >= 0).
   void addConstraint(Var u, Var v, double w, int k = 0);
+
+  /// Forgets all variables and constraints but keeps the constraint storage,
+  /// so a reused instance stops allocating once warmed up (hot-path reuse).
+  void clear() noexcept {
+    nVars_ = 0;
+    constraints_.clear();
+  }
+
+  /// Reserves constraint storage (hot-path warm-up aid).
+  void reserveConstraints(std::size_t n) { constraints_.reserve(n); }
+
+  /// Capacity of the constraint storage — lets scratch owners detect
+  /// buffer-growth events for the allocation counters.
+  [[nodiscard]] std::size_t constraintCapacity() const noexcept {
+    return constraints_.capacity();
+  }
 
   /// Minimal solution (componentwise) for fixed lambda, or nullopt if the
   /// system is infeasible.
   [[nodiscard]] std::optional<std::vector<double>> solve(double lambda) const;
 
-  [[nodiscard]] bool feasible(double lambda) const { return solve(lambda).has_value(); }
+  /// Allocation-free solve: writes the minimal solution into `x` (resized,
+  /// capacity reused). Returns false on infeasibility (x is then garbage).
+  bool solveInto(double lambda, std::vector<double>& x) const;
+
+  [[nodiscard]] bool feasible(double lambda) const {
+    std::vector<double> x;
+    return solveInto(lambda, x);
+  }
+  /// feasible() with caller-provided scratch, for allocation-free probing.
+  bool feasibleInto(double lambda, std::vector<double>& scratch) const {
+    return solveInto(lambda, scratch);
+  }
 
   struct MinLambdaResult {
     double lambda = std::numeric_limits<double>::infinity();
@@ -41,6 +75,14 @@ class PeriodicConstraintGraph {
   /// feasible, or nullopt if even `hi` is infeasible (inconsistent orders).
   [[nodiscard]] std::optional<MinLambdaResult> minLambda(
       double lo, double hi, double tol = 1e-9) const;
+
+  /// Allocation-free minLambda: bisects using `x` as the solve buffer and
+  /// leaves a solution at the returned lambda in it. Returns the minimal
+  /// feasible lambda, or nullopt if even `hi` is infeasible. Identical
+  /// bisection sequence to minLambda() — results are bit-identical.
+  std::optional<double> minLambdaInto(double lo, double hi,
+                                      std::vector<double>& x,
+                                      double tol = 1e-9) const;
 
  private:
   struct C {

@@ -1,41 +1,86 @@
 #include "src/sched/port_orders.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 
 #include "src/core/cost_model.hpp"
 
 namespace fsw {
-namespace {
 
-std::vector<std::vector<NodeId>> baseIns(const ExecutionGraph& g) {
-  std::vector<std::vector<NodeId>> in(g.size());
-  for (NodeId i = 0; i < g.size(); ++i) {
-    if (g.isEntry(i)) in[i].push_back(kWorld);
-    for (const NodeId p : g.predecessors(i)) in[i].push_back(p);
-    std::sort(in[i].begin(), in[i].end(), [](NodeId a, NodeId b) {
-      if (a == kWorld) return true;   // virtual input first
-      if (b == kWorld) return false;
-      return a < b;
-    });
+PortOrders::PortOrders(const PortOrdersView& v) {
+  n_ = v.size();
+  inOff_.resize(n_ + 1, 0);
+  outOff_.resize(n_ + 1, 0);
+  if (n_ == 0) return;
+  std::uint32_t off = 0;
+  for (NodeId i = 0; i < n_; ++i) {
+    inOff_[i] = off;
+    off += static_cast<std::uint32_t>(v.in(i).size());
   }
-  return in;
+  inOff_[n_] = off;
+  for (NodeId i = 0; i < n_; ++i) {
+    outOff_[i] = off;
+    off += static_cast<std::uint32_t>(v.out(i).size());
+  }
+  outOff_[n_] = off;
+  data_.resize(off);
+  for (NodeId i = 0; i < n_; ++i) {
+    std::copy(v.in(i).begin(), v.in(i).end(), data_.begin() + inOff_[i]);
+    std::copy(v.out(i).begin(), v.out(i).end(), data_.begin() + outOff_[i]);
+  }
 }
 
-std::vector<std::vector<NodeId>> baseOuts(const ExecutionGraph& g) {
-  std::vector<std::vector<NodeId>> out(g.size());
-  for (NodeId i = 0; i < g.size(); ++i) {
-    for (const NodeId s : g.successors(i)) out[i].push_back(s);
-    std::sort(out[i].begin(), out[i].end());
-    if (g.isExit(i)) out[i].push_back(kWorld);  // virtual output last
-  }
-  return out;
+void PortOrders::setIn(NodeId i, std::span<const NodeId> seq) {
+  auto dst = in(i);
+  assert(seq.size() == dst.size() && "setIn: port count is fixed");
+  std::copy(seq.begin(), seq.end(), dst.begin());
 }
 
-}  // namespace
+void PortOrders::setOut(NodeId i, std::span<const NodeId> seq) {
+  auto dst = out(i);
+  assert(seq.size() == dst.size() && "setOut: port count is fixed");
+  std::copy(seq.begin(), seq.end(), dst.begin());
+}
+
+PortOrders PortOrders::shapedFor(const ExecutionGraph& graph) {
+  const std::size_t n = graph.size();
+  PortOrders po;
+  po.n_ = n;
+  po.inOff_.resize(n + 1, 0);
+  po.outOff_.resize(n + 1, 0);
+  std::uint32_t off = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    po.inOff_[i] = off;
+    off += static_cast<std::uint32_t>(graph.predecessors(i).size() +
+                                      (graph.isEntry(i) ? 1 : 0));
+  }
+  po.inOff_[n] = off;
+  for (NodeId i = 0; i < n; ++i) {
+    po.outOff_[i] = off;
+    off += static_cast<std::uint32_t>(graph.successors(i).size() +
+                                      (graph.isExit(i) ? 1 : 0));
+  }
+  po.outOff_[n] = off;
+  po.data_.assign(off, 0);
+  return po;
+}
 
 PortOrders PortOrders::canonical(const ExecutionGraph& graph) {
-  return {baseIns(graph), baseOuts(graph)};
+  PortOrders po = shapedFor(graph);
+  for (NodeId i = 0; i < graph.size(); ++i) {
+    auto ins = po.in(i);
+    std::size_t t = 0;
+    if (graph.isEntry(i)) ins[t++] = kWorld;  // virtual input first
+    for (const NodeId p : graph.predecessors(i)) ins[t++] = p;
+    std::sort(ins.begin() + (graph.isEntry(i) ? 1 : 0), ins.end());
+    auto outs = po.out(i);
+    t = 0;
+    for (const NodeId s : graph.successors(i)) outs[t++] = s;
+    std::sort(outs.begin(), outs.begin() + static_cast<std::ptrdiff_t>(t));
+    if (graph.isExit(i)) outs[t] = kWorld;  // virtual output last
+  }
+  return po;
 }
 
 PortOrders PortOrders::heuristic(const Application& app,
@@ -67,21 +112,61 @@ PortOrders PortOrders::heuristic(const Application& app,
 
   PortOrders po = canonical(graph);
   for (NodeId i = 0; i < n; ++i) {
-    std::stable_sort(po.out[i].begin(), po.out[i].end(),
-                     [&](NodeId a, NodeId b) {
-                       const double ra = (a == kWorld) ? 0.0 : remaining[a];
-                       const double rb = (b == kWorld) ? 0.0 : remaining[b];
-                       return ra > rb;  // longest branch first
-                     });
-    std::stable_sort(po.in[i].begin(), po.in[i].end(),
-                     [&](NodeId a, NodeId b) {
-                       const double da = (a == kWorld) ? 0.0 : depth[a];
-                       const double db = (b == kWorld) ? 0.0 : depth[b];
-                       return da < db;  // earliest-available sender first
-                     });
+    auto outs = po.out(i);
+    std::stable_sort(outs.begin(), outs.end(), [&](NodeId a, NodeId b) {
+      const double ra = (a == kWorld) ? 0.0 : remaining[a];
+      const double rb = (b == kWorld) ? 0.0 : remaining[b];
+      return ra > rb;  // longest branch first
+    });
+    auto ins = po.in(i);
+    std::stable_sort(ins.begin(), ins.end(), [&](NodeId a, NodeId b) {
+      const double da = (a == kWorld) ? 0.0 : depth[a];
+      const double db = (b == kWorld) ? 0.0 : depth[b];
+      return da < db;  // earliest-available sender first
+    });
   }
   return po;
 }
+
+namespace {
+
+/// Single-data-set greedy packing: one unary resource per server (the
+/// receive / compute / send phases of one data set cannot interleave).
+struct Comm {
+  NodeId from, to;
+  double vol;
+  bool scheduled = false;
+};
+
+/// The full communication set of a graph — virtual inputs, edges, virtual
+/// outputs — in the canonical id order every consumer shares. Costs are
+/// read through a pre-indexed sigmaOut table and every buffer is reserved
+/// up front (this runs inside candidate construction on serving paths).
+std::vector<Comm> buildComms(const ExecutionGraph& g, const CostModel& costs) {
+  const std::size_t n = g.size();
+  std::vector<double> sigmaOut(n);
+  std::size_t entries = 0;
+  std::size_t exits = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    sigmaOut[i] = costs.at(i).sigmaOut;
+    if (g.isEntry(i)) ++entries;
+    if (g.isExit(i)) ++exits;
+  }
+  std::vector<Comm> comms;
+  comms.reserve(entries + g.edges().size() + exits);
+  for (NodeId i = 0; i < n; ++i) {
+    if (g.isEntry(i)) comms.push_back({kWorld, i, 1.0, false});
+  }
+  for (const auto& e : g.edges()) {
+    comms.push_back({e.from, e.to, sigmaOut[e.from], false});
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    if (g.isExit(i)) comms.push_back({i, kWorld, sigmaOut[i], false});
+  }
+  return comms;
+}
+
+}  // namespace
 
 PortOrders PortOrders::listLatency(const Application& app,
                                    const ExecutionGraph& graph) {
@@ -100,33 +185,17 @@ PortOrders PortOrders::listLatency(const Application& app,
     remaining[i] = costs.at(i).ccomp + tail;
   }
 
-  // Single-data-set greedy packing: one unary resource per server (the
-  // receive / compute / send phases of one data set cannot interleave).
-  struct Comm {
-    NodeId from, to;
-    double vol;
-    bool scheduled = false;
-  };
-  std::vector<Comm> comms;
+  std::vector<Comm> comms = buildComms(graph, costs);
   std::vector<std::size_t> insLeft(n, 0);
   for (NodeId i = 0; i < n; ++i) {
-    if (graph.isEntry(i)) comms.push_back({kWorld, i, 1.0, false});
-  }
-  for (const auto& e : graph.edges()) {
-    comms.push_back({e.from, e.to, costs.at(e.from).sigmaOut, false});
-  }
-  for (NodeId i = 0; i < n; ++i) {
-    if (graph.isExit(i)) {
-      comms.push_back({i, kWorld, costs.at(i).sigmaOut, false});
-    }
     insLeft[i] = graph.predecessors(i).size() + (graph.isEntry(i) ? 1 : 0);
   }
 
   std::vector<double> busy(n, 0.0);
   std::vector<double> calcEnd(n, -1.0);  // -1: inputs not yet all received
-  PortOrders po;
-  po.in.resize(n);
-  po.out.resize(n);
+  PortOrders po = shapedFor(graph);
+  std::vector<std::uint32_t> inFill(n, 0);
+  std::vector<std::uint32_t> outFill(n, 0);
 
   for (std::size_t done = 0; done < comms.size(); ++done) {
     double bestT = std::numeric_limits<double>::infinity();
@@ -150,11 +219,11 @@ PortOrders PortOrders::listLatency(const Application& app,
     const double end = bestT + cm.vol;
     if (cm.from != kWorld) {
       busy[cm.from] = end;
-      po.out[cm.from].push_back(cm.to);
+      po.out(cm.from)[outFill[cm.from]++] = cm.to;
     }
     if (cm.to != kWorld) {
       busy[cm.to] = end;
-      po.in[cm.to].push_back(cm.from);
+      po.in(cm.to)[inFill[cm.to]++] = cm.from;
       if (--insLeft[cm.to] == 0) {
         calcEnd[cm.to] = end + costs.at(cm.to).ccomp;
         busy[cm.to] = calcEnd[cm.to];
@@ -166,8 +235,11 @@ PortOrders PortOrders::listLatency(const Application& app,
 
 namespace {
 
+/// Recursive product-of-permutations walk over the sequences of one shared
+/// flat buffer. No candidate is ever materialized: each leaf is the buffer's
+/// current state.
 struct Enumerator {
-  std::vector<std::vector<NodeId>*> seqs;  // all per-node sequences
+  std::vector<std::span<NodeId>> seqs;  // all per-node sequences, in place
   const std::function<bool(const PortOrders&)>* fn = nullptr;
   const PortOrders* po = nullptr;
   std::size_t budget = 0;
@@ -185,7 +257,7 @@ struct Enumerator {
       if (!(*fn)(*po)) stopped = true;
       return;
     }
-    auto& seq = *seqs[idx];
+    auto seq = seqs[idx];
     std::sort(seq.begin(), seq.end());
     do {
       run(idx + 1);
@@ -200,8 +272,8 @@ bool forEachPortOrders(const ExecutionGraph& graph, std::size_t maxCombos,
                        const std::function<bool(const PortOrders&)>& fn) {
   PortOrders po = PortOrders::canonical(graph);
   Enumerator e;
-  for (NodeId i = 0; i < graph.size(); ++i) e.seqs.push_back(&po.in[i]);
-  for (NodeId i = 0; i < graph.size(); ++i) e.seqs.push_back(&po.out[i]);
+  for (NodeId i = 0; i < graph.size(); ++i) e.seqs.push_back(po.in(i));
+  for (NodeId i = 0; i < graph.size(); ++i) e.seqs.push_back(po.out(i));
   e.fn = &fn;
   e.po = &po;
   e.budget = maxCombos;
@@ -211,12 +283,22 @@ bool forEachPortOrders(const ExecutionGraph& graph, std::size_t maxCombos,
 
 std::size_t countPortOrders(const ExecutionGraph& graph,
                             std::size_t maxCombos) {
-  std::size_t count = 0;
-  forEachPortOrders(graph, maxCombos, [&](const PortOrders&) {
-    ++count;
-    return true;
-  });
-  return count;
+  // Product of per-sequence factorials, saturated at maxCombos — exactly
+  // the number of leaves the enumerator would visit under the same cap,
+  // without walking them.
+  std::size_t count = 1;
+  for (NodeId i = 0; i < graph.size() && count < maxCombos; ++i) {
+    const std::size_t lens[2] = {
+        graph.predecessors(i).size() + (graph.isEntry(i) ? 1 : 0),
+        graph.successors(i).size() + (graph.isExit(i) ? 1 : 0)};
+    for (const std::size_t len : lens) {
+      for (std::size_t k = 2; k <= len; ++k) {
+        count *= k;
+        if (count >= maxCombos) return maxCombos;
+      }
+    }
+  }
+  return std::min(count, maxCombos);
 }
 
 }  // namespace fsw

@@ -5,10 +5,20 @@
 // start times, which the difference-constraint solver then optimizes). The
 // NP-hardness of one-port orchestration (Theorem 1) lives exactly in the
 // choice of these orders.
+//
+// Since the memory-discipline PR the encoding is a flat SoA: one NodeId
+// buffer holding every sequence back to back, plus per-node offset tables.
+// A PortOrders for a given graph is three contiguous vectors regardless of
+// node count, copying one is three memcpys, and the exhaustive enumeration
+// permutes sequences in place inside a single reusable buffer instead of
+// heap-constructing a nested vector-of-vectors per candidate.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "src/core/application.hpp"
@@ -17,12 +27,103 @@
 
 namespace fsw {
 
-struct PortOrders {
-  /// in[i] = sources of C_i's incoming communications (kWorld for the virtual
-  /// input), in receive order. out[i] = targets in send order (kWorld for
-  /// the virtual output).
-  std::vector<std::vector<NodeId>> in;
-  std::vector<std::vector<NodeId>> out;
+class PortOrders;
+
+/// Non-owning read view of a PortOrders — the currency of the hot path.
+/// Enumeration blocks store many candidates in one dense buffer sharing a
+/// single offset table; a view binds offsets to one candidate's data slice
+/// without materializing an owning object.
+class PortOrdersView {
+ public:
+  PortOrdersView() = default;
+  PortOrdersView(std::size_t n, const std::uint32_t* inOff,
+                 const std::uint32_t* outOff, const NodeId* data) noexcept
+      : n_(n), inOff_(inOff), outOff_(outOff), data_(data) {}
+  // Implicit: any owning PortOrders is usable wherever a view is expected.
+  PortOrdersView(const PortOrders& po) noexcept;  // NOLINT(runtime/explicit)
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// in(i) = sources of C_i's incoming communications (kWorld for the
+  /// virtual input), in receive order.
+  [[nodiscard]] std::span<const NodeId> in(NodeId i) const noexcept {
+    return {data_ + inOff_[i], inOff_[i + 1] - inOff_[i]};
+  }
+  /// out(i) = targets in send order (kWorld for the virtual output).
+  [[nodiscard]] std::span<const NodeId> out(NodeId i) const noexcept {
+    return {data_ + outOff_[i], outOff_[i + 1] - outOff_[i]};
+  }
+
+ private:
+  std::size_t n_ = 0;
+  const std::uint32_t* inOff_ = nullptr;
+  const std::uint32_t* outOff_ = nullptr;
+  const NodeId* data_ = nullptr;
+};
+
+class PortOrders {
+ public:
+  PortOrders() = default;
+  /// Materializes an owning copy of a view (used when an enumeration slot
+  /// becomes the incumbent winner).
+  explicit PortOrders(const PortOrdersView& v);
+
+  /// Number of nodes covered (0 for a default-constructed object).
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  [[nodiscard]] std::span<NodeId> in(NodeId i) noexcept {
+    return {data_.data() + inOff_[i], inOff_[i + 1] - inOff_[i]};
+  }
+  [[nodiscard]] std::span<const NodeId> in(NodeId i) const noexcept {
+    return {data_.data() + inOff_[i], inOff_[i + 1] - inOff_[i]};
+  }
+  [[nodiscard]] std::span<NodeId> out(NodeId i) noexcept {
+    return {data_.data() + outOff_[i], outOff_[i + 1] - outOff_[i]};
+  }
+  [[nodiscard]] std::span<const NodeId> out(NodeId i) const noexcept {
+    return {data_.data() + outOff_[i], outOff_[i + 1] - outOff_[i]};
+  }
+
+  /// Overwrites node i's receive (resp. send) order. The replacement must
+  /// have the node's exact port count — the comm *set* is fixed by the
+  /// graph, only its order is free.
+  void setIn(NodeId i, std::span<const NodeId> seq);
+  void setOut(NodeId i, std::span<const NodeId> seq);
+  void setIn(NodeId i, std::initializer_list<NodeId> seq) {
+    setIn(i, std::span<const NodeId>(seq.begin(), seq.size()));
+  }
+  void setOut(NodeId i, std::initializer_list<NodeId> seq) {
+    setOut(i, std::span<const NodeId>(seq.begin(), seq.size()));
+  }
+
+  /// Owning copies for cold paths (tests, witnesses, diagnostics).
+  [[nodiscard]] std::vector<NodeId> inVec(NodeId i) const {
+    return {in(i).begin(), in(i).end()};
+  }
+  [[nodiscard]] std::vector<NodeId> outVec(NodeId i) const {
+    return {out(i).begin(), out(i).end()};
+  }
+
+  friend bool operator==(const PortOrders&, const PortOrders&) = default;
+
+  /// Flat accessors for the enumerator and dense block storage. The data
+  /// layout is every in-sequence (node order) followed by every
+  /// out-sequence; offsets are absolute indices into the data buffer.
+  [[nodiscard]] const NodeId* flatData() const noexcept {
+    return data_.data();
+  }
+  [[nodiscard]] NodeId* flatData() noexcept { return data_.data(); }
+  [[nodiscard]] std::size_t flatSize() const noexcept { return data_.size(); }
+  [[nodiscard]] const std::uint32_t* inOffsets() const noexcept {
+    return inOff_.data();
+  }
+  [[nodiscard]] const std::uint32_t* outOffsets() const noexcept {
+    return outOff_.data();
+  }
+
+  /// Offsets sized for `graph`'s comm structure, all slots zero — the fill
+  /// target every named constructor below starts from.
+  static PortOrders shapedFor(const ExecutionGraph& graph);
 
   /// Ascending-index orders (virtual input first, virtual output last).
   static PortOrders canonical(const ExecutionGraph& graph);
@@ -40,17 +141,33 @@ struct PortOrders {
   /// `heuristic` on communication-bound graphs like counter-example B.2.
   static PortOrders listLatency(const Application& app,
                                 const ExecutionGraph& graph);
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint32_t> inOff_;   ///< n_ + 1 absolute offsets
+  std::vector<std::uint32_t> outOff_;  ///< n_ + 1 absolute offsets
+  std::vector<NodeId> data_;           ///< all sequences, back to back
 };
 
+inline PortOrdersView::PortOrdersView(const PortOrders& po) noexcept
+    : n_(po.size()),
+      inOff_(po.inOffsets()),
+      outOff_(po.outOffsets()),
+      data_(po.flatData()) {}
+
 /// Invokes fn for every combination of per-node in/out permutations, up to
-/// `maxCombos` combinations. Returns true iff the enumeration was exhaustive
-/// (i.e. the total count did not exceed the cap). fn may return false to stop
-/// early (the function then returns true: enumeration was not truncated by
-/// the cap).
+/// `maxCombos` combinations. The PortOrders passed to fn is one reusable
+/// buffer permuted in place — copy it (cheap: three flat vectors) to keep a
+/// candidate beyond the callback. Returns true iff the enumeration was
+/// exhaustive (i.e. the total count did not exceed the cap). fn may return
+/// false to stop early (the function then returns true: enumeration was not
+/// truncated by the cap).
 bool forEachPortOrders(const ExecutionGraph& graph, std::size_t maxCombos,
                        const std::function<bool(const PortOrders&)>& fn);
 
-/// Number of in/out order combinations (capped at maxCombos + 1).
+/// Number of in/out order combinations (capped at maxCombos). Computed
+/// arithmetically — product of per-port factorials with saturation — so the
+/// pre-pass of an exact search costs O(n), not a full enumeration.
 [[nodiscard]] std::size_t countPortOrders(const ExecutionGraph& graph,
                                           std::size_t maxCombos);
 

@@ -202,6 +202,19 @@ OptimizedPlan PlanEngine::solveOne(const Application& app, CommModel m,
   orch.outorder.inorder.pool = pool;  // the OUTORDER path's INORDER seed
   std::atomic<std::size_t> aborts{0};
   orch.order.boundAborts = &aborts;
+  // Memory-discipline counters, aggregated once per search (not per probe).
+  std::atomic<std::size_t> probes{0};
+  std::atomic<std::size_t> scratchAllocs{0};
+  std::atomic<std::size_t> arenaHighWater{0};
+  orch.order.evalProbes = &probes;
+  orch.order.scratchHeapAllocs = &scratchAllocs;
+  orch.order.arenaBytesHighWater = &arenaHighWater;
+  orch.outorder.evalProbes = &probes;
+  orch.outorder.scratchHeapAllocs = &scratchAllocs;
+  orch.outorder.arenaBytesHighWater = &arenaHighWater;
+  orch.outorder.inorder.evalProbes = &probes;
+  orch.outorder.inorder.scratchHeapAllocs = &scratchAllocs;
+  orch.outorder.inorder.arenaBytesHighWater = &arenaHighWater;
   const std::size_t top = std::min(opt.orchestrateTop, candidates.size());
   best.stats.orchestrated = top;
   std::vector<Orchestration> results(top);
@@ -231,6 +244,10 @@ OptimizedPlan PlanEngine::solveOne(const Application& app, CommModel m,
     }
   }
   best.stats.boundAborts = aborts.load(std::memory_order_relaxed);
+  best.stats.evalProbes = probes.load(std::memory_order_relaxed);
+  best.stats.scratchHeapAllocs = scratchAllocs.load(std::memory_order_relaxed);
+  best.stats.arenaBytesHighWater =
+      arenaHighWater.load(std::memory_order_relaxed);
 
   // 6. Deterministic winner: strictly lower value wins; ties keep the
   //    earliest candidate in the ranking of step 4.

@@ -1,5 +1,6 @@
 #include "src/serve/sharded_engine.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <exception>
 #include <sstream>
@@ -27,6 +28,11 @@ void accumulate(EngineStats& into, const EngineStats& s) {
   into.boundAborts += s.boundAborts;
   into.crossRequestHits += s.crossRequestHits;
   into.resultCacheHits += s.resultCacheHits;
+  into.evalProbes += s.evalProbes;
+  into.scratchHeapAllocs += s.scratchHeapAllocs;
+  // High water is a max, not a sum: shards don't share arenas.
+  into.arenaBytesHighWater =
+      std::max(into.arenaBytesHighWater, s.arenaBytesHighWater);
 }
 
 }  // namespace

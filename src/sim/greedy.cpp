@@ -54,11 +54,11 @@ SimResult simulateGreedyInOrder(const Application& app,
   };
   std::vector<std::vector<SeqItem>> seq(n);
   for (NodeId i = 0; i < n; ++i) {
-    for (const NodeId s : orders.in[i]) {
+    for (const NodeId s : orders.in(i)) {
       seq[i].push_back({false, s, true, s == kWorld ? 1.0 : costs.at(s).sigmaOut});
     }
     seq[i].push_back({true, kWorld, false, costs.at(i).ccomp});
-    for (const NodeId t : orders.out[i]) {
+    for (const NodeId t : orders.out(i)) {
       seq[i].push_back({false, t, false, costs.at(i).sigmaOut});
     }
   }

@@ -246,8 +246,7 @@ TEST(Engine, SchedulerSearchIsPoolInvariant) {
     const auto rs = inorderOrchestratePeriod(app, g, serial);
     const auto rp = inorderOrchestratePeriod(app, g, pooled);
     EXPECT_EQ(rs.value, rp.value) << "cap " << cap;
-    EXPECT_EQ(rs.orders.in, rp.orders.in) << "cap " << cap;
-    EXPECT_EQ(rs.orders.out, rp.orders.out) << "cap " << cap;
+    EXPECT_EQ(rs.orders, rp.orders) << "cap " << cap;
   }
 }
 

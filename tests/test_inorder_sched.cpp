@@ -40,14 +40,14 @@ TEST(InorderForOrders, Sec23OrdersMatter) {
   // Sending to C2 before C4 and receiving C4 before C3 is the paper's
   // optimal configuration at 23/3.
   auto po = PortOrders::canonical(pi.graph);
-  po.out[0] = {1, 3};
-  po.in[4] = {3, 2};
+  po.setOut(0, {1, 3});
+  po.setIn(4, {3, 2});
   const auto good = inorderPeriodForOrders(pi.app, pi.graph, po);
   ASSERT_TRUE(good);
   EXPECT_NEAR(good->value, 23.0 / 3.0, 1e-6);
   // The reverse send order is strictly worse.
-  po.out[0] = {3, 1};
-  po.in[4] = {2, 3};
+  po.setOut(0, {3, 1});
+  po.setIn(4, {2, 3});
   const auto bad = inorderPeriodForOrders(pi.app, pi.graph, po);
   ASSERT_TRUE(bad);
   EXPECT_GT(bad->value, good->value + 1e-9);

@@ -122,9 +122,9 @@ TEST(ListLatencyOrders, CoversEveryPort) {
   const auto pi = counterexampleB2();
   const auto po = PortOrders::listLatency(pi.app, pi.graph);
   for (NodeId i = 0; i < pi.graph.size(); ++i) {
-    EXPECT_EQ(po.in[i].size(), pi.graph.predecessors(i).size() +
+    EXPECT_EQ(po.in(i).size(), pi.graph.predecessors(i).size() +
                                    (pi.graph.isEntry(i) ? 1 : 0));
-    EXPECT_EQ(po.out[i].size(), pi.graph.successors(i).size() +
+    EXPECT_EQ(po.out(i).size(), pi.graph.successors(i).size() +
                                     (pi.graph.isExit(i) ? 1 : 0));
   }
 }

@@ -653,8 +653,7 @@ TEST(BoundedSolves, BoundedOrderSearchKeepsTheUnboundedWinner) {
   // The optimum meets the bound exactly, so it survives pruning bit-for-bit
   // while strictly dominated orders abort.
   EXPECT_EQ(r.value, free.value);
-  EXPECT_EQ(r.orders.in, free.orders.in);
-  EXPECT_EQ(r.orders.out, free.orders.out);
+  EXPECT_EQ(r.orders, free.orders);
 }
 
 TEST(BoundedSolves, EngineThreadsIncumbentIntoLaterOrchestrations) {

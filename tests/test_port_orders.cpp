@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <functional>
 #include <set>
+#include <vector>
 
+#include "src/sched/inorder.hpp"
 #include "src/sched/port_orders.hpp"
 #include "src/workload/paper_instances.hpp"
 
@@ -12,13 +17,13 @@ TEST(PortOrders, CanonicalCoversAllPorts) {
   const auto pi = sec23Example();
   const auto po = PortOrders::canonical(pi.graph);
   // C1: virtual input first; sends to C2 and C4 plus no virtual output.
-  ASSERT_EQ(po.in[0].size(), 1u);
-  EXPECT_EQ(po.in[0][0], kWorld);
-  EXPECT_EQ(po.out[0].size(), 2u);
+  ASSERT_EQ(po.in(0).size(), 1u);
+  EXPECT_EQ(po.in(0)[0], kWorld);
+  EXPECT_EQ(po.out(0).size(), 2u);
   // C5: two receives, one virtual output.
-  EXPECT_EQ(po.in[4].size(), 2u);
-  ASSERT_EQ(po.out[4].size(), 1u);
-  EXPECT_EQ(po.out[4][0], kWorld);
+  EXPECT_EQ(po.in(4).size(), 2u);
+  ASSERT_EQ(po.out(4).size(), 1u);
+  EXPECT_EQ(po.out(4)[0], kWorld);
 }
 
 TEST(PortOrders, HeuristicIsAPermutationOfCanonical) {
@@ -26,11 +31,11 @@ TEST(PortOrders, HeuristicIsAPermutationOfCanonical) {
   const auto canon = PortOrders::canonical(pi.graph);
   const auto heur = PortOrders::heuristic(pi.app, pi.graph);
   for (NodeId i = 0; i < pi.graph.size(); ++i) {
-    std::multiset<NodeId> a(canon.in[i].begin(), canon.in[i].end());
-    std::multiset<NodeId> b(heur.in[i].begin(), heur.in[i].end());
+    std::multiset<NodeId> a(canon.in(i).begin(), canon.in(i).end());
+    std::multiset<NodeId> b(heur.in(i).begin(), heur.in(i).end());
     EXPECT_EQ(a, b) << "in orders of node " << i;
-    std::multiset<NodeId> c(canon.out[i].begin(), canon.out[i].end());
-    std::multiset<NodeId> d(heur.out[i].begin(), heur.out[i].end());
+    std::multiset<NodeId> c(canon.out(i).begin(), canon.out(i).end());
+    std::multiset<NodeId> d(heur.out(i).begin(), heur.out(i).end());
     EXPECT_EQ(c, d) << "out orders of node " << i;
   }
 }
@@ -40,9 +45,21 @@ TEST(PortOrders, HeuristicFeedsLongBranchFirst) {
   // (C2 -> C3 -> C5), so C1 should send to C2 before C4.
   const auto pi = sec23Example();
   const auto heur = PortOrders::heuristic(pi.app, pi.graph);
-  ASSERT_EQ(heur.out[0].size(), 2u);
-  EXPECT_EQ(heur.out[0][0], 1u);  // C2 first
-  EXPECT_EQ(heur.out[0][1], 3u);  // then C4
+  ASSERT_EQ(heur.out(0).size(), 2u);
+  EXPECT_EQ(heur.out(0)[0], 1u);  // C2 first
+  EXPECT_EQ(heur.out(0)[1], 3u);  // then C4
+}
+
+TEST(PortOrders, SettersOverwriteInPlace) {
+  const auto pi = sec23Example();
+  auto po = PortOrders::canonical(pi.graph);
+  po.setOut(0, {3, 1});
+  EXPECT_EQ(po.outVec(0), (std::vector<NodeId>{3, 1}));
+  po.setIn(4, {2, 3});
+  EXPECT_EQ(po.inVec(4), (std::vector<NodeId>{2, 3}));
+  // Round-trip through a view preserves every sequence.
+  const PortOrders copy{PortOrdersView(po)};
+  EXPECT_EQ(copy, po);
 }
 
 TEST(PortOrders, EnumerationCountsProductOfFactorials) {
@@ -68,7 +85,7 @@ TEST(PortOrders, EnumerationVisitsDistinctOrders) {
   const auto pi = sec23Example();
   std::set<std::vector<NodeId>> c1SendOrders;
   forEachPortOrders(pi.graph, 1000, [&](const PortOrders& po) {
-    c1SendOrders.insert(po.out[0]);
+    c1SendOrders.insert(po.outVec(0));
     return true;
   });
   EXPECT_EQ(c1SendOrders.size(), 2u);
@@ -95,6 +112,184 @@ TEST(PortOrders, ForkJoinCombinatorics) {
     g.addEdge(i, 4);
   }
   EXPECT_EQ(countPortOrders(g, 100000), 36u);
+}
+
+// ---- flat vs. legacy equivalence suite ------------------------------------
+//
+// The flat SoA encoding replaced a nested vector-of-vectors; this suite
+// pins the contract the replacement must honor: identical enumeration
+// order, identical counts, and byte-identical winners through the order
+// search. The legacy encoding and enumerator are reimplemented here,
+// verbatim in structure, as the reference.
+
+struct LegacyPortOrders {
+  std::vector<std::vector<NodeId>> in;
+  std::vector<std::vector<NodeId>> out;
+};
+
+LegacyPortOrders legacyCanonical(const ExecutionGraph& graph) {
+  LegacyPortOrders po;
+  po.in.resize(graph.size());
+  po.out.resize(graph.size());
+  for (NodeId i = 0; i < graph.size(); ++i) {
+    if (graph.isEntry(i)) po.in[i].push_back(kWorld);  // virtual input first
+    auto preds = graph.predecessors(i);
+    std::sort(preds.begin(), preds.end());
+    po.in[i].insert(po.in[i].end(), preds.begin(), preds.end());
+    auto succs = graph.successors(i);
+    std::sort(succs.begin(), succs.end());
+    po.out[i] = succs;
+    if (graph.isExit(i)) po.out[i].push_back(kWorld);  // virtual output last
+  }
+  return po;
+}
+
+/// The pre-flat enumerator: recursion over per-node sequences (all ins in
+/// node order, then all outs), each sorted then stepped by
+/// std::next_permutation, visiting one nested candidate per leaf.
+bool legacyForEach(const ExecutionGraph& graph, std::size_t maxCombos,
+                   const std::function<bool(const LegacyPortOrders&)>& fn) {
+  LegacyPortOrders po = legacyCanonical(graph);
+  std::vector<std::vector<NodeId>*> seqs;
+  for (auto& s : po.in) seqs.push_back(&s);
+  for (auto& s : po.out) seqs.push_back(&s);
+  std::size_t budget = maxCombos;
+  bool stopped = false;
+  bool truncated = false;
+  const std::function<void(std::size_t)> run = [&](std::size_t idx) {
+    if (stopped || truncated) return;
+    if (idx == seqs.size()) {
+      if (budget == 0) {
+        truncated = true;
+        return;
+      }
+      --budget;
+      if (!fn(po)) stopped = true;
+      return;
+    }
+    auto& seq = *seqs[idx];
+    std::sort(seq.begin(), seq.end());
+    do {
+      run(idx + 1);
+      if (stopped || truncated) return;
+    } while (std::next_permutation(seq.begin(), seq.end()));
+  };
+  run(0);
+  return !truncated;
+}
+
+PortOrders flatFromLegacy(const ExecutionGraph& graph,
+                          const LegacyPortOrders& legacy) {
+  PortOrders po = PortOrders::shapedFor(graph);
+  for (NodeId i = 0; i < graph.size(); ++i) {
+    po.setIn(i, legacy.in[i]);
+    po.setOut(i, legacy.out[i]);
+  }
+  return po;
+}
+
+std::vector<ExecutionGraph> equivalenceGraphs() {
+  std::vector<ExecutionGraph> graphs;
+  graphs.push_back(sec23Example().graph);
+  ExecutionGraph forkJoin(5);
+  for (NodeId i = 1; i <= 3; ++i) {
+    forkJoin.addEdge(0, i);
+    forkJoin.addEdge(i, 4);
+  }
+  graphs.push_back(std::move(forkJoin));
+  ExecutionGraph chain(4);
+  for (NodeId i = 0; i + 1 < 4; ++i) chain.addEdge(i, i + 1);
+  graphs.push_back(std::move(chain));
+  return graphs;
+}
+
+TEST(FlatLegacyEquivalence, IdenticalEnumerationOrder) {
+  for (const auto& g : equivalenceGraphs()) {
+    std::vector<LegacyPortOrders> legacySeen;
+    legacyForEach(g, 100000, [&](const LegacyPortOrders& po) {
+      legacySeen.push_back(po);
+      return true;
+    });
+    std::size_t k = 0;
+    forEachPortOrders(g, 100000, [&](const PortOrders& po) {
+      if (k >= legacySeen.size()) {
+        ADD_FAILURE() << "flat enumeration visits more candidates than legacy";
+        return false;
+      }
+      for (NodeId i = 0; i < g.size(); ++i) {
+        EXPECT_EQ(po.inVec(i), legacySeen[k].in[i])
+            << "candidate " << k << ", node " << i;
+        EXPECT_EQ(po.outVec(i), legacySeen[k].out[i])
+            << "candidate " << k << ", node " << i;
+      }
+      ++k;
+      return true;
+    });
+    EXPECT_EQ(k, legacySeen.size());
+  }
+}
+
+TEST(FlatLegacyEquivalence, IdenticalCounts) {
+  for (const auto& g : equivalenceGraphs()) {
+    for (const std::size_t cap : {std::size_t{2}, std::size_t{7},
+                                  std::size_t{36}, std::size_t{100000}}) {
+      std::size_t enumerated = 0;
+      legacyForEach(g, cap, [&](const LegacyPortOrders&) {
+        ++enumerated;
+        return true;
+      });
+      EXPECT_EQ(countPortOrders(g, cap), enumerated) << "cap " << cap;
+    }
+  }
+}
+
+TEST(FlatLegacyEquivalence, ByteIdenticalWinnersThroughSearchOrders) {
+  // The search's exact path must return exactly the winner a legacy
+  // enumeration + index-ordered strict-less reduce over the public
+  // evaluator produces — value bits included.
+  const auto pi = sec23Example();
+  double refValue = std::numeric_limits<double>::infinity();
+  LegacyPortOrders refOrders;
+  legacyForEach(pi.graph, 100000, [&](const LegacyPortOrders& po) {
+    const auto r =
+        inorderPeriodForOrders(pi.app, pi.graph, flatFromLegacy(pi.graph, po));
+    if (r && r->value < refValue) {
+      refValue = r->value;
+      refOrders = po;
+    }
+    return true;
+  });
+
+  OrchestrationOptions opt;  // combos = 4 << exactCap: exact path
+  const auto r = inorderOrchestratePeriod(pi.app, pi.graph, opt);
+  EXPECT_EQ(r.value, refValue);  // bit-identical, not just close
+  EXPECT_EQ(r.orders, flatFromLegacy(pi.graph, refOrders));
+}
+
+TEST(FlatLegacyEquivalence, SteadyStateEvaluationsDoNotAllocate) {
+  // Regression guard for the recycled block storage + per-worker scratch:
+  // a serial exact search probes every candidate, but scratch buffers grow
+  // only during warm-up — if allocations scale with probes again, this
+  // trips long before a profile would.
+  Application app;
+  for (int i = 0; i < 6; ++i) app.addService(1.0, 1.0);
+  ExecutionGraph g(6);
+  for (NodeId i = 1; i <= 4; ++i) {
+    g.addEdge(0, i);
+    g.addEdge(i, 5);
+  }
+  std::atomic<std::size_t> probes{0};
+  std::atomic<std::size_t> allocs{0};
+  OrchestrationOptions opt;
+  opt.exactCap = 20000;  // 4! * 4! = 576 combos: exact path
+  opt.evalProbes = &probes;
+  opt.scratchHeapAllocs = &allocs;
+  (void)inorderOrchestratePeriod(app, g, opt);
+  EXPECT_EQ(probes.load(), countPortOrders(g, opt.exactCap));
+  EXPECT_GE(probes.load(), 500u);
+  // Warm-up only: constraint storage, solve vector, and the block arena
+  // each grow a handful of times, then every later probe reuses them.
+  EXPECT_LE(allocs.load(), 16u);
 }
 
 }  // namespace

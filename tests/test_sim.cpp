@@ -77,11 +77,11 @@ TEST(GreedyInOrder, OrchestratedOrdersHelpOnSec23) {
   // worst order choice.
   const auto pi = sec23Example();
   auto po = PortOrders::canonical(pi.graph);
-  po.out[0] = {1, 3};
-  po.in[4] = {3, 2};
+  po.setOut(0, {1, 3});
+  po.setIn(4, {3, 2});
   const auto good = simulateGreedyInOrder(pi.app, pi.graph, po, 96);
-  po.out[0] = {3, 1};
-  po.in[4] = {2, 3};
+  po.setOut(0, {3, 1});
+  po.setIn(4, {2, 3});
   const auto bad = simulateGreedyInOrder(pi.app, pi.graph, po, 96);
   ASSERT_TRUE(good.ok);
   ASSERT_TRUE(bad.ok);

@@ -200,11 +200,29 @@ TEST(WireCodec, PlanRoundTripPreservesWinnerAndStats) {
   EXPECT_EQ(back.stats.orchestrated, plan.stats.orchestrated);
   EXPECT_EQ(back.stats.boundAborts, plan.stats.boundAborts);
   EXPECT_EQ(back.stats.resultCacheHits, plan.stats.resultCacheHits);
+  EXPECT_EQ(back.stats.evalProbes, plan.stats.evalProbes);
+  EXPECT_EQ(back.stats.scratchHeapAllocs, plan.stats.scratchHeapAllocs);
+  EXPECT_EQ(back.stats.arenaBytesHighWater, plan.stats.arenaBytesHighWater);
 
   // Byte-exact re-encode.
   std::ostringstream second;
   writeOptimizedPlan(second, back);
   EXPECT_EQ(os.str(), second.str());
+
+  // The v2 memory-discipline counters hold distinct wire positions: pin
+  // them with values a solve may not produce (this app is a forest, so
+  // the tree scheduler answers without a single order-search probe).
+  OptimizedPlan pinned = plan;
+  pinned.stats.evalProbes = 12345;
+  pinned.stats.scratchHeapAllocs = 67;
+  pinned.stats.arenaBytesHighWater = 890123;
+  std::ostringstream pinnedOs;
+  writeOptimizedPlan(pinnedOs, pinned);
+  std::istringstream pinnedIs(pinnedOs.str());
+  const OptimizedPlan pinnedBack = readOptimizedPlan(pinnedIs);
+  EXPECT_EQ(pinnedBack.stats.evalProbes, 12345u);
+  EXPECT_EQ(pinnedBack.stats.scratchHeapAllocs, 67u);
+  EXPECT_EQ(pinnedBack.stats.arenaBytesHighWater, 890123u);
 }
 
 TEST(WireCodec, DegeneratePlanRoundTripsWithInfValueAndEmptyStrategy) {
