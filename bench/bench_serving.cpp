@@ -36,6 +36,17 @@
 // against the serial reference — the bit-identity contract through the
 // whole wire path.
 //
+// E12 adds the wire/artifact size trajectory: the paper instances encoded
+// in the frozen text dialect vs wire codec v3 (result-cache and score-cache
+// artifacts, plan request/response payloads, store PUT/reply payloads),
+// plus the measured store bytes-per-request on cold and warm traffic. Its
+// gate is twofold: winners stay bit-identical across text-loaded vs
+// binary-loaded warm starts and across the remote/sharded/multi-host
+// paths, AND the binary dialect shrinks result-cache artifacts and store
+// PUT payloads by >= 3x. `--wire_json <path>` dumps the deterministic size
+// rows for the bench-trajectory baseline check
+// (bench/check_wire_sizes.py vs bench/baselines/BENCH_wire.json).
+//
 // Exits nonzero when any batched, async, sharded *or multi-host* winner
 // diverges from the serial reference, so CI gates on it (`--serial`
 // forces the engines fully serial; the identity checks still run).
@@ -43,20 +54,29 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <future>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.hpp"
 #include "src/common/util.hpp"
+#include "src/io/serialize.hpp"
 #include "src/opt/optimizer.hpp"
+#include "src/sched/overlap.hpp"
 #include "src/serve/plan_engine.hpp"
 #include "src/serve/plan_router.hpp"
 #include "src/serve/plan_server.hpp"
 #include "src/serve/plan_service.hpp"
+#include "src/serve/result_cache.hpp"
+#include "src/serve/result_store.hpp"
 #include "src/serve/sharded_engine.hpp"
 #include "src/workload/generator.hpp"
+#include "src/workload/paper_instances.hpp"
 
 namespace {
 
@@ -435,6 +455,294 @@ std::vector<PlanRequest> mixedWorkload(std::size_t apps, std::size_t total) {
   return allIdentical;
 }
 
+/// True when the doubles carry the identical bit pattern (the identity
+/// contract is bit-exact, and == would blur -0.0 vs 0.0 and reject NaN).
+bool bitsEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(a)) == 0;
+}
+
+/// E12's solve options: light enough that 18 serial reference solves stay
+/// in the tens of milliseconds, heavy enough that every engine layer
+/// (heuristics, order search, outorder repair) contributes to the winner.
+OptimizerOptions wireOptions() {
+  OptimizerOptions opt;
+  opt.exactForestMaxN = 5;
+  opt.heuristics.iterations = 200;
+  opt.heuristics.restarts = 2;
+  opt.orchestrator.order.exactCap = 120;
+  opt.orchestrator.order.localSearchIters = 80;
+  opt.orchestrator.outorder.restarts = 4;
+  opt.orchestrator.outorder.bisectSteps = 4;
+  return opt;
+}
+
+/// One E12 size row: the same payload in both dialects.
+struct SizeRow {
+  const char* name;
+  std::size_t textBytes = 0;
+  std::size_t binBytes = 0;
+  const char* jsonKey = nullptr;  ///< null = unstable across runs, not dumped
+};
+
+/// E12: wire codec v3 vs the frozen text dialect on the paper instances —
+/// artifact and payload sizes, store bytes-per-request, and the identity
+/// gate across text/binary warm starts and every serving path. Returns
+/// false on any winner divergence from the serial reference OR when the
+/// binary dialect fails the >= 3x shrink floor on result-cache artifacts
+/// and store PUT payloads.
+[[nodiscard]] bool printWireTable(const char* jsonPath) {
+  std::printf("E12: wire codec v3 vs frozen text (paper instances), "
+              "%s engine\n",
+              g_serial ? "serial" : "pooled");
+
+  // The solve grid: the three small paper instances x three models x two
+  // objectives. B.1 (202 services) is too heavy to replay through every
+  // path, so it joins the *size* rows below via its known comm-aware
+  // optimum schedule instead of an optimizer run.
+  std::vector<PlanRequest> reqs;
+  for (const PaperInstance& pi :
+       {sec23Example(), counterexampleB2(), counterexampleB3()}) {
+    for (const CommModel m : kAllModels) {
+      for (const Objective obj : {Objective::Period, Objective::Latency}) {
+        reqs.push_back({pi.app, m, obj, wireOptions()});
+      }
+    }
+  }
+  std::vector<OptimizedPlan> refs;
+  refs.reserve(reqs.size());
+  for (const auto& r : reqs) {
+    OptimizerOptions serial = r.options;
+    serial.threads = 1;
+    refs.push_back(optimizePlan(r.app, r.model, r.objective, serial));
+  }
+
+  // B.1's artifact entry: the paper's two-star optimum (period 100 under
+  // OVERLAP), packaged as the winner its request would cache.
+  const PaperInstance b1 = counterexampleB1();
+  OptimizedPlan b1Plan;
+  b1Plan.plan.graph = b1.graph;
+  b1Plan.plan.ol = overlapPeriodSchedule(b1.app, b1.graph);
+  b1Plan.value = b1Plan.plan.ol.period();
+  b1Plan.surrogate = b1Plan.value;
+  b1Plan.strategy = "paper/b1-two-star";
+  const std::string b1Key = PlanEngine::requestKey(
+      {b1.app, CommModel::Overlap, Objective::Period, wireOptions()});
+
+  // The result-cache artifact every warm start below loads: the 18 grid
+  // winners plus B.1, inserted in fixed order so both dialects (and the
+  // JSON sizes) are deterministic.
+  ResultCache artifact{0};
+  std::vector<std::string> keys;
+  keys.reserve(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    keys.push_back(PlanEngine::requestKey(reqs[i]));
+    (void)artifact.insert(keys.back(), refs[i]);
+  }
+  (void)artifact.insert(b1Key, b1Plan);
+
+  std::ostringstream resultBin;
+  writeResultCache(resultBin, artifact);
+  std::ostringstream resultText;
+  writeResultCacheText(resultText, artifact);
+
+  // The score-cache artifact from a warm engine. Its entry *set* is
+  // deterministic, but the LRU order (and so the front-coded size) can
+  // wobble under a pool — displayed, never dumped to the JSON.
+  const EngineConfig cfg{.threads = g_serial ? std::size_t{1} : 0};
+  std::ostringstream scoreBin;
+  std::ostringstream scoreText;
+  std::size_t scoreEntries = 0;
+  {
+    PlanEngine warm{cfg};
+    (void)warm.optimizeBatch(reqs);
+    warm.saveCache(scoreBin);
+    CandidateCache copy;
+    std::istringstream in(scoreBin.str());
+    readCandidateCache(in, copy);
+    scoreEntries = copy.size();
+    writeCandidateCacheText(scoreText, copy);
+  }
+
+  // Per-request wire payloads, summed over the grid (PUT includes B.1 —
+  // exactly the payload a host publishing its solve would send).
+  std::size_t reqText = 0, reqBin = 0, respText = 0, respBin = 0;
+  std::size_t putText = 0, putBin = 0, replyText = 0, replyBin = 0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    std::ostringstream rt;
+    writePlanRequest(rt, reqs[i]);
+    reqText += rt.str().size();
+    reqBin += encodePlanRequest(reqs[i]).size();
+    std::ostringstream pt;
+    writeOptimizedPlan(pt, refs[i]);
+    respText += pt.str().size();
+    respBin += encodeOptimizedPlan(refs[i]).size();
+    std::ostringstream st;
+    writeStorePut(st, keys[i], refs[i]);
+    putText += st.str().size();
+    putBin += encodeStorePut(keys[i], refs[i]).size();
+    std::ostringstream yt;
+    writeStoreReply(yt, &refs[i], refs[i].value);
+    replyText += yt.str().size();
+    replyBin += encodeStoreReply(&refs[i], refs[i].value).size();
+  }
+  {
+    std::ostringstream st;
+    writeStorePut(st, b1Key, b1Plan);
+    putText += st.str().size();
+    putBin += encodeStorePut(b1Key, b1Plan).size();
+  }
+
+  const SizeRow rows[] = {
+      {"result-cache artifact (19 entries)", resultText.str().size(),
+       resultBin.str().size(), "result_cache_bytes"},
+      {"score-cache artifact", scoreText.str().size(), scoreBin.str().size(),
+       nullptr},
+      {"plan requests (x18)", reqText, reqBin, "plan_request_bytes"},
+      {"plan responses (x18)", respText, respBin, "plan_response_bytes"},
+      {"store PUT (x19)", putText, putBin, "store_put_bytes"},
+      {"store GET replies (x18)", replyText, replyBin, "store_reply_bytes"},
+  };
+  std::printf("%-36s %-10s %-10s %-7s\n", "payload", "text[B]", "bin[B]",
+              "shrink");
+  for (const SizeRow& row : rows) {
+    char shrink[32];
+    std::snprintf(shrink, sizeof(shrink), "%.2fx",
+                  static_cast<double>(row.textBytes) /
+                      static_cast<double>(row.binBytes));
+    std::printf("%-36s %-10zu %-10zu %-7s\n", row.name, row.textBytes,
+                row.binBytes, shrink);
+  }
+  std::printf("(score-cache artifact: %zu entries; size excluded from the "
+              "JSON baseline — LRU order is pool-dependent)\n",
+              scoreEntries);
+
+  const auto identical = [&](const OptimizedPlan& got, std::size_t i) {
+    return bitsEqual(got.value, refs[i].value) &&
+           got.strategy == refs[i].strategy &&
+           graphSignature(got.plan.graph) ==
+               graphSignature(refs[i].plan.graph) &&
+           toString(got.plan.ol) == toString(refs[i].plan.ol);
+  };
+
+  // Warm starts: one engine loads the text artifact, one the binary — the
+  // migration contract is that both serve every grid request wholesale
+  // with the bit-identical winner.
+  bool warmTextOk = true;
+  bool warmBinOk = true;
+  for (const bool binary : {false, true}) {
+    PlanEngine engine{cfg};
+    std::istringstream in(binary ? resultBin.str() : resultText.str());
+    engine.loadResults(in);
+    bool ok = true;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const OptimizedPlan got = engine.optimize(reqs[i]);
+      ok = ok && identical(got, i) && got.stats.resultCacheHits == 1;
+    }
+    (binary ? warmBinOk : warmTextOk) = ok;
+  }
+
+  // The store round trip: engine A solves cold and publishes every winner
+  // (binary PUTs on the wire); a fresh engine B serves the whole grid
+  // wholesale from the store (binary GET replies). The measured per-
+  // request wire bytes are the before/after story on live traffic.
+  bool storeOk = true;
+  double coldBytesPerReq = 0;
+  double warmBytesPerReq = 0;
+  {
+    ResultStoreHost store{{}};
+    RemoteResultStore clientA{"127.0.0.1", store.port()};
+    RemoteResultStore clientB{"127.0.0.1", store.port()};
+    EngineConfig storeCfg = cfg;
+    storeCfg.resultStore = &clientA;
+    PlanEngine engineA{storeCfg};
+    const auto cold = engineA.optimizeBatch(reqs);
+    storeCfg.resultStore = &clientB;
+    PlanEngine engineB{storeCfg};
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const OptimizedPlan got = engineB.optimize(reqs[i]);
+      storeOk = storeOk && identical(got, i) &&
+                got.stats.resultCacheHits == 1 &&
+                got.stats.storeBytesReceived > 0;
+    }
+    for (const auto& p : cold) {
+      storeOk = storeOk && p.stats.crossRequestHits == 0;
+    }
+    const auto sa = clientA.stats();
+    const auto sb = clientB.stats();
+    coldBytesPerReq =
+        static_cast<double>(sa.bytesSent + sa.bytesReceived) /
+        static_cast<double>(reqs.size());
+    warmBytesPerReq =
+        static_cast<double>(sb.bytesSent + sb.bytesReceived) /
+        static_cast<double>(reqs.size());
+  }
+
+  // Sharded and multi-host: the same grid through a 2-shard engine and a
+  // 2-host router fleet (cold wave, then a warm wave served from the far
+  // side's result caches) — all binary on the wire.
+  bool shardedOk = true;
+  {
+    ShardedPlanEngine sharded{ShardedEngineConfig{.shards = 2, .shard = cfg}};
+    const auto out = sharded.optimizeBatch(reqs);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      shardedOk = shardedOk && identical(out[i], i);
+    }
+  }
+  bool routerOk = true;
+  {
+    std::vector<std::unique_ptr<PlanServiceHost>> hosts;
+    RouterConfig rc;
+    for (std::size_t h = 0; h < 2; ++h) {
+      ServiceHostConfig hc;
+      hc.serverConfig.engineConfig = cfg;
+      hc.serverConfig.maxBatch = 8;
+      hc.serverConfig.drainThreads = g_serial ? 1 : 2;
+      hosts.push_back(std::make_unique<PlanServiceHost>(hc));
+      rc.hosts.push_back(RouterHost{"127.0.0.1", hosts.back()->port()});
+    }
+    PlanRouter router{rc};
+    for (std::size_t wave = 0; wave < 2; ++wave) {
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const OptimizedPlan got = router.optimize(reqs[i]);
+        routerOk = routerOk && identical(got, i) &&
+                   got.stats.resultCacheHits == wave;
+      }
+    }
+  }
+
+  const double resultShrink =
+      static_cast<double>(resultText.str().size()) /
+      static_cast<double>(resultBin.str().size());
+  const double putShrink =
+      static_cast<double>(putText) / static_cast<double>(putBin);
+  const bool shrinkOk = resultShrink >= 3.0 && putShrink >= 3.0;
+  std::printf("store traffic: cold %.0f B/req, warm %.0f B/req (binary, "
+              "frame headers included)\n",
+              coldBytesPerReq, warmBytesPerReq);
+  std::printf("identity: warm-text %s | warm-bin %s | store %s | sharded %s "
+              "| router %s;  shrink floor (>=3x): %s\n\n",
+              warmTextOk ? "yes" : "NO!", warmBinOk ? "yes" : "NO!",
+              storeOk ? "yes" : "NO!", shardedOk ? "yes" : "NO!",
+              routerOk ? "yes" : "NO!", shrinkOk ? "met" : "MISSED");
+
+  if (jsonPath != nullptr) {
+    std::ofstream out(jsonPath);
+    out << "{\n";
+    bool first = true;
+    for (const SizeRow& row : rows) {
+      if (row.jsonKey == nullptr) continue;
+      if (!first) out << ",\n";
+      first = false;
+      out << "  \"" << row.jsonKey << "_text\": " << row.textBytes << ",\n"
+          << "  \"" << row.jsonKey << "_bin\": " << row.binBytes;
+    }
+    out << "\n}\n";
+  }
+
+  return warmTextOk && warmBinOk && storeOk && shardedOk && routerOk &&
+         shrinkOk;
+}
+
 void BM_OptimizeBatch(benchmark::State& state) {
   const auto total = static_cast<std::size_t>(state.range(0));
   const auto reqs = mixedWorkload(/*apps=*/2, total);
@@ -468,6 +776,7 @@ BENCHMARK(BM_WarmCacheOptimize)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   g_serial = fswbench::stripFlag(argc, argv, "--serial");
+  const char* wireJson = fswbench::stripValueFlag(argc, argv, "--wire_json");
   const bool batchIdentical = printServingTable();
   const bool asyncIdentical = printAsyncServingTable();
 
@@ -484,11 +793,12 @@ int main(int argc, char** argv) {
   }
   const bool shardedIdentical = printShardedServingTable(unique18, refs18);
   const bool multiHostIdentical = printMultiHostTable(unique18, refs18);
+  const bool wireOk = printWireTable(wireJson);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return batchIdentical && asyncIdentical && shardedIdentical &&
-                 multiHostIdentical
+                 multiHostIdentical && wireOk
              ? 0
              : 1;
 }

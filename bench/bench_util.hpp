@@ -18,4 +18,18 @@ inline bool stripFlag(int& argc, char** argv, const char* flag) {
   return false;
 }
 
+/// Removes `flag <value>` from argv and returns the value (nullptr when the
+/// flag is absent or has no following value).
+inline const char* stripValueFlag(int& argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      const char* value = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return value;
+    }
+  }
+  return nullptr;
+}
+
 }  // namespace fswbench

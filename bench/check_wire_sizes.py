@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Gate wire-payload sizes against a checked-in baseline.
+
+Usage: check_wire_sizes.py <baseline.json> <current.json> [--tolerance 0.10]
+
+Both files are the flat {"<payload>_bytes_{text,bin}": N} object that
+`bench_serving --wire_json <path>` emits (E12: every byte count is the
+exact serialized size of a fixed, deterministic payload set, so run-to-run
+noise is zero and a tight tolerance is safe).
+
+Fails (exit 1) when any binary payload grows more than `tolerance` above
+its baseline — a codec change that quietly fattens the wire — or when a
+key present in the baseline disappeared. Shrinking below baseline is
+reported but passes; refresh the baseline to lock in the win.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional growth over baseline "
+                             "(default 0.10 = 10%%)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    failures = []
+    print(f"{'payload':<28} {'baseline':>9} {'current':>9} {'delta':>8}")
+    for key in sorted(baseline):
+        base = baseline[key]
+        if key not in current:
+            failures.append(f"{key}: present in baseline but missing from "
+                            f"the current run")
+            continue
+        cur = current[key]
+        delta = (cur - base) / base if base else 0.0
+        marker = ""
+        # Only the binary sizes gate: the text dialect is frozen, so its
+        # sizes only move when the payload set itself changes (which is a
+        # deliberate bench edit and a baseline refresh).
+        if key.endswith("_bin") and cur > base * (1.0 + args.tolerance):
+            marker = "  <-- REGRESSION"
+            failures.append(
+                f"{key}: {base} -> {cur} bytes "
+                f"(+{delta:.1%}, tolerance {args.tolerance:.0%})")
+        print(f"{key:<28} {base:>9} {cur:>9} {delta:>+8.1%}{marker}")
+
+    for key in sorted(set(current) - set(baseline)):
+        print(f"{key:<28} {'(new)':>9} {current[key]:>9}")
+
+    if failures:
+        print("\nwire-size regression:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nwire sizes within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

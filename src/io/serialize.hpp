@@ -1,15 +1,32 @@
-// Plain-text (de)serialization of applications, execution graphs and
-// operation lists — a stable on-disk format for reproducing bench inputs —
-// plus a minimal CSV writer for the harness outputs.
+// (De)serialization of applications, execution graphs, operation lists,
+// cache artifacts and the serving wire payloads, in two dialects:
+//
+//   * the original plain-text formats (whitespace-separated tokens,
+//     full-precision double tokens) — kept as READERS for migration and as
+//     explicitly-named writeXxxText writers for tooling and size
+//     comparisons; their formats are frozen at their current versions;
+//   * the succinct binary formats (wire codec v3 / binary artifacts),
+//     built on src/io/binio.hpp: LEB128 varints, zigzag deltas for the
+//     structured sequences (graph adjacency, precedence pairs, operation
+//     intervals), front-coded cache keys and a bit-exact double codec.
+//     These are what every writer emits and every transport sends today.
+//
+// Every reader sniffs the dialect by the first byte (binary blocks open
+// with 0xFB, text formats with an ASCII magic word), so old artifacts and
+// old peers keep working: hosts answer in the dialect the request arrived
+// in. decode(encode(x)) is byte-identical in both dialects.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "src/core/application.hpp"
 #include "src/core/execution_graph.hpp"
+#include "src/io/binio.hpp"
 #include "src/oplist/operation_list.hpp"
 #include "src/opt/candidate.hpp"
 #include "src/opt/optimizer.hpp"
@@ -41,44 +58,90 @@ void writeOperationList(std::ostream& os, const OperationList& ol);
 /// std::runtime_error instead of silently misparsing (the headerless PR 2
 /// score-cache dumps fail the magic check). Bump a version whenever its
 /// format or the meaning of its keys changes.
+///
+/// The TEXT formats are frozen at the versions below; the binary formats
+/// continue the same version line (score cache v3, result cache v2, …)
+/// under binio block kinds, so "format version" stays one number per
+/// artifact kind regardless of dialect.
 inline constexpr const char* kScoreCacheMagic = "fswscorecache";
 inline constexpr int kScoreCacheVersion = 2;  ///< 1 = headerless PR 2 format
 inline constexpr const char* kResultCacheMagic = "fswresultcache";
 inline constexpr int kResultCacheVersion = 1;
 
-/// Format:
+/// ---- binary block registry (wire codec v3 / binary artifacts) -------------
+///
+/// Every binary unit is a binio block `0xFB <kind> <version> <len> <body>`;
+/// the kind byte plays the role of the text magic word. Versions continue
+/// each format's existing line (e.g. the score cache: v1 headerless text,
+/// v2 text, v3 binary), so one number names a format unambiguously across
+/// dialects.
+inline constexpr char kBinScoreCacheKind = 'C';
+inline constexpr int kBinScoreCacheVersion = 3;
+inline constexpr char kBinResultCacheKind = 'F';
+inline constexpr int kBinResultCacheVersion = 2;
+inline constexpr char kBinPlanRequestKind = 'Q';
+inline constexpr int kBinPlanRequestVersion = 2;
+/// v3: binary, and the stats vector grew the store byte counters
+/// (storeBytesSent, storeBytesReceived) — 16 counters total.
+inline constexpr char kBinPlanResponseKind = 'R';
+inline constexpr int kBinPlanResponseVersion = 3;
+inline constexpr char kBinStoreGetKind = 'G';
+inline constexpr int kBinStoreGetVersion = 2;
+inline constexpr char kBinStorePutKind = 'P';
+inline constexpr int kBinStorePutVersion = 2;
+inline constexpr char kBinStoreReplyKind = 'Y';
+inline constexpr int kBinStoreReplyVersion = 2;
+/// v2: binary, and the snapshot grew the host's frame/byte IO counters.
+inline constexpr char kBinStoreStatsKind = 'S';
+inline constexpr int kBinStoreStatsVersion = 2;
+
+/// Binary score-cache artifact (v3, kind 'C'): one block whose body is the
+/// entry count followed by (front-coded key, varint-double score) pairs,
+/// LRU first — consecutive keys share long signature prefixes, so each is
+/// stored as (shared-prefix-len, suffix). The cross-run memoization seam:
+/// PlanEngine::saveCache / loadCache wrap these.
+void writeCandidateCache(std::ostream& os, const CandidateCache& cache);
+/// The frozen v2 text format (kept for migration tests and size
+/// comparisons):
 ///   fswscorecache 2
 ///   candidatecache <entries>
 ///   entry <key> <score>                       (entries lines, LRU first)
-/// Keys are the engine's whitespace-free signature strings, scores are
-/// written at full precision, and the least-recently-used entry comes
-/// first so a round trip preserves the eviction order. The cross-run
-/// memoization seam: PlanEngine::saveCache / loadCache wrap these.
-void writeCandidateCache(std::ostream& os, const CandidateCache& cache);
+void writeCandidateCacheText(std::ostream& os, const CandidateCache& cache);
 /// Inserts the dump's entries into `cache` (on top of current contents,
-/// subject to its capacity bound). Throws std::runtime_error on a bad
-/// magic, a version mismatch, or malformed entries.
+/// subject to its capacity bound). Sniffs the dialect: reads the v3 binary
+/// block or the frozen v2 text format. Throws std::runtime_error on a bad
+/// magic, a version mismatch, or malformed entries — naming the offending
+/// entry and byte offset.
 void readCandidateCache(std::istream& is, CandidateCache& cache);
 
 class ResultCache;
 
-/// Format:
-///   fswresultcache 1
-///   results <entries>
-///   result <key> <value> <surrogate> <strategy>   (then the winner's
-///   graph/oplist blocks via writeGraph / writeOperationList; LRU first)
+/// Binary result-cache artifact (v2, kind 'F'): one block whose body is
+/// the entry count followed by (front-coded key, plan body) records, LRU
+/// first — each plan body delta-codes its graph adjacency and operation
+/// intervals (see the codec notes at the top of this header).
 /// `budget` is the on-disk entry budget (0 = unbounded): only the most
 /// recently used `budget` winners are written, still LRU-first, so the
 /// artifact stays sequential and size-bounded while a round trip
 /// preserves the eviction order of what it keeps. Degenerate entries — a
 /// non-finite value or empty strategy, i.e. a solve that found no
-/// candidate — are skipped: they are cheap to recompute and their fields
-/// would not tokenize.
+/// candidate — are skipped in BOTH dialects: they are cheap to recompute
+/// and carry no reusable winner.
 void writeResultCache(std::ostream& os, const ResultCache& cache,
                       std::size_t budget = 0);
+/// The frozen v1 text format (kept for migration tests and size
+/// comparisons):
+///   fswresultcache 1
+///   results <entries>
+///   result <key> <value> <surrogate> <strategy>   (then the winner's
+///   graph/oplist blocks via writeGraph / writeOperationList; LRU first)
+void writeResultCacheText(std::ostream& os, const ResultCache& cache,
+                          std::size_t budget = 0);
 /// Inserts the dump's winners into `cache` (on top of current contents,
-/// subject to its capacity bound). Throws std::runtime_error on a bad
-/// magic, a version mismatch, or malformed entries.
+/// subject to its capacity bound). Sniffs the dialect: reads the v2 binary
+/// block or the frozen v1 text format. Throws std::runtime_error on a bad
+/// magic, a version mismatch, or malformed entries — naming the offending
+/// entry and byte offset.
 void readResultCache(std::istream& is, ResultCache& cache);
 
 /// ---- sharded cache container ----------------------------------------------
@@ -137,7 +200,7 @@ struct WirePlanRequest {
   int priority = 0;
 };
 
-/// Format:
+/// Frozen v1 text format:
 ///   fswplanreq 1
 ///   request <priority> <model> <objective> <portfolio>
 ///   options <exactForestMaxN> <orchestrateTop>
@@ -150,15 +213,31 @@ void writePlanRequest(std::ostream& os, const PlanRequest& request,
                       int priority = 0);
 [[nodiscard]] WirePlanRequest readPlanRequest(std::istream& is);
 
-/// Format:
+/// Frozen v2 text format:
 ///   fswplanresp 2
 ///   plan <value> <surrogate> <strategy>      ("-" = empty strategy)
 ///   stats <14 EngineStats counters, declaration order>
 ///   (graph + oplist blocks via writeGraph / writeOperationList)
 /// Stats cross the wire so a remote client observes the same counters a
-/// local caller would (e.g. resultCacheHits = 1 on a warm repeat).
+/// local caller would (e.g. resultCacheHits = 1 on a warm repeat). The
+/// text stats line predates the store byte counters and stays at 14
+/// counters; readers zero the two new ones.
 void writeOptimizedPlan(std::ostream& os, const OptimizedPlan& plan);
 [[nodiscard]] OptimizedPlan readOptimizedPlan(std::istream& is);
+
+/// ---- wire codec v3 (binary payloads + dialect-sniffing decoders) ----------
+///
+/// encodeXxx produces the binary block payload the transports send today;
+/// decodeXxx sniffs the payload's first byte and accepts EITHER dialect
+/// (binary block or the frozen text format), so hosts interoperate with
+/// text-speaking peers and can answer in the dialect a request arrived in
+/// (binio::isBinary on the request payload names it). Both directions are
+/// byte-exact: decode(encode(x)) re-encodes to the identical byte string.
+[[nodiscard]] std::string encodePlanRequest(const PlanRequest& request,
+                                            int priority = 0);
+[[nodiscard]] WirePlanRequest decodePlanRequest(std::string_view payload);
+[[nodiscard]] std::string encodeOptimizedPlan(const OptimizedPlan& plan);
+[[nodiscard]] OptimizedPlan decodeOptimizedPlan(std::string_view payload);
 
 /// ---- result-store wire ops (cross-host shared result store) ---------------
 ///
@@ -177,10 +256,10 @@ inline constexpr int kStoreReplyVersion = 1;
 inline constexpr const char* kStoreStatsMagic = "fswstorestats";
 inline constexpr int kStoreStatsVersion = 1;
 
-/// Format: `fswstoreget 1` then `get <key> <wantPlan 0|1>`. `wantPlan 0`
-/// asks for the incumbent bound only — the reply skips the stored winner
-/// even on a hit, so an engine that re-solves by policy (full-result
-/// caching off) does not download plans it would discard.
+/// Frozen v1 text format: `fswstoreget 1` then `get <key> <wantPlan 0|1>`.
+/// `wantPlan 0` asks for the incumbent bound only — the reply skips the
+/// stored winner even on a hit, so an engine that re-solves by policy
+/// (full-result caching off) does not download plans it would discard.
 struct StoreGet {
   std::string key;
   bool wantPlan = true;
@@ -189,9 +268,9 @@ void writeStoreGet(std::ostream& os, const std::string& key,
                    bool wantPlan = true);
 [[nodiscard]] StoreGet readStoreGet(std::istream& is);
 
-/// Format: `fswstoreput 1`, `put <key>`, then the winner via
-/// writeOptimizedPlan. The plan's value doubles as the incumbent bound the
-/// store forwards to later same-key GETs.
+/// Frozen v1 text format: `fswstoreput 1`, `put <key>`, then the winner
+/// via writeOptimizedPlan. The plan's value doubles as the incumbent bound
+/// the store forwards to later same-key GETs.
 void writeStorePut(std::ostream& os, const std::string& key,
                    const OptimizedPlan& plan);
 struct StorePut {
@@ -205,8 +284,9 @@ struct StorePut {
 /// — it travels even on a plan miss, so an evicted winner still tightens
 /// the asker's abort thresholds. A PUT's ack simply echoes the published
 /// value (frame sync for pipelined putters).
-/// Format: `fswstorereply 1`, `reply <found 0|1> <bound token>`, then the
-/// winner via writeOptimizedPlan when found.
+/// Frozen v1 text format: `fswstorereply 1`,
+/// `reply <found 0|1> <bound token>`, then the winner via
+/// writeOptimizedPlan when found.
 struct StoreReply {
   bool found = false;
   double bound = 0.0;  ///< +inf when the store has no bound for the key
@@ -217,7 +297,9 @@ void writeStoreReply(std::ostream& os, const OptimizedPlan* plan,
 [[nodiscard]] StoreReply readStoreReply(std::istream& is);
 
 /// The store's counters snapshot (the STATS verb).
-/// Format: `fswstorestats 1` then `storestats <7 counters>`.
+/// Frozen v1 text format: `fswstorestats 1` then `storestats <7 counters>`
+/// — the text line predates the IO counters below and stays at 7; text
+/// readers zero the rest.
 struct StoreStatsWire {
   std::size_t entries = 0;      ///< winners currently stored
   std::size_t gets = 0;         ///< GET ops served
@@ -226,9 +308,49 @@ struct StoreStatsWire {
   std::size_t puts = 0;         ///< PUT ops applied
   std::size_t evictions = 0;    ///< winners dropped at the capacity bound
   std::size_t bounds = 0;       ///< bounds currently posted
+  /// Host-side FSWF frame traffic (headers included), all connections
+  /// combined. Binary-only fields (wire v2): text snapshots report 0.
+  std::size_t framesIn = 0;
+  std::size_t bytesIn = 0;
+  std::size_t framesOut = 0;
+  std::size_t bytesOut = 0;
 };
 void writeStoreStats(std::ostream& os, const StoreStatsWire& stats);
 [[nodiscard]] StoreStatsWire readStoreStats(std::istream& is);
+
+/// Binary store verbs (wire codec v3) — same sniff-both-dialects contract
+/// as decodePlanRequest/decodeOptimizedPlan above.
+[[nodiscard]] std::string encodeStoreGet(const std::string& key,
+                                         bool wantPlan = true);
+[[nodiscard]] StoreGet decodeStoreGet(std::string_view payload);
+[[nodiscard]] std::string encodeStorePut(const std::string& key,
+                                         const OptimizedPlan& plan);
+[[nodiscard]] StorePut decodeStorePut(std::string_view payload);
+[[nodiscard]] std::string encodeStoreReply(const OptimizedPlan* plan,
+                                           double bound);
+[[nodiscard]] StoreReply decodeStoreReply(std::string_view payload);
+[[nodiscard]] std::string encodeStoreStats(const StoreStatsWire& stats);
+[[nodiscard]] StoreStatsWire decodeStoreStats(std::string_view payload);
+
+/// ---- artifact inspection (tools/fsw_artifact) ------------------------------
+///
+/// A cheap structural summary of one artifact unit at the stream's current
+/// position: which format it is, which dialect, how many entries it
+/// declares and how many encoded bytes it occupies. Recognizes score
+/// caches, result caches and shard-set containers in both dialects
+/// (binary bodies are counted without being fully decoded). For a shard
+/// set, `entries` is the shard count — call again per payload block.
+struct ArtifactInfo {
+  std::string kind;          ///< "score-cache", "result-cache", "shard-set"
+  bool binary = false;       ///< binio block vs text
+  std::uint64_t version = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;   ///< encoded size of this unit, headers included
+  std::string shardKind;     ///< shard sets only: the payload tag
+};
+/// Throws std::runtime_error when the stream holds neither a recognized
+/// binary block nor a recognized text magic word.
+[[nodiscard]] ArtifactInfo inspectArtifact(std::istream& is);
 
 /// Round-trip helpers via strings.
 [[nodiscard]] std::string toString(const Application& app);

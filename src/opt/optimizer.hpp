@@ -74,6 +74,15 @@ struct EngineStats {
   /// Max bytes live at once in any evaluation arena of this request
   /// (merged by max, not sum, when shards are combined).
   std::size_t arenaBytesHighWater = 0;
+  /// Wire bytes this request sent to / received from the fleet-shared
+  /// remote result store (FSWF frame headers included): the GET that
+  /// probed this key plus the PUT that published its winner. Store
+  /// traffic is attributed per key to the batch member that asked — the
+  /// representative carries the bytes, duplicates carry none — so summing
+  /// over a batch counts every wire byte exactly once. Sharded runs sum
+  /// these like the other counters.
+  std::size_t storeBytesSent = 0;
+  std::size_t storeBytesReceived = 0;
 
   /// Scratch allocation discipline: growth events per hot-loop probe.
   [[nodiscard]] double allocsPerProbe() const {

@@ -65,7 +65,16 @@ int recvExact(int fd, char* data, std::size_t len) {
   return 1;
 }
 
-ReadStatus readFrame(int fd, Frame& out) {
+IoTotals totals(const IoCounters& io) {
+  IoTotals t;
+  t.framesIn = io.framesIn.load(std::memory_order_relaxed);
+  t.bytesIn = io.bytesIn.load(std::memory_order_relaxed);
+  t.framesOut = io.framesOut.load(std::memory_order_relaxed);
+  t.bytesOut = io.bytesOut.load(std::memory_order_relaxed);
+  return t;
+}
+
+ReadStatus readFrame(int fd, Frame& out, IoCounters* io) {
   char header[kFrameHeaderSize];
   const int got = recvExact(fd, header, sizeof(header));
   if (got == 0) return ReadStatus::Eof;
@@ -95,12 +104,22 @@ ReadStatus readFrame(int fd, Frame& out) {
   if (len > 0 && recvExact(fd, out.payload.data(), len) != 1) {
     return ReadStatus::Bad;
   }
+  if (io != nullptr) {
+    io->framesIn.fetch_add(1, std::memory_order_relaxed);
+    io->bytesIn.fetch_add(kFrameHeaderSize + len, std::memory_order_relaxed);
+  }
   return ReadStatus::Ok;
 }
 
-bool sendFrame(int fd, FrameType type, std::string_view payload) {
+bool sendFrame(int fd, FrameType type, std::string_view payload,
+               IoCounters* io) {
   const std::string frame = encodeFrame(type, payload);
-  return sendAll(fd, frame.data(), frame.size());
+  if (!sendAll(fd, frame.data(), frame.size())) return false;
+  if (io != nullptr) {
+    io->framesOut.fetch_add(1, std::memory_order_relaxed);
+    io->bytesOut.fetch_add(frame.size(), std::memory_order_relaxed);
+  }
+  return true;
 }
 
 void closeFd(int fd) {

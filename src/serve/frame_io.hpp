@@ -20,6 +20,7 @@
 // listener/connection-thread lifecycle) in fsw::frameio.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -80,9 +81,33 @@ struct Frame {
   std::string payload;
 };
 
-ReadStatus readFrame(int fd, Frame& out);
+/// Bytes-on-the-wire accounting, shared by every frame endpoint. Counters
+/// include the 10-byte frame headers — they measure what actually crossed
+/// the socket, not just payload — and count only complete, well-formed
+/// frames (a truncated read or failed send contributes nothing). Atomic so
+/// one instance can sit behind a service's concurrent connection threads.
+struct IoCounters {
+  std::atomic<std::size_t> framesIn{0};
+  std::atomic<std::size_t> bytesIn{0};
+  std::atomic<std::size_t> framesOut{0};
+  std::atomic<std::size_t> bytesOut{0};
+};
 
-bool sendFrame(int fd, FrameType type, std::string_view payload);
+/// A plain snapshot of IoCounters (for stats structs).
+struct IoTotals {
+  std::size_t framesIn = 0;
+  std::size_t bytesIn = 0;
+  std::size_t framesOut = 0;
+  std::size_t bytesOut = 0;
+};
+[[nodiscard]] IoTotals totals(const IoCounters& io);
+
+/// `io`, when non-null, accumulates the frame and its header bytes on a
+/// successful read/send.
+ReadStatus readFrame(int fd, Frame& out, IoCounters* io = nullptr);
+
+bool sendFrame(int fd, FrameType type, std::string_view payload,
+               IoCounters* io = nullptr);
 
 void closeFd(int fd);
 
@@ -149,6 +174,14 @@ class SocketService {
   /// Connections accepted so far (for derived stats snapshots).
   [[nodiscard]] std::size_t acceptedConnections() const;
 
+  /// The service-wide IO counters. Derived serveConnection overrides pass
+  /// `&ioCounters()` to readFrame/sendFrame so every connection's traffic
+  /// lands in one place; ioTotals() snapshots it for stats.
+  [[nodiscard]] IoCounters& ioCounters() noexcept { return io_; }
+
+ public:
+  [[nodiscard]] IoTotals ioTotals() const { return totals(io_); }
+
  private:
   void acceptLoop();
   void runConnection(int fd);
@@ -158,6 +191,7 @@ class SocketService {
 
   int listenFd_ = -1;
   std::uint16_t port_ = 0;
+  IoCounters io_;
 
   mutable std::mutex acceptMu_;
   bool stopping_ = false;

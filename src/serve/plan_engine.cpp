@@ -351,6 +351,10 @@ std::vector<OptimizedPlan> PlanEngine::optimizeBatch(
         out[i] = *it->second.plan;
         out[i].stats = EngineStats{};
         out[i].stats.resultCacheHits = 1;
+        // The wire cost of being served wholesale: this key's GET frame
+        // and its winner-carrying reply.
+        out[i].stats.storeBytesSent = it->second.bytesSent;
+        out[i].stats.storeBytesReceived = it->second.bytesReceived;
         (void)results_.insert(keys[i], out[i]);
         continue;
       }
@@ -381,9 +385,16 @@ std::vector<OptimizedPlan> PlanEngine::optimizeBatch(
       });
   std::vector<std::string> publishKeys;
   std::vector<const OptimizedPlan*> publishPlans;
+  std::vector<std::size_t> publishIdx;
   for (std::size_t k = 0; k < misses.size(); ++k) {
     const std::size_t i = misses[k];
     out[i] = std::move(solved[k]);
+    // A miss that still probed the store pays that probe's wire cost (its
+    // GET frame and the bound-carrying reply).
+    if (const auto it = remote.find(i); it != remote.end()) {
+      out[i].stats.storeBytesSent += it->second.bytesSent;
+      out[i].stats.storeBytesReceived += it->second.bytesReceived;
+    }
     // Result-store evictions are engine-level state, reported through
     // resultCacheStats() — EngineStats::evictions stays score-cache-only.
     if (config_.cacheFullResults && resultCacheable(requests[i])) {
@@ -395,15 +406,23 @@ std::vector<OptimizedPlan> PlanEngine::optimizeBatch(
     if (config_.resultStore != nullptr && resultCacheable(requests[i])) {
       publishKeys.push_back(keys[i]);
       publishPlans.push_back(&out[i]);
+      publishIdx.push_back(i);
     }
   }
   // Publish to the fleet store last, in one pipelined putMany (mirroring
   // the getMany probe): each PUT carries the winner AND its value (the
   // store posts it to the fleet bound board), so any host's later
   // same-key solve is served or tightened — and a cold batch's publishes
-  // pay ~1 round trip, not one per solve.
+  // pay ~1 round trip, not one per solve. Each PUT's wire cost lands on
+  // the request that published it (the representative — duplicates below
+  // carry no bytes, so summing a batch counts every wire byte once).
   if (!publishKeys.empty()) {
-    config_.resultStore->putMany(publishKeys, publishPlans);
+    std::vector<RemoteResultStore::OpBytes> putBytes;
+    config_.resultStore->putMany(publishKeys, publishPlans, &putBytes);
+    for (std::size_t k = 0; k < publishIdx.size(); ++k) {
+      out[publishIdx[k]].stats.storeBytesSent += putBytes[k].sent;
+      out[publishIdx[k]].stats.storeBytesReceived += putBytes[k].received;
+    }
   }
   for (std::size_t i = 0; i < n; ++i) {
     if (representative[i] != i) {

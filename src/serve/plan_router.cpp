@@ -109,6 +109,13 @@ void PlanRouter::dispatch(Job job) {
   }
 }
 
+void PlanRouter::foldClientStatsLocked(Slot& s) {
+  if (s.client == nullptr) return;
+  const RemotePlanClient::Stats cs = s.client->stats();
+  s.stats.bytesSent += cs.bytesSent;
+  s.stats.bytesReceived += cs.bytesReceived;
+}
+
 void PlanRouter::workerLoop(std::size_t slot) {
   for (;;) {
     Job job;
@@ -221,6 +228,7 @@ void PlanRouter::process(std::size_t slot, Job job) {
       s.down = true;
       s.stats.up = false;
       ++s.stats.transportFailures;
+      foldClientStatsLocked(s);
       dropped = std::move(s.client);
       ++job.attempt;
       ++stats_.failovers;
@@ -267,7 +275,16 @@ PlanRouter::Stats PlanRouter::stats() const {
   Stats snapshot = stats_;
   snapshot.perHost.reserve(slots_.size());
   for (const auto& slot : slots_) {
-    snapshot.perHost.push_back(slot->stats);
+    HostStats hs = slot->stats;
+    if (slot->client != nullptr) {
+      // The folded base covers retired connections; add the live one.
+      // Lock order is router mu_ -> client mu_, never the reverse (the
+      // client has no back-reference to the router).
+      const RemotePlanClient::Stats cs = slot->client->stats();
+      hs.bytesSent += cs.bytesSent;
+      hs.bytesReceived += cs.bytesReceived;
+    }
+    snapshot.perHost.push_back(hs);
   }
   return snapshot;
 }
@@ -300,6 +317,10 @@ void PlanRouter::close() {
     job.promise.set_exception(std::make_exception_ptr(
         RemotePlanError("PlanRouter: closed before dispatch",
                         /*transport=*/true)));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& slot : slots_) foldClientStatsLocked(*slot);
   }
   for (const auto& slot : slots_) slot->client.reset();
 }

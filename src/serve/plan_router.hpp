@@ -69,6 +69,11 @@ class PlanRouter {
   struct HostStats {
     std::size_t served = 0;             ///< futures fulfilled by this host
     std::size_t transportFailures = 0;  ///< drops observed on this host
+    /// Wire bytes moved to/from this host across every connection this
+    /// slot has held (frame headers included): the live client's counters
+    /// plus those of every retired connection, folded in when it dropped.
+    std::size_t bytesSent = 0;
+    std::size_t bytesReceived = 0;
     bool up = true;                     ///< currently admitted for routing
   };
 
@@ -137,6 +142,10 @@ class PlanRouter {
   };
 
   void workerLoop(std::size_t slot);
+  /// Adds a retiring connection's byte counters into the slot's HostStats
+  /// (called with mu_ held, just before the client is dropped) so per-host
+  /// traffic survives reconnect churn.
+  void foldClientStatsLocked(Slot& s);
   /// Serves one job on `slot` (connecting first if needed); on a
   /// transport failure marks the slot down and fails the job over.
   void process(std::size_t slot, Job job);

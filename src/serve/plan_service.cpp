@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/io/binio.hpp"
 #include "src/io/serialize.hpp"
 
 namespace fsw {
@@ -13,7 +14,6 @@ using frameio::closeFd;
 using frameio::Frame;
 using frameio::readFrame;
 using frameio::ReadStatus;
-using frameio::sendAll;
 using frameio::sendFrame;
 
 // ---- PlanServiceHost -------------------------------------------------------
@@ -34,7 +34,7 @@ PlanServiceHost::~PlanServiceHost() { stop(); }
 void PlanServiceHost::serveConnection(int fd) {
   for (;;) {
     Frame frame;
-    const ReadStatus status = readFrame(fd, frame);
+    const ReadStatus status = readFrame(fd, frame, &ioCounters());
     if (status == ReadStatus::Eof) break;
     if (status == ReadStatus::Bad) {
       // The stream itself cannot be trusted (garbage magic, oversized or
@@ -46,13 +46,15 @@ void PlanServiceHost::serveConnection(int fd) {
     if (status == ReadStatus::WrongVersion) {
       (void)sendFrame(fd, FrameType::Error,
                       "unsupported frame version (expected " +
-                          std::to_string(kFrameVersion) + ")");
+                          std::to_string(kFrameVersion) + ")",
+                      &ioCounters());
       const std::lock_guard<std::mutex> lock(mu_);
       ++stats_.errors;
       break;
     }
     if (frame.type != FrameType::Request) {
-      (void)sendFrame(fd, FrameType::Error, "expected a request frame");
+      (void)sendFrame(fd, FrameType::Error, "expected a request frame",
+                      &ioCounters());
       const std::lock_guard<std::mutex> lock(mu_);
       ++stats_.errors;
       break;
@@ -63,8 +65,10 @@ void PlanServiceHost::serveConnection(int fd) {
     // serviceable.
     std::string error;
     try {
-      std::istringstream payload(frame.payload);
-      WirePlanRequest wire = readPlanRequest(payload);
+      // The decoder sniffs the dialect; the reply speaks the same one, so
+      // a legacy text client round-trips text end to end.
+      const bool binary = binio::isBinary(frame.payload);
+      WirePlanRequest wire = decodePlanRequest(frame.payload);
       if (wire.portfolio != "-") {
         const CandidateRegistry* registry =
             config_.resolvePortfolio ? config_.resolvePortfolio(wire.portfolio)
@@ -85,8 +89,14 @@ void PlanServiceHost::serveConnection(int fd) {
       }
       const OptimizedPlan plan =
           server_->submit(std::move(wire.request), wire.priority).get();
-      std::ostringstream encoded;
-      writeOptimizedPlan(encoded, plan);
+      std::string encoded;
+      if (binary) {
+        encoded = encodeOptimizedPlan(plan);
+      } else {
+        std::ostringstream text;
+        writeOptimizedPlan(text, plan);
+        encoded = text.str();
+      }
       {
         // Counted before the send (as the error path counts before its
         // frame): once a client holds the result, a stats() snapshot must
@@ -95,7 +105,7 @@ void PlanServiceHost::serveConnection(int fd) {
         const std::lock_guard<std::mutex> lock(mu_);
         ++stats_.requests;
       }
-      if (!sendFrame(fd, FrameType::Result, encoded.str())) break;
+      if (!sendFrame(fd, FrameType::Result, encoded, &ioCounters())) break;
       continue;
     } catch (const std::exception& e) {
       error = e.what();
@@ -104,7 +114,7 @@ void PlanServiceHost::serveConnection(int fd) {
       const std::lock_guard<std::mutex> lock(mu_);
       ++stats_.errors;
     }
-    if (!sendFrame(fd, FrameType::Error, error)) break;
+    if (!sendFrame(fd, FrameType::Error, error, &ioCounters())) break;
   }
   // The shared SocketService owns the fd from here: it is shut down,
   // erased and closed by the base's connection wrapper.
@@ -117,6 +127,11 @@ PlanServiceHost::Stats PlanServiceHost::stats() const {
     snapshot = stats_;
   }
   snapshot.connections = acceptedConnections();
+  const frameio::IoTotals io = ioTotals();
+  snapshot.framesIn = io.framesIn;
+  snapshot.bytesIn = io.bytesIn;
+  snapshot.framesOut = io.framesOut;
+  snapshot.bytesOut = io.bytesOut;
   return snapshot;
 }
 
@@ -134,11 +149,8 @@ std::future<OptimizedPlan> RemotePlanClient::submit(
     const PlanRequest& request, int priority) {
   // Encode eagerly: a non-portable request (unnamed portfolio) throws
   // std::invalid_argument here, synchronously, like the codec itself.
-  std::ostringstream encoded;
-  writePlanRequest(encoded, request, priority);
-
   Pending pending;
-  pending.payload = encoded.str();
+  pending.payload = encodePlanRequest(request, priority);
   std::future<OptimizedPlan> future = pending.promise.get_future();
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -173,14 +185,12 @@ void RemotePlanClient::senderLoop() {
 
     std::exception_ptr failure;
     try {
-      const std::string encoded =
-          encodeFrame(FrameType::Request, pending.payload);
-      if (!sendAll(fd_, encoded.data(), encoded.size())) {
+      if (!sendFrame(fd_, FrameType::Request, pending.payload, &io_)) {
         throw RemotePlanError("RemotePlanClient: connection lost (send)",
                               /*transport=*/true);
       }
       Frame frame;
-      const ReadStatus status = readFrame(fd_, frame);
+      const ReadStatus status = readFrame(fd_, frame, &io_);
       if (status != ReadStatus::Ok) {
         // Covers a clean drop AND a garbled/truncated result frame: a
         // stream that breaks mid-frame cannot be resynchronized, so the
@@ -195,10 +205,9 @@ void RemotePlanClient::senderLoop() {
         throw RemotePlanError("RemotePlanClient: unexpected frame type",
                               /*transport=*/true);
       }
-      std::istringstream payload(frame.payload);
       OptimizedPlan plan;
       try {
-        plan = readOptimizedPlan(payload);
+        plan = decodeOptimizedPlan(frame.payload);
       } catch (const std::exception& e) {
         // A well-framed but undecodable result: the host is not speaking
         // our codec. Transport-class — a retry elsewhere is sound because
@@ -257,8 +266,15 @@ void RemotePlanClient::close() {
 }
 
 RemotePlanClient::Stats RemotePlanClient::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    snapshot = stats_;
+  }
+  const frameio::IoTotals io = frameio::totals(io_);
+  snapshot.bytesSent = io.bytesOut;
+  snapshot.bytesReceived = io.bytesIn;
+  return snapshot;
 }
 
 }  // namespace fsw

@@ -11,8 +11,11 @@
 //   offset 4  1 byte   frame version (kFrameVersion)
 //   offset 5  1 byte   type: 'Q' request, 'R' result, 'E' error
 //   offset 6  4 bytes  payload length, big-endian
-//   offset 10 payload  wire-codec text (src/io/serialize.hpp) or, for 'E',
-//                      a human-readable message
+//   offset 10 payload  wire codec (src/io/serialize.hpp) — binary blocks or
+//                      legacy text, sniffed by the first payload byte; for
+//                      'E', a human-readable message. Hosts reply in the
+//                      dialect the request arrived in, so old text clients
+//                      keep working against new hosts.
 //
 // Failure discipline: a malformed *payload* (bad codec magic/version,
 // truncated block, unknown portfolio) is answered with an 'E' frame and
@@ -96,6 +99,11 @@ class PlanServiceHost : public frameio::SocketService {
     std::size_t connections = 0;  ///< connections accepted
     std::size_t requests = 0;     ///< request frames served with a result
     std::size_t errors = 0;       ///< error frames sent + dropped streams
+    /// Frame traffic across every connection, headers included.
+    std::size_t framesIn = 0;
+    std::size_t bytesIn = 0;
+    std::size_t framesOut = 0;
+    std::size_t bytesOut = 0;
   };
 
   explicit PlanServiceHost(ServiceHostConfig config);
@@ -133,6 +141,10 @@ class RemotePlanClient {
     std::size_t submitted = 0;  ///< submit() calls accepted
     std::size_t served = 0;     ///< futures fulfilled with a plan
     std::size_t failed = 0;     ///< futures failed (error frame/transport)
+    /// Wire bytes this client moved (frame headers included) — the
+    /// per-peer ledger PlanRouter folds into its per-host stats.
+    std::size_t bytesSent = 0;
+    std::size_t bytesReceived = 0;
   };
 
   /// Connects to host:port (an IPv4 literal, e.g. "127.0.0.1"). Throws
@@ -173,6 +185,7 @@ class RemotePlanClient {
   std::vector<Pending> queue_;
   bool stopping_ = false;
   Stats stats_{};
+  frameio::IoCounters io_;  ///< wire bytes (sender thread writes, stats() reads)
   std::thread sender_;
 };
 

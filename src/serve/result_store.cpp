@@ -28,7 +28,7 @@ ResultStoreHost::~ResultStoreHost() { stop(); }
 void ResultStoreHost::serveConnection(int fd) {
   for (;;) {
     Frame frame;
-    const ReadStatus status = readFrame(fd, frame);
+    const ReadStatus status = readFrame(fd, frame, &ioCounters());
     if (status == ReadStatus::Eof) break;
     if (status == ReadStatus::Bad) {
       const std::lock_guard<std::mutex> lock(mu_);
@@ -46,13 +46,15 @@ void ResultStoreHost::serveConnection(int fd) {
 
     // The length prefix kept the stream in sync: payload problems are
     // answered with an error frame and the connection stays serviceable.
+    // Replies speak the dialect the request arrived in (binary block vs
+    // frozen text), so text-speaking peers keep working unchanged.
     std::string error;
     try {
-      std::istringstream payload(frame.payload);
-      std::ostringstream encoded;
+      const bool binary = binio::isBinary(frame.payload);
+      std::string encoded;
       switch (frame.type) {
         case FrameType::StoreGet: {
-          const StoreGet get = readStoreGet(payload);
+          const StoreGet get = decodeStoreGet(frame.payload);
           // wantPlan = false is a bound-only probe (the asker re-solves by
           // policy): skip the result lookup so no plan is serialized just
           // to be discarded on the far side.
@@ -64,7 +66,13 @@ void ResultStoreHost::serveConnection(int fd) {
           const double bound =
               bounds_.lookup(get.key).value_or(
                   std::numeric_limits<double>::infinity());
-          writeStoreReply(encoded, entry.get(), bound);
+          if (binary) {
+            encoded = encodeStoreReply(entry.get(), bound);
+          } else {
+            std::ostringstream os;
+            writeStoreReply(os, entry.get(), bound);
+            encoded = os.str();
+          }
           {
             const std::lock_guard<std::mutex> lock(mu_);
             ++stats_.gets;
@@ -74,12 +82,18 @@ void ResultStoreHost::serveConnection(int fd) {
           break;
         }
         case FrameType::StorePut: {
-          StorePut put = readStorePut(payload);
+          StorePut put = decodeStorePut(frame.payload);
           (void)results_.insert(put.key, put.plan);
           bounds_.publish(put.key, put.plan.value);
           // The ack echoes the published value — frame sync for the
           // pipelined putter, no extra board lookup.
-          writeStoreReply(encoded, nullptr, put.plan.value);
+          if (binary) {
+            encoded = encodeStoreReply(nullptr, put.plan.value);
+          } else {
+            std::ostringstream os;
+            writeStoreReply(os, nullptr, put.plan.value);
+            encoded = os.str();
+          }
           const std::lock_guard<std::mutex> lock(mu_);
           ++stats_.puts;
           break;
@@ -97,13 +111,26 @@ void ResultStoreHost::serveConnection(int fd) {
             wire.boundHits = stats_.boundHits;
             wire.puts = stats_.puts;
           }
-          writeStoreStats(encoded, wire);
+          const frameio::IoTotals io = ioTotals();
+          wire.framesIn = io.framesIn;
+          wire.bytesIn = io.bytesIn;
+          wire.framesOut = io.framesOut;
+          wire.bytesOut = io.bytesOut;
+          if (binary) {
+            encoded = encodeStoreStats(wire);
+          } else {
+            // The frozen text snapshot predates the IO counters; text
+            // askers get the original 7.
+            std::ostringstream os;
+            writeStoreStats(os, wire);
+            encoded = os.str();
+          }
           break;
         }
         default:
           throw std::runtime_error("expected a store frame (GET/PUT/STATS)");
       }
-      if (!sendFrame(fd, FrameType::Result, encoded.str())) break;
+      if (!sendFrame(fd, FrameType::Result, encoded, &ioCounters())) break;
       continue;
     } catch (const std::exception& e) {
       error = e.what();
@@ -112,7 +139,7 @@ void ResultStoreHost::serveConnection(int fd) {
       const std::lock_guard<std::mutex> lock(mu_);
       ++stats_.errors;
     }
-    if (!sendFrame(fd, FrameType::Error, error)) break;
+    if (!sendFrame(fd, FrameType::Error, error, &ioCounters())) break;
   }
   // The shared SocketService owns the fd from here: it is shut down,
   // erased and closed by the base's connection wrapper.
@@ -125,6 +152,11 @@ ResultStoreHost::Stats ResultStoreHost::stats() const {
     snapshot = stats_;
   }
   snapshot.connections = acceptedConnections();
+  const frameio::IoTotals io = ioTotals();
+  snapshot.framesIn = io.framesIn;
+  snapshot.bytesIn = io.bytesIn;
+  snapshot.framesOut = io.framesOut;
+  snapshot.bytesOut = io.bytesOut;
   return snapshot;
 }
 
@@ -165,12 +197,14 @@ bool RemoteResultStore::roundTrip(FrameType type, const std::string& payload,
     fd_ = -1;
     return false;
   }
+  stats_.bytesSent += frame.size();
   Frame back;
   if (readFrame(fd_, back) != ReadStatus::Ok) {
     closeFd(fd_);
     fd_ = -1;
     return false;
   }
+  stats_.bytesReceived += frameio::kFrameHeaderSize + back.payload.size();
   if (back.type == FrameType::Error) {
     errorFrame = true;
     error = std::move(back.payload);
@@ -210,14 +244,15 @@ std::vector<RemoteResultStore::Lookup> RemoteResultStore::getMany(
   bool dead = false;
   while (received < keys.size() && !dead) {
     while (sent < keys.size() && sent - received < kPipelineWindow) {
-      std::ostringstream encoded;
-      writeStoreGet(encoded, keys[sent], wantPlans);
-      const std::string frame = encodeFrame(FrameType::StoreGet,
-                                            encoded.str());
+      const std::string frame = encodeFrame(
+          FrameType::StoreGet, encodeStoreGet(keys[sent], wantPlans));
       if (!frameio::sendAll(fd_, frame.data(), frame.size())) {
         dead = true;
         break;
       }
+      // One frame per key each way: the wire cost attributes exactly.
+      lookups[sent].bytesSent = frame.size();
+      stats_.bytesSent += frame.size();
       ++sent;
     }
     if (dead || received >= sent) break;
@@ -226,6 +261,10 @@ std::vector<RemoteResultStore::Lookup> RemoteResultStore::getMany(
       dead = true;
       break;
     }
+    const std::size_t replyBytes =
+        frameio::kFrameHeaderSize + back.payload.size();
+    lookups[received].bytesReceived = replyBytes;
+    stats_.bytesReceived += replyBytes;
     if (back.type == FrameType::Error) {
       // A per-key payload error: the length prefix kept the stream in
       // sync, so only this key degrades.
@@ -238,8 +277,7 @@ std::vector<RemoteResultStore::Lookup> RemoteResultStore::getMany(
       break;
     }
     try {
-      std::istringstream is(back.payload);
-      StoreReply decoded = readStoreReply(is);
+      StoreReply decoded = decodeStoreReply(back.payload);
       lookups[received].bound = decoded.bound;
       if (decoded.found) {
         lookups[received].plan =
@@ -250,7 +288,10 @@ std::vector<RemoteResultStore::Lookup> RemoteResultStore::getMany(
     } catch (const std::exception&) {
       // An undecodable reply from a well-framed stream: the peer is not
       // speaking our codec — degrade.
+      const std::size_t sentBytes = lookups[received].bytesSent;
       lookups[received] = Lookup{};
+      lookups[received].bytesSent = sentBytes;
+      lookups[received].bytesReceived = replyBytes;
       dead = true;
     }
   }
@@ -267,9 +308,12 @@ void RemoteResultStore::put(const std::string& key,
   putMany({key}, {&plan});
 }
 
-void RemoteResultStore::putMany(
-    const std::vector<std::string>& keys,
-    const std::vector<const OptimizedPlan*>& plans) {
+void RemoteResultStore::putMany(const std::vector<std::string>& keys,
+                                const std::vector<const OptimizedPlan*>& plans,
+                                std::vector<OpBytes>* perKey) {
+  if (perKey != nullptr) {
+    perKey->assign(keys.size(), OpBytes{});
+  }
   if (keys.empty() || keys.size() != plans.size()) return;
 
   const std::lock_guard<std::mutex> lock(mu_);
@@ -285,14 +329,14 @@ void RemoteResultStore::putMany(
   bool dead = false;
   while (acked < keys.size() && !dead) {
     while (sent < keys.size() && sent - acked < kPipelineWindow) {
-      std::ostringstream encoded;
-      writeStorePut(encoded, keys[sent], *plans[sent]);
-      const std::string frame = encodeFrame(FrameType::StorePut,
-                                            encoded.str());
+      const std::string frame = encodeFrame(
+          FrameType::StorePut, encodeStorePut(keys[sent], *plans[sent]));
       if (!frameio::sendAll(fd_, frame.data(), frame.size())) {
         dead = true;
         break;
       }
+      if (perKey != nullptr) (*perKey)[sent].sent = frame.size();
+      stats_.bytesSent += frame.size();
       ++sent;
     }
     if (dead || acked >= sent) break;
@@ -301,6 +345,10 @@ void RemoteResultStore::putMany(
       dead = true;
       break;
     }
+    const std::size_t replyBytes =
+        frameio::kFrameHeaderSize + back.payload.size();
+    if (perKey != nullptr) (*perKey)[acked].received = replyBytes;
+    stats_.bytesReceived += replyBytes;
     if (back.type == FrameType::Error) {
       ++stats_.failures;  // this key's publish was refused; stream lives
       ++acked;
@@ -325,9 +373,12 @@ StoreStatsWire RemoteResultStore::remoteStats() {
   std::string reply;
   std::string error;
   bool errorFrame = false;
-  // STATS is a bare verb: the frame type says it all, the payload is empty.
-  if (!roundTrip(FrameType::StoreStats, std::string(), reply, error,
-                 errorFrame)) {
+  // The STATS payload is one binary magic byte: hosts ignore the payload
+  // and use it only to pick the reply dialect (old hosts reply text, which
+  // decodeStoreStats accepts with the IO counters zeroed).
+  if (!roundTrip(FrameType::StoreStats,
+                 std::string(1, static_cast<char>(binio::kMagicByte)), reply,
+                 error, errorFrame)) {
     ++stats_.failures;
     throw RemotePlanError("RemoteResultStore: store unreachable",
                           /*transport=*/true);
@@ -336,8 +387,7 @@ StoreStatsWire RemoteResultStore::remoteStats() {
     ++stats_.failures;
     throw RemotePlanError("remote: " + error);
   }
-  std::istringstream is(reply);
-  return readStoreStats(is);
+  return decodeStoreStats(reply);
 }
 
 bool RemoteResultStore::reconnect() {

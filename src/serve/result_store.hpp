@@ -69,6 +69,12 @@ class ResultStoreHost : public frameio::SocketService {
     std::size_t boundHits = 0;    ///< GETs answered with a finite bound
     std::size_t puts = 0;         ///< PUT frames applied
     std::size_t errors = 0;       ///< error frames sent + dropped streams
+    /// Frame traffic across every connection, headers included (the STATS
+    /// verb reports the same four counters to remote askers).
+    std::size_t framesIn = 0;
+    std::size_t bytesIn = 0;
+    std::size_t framesOut = 0;
+    std::size_t bytesOut = 0;
   };
 
   explicit ResultStoreHost(ResultStoreConfig config = {});
@@ -108,13 +114,28 @@ class RemoteResultStore {
     std::size_t hits = 0;      ///< gets that returned a stored winner
     std::size_t puts = 0;      ///< put() calls delivered
     std::size_t failures = 0;  ///< ops degraded by transport failures
+    /// Cumulative wire bytes this client moved (frame headers included),
+    /// every verb combined — the per-peer ledger the engine's E12 bench
+    /// reads.
+    std::size_t bytesSent = 0;
+    std::size_t bytesReceived = 0;
   };
 
   /// The result of one GET: the stored winner (nullptr = miss) and the
-  /// fleet's incumbent bound for the key (+inf = none).
+  /// fleet's incumbent bound for the key (+inf = none), plus what that
+  /// lookup cost on the wire (its GET frame out, its reply frame in,
+  /// headers included) so callers can attribute store traffic per key.
   struct Lookup {
     std::shared_ptr<const OptimizedPlan> plan;
     double bound = std::numeric_limits<double>::infinity();
+    std::size_t bytesSent = 0;
+    std::size_t bytesReceived = 0;
+  };
+
+  /// Per-key wire cost of one putMany entry (frame headers included).
+  struct OpBytes {
+    std::size_t sent = 0;
+    std::size_t received = 0;
   };
 
   /// `ioTimeoutMs` bounds every socket op (connect, send, recv): a store
@@ -150,9 +171,12 @@ class RemoteResultStore {
   /// Publishes a batch of winners (index-aligned keys/plans; plans are
   /// borrowed for the call) in one pipelined pass, mirroring getMany — a
   /// cold batch's publishes pay ~1 round trip, not keys.size() of them.
-  /// Same degradation contract as put().
+  /// Same degradation contract as put(). `perKey`, when non-null, is
+  /// resized to keys.size() and filled with each key's wire cost (zeros
+  /// for keys degraded away).
   void putMany(const std::vector<std::string>& keys,
-               const std::vector<const OptimizedPlan*>& plans);
+               const std::vector<const OptimizedPlan*>& plans,
+               std::vector<OpBytes>* perKey = nullptr);
 
   /// The store's own counters. Throws RemotePlanError when the store
   /// cannot be reached — unlike get/put this is an observability call, so

@@ -33,6 +33,8 @@ void accumulate(EngineStats& into, const EngineStats& s) {
   // High water is a max, not a sum: shards don't share arenas.
   into.arenaBytesHighWater =
       std::max(into.arenaBytesHighWater, s.arenaBytesHighWater);
+  into.storeBytesSent += s.storeBytesSent;
+  into.storeBytesReceived += s.storeBytesReceived;
 }
 
 }  // namespace

@@ -342,16 +342,23 @@ TEST(Serialization, CacheHeadersRejectWrongMagicAndVersion) {
   (void)engine.optimize(tinyKeyedApp(1.0), CommModel::Overlap,
                         Objective::Period, fastOptions());
 
-  // Score cache: the dump opens with the magic and the current version.
+  // Score cache: the dump opens with the binary block header (magic byte,
+  // kind, current version) — the v3 artifact format.
   std::stringstream score;
   engine.saveCache(score);
-  std::string magic;
-  int version = 0;
-  score >> magic >> version;
-  EXPECT_EQ(magic, kScoreCacheMagic);
-  EXPECT_EQ(version, kScoreCacheVersion);
+  const std::string scoreDump = score.str();
+  ASSERT_GE(scoreDump.size(), 3u);
+  EXPECT_EQ(static_cast<unsigned char>(scoreDump[0]), binio::kMagicByte);
+  EXPECT_EQ(scoreDump[1], kBinScoreCacheKind);
+  EXPECT_EQ(static_cast<unsigned char>(scoreDump[2]), kBinScoreCacheVersion);
 
   PlanEngine sink;
+  // A tampered binary version is rejected, not misparsed.
+  std::string tamperedScore = scoreDump;
+  tamperedScore[2] = 99;
+  std::stringstream badBinScore(tamperedScore);
+  EXPECT_THROW(sink.loadCache(badBinScore), std::runtime_error);
+  // The frozen text formats keep their rejection contract on load.
   std::stringstream wrongVersion("fswscorecache 999\ncandidatecache 0\n");
   EXPECT_THROW(sink.loadCache(wrongVersion), std::runtime_error);
   // A headerless PR 2 dump fails the magic check instead of misparsing.
@@ -361,10 +368,16 @@ TEST(Serialization, CacheHeadersRejectWrongMagicAndVersion) {
   // Result cache: same contract.
   std::stringstream results;
   engine.saveResults(results);
-  results >> magic >> version;
-  EXPECT_EQ(magic, kResultCacheMagic);
-  EXPECT_EQ(version, kResultCacheVersion);
+  const std::string resultDump = results.str();
+  ASSERT_GE(resultDump.size(), 3u);
+  EXPECT_EQ(static_cast<unsigned char>(resultDump[0]), binio::kMagicByte);
+  EXPECT_EQ(resultDump[1], kBinResultCacheKind);
+  EXPECT_EQ(static_cast<unsigned char>(resultDump[2]), kBinResultCacheVersion);
 
+  std::string tamperedResults = resultDump;
+  tamperedResults[2] = 99;
+  std::stringstream badBinResults(tamperedResults);
+  EXPECT_THROW(sink.loadResults(badBinResults), std::runtime_error);
   std::stringstream badResults("fswresultcache 999\nresults 0\n");
   EXPECT_THROW(sink.loadResults(badResults), std::runtime_error);
   std::stringstream badMagic("bogus 1\nresults 0\n");

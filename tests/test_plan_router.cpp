@@ -252,5 +252,37 @@ TEST(PlanRouter, CloseFailsQueuedWorkAndRejectsNewSubmits) {
   EXPECT_TRUE(threw);
 }
 
+TEST(PlanRouter, PerHostByteLedgersMatchTheHostsOwnCounters) {
+  const auto reqs = smallWorkload();
+  Fleet fleet(2);
+  PlanRouter router{fleet.router};
+  for (const auto& req : reqs) (void)router.optimize(req);
+
+  const auto stats = router.stats();
+  ASSERT_EQ(stats.perHost.size(), 2u);
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  for (const auto& hs : stats.perHost) {
+    sent += hs.bytesSent;
+    received += hs.bytesReceived;
+  }
+  EXPECT_GT(sent, 0u);
+  EXPECT_GT(received, 0u);
+
+  // Every byte the router sent arrived at some host, and vice versa —
+  // and per slot, the router's ledger is the host's mirror image.
+  std::size_t hostIn = 0;
+  std::size_t hostOut = 0;
+  for (std::size_t s = 0; s < fleet.hosts.size(); ++s) {
+    const auto hs = fleet.hosts[s]->stats();
+    hostIn += hs.bytesIn;
+    hostOut += hs.bytesOut;
+    EXPECT_EQ(stats.perHost[s].bytesSent, hs.bytesIn) << "slot " << s;
+    EXPECT_EQ(stats.perHost[s].bytesReceived, hs.bytesOut) << "slot " << s;
+  }
+  EXPECT_EQ(sent, hostIn);
+  EXPECT_EQ(received, hostOut);
+}
+
 }  // namespace
 }  // namespace fsw

@@ -450,5 +450,23 @@ TEST(PlanService, HostStopUnblocksClients) {
   EXPECT_THROW((void)future.get(), RemotePlanError);
 }
 
+TEST(PlanService, ByteCountersTrackRequestTraffic) {
+  PlanServiceHost host{ServiceHostConfig{}};
+  RemotePlanClient client("127.0.0.1", host.port());
+  const PlanRequest req = smallWorkload().front();
+  (void)client.optimize(req);
+
+  // Both ends kept a ledger, and they agree byte for byte: one request
+  // frame in, one result frame out, headers included.
+  const auto cs = client.stats();
+  EXPECT_GT(cs.bytesSent, 0u);
+  EXPECT_GT(cs.bytesReceived, 0u);
+  const auto hs = host.stats();
+  EXPECT_EQ(hs.framesIn, 1u);
+  EXPECT_EQ(hs.framesOut, 1u);
+  EXPECT_EQ(hs.bytesIn, cs.bytesSent);
+  EXPECT_EQ(hs.bytesOut, cs.bytesReceived);
+}
+
 }  // namespace
 }  // namespace fsw

@@ -328,5 +328,52 @@ TEST(ResultStore, PayloadErrorsKeepTheConnectionFrameErrorsDropIt) {
   ::close(fd2);
 }
 
+TEST(ResultStore, ByteLedgersAgreeAcrossTheStack) {
+  ResultStoreHost storeHost{ResultStoreConfig{}};
+  const PlanRequest req = smallRequest();
+
+  // Engine A's cold solve probes the store (a miss) and publishes its
+  // winner: both legs carry bytes, stamped on the solve's own stats.
+  RemoteResultStore storeA("127.0.0.1", storeHost.port());
+  EngineConfig cfgA;
+  cfgA.resultStore = &storeA;
+  PlanEngine engineA{cfgA};
+  const OptimizedPlan first = engineA.optimize(req);
+  EXPECT_GT(first.stats.storeBytesSent, 0u);
+  EXPECT_GT(first.stats.storeBytesReceived, 0u);
+
+  // The per-request stamps ARE the client's whole ledger so far (one GET,
+  // one PUT, nothing else has crossed this socket).
+  const auto csA = storeA.stats();
+  EXPECT_EQ(csA.bytesSent, first.stats.storeBytesSent);
+  EXPECT_EQ(csA.bytesReceived, first.stats.storeBytesReceived);
+
+  // A cold engine B is served wholesale: its hit pays a small GET frame
+  // out and a winner-carrying reply in (so received dwarfs sent).
+  RemoteResultStore storeB("127.0.0.1", storeHost.port());
+  EngineConfig cfgB;
+  cfgB.resultStore = &storeB;
+  PlanEngine engineB{cfgB};
+  const OptimizedPlan repeat = engineB.optimize(req);
+  EXPECT_EQ(repeat.stats.resultCacheHits, 1u);
+  EXPECT_GT(repeat.stats.storeBytesSent, 0u);
+  EXPECT_GT(repeat.stats.storeBytesReceived, repeat.stats.storeBytesSent);
+
+  // The host's ledger mirrors both clients' combined traffic exactly.
+  const auto csB = storeB.stats();
+  const auto hs = storeHost.stats();
+  EXPECT_EQ(hs.bytesIn, csA.bytesSent + csB.bytesSent);
+  EXPECT_EQ(hs.bytesOut, csA.bytesReceived + csB.bytesReceived);
+  EXPECT_GT(hs.framesIn, 0u);
+  EXPECT_EQ(hs.framesIn, hs.framesOut);  // every verb is answered
+
+  // The STATS verb reports the same four counters remotely; its own
+  // request frame is part of the traffic it measures, so >= host snapshot.
+  const StoreStatsWire wire = storeA.remoteStats();
+  EXPECT_GT(wire.bytesIn, hs.bytesIn);
+  EXPECT_GE(wire.bytesOut, hs.bytesOut);
+  EXPECT_GT(wire.framesIn, 0u);
+}
+
 }  // namespace
 }  // namespace fsw

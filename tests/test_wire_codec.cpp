@@ -11,8 +11,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/io/binio.hpp"
 #include "src/io/serialize.hpp"
 #include "src/serve/plan_engine.hpp"
+#include "src/serve/result_cache.hpp"
 #include "src/workload/generator.hpp"
 
 namespace fsw {
@@ -267,6 +269,366 @@ TEST(WireCodec, PlanRejectionsAreCleanErrors) {
     EXPECT_THROW((void)readOptimizedPlan(is), std::runtime_error)
         << "cut at " << cut;
   }
+}
+
+// ---- binary dialect (wire codec v3) ----------------------------------------
+
+TEST(BinaryWire, RequestRoundTripIsByteExactAndKeyPreserving) {
+  const PlanRequest req = sampleRequest();
+  const std::string bin = encodePlanRequest(req, 7);
+  ASSERT_FALSE(bin.empty());
+  EXPECT_EQ(static_cast<unsigned char>(bin[0]), binio::kMagicByte);
+
+  const WirePlanRequest wire = decodePlanRequest(bin);
+  EXPECT_EQ(wire.priority, 7);
+  EXPECT_EQ(wire.portfolio, "-");
+  EXPECT_EQ(wire.request.model, CommModel::InOrder);
+  EXPECT_EQ(wire.request.objective, Objective::Latency);
+  EXPECT_EQ(PlanEngine::requestKey(wire.request), PlanEngine::requestKey(req));
+  // decode(encode(x)) re-encodes to the identical byte string (canonical
+  // varints make the encoding unique).
+  EXPECT_EQ(encodePlanRequest(wire.request, wire.priority), bin);
+  // And the binary payload undercuts the text encoding.
+  EXPECT_LT(bin.size(), encodeRequest(req, 7).size());
+}
+
+TEST(BinaryWire, DecodeSniffsAndAcceptsTextDialect) {
+  const PlanRequest req = sampleRequest();
+  const WirePlanRequest wire = decodePlanRequest(encodeRequest(req, 3));
+  EXPECT_EQ(wire.priority, 3);
+  EXPECT_EQ(PlanEngine::requestKey(wire.request), PlanEngine::requestKey(req));
+
+  OptimizedPlan plan;
+  plan.strategy = "greedy-forest";
+  plan.value = 4.5;
+  std::ostringstream os;
+  writeOptimizedPlan(os, plan);
+  const OptimizedPlan back = decodeOptimizedPlan(os.str());
+  EXPECT_EQ(back.value, 4.5);
+  EXPECT_EQ(back.strategy, "greedy-forest");
+}
+
+TEST(BinaryWire, NamedPortfolioTravelsUnnamedIsRejected) {
+  CandidateRegistry named = CandidateRegistry::makeBuiltin();
+  named.setName("prod-portfolio");
+  PlanRequest req;
+  req.app = sampleApp();
+  req.options.registry = &named;
+
+  const WirePlanRequest wire = decodePlanRequest(encodePlanRequest(req, 1));
+  EXPECT_EQ(wire.portfolio, "prod-portfolio");
+  EXPECT_EQ(wire.request.options.registry, nullptr);
+
+  const CandidateRegistry anon;
+  req.options.registry = &anon;
+  EXPECT_THROW((void)encodePlanRequest(req), std::invalid_argument);
+}
+
+TEST(BinaryWire, PlanRoundTripPreservesWinnerAndStatsAndShrinks) {
+  PlanEngine engine{EngineConfig{.threads = 1}};
+  PlanRequest req;
+  req.app = sampleApp();
+  OptimizedPlan plan = engine.optimize(req);
+  ASSERT_TRUE(std::isfinite(plan.value));
+  // Pin the v3-only counters so their wire positions are covered.
+  plan.stats.evalProbes = 12345;
+  plan.stats.storeBytesSent = 4242;
+  plan.stats.storeBytesReceived = 777777;
+
+  const std::string bin = encodeOptimizedPlan(plan);
+  ASSERT_TRUE(binio::isBinary(bin));
+  const OptimizedPlan back = decodeOptimizedPlan(bin);
+
+  EXPECT_EQ(back.value, plan.value);
+  EXPECT_EQ(back.surrogate, plan.surrogate);
+  EXPECT_EQ(back.strategy, plan.strategy);
+  EXPECT_EQ(graphSignature(back.plan.graph), graphSignature(plan.plan.graph));
+  EXPECT_EQ(toString(back.plan.ol), toString(plan.plan.ol));
+  EXPECT_EQ(back.stats.sourcesRun, plan.stats.sourcesRun);
+  EXPECT_EQ(back.stats.generated, plan.stats.generated);
+  EXPECT_EQ(back.stats.unique, plan.stats.unique);
+  EXPECT_EQ(back.stats.orchestrated, plan.stats.orchestrated);
+  EXPECT_EQ(back.stats.evalProbes, 12345u);
+  EXPECT_EQ(back.stats.storeBytesSent, 4242u);
+  EXPECT_EQ(back.stats.storeBytesReceived, 777777u);
+
+  // Byte-exact re-encode, and a real size win over the text dialect.
+  EXPECT_EQ(encodeOptimizedPlan(back), bin);
+  std::ostringstream text;
+  writeOptimizedPlan(text, plan);
+  EXPECT_LT(bin.size(), text.str().size());
+}
+
+TEST(BinaryWire, DegenerateAndReservedStrategiesRoundTripInBinary) {
+  OptimizedPlan plan;
+  plan.value = std::numeric_limits<double>::infinity();
+  plan.surrogate = std::numeric_limits<double>::infinity();
+  const OptimizedPlan back = decodeOptimizedPlan(encodeOptimizedPlan(plan));
+  EXPECT_TRUE(std::isinf(back.value));
+  EXPECT_TRUE(back.strategy.empty());
+
+  // Length-prefixed strings have no reserved tokens: the "-" the text
+  // dialect must reject round-trips fine in binary.
+  OptimizedPlan reserved;
+  reserved.strategy = "-";
+  const OptimizedPlan rback =
+      decodeOptimizedPlan(encodeOptimizedPlan(reserved));
+  EXPECT_EQ(rback.strategy, "-");
+}
+
+TEST(BinaryWire, BinaryRejectionsAreCleanErrors) {
+  const std::string req = encodePlanRequest(sampleRequest(), 2);
+  // Truncation anywhere is a clean error (cut 0 = empty payload, which
+  // sniffs as text and fails the text reader).
+  for (std::size_t cut = 0; cut < req.size(); cut += 3) {
+    EXPECT_THROW((void)decodePlanRequest(req.substr(0, cut)),
+                 std::runtime_error)
+        << "cut at " << cut;
+  }
+  // Tampered kind and version bytes, and trailing garbage.
+  std::string badKind = req;
+  badKind[1] = 'Z';
+  EXPECT_THROW((void)decodePlanRequest(badKind), std::runtime_error);
+  std::string badVersion = req;
+  badVersion[2] = 99;
+  EXPECT_THROW((void)decodePlanRequest(badVersion), std::runtime_error);
+  EXPECT_THROW((void)decodePlanRequest(req + "x"), std::runtime_error);
+
+  OptimizedPlan plan;
+  plan.strategy = "greedy-forest";
+  const std::string resp = encodeOptimizedPlan(plan);
+  for (std::size_t cut = 1; cut < resp.size(); ++cut) {
+    EXPECT_THROW((void)decodeOptimizedPlan(resp.substr(0, cut)),
+                 std::runtime_error)
+        << "cut at " << cut;
+  }
+  EXPECT_THROW((void)decodeOptimizedPlan(resp + "x"), std::runtime_error);
+}
+
+TEST(BinaryWire, StoreVerbsRoundTripBothDialects) {
+  // GET, both dialects.
+  const StoreGet g = decodeStoreGet(encodeStoreGet("some#key", false));
+  EXPECT_EQ(g.key, "some#key");
+  EXPECT_FALSE(g.wantPlan);
+  std::ostringstream textGet;
+  writeStoreGet(textGet, "k2", true);
+  const StoreGet tg = decodeStoreGet(textGet.str());
+  EXPECT_EQ(tg.key, "k2");
+  EXPECT_TRUE(tg.wantPlan);
+
+  // PUT and replies carry a real winner byte-exactly.
+  PlanEngine engine{EngineConfig{.threads = 1}};
+  PlanRequest req;
+  req.app = sampleApp();
+  const OptimizedPlan plan = engine.optimize(req);
+  const StorePut p = decodeStorePut(encodeStorePut("key", plan));
+  EXPECT_EQ(p.key, "key");
+  EXPECT_EQ(p.plan.value, plan.value);
+  EXPECT_EQ(graphSignature(p.plan.plan.graph),
+            graphSignature(plan.plan.graph));
+  EXPECT_EQ(toString(p.plan.plan.ol), toString(plan.plan.ol));
+
+  const StoreReply hit = decodeStoreReply(encodeStoreReply(&plan, 3.25));
+  EXPECT_TRUE(hit.found);
+  EXPECT_EQ(hit.bound, 3.25);
+  EXPECT_EQ(hit.plan.value, plan.value);
+  const StoreReply miss = decodeStoreReply(
+      encodeStoreReply(nullptr, std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(miss.found);
+  EXPECT_TRUE(std::isinf(miss.bound));
+
+  // STATS: the binary dialect carries the io counters, text zeroes them.
+  StoreStatsWire s;
+  s.entries = 1;
+  s.gets = 2;
+  s.hits = 3;
+  s.boundHits = 4;
+  s.puts = 5;
+  s.evictions = 6;
+  s.bounds = 7;
+  s.framesIn = 10;
+  s.bytesIn = 1000;
+  s.framesOut = 11;
+  s.bytesOut = 1100;
+  const StoreStatsWire back = decodeStoreStats(encodeStoreStats(s));
+  EXPECT_EQ(back.entries, 1u);
+  EXPECT_EQ(back.gets, 2u);
+  EXPECT_EQ(back.hits, 3u);
+  EXPECT_EQ(back.boundHits, 4u);
+  EXPECT_EQ(back.puts, 5u);
+  EXPECT_EQ(back.evictions, 6u);
+  EXPECT_EQ(back.bounds, 7u);
+  EXPECT_EQ(back.framesIn, 10u);
+  EXPECT_EQ(back.bytesIn, 1000u);
+  EXPECT_EQ(back.framesOut, 11u);
+  EXPECT_EQ(back.bytesOut, 1100u);
+  std::ostringstream textStats;
+  writeStoreStats(textStats, s);
+  const StoreStatsWire tb = decodeStoreStats(textStats.str());
+  EXPECT_EQ(tb.gets, 2u);
+  EXPECT_EQ(tb.framesIn, 0u);
+  EXPECT_EQ(tb.bytesOut, 0u);
+}
+
+TEST(BinaryWire, StoreVerbRejectionsAreCleanErrors) {
+  // The wantPlan flag is the last body byte: any value above 1 is
+  // malformed, never silently truthy.
+  std::string badFlag = encodeStoreGet("k", true);
+  badFlag.back() = 2;
+  EXPECT_THROW((void)decodeStoreGet(badFlag), std::runtime_error);
+
+  const std::string reply =
+      encodeStoreReply(nullptr, std::numeric_limits<double>::infinity());
+  for (std::size_t cut = 1; cut < reply.size(); ++cut) {
+    EXPECT_THROW((void)decodeStoreReply(reply.substr(0, cut)),
+                 std::runtime_error)
+        << "cut at " << cut;
+  }
+  OptimizedPlan plan;
+  plan.strategy = "s";
+  const std::string put = encodeStorePut("key", plan);
+  for (std::size_t cut = 1; cut < put.size(); cut += 2) {
+    EXPECT_THROW((void)decodeStorePut(put.substr(0, cut)),
+                 std::runtime_error)
+        << "cut at " << cut;
+  }
+}
+
+// ---- cache artifacts (binary v3 writers, frozen text readers) --------------
+
+TEST(CacheArtifacts, ScoreCacheBinaryRoundTripAndTextMigration) {
+  CandidateCache cache(0);
+  cache.insert("app#sig#a", 1.5);
+  cache.insert("app#sig#b", 1.0 / 3.0);
+  cache.insert("zzz", -0.0);
+
+  std::stringstream bin;
+  writeCandidateCache(bin, cache);
+  EXPECT_TRUE(binio::isBinary(bin.str()));
+  CandidateCache binBack(0);
+  readCandidateCache(bin, binBack);
+  // Loading preserves LRU order, so an immediate re-save is byte-identical.
+  std::stringstream bin2;
+  writeCandidateCache(bin2, binBack);
+  EXPECT_EQ(bin.str(), bin2.str());
+  EXPECT_EQ(binBack.size(), 3u);
+  EXPECT_EQ(*binBack.lookup("app#sig#b"), 1.0 / 3.0);
+
+  // The frozen v2 text artifact still loads (migration path).
+  std::stringstream text;
+  writeCandidateCacheText(text, cache);
+  CandidateCache textBack(0);
+  readCandidateCache(text, textBack);
+  EXPECT_EQ(textBack.size(), 3u);
+  EXPECT_EQ(*textBack.lookup("app#sig#a"), 1.5);
+
+  // And the binary artifact is smaller (shared-prefix keys front-code).
+  EXPECT_LT(bin2.str().size(), text.str().size());
+}
+
+TEST(CacheArtifacts, ResultCacheSkipsDegenerateEntriesInBothFormats) {
+  PlanEngine engine{EngineConfig{.threads = 1}};
+  PlanRequest req;
+  req.app = sampleApp();
+  const OptimizedPlan plan = engine.optimize(req);
+  ASSERT_TRUE(std::isfinite(plan.value));
+
+  ResultCache cache(0);
+  cache.insert("good", plan);
+  OptimizedPlan failed;  // a failed solve: +inf value, empty strategy
+  failed.value = std::numeric_limits<double>::infinity();
+  cache.insert("failed", failed);
+
+  // Binary writer: the degenerate entry never reaches the artifact.
+  std::stringstream bin;
+  writeResultCache(bin, cache);
+  ResultCache binBack(0);
+  readResultCache(bin, binBack);
+  EXPECT_EQ(binBack.size(), 1u);
+  EXPECT_EQ(binBack.lookup("failed"), nullptr);
+  const auto entry = binBack.lookup("good");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->value, plan.value);
+  EXPECT_EQ(entry->strategy, plan.strategy);
+  EXPECT_EQ(graphSignature(entry->plan.graph),
+            graphSignature(plan.plan.graph));
+  EXPECT_EQ(toString(entry->plan.ol), toString(plan.plan.ol));
+
+  // Text writer: the same shared filter applies, and the frozen v1 text
+  // artifact loads to the identical surviving winner.
+  std::stringstream text;
+  writeResultCacheText(text, cache);
+  ResultCache textBack(0);
+  readResultCache(text, textBack);
+  EXPECT_EQ(textBack.size(), 1u);
+  EXPECT_EQ(textBack.lookup("failed"), nullptr);
+  const auto textEntry = textBack.lookup("good");
+  ASSERT_NE(textEntry, nullptr);
+  EXPECT_EQ(textEntry->value, entry->value);
+  EXPECT_EQ(graphSignature(textEntry->plan.graph),
+            graphSignature(entry->plan.graph));
+  EXPECT_EQ(toString(textEntry->plan.ol), toString(entry->plan.ol));
+}
+
+TEST(CacheArtifacts, MalformedArtifactsNameEntryAndOffset) {
+  // Text score cache with a corrupt second entry: the error names which
+  // entry broke and roughly where.
+  std::stringstream badScore(std::string(kScoreCacheMagic) +
+                             " 2\ncandidatecache 2\nentry k 1.5\n"
+                             "entry j notanumber\n");
+  CandidateCache cache(0);
+  try {
+    readCandidateCache(badScore, cache);
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("entry 2 of 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte offset"), std::string::npos) << what;
+  }
+
+  // Binary result cache truncated inside the body: the block reader
+  // reports the truncation cleanly (never an over-read).
+  PlanEngine engine{EngineConfig{.threads = 1}};
+  PlanRequest req;
+  req.app = sampleApp();
+  ResultCache full(0);
+  full.insert("k", engine.optimize(req));
+  std::stringstream bin;
+  writeResultCache(bin, full);
+  const std::string blob = bin.str();
+  for (const std::size_t cut :
+       {blob.size() / 4, blob.size() / 2, blob.size() - 1}) {
+    std::stringstream truncated(blob.substr(0, cut));
+    ResultCache sink(0);
+    EXPECT_THROW(readResultCache(truncated, sink), std::runtime_error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(CacheArtifacts, InspectArtifactSummarizesBothDialects) {
+  CandidateCache cache(0);
+  cache.insert("a", 1.0);
+  cache.insert("b", 2.0);
+
+  std::stringstream bin;
+  writeCandidateCache(bin, cache);
+  const ArtifactInfo binInfo = inspectArtifact(bin);
+  EXPECT_EQ(binInfo.kind, "score-cache");
+  EXPECT_TRUE(binInfo.binary);
+  EXPECT_EQ(binInfo.version,
+            static_cast<std::uint64_t>(kBinScoreCacheVersion));
+  EXPECT_EQ(binInfo.entries, 2u);
+  EXPECT_EQ(binInfo.bytes, bin.str().size());
+
+  std::stringstream text;
+  writeCandidateCacheText(text, cache);
+  const ArtifactInfo textInfo = inspectArtifact(text);
+  EXPECT_EQ(textInfo.kind, "score-cache");
+  EXPECT_FALSE(textInfo.binary);
+  EXPECT_EQ(textInfo.entries, 2u);
+
+  std::stringstream junk("not an artifact");
+  EXPECT_THROW((void)inspectArtifact(junk), std::runtime_error);
 }
 
 TEST(WireCodec, ShardSetHeaderRoundTripsAndRejects) {

@@ -1,0 +1,84 @@
+// fsw_artifact — structural inspector for fsw cache artifacts.
+//
+//   fsw_artifact <file>...
+//
+// Walks every artifact unit in each file (a shard set is its header
+// followed by one payload unit per shard, so the walk just continues) and
+// prints one line per unit: format, dialect, version, declared entries and
+// encoded size. The per-file total makes text-vs-binary size comparisons a
+// one-liner:
+//
+//   $ fsw_artifact results.txt results.bin
+//   results.txt  result-cache  text    v1  19 entries  29990 B
+//   results.txt  total: 1 unit, 29990 bytes
+//   results.bin  result-cache  binary  v1  19 entries  6384 B
+//   results.bin  total: 1 unit, 6384 bytes
+//
+// A malformed unit stops the walk with the decoder's error (which names
+// the entry and byte offset) and the exit code turns nonzero — usable as a
+// cheap integrity check over a directory of warm-start dumps.
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "src/io/serialize.hpp"
+
+namespace {
+
+/// Inspects every unit in one stream; returns false on a malformed unit.
+bool inspectFile(const std::string& path, std::istream& is) {
+  std::size_t units = 0;
+  std::uint64_t totalBytes = 0;
+  for (;;) {
+    is >> std::ws;
+    if (is.peek() == std::char_traits<char>::eof()) break;
+    fsw::ArtifactInfo info;
+    try {
+      info = fsw::inspectArtifact(is);
+    } catch (const std::exception& e) {
+      std::cerr << path << ": unit " << (units + 1) << ": " << e.what()
+                << "\n";
+      return false;
+    }
+    ++units;
+    totalBytes += info.bytes;
+    std::cout << path << "  " << std::left << std::setw(12) << info.kind
+              << "  " << std::setw(6) << (info.binary ? "binary" : "text")
+              << "  v" << info.version << "  " << info.entries
+              << (info.kind == "shard-set" ? " shards" : " entries");
+    if (!info.shardKind.empty()) std::cout << " of " << info.shardKind;
+    std::cout << "  " << info.bytes << " B\n";
+  }
+  if (units == 0) {
+    std::cerr << path << ": empty artifact\n";
+    return false;
+  }
+  std::cout << path << "  total: " << units
+            << (units == 1 ? " unit, " : " units, ") << totalBytes
+            << " bytes\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: fsw_artifact <file>...\n"
+              << "Prints the structure of fsw cache artifacts (score/result "
+              << "caches and shard sets, text or binary dialect).\n";
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+      std::cerr << path << ": cannot open\n";
+      ok = false;
+      continue;
+    }
+    ok = inspectFile(path, is) && ok;
+  }
+  return ok ? 0 : 1;
+}
