@@ -47,10 +47,32 @@
 // rows for the bench-trajectory baseline check
 // (bench/check_wire_sizes.py vs bench/baselines/BENCH_wire.json).
 //
+// E13 adds the transport scaling table: 16/64/256/1024 concurrent clients
+// hammering a warm ResultStoreHost with GET round trips, epoll reactor vs
+// the legacy thread-per-connection transport — throughput, p50/p95 op
+// latency, the host's transport thread count, and connections-per-thread.
+// The client side is one poll()-driven thread over raw nonblocking
+// sockets, so the sweep measures the host, not client scheduling. Each
+// point reports its best-of-3 trial by p95 (the minimum strips scheduler
+// noise; identity must hold in every trial). Its gate is threefold: every reply decodes to the bit-identical stored
+// winner at every client count on both transports, the reactor's thread
+// count stays fixed across the sweep (O(1) in connections), and at >= 256
+// clients the reactor carries >= 2x the connections-per-thread of the
+// legacy transport. `--transport_json <path>` dumps throughput and
+// latency rows for the bench-trajectory regression check
+// (bench/check_transport.py vs bench/baselines/BENCH_transport.json).
+//
 // Exits nonzero when any batched, async, sharded *or multi-host* winner
-// diverges from the serial reference, so CI gates on it (`--serial`
-// forces the engines fully serial; the identity checks still run).
+// diverges from the serial reference — or when an E13 transport gate
+// fails — so CI gates on it (`--serial` forces the engines fully serial;
+// the identity checks still run).
 #include <benchmark/benchmark.h>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
@@ -743,6 +765,324 @@ struct SizeRow {
          shrinkOk;
 }
 
+// ---- E13: transport scaling -----------------------------------------------
+
+/// Best-effort RLIMIT_NOFILE raise; returns the soft limit afterwards.
+/// The 1024-client row needs ~2x that many fds in one process (each
+/// loopback connection is a client fd here and a host fd there).
+std::size_t raiseFdLimit(rlim_t want) {
+  struct rlimit rl{};
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return 256;
+  if (rl.rlim_cur < want) {
+    struct rlimit bump = rl;
+    bump.rlim_cur = rl.rlim_max == RLIM_INFINITY
+                        ? want
+                        : (want < rl.rlim_max ? want : rl.rlim_max);
+    if (setrlimit(RLIMIT_NOFILE, &bump) == 0) rl = bump;
+  }
+  return rl.rlim_cur == RLIM_INFINITY ? (1u << 20)
+                                      : static_cast<std::size_t>(rl.rlim_cur);
+}
+
+/// One client's in-flight state in the poll() loop: a pending GET being
+/// written, a reply being assembled across partial reads, and the op
+/// clock for the latency columns.
+struct RawStoreClient {
+  int fd = -1;
+  std::size_t outPos = 0;
+  std::string in;
+  std::size_t opsDone = 0;
+  std::chrono::steady_clock::time_point opStart;
+  bool done = false;
+};
+
+/// Runs `clients` concurrent connections through `ops` GET round trips
+/// each against a fresh warm store on transport `mode`, multiplexed by
+/// one poll() loop. Fills the latency samples (one per op), the wall
+/// clock of the whole burst, and the host's transport thread count
+/// sampled at full load. False on any stall, dropped connection, frame
+/// corruption, or reply that is not the bit-identical stored winner.
+[[nodiscard]] bool runTransportRow(frameio::TransportMode mode,
+                                   std::size_t clients, std::size_t ops,
+                                   const OptimizedPlan& plan,
+                                   std::vector<double>& latencies,
+                                   double& totalMs,
+                                   std::size_t& hostThreads) {
+  ResultStoreConfig rc;
+  rc.transport.mode = mode;
+  ResultStoreHost store{rc};
+  const PlanRequest keyReq{sec23Example().app, CommModel::Overlap,
+                           Objective::Period, wireOptions()};
+  const std::string key = PlanEngine::requestKey(keyReq);
+  store.results().insert(key, plan);
+  const std::string getFrame =
+      encodeFrame(FrameType::StoreGet, encodeStoreGet(key));
+  const std::string signature = graphSignature(plan.plan.graph);
+
+  std::vector<RawStoreClient> conns(clients);
+  bool ok = true;
+  for (auto& c : conns) {
+    c.fd = frameio::connectTcp("127.0.0.1", store.port(), "E13", 10000);
+    const int flags = fcntl(c.fd, F_GETFL, 0);
+    ok = ok && flags >= 0 && fcntl(c.fd, F_SETFL, flags | O_NONBLOCK) == 0;
+  }
+  // The accept side is asynchronous: wait (bounded) until the host has
+  // accepted every connection so the thread-count sample sees full load —
+  // the legacy transport's count is 1 + live connections.
+  const auto acceptDeadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (store.stats().connections < clients &&
+         std::chrono::steady_clock::now() < acceptDeadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  hostThreads = store.stats().transportThreads;
+
+  // Every client fires its first GET in one burst, then the loop drives
+  // each connection's send -> assemble-reply -> next-op machine.
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto& c : conns) c.opStart = t0;
+  std::size_t live = clients;
+  std::vector<struct pollfd> fds;
+  std::vector<std::size_t> slot;
+  while (live > 0 && ok) {
+    fds.clear();
+    slot.clear();
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      if (conns[i].done) continue;
+      struct pollfd p{};
+      p.fd = conns[i].fd;
+      p.events = static_cast<short>(
+          conns[i].outPos < getFrame.size() ? POLLOUT | POLLIN : POLLIN);
+      fds.push_back(p);
+      slot.push_back(i);
+    }
+    const int ready = ::poll(fds.data(), fds.size(), 30000);
+    if (ready <= 0) {
+      std::printf("E13: poll %s with %zu clients still live\n",
+                  ready == 0 ? "stalled" : "failed", live);
+      ok = false;
+      break;
+    }
+    for (std::size_t f = 0; f < fds.size() && ok; ++f) {
+      if (fds[f].revents == 0) continue;
+      RawStoreClient& c = conns[slot[f]];
+      if ((fds[f].revents & (POLLERR | POLLNVAL)) != 0) {
+        ok = false;
+        break;
+      }
+      if ((fds[f].revents & POLLOUT) != 0 && c.outPos < getFrame.size()) {
+        const ssize_t sent =
+            ::send(c.fd, getFrame.data() + c.outPos,
+                   getFrame.size() - c.outPos, MSG_NOSIGNAL);
+        if (sent > 0) {
+          c.outPos += static_cast<std::size_t>(sent);
+        } else if (errno != EAGAIN && errno != EWOULDBLOCK) {
+          ok = false;
+          break;
+        }
+      }
+      if ((fds[f].revents & (POLLIN | POLLHUP)) != 0) {
+        char buf[65536];
+        const ssize_t got = ::recv(c.fd, buf, sizeof(buf), 0);
+        if (got > 0) {
+          c.in.append(buf, static_cast<std::size_t>(got));
+        } else if (got == 0 ||
+                   (errno != EAGAIN && errno != EWOULDBLOCK)) {
+          ok = false;  // the host must outlive the whole burst
+          break;
+        }
+        // Consume every complete reply frame the read completed.
+        while (c.in.size() >= frameio::kFrameHeaderSize) {
+          std::uint32_t len = 0;
+          for (int b = 0; b < 4; ++b) {
+            len = (len << 8) | static_cast<std::uint8_t>(c.in[6 + b]);
+          }
+          if (std::memcmp(c.in.data(), kFrameMagic, 4) != 0 ||
+              c.in[5] != static_cast<char>(FrameType::Result)) {
+            ok = false;
+            break;
+          }
+          if (c.in.size() < frameio::kFrameHeaderSize + len) break;
+          const auto now = std::chrono::steady_clock::now();
+          latencies.push_back(
+              std::chrono::duration<double, std::milli>(now - c.opStart)
+                  .count());
+          const StoreReply reply = decodeStoreReply(std::string_view(
+              c.in.data() + frameio::kFrameHeaderSize, len));
+          ok = ok && reply.found && bitsEqual(reply.plan.value, plan.value) &&
+               graphSignature(reply.plan.plan.graph) == signature;
+          c.in.erase(0, frameio::kFrameHeaderSize + len);
+          ++c.opsDone;
+          if (c.opsDone >= ops) {
+            c.done = true;
+            --live;
+            break;
+          }
+          c.outPos = 0;  // next op: re-send the GET frame
+          c.opStart = now;
+        }
+      }
+    }
+  }
+  totalMs = std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+  for (auto& c : conns) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+  return ok;
+}
+
+/// E13: the concurrent-client sweep, reactor vs thread-per-connection.
+/// Returns false on any identity/stall failure, a reactor thread count
+/// that scales with clients, or a reactor connections-per-thread ratio
+/// under 2x the legacy transport's at >= 256 clients.
+[[nodiscard]] bool printTransportTable(const char* jsonPath) {
+  std::printf("E13: serving transport scaling (warm store GETs, one "
+              "poll()-driven client thread)\n");
+  std::printf("%-10s %-8s %-10s %-14s %-9s %-9s %-12s %-13s %-9s\n", "mode",
+              "clients", "total[ms]", "thruput[op/s]", "p50[ms]", "p95[ms]",
+              "hostthreads", "conns/thread", "identical");
+
+  // The stored winner every GET fetches: one real solve of the paper's
+  // Section 2.3 instance, so replies carry a genuine plan payload.
+  const PlanRequest req{sec23Example().app, CommModel::Overlap,
+                        Objective::Period, wireOptions()};
+  OptimizerOptions serial = req.options;
+  serial.threads = 1;
+  const OptimizedPlan plan =
+      optimizePlan(req.app, req.model, req.objective, serial);
+
+  constexpr std::size_t kOps = 8;
+  const std::size_t fdLimit = raiseFdLimit(4096);
+  std::vector<std::size_t> counts;
+  for (const std::size_t c : {16u, 64u, 256u, 1024u}) {
+    // Both endpoints of every loopback connection live in this process,
+    // plus listener/epoll/eventfd/handler plumbing and whatever is
+    // already open: keep a generous margin under the fd ceiling.
+    if (2 * c + 128 <= fdLimit) {
+      counts.push_back(c);
+    } else {
+      std::printf("(skipping %zu clients: RLIMIT_NOFILE=%zu is too low)\n", c,
+                  fdLimit);
+    }
+  }
+
+  struct Row {
+    frameio::TransportMode mode;
+    std::size_t clients = 0;
+    double totalMs = 0;
+    double opsPerSec = 0;
+    double p50 = 0, p95 = 0;
+    std::size_t hostThreads = 0;
+    bool ok = false;
+  };
+  std::vector<Row> rows;
+  for (const frameio::TransportMode mode :
+       {frameio::TransportMode::Reactor,
+        frameio::TransportMode::ThreadPerConnection}) {
+    for (const std::size_t clients : counts) {
+      Row row;
+      row.mode = mode;
+      row.clients = clients;
+      // Best-of-N trials, keyed on p95: wall-clock latency at the
+      // oversubscribed end of the sweep is dominated by scheduler noise
+      // (run-to-run p95 swings far beyond any sane gate tolerance on a
+      // loaded box), and the minimum across trials is the standard
+      // denoiser — it approaches the machine's true cost while the mean
+      // measures the neighbours. Identity must hold in EVERY trial.
+      constexpr int kTrials = 3;
+      row.ok = true;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        std::vector<double> latencies;
+        latencies.reserve(clients * kOps);
+        double totalMs = 0;
+        std::size_t hostThreads = 0;
+        row.ok = runTransportRow(mode, clients, kOps, plan, latencies,
+                                 totalMs, hostThreads) &&
+                 row.ok;
+        if (latencies.empty()) continue;
+        const double p95 = percentile(latencies, 0.95);
+        if (trial == 0 || p95 < row.p95) {
+          row.p50 = percentile(latencies, 0.50);
+          row.p95 = p95;
+          row.totalMs = totalMs;
+          row.hostThreads = hostThreads;
+        }
+      }
+      row.opsPerSec = 1000.0 * static_cast<double>(clients * kOps) /
+                      (row.totalMs > 0 ? row.totalMs : 1.0);
+      const double ratio = static_cast<double>(clients) /
+                           static_cast<double>(
+                               row.hostThreads > 0 ? row.hostThreads : 1);
+      std::printf("%-10s %-8zu %-10.1f %-14.0f %-9.2f %-9.2f %-12zu %-13.1f "
+                  "%-9s\n",
+                  mode == frameio::TransportMode::Reactor ? "reactor"
+                                                          : "thread/conn",
+                  clients, row.totalMs, row.opsPerSec, row.p50, row.p95,
+                  row.hostThreads, ratio, row.ok ? "yes" : "NO!");
+      rows.push_back(row);
+    }
+  }
+
+  bool allOk = true;
+  std::size_t reactorThreads = 0;
+  bool reactorFixed = true;
+  for (const Row& row : rows) {
+    allOk = allOk && row.ok;
+    if (row.mode != frameio::TransportMode::Reactor) continue;
+    if (reactorThreads == 0) reactorThreads = row.hostThreads;
+    reactorFixed = reactorFixed && row.hostThreads == reactorThreads;
+  }
+  bool densityOk = true;
+  for (const Row& row : rows) {
+    if (row.mode != frameio::TransportMode::Reactor || row.clients < 256) {
+      continue;
+    }
+    for (const Row& legacy : rows) {
+      if (legacy.mode == frameio::TransportMode::Reactor ||
+          legacy.clients != row.clients) {
+        continue;
+      }
+      const double reactorDensity =
+          static_cast<double>(row.clients) /
+          static_cast<double>(row.hostThreads > 0 ? row.hostThreads : 1);
+      const double legacyDensity =
+          static_cast<double>(legacy.clients) /
+          static_cast<double>(legacy.hostThreads > 0 ? legacy.hostThreads
+                                                     : 1);
+      densityOk = densityOk && reactorDensity >= 2.0 * legacyDensity;
+    }
+  }
+  std::printf("transport gates: identity %s | reactor threads fixed (%zu) %s "
+              "| >=2x conns/thread at >=256 clients %s\n\n",
+              allOk ? "yes" : "NO!", reactorThreads,
+              reactorFixed ? "yes" : "NO!", densityOk ? "yes" : "NO!");
+
+  if (jsonPath != nullptr) {
+    std::ofstream out(jsonPath);
+    out << "{\n";
+    bool first = true;
+    for (const Row& row : rows) {
+      const char* tag = row.mode == frameio::TransportMode::Reactor
+                            ? "reactor"
+                            : "legacy";
+      if (!first) out << ",\n";
+      first = false;
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "  \"%s_c%zu_p50_ms\": %.3f,\n"
+                    "  \"%s_c%zu_p95_ms\": %.3f,\n"
+                    "  \"%s_c%zu_ops_per_s\": %.0f",
+                    tag, row.clients, row.p50, tag, row.clients, row.p95,
+                    tag, row.clients, row.opsPerSec);
+      out << buf;
+    }
+    out << "\n}\n";
+  }
+  return allOk && reactorFixed && densityOk;
+}
+
 void BM_OptimizeBatch(benchmark::State& state) {
   const auto total = static_cast<std::size_t>(state.range(0));
   const auto reqs = mixedWorkload(/*apps=*/2, total);
@@ -777,6 +1117,8 @@ BENCHMARK(BM_WarmCacheOptimize)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   g_serial = fswbench::stripFlag(argc, argv, "--serial");
   const char* wireJson = fswbench::stripValueFlag(argc, argv, "--wire_json");
+  const char* transportJson =
+      fswbench::stripValueFlag(argc, argv, "--transport_json");
   const bool batchIdentical = printServingTable();
   const bool asyncIdentical = printAsyncServingTable();
 
@@ -794,11 +1136,12 @@ int main(int argc, char** argv) {
   const bool shardedIdentical = printShardedServingTable(unique18, refs18);
   const bool multiHostIdentical = printMultiHostTable(unique18, refs18);
   const bool wireOk = printWireTable(wireJson);
+  const bool transportOk = printTransportTable(transportJson);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return batchIdentical && asyncIdentical && shardedIdentical &&
-                 multiHostIdentical && wireOk
+                 multiHostIdentical && wireOk && transportOk
              ? 0
              : 1;
 }

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Gate serving-transport latency against a checked-in baseline.
+
+Usage: check_transport.py <baseline.json> <current.json> [--tolerance 0.15]
+
+Both files are the flat {"<mode>_c<clients>_{p50_ms,p95_ms,ops_per_s}": N}
+object that `bench_serving --transport_json <path>` emits (E13: concurrent
+raw clients sweeping a warm store, epoll reactor vs thread-per-connection).
+
+The gate is the reactor's p95 op latency at the HIGHEST client count the
+run swept: timing rows are noisy (unlike the byte-exact wire sizes), so
+only that one headline number gates, with a relative tolerance plus a
+small absolute grace floor to keep sub-millisecond rows from flapping on
+scheduler jitter. Everything else is printed for the trajectory artifact.
+Fails (exit 1) on a gated regression or when the reactor's top row
+disappeared from the current run (a sweep that silently shrank).
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Sub-ms p95s wobble by scheduler quantum; never fail inside this margin.
+ABS_GRACE_MS = 0.25
+
+
+def top_reactor_count(data):
+    counts = [int(m.group(1)) for key in data
+              if (m := re.fullmatch(r"reactor_c(\d+)_p95_ms", key))]
+    return max(counts) if counts else None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional p95 growth over baseline "
+                             "(default 0.15 = 15%%)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    print(f"{'metric':<26} {'baseline':>10} {'current':>10} {'delta':>8}")
+    for key in sorted(set(baseline) | set(current)):
+        base = baseline.get(key)
+        cur = current.get(key)
+        if base is None:
+            print(f"{key:<26} {'(new)':>10} {cur:>10}")
+        elif cur is None:
+            print(f"{key:<26} {base:>10} {'(gone)':>10}")
+        else:
+            delta = (cur - base) / base if base else 0.0
+            print(f"{key:<26} {base:>10} {cur:>10} {delta:>+8.1%}")
+
+    base_top = top_reactor_count(baseline)
+    cur_top = top_reactor_count(current)
+    if base_top is None:
+        print("\nno reactor p95 rows in the baseline; nothing to gate",
+              file=sys.stderr)
+        return 1
+    if cur_top is None or cur_top < base_top:
+        print(f"\ntransport regression: the current sweep lost the reactor "
+              f"c{base_top} row (now tops out at c{cur_top})",
+              file=sys.stderr)
+        return 1
+
+    key = f"reactor_c{base_top}_p95_ms"
+    base = baseline[key]
+    cur = current[key]
+    ceiling = base * (1.0 + args.tolerance) + ABS_GRACE_MS
+    if cur > ceiling:
+        print(f"\ntransport regression: {key} {base} -> {cur} ms "
+              f"(ceiling {ceiling:.3f} = +{args.tolerance:.0%} "
+              f"+ {ABS_GRACE_MS} ms grace)", file=sys.stderr)
+        return 1
+    print(f"\n{key} within tolerance of baseline "
+          f"({cur} <= {ceiling:.3f} ms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

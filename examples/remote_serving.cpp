@@ -38,13 +38,17 @@ int main() {
   ServiceHostConfig hc;
   hc.serverConfig.solver = &sharded;
   hc.serverConfig.maxBatch = 4;
+  // The epoll reactor is the default transport; give it the admission
+  // gate and idle reaper a production front door would run with.
+  hc.transport.maxConnections = 32;
+  hc.transport.idleTimeoutMs = 5000;
   PlanServiceHost host{hc};
   std::printf("host: %zu shards behind 127.0.0.1:%u\n\n",
               sharded.shardCount(), host.port());
 
-  // Client side: two clients (the host serves each connection on its own
-  // thread) submitting every (app, model, objective) pair — twice, so the
-  // second pass is warm-cache repeats.
+  // Client side: two clients (the reactor multiplexes both connections
+  // onto its fixed event-loop pool) submitting every (app, model,
+  // objective) pair — twice, so the second pass is warm-cache repeats.
   std::vector<PlanRequest> requests;
   for (const auto* app : {&pipeline, &query}) {
     for (const CommModel m : kAllModels) {

@@ -257,6 +257,12 @@ Block readBlock(std::istream& is, const char* where) {
 
 Reader openBlock(std::string_view blob, char kind, std::uint64_t version,
                  const char* where) {
+  return openBlockRange(blob, kind, version, version, nullptr, where);
+}
+
+Reader openBlockRange(std::string_view blob, char kind,
+                      std::uint64_t minVersion, std::uint64_t maxVersion,
+                      std::uint64_t* gotVersionOut, const char* where) {
   Reader r(blob, where);
   if (r.u8() != kMagicByte) {
     r.fail("missing binary block magic byte");
@@ -267,10 +273,14 @@ Reader openBlock(std::string_view blob, char kind, std::uint64_t version,
            "' (expected '" + kind + "')");
   }
   const std::uint64_t gotVersion = r.u64();
-  if (gotVersion != version) {
+  if (gotVersion < minVersion || gotVersion > maxVersion) {
     r.fail("unsupported binary version " + std::to_string(gotVersion) +
-           " (expected " + std::to_string(version) + ")");
+           (minVersion == maxVersion
+                ? " (expected " + std::to_string(minVersion) + ")"
+                : " (expected " + std::to_string(minVersion) + ".." +
+                      std::to_string(maxVersion) + ")"));
   }
+  if (gotVersionOut != nullptr) *gotVersionOut = gotVersion;
   const std::uint64_t len = r.u64();
   if (len != r.remaining()) {
     r.fail("declared body length " + std::to_string(len) + " but " +

@@ -182,4 +182,14 @@ struct Block {
 [[nodiscard]] Reader openBlock(std::string_view blob, char kind,
                                std::uint64_t version, const char* where);
 
+/// openBlock for codecs whose current writer appends fields to older
+/// bodies: accepts any version in [minVersion, maxVersion] and reports the
+/// one found through `gotVersionOut` (may be null) so the caller can stop
+/// reading where that version's body ends. Same checks otherwise.
+[[nodiscard]] Reader openBlockRange(std::string_view blob, char kind,
+                                    std::uint64_t minVersion,
+                                    std::uint64_t maxVersion,
+                                    std::uint64_t* gotVersionOut,
+                                    const char* where);
+
 }  // namespace fsw::binio

@@ -1304,15 +1304,22 @@ std::string encodeStoreStats(const StoreStatsWire& stats) {
   body.u64(stats.bytesIn);
   body.u64(stats.framesOut);
   body.u64(stats.bytesOut);
+  body.u64(stats.accepted);
+  body.u64(stats.refusedOverLimit);
+  body.u64(stats.idleClosed);
+  body.u64(stats.peakWriteQueueBytes);
   return binio::finishBlock(kBinStoreStatsKind, kBinStoreStatsVersion,
                             body.take());
 }
 
 StoreStatsWire decodeStoreStats(std::string_view payload) {
   if (binio::isBinary(payload)) {
-    binio::Reader r =
-        binio::openBlock(payload, kBinStoreStatsKind, kBinStoreStatsVersion,
-                         "decodeStoreStats");
+    // Tolerant across v2/v3: a v2 host predates the transport ledger, so
+    // those counters stay 0 — an upgraded client keeps reading old stores.
+    std::uint64_t version = 0;
+    binio::Reader r = binio::openBlockRange(
+        payload, kBinStoreStatsKind, /*minVersion=*/2,
+        kBinStoreStatsVersion, &version, "decodeStoreStats");
     StoreStatsWire stats;
     stats.entries = static_cast<std::size_t>(r.u64());
     stats.gets = static_cast<std::size_t>(r.u64());
@@ -1325,6 +1332,12 @@ StoreStatsWire decodeStoreStats(std::string_view payload) {
     stats.bytesIn = static_cast<std::size_t>(r.u64());
     stats.framesOut = static_cast<std::size_t>(r.u64());
     stats.bytesOut = static_cast<std::size_t>(r.u64());
+    if (version >= 3) {
+      stats.accepted = static_cast<std::size_t>(r.u64());
+      stats.refusedOverLimit = static_cast<std::size_t>(r.u64());
+      stats.idleClosed = static_cast<std::size_t>(r.u64());
+      stats.peakWriteQueueBytes = static_cast<std::size_t>(r.u64());
+    }
     r.expectEnd();
     return stats;
   }

@@ -92,8 +92,11 @@ inline constexpr int kBinStorePutVersion = 2;
 inline constexpr char kBinStoreReplyKind = 'Y';
 inline constexpr int kBinStoreReplyVersion = 2;
 /// v2: binary, and the snapshot grew the host's frame/byte IO counters.
+/// v3: the transport ledger — accepted / refused-over-limit / idle-closed
+/// connections and the peak write-queue depth (PR 8's epoll reactor).
+/// Decoders accept v2 blocks (the new counters read as 0).
 inline constexpr char kBinStoreStatsKind = 'S';
-inline constexpr int kBinStoreStatsVersion = 2;
+inline constexpr int kBinStoreStatsVersion = 3;
 
 /// Binary score-cache artifact (v3, kind 'C'): one block whose body is the
 /// entry count followed by (front-coded key, varint-double score) pairs,
@@ -314,6 +317,13 @@ struct StoreStatsWire {
   std::size_t bytesIn = 0;
   std::size_t framesOut = 0;
   std::size_t bytesOut = 0;
+  /// Transport ledger (wire v3, binary-only): connection admission and
+  /// backpressure counters from frameio::TransportTotals. v2 blocks and
+  /// text snapshots report 0.
+  std::size_t accepted = 0;            ///< connections accepted
+  std::size_t refusedOverLimit = 0;    ///< connections refused at the gate
+  std::size_t idleClosed = 0;          ///< connections reaped by idle timer
+  std::size_t peakWriteQueueBytes = 0; ///< deepest per-conn write queue
 };
 void writeStoreStats(std::ostream& os, const StoreStatsWire& stats);
 [[nodiscard]] StoreStatsWire readStoreStats(std::istream& is);

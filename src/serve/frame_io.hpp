@@ -17,12 +17,13 @@
 //
 // The protocol surface (magic, version, FrameType, encodeFrame) lives in
 // namespace fsw; the plumbing (exact send/recv, frame reads, the shared
-// listener/connection-thread lifecycle) in fsw::frameio.
+// service transport) in fsw::frameio.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -83,9 +84,13 @@ struct Frame {
 
 /// Bytes-on-the-wire accounting, shared by every frame endpoint. Counters
 /// include the 10-byte frame headers — they measure what actually crossed
-/// the socket, not just payload — and count only complete, well-formed
-/// frames (a truncated read or failed send contributes nothing). Atomic so
-/// one instance can sit behind a service's concurrent connection threads.
+/// (or, for a reactor host's replies, was committed to) the socket, not
+/// just payload — and count only complete, well-formed frames (a truncated
+/// read contributes nothing). Outbound frames are counted when the service
+/// commits them to a connection (enqueue on the reactor, successful send on
+/// the blocking paths): by the time a peer observes a reply, the counters
+/// already include it. Atomic so one instance can sit behind a service's
+/// concurrent threads.
 struct IoCounters {
   std::atomic<std::size_t> framesIn{0};
   std::atomic<std::size_t> bytesIn{0};
@@ -134,20 +139,89 @@ struct Listener {
 /// blocking.
 void setIoTimeout(int fd, int timeoutMs);
 
-/// The shared listener/connection lifecycle of an FSWF socket service
-/// (PlanServiceHost, ResultStoreHost): bind + listen on loopback, an
-/// accept loop handing every connection to its own serving thread
-/// (finished threads are reaped on accept, so a long-lived service under
-/// connection churn never accumulates dead handles), and an idempotent
-/// stopService() that closes the listener and every live connection, then
-/// joins everything.
+/// How a SocketService moves bytes.
+enum class TransportMode {
+  /// Nonblocking epoll reactor: a small fixed pool of event-loop threads
+  /// owns every connection's state machine (incremental frame assembly
+  /// across partial reads, bounded write queues flushed on EPOLLOUT), and
+  /// a fixed handler pool runs handleFrame so a blocking solve never
+  /// stalls an event loop. Host thread count is O(1) in the number of
+  /// connections.
+  Reactor,
+  /// The pre-reactor transport: one blocking serving thread per accepted
+  /// connection. Kept as the bench baseline (E13) and as a fallback;
+  /// handler semantics are identical — only the byte-moving differs.
+  ThreadPerConnection,
+};
+
+/// Reactor/transport knobs (all with serviceable defaults). The same
+/// struct configures the legacy transport, which honors `mode` and
+/// `maxConnections` and ignores the reactor-only knobs.
+struct TransportConfig {
+  TransportMode mode = TransportMode::Reactor;
+  /// Event-loop threads (reactor). Clamped to >= 1; loop 0 also accepts.
+  std::size_t eventLoopThreads = 2;
+  /// Handler threads running handleFrame (reactor). 0 = auto
+  /// (max(2, min(8, hardware_concurrency()))). This bounds how many
+  /// connections' frames are *being handled* at once; parsed frames wait
+  /// in per-connection inboxes, connections themselves are only bounded
+  /// by maxConnections.
+  std::size_t handlerThreads = 0;
+  /// Accept gate: live connections at or above this are refused with a
+  /// best-effort error frame and a clean shutdown (counted in
+  /// TransportTotals::refusedOverLimit). 0 = unbounded.
+  std::size_t maxConnections = 0;
+  /// A connection with no *complete* frame parsed and no handler or
+  /// pending reply for this long is reaped (timer wheel; counted in
+  /// idleClosed). Partial bytes do NOT refresh the clock — a slow-loris
+  /// trickling a frame byte-by-byte is reaped like a silent peer. 0 =
+  /// never reap. Reactor only.
+  int idleTimeoutMs = 0;
+  /// Per-connection queued-reply cap in bytes. At or above the cap the
+  /// connection's reads are parked (backpressure) until the queue drains
+  /// below it — a slow reader throttles itself, never an unbounded
+  /// buffer. Reactor only.
+  std::size_t writeQueueCap = 4u << 20;
+  /// Parsed-but-unhandled frames per connection before reads park (the
+  /// inbox half of backpressure; must stay above the store clients'
+  /// pipeline window so batched GET/PUT keeps streaming). Reactor only.
+  std::size_t maxPipelinedFrames = 64;
+  /// stopService() drains gracefully: in-flight frames finish and their
+  /// replies flush, bounded by this budget; stragglers are then
+  /// force-closed. Reactor only.
+  int drainTimeoutMs = 2000;
+};
+
+/// Transport-level counters for stats snapshots (per host; the
+/// per-connection write-queue peak is folded into one high-water mark).
+struct TransportTotals {
+  std::size_t accepted = 0;          ///< connections accepted
+  std::size_t refusedOverLimit = 0;  ///< accepts refused by the gate
+  std::size_t idleClosed = 0;        ///< connections reaped by the idle timer
+  std::size_t streamErrors = 0;      ///< bad frames + version mismatches
+  std::size_t peakWriteQueueBytes = 0;  ///< max queued reply bytes (any conn)
+  std::size_t liveConnections = 0;
+  /// Threads the transport itself owns right now: event loops + handlers
+  /// (reactor) or acceptor + one per live connection (legacy). The E13
+  /// scaling bench reads this to show O(1) vs O(clients).
+  std::size_t transportThreads = 0;
+};
+
+/// The shared transport of an FSWF socket service (PlanServiceHost,
+/// ResultStoreHost): bind + listen on loopback, move frames via the
+/// configured TransportMode, apply the shared frame discipline (garbage →
+/// drop; wrong version → error frame, then drop), and hand every
+/// well-formed frame to the derived handleFrame.
 ///
-/// Subclasses implement serveConnection(fd) — run on the connection's own
-/// thread; the base owns the fd (it is shut down and closed after the
-/// override returns) — and MUST call stopService() from their destructor:
-/// the base destructor cannot do it alone, because by the time it runs the
-/// derived object (and with it the virtual serveConnection) is already
-/// gone while connection threads could still be inside it.
+/// handleFrame runs on a handler-pool thread (reactor) or the connection's
+/// own thread (legacy) — never on an event loop — so it may block (e.g. on
+/// PlanServer::submit().get()). Frames from one connection are handled
+/// strictly in arrival order, one at a time (replies stay in order for
+/// pipelined peers); different connections are handled concurrently.
+/// Subclasses MUST call stopService() from their destructor: the base
+/// destructor cannot do it alone, because by the time it runs the derived
+/// object (and with it the virtual handleFrame) is already gone while
+/// handler threads could still be inside it.
 class SocketService {
  public:
   SocketService(const SocketService&) = delete;
@@ -156,52 +230,123 @@ class SocketService {
   /// The bound listening port (resolves an ephemeral request).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
+  [[nodiscard]] IoTotals ioTotals() const { return totals(io_); }
+  [[nodiscard]] TransportTotals transportTotals() const;
+
  protected:
-  SocketService() = default;
+  struct Conn;  // per-connection reactor state machine (frame_io.cpp)
+
+  /// The reply seam handed to handleFrame. send() commits a frame to the
+  /// connection: on the reactor it lands in the bounded write queue (the
+  /// event loop flushes it, on EPOLLOUT when the socket stalls); on the
+  /// legacy transport it is written synchronously. False when the
+  /// connection is already gone — handlers treat that as "peer lost
+  /// interest", never an error.
+  class Responder {
+   public:
+    bool send(FrameType type, std::string_view payload);
+    /// Drop the connection once queued replies have flushed (the legacy
+    /// transport closes when the handler returns). Frames already parsed
+    /// but not yet handled on this connection are discarded.
+    void closeAfterReply() { close_ = true; }
+
+   private:
+    friend class SocketService;
+    Responder(SocketService* svc, std::shared_ptr<Conn> conn)
+        : svc_(svc), conn_(std::move(conn)) {}
+    Responder(SocketService* svc, int fd) : svc_(svc), fd_(fd) {}
+
+    SocketService* svc_ = nullptr;
+    std::shared_ptr<Conn> conn_;  ///< reactor target (null on legacy)
+    int fd_ = -1;                 ///< legacy target
+    bool close_ = false;
+    bool dead_ = false;  ///< legacy: a send failed; the stream is gone
+  };
+
+  SocketService();   ///< out-of-line: members need Reactor complete
   ~SocketService();  ///< backstop stopService(); derived must call it first
 
-  /// Binds, listens and starts the acceptor thread. Throws
+  /// Binds, listens and starts the transport threads. Throws
   /// std::runtime_error (prefixed with `who`) on failure.
-  void startService(std::uint16_t port, const char* who);
+  void startService(std::uint16_t port, const char* who,
+                    TransportConfig transport = {});
 
-  /// Stops accepting, shuts every live connection down, joins all
+  /// Stops accepting, drains in-flight frames (reactor: replies flush
+  /// within drainTimeoutMs, then stragglers are force-closed), joins all
   /// threads. Idempotent; safe to call from the derived destructor.
   void stopService();
 
-  /// One connection's serving loop; called on its own thread.
-  virtual void serveConnection(int fd) = 0;
+  /// One well-formed frame from one connection; runs off the event loops
+  /// and may block. Must not throw — an escaping exception drops the
+  /// connection.
+  virtual void handleFrame(Responder& out, Frame frame) = 0;
 
   /// Connections accepted so far (for derived stats snapshots).
-  [[nodiscard]] std::size_t acceptedConnections() const;
+  [[nodiscard]] std::size_t acceptedConnections() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
 
-  /// The service-wide IO counters. Derived serveConnection overrides pass
-  /// `&ioCounters()` to readFrame/sendFrame so every connection's traffic
-  /// lands in one place; ioTotals() snapshots it for stats.
+  /// The service-wide IO counters (ioTotals() snapshots them for stats).
   [[nodiscard]] IoCounters& ioCounters() noexcept { return io_; }
 
- public:
-  [[nodiscard]] IoTotals ioTotals() const { return totals(io_); }
-
  private:
+  struct Loop;     // one event loop: epoll fd + eventfd + timer wheel
+  struct Reactor;  // the loops, the handler pool, the drain machinery
+
+  // ---- shared by both transports
+  void refuseOverLimit(int fd);
+  void bumpPeakQueue(std::size_t depth);
+
+  // ---- legacy transport
   void acceptLoop();
   void runConnection(int fd);
-  /// Joins and drops threads whose connections already finished (called
-  /// with acceptMu_ held on every accept).
+  void serveLegacy(int fd);
   void reapFinishedLocked();
+  void stopLegacy();
+
+  // ---- reactor transport
+  void loopMain(std::size_t index);
+  void handlerMain();
+  void acceptReady(Loop& loop);
+  void registerConn(Loop& loop, const std::shared_ptr<Conn>& conn);
+  void handleReadable(Loop& loop, const std::shared_ptr<Conn>& conn);
+  void parseFrames(Loop& loop, const std::shared_ptr<Conn>& conn);
+  void flushConn(Loop& loop, const std::shared_ptr<Conn>& conn);
+  void updateInterest(Loop& loop, const std::shared_ptr<Conn>& conn);
+  void closeConn(Loop& loop, const std::shared_ptr<Conn>& conn,
+                 bool countIdle = false);
+  void processWakes(Loop& loop);
+  void wheelSchedule(Loop& loop, const std::shared_ptr<Conn>& conn);
+  void wheelAdvance(Loop& loop);
+  void wakeConn(const std::shared_ptr<Conn>& conn);
+  void wakeLoop(Loop& loop);
+  void enqueueHandlerWork(const std::shared_ptr<Conn>& conn);
+  void stopReactor();
 
   int listenFd_ = -1;
   std::uint16_t port_ = 0;
+  TransportConfig cfg_{};
   IoCounters io_;
 
+  std::atomic<std::size_t> accepted_{0};
+  std::atomic<std::size_t> refused_{0};
+  std::atomic<std::size_t> idleClosed_{0};
+  std::atomic<std::size_t> streamErrors_{0};
+  std::atomic<std::size_t> peakWriteQueue_{0};
+  std::atomic<std::size_t> live_{0};
+
+  std::unique_ptr<Reactor> reactor_;
+
+  // legacy-transport state
   mutable std::mutex acceptMu_;
   bool stopping_ = false;
-  std::size_t accepted_ = 0;
   std::unordered_set<int> connections_;  ///< live connection fds
   std::vector<std::thread> threads_;     ///< connection threads
   std::vector<std::thread::id> finished_;  ///< threads ready to reap
+  std::thread acceptor_;
 
   std::mutex stopMu_;  ///< serializes the join phase of stopService()
-  std::thread acceptor_;
+  bool stopped_ = false;
 };
 
 }  // namespace fsw::frameio

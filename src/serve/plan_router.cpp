@@ -8,7 +8,7 @@
 
 namespace fsw {
 
-PlanRouter::PlanRouter(RouterConfig config) {
+PlanRouter::PlanRouter(RouterConfig config) : ioTimeoutMs_(config.ioTimeoutMs) {
   if (config.hosts.empty()) {
     throw std::invalid_argument("PlanRouter: empty host list");
   }
@@ -153,7 +153,7 @@ void PlanRouter::process(std::size_t slot, Job job) {
     std::unique_ptr<RemotePlanClient> fresh;
     try {
       fresh = std::make_unique<RemotePlanClient>(s.endpoint.host,
-                                                 s.endpoint.port);
+                                                 s.endpoint.port, ioTimeoutMs_);
     } catch (const std::exception&) {
       {
         const std::lock_guard<std::mutex> lock(mu_);
@@ -255,7 +255,7 @@ std::size_t PlanRouter::reconnect() {
     std::unique_ptr<RemotePlanClient> fresh;
     try {
       fresh = std::make_unique<RemotePlanClient>(s.endpoint.host,
-                                                 s.endpoint.port);
+                                                 s.endpoint.port, ioTimeoutMs_);
     } catch (const std::exception&) {
       continue;
     }

@@ -60,6 +60,14 @@ struct RouterConfig {
   /// order is part of the routing function — keep it identical across
   /// routers that should agree).
   std::vector<RouterHost> hosts;
+  /// Per-socket I/O bound (connect, send, recv) for every per-host client,
+  /// in milliseconds; <= 0 disables. The router's whole value is failover,
+  /// and failover needs a clock: a black-holed host (SIGSTOP, partition
+  /// without RST) must surface as a transport failure so the request
+  /// retries on the next-ranked host instead of hanging its future. Solves
+  /// are idempotent, so a timeout fired while the host was merely slow
+  /// costs a redundant solve elsewhere, never a wrong answer.
+  int ioTimeoutMs = 30000;
 };
 
 /// Thread-safe: any number of threads may submit concurrently; each host
@@ -154,6 +162,8 @@ class PlanRouter {
   /// case the next ranked slot is probed anyway). Fails the promise when
   /// the rank list is exhausted or the router is closing.
   void dispatch(Job job);
+
+  int ioTimeoutMs_ = 30000;  ///< RouterConfig::ioTimeoutMs, fixed at birth
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

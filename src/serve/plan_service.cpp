@@ -26,98 +26,79 @@ PlanServiceHost::PlanServiceHost(ServiceHostConfig config)
     ownedServer_ = std::make_unique<PlanServer>(config_.serverConfig);
     server_ = ownedServer_.get();
   }
-  startService(config_.port, "PlanServiceHost");
+  startService(config_.port, "PlanServiceHost", config_.transport);
 }
 
 PlanServiceHost::~PlanServiceHost() { stop(); }
 
-void PlanServiceHost::serveConnection(int fd) {
-  for (;;) {
-    Frame frame;
-    const ReadStatus status = readFrame(fd, frame, &ioCounters());
-    if (status == ReadStatus::Eof) break;
-    if (status == ReadStatus::Bad) {
-      // The stream itself cannot be trusted (garbage magic, oversized or
-      // truncated frame): drop the connection.
-      const std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.errors;
-      break;
-    }
-    if (status == ReadStatus::WrongVersion) {
-      (void)sendFrame(fd, FrameType::Error,
-                      "unsupported frame version (expected " +
-                          std::to_string(kFrameVersion) + ")",
-                      &ioCounters());
-      const std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.errors;
-      break;
-    }
-    if (frame.type != FrameType::Request) {
-      (void)sendFrame(fd, FrameType::Error, "expected a request frame",
-                      &ioCounters());
-      const std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.errors;
-      break;
-    }
-
-    // From here the length prefix has kept the stream in sync, so payload
-    // problems are answered with an error frame and the connection stays
-    // serviceable.
-    std::string error;
-    try {
-      // The decoder sniffs the dialect; the reply speaks the same one, so
-      // a legacy text client round-trips text end to end.
-      const bool binary = binio::isBinary(frame.payload);
-      WirePlanRequest wire = decodePlanRequest(frame.payload);
-      if (wire.portfolio != "-") {
-        const CandidateRegistry* registry =
-            config_.resolvePortfolio ? config_.resolvePortfolio(wire.portfolio)
-                                     : nullptr;
-        // The built-in portfolio always resolves, resolver or not — a
-        // custom resolver extends the name space, it never revokes the
-        // default (a resolver may still shadow "builtin" by resolving it
-        // itself).
-        if (registry == nullptr &&
-            wire.portfolio == CandidateRegistry::builtin().name()) {
-          registry = &CandidateRegistry::builtin();
-        }
-        if (registry == nullptr) {
-          throw std::runtime_error("unknown portfolio '" + wire.portfolio +
-                                   "'");
-        }
-        wire.request.options.registry = registry;
-      }
-      const OptimizedPlan plan =
-          server_->submit(std::move(wire.request), wire.priority).get();
-      std::string encoded;
-      if (binary) {
-        encoded = encodeOptimizedPlan(plan);
-      } else {
-        std::ostringstream text;
-        writeOptimizedPlan(text, plan);
-        encoded = text.str();
-      }
-      {
-        // Counted before the send (as the error path counts before its
-        // frame): once a client holds the result, a stats() snapshot must
-        // already include it — counting after the send would race the
-        // client's view of its own completed request.
-        const std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.requests;
-      }
-      if (!sendFrame(fd, FrameType::Result, encoded, &ioCounters())) break;
-      continue;
-    } catch (const std::exception& e) {
-      error = e.what();
-    }
+void PlanServiceHost::handleFrame(Responder& out, Frame frame) {
+  // Frame-level discipline (garbage/truncation -> drop, wrong version ->
+  // error then drop) already ran in the shared transport; only
+  // well-formed frames arrive here.
+  if (frame.type != FrameType::Request) {
     {
       const std::lock_guard<std::mutex> lock(mu_);
       ++stats_.errors;
     }
-    if (!sendFrame(fd, FrameType::Error, error, &ioCounters())) break;
+    (void)out.send(FrameType::Error, "expected a request frame");
+    out.closeAfterReply();
+    return;
   }
-  // The shared SocketService owns the fd from here: it is shut down,
-  // erased and closed by the base's connection wrapper.
+
+  // From here the length prefix has kept the stream in sync, so payload
+  // problems are answered with an error frame and the connection stays
+  // serviceable.
+  std::string error;
+  try {
+    // The decoder sniffs the dialect; the reply speaks the same one, so
+    // a legacy text client round-trips text end to end.
+    const bool binary = binio::isBinary(frame.payload);
+    WirePlanRequest wire = decodePlanRequest(frame.payload);
+    if (wire.portfolio != "-") {
+      const CandidateRegistry* registry =
+          config_.resolvePortfolio ? config_.resolvePortfolio(wire.portfolio)
+                                   : nullptr;
+      // The built-in portfolio always resolves, resolver or not — a
+      // custom resolver extends the name space, it never revokes the
+      // default (a resolver may still shadow "builtin" by resolving it
+      // itself).
+      if (registry == nullptr &&
+          wire.portfolio == CandidateRegistry::builtin().name()) {
+        registry = &CandidateRegistry::builtin();
+      }
+      if (registry == nullptr) {
+        throw std::runtime_error("unknown portfolio '" + wire.portfolio +
+                                 "'");
+      }
+      wire.request.options.registry = registry;
+    }
+    const OptimizedPlan plan =
+        server_->submit(std::move(wire.request), wire.priority).get();
+    std::string encoded;
+    if (binary) {
+      encoded = encodeOptimizedPlan(plan);
+    } else {
+      std::ostringstream text;
+      writeOptimizedPlan(text, plan);
+      encoded = text.str();
+    }
+    {
+      // Counted before the reply is committed (as the error path counts
+      // before its frame): once a client holds the result, a stats()
+      // snapshot must already include it.
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.requests;
+    }
+    (void)out.send(FrameType::Result, encoded);
+    return;
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.errors;
+  }
+  (void)out.send(FrameType::Error, error);
 }
 
 PlanServiceHost::Stats PlanServiceHost::stats() const {
@@ -132,14 +113,27 @@ PlanServiceHost::Stats PlanServiceHost::stats() const {
   snapshot.bytesIn = io.bytesIn;
   snapshot.framesOut = io.framesOut;
   snapshot.bytesOut = io.bytesOut;
+  const frameio::TransportTotals t = transportTotals();
+  // Dropped streams (garbage, truncation, version mismatches) are counted
+  // by the transport; fold them into the host's error ledger as before.
+  snapshot.errors += t.streamErrors;
+  snapshot.refusedOverLimit = t.refusedOverLimit;
+  snapshot.idleClosed = t.idleClosed;
+  snapshot.peakWriteQueueBytes = t.peakWriteQueueBytes;
+  snapshot.transportThreads = t.transportThreads;
   return snapshot;
 }
 
 // ---- RemotePlanClient ------------------------------------------------------
 
 RemotePlanClient::RemotePlanClient(const std::string& host,
-                                   std::uint16_t port) {
-  fd_ = frameio::connectTcp(host, port, "RemotePlanClient");
+                                   std::uint16_t port, int ioTimeoutMs) {
+  // The connect is bounded either way (connectTcp's own default); when an
+  // I/O timeout is configured it also caps the connect so a black-holed
+  // host fails in ioTimeoutMs everywhere, not just after the handshake.
+  fd_ = frameio::connectTcp(host, port, "RemotePlanClient",
+                            ioTimeoutMs > 0 ? ioTimeoutMs : 10000);
+  frameio::setIoTimeout(fd_, ioTimeoutMs);
   sender_ = std::thread([this] { senderLoop(); });
 }
 

@@ -77,6 +77,11 @@ struct ServiceHostConfig {
   /// Listening port on 127.0.0.1; 0 picks an ephemeral port (read it back
   /// via port() — the loopback-pair pattern the tests and example use).
   std::uint16_t port = 0;
+  /// How the host moves bytes: the epoll reactor (default — O(1) host
+  /// threads in the number of connections, bounded write queues, optional
+  /// accept gate and idle reaping) or the legacy thread-per-connection
+  /// transport. Handler semantics are identical either way.
+  frameio::TransportConfig transport{};
   /// Resolves a wire portfolio name to a locally registered portfolio.
   /// The reserved token "-" (default portfolio) never reaches this hook.
   /// "builtin" always resolves to CandidateRegistry::builtin() when the
@@ -87,12 +92,12 @@ struct ServiceHostConfig {
       resolvePortfolio;
 };
 
-/// The listening side. Every accepted connection gets a serving thread
-/// (the listener/connection lifecycle is the shared
-/// frameio::SocketService): read request frame -> decode -> resolve
-/// portfolio -> PlanServer::submit -> await -> encode -> result frame.
-/// Stats are locked; stop() (and the destructor) closes the listener and
-/// every live connection, then joins.
+/// The listening side. The shared frameio::SocketService transport
+/// (epoll reactor by default) delivers each request frame to handleFrame
+/// on a handler thread: decode -> resolve portfolio -> PlanServer::submit
+/// -> await -> encode -> result frame. Stats are locked; stop() (and the
+/// destructor) drains in-flight requests, closes every connection, then
+/// joins.
 class PlanServiceHost : public frameio::SocketService {
  public:
   struct Stats {
@@ -104,6 +109,11 @@ class PlanServiceHost : public frameio::SocketService {
     std::size_t bytesIn = 0;
     std::size_t framesOut = 0;
     std::size_t bytesOut = 0;
+    /// Transport counters (see frameio::TransportTotals).
+    std::size_t refusedOverLimit = 0;
+    std::size_t idleClosed = 0;
+    std::size_t peakWriteQueueBytes = 0;
+    std::size_t transportThreads = 0;
   };
 
   explicit PlanServiceHost(ServiceHostConfig config);
@@ -118,7 +128,7 @@ class PlanServiceHost : public frameio::SocketService {
   void stop() { stopService(); }
 
  private:
-  void serveConnection(int fd) override;
+  void handleFrame(Responder& out, frameio::Frame frame) override;
 
   ServiceHostConfig config_;
   std::unique_ptr<PlanServer> ownedServer_;
@@ -149,7 +159,16 @@ class RemotePlanClient {
 
   /// Connects to host:port (an IPv4 literal, e.g. "127.0.0.1"). Throws
   /// std::runtime_error when the connection cannot be established.
-  RemotePlanClient(const std::string& host, std::uint16_t port);
+  /// `ioTimeoutMs` bounds every send/recv after the connect (and the
+  /// connect itself): a black-holed host (SIGSTOP, partition without RST)
+  /// surfaces as a transport-class RemotePlanError after the timeout
+  /// instead of hanging the submit forever — and transport errors are the
+  /// retryable kind, so a router fails the request over. <= 0 disables
+  /// the bound (the pre-existing behavior): solves have no universal
+  /// ceiling, so the DEFAULT stays unbounded and callers that know their
+  /// latency budget (PlanRouter) opt in.
+  RemotePlanClient(const std::string& host, std::uint16_t port,
+                   int ioTimeoutMs = 0);
   ~RemotePlanClient();
 
   RemotePlanClient(const RemotePlanClient&) = delete;

@@ -20,129 +20,119 @@ ResultStoreHost::ResultStoreHost(ResultStoreConfig config)
     : config_(config),
       results_(config.capacity),
       bounds_(config.boundCapacity) {
-  startService(config_.port, "ResultStoreHost");
+  startService(config_.port, "ResultStoreHost", config_.transport);
 }
 
 ResultStoreHost::~ResultStoreHost() { stop(); }
 
-void ResultStoreHost::serveConnection(int fd) {
-  for (;;) {
-    Frame frame;
-    const ReadStatus status = readFrame(fd, frame, &ioCounters());
-    if (status == ReadStatus::Eof) break;
-    if (status == ReadStatus::Bad) {
-      const std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.errors;
-      break;
-    }
-    if (status == ReadStatus::WrongVersion) {
-      (void)sendFrame(fd, FrameType::Error,
-                      "unsupported frame version (expected " +
-                          std::to_string(kFrameVersion) + ")");
-      const std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.errors;
-      break;
-    }
-
-    // The length prefix kept the stream in sync: payload problems are
-    // answered with an error frame and the connection stays serviceable.
-    // Replies speak the dialect the request arrived in (binary block vs
-    // frozen text), so text-speaking peers keep working unchanged.
-    std::string error;
-    try {
-      const bool binary = binio::isBinary(frame.payload);
-      std::string encoded;
-      switch (frame.type) {
-        case FrameType::StoreGet: {
-          const StoreGet get = decodeStoreGet(frame.payload);
-          // wantPlan = false is a bound-only probe (the asker re-solves by
-          // policy): skip the result lookup so no plan is serialized just
-          // to be discarded on the far side.
-          const ResultCache::Entry entry =
-              get.wantPlan ? results_.lookup(get.key) : ResultCache::Entry{};
-          // The board's bound travels on every reply: a stored winner's
-          // value IS its bound, and an evicted winner's bound survives on
-          // the board — either way the asker learns the fleet incumbent.
-          const double bound =
-              bounds_.lookup(get.key).value_or(
-                  std::numeric_limits<double>::infinity());
-          if (binary) {
-            encoded = encodeStoreReply(entry.get(), bound);
-          } else {
-            std::ostringstream os;
-            writeStoreReply(os, entry.get(), bound);
-            encoded = os.str();
-          }
-          {
-            const std::lock_guard<std::mutex> lock(mu_);
-            ++stats_.gets;
-            if (entry != nullptr) ++stats_.hits;
-            if (std::isfinite(bound)) ++stats_.boundHits;
-          }
-          break;
+void ResultStoreHost::handleFrame(Responder& out, Frame frame) {
+  // Frame-level discipline already ran in the shared transport; only
+  // well-formed frames arrive here. The length prefix kept the stream in
+  // sync: payload problems are answered with an error frame and the
+  // connection stays serviceable. Replies speak the dialect the request
+  // arrived in (binary block vs frozen text), so text-speaking peers keep
+  // working unchanged.
+  std::string error;
+  try {
+    const bool binary = binio::isBinary(frame.payload);
+    std::string encoded;
+    switch (frame.type) {
+      case FrameType::StoreGet: {
+        const StoreGet get = decodeStoreGet(frame.payload);
+        // wantPlan = false is a bound-only probe (the asker re-solves by
+        // policy): skip the result lookup so no plan is serialized just
+        // to be discarded on the far side.
+        const ResultCache::Entry entry =
+            get.wantPlan ? results_.lookup(get.key) : ResultCache::Entry{};
+        // The board's bound travels on every reply: a stored winner's
+        // value IS its bound, and an evicted winner's bound survives on
+        // the board — either way the asker learns the fleet incumbent.
+        const double bound =
+            bounds_.lookup(get.key).value_or(
+                std::numeric_limits<double>::infinity());
+        if (binary) {
+          encoded = encodeStoreReply(entry.get(), bound);
+        } else {
+          std::ostringstream os;
+          writeStoreReply(os, entry.get(), bound);
+          encoded = os.str();
         }
-        case FrameType::StorePut: {
-          StorePut put = decodeStorePut(frame.payload);
-          (void)results_.insert(put.key, put.plan);
-          bounds_.publish(put.key, put.plan.value);
-          // The ack echoes the published value — frame sync for the
-          // pipelined putter, no extra board lookup.
-          if (binary) {
-            encoded = encodeStoreReply(nullptr, put.plan.value);
-          } else {
-            std::ostringstream os;
-            writeStoreReply(os, nullptr, put.plan.value);
-            encoded = os.str();
-          }
+        {
           const std::lock_guard<std::mutex> lock(mu_);
-          ++stats_.puts;
-          break;
+          ++stats_.gets;
+          if (entry != nullptr) ++stats_.hits;
+          if (std::isfinite(bound)) ++stats_.boundHits;
         }
-        case FrameType::StoreStats: {
-          StoreStatsWire wire;
-          const ResultCache::Stats rs = results_.stats();
-          wire.entries = results_.size();
-          wire.evictions = rs.evictions;
-          wire.bounds = bounds_.size();
-          {
-            const std::lock_guard<std::mutex> lock(mu_);
-            wire.gets = stats_.gets;
-            wire.hits = stats_.hits;
-            wire.boundHits = stats_.boundHits;
-            wire.puts = stats_.puts;
-          }
-          const frameio::IoTotals io = ioTotals();
-          wire.framesIn = io.framesIn;
-          wire.bytesIn = io.bytesIn;
-          wire.framesOut = io.framesOut;
-          wire.bytesOut = io.bytesOut;
-          if (binary) {
-            encoded = encodeStoreStats(wire);
-          } else {
-            // The frozen text snapshot predates the IO counters; text
-            // askers get the original 7.
-            std::ostringstream os;
-            writeStoreStats(os, wire);
-            encoded = os.str();
-          }
-          break;
-        }
-        default:
-          throw std::runtime_error("expected a store frame (GET/PUT/STATS)");
+        break;
       }
-      if (!sendFrame(fd, FrameType::Result, encoded, &ioCounters())) break;
-      continue;
-    } catch (const std::exception& e) {
-      error = e.what();
+      case FrameType::StorePut: {
+        StorePut put = decodeStorePut(frame.payload);
+        (void)results_.insert(put.key, put.plan);
+        bounds_.publish(put.key, put.plan.value);
+        // The ack echoes the published value — frame sync for the
+        // pipelined putter, no extra board lookup.
+        if (binary) {
+          encoded = encodeStoreReply(nullptr, put.plan.value);
+        } else {
+          std::ostringstream os;
+          writeStoreReply(os, nullptr, put.plan.value);
+          encoded = os.str();
+        }
+        const std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.puts;
+        break;
+      }
+      case FrameType::StoreStats: {
+        StoreStatsWire wire;
+        const ResultCache::Stats rs = results_.stats();
+        wire.entries = results_.size();
+        wire.evictions = rs.evictions;
+        wire.bounds = bounds_.size();
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          wire.gets = stats_.gets;
+          wire.hits = stats_.hits;
+          wire.boundHits = stats_.boundHits;
+          wire.puts = stats_.puts;
+        }
+        const frameio::IoTotals io = ioTotals();
+        wire.framesIn = io.framesIn;
+        wire.bytesIn = io.bytesIn;
+        wire.framesOut = io.framesOut;
+        wire.bytesOut = io.bytesOut;
+        // The transport ledger (PR 8): who the store accepts, refuses and
+        // reaps, and the backpressure high-water mark — the sparse
+        // per-host accounting fleet operators read instead of attaching
+        // heavyweight instrumentation.
+        const frameio::TransportTotals t = transportTotals();
+        wire.accepted = t.accepted;
+        wire.refusedOverLimit = t.refusedOverLimit;
+        wire.idleClosed = t.idleClosed;
+        wire.peakWriteQueueBytes = t.peakWriteQueueBytes;
+        if (binary) {
+          encoded = encodeStoreStats(wire);
+        } else {
+          // The frozen text snapshot predates the IO counters; text
+          // askers get the original 7.
+          std::ostringstream os;
+          writeStoreStats(os, wire);
+          encoded = os.str();
+        }
+        break;
+      }
+      default:
+        throw std::runtime_error("expected a store frame (GET/PUT/STATS)");
     }
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.errors;
-    }
-    if (!sendFrame(fd, FrameType::Error, error, &ioCounters())) break;
+    (void)out.send(FrameType::Result, encoded);
+    return;
+  } catch (const std::exception& e) {
+    error = e.what();
   }
-  // The shared SocketService owns the fd from here: it is shut down,
-  // erased and closed by the base's connection wrapper.
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.errors;
+  }
+  (void)out.send(FrameType::Error, error);
 }
 
 ResultStoreHost::Stats ResultStoreHost::stats() const {
@@ -157,6 +147,12 @@ ResultStoreHost::Stats ResultStoreHost::stats() const {
   snapshot.bytesIn = io.bytesIn;
   snapshot.framesOut = io.framesOut;
   snapshot.bytesOut = io.bytesOut;
+  const frameio::TransportTotals t = transportTotals();
+  snapshot.errors += t.streamErrors;
+  snapshot.refusedOverLimit = t.refusedOverLimit;
+  snapshot.idleClosed = t.idleClosed;
+  snapshot.peakWriteQueueBytes = t.peakWriteQueueBytes;
+  snapshot.transportThreads = t.transportThreads;
   return snapshot;
 }
 

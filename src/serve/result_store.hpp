@@ -53,10 +53,13 @@ struct ResultStoreConfig {
   /// board outliving the winners it came from is the point: an evicted
   /// winner keeps pruning.
   std::size_t boundCapacity = 1 << 16;
+  /// Transport selection and knobs (epoll reactor by default); see
+  /// frameio::TransportConfig.
+  frameio::TransportConfig transport{};
 };
 
-/// The serving side: every accepted connection gets a thread (the shared
-/// frameio::SocketService lifecycle) looping read frame -> decode ->
+/// The serving side: the shared frameio::SocketService transport (epoll
+/// reactor by default) delivers each frame to handleFrame — decode ->
 /// apply (GET/PUT/STATS) -> reply. Same frame failure discipline as
 /// PlanServiceHost: malformed payloads get an error frame and the
 /// connection lives; malformed frames drop it.
@@ -70,11 +73,17 @@ class ResultStoreHost : public frameio::SocketService {
     std::size_t puts = 0;         ///< PUT frames applied
     std::size_t errors = 0;       ///< error frames sent + dropped streams
     /// Frame traffic across every connection, headers included (the STATS
-    /// verb reports the same four counters to remote askers).
+    /// verb reports these counters to remote askers).
     std::size_t framesIn = 0;
     std::size_t bytesIn = 0;
     std::size_t framesOut = 0;
     std::size_t bytesOut = 0;
+    /// Transport counters (see frameio::TransportTotals); STATS reports
+    /// them too, so fleet operators see who is consuming a store.
+    std::size_t refusedOverLimit = 0;
+    std::size_t idleClosed = 0;
+    std::size_t peakWriteQueueBytes = 0;
+    std::size_t transportThreads = 0;
   };
 
   explicit ResultStoreHost(ResultStoreConfig config = {});
@@ -91,7 +100,7 @@ class ResultStoreHost : public frameio::SocketService {
   void stop() { stopService(); }
 
  private:
-  void serveConnection(int fd) override;
+  void handleFrame(Responder& out, frameio::Frame frame) override;
 
   ResultStoreConfig config_;
   ResultCache results_;

@@ -5,6 +5,7 @@
 // never retried and routing stays a pure function of the request key.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <memory>
 #include <string>
@@ -282,6 +283,54 @@ TEST(PlanRouter, PerHostByteLedgersMatchTheHostsOwnCounters) {
   }
   EXPECT_EQ(sent, hostIn);
   EXPECT_EQ(received, hostOut);
+}
+
+TEST(PlanRouter, BlackHoledHostTimesOutAndFailsOverByTheClock) {
+  // A host that accepts into the kernel backlog but never replies (the
+  // SIGSTOP/partition shape): without RouterConfig::ioTimeoutMs the
+  // routed request would hang its future forever; with it, the recv
+  // times out, the slot is marked down, and the request fails over to
+  // the next-ranked host — same winner, bounded wall clock.
+  const frameio::Listener blackhole =
+      frameio::listenLoopback(0, "blackhole-test");
+  PlanServiceHost live{ServiceHostConfig{}};
+
+  RouterConfig rc;
+  rc.hosts = {{"127.0.0.1", blackhole.port}, {"127.0.0.1", live.port()}};
+  rc.ioTimeoutMs = 300;
+  PlanRouter router{rc};
+
+  // Pick a request whose key ranks the black-holed slot first, so the
+  // timeout path actually runs before the failover.
+  const auto reqs = smallWorkload();
+  const PlanRequest* victim = nullptr;
+  for (const auto& r : reqs) {
+    if (router.hostOf(r) == 0) {
+      victim = &r;
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr) << "no request ranked the black-holed slot";
+
+  OptimizerOptions serial = victim->options;
+  serial.threads = 1;
+  const OptimizedPlan expected =
+      optimizePlan(victim->app, victim->model, victim->objective, serial);
+  const auto start = std::chrono::steady_clock::now();
+  const OptimizedPlan got = router.optimize(*victim);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(got.value, expected.value);
+  EXPECT_EQ(got.strategy, expected.strategy);
+  EXPECT_LT(elapsed.count(), 30000) << "timeout never fired";
+
+  const auto stats = router.stats();
+  EXPECT_GE(stats.failovers, 1u);
+  EXPECT_GE(stats.perHost[0].transportFailures, 1u);
+  EXPECT_FALSE(stats.perHost[0].up);
+  EXPECT_EQ(stats.perHost[1].served, 1u);
+  router.close();
+  frameio::closeFd(blackhole.fd);
 }
 
 }  // namespace

@@ -468,5 +468,36 @@ TEST(PlanService, ByteCountersTrackRequestTraffic) {
   EXPECT_EQ(hs.bytesOut, cs.bytesReceived);
 }
 
+TEST(PlanService, IoTimeoutBoundsABlackHoledHost) {
+  // A listener that never accepts: connects complete into the kernel's
+  // backlog and the request frame buffers, but no reply ever comes — the
+  // SIGSTOP/partition shape that error codes alone cannot surface. The
+  // regression this pins: RemotePlanClient used to open its socket
+  // without any I/O deadline, so this recv blocked forever.
+  const frameio::Listener blackhole =
+      frameio::listenLoopback(0, "blackhole-test");
+
+  RemotePlanClient client("127.0.0.1", blackhole.port,
+                          /*ioTimeoutMs=*/300);
+  const PlanRequest req = smallWorkload().front();
+  const auto start = std::chrono::steady_clock::now();
+  auto future = client.submit(req);
+  bool transport = false;
+  try {
+    (void)future.get();
+  } catch (const RemotePlanError& e) {
+    transport = e.transport();
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  // Transport-class (retryable by a router), and bounded by the timeout
+  // plus scheduling slack — not the kernel's multi-minute TCP patience.
+  EXPECT_TRUE(transport);
+  EXPECT_GE(elapsed.count(), 250);
+  EXPECT_LT(elapsed.count(), 5000);
+  client.close();
+  frameio::closeFd(blackhole.fd);
+}
+
 }  // namespace
 }  // namespace fsw

@@ -373,6 +373,12 @@ TEST(ResultStore, ByteLedgersAgreeAcrossTheStack) {
   EXPECT_GT(wire.bytesIn, hs.bytesIn);
   EXPECT_GE(wire.bytesOut, hs.bytesOut);
   EXPECT_GT(wire.framesIn, 0u);
+
+  // The transport ledger (wire v3) travels too: both clients' connections
+  // were accepted, nothing was refused or reaped on this quiet host.
+  EXPECT_GE(wire.accepted, 2u);
+  EXPECT_EQ(wire.refusedOverLimit, 0u);
+  EXPECT_EQ(wire.idleClosed, 0u);
 }
 
 }  // namespace

@@ -450,6 +450,10 @@ TEST(BinaryWire, StoreVerbsRoundTripBothDialects) {
   s.bytesIn = 1000;
   s.framesOut = 11;
   s.bytesOut = 1100;
+  s.accepted = 12;
+  s.refusedOverLimit = 13;
+  s.idleClosed = 14;
+  s.peakWriteQueueBytes = 1500;
   const StoreStatsWire back = decodeStoreStats(encodeStoreStats(s));
   EXPECT_EQ(back.entries, 1u);
   EXPECT_EQ(back.gets, 2u);
@@ -462,12 +466,33 @@ TEST(BinaryWire, StoreVerbsRoundTripBothDialects) {
   EXPECT_EQ(back.bytesIn, 1000u);
   EXPECT_EQ(back.framesOut, 11u);
   EXPECT_EQ(back.bytesOut, 1100u);
+  EXPECT_EQ(back.accepted, 12u);
+  EXPECT_EQ(back.refusedOverLimit, 13u);
+  EXPECT_EQ(back.idleClosed, 14u);
+  EXPECT_EQ(back.peakWriteQueueBytes, 1500u);
   std::ostringstream textStats;
   writeStoreStats(textStats, s);
   const StoreStatsWire tb = decodeStoreStats(textStats.str());
   EXPECT_EQ(tb.gets, 2u);
   EXPECT_EQ(tb.framesIn, 0u);
   EXPECT_EQ(tb.bytesOut, 0u);
+  EXPECT_EQ(tb.accepted, 0u);
+
+  // A v2 block (pre-transport-ledger, 11 counters) still decodes: the new
+  // counters read as zero. An upgraded client keeps reading old stores.
+  binio::Writer v2body;
+  for (const std::uint64_t v :
+       {1u, 2u, 3u, 4u, 5u, 6u, 7u, 10u, 1000u, 11u, 1100u}) {
+    v2body.u64(v);
+  }
+  const StoreStatsWire old = decodeStoreStats(
+      binio::finishBlock(kBinStoreStatsKind, 2, v2body.take()));
+  EXPECT_EQ(old.bounds, 7u);
+  EXPECT_EQ(old.bytesOut, 1100u);
+  EXPECT_EQ(old.accepted, 0u);
+  EXPECT_EQ(old.refusedOverLimit, 0u);
+  EXPECT_EQ(old.idleClosed, 0u);
+  EXPECT_EQ(old.peakWriteQueueBytes, 0u);
 }
 
 TEST(BinaryWire, StoreVerbRejectionsAreCleanErrors) {
