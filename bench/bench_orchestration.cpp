@@ -12,17 +12,23 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
 #include <thread>
 
+#include <string>
+#include <vector>
+
 #include "bench/bench_util.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/core/cost_model.hpp"
 #include "src/sched/inorder.hpp"
+#include "src/sched/outorder.hpp"
 #include "src/sched/overlap.hpp"
 #include "src/workload/generator.hpp"
+#include "src/workload/paper_instances.hpp"
 
 /// Every global operator new, counted. This is ground truth for the
 /// memory-discipline tables: the engine's own scratchHeapAllocs counter
@@ -198,6 +204,143 @@ void printMemoryDisciplineTable() {
   std::printf("\n");
 }
 
+/// E5d: sound incumbent pruning on the OUTORDER search — the engine's
+/// portfolio scenario replayed directly against the orchestrator. Each case
+/// solves a portfolio of candidate graphs twice: unbounded (the reference)
+/// and with the running best final value as the incumbent (the seed/repair
+/// bound split of OutorderOptions::upperBound). Soundness contract checked
+/// per candidate: a bounded solve either returns the unbounded winner
+/// bit-identically or prunes to +inf only when the reference value strictly
+/// exceeds the incumbent it ran under — so the portfolio winner can never
+/// change, only cost less. Returns false (-> exit 1) when any row breaks
+/// identity or when no case recorded a seed-phase abort (the pruning
+/// machinery silently dead). `jsonPath`, when set, receives the
+/// deterministic counters for bench/check_pruning.py.
+[[nodiscard]] bool printPruningTable(const char* jsonPath) {
+  std::printf("E5d: OUTORDER incumbent pruning (seed/repair bound split)\n");
+  std::printf("%-7s %-6s %-10s %-12s %-12s %-9s %-7s %-7s %-9s\n", "case",
+              "cands", "winner", "unbnd[ms]", "bounded[ms]", "speedup",
+              "seedAb", "repAb", "identical");
+
+  struct Case {
+    std::string name;
+    Application app;
+    std::vector<ExecutionGraph> graphs;
+  };
+  std::vector<Case> cases;
+  {
+    // The paper's Section 2.3 services, chain candidate first: the chain's
+    // OUTORDER optimum (6) undercuts the diamond's (7), so the diamond runs
+    // under a dominating incumbent and must prune — a deterministic
+    // incumbent abort on a paper instance.
+    const auto pi = sec23Example();
+    Case c{"sec23", pi.app, {}};
+    c.graphs.push_back(ExecutionGraph::chain({0, 1, 2, 3, 4}));
+    c.graphs.push_back(pi.graph);
+    cases.push_back(std::move(c));
+  }
+  for (const std::size_t n : {5u, 6u}) {
+    Prng rng(8200 + n);
+    Case c{"rand" + std::to_string(n), makeApp(n, 8200 + n), {}};
+    for (int k = 0; k < 3; ++k) {
+      c.graphs.push_back(randomLayeredDag(c.app, 2, 3, rng));
+    }
+    cases.push_back(std::move(c));
+  }
+
+  bool allIdentical = true;
+  std::size_t totalSeedAborts = 0;
+  std::string json = "{\n";
+  for (const Case& c : cases) {
+    OutorderOptions base;
+    base.inorder.exactCap = 20000;
+    base.inorder.localSearchIters = 100;
+    base.inorder.pool = benchPool();
+    base.restarts = 8;
+    base.repairIters = 200;
+    base.bisectSteps = 8;
+    base.seed = 17;
+    base.pool = benchPool();
+
+    // Reference pass: every candidate unbounded.
+    std::vector<double> reference;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const ExecutionGraph& g : c.graphs) {
+      reference.push_back(outorderOrchestratePeriod(c.app, g, base).value);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // Bounded pass: the running best final value is the incumbent, exactly
+    // as PlanEngine::solveOne threads its tightening bound through ranks.
+    std::atomic<std::size_t> seedAborts{0};
+    std::atomic<std::size_t> repairAborts{0};
+    std::vector<double> bounded;
+    bool identical = true;
+    double incumbent = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < c.graphs.size(); ++k) {
+      OutorderOptions opt = base;
+      opt.upperBound = incumbent;
+      opt.seedBoundAborts = &seedAborts;
+      opt.repairBoundAborts = &repairAborts;
+      const double v =
+          outorderOrchestratePeriod(c.app, c.graphs[k], opt).value;
+      bounded.push_back(v);
+      if (std::isfinite(v)) {
+        identical = identical && v == reference[k];
+        incumbent = std::min(incumbent, v);
+      } else {
+        // A prune is sound only when the incumbent already dominated.
+        identical = identical && reference[k] > incumbent;
+      }
+    }
+    const auto t2 = std::chrono::steady_clock::now();
+
+    // The portfolio winner must survive pruning untouched.
+    double refBest = std::numeric_limits<double>::infinity();
+    for (const double v : reference) refBest = std::min(refBest, v);
+    identical = identical && incumbent == refBest;
+    allIdentical = allIdentical && identical;
+    totalSeedAborts += seedAborts.load();
+
+    std::size_t pruned = 0;
+    for (const double v : bounded) pruned += std::isfinite(v) ? 0 : 1;
+    const double unboundedMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double boundedMs =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    std::printf("%-7s %-6zu %-10.4f %-12.1f %-12.1f %-9.2fx %-7zu %-7zu %-9s\n",
+                c.name.c_str(), c.graphs.size(), refBest, unboundedMs,
+                boundedMs, unboundedMs / boundedMs, seedAborts.load(),
+                repairAborts.load(), identical ? "yes" : "NO!");
+    json += "  \"" + c.name +
+            "_seed_aborts\": " + std::to_string(seedAborts.load()) + ",\n";
+    json += "  \"" + c.name +
+            "_repair_aborts\": " + std::to_string(repairAborts.load()) +
+            ",\n";
+    json += "  \"" + c.name + "_pruned\": " + std::to_string(pruned) + ",\n";
+    json += "  \"" + c.name +
+            "_identical\": " + std::string(identical ? "1" : "0") + ",\n";
+  }
+  json.replace(json.size() - 2, 1, "");  // drop the trailing comma
+  json += "}\n";
+  if (jsonPath != nullptr) {
+    if (std::FILE* f = std::fopen(jsonPath, "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("(pruning counters written to %s)\n", jsonPath);
+    } else {
+      std::printf("(FAILED to open %s for the pruning counters)\n", jsonPath);
+      allIdentical = false;
+    }
+  }
+  if (totalSeedAborts == 0) {
+    std::printf("E5d FAILURE: no seed-phase bound aborts recorded — the "
+                "derived seed bound never pruned\n");
+  }
+  std::printf("\n");
+  return allIdentical && totalSeedAborts > 0;
+}
+
 void BM_OverlapOrchestration(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Prng rng(1234);
@@ -272,6 +415,8 @@ BENCHMARK(BM_InorderHeuristicOrchestration)->RangeMultiplier(2)->Range(8, 32);
 
 int main(int argc, char** argv) {
   g_serial = fswbench::stripFlag(argc, argv, "--serial");
+  const char* pruningJson =
+      fswbench::stripValueFlag(argc, argv, "--pruning_json");
   printGapTable();
   printMemoryDisciplineTable();
   bool identical = true;
@@ -280,6 +425,7 @@ int main(int argc, char** argv) {
   } else {
     identical = printOrderSearchSpeedupTable();
   }
+  identical = printPruningTable(pruningJson) && identical;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return identical ? 0 : 1;

@@ -90,6 +90,7 @@
 #include "src/io/serialize.hpp"
 #include "src/opt/optimizer.hpp"
 #include "src/sched/overlap.hpp"
+#include "src/serve/bound_board.hpp"
 #include "src/serve/plan_engine.hpp"
 #include "src/serve/plan_router.hpp"
 #include "src/serve/plan_server.hpp"
@@ -765,6 +766,188 @@ struct SizeRow {
          shrinkOk;
 }
 
+/// Same structure, drifted parameters: the near-key scenario. Service names
+/// are dropped — they never affect plan values or request keys.
+Application mutateParams(const Application& app, double costScale,
+                         double selScale) {
+  Application out;
+  for (const Service& s : app.services()) {
+    out.addService(s.cost * costScale, s.selectivity * selScale);
+  }
+  for (const Precedence& p : app.precedences()) {
+    out.addPrecedence(p.from, p.to);
+  }
+  return out;
+}
+
+/// E14: near-key warm starts — a mutated re-solve (same graph shape and
+/// precedences, drifted costs/selectivities) fetches the nearest prior
+/// winner by structural prefix, re-evaluates its orders under the NEW
+/// parameters, and runs under that certified incumbent. Three paths:
+///
+///   board      — one engine with a BoundBoard: base solves publish, the
+///                mutated re-solves warm-start off the board's near table
+///                (cold[ms] is the same engine shape without a board, so
+///                the delta is the near bound's effect, score caches warm
+///                in both);
+///   store      — engine A publishes to a ResultStoreHost, a fresh engine
+///                B warm-starts its mutated solves through near GETs;
+///   store-dead — the host is stopped first: near consults degrade to
+///                misses and the solves proceed unwarmed.
+///
+/// Gates (exit code): every mutated re-solve returns the bit-identical
+/// fresh serial reference with resultCacheHits == 0 (a neighbor's plan
+/// must never be served, only its re-validated value used as a bound);
+/// the board and store paths each record a near hit; and the warm bounds
+/// actually pruned (total boundAborts > 0 across the warm re-solves).
+[[nodiscard]] bool printWarmStartTable() {
+  std::printf("E14: near-key warm starts (mutated re-solves), %s engine\n",
+              g_serial ? "serial" : "pooled");
+  std::printf("%-11s %-9s %-10s %-10s %-9s %-8s %-9s\n", "path", "requests",
+              "cold[ms]", "warm[ms]", "nearhits", "aborts", "identical");
+
+  Prng rng(8400);
+  WorkloadSpec spec;
+  spec.n = 8;
+  spec.precedenceDensity = 0.2;
+  const auto app = randomApplication(spec, rng);
+  OptimizerOptions opt = servingOptions();
+  opt.orchestrator.outorder.restarts = 8;
+  opt.orchestrator.outorder.repairIters = 160;
+  std::vector<PlanRequest> base;
+  for (const CommModel m : {CommModel::InOrder, CommModel::OutOrder}) {
+    for (const Objective obj : {Objective::Period, Objective::Latency}) {
+      base.push_back({app, m, obj, opt});
+    }
+  }
+  const auto mutated = [&](double costScale, double selScale) {
+    const Application drift = mutateParams(app, costScale, selScale);
+    std::vector<PlanRequest> reqs = base;
+    for (auto& r : reqs) r.app = drift;
+    return reqs;
+  };
+  const auto serialRefs = [](const std::vector<PlanRequest>& reqs) {
+    std::vector<OptimizedPlan> refs;
+    refs.reserve(reqs.size());
+    for (const auto& r : reqs) {
+      OptimizerOptions serial = r.options;
+      serial.threads = 1;
+      refs.push_back(optimizePlan(r.app, r.model, r.objective, serial));
+    }
+    return refs;
+  };
+  const auto identical = [](const OptimizedPlan& got,
+                            const OptimizedPlan& ref) {
+    return bitsEqual(got.value, ref.value) && got.strategy == ref.strategy &&
+           graphSignature(got.plan.graph) == graphSignature(ref.plan.graph) &&
+           toString(got.plan.ol) == toString(ref.plan.ol) &&
+           got.stats.resultCacheHits == 0;
+  };
+  const EngineConfig cfg{.threads = g_serial ? std::size_t{1} : 0};
+
+  const auto drifted = mutated(1.15, 0.95);
+  const auto refs = serialRefs(drifted);
+
+  bool allOk = true;
+  std::size_t warmAborts = 0;
+
+  // Board path (and its no-board cold reference: same base warm-up, same
+  // score-cache state, the near bound is the only difference).
+  {
+    PlanEngine cold{cfg};
+    for (const auto& r : base) (void)cold.optimize(r);
+    const auto c0 = std::chrono::steady_clock::now();
+    std::vector<OptimizedPlan> coldOut;
+    for (const auto& r : drifted) coldOut.push_back(cold.optimize(r));
+    const auto c1 = std::chrono::steady_clock::now();
+
+    BoundBoard board{256};
+    EngineConfig boardCfg = cfg;
+    boardCfg.boundBoard = &board;
+    PlanEngine warm{boardCfg};
+    for (const auto& r : base) (void)warm.optimize(r);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<OptimizedPlan> warmOut;
+    for (const auto& r : drifted) warmOut.push_back(warm.optimize(r));
+    const auto t1 = std::chrono::steady_clock::now();
+
+    bool ok = true;
+    std::size_t aborts = 0;
+    for (std::size_t i = 0; i < drifted.size(); ++i) {
+      ok = ok && identical(coldOut[i], refs[i]) &&
+           identical(warmOut[i], refs[i]);
+      aborts += warmOut[i].stats.boundAborts;
+    }
+    const std::size_t nearHits = board.stats().nearHits;
+    ok = ok && nearHits > 0;
+    allOk = allOk && ok;
+    warmAborts += aborts;
+    std::printf("%-11s %-9zu %-10.1f %-10.1f %-9zu %-8zu %-9s\n", "board",
+                drifted.size(),
+                std::chrono::duration<double, std::milli>(c1 - c0).count(),
+                std::chrono::duration<double, std::milli>(t1 - t0).count(),
+                nearHits, aborts, ok ? "yes" : "NO!");
+  }
+
+  // Store path, then store death: engine B keeps its degraded client.
+  {
+    ResultStoreHost store{{}};
+    RemoteResultStore clientA{"127.0.0.1", store.port()};
+    RemoteResultStore clientB{"127.0.0.1", store.port()};
+    EngineConfig aCfg = cfg;
+    aCfg.resultStore = &clientA;
+    PlanEngine engineA{aCfg};
+    for (const auto& r : base) (void)engineA.optimize(r);
+
+    EngineConfig bCfg = cfg;
+    bCfg.resultStore = &clientB;
+    PlanEngine engineB{bCfg};
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<OptimizedPlan> out;
+    for (const auto& r : drifted) out.push_back(engineB.optimize(r));
+    const auto t1 = std::chrono::steady_clock::now();
+
+    bool ok = true;
+    std::size_t aborts = 0;
+    for (std::size_t i = 0; i < drifted.size(); ++i) {
+      ok = ok && identical(out[i], refs[i]);
+      aborts += out[i].stats.boundAborts;
+    }
+    const std::size_t nearHits = clientB.stats().nearHits;
+    ok = ok && nearHits > 0 && store.stats().nearGets > 0;
+    allOk = allOk && ok;
+    warmAborts += aborts;
+    std::printf("%-11s %-9zu %-10s %-10.1f %-9zu %-8zu %-9s\n", "store",
+                drifted.size(), "-",
+                std::chrono::duration<double, std::milli>(t1 - t0).count(),
+                nearHits, aborts, ok ? "yes" : "NO!");
+
+    // Store death: a further drift (new keys) against the stopped host —
+    // near consults degrade to misses, the solves must stay identical.
+    store.stop();
+    const auto dead = mutated(1.3, 1.0);
+    const auto deadRefs = serialRefs(dead);
+    const auto d0 = std::chrono::steady_clock::now();
+    bool deadOk = true;
+    for (std::size_t i = 0; i < dead.size(); ++i) {
+      deadOk = deadOk && identical(engineB.optimize(dead[i]), deadRefs[i]);
+    }
+    const auto d1 = std::chrono::steady_clock::now();
+    allOk = allOk && deadOk;
+    std::printf("%-11s %-9zu %-10s %-10.1f %-9d %-8d %-9s\n", "store-dead",
+                dead.size(), "-",
+                std::chrono::duration<double, std::milli>(d1 - d0).count(), 0,
+                0, deadOk ? "yes" : "NO!");
+  }
+
+  if (warmAborts == 0) {
+    std::printf("E14 FAILURE: no incumbent aborts on the warm re-solves — "
+                "the near-key bound never pruned\n");
+  }
+  std::printf("\n");
+  return allOk && warmAborts > 0;
+}
+
 // ---- E13: transport scaling -----------------------------------------------
 
 /// Best-effort RLIMIT_NOFILE raise; returns the soft limit afterwards.
@@ -1136,12 +1319,13 @@ int main(int argc, char** argv) {
   const bool shardedIdentical = printShardedServingTable(unique18, refs18);
   const bool multiHostIdentical = printMultiHostTable(unique18, refs18);
   const bool wireOk = printWireTable(wireJson);
+  const bool warmStartOk = printWarmStartTable();
   const bool transportOk = printTransportTable(transportJson);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return batchIdentical && asyncIdentical && shardedIdentical &&
-                 multiHostIdentical && wireOk && transportOk
+                 multiHostIdentical && wireOk && warmStartOk && transportOk
              ? 0
              : 1;
 }

@@ -1,0 +1,76 @@
+"""Shared plumbing for the bench baseline checkers.
+
+Every checker in bench/ compares a flat {"key": number} JSON emitted by a
+bench binary against a checked-in baseline under bench/baselines/, prints
+a sorted diff table for the trajectory artifact, and exits nonzero on a
+gated regression. The loading, CLI shape, table printing and failure
+reporting live here; each checker keeps only its gate policy (what is
+noisy, what is exact, what must never shrink).
+"""
+
+import argparse
+import json
+import sys
+
+
+def make_parser(doc, tolerance=None):
+    """The common CLI: <baseline.json> <current.json> [--tolerance X].
+
+    The --tolerance flag is only added when the checker has a relative
+    gate (pass its default); exact-count checkers omit it.
+    """
+    parser = argparse.ArgumentParser(description=doc)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    if tolerance is not None:
+        parser.add_argument(
+            "--tolerance", type=float, default=tolerance,
+            help="allowed fractional growth over baseline "
+                 f"(default {tolerance} = {tolerance:.0%})")
+    return parser
+
+
+def load_pair(args):
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+    return baseline, current
+
+
+def print_diff_table(baseline, current, key_header="metric", key_width=28,
+                     val_width=10, marker=None):
+    """Prints the union of both key sets, sorted, with relative deltas.
+
+    Keys only in the current run print as (new); keys that vanished print
+    as (gone) — whether either fails is the caller's gate policy.
+    `marker(key, base, cur)` may return a suffix (e.g. "  <-- REGRESSION")
+    for rows present on both sides.
+    """
+    print(f"{key_header:<{key_width}} {'baseline':>{val_width}} "
+          f"{'current':>{val_width}} {'delta':>8}")
+    for key in sorted(set(baseline) | set(current)):
+        base = baseline.get(key)
+        cur = current.get(key)
+        if base is None:
+            print(f"{key:<{key_width}} {'(new)':>{val_width}} "
+                  f"{cur:>{val_width}}")
+        elif cur is None:
+            print(f"{key:<{key_width}} {base:>{val_width}} "
+                  f"{'(gone)':>{val_width}}")
+        else:
+            delta = (cur - base) / base if base else 0.0
+            note = marker(key, base, cur) if marker else ""
+            print(f"{key:<{key_width}} {base:>{val_width}} "
+                  f"{cur:>{val_width}} {delta:>+8.1%}{note}")
+
+
+def finish(failures, label, ok_message):
+    """Prints the verdict and returns the process exit code."""
+    if failures:
+        print(f"\n{label}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\n{ok_message}")
+    return 0

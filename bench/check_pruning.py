@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate the OUTORDER incumbent-pruning counters against a baseline.
+
+Usage: check_pruning.py <baseline.json> <current.json>
+
+Both files are the flat {"<case>_{seed_aborts,repair_aborts,pruned,
+identical}": N} object that `bench_orchestration --pruning_json <path>`
+emits (E5d: each portfolio of candidate graphs re-solved under a running
+incumbent, winners checked bit-identical to the unbounded reference).
+
+The counters are deterministic — the bisection trajectory and the derived
+seed bound are pure functions of the instance and options, and the bench
+verifies serial and pooled runs produce byte-identical counts — so no
+tolerance applies. Fails (exit 1) when:
+  * any `_identical` flag is 0 (a bounded winner diverged — unsound), or
+    no identity flags were emitted at all;
+  * the total seed-phase aborts fall below the baseline total (the floor:
+    pruning silently stopped firing);
+  * a baseline key disappeared from the current run.
+Counts above baseline pass (stronger pruning); refresh the baseline to
+lock them in.
+"""
+
+import sys
+
+import check_baseline
+
+
+def seed_total(data):
+    return sum(v for k, v in data.items() if k.endswith("_seed_aborts"))
+
+
+def main() -> int:
+    args = check_baseline.make_parser(__doc__).parse_args()
+    baseline, current = check_baseline.load_pair(args)
+
+    failures = []
+
+    def gate(key, base, cur):
+        if key.endswith("_identical") and cur != 1:
+            failures.append(f"{key}: bounded winner diverged from the "
+                            f"unbounded reference (unsound pruning)")
+            return "  <-- UNSOUND"
+        return ""
+
+    check_baseline.print_diff_table(baseline, current, key_header="counter",
+                                    marker=gate)
+
+    identity_keys = [k for k in current if k.endswith("_identical")]
+    if not identity_keys:
+        failures.append("the current run emitted no _identical flags")
+    for key in identity_keys:
+        if key not in baseline and current[key] != 1:
+            failures.append(f"{key}: bounded winner diverged from the "
+                            f"unbounded reference (unsound pruning)")
+
+    base_seed = seed_total(baseline)
+    cur_seed = seed_total(current)
+    if base_seed <= 0:
+        failures.append("baseline has no seed-phase aborts; nothing to "
+                        "floor against")
+    elif cur_seed < base_seed:
+        failures.append(f"seed-phase aborts fell below the baseline floor "
+                        f"({base_seed} -> {cur_seed}): incumbent pruning "
+                        f"stopped firing")
+
+    for key in sorted(set(baseline) - set(current)):
+        failures.append(f"{key}: present in baseline but missing from the "
+                        f"current run")
+
+    return check_baseline.finish(
+        failures, "pruning regression",
+        f"winners identical everywhere; seed aborts {cur_seed} >= "
+        f"baseline floor {base_seed}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

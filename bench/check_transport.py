@@ -16,10 +16,10 @@ Fails (exit 1) on a gated regression or when the reactor's top row
 disappeared from the current run (a sweep that silently shrank).
 """
 
-import argparse
-import json
 import re
 import sys
+
+import check_baseline
 
 # Sub-ms p95s wobble by scheduler quantum; never fail inside this margin.
 ABS_GRACE_MS = 0.25
@@ -32,55 +32,34 @@ def top_reactor_count(data):
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--tolerance", type=float, default=0.15,
-                        help="allowed fractional p95 growth over baseline "
-                             "(default 0.15 = 15%%)")
-    args = parser.parse_args()
+    args = check_baseline.make_parser(__doc__, tolerance=0.15).parse_args()
+    baseline, current = check_baseline.load_pair(args)
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    with open(args.current) as f:
-        current = json.load(f)
+    check_baseline.print_diff_table(baseline, current, key_width=26)
 
-    print(f"{'metric':<26} {'baseline':>10} {'current':>10} {'delta':>8}")
-    for key in sorted(set(baseline) | set(current)):
-        base = baseline.get(key)
-        cur = current.get(key)
-        if base is None:
-            print(f"{key:<26} {'(new)':>10} {cur:>10}")
-        elif cur is None:
-            print(f"{key:<26} {base:>10} {'(gone)':>10}")
-        else:
-            delta = (cur - base) / base if base else 0.0
-            print(f"{key:<26} {base:>10} {cur:>10} {delta:>+8.1%}")
-
+    failures = []
     base_top = top_reactor_count(baseline)
     cur_top = top_reactor_count(current)
     if base_top is None:
-        print("\nno reactor p95 rows in the baseline; nothing to gate",
-              file=sys.stderr)
-        return 1
+        failures.append("no reactor p95 rows in the baseline; nothing "
+                        "to gate")
+        return check_baseline.finish(failures, "transport regression", "")
     if cur_top is None or cur_top < base_top:
-        print(f"\ntransport regression: the current sweep lost the reactor "
-              f"c{base_top} row (now tops out at c{cur_top})",
-              file=sys.stderr)
-        return 1
+        failures.append(f"the current sweep lost the reactor c{base_top} "
+                        f"row (now tops out at c{cur_top})")
+        return check_baseline.finish(failures, "transport regression", "")
 
     key = f"reactor_c{base_top}_p95_ms"
     base = baseline[key]
     cur = current[key]
     ceiling = base * (1.0 + args.tolerance) + ABS_GRACE_MS
     if cur > ceiling:
-        print(f"\ntransport regression: {key} {base} -> {cur} ms "
-              f"(ceiling {ceiling:.3f} = +{args.tolerance:.0%} "
-              f"+ {ABS_GRACE_MS} ms grace)", file=sys.stderr)
-        return 1
-    print(f"\n{key} within tolerance of baseline "
-          f"({cur} <= {ceiling:.3f} ms)")
-    return 0
+        failures.append(f"{key} {base} -> {cur} ms (ceiling {ceiling:.3f} "
+                        f"= +{args.tolerance:.0%} + {ABS_GRACE_MS} ms "
+                        f"grace)")
+    return check_baseline.finish(
+        failures, "transport regression",
+        f"{key} within tolerance of baseline ({cur} <= {ceiling:.3f} ms)")
 
 
 if __name__ == "__main__":

@@ -14,56 +14,36 @@ key present in the baseline disappeared. Shrinking below baseline is
 reported but passes; refresh the baseline to lock in the win.
 """
 
-import argparse
-import json
 import sys
+
+import check_baseline
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--tolerance", type=float, default=0.10,
-                        help="allowed fractional growth over baseline "
-                             "(default 0.10 = 10%%)")
-    args = parser.parse_args()
-
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    with open(args.current) as f:
-        current = json.load(f)
+    args = check_baseline.make_parser(__doc__, tolerance=0.10).parse_args()
+    baseline, current = check_baseline.load_pair(args)
 
     failures = []
-    print(f"{'payload':<28} {'baseline':>9} {'current':>9} {'delta':>8}")
-    for key in sorted(baseline):
-        base = baseline[key]
-        if key not in current:
-            failures.append(f"{key}: present in baseline but missing from "
-                            f"the current run")
-            continue
-        cur = current[key]
-        delta = (cur - base) / base if base else 0.0
-        marker = ""
+
+    def gate(key, base, cur):
         # Only the binary sizes gate: the text dialect is frozen, so its
         # sizes only move when the payload set itself changes (which is a
         # deliberate bench edit and a baseline refresh).
         if key.endswith("_bin") and cur > base * (1.0 + args.tolerance):
-            marker = "  <-- REGRESSION"
-            failures.append(
-                f"{key}: {base} -> {cur} bytes "
-                f"(+{delta:.1%}, tolerance {args.tolerance:.0%})")
-        print(f"{key:<28} {base:>9} {cur:>9} {delta:>+8.1%}{marker}")
+            delta = (cur - base) / base if base else 0.0
+            failures.append(f"{key}: {base} -> {cur} bytes (+{delta:.1%}, "
+                            f"tolerance {args.tolerance:.0%})")
+            return "  <-- REGRESSION"
+        return ""
 
-    for key in sorted(set(current) - set(baseline)):
-        print(f"{key:<28} {'(new)':>9} {current[key]:>9}")
+    check_baseline.print_diff_table(baseline, current, key_header="payload",
+                                    val_width=9, marker=gate)
+    for key in sorted(set(baseline) - set(current)):
+        failures.append(f"{key}: present in baseline but missing from the "
+                        f"current run")
 
-    if failures:
-        print("\nwire-size regression:", file=sys.stderr)
-        for f in failures:
-            print(f"  {f}", file=sys.stderr)
-        return 1
-    print("\nwire sizes within tolerance of baseline")
-    return 0
+    return check_baseline.finish(failures, "wire-size regression",
+                                 "wire sizes within tolerance of baseline")
 
 
 if __name__ == "__main__":

@@ -939,9 +939,14 @@ void putStats(binio::Writer& w, const EngineStats& s) {
   w.u64(s.arenaBytesHighWater);
   w.u64(s.storeBytesSent);
   w.u64(s.storeBytesReceived);
+  w.u64(s.seedBoundAborts);
+  w.u64(s.repairBoundAborts);
 }
 
-void getStats(binio::Reader& r, EngineStats& s) {
+/// `extended` = the enclosing block's version carries the v4 bound-abort
+/// phase split; older blocks leave the split counters at 0 (boundAborts in
+/// its original slot remains the total either way).
+void getStats(binio::Reader& r, EngineStats& s, bool extended) {
   s.sourcesRun = static_cast<std::size_t>(r.u64());
   s.generated = static_cast<std::size_t>(r.u64());
   s.unique = static_cast<std::size_t>(r.u64());
@@ -958,6 +963,10 @@ void getStats(binio::Reader& r, EngineStats& s) {
   s.arenaBytesHighWater = static_cast<std::size_t>(r.u64());
   s.storeBytesSent = static_cast<std::size_t>(r.u64());
   s.storeBytesReceived = static_cast<std::size_t>(r.u64());
+  if (extended) {
+    s.seedBoundAborts = static_cast<std::size_t>(r.u64());
+    s.repairBoundAborts = static_cast<std::size_t>(r.u64());
+  }
 }
 
 /// The winner without its stats — the result-cache entry body (the cache
@@ -978,7 +987,7 @@ void getPlanCore(binio::Reader& r, OptimizedPlan& plan) {
   plan.plan.ol = getOperationList(r);
 }
 
-/// The wire plan body: core + the 16 EngineStats counters (stats cross the
+/// The wire plan body: core + the 18 EngineStats counters (stats cross the
 /// wire so a remote client observes the same counters a local caller
 /// would).
 void putPlanBody(binio::Writer& w, const OptimizedPlan& plan) {
@@ -986,10 +995,10 @@ void putPlanBody(binio::Writer& w, const OptimizedPlan& plan) {
   putStats(w, plan.stats);
 }
 
-OptimizedPlan getPlanBody(binio::Reader& r) {
+OptimizedPlan getPlanBody(binio::Reader& r, bool extendedStats) {
   OptimizedPlan plan;
   getPlanCore(r, plan);
-  getStats(r, plan.stats);
+  getStats(r, plan.stats, extendedStats);
   return plan;
 }
 
@@ -1207,10 +1216,13 @@ std::string encodeOptimizedPlan(const OptimizedPlan& plan) {
 
 OptimizedPlan decodeOptimizedPlan(std::string_view payload) {
   if (binio::isBinary(payload)) {
-    binio::Reader r =
-        binio::openBlock(payload, kBinPlanResponseKind,
-                         kBinPlanResponseVersion, "decodeOptimizedPlan");
-    OptimizedPlan plan = getPlanBody(r);
+    // Tolerant across v3/v4: a v3 peer predates the bound-abort phase
+    // split, so the split counters stay 0.
+    std::uint64_t version = 0;
+    binio::Reader r = binio::openBlockRange(
+        payload, kBinPlanResponseKind, /*minVersion=*/3,
+        kBinPlanResponseVersion, &version, "decodeOptimizedPlan");
+    OptimizedPlan plan = getPlanBody(r, version >= 4);
     r.expectEnd();
     return plan;
   }
@@ -1218,23 +1230,33 @@ OptimizedPlan decodeOptimizedPlan(std::string_view payload) {
   return readOptimizedPlan(is);
 }
 
-std::string encodeStoreGet(const std::string& key, bool wantPlan) {
+std::string encodeStoreGet(const std::string& key, bool wantPlan, bool near) {
   binio::Writer body;
   body.zstr(key);
   body.u8(wantPlan ? 1 : 0);
+  body.u8(near ? 1 : 0);
   return binio::finishBlock(kBinStoreGetKind, kBinStoreGetVersion,
                             body.take());
 }
 
 StoreGet decodeStoreGet(std::string_view payload) {
   if (binio::isBinary(payload)) {
-    binio::Reader r = binio::openBlock(payload, kBinStoreGetKind,
-                                       kBinStoreGetVersion, "decodeStoreGet");
+    // Tolerant across v2/v3: a v2 client predates the near flag (exact-key
+    // GETs only).
+    std::uint64_t version = 0;
+    binio::Reader r =
+        binio::openBlockRange(payload, kBinStoreGetKind, /*minVersion=*/2,
+                              kBinStoreGetVersion, &version, "decodeStoreGet");
     StoreGet get;
     get.key = r.zstr();
     const std::uint8_t wantPlan = r.u8();
     if (wantPlan > 1) r.fail("bad wantPlan flag");
     get.wantPlan = wantPlan == 1;
+    if (version >= 3) {
+      const std::uint8_t near = r.u8();
+      if (near > 1) r.fail("bad near flag");
+      get.near = near == 1;
+    }
     r.expectEnd();
     return get;
   }
@@ -1252,11 +1274,15 @@ std::string encodeStorePut(const std::string& key, const OptimizedPlan& plan) {
 
 StorePut decodeStorePut(std::string_view payload) {
   if (binio::isBinary(payload)) {
-    binio::Reader r = binio::openBlock(payload, kBinStorePutKind,
-                                       kBinStorePutVersion, "decodeStorePut");
+    // Tolerant across v2/v3: a v2 peer's plan body carries the 16-counter
+    // stats vector (no bound-abort phase split).
+    std::uint64_t version = 0;
+    binio::Reader r =
+        binio::openBlockRange(payload, kBinStorePutKind, /*minVersion=*/2,
+                              kBinStorePutVersion, &version, "decodeStorePut");
     StorePut put;
     put.key = r.zstr();
-    put.plan = getPlanBody(r);
+    put.plan = getPlanBody(r, version >= 3);
     r.expectEnd();
     return put;
   }
@@ -1275,15 +1301,17 @@ std::string encodeStoreReply(const OptimizedPlan* plan, double bound) {
 
 StoreReply decodeStoreReply(std::string_view payload) {
   if (binio::isBinary(payload)) {
-    binio::Reader r =
-        binio::openBlock(payload, kBinStoreReplyKind, kBinStoreReplyVersion,
-                         "decodeStoreReply");
+    // Tolerant across v2/v3, mirroring decodeStorePut.
+    std::uint64_t version = 0;
+    binio::Reader r = binio::openBlockRange(
+        payload, kBinStoreReplyKind, /*minVersion=*/2, kBinStoreReplyVersion,
+        &version, "decodeStoreReply");
     StoreReply reply;
     const std::uint8_t found = r.u8();
     if (found > 1) r.fail("bad found flag");
     reply.found = found == 1;
     reply.bound = r.f64();
-    if (reply.found) reply.plan = getPlanBody(r);
+    if (reply.found) reply.plan = getPlanBody(r, version >= 3);
     r.expectEnd();
     return reply;
   }

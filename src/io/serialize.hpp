@@ -83,14 +83,24 @@ inline constexpr char kBinPlanRequestKind = 'Q';
 inline constexpr int kBinPlanRequestVersion = 2;
 /// v3: binary, and the stats vector grew the store byte counters
 /// (storeBytesSent, storeBytesReceived) — 16 counters total.
+/// v4: the stats vector grew the bound-abort phase split
+/// (seedBoundAborts, repairBoundAborts) — 18 counters total. Decoders
+/// accept v3 blocks (the split counters read as 0; boundAborts stays the
+/// total in its original slot).
 inline constexpr char kBinPlanResponseKind = 'R';
-inline constexpr int kBinPlanResponseVersion = 3;
+inline constexpr int kBinPlanResponseVersion = 4;
+/// v3: appended the `near` flag — when set, the key is a structural prefix
+/// and the host answers with the most recent winner sharing that prefix
+/// (bound omitted: a near plan is a warm-start hint the asker must
+/// re-validate, never a served result). Decoders accept v2 (near = false).
 inline constexpr char kBinStoreGetKind = 'G';
-inline constexpr int kBinStoreGetVersion = 2;
+inline constexpr int kBinStoreGetVersion = 3;
+/// Put/Reply v3: the embedded plan body carries the v4 stats vector (see
+/// the plan-response note). Decoders accept v2 blocks.
 inline constexpr char kBinStorePutKind = 'P';
-inline constexpr int kBinStorePutVersion = 2;
+inline constexpr int kBinStorePutVersion = 3;
 inline constexpr char kBinStoreReplyKind = 'Y';
-inline constexpr int kBinStoreReplyVersion = 2;
+inline constexpr int kBinStoreReplyVersion = 3;
 /// v2: binary, and the snapshot grew the host's frame/byte IO counters.
 /// v3: the transport ledger — accepted / refused-over-limit / idle-closed
 /// connections and the peak write-queue depth (PR 8's epoll reactor).
@@ -223,8 +233,8 @@ void writePlanRequest(std::ostream& os, const PlanRequest& request,
 ///   (graph + oplist blocks via writeGraph / writeOperationList)
 /// Stats cross the wire so a remote client observes the same counters a
 /// local caller would (e.g. resultCacheHits = 1 on a warm repeat). The
-/// text stats line predates the store byte counters and stays at 14
-/// counters; readers zero the two new ones.
+/// text stats line predates the store byte counters and the bound-abort
+/// phase split and stays at 14 counters; readers zero the newer fields.
 void writeOptimizedPlan(std::ostream& os, const OptimizedPlan& plan);
 [[nodiscard]] OptimizedPlan readOptimizedPlan(std::istream& is);
 
@@ -266,6 +276,11 @@ inline constexpr int kStoreStatsVersion = 1;
 struct StoreGet {
   std::string key;
   bool wantPlan = true;
+  /// Binary v3 only: `key` is a structural prefix (BoundBoard's
+  /// structuralPrefixOfKey) and the host replies with the most recent
+  /// winner whose key shares it — a warm-start hint, sent without a bound.
+  /// The frozen text format has no near field (text readers see false).
+  bool near = false;
 };
 void writeStoreGet(std::ostream& os, const std::string& key,
                    bool wantPlan = true);
@@ -331,7 +346,8 @@ void writeStoreStats(std::ostream& os, const StoreStatsWire& stats);
 /// Binary store verbs (wire codec v3) — same sniff-both-dialects contract
 /// as decodePlanRequest/decodeOptimizedPlan above.
 [[nodiscard]] std::string encodeStoreGet(const std::string& key,
-                                         bool wantPlan = true);
+                                         bool wantPlan = true,
+                                         bool near = false);
 [[nodiscard]] StoreGet decodeStoreGet(std::string_view payload);
 [[nodiscard]] std::string encodeStorePut(const std::string& key,
                                          const OptimizedPlan& plan);

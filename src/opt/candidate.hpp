@@ -134,6 +134,14 @@ class CandidateRegistry {
 /// precedence edges. Whitespace-free, so it can prefix cache keys that
 /// survive the plain-text (de)serializer. Service names are excluded —
 /// they never affect plan values.
+///
+/// Format contract (load-bearing for near-key warm starts): the signature
+/// is ';'-separated segments where "a<n>" and the sorted ";p<from>><to>"
+/// precedence segments are STRUCTURAL and the per-service "<cost>:<sel>"
+/// segments are PARAMETRIC. structuralPrefixOfKey (src/serve/bound_board.hpp)
+/// splits request keys on exactly this shape — two applications share a
+/// structural prefix iff they differ only in costs/selectivities. Changing
+/// the segment grammar here requires updating that splitter in lockstep.
 [[nodiscard]] std::string applicationSignature(const Application& app);
 
 /// Thread-safe surrogate-score memo. PR 1 instantiated one per optimizer

@@ -53,8 +53,10 @@ struct EngineStats {
   std::size_t sharedHits = 0;
   /// LRU entries this request's insertions evicted at the capacity bound.
   std::size_t evictions = 0;
-  /// Dominated difference-constraint solves aborted by the incumbent bound
-  /// threaded from the request's best-ranked candidate.
+  /// Dominated solves aborted by an incumbent bound — the TOTAL across
+  /// phases (= seedBoundAborts + repairBoundAborts), kept as its own field
+  /// so old readers of the wire stats block keep seeing the number they
+  /// always saw.
   std::size_t boundAborts = 0;
   /// 1 when this batch member was served wholesale from an identical
   /// earlier member of the same optimizePlanBatch call.
@@ -83,6 +85,15 @@ struct EngineStats {
   /// these like the other counters.
   std::size_t storeBytesSent = 0;
   std::size_t storeBytesReceived = 0;
+
+  /// Phase split of boundAborts (appended in wire stats v4+; zero when a
+  /// peer predates the split). Seed-phase: order searches pruned during
+  /// enumeration — the plain INORDER/latency searches plus the OUTORDER
+  /// seed's derived bound, including whole candidates dominated below the
+  /// analytic floor. Repair-phase: OUTORDER repair bisections cut short
+  /// because their certified floor crossed the final-value incumbent.
+  std::size_t seedBoundAborts = 0;
+  std::size_t repairBoundAborts = 0;
 
   /// Scratch allocation discipline: growth events per hot-loop probe.
   [[nodiscard]] double allocsPerProbe() const {

@@ -28,11 +28,13 @@ Orchestration orchestrate(const Application& app, const ExecutionGraph& graph,
       case CommModel::OutOrder: {
         OutorderOptions oo = opt.outorder;
         oo.inorder = opt.order;
-        // The conflict repair improves *below* its INORDER seed, so an
-        // incumbent that dominates the seed does not dominate the final
-        // OUTORDER value — pruning the seed search would be unsound here.
+        // The incumbent bounds the *final* OUTORDER value; the search
+        // derives its own sound seed-phase bound from it (the plain
+        // incumbent would be unsound against the seed, which the repair
+        // improves below), so strip the caller's INORDER bound here.
         oo.inorder.upperBound = std::numeric_limits<double>::infinity();
         oo.inorder.boundAborts = nullptr;
+        oo.upperBound = opt.order.upperBound;
         out.result = outorderOrchestratePeriod(app, graph, oo);
         break;
       }

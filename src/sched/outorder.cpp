@@ -318,10 +318,57 @@ OrchestrationResult orchestratePeriod(const Application& app,
                                    ? CommModel::OutOrder
                                    : CommModel::Overlap;
   const double lb = costs.periodLowerBound(boundModel);
+  const double incumbent = opt.upperBound;
+
+  const auto abortOut = [](std::atomic<std::size_t>* counter) {
+    if (counter != nullptr) counter->fetch_add(1, std::memory_order_relaxed);
+    OrchestrationResult pruned;
+    pruned.value = std::numeric_limits<double>::infinity();
+    return pruned;
+  };
+
+  // Every value reachable here is >= lb, so an incumbent strictly below the
+  // analytic floor dominates the whole candidate before any search runs.
+  if (lb > incumbent) return abortOut(opt.seedBoundAborts);
+
+  // Sound seed-phase bound. The plain incumbent is unsound against the seed
+  // search (the repair improves *below* its seed), so bound the seed by the
+  // incumbent plus the worst-case repair improvement instead. Certify a seed
+  // upper bound seedUb from two cheap fixed-order evaluations (the heuristic
+  // and canonical orders — the enumeration's winner S* can be no worse than
+  // either); the repair floor is lb, so any seed order that could still beat
+  // the incumbent after repair satisfies S <= incumbent + (S - lb), and in
+  // particular every order with value > incumbent + (seedUb - lb) is
+  // dominated. Taking max(seedUb, ...) keeps the bound at or above seedUb
+  // even under floating-point rounding, so the seed winner itself can never
+  // abort: the seed stays bit-identical to the unbounded seed on every
+  // candidate, and only provably-dominated orders are pruned.
+  OrchestrationOptions seedOpt = opt.inorder;
+  if (std::isfinite(incumbent)) {
+    double seedUb = std::numeric_limits<double>::infinity();
+    if (const auto probe = inorderPeriodForOrders(
+            app, graph, PortOrders::heuristic(app, graph))) {
+      seedUb = std::min(seedUb, probe->value);
+    }
+    if (const auto probe =
+            inorderPeriodForOrders(app, graph, PortOrders::canonical(graph))) {
+      seedUb = std::min(seedUb, probe->value);
+    }
+    if (std::isfinite(seedUb)) {
+      seedOpt.upperBound = std::min(
+          seedOpt.upperBound, std::max(seedUb, incumbent + (seedUb - lb)));
+      seedOpt.boundAborts = opt.seedBoundAborts;
+    }
+  }
 
   // Seed with the INORDER optimum: INORDER-valid implies valid for both
   // relaxations searched here.
-  OrchestrationResult best = inorderOrchestratePeriod(app, graph, opt.inorder);
+  OrchestrationResult best = inorderOrchestratePeriod(app, graph, seedOpt);
+  if (!std::isfinite(best.value)) {
+    // The bounded seed found nothing under its (sound) bound, so no repair
+    // of any seed could reach the incumbent either.
+    return best;
+  }
   if (best.value <= lb + 1e-9) return best;
 
   // One shape and one scratch pool serve every bisection probe — the
@@ -341,6 +388,15 @@ OrchestrationResult orchestratePeriod(const Application& app,
   double lo = lb;
   double hi = best.value;
   for (std::size_t step = 0; step < opt.bisectSteps && hi - lo > 1e-6; ++step) {
+    // Final-value incumbent, sound here: the reported value is always the
+    // current hi and hi > lo throughout, so once the certified floor lo
+    // crosses the incumbent this candidate can no longer match it — and the
+    // unbounded bisection would have walked the identical lo/hi trajectory
+    // to the same conclusion.
+    if (lo > incumbent) {
+      publishRepairStats(scratch, opt);
+      return abortOut(opt.repairBoundAborts);
+    }
     const double mid = 0.5 * (lo + hi);
     if (auto ol = repair(mid)) {
       best.value = mid;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "src/core/application.hpp"
 #include "src/core/execution_graph.hpp"
@@ -33,6 +34,23 @@ struct OutorderOptions {
   std::uint64_t seed = 1;
   ThreadPool* pool = nullptr;      ///< nullptr = serial restarts
   OrchestrationOptions inorder{};  ///< options for the INORDER seed
+  /// Incumbent bound on the *final* (post-repair) OUTORDER value. The plain
+  /// incumbent is unsound against the INORDER seed search — the repair
+  /// improves below its seed — so the search derives its own seed-phase
+  /// bound from this value plus the worst-case repair improvement (the gap
+  /// between a certified seed upper bound and the analytic lower bound) and
+  /// checks the final-value incumbent only inside the repair bisection.
+  /// Candidates whose best reachable value exceeds the bound return an
+  /// infinite-value result; otherwise the winner is bit-identical to the
+  /// unbounded search. orchestrate() overwrites this field from
+  /// OrchestrationOptions::upperBound, so it is not a request-key knob;
+  /// it only matters for direct callers of the functions below.
+  double upperBound = std::numeric_limits<double>::infinity();
+  /// Orders pruned during the seed phase (the bounded INORDER enumeration
+  /// plus whole candidates dominated before the seed even runs).
+  std::atomic<std::size_t>* seedBoundAborts = nullptr;
+  /// Bisections cut short because the certified floor crossed the incumbent.
+  std::atomic<std::size_t>* repairBoundAborts = nullptr;
   /// Memory-discipline observability, mirroring OrchestrationOptions: repair
   /// iterations count as probes; scratch growth events and the conflict-list
   /// arena high water feed the same EngineStats counters.

@@ -301,4 +301,31 @@ std::size_t countPortOrders(const ExecutionGraph& graph,
   return std::min(count, maxCombos);
 }
 
+PortOrders ordersFromOperationList(const ExecutionGraph& graph,
+                                   const OperationList& ol) {
+  PortOrders po = PortOrders::shapedFor(graph);
+  std::vector<NodeId> seq;
+  const auto byBegin = [](const CommRecord& a, const CommRecord& b) {
+    return a.begin < b.begin;
+  };
+  for (NodeId i = 0; i < graph.size(); ++i) {
+    auto ins = ol.incoming(i);
+    std::stable_sort(ins.begin(), ins.end(), byBegin);
+    seq.clear();
+    for (const CommRecord& rec : ins) seq.push_back(rec.from);
+    // Defensive: an OL from a different comm structure yields valid (if
+    // uninformed) orders instead of overrunning the fixed port slots.
+    if (seq.size() != po.in(i).size()) return PortOrders::canonical(graph);
+    po.setIn(i, seq);
+
+    auto outs = ol.outgoing(i);
+    std::stable_sort(outs.begin(), outs.end(), byBegin);
+    seq.clear();
+    for (const CommRecord& rec : outs) seq.push_back(rec.to);
+    if (seq.size() != po.out(i).size()) return PortOrders::canonical(graph);
+    po.setOut(i, seq);
+  }
+  return po;
+}
+
 }  // namespace fsw

@@ -171,4 +171,15 @@ bool forEachPortOrders(const ExecutionGraph& graph, std::size_t maxCombos,
 [[nodiscard]] std::size_t countPortOrders(const ExecutionGraph& graph,
                                           std::size_t maxCombos);
 
+/// Recovers per-port orders from a realized schedule: at every node the
+/// incoming (resp. outgoing) communications sorted by begin time become the
+/// receive (resp. send) order. `ol` must have been built for `graph` (the
+/// comm sets must match). The warm-start path uses this to turn a prior
+/// winner's OL into orders that can be re-evaluated under new parameters;
+/// note that for a wrapped OUTORDER OL the begin-time order is only *a*
+/// permutation — its re-evaluation may be infeasible, which callers must
+/// treat as "no information", never as a bound.
+[[nodiscard]] PortOrders ordersFromOperationList(const ExecutionGraph& graph,
+                                                 const OperationList& ol);
+
 }  // namespace fsw

@@ -1,8 +1,38 @@
 #include "src/serve/bound_board.hpp"
 
 #include <cmath>
+#include <string_view>
 
 namespace fsw {
+
+std::string structuralPrefixOfKey(const std::string& key) {
+  // Key shape (PlanEngine::requestKey): applicationSignature '#' model '#'
+  // objective '#' optionsFingerprint, where applicationSignature is
+  //   a<n> (';' <cost> ':' <selectivity>)*n (";p" <from> '>' <to>)*
+  // The structural prefix keeps "a<n>", the ";p..." precedence segments and
+  // everything from the first '#' on, dropping the parametric
+  // cost:selectivity segments. Signatures never contain '#', so the first
+  // '#' ends the application part unambiguously.
+  const std::size_t hash = key.find('#');
+  if (hash == std::string::npos) return key;
+  std::string prefix;
+  prefix.reserve(key.size());
+  std::size_t pos = 0;
+  while (pos < hash) {
+    std::size_t next = key.find(';', pos);
+    if (next == std::string::npos || next > hash) next = hash;
+    const std::string_view seg(key.data() + pos, next - pos);
+    // Segments start with 'a' (the node count), 'p' (a precedence), or a
+    // number (a cost:selectivity pair — the part to drop).
+    if (!seg.empty() && (seg.front() == 'a' || seg.front() == 'p')) {
+      prefix.append(seg);
+      prefix.push_back(';');
+    }
+    pos = next + 1;
+  }
+  prefix.append(key, hash, std::string::npos);
+  return prefix;
+}
 
 void BoundBoard::publish(const std::string& key, double value) {
   if (!std::isfinite(value)) return;
@@ -16,6 +46,11 @@ void BoundBoard::publish(const std::string& key, double value) {
   const auto posted = bounds_.lookup(key);
   const bool tightens = !posted.has_value() || value < *posted;
   if (tightens) (void)bounds_.insert(key, value);
+  // Index the key under its structural prefix for near-key warm starts.
+  // "Most recent publish wins" is the whole policy: concurrent posters of
+  // different keys race benignly (the table names a hint to re-validate,
+  // never a bound), and re-posts of the same key are idempotent.
+  (void)near_.insert(structuralPrefixOfKey(key), key);
   const std::lock_guard<std::mutex> lock(mu_);
   ++stats_.published;
   if (tightens) ++stats_.tightened;
@@ -27,6 +62,14 @@ std::optional<double> BoundBoard::lookup(const std::string& key) {
   ++stats_.consulted;
   if (posted.has_value()) ++stats_.hits;
   return posted;
+}
+
+std::optional<std::string> BoundBoard::nearestKey(const std::string& prefix) {
+  const auto named = near_.lookup(prefix);
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.nearConsulted;
+  if (named.has_value()) ++stats_.nearHits;
+  return named;
 }
 
 std::size_t BoundBoard::size() const { return bounds_.size(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <iomanip>
 #include <limits>
 #include <sstream>
@@ -10,7 +11,9 @@
 #include <utility>
 
 #include "src/io/serialize.hpp"
+#include "src/sched/inorder.hpp"
 #include "src/sched/orchestrator.hpp"
+#include "src/sched/port_orders.hpp"
 #include "src/serve/bound_board.hpp"
 #include "src/serve/result_store.hpp"
 
@@ -200,8 +203,18 @@ OptimizedPlan PlanEngine::solveOne(const Application& app, CommModel m,
   orch.order.pool = pool;
   orch.outorder.pool = pool;
   orch.outorder.inorder.pool = pool;  // the OUTORDER path's INORDER seed
-  std::atomic<std::size_t> aborts{0};
-  orch.order.boundAborts = &aborts;
+  // Bound-abort accounting, split by phase: order searches (the plain
+  // INORDER/latency enumerations and the OUTORDER seed's derived bound)
+  // count as seed-phase; OUTORDER repair bisections cut short by the
+  // final-value incumbent count as repair-phase. orchestrate() threads the
+  // final-value incumbent (order.upperBound) into the OUTORDER search,
+  // which derives its own sound seed bound from it — see
+  // src/sched/outorder.hpp.
+  std::atomic<std::size_t> seedAborts{0};
+  std::atomic<std::size_t> repairAborts{0};
+  orch.order.boundAborts = &seedAborts;
+  orch.outorder.seedBoundAborts = &seedAborts;
+  orch.outorder.repairBoundAborts = &repairAborts;
   // Memory-discipline counters, aggregated once per search (not per probe).
   std::atomic<std::size_t> probes{0};
   std::atomic<std::size_t> scratchAllocs{0};
@@ -217,33 +230,69 @@ OptimizedPlan PlanEngine::solveOne(const Application& app, CommModel m,
   orch.outorder.inorder.arenaBytesHighWater = &arenaHighWater;
   const std::size_t top = std::min(opt.orchestrateTop, candidates.size());
   best.stats.orchestrated = top;
+
+  // Early tightening: the candidate that runs first (the "lead") is the
+  // one whose source has the highest observed win rate on this engine, so
+  // the incumbent is as strong as history can make it before the tail
+  // sources start. Strictly an *execution-order* choice: the reduce below
+  // stays index-ordered over the step-4 ranking, so winners — and every
+  // per-request stat except the abort counters — are independent of the
+  // lead. Ties (including the empty-history engine, where every rate is
+  // 0) keep the lowest index, i.e. the step-4 rank-0 candidate.
+  std::size_t lead = 0;
+  if (top > 1) {
+    const std::lock_guard<std::mutex> lock(sourceMu_);
+    double bestRate = -1.0;
+    for (std::size_t k = 0; k < top; ++k) {
+      double rate = 0.0;
+      if (const auto it = sourceTallies_.find(candidates[k].strategy);
+          it != sourceTallies_.end() && it->second.solves > 0) {
+        rate = static_cast<double>(it->second.wins) /
+               static_cast<double>(it->second.solves);
+      }
+      if (rate > bestRate) {
+        bestRate = rate;
+        lead = k;
+      }
+    }
+  }
+
   std::vector<Orchestration> results(top);
   if (top > 0) {
-    // A cross-engine incumbent for this exact key (the shared BoundBoard)
-    // bounds even rank 0, which the within-request incumbent never can.
-    // Sound because the board value is this key's own deterministic winner
-    // value w: no candidate achieves less, every candidate achieving
-    // exactly w is kept bit-exact by the feasibility probe, and dominated
-    // solves (rank 0's included — it may return infinity and lose) abort
-    // without ever having been able to win. Winners cannot change; only
-    // boundAborts grows.
+    // A cross-engine incumbent for this request (the shared BoundBoard /
+    // store, exact- or validated near-key) bounds even the lead, which the
+    // within-request incumbent never can. Sound for an exact key because
+    // the board value is this key's own deterministic winner value w: no
+    // candidate achieves less, every candidate achieving exactly w is kept
+    // bit-exact by the feasibility probe, and dominated solves (the
+    // lead's included — it may return infinity and lose) abort without
+    // ever having been able to win. Sound for a validated near key because
+    // the bound is an achievable value under this request's own
+    // parameters. Winners cannot change; only the abort counters grow —
+    // and the post-reduce re-run below makes even an unsound bound
+    // winner-preserving.
     OrchestratorOptions first = orch;
     first.order.upperBound = std::min(orch.order.upperBound, externalBound);
-    results[0] = orchestrate(app, candidates[0].graph, m, obj, first);
+    results[lead] = orchestrate(app, candidates[lead].graph, m, obj, first);
   }
   if (top > 1) {
     OrchestratorOptions bounded = orch;
     bounded.order.upperBound =
-        std::min({orch.order.upperBound, results[0].result.value,
+        std::min({orch.order.upperBound, results[lead].result.value,
                   externalBound});
-    auto rest = parallelMap<Orchestration>(pool, top - 1, [&](std::size_t k) {
-      return orchestrate(app, candidates[k + 1].graph, m, obj, bounded);
+    auto rest = parallelMap<Orchestration>(pool, top - 1, [&](std::size_t j) {
+      const std::size_t k = j < lead ? j : j + 1;
+      return orchestrate(app, candidates[k].graph, m, obj, bounded);
     });
-    for (std::size_t k = 0; k + 1 < top; ++k) {
-      results[k + 1] = std::move(rest[k]);
+    for (std::size_t j = 0; j + 1 < top; ++j) {
+      const std::size_t k = j < lead ? j : j + 1;
+      results[k] = std::move(rest[j]);
     }
   }
-  best.stats.boundAborts = aborts.load(std::memory_order_relaxed);
+  best.stats.seedBoundAborts = seedAborts.load(std::memory_order_relaxed);
+  best.stats.repairBoundAborts = repairAborts.load(std::memory_order_relaxed);
+  best.stats.boundAborts =
+      best.stats.seedBoundAborts + best.stats.repairBoundAborts;
   best.stats.evalProbes = probes.load(std::memory_order_relaxed);
   best.stats.scratchHeapAllocs = scratchAllocs.load(std::memory_order_relaxed);
   best.stats.arenaBytesHighWater =
@@ -260,7 +309,82 @@ OptimizedPlan PlanEngine::solveOne(const Application& app, CommModel m,
       best.strategy = candidates[k].strategy;
     }
   }
+
+  // Belt-and-braces for external bounds: a *sound* externalBound (an exact
+  // key's own winner value, or a value achievable under this request's
+  // parameters) can never end the reduce above itself — some candidate
+  // achieves it. If the reduce DID end above a finite external bound, the
+  // bound was too tight (it pruned the true winner), so re-run this one
+  // solve unbounded: the re-run is byte-for-byte the reference solve, and
+  // its stats (which describe the work that produced the returned winner)
+  // replace the aborted attempt's.
+  if (top > 0 && std::isfinite(externalBound) &&
+      !(best.value <= externalBound)) {
+    return solveOne(app, m, obj, opt,
+                    std::numeric_limits<double>::infinity());
+  }
+
+  // Feed the per-source tallies (the early-tightening signal). Counted
+  // after the re-run guard so a discarded bounded attempt never skews the
+  // history that future lead choices read.
+  {
+    const std::lock_guard<std::mutex> lock(sourceMu_);
+    for (std::size_t k = 0; k < top; ++k) {
+      SourceTally& tally = sourceTallies_[candidates[k].strategy];
+      ++tally.solves;
+      if (!std::isfinite(results[k].result.value)) ++tally.aborts;
+    }
+    if (std::isfinite(best.value)) ++sourceTallies_[best.strategy].wins;
+  }
   return best;
+}
+
+double PlanEngine::validatedWarmBound(const PlanRequest& r,
+                                      const OptimizedPlan& neighbor) {
+  // A neighbor's VALUE is meaningless under this request's parameters; its
+  // ORDERS might still be good. Re-run the exact single-order evaluator on
+  // them under r's costs/selectivities: whatever comes back is achievable
+  // for r, hence a sound incumbent. Anything short of that certainty — a
+  // size mismatch, a graph that misses a precedence, orders the evaluator
+  // rejects — is "no information" (+inf), never a guess.
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  try {
+    if (!std::isfinite(neighbor.value)) return inf;
+    const ExecutionGraph& graph = neighbor.plan.graph;
+    if (graph.size() != r.app.size() || !graph.respects(r.app)) return inf;
+    const PortOrders orders = ordersFromOperationList(graph, neighbor.plan.ol);
+    // An INORDER-valid schedule is OUTORDER-achievable (OUTORDER only
+    // relaxes sequencing), so the INORDER evaluator bounds both period
+    // models; one-port latency is model-agnostic already. A wrapped
+    // OUTORDER OL may induce cyclic orders — the evaluator answers nullopt
+    // and the warm start simply yields nothing.
+    if (r.model == CommModel::InOrder || r.model == CommModel::OutOrder) {
+      if (r.objective == Objective::Period) {
+        const auto probe = inorderPeriodForOrders(r.app, graph, orders);
+        return probe ? probe->value : inf;
+      }
+      if (r.objective == Objective::Latency) {
+        const auto probe = oneportLatencyForOrders(r.app, graph, orders);
+        return probe ? probe->value : inf;
+      }
+    }
+    return inf;
+  } catch (...) {
+    return inf;
+  }
+}
+
+std::vector<std::pair<std::string, PlanEngine::SourceTally>>
+PlanEngine::sourceStats() const {
+  std::vector<std::pair<std::string, SourceTally>> out;
+  const std::lock_guard<std::mutex> lock(sourceMu_);
+  out.reserve(sourceTallies_.size());
+  for (const auto& [source, tally] : sourceTallies_) {
+    out.emplace_back(source, tally);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 OptimizedPlan PlanEngine::optimize(const PlanRequest& request) {
@@ -341,11 +465,11 @@ std::vector<OptimizedPlan> PlanEngine::optimizeBatch(
   }
 
   std::vector<std::size_t> misses;
-  std::vector<double> remoteBounds;
+  std::vector<double> externalBounds;
   misses.reserve(pending.size());
-  remoteBounds.reserve(pending.size());
+  externalBounds.reserve(pending.size());
   for (const std::size_t i : pending) {
-    double remoteBound = std::numeric_limits<double>::infinity();
+    double external = std::numeric_limits<double>::infinity();
     if (const auto it = remote.find(i); it != remote.end()) {
       if (it->second.plan != nullptr && config_.cacheFullResults) {
         out[i] = *it->second.plan;
@@ -358,30 +482,60 @@ std::vector<OptimizedPlan> PlanEngine::optimizeBatch(
         (void)results_.insert(keys[i], out[i]);
         continue;
       }
-      remoteBound = it->second.bound;
+      external = it->second.bound;
+    }
+    // Fix every external incumbent in this serial, index-ordered pass —
+    // before the parallel region — so pooled and serial batches consult
+    // board and store identically. Exact key first (the board value IS
+    // this key's winner); on an exact miss, a near-key warm start: fetch
+    // the most recent winner sharing this request's structural prefix
+    // (board hint + local results, then the remote store) and re-evaluate
+    // its orders under THIS request's parameters. Only that certified
+    // achievable value — never the neighbor's value or plan — joins the
+    // incumbent min.
+    const PlanRequest& r = requests[i];
+    if (resultCacheable(r)) {
+      if (config_.boundBoard != nullptr) {
+        external = std::min(
+            external,
+            config_.boundBoard->lookup(keys[i]).value_or(
+                std::numeric_limits<double>::infinity()));
+      }
+      if (!std::isfinite(external) &&
+          (config_.boundBoard != nullptr || config_.resultStore != nullptr)) {
+        const std::string prefix = structuralPrefixOfKey(keys[i]);
+        std::shared_ptr<const OptimizedPlan> neighbor;
+        if (config_.boundBoard != nullptr) {
+          if (const auto nearKey = config_.boundBoard->nearestKey(prefix);
+              nearKey && *nearKey != keys[i]) {
+            neighbor = results_.lookup(*nearKey);
+          }
+        }
+        if (neighbor == nullptr && config_.resultStore != nullptr) {
+          auto lookup = config_.resultStore->getNear(prefix);
+          neighbor = std::move(lookup.plan);
+          remote[i].bytesSent += lookup.bytesSent;
+          remote[i].bytesReceived += lookup.bytesReceived;
+        }
+        if (neighbor != nullptr) {
+          external = std::min(external, validatedWarmBound(r, *neighbor));
+        }
+      }
     }
     misses.push_back(i);
-    remoteBounds.push_back(remoteBound);
+    externalBounds.push_back(external);
   }
 
   // Fan the remaining solves out over the engine pool. Each solve nests
   // its own fan-out on the same workers; the pool's helping discipline
-  // makes nested regions deadlock-free. A shared BoundBoard (cross-engine
-  // incumbents) is consulted per solve: for result-cacheable requests the
-  // dedup key IS the canonical requestKey, the board's key discipline —
-  // and the remote store's bound (fixed in the serial probe pass above)
-  // joins it through the same min.
+  // makes nested regions deadlock-free. Every external incumbent (board,
+  // store, near-key warm start) was fixed in the serial pass above, so
+  // the parallel region only reads.
   auto solved =
       parallelMap<OptimizedPlan>(pool_, misses.size(), [&](std::size_t k) {
         const PlanRequest& r = requests[misses[k]];
-        double external = remoteBounds[k];
-        if (config_.boundBoard != nullptr && resultCacheable(r)) {
-          external = std::min(
-              external,
-              config_.boundBoard->lookup(keys[misses[k]])
-                  .value_or(std::numeric_limits<double>::infinity()));
-        }
-        return solveOne(r.app, r.model, r.objective, r.options, external);
+        return solveOne(r.app, r.model, r.objective, r.options,
+                        externalBounds[k]);
       });
   std::vector<std::string> publishKeys;
   std::vector<const OptimizedPlan*> publishPlans;

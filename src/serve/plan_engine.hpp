@@ -38,8 +38,11 @@
 #include <cstddef>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/thread_pool.hpp"
@@ -92,8 +95,14 @@ struct EngineConfig {
   /// every orchestration's abort threshold (rank 0 included) with the
   /// posted value. Winner-preserving by construction (see
   /// src/serve/bound_board.hpp): only EngineStats::boundAborts can grow.
-  /// Only result-cacheable requests participate — the board's key
-  /// discipline is the result cache's.
+  /// The board also powers near-key warm starts: on an exact-key miss the
+  /// engine asks for the most recent winner sharing the request's
+  /// STRUCTURAL prefix (same graph/precedences/portfolio, drifted
+  /// costs/selectivities), re-evaluates that winner's orders under the
+  /// request's own parameters, and uses the certified achievable value as
+  /// an incumbent — a true bound, never a guess, and the neighbor's plan
+  /// itself is never served. Only result-cacheable requests participate —
+  /// the board's key discipline is the result cache's.
   BoundBoard* boundBoard = nullptr;
   /// Fleet-shared second-level result store (not owned; nullptr = off) —
   /// a RemoteResultStore speaking to a ResultStoreHost, possibly on
@@ -109,6 +118,9 @@ struct EngineConfig {
   /// reason. Completed solves publish their winner back. Transport
   /// failures degrade to misses/no-ops: the store is an accelerator,
   /// never a dependency. Only result-cacheable requests participate.
+  /// On an exact-key miss with no local near neighbor, the engine also
+  /// asks the store for a near (structural-prefix) neighbor to warm-start
+  /// from — same validate-before-use contract as the board's near table.
   RemoteResultStore* resultStore = nullptr;
 };
 
@@ -191,18 +203,49 @@ class PlanEngine : public PlanSolver {
   [[nodiscard]] std::string dedupKey(
       const PlanRequest& request) const override;
 
+  /// Per-source outcome tally across this engine's lifetime — the signal
+  /// behind early tightening (see solveOne): the portfolio member whose
+  /// source has the highest observed win rate runs first, so the incumbent
+  /// is strong before the expensive tail sources start.
+  struct SourceTally {
+    std::size_t solves = 0;  ///< orchestrated candidates from this source
+    std::size_t wins = 0;    ///< solves whose candidate won the reduce
+    std::size_t aborts = 0;  ///< solves fully pruned by an incumbent bound
+  };
+
+  /// Snapshot of the per-source tallies (source name -> tally), engine
+  /// state rather than per-request wire stats: the ranking signal is
+  /// cumulative and local by design. Purely observational — execution
+  /// order never changes the canonical index-ordered reduce, so winners
+  /// (and per-request stats) stay bit-identical whatever the history.
+  [[nodiscard]] std::vector<std::pair<std::string, SourceTally>> sourceStats()
+      const;
+
   /// The process-wide default engine behind the optimizePlan facade.
   static PlanEngine& shared();
 
  private:
-  /// `externalBound` is a cross-engine incumbent for this exact request
-  /// key (from the shared BoundBoard): it bounds every orchestration,
-  /// rank 0 included — winner-preserving because it is this key's own
-  /// winner value, see bound_board.hpp. Infinity = none.
+  /// `externalBound` is a cross-engine incumbent for this request (an
+  /// exact-key board/store bound, or a validated near-key warm bound): it
+  /// bounds every orchestration, the lead rank included. Exact-key bounds
+  /// are winner-preserving because they are this key's own winner value
+  /// (see bound_board.hpp); validated near bounds are achievable values
+  /// under this request's own parameters. Belt-and-braces for both: if the
+  /// reduce ends above a finite externalBound (a bound that beat every
+  /// candidate — impossible for a sound bound), solveOne re-runs itself
+  /// unbounded, so even a corrupted bound can only cost time, never
+  /// change a winner. Infinity = none.
   [[nodiscard]] OptimizedPlan solveOne(const Application& app, CommModel m,
                                        Objective obj,
                                        const OptimizerOptions& opt,
                                        double externalBound);
+  /// A certified warm-start incumbent for `r` from `neighbor` (a prior
+  /// winner sharing r's structural prefix): re-evaluates the neighbor's
+  /// port orders under r's own application. Returns infinity when the
+  /// re-evaluation is infeasible or the shape does not apply — "no
+  /// information", never a guess.
+  [[nodiscard]] static double validatedWarmBound(const PlanRequest& r,
+                                                 const OptimizedPlan& neighbor);
   [[nodiscard]] ThreadPool* poolFor(const OptimizerOptions& opt) const;
   /// Whether the request's key soundly identifies its winner beyond this
   /// call (see the definition for the two unsound shapes it excludes).
@@ -213,6 +256,8 @@ class PlanEngine : public PlanSolver {
   ThreadPool* pool_ = nullptr;  ///< resolved engine pool (may be null: serial)
   CandidateCache cache_;        ///< shared cross-request score cache
   ResultCache results_;         ///< full-result store (requestKey -> winner)
+  mutable std::mutex sourceMu_;  ///< guards sourceTallies_
+  std::unordered_map<std::string, SourceTally> sourceTallies_;
 };
 
 /// Batch adapter on the process-wide engine, mirroring optimizePlan.

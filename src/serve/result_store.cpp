@@ -39,6 +39,27 @@ void ResultStoreHost::handleFrame(Responder& out, Frame frame) {
     switch (frame.type) {
       case FrameType::StoreGet: {
         const StoreGet get = decodeStoreGet(frame.payload);
+        if (get.near) {
+          // Near (prefix) GET: `key` is a structural prefix; answer with
+          // the most recently stored winner sharing it. NO bound travels —
+          // a neighbor's value is not a bound for the asker's key; the
+          // asker re-evaluates the plan under its own parameters.
+          const auto neighbor = bounds_.nearestKey(get.key);
+          const ResultCache::Entry entry =
+              neighbor ? results_.lookup(*neighbor) : ResultCache::Entry{};
+          const double noBound = std::numeric_limits<double>::infinity();
+          if (binary) {
+            encoded = encodeStoreReply(entry.get(), noBound);
+          } else {
+            std::ostringstream os;
+            writeStoreReply(os, entry.get(), noBound);
+            encoded = os.str();
+          }
+          const std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.nearGets;
+          if (entry != nullptr) ++stats_.nearHits;
+          break;
+        }
         // wantPlan = false is a bound-only probe (the asker re-solves by
         // policy): skip the result lookup so no plan is serialized just
         // to be discarded on the far side.
@@ -217,6 +238,53 @@ bool RemoteResultStore::roundTrip(FrameType type, const std::string& payload,
 
 RemoteResultStore::Lookup RemoteResultStore::get(const std::string& key) {
   return std::move(getMany({key}).front());
+}
+
+RemoteResultStore::Lookup RemoteResultStore::getNear(
+    const std::string& prefix) {
+  Lookup lookup;
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.nearGets;
+  if (fd_ < 0) {
+    ++stats_.failures;
+    return lookup;  // degraded: a miss
+  }
+  const std::string payload =
+      encodeStoreGet(prefix, /*wantPlan=*/true, /*near=*/true);
+  const std::size_t sentBefore = stats_.bytesSent;
+  const std::size_t receivedBefore = stats_.bytesReceived;
+  std::string reply;
+  std::string error;
+  bool errorFrame = false;
+  const bool ok = roundTrip(FrameType::StoreGet, payload, reply, error,
+                            errorFrame);
+  lookup.bytesSent = stats_.bytesSent - sentBefore;
+  lookup.bytesReceived = stats_.bytesReceived - receivedBefore;
+  if (!ok) {
+    ++stats_.failures;
+    return lookup;
+  }
+  if (errorFrame) {
+    // A host predating the near flag rejects the v3 payload with an error
+    // frame; the stream stayed in sync, so only this hint degrades.
+    ++stats_.failures;
+    return lookup;
+  }
+  try {
+    StoreReply decoded = decodeStoreReply(reply);
+    // Any bound on a near reply is ignored by construction — a neighbor's
+    // value is not a bound for the asker's key.
+    if (decoded.found) {
+      lookup.plan =
+          std::make_shared<const OptimizedPlan>(std::move(decoded.plan));
+      ++stats_.nearHits;
+    }
+  } catch (const std::exception&) {
+    closeFd(fd_);
+    fd_ = -1;
+    ++stats_.failures;
+  }
+  return lookup;
 }
 
 std::vector<RemoteResultStore::Lookup> RemoteResultStore::getMany(

@@ -70,6 +70,8 @@ class ResultStoreHost : public frameio::SocketService {
     std::size_t gets = 0;         ///< GET frames answered
     std::size_t hits = 0;         ///< GETs answered with a stored winner
     std::size_t boundHits = 0;    ///< GETs answered with a finite bound
+    std::size_t nearGets = 0;     ///< near (prefix) GET frames answered
+    std::size_t nearHits = 0;     ///< near GETs that returned a neighbor
     std::size_t puts = 0;         ///< PUT frames applied
     std::size_t errors = 0;       ///< error frames sent + dropped streams
     /// Frame traffic across every connection, headers included (the STATS
@@ -121,6 +123,8 @@ class RemoteResultStore {
   struct Stats {
     std::size_t gets = 0;      ///< get() calls issued
     std::size_t hits = 0;      ///< gets that returned a stored winner
+    std::size_t nearGets = 0;  ///< getNear() calls issued
+    std::size_t nearHits = 0;  ///< getNears that returned a neighbor plan
     std::size_t puts = 0;      ///< put() calls delivered
     std::size_t failures = 0;  ///< ops degraded by transport failures
     /// Cumulative wire bytes this client moved (frame headers included),
@@ -163,6 +167,16 @@ class RemoteResultStore {
   /// the client disconnected) on transport failure — never throws, never
   /// hangs a solve on a dead store.
   [[nodiscard]] Lookup get(const std::string& key);
+
+  /// The most recent stored winner whose key shares the structural
+  /// `prefix` (structuralPrefixOfKey): the warm-start hint for a re-solve
+  /// of a mutated application. The reply never carries a bound — a
+  /// neighbor's value is not a bound for the asker's key; the caller must
+  /// re-evaluate the plan under its own parameters (see
+  /// src/serve/bound_board.hpp). Degrades to a miss like get(); a host
+  /// predating the near flag answers with an error frame, which also
+  /// degrades to a miss (without dropping the session).
+  [[nodiscard]] Lookup getNear(const std::string& prefix);
 
   /// The stored winners and bounds for `keys`, answered index-aligned in
   /// ONE pipelined pass over the socket (every GET frame is written, then

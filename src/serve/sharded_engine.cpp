@@ -35,6 +35,8 @@ void accumulate(EngineStats& into, const EngineStats& s) {
       std::max(into.arenaBytesHighWater, s.arenaBytesHighWater);
   into.storeBytesSent += s.storeBytesSent;
   into.storeBytesReceived += s.storeBytesReceived;
+  into.seedBoundAborts += s.seedBoundAborts;
+  into.repairBoundAborts += s.repairBoundAborts;
 }
 
 }  // namespace
