@@ -250,7 +250,8 @@ void printMemoryDisciplineTable() {
 
   bool allIdentical = true;
   std::size_t totalSeedAborts = 0;
-  std::string json = "{\n";
+  std::string json =
+      "{\n  \"schema\": \"fsw-bench-pruning\",\n  \"bench_version\": 1,\n";
   for (const Case& c : cases) {
     OutorderOptions base;
     base.inorder.exactCap = 20000;

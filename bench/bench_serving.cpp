@@ -98,8 +98,10 @@
 #include "src/serve/result_cache.hpp"
 #include "src/serve/result_store.hpp"
 #include "src/serve/sharded_engine.hpp"
+#include "src/sim/scenario_driver.hpp"
 #include "src/workload/generator.hpp"
 #include "src/workload/paper_instances.hpp"
+#include "src/workload/trace.hpp"
 
 namespace {
 
@@ -750,13 +752,10 @@ struct SizeRow {
 
   if (jsonPath != nullptr) {
     std::ofstream out(jsonPath);
-    out << "{\n";
-    bool first = true;
+    out << "{\n  \"schema\": \"fsw-bench-wire\",\n  \"bench_version\": 1";
     for (const SizeRow& row : rows) {
       if (row.jsonKey == nullptr) continue;
-      if (!first) out << ",\n";
-      first = false;
-      out << "  \"" << row.jsonKey << "_text\": " << row.textBytes << ",\n"
+      out << ",\n  \"" << row.jsonKey << "_text\": " << row.textBytes << ",\n"
           << "  \"" << row.jsonKey << "_bin\": " << row.binBytes;
     }
     out << "\n}\n";
@@ -946,6 +945,177 @@ Application mutateParams(const Application& app, double costScale,
   }
   std::printf("\n");
   return allOk && warmAborts > 0;
+}
+
+// ---- E15: dynamic trace replay --------------------------------------------
+
+/// Lighter per-solve knobs than servingOptions(): the replay certifies
+/// ~500 mutated applications against cold serial references, so each
+/// solve must stay in the low-millisecond band to keep the table quick.
+OptimizerOptions replayOptions() {
+  OptimizerOptions opt;
+  opt.exactForestMaxN = 5;
+  opt.heuristics.iterations = 200;
+  opt.heuristics.restarts = 2;
+  opt.orchestrator.order.exactCap = 120;
+  opt.orchestrator.outorder.restarts = 4;
+  opt.orchestrator.outorder.bisectSteps = 4;
+  return opt;
+}
+
+/// E15: the serving stack under *evolving* load — a generated 520-event
+/// trace (bursty heavy-tailed arrivals, hot-stream drift/add/remove
+/// mutations, one mid-trace host kill + revive) replayed through a
+/// PlanRouter over two PlanServiceHosts sharing a BoundBoard and a
+/// ResultStoreHost. Every mutation derives the successor request and
+/// re-solves it through the fleet; the PR 9 near-key machinery warm-starts
+/// the drifted re-solves.
+///
+/// Gates (exit code): the trace codec round trip is byte-identical; every
+/// re-solved winner is bit-identical to a cold one-shot serial
+/// optimizePlan of the mutated application (ScenarioDriver certification);
+/// the replay recorded at least one near hit (the warm-start path actually
+/// fired) and exactly the scheduled host kill/revive pair. Tail latency
+/// and hit-rate trajectories are exported via --replay_json for
+/// check_replay.py to gate against the checked-in baseline.
+[[nodiscard]] bool printReplayTable(const char* jsonPath) {
+  TraceSpec spec;
+  spec.events = 520;
+  spec.streams = 6;
+  spec.hosts = 2;
+  spec.hostKills = 1;
+  spec.workload.n = 5;
+  spec.workload.precedenceDensity = 0.15;
+  const Trace trace = generateTrace(spec, 8500);
+  const std::string blob = encodeTrace(trace);
+  const bool codecOk = encodeTrace(decodeTrace(blob)) == blob;
+
+  std::printf("E15: dynamic trace replay, %zu events / %zu streams through a "
+              "2-host fleet, %s engine\n",
+              trace.events.size(), spec.streams,
+              g_serial ? "serial" : "pooled");
+  std::printf("(trace: %zu wire bytes, codec round-trip %s)\n", blob.size(),
+              codecOk ? "byte-identical" : "DIVERGED");
+
+  BoundBoard board{1 << 12};
+  ResultStoreHost store{{}};
+  std::vector<std::unique_ptr<RemoteResultStore>> clients;
+  std::vector<std::unique_ptr<PlanServiceHost>> hosts;
+  std::vector<std::uint16_t> ports;
+  RouterConfig rc;
+  const auto hostConfig = [&](std::size_t h) {
+    ServiceHostConfig hc;
+    hc.serverConfig.maxBatch = 8;
+    hc.serverConfig.drainThreads = g_serial ? 1 : 2;
+    hc.serverConfig.engineConfig.threads = g_serial ? std::size_t{1} : 0;
+    hc.serverConfig.engineConfig.boundBoard = &board;
+    hc.serverConfig.engineConfig.resultStore = clients[h].get();
+    return hc;
+  };
+  for (std::size_t h = 0; h < 2; ++h) {
+    clients.push_back(
+        std::make_unique<RemoteResultStore>("127.0.0.1", store.port()));
+    hosts.push_back(std::make_unique<PlanServiceHost>(hostConfig(h)));
+    ports.push_back(hosts.back()->port());
+    rc.hosts.push_back(RouterHost{"127.0.0.1", ports.back()});
+  }
+  PlanRouter router{rc};
+
+  ScenarioConfig sc;
+  sc.maxInFlight = 8;
+  sc.options = replayOptions();
+  sc.board = &board;
+  sc.store = &store;
+  sc.router = &router;
+  ScenarioDriver driver{
+      sc, [&](const PlanRequest& r) { return router.submit(r); },
+      [&](std::uint32_t h) { hosts[h].reset(); },
+      [&](std::uint32_t h) {
+        ServiceHostConfig hc = hostConfig(h);
+        hc.port = ports[h];
+        hosts[h] = std::make_unique<PlanServiceHost>(hc);
+        (void)router.reconnect();
+      }};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const ScenarioReport report = driver.replay(trace);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wallMs =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  std::printf("%-7s %-7s %-9s %-9s %-9s %-9s %-7s %-10s %-10s %-9s\n",
+              "events", "solves", "p50[ms]", "p95[ms]", "p99[ms]", "nearhits",
+              "aborts", "cachehits", "failovers", "identical");
+  std::printf("%-7zu %-7zu %-9.2f %-9.2f %-9.2f %-9zu %-7zu %-10zu %-10zu "
+              "%-9s\n",
+              report.events, report.solves, report.p50Ms, report.p95Ms,
+              report.p99Ms, report.nearHits(), report.boundAborts,
+              report.resultCacheHits, report.routerFailovers,
+              report.allIdentical() ? "yes" : "NO!");
+  std::printf("warm starts: board near hits %zu, store near hits %zu (of "
+              "%zu near GETs); store exact hits %zu, %zu store wire bytes; "
+              "%zu cold refs certified %zu solves in %.0f ms\n",
+              report.boardNearHits, report.storeNearHits, report.storeNearGets,
+              report.storeExactHits, report.storeBytes, report.coldRefSolves,
+              report.solves, wallMs);
+
+  for (const std::string& note : report.mismatchNotes) {
+    std::printf("E15 MISMATCH: %s\n", note.c_str());
+  }
+  const bool fleetOk = report.hostKills == 1 && report.hostRevives == 1 &&
+                       router.hostUp(0) && router.hostUp(1);
+  const bool nearOk = report.nearHits() > 0;
+  if (!fleetOk) {
+    std::printf("E15 FAILURE: the host kill/revive pair did not replay "
+                "(kills %zu, revives %zu)\n",
+                report.hostKills, report.hostRevives);
+  }
+  if (!nearOk) {
+    std::printf("E15 FAILURE: no near hits — the warm-start path never "
+                "fired across %zu re-solves\n", report.solves);
+  }
+  std::printf("\n");
+
+  if (jsonPath != nullptr) {
+    std::ofstream out(jsonPath);
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n"
+                  "  \"schema\": \"fsw-bench-replay\",\n"
+                  "  \"bench_version\": 1,\n"
+                  "  \"replay_events\": %zu,\n"
+                  "  \"replay_solves\": %zu,\n"
+                  "  \"replay_identical\": %d,\n"
+                  "  \"replay_mismatches\": %zu,\n"
+                  "  \"replay_host_kills\": %zu,\n"
+                  "  \"replay_near_hits\": %zu,\n"
+                  "  \"replay_board_near_hits\": %zu,\n"
+                  "  \"replay_store_near_hits\": %zu,\n",
+                  report.events, report.solves,
+                  report.allIdentical() ? 1 : 0, report.mismatches,
+                  report.hostKills, report.nearHits(), report.boardNearHits,
+                  report.storeNearHits);
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"replay_store_exact_hits\": %zu,\n"
+                  "  \"replay_bound_aborts\": %zu,\n"
+                  "  \"replay_result_cache_hits\": %zu,\n"
+                  "  \"replay_failovers\": %zu,\n"
+                  "  \"replay_reconnects\": %zu,\n"
+                  "  \"replay_codec_bytes\": %zu,\n"
+                  "  \"replay_codec_roundtrip\": %d,\n"
+                  "  \"replay_p50_ms\": %.3f,\n"
+                  "  \"replay_p95_ms\": %.3f,\n"
+                  "  \"replay_p99_ms\": %.3f\n"
+                  "}\n",
+                  report.storeExactHits, report.boundAborts,
+                  report.resultCacheHits, report.routerFailovers,
+                  report.routerReconnects, blob.size(), codecOk ? 1 : 0,
+                  report.p50Ms, report.p95Ms, report.p99Ms);
+    out << buf;
+  }
+
+  return codecOk && report.allIdentical() && fleetOk && nearOk;
 }
 
 // ---- E13: transport scaling -----------------------------------------------
@@ -1244,16 +1414,15 @@ struct RawStoreClient {
 
   if (jsonPath != nullptr) {
     std::ofstream out(jsonPath);
-    out << "{\n";
-    bool first = true;
+    out << "{\n  \"schema\": \"fsw-bench-transport\",\n"
+           "  \"bench_version\": 1";
     for (const Row& row : rows) {
       const char* tag = row.mode == frameio::TransportMode::Reactor
                             ? "reactor"
                             : "legacy";
-      if (!first) out << ",\n";
-      first = false;
       char buf[256];
       std::snprintf(buf, sizeof(buf),
+                    ",\n"
                     "  \"%s_c%zu_p50_ms\": %.3f,\n"
                     "  \"%s_c%zu_p95_ms\": %.3f,\n"
                     "  \"%s_c%zu_ops_per_s\": %.0f",
@@ -1302,6 +1471,8 @@ int main(int argc, char** argv) {
   const char* wireJson = fswbench::stripValueFlag(argc, argv, "--wire_json");
   const char* transportJson =
       fswbench::stripValueFlag(argc, argv, "--transport_json");
+  const char* replayJson =
+      fswbench::stripValueFlag(argc, argv, "--replay_json");
   const bool batchIdentical = printServingTable();
   const bool asyncIdentical = printAsyncServingTable();
 
@@ -1320,12 +1491,14 @@ int main(int argc, char** argv) {
   const bool multiHostIdentical = printMultiHostTable(unique18, refs18);
   const bool wireOk = printWireTable(wireJson);
   const bool warmStartOk = printWarmStartTable();
+  const bool replayOk = printReplayTable(replayJson);
   const bool transportOk = printTransportTable(transportJson);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return batchIdentical && asyncIdentical && shardedIdentical &&
-                 multiHostIdentical && wireOk && warmStartOk && transportOk
+                 multiHostIdentical && wireOk && warmStartOk && replayOk &&
+                 transportOk
              ? 0
              : 1;
 }

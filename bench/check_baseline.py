@@ -30,11 +30,41 @@ def make_parser(doc, tolerance=None):
     return parser
 
 
+#: Non-numeric provenance keys stamped into every export: popped before
+#: diffing (they are not metrics) and cross-checked between the two files.
+META_KEYS = ("schema", "bench_version")
+
+
+def split_meta(data):
+    """Pops and returns the meta stamp, leaving only metric keys behind."""
+    return {key: data.pop(key) for key in META_KEYS if key in data}
+
+
+def check_meta(base_meta, cur_meta):
+    """Dies with a clear message when the stamps contradict each other.
+
+    A file predating the stamps (no meta keys at all) is tolerated — only
+    an actual mismatch is a hard error, so stamping rolls out without
+    invalidating every baseline at once.
+    """
+    for field in META_KEYS:
+        base = base_meta.get(field)
+        cur = cur_meta.get(field)
+        if base is not None and cur is not None and base != cur:
+            print(f"baseline/export mismatch: {field} is {base!r} in the "
+                  f"baseline but {cur!r} in the current export — these "
+                  "files were produced by different bench formats and "
+                  "cannot be compared. Regenerate the baseline with the "
+                  "current bench binary.", file=sys.stderr)
+            sys.exit(1)
+
+
 def load_pair(args):
     with open(args.baseline) as f:
         baseline = json.load(f)
     with open(args.current) as f:
         current = json.load(f)
+    check_meta(split_meta(baseline), split_meta(current))
     return baseline, current
 
 

@@ -25,7 +25,7 @@ class Application {
  public:
   Application() = default;
   explicit Application(std::vector<Service> services)
-      : services_(std::move(services)) {}
+      : services_(std::move(services)), precSucc_(services_.size()) {}
 
   /// Adds a service and returns its NodeId.
   NodeId addService(Service s);

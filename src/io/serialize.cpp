@@ -678,6 +678,8 @@ bool operator==(const CodedInterval& x, const CodedInterval& y) {
   return x.flags == y.flags && x.a == y.a && x.b == y.b;
 }
 
+}  // namespace
+
 void putApplication(binio::Writer& w, const Application& app) {
   w.u64(app.size());
   for (NodeId i = 0; i < app.size(); ++i) {
@@ -736,6 +738,8 @@ Application getApplication(binio::Reader& r) {
   }
   return app;
 }
+
+namespace {
 
 /// Adjacency in STORED successor order (not sorted): decode rebuilds the
 /// exact succ_/pred_ vectors, so a binary-loaded plan re-serializes and

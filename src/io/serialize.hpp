@@ -107,6 +107,20 @@ inline constexpr int kBinStoreReplyVersion = 3;
 /// Decoders accept v2 blocks (the new counters read as 0).
 inline constexpr char kBinStoreStatsKind = 'S';
 inline constexpr int kBinStoreStatsVersion = 3;
+/// Workload trace (src/workload/trace.hpp): timestamped arrival/mutation
+/// events for the dynamic scenario engine, recordable and replayable
+/// byte-exactly. Binary-only — the format postdates the text dialect.
+inline constexpr char kBinTraceKind = 'T';
+inline constexpr int kBinTraceVersion = 1;
+
+/// The shared binary application body: service (name, cost, selectivity)
+/// records plus delta-coded precedence pairs — the encoding plan-request
+/// blocks embed, exposed for other codecs that carry applications (the
+/// workload trace's arrival events). getApplication throws via Reader on
+/// malformed bodies (counts beyond the bytes present, out-of-range or
+/// cyclic precedences).
+void putApplication(binio::Writer& w, const Application& app);
+[[nodiscard]] Application getApplication(binio::Reader& r);
 
 /// Binary score-cache artifact (v3, kind 'C'): one block whose body is the
 /// entry count followed by (front-coded key, varint-double score) pairs,

@@ -40,9 +40,9 @@ std::optional<double> periodValue(const EvalContext& ctx, EvalScratch& s,
   const double lo = ctx.busyLowerBound();
   const double hi = 2.0 * ctx.totalDuration() + 1.0;
   std::optional<double> value;
-  if (upperBound < hi && lo > upperBound) {
+  if (upperBound < hi && analyticallyDominated(lo, upperBound)) {
     // Incumbent pruning: the minimal period is >= the busy lower bound, so
-    // this solve cannot strictly beat the incumbent.
+    // this solve cannot strictly beat (or tie) the incumbent.
     if (boundAborts != nullptr) {
       boundAborts->fetch_add(1, std::memory_order_relaxed);
     }
@@ -69,7 +69,8 @@ std::optional<double> latencyValue(const EvalContext& ctx, EvalScratch& s,
   const std::size_t xCap = s.x.capacity();
   ++s.probes;
   std::optional<double> value;
-  if (std::isfinite(upperBound) && ctx.busyLowerBound() > upperBound) {
+  if (std::isfinite(upperBound) &&
+      analyticallyDominated(ctx.busyLowerBound(), upperBound)) {
     // Every operation of a node is serialized on its one port within the
     // single data set's span, so the busy time lower bounds the latency.
     if (boundAborts != nullptr) {
@@ -263,12 +264,12 @@ std::optional<OrchestrationResult> inorderPeriodForOrders(
   EvalScratch s;
   const double lo = ctx.busyLowerBound();
   const double hi = 2.0 * ctx.totalDuration() + 1.0;
-  if (upperBound < hi && lo > upperBound) {
+  if (upperBound < hi && analyticallyDominated(lo, upperBound)) {
     // Incumbent pruning: the minimal period is >= the busy lower bound, and
     // by monotone feasibility it is > upperBound whenever the system is
     // infeasible at upperBound. Either way this solve cannot strictly beat
-    // the incumbent, so skip the binary search entirely. Survivors run the
-    // untouched [lo, hi] search and return bit-identical values.
+    // (or tie) the incumbent, so skip the binary search entirely. Survivors
+    // run the untouched [lo, hi] search and return bit-identical values.
     if (boundAborts != nullptr) {
       boundAborts->fetch_add(1, std::memory_order_relaxed);
     }
@@ -311,7 +312,8 @@ std::optional<OrchestrationResult> oneportLatencyForOrders(
   // port within the single data set's span, so the per-node busy time lower
   // bounds the latency for any orders. The finiteness guard keeps the
   // busy-time comparison off unbounded searches.
-  if (std::isfinite(upperBound) && ctx.busyLowerBound() > upperBound) {
+  if (std::isfinite(upperBound) &&
+      analyticallyDominated(ctx.busyLowerBound(), upperBound)) {
     if (boundAborts != nullptr) {
       boundAborts->fetch_add(1, std::memory_order_relaxed);
     }

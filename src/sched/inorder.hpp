@@ -9,6 +9,7 @@
 #pragma once
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -26,6 +27,26 @@ struct OrchestrationResult {
   OperationList ol;
   PortOrders orders;
 };
+
+/// Incumbent dominance against an ANALYTIC floor (busy time, the period
+/// lower bound), with cross-expression rounding slack. The floor and the
+/// search's achieved value compute the same mathematical quantity through
+/// different floating-point expressions, so they can disagree by a few ulp
+/// in either direction — a plain `floor > incumbent` prune firing inside
+/// that disagreement drops a candidate that would have TIED the incumbent
+/// bit-exactly, and the deterministic tie-break (step-4 rank) silently
+/// follows execution order instead. Only floors strictly beyond the slack
+/// are dominated: 1e-12 relative is ~4 decimal orders above double ulp at
+/// any magnitude and far below the 1e-6 resolution the searches certify,
+/// so no candidate that matters survives spuriously. Prunes that compare
+/// the incumbent against the SAME evaluator that produced it (the
+/// feasibleInto probes) stay exact — they are bit-consistent by
+/// construction and need no slack.
+[[nodiscard]] inline bool analyticallyDominated(double floor,
+                                                double incumbent) {
+  return floor >
+         incumbent + 1e-12 * std::max(1.0, std::abs(incumbent));
+}
 
 struct OrchestrationOptions {
   /// Enumerate all port orders exactly when their count is at most this.

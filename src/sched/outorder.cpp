@@ -328,8 +328,12 @@ OrchestrationResult orchestratePeriod(const Application& app,
   };
 
   // Every value reachable here is >= lb, so an incumbent strictly below the
-  // analytic floor dominates the whole candidate before any search runs.
-  if (lb > incumbent) return abortOut(opt.seedBoundAborts);
+  // analytic floor (beyond rounding slack — the floor and the achieved value
+  // compute the same quantity through different FP expressions and can
+  // disagree by a few ulp) dominates the candidate before any search runs.
+  if (analyticallyDominated(lb, incumbent)) {
+    return abortOut(opt.seedBoundAborts);
+  }
 
   // Sound seed-phase bound. The plain incumbent is unsound against the seed
   // search (the repair improves *below* its seed), so bound the seed by the

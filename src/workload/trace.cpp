@@ -1,0 +1,479 @@
+#include "src/workload/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/io/binio.hpp"
+#include "src/io/serialize.hpp"
+
+namespace fsw {
+
+const char* name(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::Arrival:
+      return "arrival";
+    case TraceEventKind::ParamDrift:
+      return "drift";
+    case TraceEventKind::OperatorAdd:
+      return "add";
+    case TraceEventKind::OperatorRemove:
+      return "remove";
+    case TraceEventKind::HostKill:
+      return "kill";
+    case TraceEventKind::HostRevive:
+      return "revive";
+  }
+  return "?";
+}
+
+bool isSolveEvent(TraceEventKind kind) noexcept {
+  return kind != TraceEventKind::HostKill && kind != TraceEventKind::HostRevive;
+}
+
+namespace {
+
+/// Drift results stay inside this band no matter how long the trace runs;
+/// without it a hot stream drifting 0.9x per event reaches denormals.
+constexpr double kParamLo = 1e-3;
+constexpr double kParamHi = 1e3;
+
+[[noreturn]] void badEvent(const TraceEvent& event, const std::string& what) {
+  throw std::runtime_error(std::string("trace event '") + name(event.kind) +
+                           "' at " + std::to_string(event.atUs) + "us: " +
+                           what);
+}
+
+/// Rebuilds `state.app` from a mutated service list, carrying over the
+/// surviving precedences through `remap` (kNoNode = dropped endpoint).
+void rebuild(StreamState& state, std::vector<Service> services,
+             const std::vector<NodeId>& remap,
+             const std::vector<Precedence>& extra) {
+  Application next(std::move(services));
+  for (const auto& p : state.app.precedences()) {
+    const NodeId from = p.from < remap.size() ? remap[p.from] : kNoNode;
+    const NodeId to = p.to < remap.size() ? remap[p.to] : kNoNode;
+    if (from != kNoNode && to != kNoNode) next.addPrecedence(from, to);
+  }
+  for (const auto& p : extra) next.addPrecedence(p.from, p.to);
+  state.app = std::move(next);
+}
+
+std::vector<NodeId> identityRemap(std::size_t n) {
+  std::vector<NodeId> remap(n);
+  for (std::size_t i = 0; i < n; ++i) remap[i] = i;
+  return remap;
+}
+
+}  // namespace
+
+void applyTraceEvent(StreamState& state, const TraceEvent& event) {
+  switch (event.kind) {
+    case TraceEventKind::HostKill:
+    case TraceEventKind::HostRevive:
+      badEvent(event, "host event applied to a stream");
+    case TraceEventKind::Arrival:
+      if (event.app.size() == 0) badEvent(event, "empty application");
+      state.app = event.app;
+      state.model = event.model;
+      state.objective = event.objective;
+      state.live = true;
+      return;
+    default:
+      break;
+  }
+  if (!state.live) badEvent(event, "mutation of a stream with no arrival");
+  const std::size_t n = state.app.size();
+  switch (event.kind) {
+    case TraceEventKind::ParamDrift: {
+      if (event.service != kNoNode && event.service >= n) {
+        badEvent(event, "drift target out of range");
+      }
+      std::vector<Service> services = state.app.services();
+      const auto scale = [&](Service& s) {
+        s.cost = std::clamp(s.cost * event.costScale, kParamLo, kParamHi);
+        s.selectivity =
+            std::clamp(s.selectivity * event.selScale, kParamLo, kParamHi);
+      };
+      if (event.service == kNoNode) {
+        for (auto& s : services) scale(s);
+      } else {
+        scale(services[event.service]);
+      }
+      rebuild(state, std::move(services), identityRemap(n), {});
+      return;
+    }
+    case TraceEventKind::OperatorAdd: {
+      if (event.predecessor != kNoNode && event.predecessor >= n) {
+        badEvent(event, "add predecessor out of range");
+      }
+      std::vector<Service> services = state.app.services();
+      services.push_back(Service{event.cost, event.selectivity,
+                                 "C" + std::to_string(n + 1)});
+      std::vector<Precedence> extra;
+      if (event.predecessor != kNoNode) {
+        extra.push_back(Precedence{event.predecessor, n});
+      }
+      rebuild(state, std::move(services), identityRemap(n), extra);
+      return;
+    }
+    case TraceEventKind::OperatorRemove: {
+      if (event.service >= n) badEvent(event, "remove target out of range");
+      if (n <= 1) badEvent(event, "removing the last service");
+      std::vector<Service> services;
+      services.reserve(n - 1);
+      std::vector<NodeId> remap(n, kNoNode);
+      for (NodeId i = 0; i < n; ++i) {
+        if (i == event.service) continue;
+        remap[i] = services.size();
+        services.push_back(state.app.service(i));
+      }
+      rebuild(state, std::move(services), remap, {});
+      return;
+    }
+    default:
+      badEvent(event, "unknown event kind");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Bounded-Pareto inter-event gap with mean ~meanGapUs: inverse-CDF sample
+/// of a Pareto(alpha) tail, capped at 50x the mean so one draw cannot park
+/// the whole trace, with the scale chosen so the truncated mean lands near
+/// the requested one.
+std::uint64_t heavyGapUs(const TraceSpec& spec, Prng& rng) {
+  if (spec.meanGapUs <= 0) return 0;
+  const double alpha = std::max(1.05, spec.gapAlpha);
+  // E[Pareto(xm, alpha)] = xm * alpha / (alpha - 1); invert for xm.
+  const double xm = spec.meanGapUs * (alpha - 1.0) / alpha;
+  const double u = std::max(rng.uniform(), 1e-12);
+  const double gap =
+      std::min(xm / std::pow(u, 1.0 / alpha), 50.0 * spec.meanGapUs);
+  return static_cast<std::uint64_t>(gap);
+}
+
+/// Zipf-like hot-stream pick: weight 1/(i+1)^skew via inverse-CDF over the
+/// (small) stream count. skew = 0 degenerates to uniform.
+std::uint32_t pickStream(const TraceSpec& spec, Prng& rng) {
+  const std::size_t k = std::max<std::size_t>(1, spec.streams);
+  if (spec.skew <= 0) {
+    return static_cast<std::uint32_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(k) - 1));
+  }
+  double total = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), spec.skew);
+  }
+  double target = rng.uniform() * total;
+  for (std::size_t i = 0; i < k; ++i) {
+    target -= 1.0 / std::pow(static_cast<double>(i + 1), spec.skew);
+    if (target <= 0) return static_cast<std::uint32_t>(i);
+  }
+  return static_cast<std::uint32_t>(k - 1);
+}
+
+TraceEvent makeArrival(const TraceSpec& spec, std::uint32_t stream,
+                       Prng& rng) {
+  TraceEvent e;
+  e.kind = TraceEventKind::Arrival;
+  e.stream = stream;
+  WorkloadSpec ws = spec.workload;
+  ws.n = std::max<std::size_t>(2, ws.n);
+  e.app = randomApplication(ws, rng);
+  e.model = kAllModels[static_cast<std::size_t>(rng.uniformInt(0, 2))];
+  e.objective =
+      rng.bernoulli(0.5) ? Objective::Period : Objective::Latency;
+  return e;
+}
+
+}  // namespace
+
+Trace generateTrace(const TraceSpec& spec, std::uint64_t seed) {
+  Prng rng(seed);
+  Trace trace;
+  trace.events.reserve(spec.events);
+  const std::size_t streams = std::max<std::size_t>(1, spec.streams);
+
+  // Host kill/revive schedule: pairs spread across the middle of the
+  // trace, each kill revived one fifth of the trace later, never more
+  // kills outstanding than hosts - 1 (we stagger the pairs, so at most
+  // one host is down at a time — the router must always have a live
+  // target).
+  struct HostEvent {
+    std::size_t at;
+    TraceEventKind kind;
+    std::uint32_t host;
+  };
+  std::vector<HostEvent> hostEvents;
+  const std::size_t kills =
+      spec.hosts > 1 ? std::min(spec.hostKills, 3ul) : 0;
+  for (std::size_t k = 0; k < kills; ++k) {
+    const std::size_t killAt =
+        spec.events * (2 + 2 * k) / (2 * kills + 4);
+    const std::size_t reviveAt = killAt + spec.events / 5;
+    if (reviveAt + 2 >= spec.events) break;
+    const auto host = static_cast<std::uint32_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(spec.hosts) - 1));
+    hostEvents.push_back({killAt, TraceEventKind::HostKill, host});
+    hostEvents.push_back({reviveAt, TraceEventKind::HostRevive, host});
+  }
+  std::sort(hostEvents.begin(), hostEvents.end(),
+            [](const HostEvent& a, const HostEvent& b) { return a.at < b.at; });
+
+  // Evolving per-stream state mirrors what a replay would compute, so the
+  // generator only ever emits *legal* mutations (valid targets, no
+  // removal below 2 services, growth capped).
+  std::vector<StreamState> states(streams);
+  const std::size_t sizeCap =
+      std::max<std::size_t>(2, spec.workload.n) + spec.growthCap;
+  const double mixTotal = spec.driftWeight + spec.addWeight +
+                          spec.removeWeight + spec.rearrivalWeight;
+
+  std::uint64_t now = 0;
+  std::size_t nextHost = 0;
+  std::size_t coldStream = 0;  // streams arrived so far; mutations wait
+  for (std::size_t i = 0; i < spec.events; ++i) {
+    if (i > 0 && !rng.bernoulli(spec.burstProb)) now += heavyGapUs(spec, rng);
+
+    if (nextHost < hostEvents.size() && hostEvents[nextHost].at <= i) {
+      TraceEvent e;
+      e.atUs = now;
+      e.kind = hostEvents[nextHost].kind;
+      e.host = hostEvents[nextHost].host;
+      trace.events.push_back(std::move(e));
+      ++nextHost;
+      continue;
+    }
+
+    TraceEvent e;
+    e.atUs = now;
+    if (coldStream < streams) {
+      // Cold start: every stream arrives before anything mutates.
+      e = makeArrival(spec, static_cast<std::uint32_t>(coldStream++), rng);
+      e.atUs = now;
+    } else {
+      const std::uint32_t stream = pickStream(spec, rng);
+      StreamState& st = states[stream];
+      const std::size_t n = st.app.size();
+      double pick = mixTotal > 0 ? rng.uniform() * mixTotal : 0.0;
+      pick -= spec.driftWeight;
+      if (pick < 0) {
+        e.kind = TraceEventKind::ParamDrift;
+        e.stream = stream;
+        // Mostly single-service nudges (the near-key sweet spot), with
+        // an occasional all-service shift.
+        e.service = rng.bernoulli(0.8)
+                        ? static_cast<NodeId>(rng.uniformInt(
+                              0, static_cast<std::int64_t>(n) - 1))
+                        : kNoNode;
+        e.costScale = rng.uniform(0.8, 1.25);
+        e.selScale = rng.bernoulli(0.5) ? rng.uniform(0.9, 1.1) : 1.0;
+      } else if ((pick -= spec.addWeight) < 0 && n < sizeCap) {
+        e.kind = TraceEventKind::OperatorAdd;
+        e.stream = stream;
+        e.cost = rng.uniform(spec.workload.costLo, spec.workload.costHi);
+        e.selectivity = rng.bernoulli(spec.workload.filterFraction)
+                            ? rng.uniform(spec.workload.filterSigmaLo,
+                                          spec.workload.filterSigmaHi)
+                            : rng.uniform(spec.workload.expandSigmaLo,
+                                          spec.workload.expandSigmaHi);
+        e.predecessor = rng.bernoulli(0.3)
+                            ? static_cast<NodeId>(rng.uniformInt(
+                                  0, static_cast<std::int64_t>(n) - 1))
+                            : kNoNode;
+      } else if (pick < 0 || ((pick -= spec.removeWeight) < 0 && n > 2)) {
+        // An add drawn past the growth cap lands here too: the stream
+        // sheds a service instead of growing without bound.
+        if (n > 2) {
+          e.kind = TraceEventKind::OperatorRemove;
+          e.stream = stream;
+          e.service = static_cast<NodeId>(
+              rng.uniformInt(0, static_cast<std::int64_t>(n) - 1));
+        } else {
+          e = makeArrival(spec, stream, rng);
+          e.atUs = now;
+        }
+      } else {
+        e = makeArrival(spec, stream, rng);
+        e.atUs = now;
+      }
+    }
+    applyTraceEvent(states[e.stream], e);
+    trace.events.push_back(std::move(e));
+  }
+  return trace;
+}
+
+// ---------------------------------------------------------------------------
+// Codec (block kind 'T', version 1)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// NodeId with a reserved "none" value: kNoNode <-> 0, id <-> id + 1.
+void putOptNode(binio::Writer& w, NodeId id) {
+  w.u64(id == kNoNode ? 0 : static_cast<std::uint64_t>(id) + 1);
+}
+
+NodeId getOptNode(binio::Reader& r) {
+  const std::uint64_t v = r.u64();
+  return v == 0 ? kNoNode : static_cast<NodeId>(v - 1);
+}
+
+std::uint32_t getU32(binio::Reader& r, const char* what) {
+  const std::uint64_t v = r.u64();
+  if (v > std::numeric_limits<std::uint32_t>::max()) {
+    r.fail(std::string(what) + " out of range");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+std::string encodeBody(const Trace& trace) {
+  binio::Writer w;
+  w.u64(trace.events.size());
+  std::uint64_t prev = 0;
+  for (const auto& e : trace.events) {
+    if (e.atUs < prev) {
+      throw std::runtime_error(
+          "encodeTrace: timestamps must be nondecreasing");
+    }
+    w.u64(e.atUs - prev);
+    prev = e.atUs;
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    switch (e.kind) {
+      case TraceEventKind::Arrival:
+        w.u64(e.stream);
+        w.str(name(e.model));
+        w.str(name(e.objective));
+        putApplication(w, e.app);
+        break;
+      case TraceEventKind::ParamDrift:
+        w.u64(e.stream);
+        putOptNode(w, e.service);
+        w.f64(e.costScale);
+        w.f64(e.selScale);
+        break;
+      case TraceEventKind::OperatorAdd:
+        w.u64(e.stream);
+        w.f64(e.cost);
+        w.f64(e.selectivity);
+        putOptNode(w, e.predecessor);
+        break;
+      case TraceEventKind::OperatorRemove:
+        w.u64(e.stream);
+        putOptNode(w, e.service);
+        break;
+      case TraceEventKind::HostKill:
+      case TraceEventKind::HostRevive:
+        w.u64(e.host);
+        break;
+      default:
+        throw std::runtime_error("encodeTrace: unknown event kind");
+    }
+  }
+  return w.take();
+}
+
+Trace decodeBody(binio::Reader& r) {
+  const std::uint64_t count = r.u64();
+  // Every event costs at least 3 body bytes (gap, kind, target), so a
+  // hostile count beyond remaining/3 fails before the reserve.
+  if (count > r.remaining() / 3 + 1) {
+    r.fail("trace declares more events than bytes present");
+  }
+  Trace trace;
+  trace.events.reserve(count);
+  std::uint64_t now = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceEvent e;
+    now += r.u64();
+    e.atUs = now;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(TraceEventKind::HostRevive)) {
+      r.fail("unknown trace event kind " + std::to_string(kind));
+    }
+    e.kind = static_cast<TraceEventKind>(kind);
+    switch (e.kind) {
+      case TraceEventKind::Arrival: {
+        e.stream = getU32(r, "stream");
+        const auto model = commModelFromName(r.str());
+        if (!model) r.fail("unknown comm model name");
+        e.model = *model;
+        const auto objective = objectiveFromName(r.str());
+        if (!objective) r.fail("unknown objective name");
+        e.objective = *objective;
+        e.app = getApplication(r);
+        break;
+      }
+      case TraceEventKind::ParamDrift:
+        e.stream = getU32(r, "stream");
+        e.service = getOptNode(r);
+        e.costScale = r.f64();
+        e.selScale = r.f64();
+        break;
+      case TraceEventKind::OperatorAdd:
+        e.stream = getU32(r, "stream");
+        e.cost = r.f64();
+        e.selectivity = r.f64();
+        e.predecessor = getOptNode(r);
+        break;
+      case TraceEventKind::OperatorRemove:
+        e.stream = getU32(r, "stream");
+        e.service = getOptNode(r);
+        break;
+      case TraceEventKind::HostKill:
+      case TraceEventKind::HostRevive:
+        e.host = getU32(r, "host");
+        break;
+    }
+    trace.events.push_back(std::move(e));
+  }
+  return trace;
+}
+
+}  // namespace
+
+std::string encodeTrace(const Trace& trace) {
+  return binio::finishBlock(kBinTraceKind, kBinTraceVersion,
+                            encodeBody(trace));
+}
+
+Trace decodeTrace(std::string_view payload) {
+  binio::Reader r = binio::openBlock(payload, kBinTraceKind, kBinTraceVersion,
+                                     "trace");
+  Trace trace = decodeBody(r);
+  r.expectEnd();
+  return trace;
+}
+
+void writeTrace(std::ostream& os, const Trace& trace) {
+  const std::string blob = encodeTrace(trace);
+  os.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+}
+
+Trace readTrace(std::istream& is) {
+  const binio::Block block = binio::readBlock(is, "trace");
+  if (block.kind != kBinTraceKind) {
+    throw std::runtime_error(std::string("trace: unexpected block kind '") +
+                             block.kind + "'");
+  }
+  if (block.version != kBinTraceVersion) {
+    throw std::runtime_error("trace: unsupported version " +
+                             std::to_string(block.version));
+  }
+  binio::Reader r(block.body, "trace");
+  Trace trace = decodeBody(r);
+  r.expectEnd();
+  return trace;
+}
+
+}  // namespace fsw

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+
 #include "src/core/cost_model.hpp"
 #include "src/oplist/validate.hpp"
 #include "src/sched/outorder.hpp"
@@ -67,6 +70,57 @@ TEST(OutorderOrchestrate, ReplayerConfirms) {
       replayOperationList(pi.app, pi.graph, r.ol, CommModel::OutOrder, 48);
   EXPECT_TRUE(sim.ok);
   EXPECT_NEAR(sim.measuredPeriod, r.value, 1e-6);
+}
+
+TEST(OutorderOrchestrate, IncumbentTieIsNeverPruned) {
+  // Regression: the analytic period lower bound and the search's achieved
+  // value compute the same quantity through different FP expressions and
+  // can disagree by a few ulp. On this instance lb overshoots the
+  // achievable optimum by 1 ulp, so an exact `lb > incumbent` floor prune
+  // fed the optimum as the incumbent would abort a candidate that TIES
+  // bit-exactly — flipping the engine's deterministic winner choice. The
+  // slack in analyticallyDominated keeps the tie alive: bounding by the
+  // unbounded optimum must reproduce it bit-identically.
+  Application app;
+  app.addService(2.0606879049276223, 0.78404705719603374, "C1");
+  app.addService(2.8795777871182135, 0.77988023988828215, "C2");
+  app.addService(2.2652364459933034, 0.44897284622874045, "C3");
+  app.addService(0.51227196910436479, 0.28850907724106123, "C4");
+  ExecutionGraph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(3, 0);
+
+  OutorderOptions opt;
+  opt.inorder.exactCap = 120;
+  opt.restarts = 4;
+  opt.bisectSteps = 4;
+  const auto unbounded = outorderOrchestratePeriod(app, g, opt);
+  ASSERT_TRUE(std::isfinite(unbounded.value));
+  const CostModel cm(app, g);
+  // The instance only exercises the regression while lb >= the optimum;
+  // assert that so a cost-model change can't silently hollow the test out.
+  ASSERT_GE(cm.periodLowerBound(CommModel::OutOrder), unbounded.value);
+
+  OutorderOptions bounded = opt;
+  bounded.upperBound = unbounded.value;
+  const auto tied = outorderOrchestratePeriod(app, g, bounded);
+  EXPECT_EQ(std::memcmp(&tied.value, &unbounded.value, sizeof(double)), 0)
+      << "bounded " << tied.value << " vs unbounded " << unbounded.value;
+
+  // The INORDER floor prunes carry the same slack: a fixed-order solve
+  // bounded by its own achieved value must return, not abort.
+  const auto probe = inorderPeriodForOrders(app, g, PortOrders::canonical(g));
+  ASSERT_TRUE(probe.has_value());
+  const auto reprobe = inorderPeriodForOrders(app, g, PortOrders::canonical(g),
+                                              probe->value);
+  ASSERT_TRUE(reprobe.has_value());
+  EXPECT_EQ(std::memcmp(&reprobe->value, &probe->value, sizeof(double)), 0);
+
+  // Dominance stays decisive beyond the slack band in both directions.
+  EXPECT_FALSE(analyticallyDominated(1.0, 1.0));
+  EXPECT_FALSE(analyticallyDominated(std::nextafter(1.0, 2.0), 1.0));
+  EXPECT_TRUE(analyticallyDominated(1.0 + 1e-9, 1.0));
 }
 
 TEST(OnePortOverlapRepair, HybridRelaxesOutorder) {

@@ -1,0 +1,439 @@
+// Dynamic workload traces and the scenario driver: the trace codec round
+// trips byte-exactly and fails cleanly on hostile input (truncation at
+// every cut, version/kind tampering, hostile counts — the test_binio
+// discipline); the generator is a pure function of (spec, seed) and only
+// ever emits legal mutations; and a replay through a live 2-host
+// PlanRouter fleet with a mid-trace host kill keeps every re-solved
+// winner bit-identical to a cold serial optimizePlan of the mutated
+// application.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/io/binio.hpp"
+#include "src/io/serialize.hpp"
+#include "src/serve/bound_board.hpp"
+#include "src/serve/plan_engine.hpp"
+#include "src/serve/plan_router.hpp"
+#include "src/serve/plan_service.hpp"
+#include "src/sim/scenario_driver.hpp"
+#include "src/workload/trace.hpp"
+
+namespace fsw {
+namespace {
+
+OptimizerOptions fastOptions() {
+  OptimizerOptions opt;
+  opt.exactForestMaxN = 5;
+  opt.heuristics.iterations = 200;
+  opt.heuristics.restarts = 2;
+  opt.orchestrator.order.exactCap = 120;
+  opt.orchestrator.outorder.restarts = 4;
+  opt.orchestrator.outorder.bisectSteps = 4;
+  return opt;
+}
+
+TraceSpec smallSpec() {
+  TraceSpec spec;
+  spec.events = 48;
+  spec.streams = 3;
+  spec.hosts = 2;
+  spec.hostKills = 1;
+  spec.workload.n = 4;
+  return spec;
+}
+
+/// A hand-built trace covering every event kind with known field values.
+Trace handTrace() {
+  Trace t;
+  TraceEvent arrive;
+  arrive.atUs = 0;
+  arrive.kind = TraceEventKind::Arrival;
+  arrive.stream = 0;
+  arrive.app.addService(2.0, 0.5, "C1");
+  arrive.app.addService(1.5, 0.25, "C2");
+  arrive.app.addService(3.0, 1.5, "C3");
+  arrive.app.addPrecedence(0, 2);
+  arrive.model = CommModel::OutOrder;
+  arrive.objective = Objective::Latency;
+  t.events.push_back(arrive);
+
+  TraceEvent drift;
+  drift.atUs = 120;
+  drift.kind = TraceEventKind::ParamDrift;
+  drift.stream = 0;
+  drift.service = 1;
+  drift.costScale = 1.25;
+  drift.selScale = 0.9;
+  t.events.push_back(drift);
+
+  TraceEvent driftAll = drift;
+  driftAll.atUs = 120;  // burst: same timestamp as its predecessor
+  driftAll.service = kNoNode;
+  t.events.push_back(driftAll);
+
+  TraceEvent add;
+  add.atUs = 400;
+  add.kind = TraceEventKind::OperatorAdd;
+  add.stream = 0;
+  add.cost = 0.75;
+  add.selectivity = 0.6;
+  add.predecessor = 2;
+  t.events.push_back(add);
+
+  TraceEvent kill;
+  kill.atUs = 500;
+  kill.kind = TraceEventKind::HostKill;
+  kill.host = 1;
+  t.events.push_back(kill);
+
+  TraceEvent remove;
+  remove.atUs = 650;
+  remove.kind = TraceEventKind::OperatorRemove;
+  remove.stream = 0;
+  remove.service = 1;
+  t.events.push_back(remove);
+
+  TraceEvent revive = kill;
+  revive.atUs = 900;
+  revive.kind = TraceEventKind::HostRevive;
+  t.events.push_back(revive);
+  return t;
+}
+
+// ---- codec round trips ----------------------------------------------------
+
+TEST(TraceCodec, HandTraceRoundTripsFieldExact) {
+  const Trace t = handTrace();
+  const Trace back = decodeTrace(encodeTrace(t));
+  ASSERT_EQ(back.events.size(), t.events.size());
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    const TraceEvent& a = t.events[i];
+    const TraceEvent& b = back.events[i];
+    EXPECT_EQ(b.atUs, a.atUs) << "event " << i;
+    EXPECT_EQ(b.kind, a.kind) << "event " << i;
+    if (isSolveEvent(a.kind)) EXPECT_EQ(b.stream, a.stream) << "event " << i;
+  }
+  const TraceEvent& arrive = back.events[0];
+  EXPECT_EQ(arrive.app.size(), 3u);
+  EXPECT_EQ(arrive.app.service(1).cost, 1.5);
+  EXPECT_EQ(arrive.app.service(1).selectivity, 0.25);
+  EXPECT_EQ(arrive.app.service(2).name, "C3");
+  ASSERT_EQ(arrive.app.precedences().size(), 1u);
+  EXPECT_EQ(arrive.app.precedences()[0].from, 0u);
+  EXPECT_EQ(arrive.app.precedences()[0].to, 2u);
+  EXPECT_EQ(arrive.model, CommModel::OutOrder);
+  EXPECT_EQ(arrive.objective, Objective::Latency);
+  EXPECT_EQ(back.events[1].service, 1u);
+  EXPECT_EQ(back.events[1].costScale, 1.25);
+  EXPECT_EQ(back.events[1].selScale, 0.9);
+  EXPECT_EQ(back.events[2].service, kNoNode);
+  EXPECT_EQ(back.events[3].cost, 0.75);
+  EXPECT_EQ(back.events[3].selectivity, 0.6);
+  EXPECT_EQ(back.events[3].predecessor, 2u);
+  EXPECT_EQ(back.events[4].host, 1u);
+  EXPECT_EQ(back.events[5].service, 1u);
+  EXPECT_EQ(back.events[6].host, 1u);
+}
+
+TEST(TraceCodec, ReEncodeIsByteIdentical) {
+  for (const std::uint64_t seed : {7ull, 8ull, 99ull}) {
+    const std::string blob = encodeTrace(generateTrace(smallSpec(), seed));
+    EXPECT_EQ(encodeTrace(decodeTrace(blob)), blob) << "seed " << seed;
+  }
+}
+
+TEST(TraceCodec, StreamRoundTripMatchesInMemory) {
+  const Trace t = generateTrace(smallSpec(), 11);
+  std::stringstream ss;
+  writeTrace(ss, t);
+  EXPECT_EQ(ss.str(), encodeTrace(t));
+  const Trace back = readTrace(ss);
+  EXPECT_EQ(encodeTrace(back), encodeTrace(t));
+}
+
+TEST(TraceCodec, EncodeRejectsDecreasingTimestamps) {
+  Trace t = handTrace();
+  t.events[1].atUs = 0;
+  t.events[2].atUs = 0;
+  EXPECT_NO_THROW((void)encodeTrace(t));  // equal timestamps are fine
+  t.events[2].atUs = 1;
+  t.events[3].atUs = 0;  // goes backwards
+  EXPECT_THROW((void)encodeTrace(t), std::runtime_error);
+}
+
+// ---- hostile inputs -------------------------------------------------------
+
+TEST(TraceCodec, TruncationAtEveryCutThrows) {
+  const std::string blob = encodeTrace(handTrace());
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    EXPECT_THROW((void)decodeTrace(blob.substr(0, cut)), std::runtime_error)
+        << "cut " << cut;
+  }
+}
+
+TEST(TraceCodec, TamperedBlockHeadersThrow) {
+  const std::string blob = encodeTrace(handTrace());
+
+  std::string badMagic = blob;
+  badMagic[0] = 'X';
+  EXPECT_THROW((void)decodeTrace(badMagic), std::runtime_error);
+
+  std::string badKind = blob;
+  badKind[1] = 'Q';
+  EXPECT_THROW((void)decodeTrace(badKind), std::runtime_error);
+
+  std::string trailing = blob + "x";
+  EXPECT_THROW((void)decodeTrace(trailing), std::runtime_error);
+}
+
+TEST(TraceCodec, FutureVersionIsRejected) {
+  // Re-wrap the valid body under version 2: the reader must refuse it
+  // rather than misparse a future format.
+  const std::string blob = encodeTrace(handTrace());
+  binio::Reader r = binio::openBlock(blob, kBinTraceKind, kBinTraceVersion,
+                                     "test");
+  std::string body(blob.substr(blob.size() - r.remaining()));
+  const std::string v2 =
+      binio::finishBlock(kBinTraceKind, kBinTraceVersion + 1, body);
+  EXPECT_THROW((void)decodeTrace(v2), std::runtime_error);
+  std::stringstream ss(v2);
+  EXPECT_THROW((void)readTrace(ss), std::runtime_error);
+}
+
+TEST(TraceCodec, HostileEventCountFailsBeforeAllocating) {
+  binio::Writer w;
+  w.u64(1ull << 40);  // claims a trillion events in a 12-byte body
+  std::string blob =
+      binio::finishBlock(kBinTraceKind, kBinTraceVersion, w.take());
+  EXPECT_THROW((void)decodeTrace(blob), std::runtime_error);
+}
+
+TEST(TraceCodec, UnknownEventKindThrows) {
+  binio::Writer w;
+  w.u64(1);  // one event
+  w.u64(0);  // gap
+  w.u8(200);  // no such kind
+  const std::string blob =
+      binio::finishBlock(kBinTraceKind, kBinTraceVersion, w.take());
+  EXPECT_THROW((void)decodeTrace(blob), std::runtime_error);
+}
+
+TEST(TraceCodec, UnknownModelNameThrows) {
+  binio::Writer w;
+  w.u64(1);
+  w.u64(0);
+  w.u8(static_cast<std::uint8_t>(TraceEventKind::Arrival));
+  w.u64(0);          // stream
+  w.str("warpdrive");  // no such comm model
+  const std::string blob =
+      binio::finishBlock(kBinTraceKind, kBinTraceVersion, w.take());
+  EXPECT_THROW((void)decodeTrace(blob), std::runtime_error);
+}
+
+// ---- applyTraceEvent discipline -------------------------------------------
+
+TEST(TraceApply, RejectsInconsistentEvents) {
+  StreamState st;
+  TraceEvent drift;
+  drift.kind = TraceEventKind::ParamDrift;
+  EXPECT_THROW(applyTraceEvent(st, drift), std::runtime_error);  // no arrival
+
+  TraceEvent arrive;
+  arrive.kind = TraceEventKind::Arrival;
+  EXPECT_THROW(applyTraceEvent(st, arrive), std::runtime_error);  // empty app
+  arrive.app.addService(1.0, 0.5);
+  arrive.app.addService(2.0, 0.75);
+  applyTraceEvent(st, arrive);
+  EXPECT_TRUE(st.live);
+
+  drift.service = 7;  // out of range
+  EXPECT_THROW(applyTraceEvent(st, drift), std::runtime_error);
+
+  TraceEvent kill;
+  kill.kind = TraceEventKind::HostKill;
+  EXPECT_THROW(applyTraceEvent(st, kill), std::runtime_error);
+
+  TraceEvent remove;
+  remove.kind = TraceEventKind::OperatorRemove;
+  remove.service = 0;
+  applyTraceEvent(st, remove);
+  EXPECT_EQ(st.app.size(), 1u);
+  EXPECT_THROW(applyTraceEvent(st, remove), std::runtime_error);  // last one
+}
+
+TEST(TraceApply, RemoveReindexesSurvivingPrecedences) {
+  StreamState st;
+  TraceEvent arrive;
+  arrive.kind = TraceEventKind::Arrival;
+  arrive.app.addService(1.0, 0.5, "A");
+  arrive.app.addService(2.0, 0.6, "B");
+  arrive.app.addService(3.0, 0.7, "C");
+  arrive.app.addPrecedence(0, 1);
+  arrive.app.addPrecedence(1, 2);
+  applyTraceEvent(st, arrive);
+
+  TraceEvent remove;
+  remove.kind = TraceEventKind::OperatorRemove;
+  remove.service = 1;
+  applyTraceEvent(st, remove);
+  ASSERT_EQ(st.app.size(), 2u);
+  EXPECT_EQ(st.app.service(0).name, "A");
+  EXPECT_EQ(st.app.service(1).name, "C");
+  // Both precedences touched the removed service, so none survive.
+  EXPECT_TRUE(st.app.precedences().empty());
+}
+
+// ---- generator ------------------------------------------------------------
+
+TEST(TraceGenerator, DeterministicPerSeedAndDistinctAcrossSeeds) {
+  const TraceSpec spec = smallSpec();
+  EXPECT_EQ(encodeTrace(generateTrace(spec, 7)),
+            encodeTrace(generateTrace(spec, 7)));
+  EXPECT_NE(encodeTrace(generateTrace(spec, 7)),
+            encodeTrace(generateTrace(spec, 8)));
+}
+
+TEST(TraceGenerator, EmitsLegalEventsWithMonotoneTimestampsAndAKillPair) {
+  TraceSpec spec;
+  spec.events = 500;
+  spec.streams = 5;
+  spec.hosts = 2;
+  spec.hostKills = 1;
+  spec.workload.n = 5;
+  const Trace t = generateTrace(spec, 4242);
+  ASSERT_EQ(t.events.size(), spec.events);
+
+  std::size_t kills = 0;
+  std::size_t revives = 0;
+  std::size_t arrivals = 0;
+  std::uint64_t prev = 0;
+  std::vector<StreamState> streams(spec.streams);
+  for (const TraceEvent& e : t.events) {
+    EXPECT_GE(e.atUs, prev);
+    prev = e.atUs;
+    switch (e.kind) {
+      case TraceEventKind::HostKill:
+        ++kills;
+        EXPECT_LT(e.host, spec.hosts);
+        break;
+      case TraceEventKind::HostRevive:
+        ++revives;
+        break;
+      default:
+        ASSERT_LT(e.stream, spec.streams);
+        if (e.kind == TraceEventKind::Arrival) ++arrivals;
+        // Throws (failing the test) on any illegal mutation.
+        applyTraceEvent(streams[e.stream], e);
+        break;
+    }
+  }
+  EXPECT_EQ(kills, 1u);
+  EXPECT_EQ(revives, 1u);
+  EXPECT_GE(arrivals, spec.streams);  // every stream arrives before mutating
+  for (const StreamState& st : streams) {
+    EXPECT_TRUE(st.live);
+    EXPECT_GE(st.app.size(), 2u);
+  }
+}
+
+// ---- scenario driver ------------------------------------------------------
+
+TEST(ScenarioDriver, RequiresASubmitHook) {
+  EXPECT_THROW(ScenarioDriver(ScenarioConfig{}, nullptr),
+               std::invalid_argument);
+}
+
+// Sequential replay over a bare engine with a BoundBoard: every winner
+// certifies against the cold serial reference, and drift re-solves warm
+// up off the board's near table (deterministic at maxInFlight = 1 — each
+// publish lands before the next consult).
+TEST(ScenarioDriver, SequentialReplayCertifiesAndWarmStarts) {
+  BoundBoard board{256};
+  EngineConfig cfg;
+  cfg.threads = 1;
+  cfg.boundBoard = &board;
+  PlanEngine engine{cfg};
+
+  ScenarioConfig sc;
+  sc.maxInFlight = 1;
+  sc.options = fastOptions();
+  sc.board = &board;
+  ScenarioDriver driver{sc, [&](const PlanRequest& r) {
+                          std::promise<OptimizedPlan> p;
+                          p.set_value(engine.optimize(r));
+                          return p.get_future();
+                        }};
+
+  TraceSpec spec = smallSpec();
+  spec.hostKills = 0;
+  const Trace trace = generateTrace(spec, 21);
+  const ScenarioReport report = driver.replay(trace);
+
+  EXPECT_EQ(report.events, trace.events.size());
+  EXPECT_EQ(report.solves, trace.events.size());  // no host events
+  EXPECT_EQ(report.mismatches, 0u);
+  EXPECT_TRUE(report.allIdentical());
+  EXPECT_GT(report.boardNearHits, 0u);
+  EXPECT_GT(report.coldRefSolves, 0u);
+  EXPECT_LE(report.coldRefSolves, report.solves);
+  ASSERT_EQ(report.latenciesMs.size(), report.solves);
+  EXPECT_GE(report.p95Ms, report.p50Ms);
+  EXPECT_GE(report.p99Ms, report.p95Ms);
+  EXPECT_GE(report.maxMs, report.p99Ms);
+}
+
+// The acceptance scenario in miniature: a trace with one mid-trace host
+// kill (and its revive) replayed through a PlanRouter over two live
+// PlanServiceHosts. The kill fails requests over to the surviving host;
+// the revive re-admits the slot; every winner stays bit-identical to the
+// cold serial solve of its mutated application.
+TEST(ScenarioDriver, FleetReplaySurvivesAHostKillBitIdentically) {
+  std::vector<std::unique_ptr<PlanServiceHost>> hosts;
+  std::vector<std::uint16_t> ports;
+  RouterConfig rc;
+  for (std::size_t h = 0; h < 2; ++h) {
+    ServiceHostConfig hc;
+    hc.serverConfig.maxBatch = 4;
+    hosts.push_back(std::make_unique<PlanServiceHost>(hc));
+    ports.push_back(hosts.back()->port());
+    rc.hosts.push_back(RouterHost{"127.0.0.1", ports.back()});
+  }
+  PlanRouter router{rc};
+
+  ScenarioConfig sc;
+  sc.maxInFlight = 3;
+  sc.options = fastOptions();
+  sc.router = &router;
+  ScenarioDriver driver{
+      sc, [&](const PlanRequest& r) { return router.submit(r); },
+      [&](std::uint32_t h) { hosts[h].reset(); },
+      [&](std::uint32_t h) {
+        ServiceHostConfig hc;
+        hc.serverConfig.maxBatch = 4;
+        hc.port = ports[h];
+        hosts[h] = std::make_unique<PlanServiceHost>(hc);
+        (void)router.reconnect();
+      }};
+
+  const Trace trace = generateTrace(smallSpec(), 33);
+  const ScenarioReport report = driver.replay(trace);
+
+  EXPECT_EQ(report.hostKills, 1u);
+  EXPECT_EQ(report.hostRevives, 1u);
+  EXPECT_EQ(report.solves, trace.events.size() - 2);
+  EXPECT_EQ(report.mismatches, 0u);
+  EXPECT_TRUE(report.allIdentical());
+  EXPECT_TRUE(router.hostUp(0));
+  EXPECT_TRUE(router.hostUp(1));
+  EXPECT_EQ(router.stats().failed, 0u);
+}
+
+}  // namespace
+}  // namespace fsw
